@@ -1,0 +1,251 @@
+//! One benchmark per paper table/figure: measures the cost of
+//! regenerating each experiment at reduced scale, and — more importantly —
+//! pins every experiment into the benched (hence compile-checked and
+//! routinely executed) surface of the repository.
+//!
+//! The printed evaluation itself lives in `rtopex-experiments`; here each
+//! figure's computational core runs under Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtopex_core::global::QueuePolicy;
+use rtopex_model::fit::{fit_proc_model, ModelSample};
+use rtopex_model::iters::IterationModel;
+use rtopex_model::platform::{PlatformJitter, StressBenchmark};
+use rtopex_model::tasks::TaskTimeModel;
+use rtopex_phy::params::Bandwidth;
+use rtopex_sim::{run, SchedulerKind, SimConfig};
+use rtopex_transport::{CloudLatency, TestbedLink};
+use rtopex_workload::{LoadTrace, Scenario, TraceParams};
+use std::time::Duration;
+
+fn tiny_scenario() -> Scenario {
+    let mut s = Scenario::paper_default();
+    s.subframes = 500;
+    s
+}
+
+fn group<'c>(
+    c: &'c mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+    g
+}
+
+fn fig01_load_trace(c: &mut Criterion) {
+    let mut g = group(c, "fig01_load_trace");
+    g.bench_function("generate_50ms_x4", |b| {
+        b.iter(|| {
+            (0..4)
+                .map(|t| {
+                    let mut rng = StdRng::seed_from_u64(t as u64);
+                    LoadTrace::new(TraceParams::tower(t)).generate(50, &mut rng)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
+fn table1_model_fit(c: &mut Criterion) {
+    let mut g = group(c, "table1_model_fit");
+    let ttm = TaskTimeModel::paper_gpp();
+    let im = IterationModel::paper_gpp();
+    let jit = PlatformJitter::paper_gpp();
+    let mut rng = StdRng::seed_from_u64(1);
+    let samples: Vec<ModelSample> = (0..10_000)
+        .map(|_| {
+            let mcs = rng.gen_range(0..=27u8);
+            let d = 0.165 + mcs as f64 * 0.13;
+            let qm = if mcs <= 10 {
+                2
+            } else if mcs <= 20 {
+                4
+            } else {
+                6
+            };
+            let o = im.sample(mcs, d, 30.0, &mut rng);
+            ModelSample {
+                n_antennas: 1 + (mcs as usize % 3),
+                qm,
+                d_load: d,
+                iters: o.iterations as f64,
+                time_us: ttm.subframe_total(1 + (mcs as usize % 3), qm, d, o.iterations as f64)
+                    + jit.sample(&mut rng),
+            }
+        })
+        .collect();
+    g.bench_function("ols_10k_samples", |b| b.iter(|| fit_proc_model(&samples)));
+    g.finish();
+}
+
+fn fig03_processing_time(c: &mut Criterion) {
+    let mut g = group(c, "fig03_processing_time");
+    let ttm = TaskTimeModel::paper_gpp();
+    let im = IterationModel::paper_gpp();
+    g.bench_function("sweep_mcs_snr", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut acc = 0.0;
+            for mcs in 0..=27u8 {
+                for snr in [10.0, 20.0, 30.0] {
+                    let d = 0.165 + mcs as f64 * 0.13;
+                    let o = im.sample(mcs, d, snr, &mut rng);
+                    acc += ttm.subframe_total(2, 6, d, o.iterations as f64);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn fig04_parallel_tasks(c: &mut Criterion) {
+    // The real-thread variant lives in rtopex-runtime (slow, machine-
+    // dependent); here the model's split arithmetic is benched.
+    let mut g = group(c, "fig04_parallel_tasks");
+    let ttm = TaskTimeModel::paper_gpp();
+    g.bench_function("split_arithmetic", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cores in 1..=4u32 {
+                let (n, tp) = ttm.decode_subtasks(3.774, 2.0, 6);
+                acc += tp * (n as f64 / cores as f64).ceil();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn fig06_cloud_delay(c: &mut Criterion) {
+    let mut g = group(c, "fig06_cloud_delay");
+    g.bench_function("sample_100k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let m = CloudLatency::gbe10();
+            (0..100_000).map(|_| m.sample(&mut rng)).sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+fn fig07_transport_latency(c: &mut Criterion) {
+    let mut g = group(c, "fig07_transport_latency");
+    let link = TestbedLink::paper_testbed();
+    g.bench_function("sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 1..=16 {
+                acc += link.one_way_max_us(Bandwidth::Mhz5, n);
+                acc += link.one_way_max_us(Bandwidth::Mhz10, n);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn fig14_load_cdf(c: &mut Criterion) {
+    let mut g = group(c, "fig14_load_cdf");
+    g.bench_function("trace_20k_x4", |b| {
+        b.iter(|| {
+            (0..4)
+                .map(|t| {
+                    let mut rng = StdRng::seed_from_u64(20 + t as u64);
+                    LoadTrace::new(TraceParams::tower(t)).generate(20_000, &mut rng)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
+fn fig15_deadline_miss(c: &mut Criterion) {
+    let mut g = group(c, "fig15_deadline_miss");
+    for (name, sched) in [
+        ("partitioned", SchedulerKind::Partitioned),
+        ("rtopex", SchedulerKind::RtOpex { delta_us: 20 }),
+    ] {
+        let mut cfg = SimConfig::from_scenario(&tiny_scenario(), 550);
+        cfg.scheduler = sched;
+        g.bench_function(name, |b| b.iter(|| run(&cfg)));
+    }
+    g.finish();
+}
+
+fn fig16_gaps(c: &mut Criterion) {
+    let mut g = group(c, "fig16_gaps_migrations");
+    let mut cfg = SimConfig::from_scenario(&tiny_scenario(), 500);
+    cfg.scheduler = SchedulerKind::RtOpex { delta_us: 20 };
+    g.bench_function("rtopex_with_accounting", |b| b.iter(|| run(&cfg)));
+    g.finish();
+}
+
+fn fig17_load_sweep(c: &mut Criterion) {
+    let mut g = group(c, "fig17_load_sweep");
+    let mut cfg = SimConfig::from_scenario(&tiny_scenario(), 500);
+    cfg.scheduler = SchedulerKind::RtOpex { delta_us: 20 };
+    cfg.bs0_mcs = Some(25);
+    g.bench_function("bs0_mcs25", |b| b.iter(|| run(&cfg)));
+    g.finish();
+}
+
+fn fig18_migration_overhead(c: &mut Criterion) {
+    // The real-thread δ measurement is in rtopex-runtime; here the
+    // simulator's migration bookkeeping cost is benched.
+    let mut g = group(c, "fig18_migration_overhead");
+    let mut cfg = SimConfig::from_scenario(&tiny_scenario(), 600);
+    cfg.scheduler = SchedulerKind::RtOpex { delta_us: 100 };
+    g.bench_function("high_delta_run", |b| b.iter(|| run(&cfg)));
+    g.finish();
+}
+
+fn fig19_global_cores(c: &mut Criterion) {
+    let mut g = group(c, "fig19_global_cores");
+    for cores in [8usize, 16] {
+        let mut cfg = SimConfig::from_scenario(&tiny_scenario(), 500);
+        cfg.scheduler = SchedulerKind::Global {
+            cores,
+            policy: QueuePolicy::Edf,
+        };
+        g.bench_function(format!("global{cores}"), |b| b.iter(|| run(&cfg)));
+    }
+    g.finish();
+}
+
+fn fig3d_platform(c: &mut Criterion) {
+    let mut g = group(c, "fig03d_platform_error");
+    g.bench_function("jitter_and_benchmark_100k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let j = PlatformJitter::paper_gpp();
+            let s = StressBenchmark::paper_gpp();
+            (0..100_000)
+                .map(|_| j.sample(&mut rng) + s.sample(&mut rng))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig01_load_trace,
+    table1_model_fit,
+    fig03_processing_time,
+    fig3d_platform,
+    fig04_parallel_tasks,
+    fig06_cloud_delay,
+    fig07_transport_latency,
+    fig14_load_cdf,
+    fig15_deadline_miss,
+    fig16_gaps,
+    fig17_load_sweep,
+    fig18_migration_overhead,
+    fig19_global_cores
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Kernel benchmarks: the PHY building blocks whose execution times are
+//! the raw material of the paper's Eq. (1) — FFT, turbo codec, rate
+//! matching, demapping, CRC, interleaving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtopex_phy::crc::CRC24A;
+use rtopex_phy::fft::FftPlan;
+use rtopex_phy::modulation::Modulation;
+use rtopex_phy::ratematch::RateMatcher;
+use rtopex_phy::turbo::{Qpp, TurboDecoder, TurboEncoder};
+use rtopex_phy::Cf32;
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bits(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..2u8)).collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [128usize, 600, 1024, 1536] {
+        let plan = FftPlan::new(n);
+        let data: Vec<Cf32> = (0..n).map(|i| Cf32::from_phase(i as f32 * 0.1)).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(&mut buf);
+                buf
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_turbo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("turbo");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for k in [512usize, 2048, 6144] {
+        let data = bits(k, 1);
+        let enc = TurboEncoder::new(k);
+        g.throughput(Throughput::Elements(k as u64));
+        g.bench_with_input(BenchmarkId::new("encode", k), &k, |b, _| {
+            b.iter(|| enc.encode(&data))
+        });
+        let cw = enc.encode(&data);
+        let llr =
+            |v: &[u8]| -> Vec<f32> { v.iter().map(|&x| 4.0 * (1.0 - 2.0 * x as f32)).collect() };
+        let (d0, d1, d2) = (llr(&cw.d0), llr(&cw.d1), llr(&cw.d2));
+        let dec = TurboDecoder::with_qpp(enc.qpp().clone());
+        // One full iteration (never converges): the per-iteration cost of
+        // the paper's w3·D term.
+        g.bench_with_input(BenchmarkId::new("decode_1iter", k), &k, |b, _| {
+            b.iter(|| dec.decode(&d0, &d1, &d2, 1, |_| false))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ratematch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rate_match");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let k = 6144;
+    let enc = TurboEncoder::new(k);
+    let cw = enc.encode(&bits(k, 2));
+    let rm = RateMatcher::new(k);
+    let e = 7200;
+    g.bench_function("select_7200", |b| b.iter(|| rm.rate_match(&cw, e)));
+    let tx = rm.rate_match(&cw, e);
+    let llrs: Vec<f32> = tx.iter().map(|&x| 1.0 - 2.0 * x as f32).collect();
+    g.bench_function("deselect_7200", |b| b.iter(|| rm.de_rate_match(&llrs)));
+    g.finish();
+}
+
+fn bench_modulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modulation");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for m in [Modulation::Qpsk, Modulation::Qam64] {
+        let qm = m.bits_per_symbol();
+        let data = bits(600 * qm, 3);
+        let syms = m.map(&data);
+        let nv = vec![0.05f32; syms.len()];
+        g.bench_function(format!("demap_600sym_qm{qm}"), |b| {
+            b.iter(|| {
+                let mut out = Vec::new();
+                m.demap_maxlog(&syms, &nv, &mut out);
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_crc_qpp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("misc");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let data = bits(6144, 4);
+    g.bench_function("crc24a_6144", |b| b.iter(|| CRC24A.compute(&data)));
+    g.bench_function("qpp_build_6144", |b| b.iter(|| Qpp::new(6144)));
+    let q = Qpp::new(6144);
+    g.bench_function("qpp_interleave_6144", |b| b.iter(|| q.interleave(&data)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_turbo,
+    bench_ratematch,
+    bench_modulation,
+    bench_crc_qpp
+);
+criterion_main!(benches);
+
+#[allow(dead_code)]
+fn _unused(c: &mut Criterion) {
+    quick(c);
+}

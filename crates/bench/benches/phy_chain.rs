@@ -1,0 +1,96 @@
+//! End-to-end PHY chain benchmarks: the cost of one subframe through the
+//! full transmit and receive paths — the real-world counterpart of the
+//! paper's Fig. 3 processing-time measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtopex_phy::channel::{AwgnChannel, ChannelModel};
+use rtopex_phy::params::Bandwidth;
+use rtopex_phy::uplink::{UplinkConfig, UplinkRx, UplinkTx};
+use rtopex_phy::Cf32;
+use std::time::Duration;
+
+struct Prepared {
+    rx: UplinkRx,
+    samples: Vec<Vec<Cf32>>,
+    tx: UplinkTx,
+    payload: Vec<u8>,
+}
+
+fn prepare(bw: Bandwidth, antennas: usize, mcs: u8) -> Prepared {
+    let cfg = UplinkConfig::new(bw, antennas, mcs).expect("config");
+    let tx = UplinkTx::new(cfg.clone());
+    let mut rng = StdRng::seed_from_u64(9);
+    let payload: Vec<u8> = (0..cfg.transport_block_bytes())
+        .map(|_| rng.gen())
+        .collect();
+    let sf = tx.encode_subframe(&payload).expect("encode");
+    let mut chan = AwgnChannel::new(30.0);
+    let samples = chan.apply(&sf.samples, antennas, &mut rng);
+    Prepared {
+        rx: UplinkRx::new(cfg),
+        samples,
+        tx,
+        payload,
+    }
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subframe_decode");
+    g.measurement_time(Duration::from_secs(4)).sample_size(10);
+    // MCS sweep at 1.4 MHz (fast enough to iterate) — the Fig. 3(a) axis.
+    for mcs in [0u8, 9, 18, 27] {
+        let p = prepare(Bandwidth::Mhz1_4, 2, mcs);
+        g.bench_with_input(BenchmarkId::new("mhz1_4_mcs", mcs), &mcs, |b, _| {
+            b.iter(|| p.rx.decode_subframe(&p.samples).expect("decode"))
+        });
+    }
+    // Antenna sweep — the Fig. 3(c) axis.
+    for ants in [1usize, 2, 4] {
+        let p = prepare(Bandwidth::Mhz1_4, ants, 16);
+        g.bench_with_input(BenchmarkId::new("mhz1_4_antennas", ants), &ants, |b, _| {
+            b.iter(|| p.rx.decode_subframe(&p.samples).expect("decode"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subframe_encode");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for mcs in [0u8, 27] {
+        let p = prepare(Bandwidth::Mhz1_4, 1, mcs);
+        g.bench_with_input(BenchmarkId::new("mhz1_4_mcs", mcs), &mcs, |b, _| {
+            b.iter(|| p.tx.encode_subframe(&p.payload).expect("encode"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stages");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let p = prepare(Bandwidth::Mhz5, 2, 20);
+    // One FFT subtask (antenna-symbol) — the paper's smallest migration unit.
+    let job = {
+        let mut job = p.rx.start_job(&p.samples).expect("job");
+        for i in 0..job.fft_subtask_count() {
+            let out = job.run_fft_subtask(i);
+            job.absorb_fft(out);
+        }
+        job.finish_fft();
+        for i in 0..job.demod_subtask_count() {
+            let out = job.run_demod_subtask(i);
+            job.absorb_demod(out);
+        }
+        job
+    };
+    g.bench_function("fft_subtask", |b| b.iter(|| job.run_fft_subtask(0)));
+    g.bench_function("demod_subtask", |b| b.iter(|| job.run_demod_subtask(0)));
+    g.bench_function("decode_subtask", |b| b.iter(|| job.run_decode_subtask(0)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_decode, bench_encode, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Bench support crate (benches live in the `benches/` directory).

@@ -1,0 +1,130 @@
+//! End-to-end deadline arithmetic — Eq. (2) and Eq. (3) of the paper.
+//!
+//! An uplink subframe received over the air at time `t` must have its
+//! ACK/NACK ready for the downlink subframe transmitted at `t + 3 ms`;
+//! since Tx processing starts 1 ms before over-the-air transmission, only
+//! **2 ms** remain for transport plus Rx processing:
+//!
+//! ```text
+//! T_rxproc + RTT/2 ≤ 2 ms        (Eq. 2)
+//! T_rxproc ≤ T_max := 2 ms − RTT/2   (Eq. 3)
+//! ```
+//!
+//! The partitioned scheduler additionally uses `⌈T_max⌉` (in ms) as the
+//! number of cores per basestation.
+
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// The total end-to-end allowance for transport + Rx processing.
+pub const E2E_ALLOWANCE: Nanos = Nanos(2_000_000); // 2 ms
+
+/// HARQ response offset: ACK/NACK rides the downlink subframe 3 ms later.
+pub const HARQ_OFFSET: Nanos = Nanos(3_000_000);
+
+/// Deadline budget for one deployment's transport latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Budget {
+    /// One-way transport latency `RTT/2` (fronthaul + cloud network).
+    pub rtt_half: Nanos,
+}
+
+impl Budget {
+    /// Builds a budget from a one-way transport latency in µs.
+    ///
+    /// # Panics
+    /// Panics if the latency consumes the whole 2 ms allowance — such a
+    /// deployment cannot process anything and is a configuration error.
+    pub fn from_rtt_half_us(us: u64) -> Self {
+        let rtt_half = Nanos::from_us(us);
+        assert!(
+            rtt_half < E2E_ALLOWANCE,
+            "RTT/2 of {us}µs leaves no processing budget"
+        );
+        Budget { rtt_half }
+    }
+
+    /// `T_max`: the processing-time budget of Eq. (3).
+    pub fn tmax(&self) -> Nanos {
+        E2E_ALLOWANCE - self.rtt_half
+    }
+
+    /// `⌈T_max⌉` in whole milliseconds — the per-basestation core count of
+    /// the partitioned scheduler (§3.1.1). For the paper's 0.4–0.7 ms
+    /// transport range this is always 2.
+    pub fn ceil_tmax_ms(&self) -> usize {
+        (self.tmax().0 as f64 / 1_000_000.0).ceil() as usize
+    }
+
+    /// Absolute processing deadline of a subframe released to the compute
+    /// node at `release` (the transport already consumed `RTT/2`).
+    pub fn deadline_for_release(&self, release: Nanos) -> Nanos {
+        release + self.tmax()
+    }
+
+    /// True if a task that finished processing at `finish`, having been
+    /// released at `release`, met its deadline.
+    pub fn met(&self, release: Nanos, finish: Nanos) -> bool {
+        finish <= self.deadline_for_release(release)
+    }
+
+    /// Remaining slack at time `now` for a task released at `release`.
+    pub fn slack_at(&self, release: Nanos, now: Nanos) -> Nanos {
+        self.deadline_for_release(release).saturating_sub(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sweep_budgets() {
+        // §4.2: RTT/2 swept 0.4–0.7 ms ⇒ T_max 1.6–1.3 ms.
+        assert_eq!(Budget::from_rtt_half_us(400).tmax(), Nanos::from_us(1600));
+        assert_eq!(Budget::from_rtt_half_us(500).tmax(), Nanos::from_us(1500));
+        assert_eq!(Budget::from_rtt_half_us(700).tmax(), Nanos::from_us(1300));
+    }
+
+    #[test]
+    fn ceil_tmax_is_2_for_paper_range() {
+        // §4.2: "we choose ⌈Tmax⌉ = 2, i.e., each basestation is assigned
+        // 2 CPU cores under partitioned scheduling".
+        for us in [400, 500, 600, 700] {
+            assert_eq!(Budget::from_rtt_half_us(us).ceil_tmax_ms(), 2, "{us}");
+        }
+    }
+
+    #[test]
+    fn tiny_transport_gives_2ms_budget_and_2_cores() {
+        let b = Budget::from_rtt_half_us(0);
+        assert_eq!(b.tmax(), Nanos::from_ms(2));
+        assert_eq!(b.ceil_tmax_ms(), 2);
+    }
+
+    #[test]
+    fn large_transport_shrinks_to_one_core() {
+        assert_eq!(Budget::from_rtt_half_us(1100).ceil_tmax_ms(), 1);
+    }
+
+    #[test]
+    fn deadline_and_slack() {
+        let b = Budget::from_rtt_half_us(500);
+        let release = Nanos::from_ms(10);
+        assert_eq!(b.deadline_for_release(release), Nanos::from_us(11_500));
+        assert!(b.met(release, Nanos::from_us(11_499)));
+        assert!(b.met(release, Nanos::from_us(11_500)));
+        assert!(!b.met(release, Nanos::from_us(11_501)));
+        assert_eq!(
+            b.slack_at(release, Nanos::from_us(11_000)),
+            Nanos::from_us(500)
+        );
+        assert_eq!(b.slack_at(release, Nanos::from_us(12_000)), Nanos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "no processing budget")]
+    fn transport_eating_everything_panics() {
+        Budget::from_rtt_half_us(2000);
+    }
+}

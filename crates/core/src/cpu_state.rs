@@ -1,0 +1,169 @@
+//! The shared CPU-state table (§4.1).
+//!
+//! "We also implement a shared data structure, indexed by each core ID, to
+//! maintain the CPU states (active, idle — with remaining time) that each
+//! processing thread updates and polls." RT-OPEX reads this table to find
+//! migration targets and their free-time budgets `fck`; the underlying
+//! partitioned schedule makes future preemption times *predictable*, so
+//! the table can state how long a core will stay idle.
+
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// One core's advertised activity state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoreActivity {
+    /// The core's processing thread is executing a task; it will not
+    /// accept migrated subtasks.
+    Active {
+        /// When the current task is expected to complete.
+        busy_until: Nanos,
+    },
+    /// The core is in its waiting state and can host migrated subtasks
+    /// until its next (deterministic) subframe arrival.
+    Idle {
+        /// When the next processing task will preempt this core.
+        next_preemption: Nanos,
+    },
+}
+
+/// The table itself: one entry per core.
+#[derive(Clone, Debug)]
+pub struct CpuStateTable {
+    states: Vec<CoreActivity>,
+}
+
+impl CpuStateTable {
+    /// Creates a table of `cores` entries, all idle with no known
+    /// preemption (free time = infinity is represented by `Nanos::MAX`).
+    pub fn new(cores: usize) -> Self {
+        CpuStateTable {
+            states: vec![
+                CoreActivity::Idle {
+                    next_preemption: Nanos(u64::MAX),
+                };
+                cores
+            ],
+        }
+    }
+
+    /// Number of cores tracked.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the table tracks no cores.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Current state of a core.
+    pub fn get(&self, core: usize) -> CoreActivity {
+        self.states[core]
+    }
+
+    /// Marks a core active until `busy_until`.
+    pub fn set_active(&mut self, core: usize, busy_until: Nanos) {
+        self.states[core] = CoreActivity::Active { busy_until };
+    }
+
+    /// Marks a core idle until its next known preemption.
+    pub fn set_idle(&mut self, core: usize, next_preemption: Nanos) {
+        self.states[core] = CoreActivity::Idle { next_preemption };
+    }
+
+    /// Free-time budget `fck` of a core at time `now`: the remaining idle
+    /// window, or zero for active cores.
+    pub fn free_time(&self, core: usize, now: Nanos) -> Nanos {
+        match self.states[core] {
+            CoreActivity::Active { .. } => Nanos::ZERO,
+            CoreActivity::Idle { next_preemption } => next_preemption.saturating_sub(now),
+        }
+    }
+
+    /// All idle cores except `exclude`, with their free time at `now`,
+    /// largest budget first — the candidate list for Algorithm 1.
+    pub fn idle_cores(&self, now: Nanos, exclude: usize) -> Vec<(usize, Nanos)> {
+        let mut v: Vec<(usize, Nanos)> = (0..self.states.len())
+            .filter(|&c| c != exclude)
+            .filter_map(|c| {
+                let f = self.free_time(c, now);
+                (f > Nanos::ZERO).then_some((c, f))
+            })
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_is_all_idle() {
+        let t = CpuStateTable::new(4);
+        assert_eq!(t.len(), 4);
+        for c in 0..4 {
+            assert!(t.free_time(c, Nanos::from_ms(1)) > Nanos::from_ms(1000));
+        }
+    }
+
+    #[test]
+    fn active_core_has_zero_free_time() {
+        let mut t = CpuStateTable::new(2);
+        t.set_active(0, Nanos::from_ms(5));
+        assert_eq!(t.free_time(0, Nanos::from_ms(1)), Nanos::ZERO);
+        assert_eq!(
+            t.get(0),
+            CoreActivity::Active {
+                busy_until: Nanos::from_ms(5)
+            }
+        );
+    }
+
+    #[test]
+    fn idle_budget_shrinks_with_time() {
+        let mut t = CpuStateTable::new(1);
+        t.set_idle(0, Nanos::from_us(2000));
+        assert_eq!(t.free_time(0, Nanos::from_us(500)), Nanos::from_us(1500));
+        assert_eq!(t.free_time(0, Nanos::from_us(2000)), Nanos::ZERO);
+        assert_eq!(t.free_time(0, Nanos::from_us(9999)), Nanos::ZERO);
+    }
+
+    #[test]
+    fn idle_cores_excludes_self_and_sorts_by_budget() {
+        let mut t = CpuStateTable::new(4);
+        t.set_idle(0, Nanos::from_us(100)); // the requester
+        t.set_idle(1, Nanos::from_us(300));
+        t.set_active(2, Nanos::from_us(500));
+        t.set_idle(3, Nanos::from_us(900));
+        let now = Nanos::ZERO;
+        let idle = t.idle_cores(now, 0);
+        assert_eq!(
+            idle,
+            vec![(3, Nanos::from_us(900)), (1, Nanos::from_us(300))]
+        );
+    }
+
+    #[test]
+    fn expired_idle_windows_are_filtered() {
+        let mut t = CpuStateTable::new(2);
+        t.set_idle(0, Nanos::from_us(100));
+        t.set_idle(1, Nanos::from_us(100));
+        assert!(t.idle_cores(Nanos::from_us(100), 5).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_core_id() {
+        let mut t = CpuStateTable::new(3);
+        t.set_idle(0, Nanos::from_us(100));
+        t.set_idle(1, Nanos::from_us(100));
+        t.set_idle(2, Nanos::from_us(100));
+        let idle = t.idle_cores(Nanos::ZERO, 99);
+        assert_eq!(
+            idle.iter().map(|&(c, _)| c).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+}

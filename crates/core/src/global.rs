@@ -1,0 +1,205 @@
+//! The global scheduler's shared queue (§3.1.2).
+//!
+//! "We utilize a single queue shared across basestations … realized with a
+//! fixed-size ring-buffer that holds the incoming subframes. A scheduling
+//! thread … dispatches subframes from the queue to the available cores
+//! according to EDF schedule. Note that EDF is equivalent to FIFO when all
+//! basestations have the same transport delay."
+
+use crate::task::SubframeTask;
+use crate::time::Nanos;
+use std::collections::VecDeque;
+
+/// Dispatch priority of the global scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// First-in-first-out (arrival order).
+    Fifo,
+    /// Earliest-deadline-first.
+    Edf,
+}
+
+/// The fixed-capacity shared subframe queue.
+#[derive(Clone, Debug)]
+pub struct GlobalQueue {
+    policy: QueuePolicy,
+    capacity: usize,
+    items: VecDeque<SubframeTask>,
+    /// Subframes evicted because the ring buffer was full.
+    pub overflowed: u64,
+}
+
+impl GlobalQueue {
+    /// Creates a queue with the given policy and ring-buffer capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(policy: QueuePolicy, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        GlobalQueue {
+            policy,
+            capacity,
+            items: VecDeque::with_capacity(capacity),
+            overflowed: 0,
+        }
+    }
+
+    /// The dispatch policy.
+    pub fn policy(&self) -> QueuePolicy {
+        self.policy
+    }
+
+    /// Tasks currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Enqueues an arriving subframe. When the ring buffer is full the
+    /// *oldest* entry is overwritten (returned for accounting), matching
+    /// ring-buffer transport semantics.
+    pub fn push(&mut self, task: SubframeTask) -> Option<SubframeTask> {
+        let evicted = if self.items.len() == self.capacity {
+            self.overflowed += 1;
+            self.items.pop_front()
+        } else {
+            None
+        };
+        self.items.push_back(task);
+        evicted
+    }
+
+    /// Dispatches the next subframe per the policy, or `None` when empty.
+    pub fn pop(&mut self) -> Option<SubframeTask> {
+        match self.policy {
+            QueuePolicy::Fifo => self.items.pop_front(),
+            QueuePolicy::Edf => {
+                let idx = self
+                    .items
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, t)| (t.deadline, *i))?
+                    .0;
+                self.items.remove(idx)
+            }
+        }
+    }
+
+    /// Removes and returns every queued task whose deadline can no longer
+    /// be met even if dispatched at `now` (the §3.1.2 drop: a late task is
+    /// terminated so the core can serve feasible work).
+    pub fn drop_hopeless(&mut self, now: Nanos) -> Vec<SubframeTask> {
+        let mut dropped = Vec::new();
+        self.items.retain(|t| {
+            if t.laxity(now).is_none() {
+                dropped.push(*t);
+                false
+            } else {
+                true
+            }
+        });
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{StageProfile, TaskProfile};
+
+    fn task(bs: usize, idx: u64, release_us: u64, deadline_us: u64) -> SubframeTask {
+        let stage = StageProfile {
+            subtasks: 1,
+            subtask: Nanos::from_us(100),
+        };
+        SubframeTask {
+            bs_id: bs,
+            subframe_index: idx,
+            release: Nanos::from_us(release_us),
+            deadline: Nanos::from_us(deadline_us),
+            mcs: 10,
+            crc_ok: true,
+            profile: TaskProfile {
+                fft: stage,
+                demod: Nanos::from_us(100),
+                decode: stage,
+                platform_extra: Nanos::ZERO,
+            },
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let mut q = GlobalQueue::new(QueuePolicy::Fifo, 8);
+        q.push(task(0, 0, 0, 5000));
+        q.push(task(1, 0, 1, 4000));
+        q.push(task(0, 1, 2, 3000));
+        assert_eq!(q.pop().unwrap().bs_id, 0);
+        assert_eq!(q.pop().unwrap().bs_id, 1);
+        assert_eq!(q.pop().unwrap().subframe_index, 1);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn edf_picks_earliest_deadline() {
+        let mut q = GlobalQueue::new(QueuePolicy::Edf, 8);
+        q.push(task(0, 0, 0, 5000));
+        q.push(task(1, 0, 1, 3000));
+        q.push(task(2, 0, 2, 4000));
+        assert_eq!(q.pop().unwrap().bs_id, 1);
+        assert_eq!(q.pop().unwrap().bs_id, 2);
+        assert_eq!(q.pop().unwrap().bs_id, 0);
+    }
+
+    #[test]
+    fn edf_equals_fifo_at_equal_transport_delay() {
+        // §3.1.2: same per-subframe budget ⇒ deadlines ordered by arrival.
+        let mut fifo = GlobalQueue::new(QueuePolicy::Fifo, 8);
+        let mut edf = GlobalQueue::new(QueuePolicy::Edf, 8);
+        for i in 0..5u64 {
+            let t = task((i % 2) as usize, i, i * 1000, i * 1000 + 1500);
+            fifo.push(t);
+            edf.push(t);
+        }
+        for _ in 0..5 {
+            assert_eq!(
+                fifo.pop().unwrap().subframe_index,
+                edf.pop().unwrap().subframe_index
+            );
+        }
+    }
+
+    #[test]
+    fn ring_buffer_overwrites_oldest() {
+        let mut q = GlobalQueue::new(QueuePolicy::Fifo, 2);
+        assert!(q.push(task(0, 0, 0, 100)).is_none());
+        assert!(q.push(task(0, 1, 1, 101)).is_none());
+        let evicted = q.push(task(0, 2, 2, 102)).unwrap();
+        assert_eq!(evicted.subframe_index, 0);
+        assert_eq!(q.overflowed, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drop_hopeless_removes_only_infeasible() {
+        let mut q = GlobalQueue::new(QueuePolicy::Edf, 8);
+        // Profile totals 300 µs; deadline 350 µs ⇒ feasible at now = 0,
+        // hopeless at now = 100.
+        q.push(task(0, 0, 0, 350));
+        q.push(task(1, 0, 0, 10_000));
+        let dropped = q.drop_hopeless(Nanos::from_us(100));
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].bs_id, 0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        GlobalQueue::new(QueuePolicy::Fifo, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # rtopex-core — the RT-OPEX scheduling framework
+//!
+//! The paper's contribution (§3), reproduced as a substrate-agnostic
+//! library: the same types and algorithms drive both the discrete-event
+//! simulator (`rtopex-sim`) and the real pinned-thread runtime
+//! (`rtopex-runtime`).
+//!
+//! * [`time`] — integer-nanosecond time base with µs/ms conversions;
+//! * [`budget`] — the end-to-end deadline arithmetic of Eq. (2)/(3):
+//!   `T_rxproc ≤ T_max := 2 ms − RTT/2`;
+//! * [`task`] — the execution profile of one subframe-processing task,
+//!   split into the Fig. 5 stages (FFT / demod / decode subtasks);
+//! * [`partitioned`] — §3.1.1: offline core assignment
+//!   `core(i, j) = i·⌈T_max⌉ + (j mod ⌈T_max⌉)`;
+//! * [`global`] — §3.1.2: shared-queue dispatch with FIFO/EDF priority;
+//! * [`migration`] — §3.2, Algorithm 1: how many subtasks to migrate to
+//!   each idle core, under requirements R1–R3;
+//! * [`cpu_state`] — the shared per-core activity table RT-OPEX polls to
+//!   find idle cycles and their remaining duration;
+//! * [`state`] — the processing-thread state machine of Fig. 12;
+//! * [`metrics`] — deadline-miss, gap, and migration accounting
+//!   (the raw material of Figs. 15–19).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod cpu_state;
+pub mod global;
+pub mod metrics;
+pub mod migration;
+pub mod partitioned;
+pub mod state;
+pub mod task;
+pub mod time;
+
+pub use budget::Budget;
+pub use migration::{plan_migration, MigrationPlan};
+pub use task::{StageProfile, SubframeTask, TaskProfile};
+pub use time::Nanos;

@@ -1,0 +1,234 @@
+//! Deadline, gap, and migration accounting — the raw material of the
+//! paper's Figures 15–19.
+
+use crate::time::Nanos;
+use rtopex_model::stats::{MissRate, Samples};
+use rtopex_phy::tasks::TaskKind;
+
+/// Per-basestation and aggregate deadline outcomes (Fig. 15, Fig. 17).
+#[derive(Clone, Debug)]
+pub struct DeadlineMetrics {
+    per_bs: Vec<MissRate>,
+}
+
+impl DeadlineMetrics {
+    /// Creates metrics for `num_bs` basestations.
+    pub fn new(num_bs: usize) -> Self {
+        DeadlineMetrics {
+            per_bs: vec![MissRate::default(); num_bs],
+        }
+    }
+
+    /// Records one subframe outcome for a basestation.
+    ///
+    /// # Panics
+    /// Panics if `bs` is out of range.
+    pub fn record(&mut self, bs: usize, missed: bool) {
+        self.per_bs[bs].record(missed);
+    }
+
+    /// A basestation's miss rate.
+    pub fn bs_rate(&self, bs: usize) -> f64 {
+        self.per_bs[bs].rate()
+    }
+
+    /// Aggregate miss rate across basestations.
+    pub fn overall(&self) -> MissRate {
+        let mut total = MissRate::default();
+        for m in &self.per_bs {
+            total.merge(m);
+        }
+        total
+    }
+
+    /// Total subframes recorded.
+    pub fn total_subframes(&self) -> u64 {
+        self.overall().total()
+    }
+}
+
+/// Distribution of idle gaps on partitioned cores (Fig. 16, left).
+#[derive(Clone, Debug, Default)]
+pub struct GapTracker {
+    gaps_us: Samples,
+}
+
+impl GapTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one idle gap.
+    pub fn record(&mut self, gap: Nanos) {
+        self.gaps_us.push(gap.as_us_f64());
+    }
+
+    /// Number of gaps recorded.
+    pub fn count(&self) -> usize {
+        self.gaps_us.len()
+    }
+
+    /// Fraction of gaps at least `threshold` long (Fig. 16 reports that
+    /// ≥ 60 % of gaps exceed 500 µs at low transport latency).
+    pub fn fraction_at_least(&mut self, threshold: Nanos) -> f64 {
+        if self.gaps_us.is_empty() {
+            return 0.0;
+        }
+        let t = threshold.as_us_f64();
+        self.gaps_us.ccdf_at(t - 1e-9)
+    }
+
+    /// Median gap in µs.
+    pub fn median_us(&mut self) -> f64 {
+        self.gaps_us.median()
+    }
+
+    /// Access to the raw samples (µs) for CDF plots.
+    pub fn samples(&mut self) -> &mut Samples {
+        &mut self.gaps_us
+    }
+}
+
+/// Counts of migrated vs. total subtasks per task kind (Fig. 16, right),
+/// plus recovery events (the §3.2 straggler path).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MigrationStats {
+    /// Total FFT subtasks processed.
+    pub fft_total: u64,
+    /// FFT subtasks executed on a remote (migrated-to) core.
+    pub fft_migrated: u64,
+    /// Total decode subtasks processed.
+    pub decode_total: u64,
+    /// Decode subtasks executed on a remote core.
+    pub decode_migrated: u64,
+    /// Migrated subtasks whose results were not ready in time and had to
+    /// be recomputed locally.
+    pub recoveries: u64,
+    /// Whole tasks moved to another core (semi-partitioned scheduling —
+    /// the task-granularity baseline RT-OPEX's subtask granularity beats).
+    pub whole_tasks: u64,
+}
+
+impl MigrationStats {
+    /// Records a stage execution: `migrated` of `total` subtasks offloaded.
+    pub fn record_stage(&mut self, kind: TaskKind, total: usize, migrated: usize) {
+        debug_assert!(migrated <= total);
+        match kind {
+            TaskKind::Fft => {
+                self.fft_total += total as u64;
+                self.fft_migrated += migrated as u64;
+            }
+            TaskKind::Decode => {
+                self.decode_total += total as u64;
+                self.decode_migrated += migrated as u64;
+            }
+            TaskKind::Demod => {}
+        }
+    }
+
+    /// Records straggler recoveries.
+    pub fn record_recovery(&mut self, count: usize) {
+        self.recoveries += count as u64;
+    }
+
+    /// Records a whole-task migration (semi-partitioned scheduling).
+    pub fn record_whole_task(&mut self) {
+        self.whole_tasks += 1;
+    }
+
+    /// Fraction of FFT subtasks migrated.
+    pub fn fft_fraction(&self) -> f64 {
+        fraction(self.fft_migrated, self.fft_total)
+    }
+
+    /// Fraction of decode subtasks migrated.
+    pub fn decode_fraction(&self) -> f64 {
+        fraction(self.decode_migrated, self.decode_total)
+    }
+
+    /// Merges another accumulator.
+    pub fn merge(&mut self, other: &MigrationStats) {
+        self.fft_total += other.fft_total;
+        self.fft_migrated += other.fft_migrated;
+        self.decode_total += other.decode_total;
+        self.decode_migrated += other.decode_migrated;
+        self.recoveries += other.recoveries;
+        self.whole_tasks += other.whole_tasks;
+    }
+}
+
+fn fraction(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_metrics_aggregate() {
+        let mut m = DeadlineMetrics::new(2);
+        for i in 0..100 {
+            m.record(0, i % 10 == 0); // 10% misses
+            m.record(1, false);
+        }
+        assert!((m.bs_rate(0) - 0.1).abs() < 1e-12);
+        assert_eq!(m.bs_rate(1), 0.0);
+        assert!((m.overall().rate() - 0.05).abs() < 1e-12);
+        assert_eq!(m.total_subframes(), 200);
+    }
+
+    #[test]
+    fn gap_tracker_fractions() {
+        let mut g = GapTracker::new();
+        for us in [100u64, 300, 500, 700, 900] {
+            g.record(Nanos::from_us(us));
+        }
+        assert_eq!(g.count(), 5);
+        // Gaps ≥ 500 µs: 3 of 5.
+        assert!((g.fraction_at_least(Nanos::from_us(500)) - 0.6).abs() < 1e-9);
+        assert_eq!(g.median_us(), 500.0);
+    }
+
+    #[test]
+    fn empty_gap_tracker_is_safe() {
+        let mut g = GapTracker::new();
+        assert_eq!(g.fraction_at_least(Nanos::from_us(1)), 0.0);
+    }
+
+    #[test]
+    fn migration_stats_fractions() {
+        let mut s = MigrationStats::default();
+        s.record_stage(TaskKind::Fft, 2, 1);
+        s.record_stage(TaskKind::Fft, 2, 0);
+        s.record_stage(TaskKind::Decode, 6, 3);
+        s.record_stage(TaskKind::Demod, 12, 0); // ignored
+        assert!((s.fft_fraction() - 0.25).abs() < 1e-12);
+        assert!((s.decode_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migration_stats_merge() {
+        let mut a = MigrationStats::default();
+        a.record_stage(TaskKind::Decode, 6, 2);
+        a.record_recovery(1);
+        let mut b = MigrationStats::default();
+        b.record_stage(TaskKind::Decode, 6, 4);
+        b.merge(&a);
+        assert_eq!(b.decode_total, 12);
+        assert_eq!(b.decode_migrated, 6);
+        assert_eq!(b.recoveries, 1);
+    }
+
+    #[test]
+    fn zero_denominator_fraction_is_zero() {
+        let s = MigrationStats::default();
+        assert_eq!(s.fft_fraction(), 0.0);
+        assert_eq!(s.decode_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The RT-OPEX processing-thread state machine — Fig. 12 of the paper.
+//!
+//! A processing thread alternates between a **waiting** side (hosting
+//! migrated subtasks from other cores) and an **active** side (processing
+//! its own subframe, possibly migrating parts of it away and recovering
+//! stragglers). This module encodes the states and the legal transitions;
+//! the simulator and runtime both drive their threads through it, and a
+//! property test checks the machine can neither deadlock nor take an
+//! undeclared edge.
+
+use serde::{Deserialize, Serialize};
+
+/// States of a processing thread (numbered as in Fig. 12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// (1) Waiting for a migrated subtask (or a new subframe).
+    WaitMigrated,
+    /// (2) Executing a subtask migrated from another core.
+    PerformMigrated,
+    /// (3) A new subframe was received; about to start processing.
+    ReceivedSubframe,
+    /// (4) Processing the subframe's tasks.
+    Process,
+    /// (5) Parallelizable task reached: migrating subtasks to idle cores.
+    MigrateTask,
+    /// (6) Recovering migrated subtasks whose results are not ready.
+    Recovery,
+    /// (7) Deadline check done; emitting ACK/NACK.
+    AckNack,
+}
+
+/// Events that drive the state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreadEvent {
+    /// A migrated subtask arrived from another core.
+    MigratedTaskArrived,
+    /// The hosted migrated subtask completed (result ready).
+    MigratedTaskDone,
+    /// The transport signalled a new subframe (preemption).
+    NewSubframe,
+    /// Processing reached a parallelizable task with idle cores available.
+    ParallelStageReached,
+    /// All migrated subtasks reported results ready.
+    ResultsReady,
+    /// At least one migrated subtask's result was not ready.
+    ResultsNotReady,
+    /// Recovery finished recomputing the stragglers.
+    RecoveryDone,
+    /// All tasks of the subframe completed (or the deadline forced a stop).
+    ProcessingComplete,
+    /// The ACK/NACK was sent.
+    ResponseSent,
+}
+
+impl ThreadState {
+    /// The legal transition for `event` in this state, or `None` if the
+    /// edge does not exist in Fig. 12.
+    pub fn on(self, event: ThreadEvent) -> Option<ThreadState> {
+        use ThreadEvent::*;
+        use ThreadState::*;
+        match (self, event) {
+            // Waiting side.
+            (WaitMigrated, MigratedTaskArrived) => Some(PerformMigrated),
+            (WaitMigrated, NewSubframe) => Some(ReceivedSubframe),
+            (PerformMigrated, MigratedTaskDone) => Some(WaitMigrated),
+            // Preempted mid-subtask: result not ready, switch to active.
+            (PerformMigrated, NewSubframe) => Some(ReceivedSubframe),
+            // Active side.
+            (ReceivedSubframe, ProcessingComplete) => Some(AckNack), // degenerate empty task
+            (ReceivedSubframe, ParallelStageReached) => Some(MigrateTask),
+            (ReceivedSubframe, NewSubframe) => Some(ReceivedSubframe), // overrun: keep newest
+            (Process, ParallelStageReached) => Some(MigrateTask),
+            (Process, ProcessingComplete) => Some(AckNack),
+            (MigrateTask, ResultsReady) => Some(Process),
+            (MigrateTask, ResultsNotReady) => Some(Recovery),
+            (Recovery, RecoveryDone) => Some(Process),
+            (AckNack, ResponseSent) => Some(WaitMigrated),
+            // Every other (state, event) pair is not an edge of Fig. 12.
+            _ => None,
+        }
+    }
+
+    /// True for the waiting-side states in which the thread may host
+    /// migrated subtasks.
+    pub fn can_host_migration(self) -> bool {
+        matches!(
+            self,
+            ThreadState::WaitMigrated | ThreadState::PerformMigrated
+        )
+    }
+
+    /// True for the active-side states (the thread owns a subframe).
+    pub fn is_active(self) -> bool {
+        matches!(
+            self,
+            ThreadState::ReceivedSubframe
+                | ThreadState::Process
+                | ThreadState::MigrateTask
+                | ThreadState::Recovery
+                | ThreadState::AckNack
+        )
+    }
+}
+
+/// Helper: start processing after `ReceivedSubframe` (the implicit
+/// 3→4 edge of Fig. 12, taken unconditionally).
+pub fn begin_processing(state: ThreadState) -> Option<ThreadState> {
+    (state == ThreadState::ReceivedSubframe).then_some(ThreadState::Process)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ThreadEvent::*;
+    use ThreadState::*;
+
+    #[test]
+    fn happy_path_with_migration() {
+        // Fig. 12's main loop: wait → receive → process → migrate →
+        // results ready → process → complete → ack → wait.
+        let mut s = WaitMigrated;
+        s = s.on(NewSubframe).unwrap();
+        s = begin_processing(s).unwrap();
+        s = s.on(ParallelStageReached).unwrap();
+        s = s.on(ResultsReady).unwrap();
+        s = s.on(ProcessingComplete).unwrap();
+        s = s.on(ResponseSent).unwrap();
+        assert_eq!(s, WaitMigrated);
+    }
+
+    #[test]
+    fn recovery_path() {
+        let mut s = Process;
+        s = s.on(ParallelStageReached).unwrap();
+        s = s.on(ResultsNotReady).unwrap();
+        assert_eq!(s, Recovery);
+        s = s.on(RecoveryDone).unwrap();
+        assert_eq!(s, Process);
+    }
+
+    #[test]
+    fn hosting_side_paths() {
+        // Migrated work completes before preemption.
+        assert_eq!(WaitMigrated.on(MigratedTaskArrived), Some(PerformMigrated));
+        assert_eq!(PerformMigrated.on(MigratedTaskDone), Some(WaitMigrated));
+        // Preempted mid-migrated-subtask: abandon it, go active.
+        assert_eq!(PerformMigrated.on(NewSubframe), Some(ReceivedSubframe));
+    }
+
+    #[test]
+    fn active_thread_cannot_host() {
+        for s in [ReceivedSubframe, Process, MigrateTask, Recovery, AckNack] {
+            assert!(!s.can_host_migration(), "{s:?}");
+            assert!(s.is_active());
+        }
+        assert!(WaitMigrated.can_host_migration());
+        assert!(!WaitMigrated.is_active());
+    }
+
+    #[test]
+    fn illegal_edges_rejected() {
+        assert!(Process.on(MigratedTaskArrived).is_none());
+        assert!(Recovery.on(ResultsReady).is_none());
+        assert!(AckNack.on(NewSubframe).is_none());
+        assert!(WaitMigrated.on(ResultsNotReady).is_none());
+    }
+
+    #[test]
+    fn every_state_has_an_exit() {
+        // No deadlock: every state has at least one event it accepts (or,
+        // for ReceivedSubframe, the implicit begin_processing edge).
+        let events = [
+            MigratedTaskArrived,
+            MigratedTaskDone,
+            NewSubframe,
+            ParallelStageReached,
+            ResultsReady,
+            ResultsNotReady,
+            RecoveryDone,
+            ProcessingComplete,
+            ResponseSent,
+        ];
+        for s in [
+            WaitMigrated,
+            PerformMigrated,
+            ReceivedSubframe,
+            Process,
+            MigrateTask,
+            Recovery,
+            AckNack,
+        ] {
+            let has_exit =
+                events.iter().any(|&e| s.on(e).is_some()) || begin_processing(s).is_some();
+            assert!(has_exit, "{s:?} is a dead end");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transitions_stay_in_machine(walk in proptest::collection::vec(0usize..9, 0..64)) {
+            let events = [
+                MigratedTaskArrived, MigratedTaskDone, NewSubframe,
+                ParallelStageReached, ResultsReady, ResultsNotReady,
+                RecoveryDone, ProcessingComplete, ResponseSent,
+            ];
+            let mut s = WaitMigrated;
+            for idx in walk {
+                if let Some(next) = s.on(events[idx]) {
+                    s = next;
+                } else if let Some(next) = begin_processing(s) {
+                    // Take the implicit edge when the event was illegal.
+                    s = next;
+                }
+                // Invariant: hosting and active are mutually exclusive.
+                prop_assert!(!(s.can_host_migration() && s.is_active()));
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The execution profile of one subframe-processing task.
+//!
+//! A task (= decode one basestation's subframe, §2.2/Fig. 5) runs three
+//! sequential stages. The FFT and decode stages consist of independent
+//! subtasks with deterministic per-subtask times — the granularity
+//! RT-OPEX migrates; the demod stage is modeled as serial (the paper
+//! migrates FFT and decode subtasks, Figs. 16/18).
+
+use crate::time::Nanos;
+use rtopex_model::tasks::TaskTimeModel;
+use rtopex_phy::tasks::TaskKind;
+use serde::{Deserialize, Serialize};
+
+/// A parallelizable stage: `subtasks` units of `subtask` time each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Number of independent subtasks `P`.
+    pub subtasks: usize,
+    /// Deterministic per-subtask execution time `tp`.
+    pub subtask: Nanos,
+}
+
+impl StageProfile {
+    /// Serial execution time of the whole stage.
+    pub fn total(&self) -> Nanos {
+        Nanos(self.subtask.0 * self.subtasks as u64)
+    }
+}
+
+/// Complete execution profile of one subframe task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskProfile {
+    /// FFT stage (one subtask per antenna batch).
+    pub fft: StageProfile,
+    /// Demod stage, executed serially by the owning thread.
+    pub demod: Nanos,
+    /// Decode stage (one subtask per code block).
+    pub decode: StageProfile,
+    /// Platform error term `E` — extra serial time from kernel noise.
+    pub platform_extra: Nanos,
+}
+
+impl TaskProfile {
+    /// Builds a profile from the analytical model.
+    ///
+    /// * `n_antennas`, `qm`, `d_load`, `iters` — the Eq. (1) inputs;
+    /// * `code_blocks` — decode subtask count `C`;
+    /// * `extra_us` — sampled platform error `E` (clamped at 0 from below:
+    ///   negative model error is absorbed rather than crediting time).
+    pub fn from_model(
+        model: &TaskTimeModel,
+        n_antennas: usize,
+        qm: usize,
+        d_load: f64,
+        iters: f64,
+        code_blocks: usize,
+        extra_us: f64,
+    ) -> Self {
+        let (fft_n, fft_tp) = model.fft_subtasks(n_antennas);
+        let (dec_n, dec_tp) = model.decode_subtasks(d_load, iters, code_blocks);
+        TaskProfile {
+            fft: StageProfile {
+                subtasks: fft_n,
+                subtask: Nanos::from_us_f64(fft_tp),
+            },
+            demod: Nanos::from_us_f64(model.demod_total(n_antennas, qm)),
+            decode: StageProfile {
+                subtasks: dec_n,
+                subtask: Nanos::from_us_f64(dec_tp),
+            },
+            platform_extra: Nanos::from_us_f64(extra_us),
+        }
+    }
+
+    /// Serial (single-core, no-migration) execution time of the task —
+    /// the baseline `T_rxproc` of Eq. (1).
+    pub fn total(&self) -> Nanos {
+        self.fft.total() + self.demod + self.decode.total() + self.platform_extra
+    }
+
+    /// The stage profile for a parallelizable task kind.
+    ///
+    /// Returns `None` for [`TaskKind::Demod`], which this profile treats
+    /// as serial.
+    pub fn stage(&self, kind: TaskKind) -> Option<StageProfile> {
+        match kind {
+            TaskKind::Fft => Some(self.fft),
+            TaskKind::Demod => None,
+            TaskKind::Decode => Some(self.decode),
+        }
+    }
+}
+
+/// One subframe-processing task instance, as the schedulers see it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubframeTask {
+    /// Which basestation the subframe belongs to.
+    pub bs_id: usize,
+    /// Subframe counter within the basestation's stream.
+    pub subframe_index: u64,
+    /// When the transport made the subframe available to processing.
+    pub release: Nanos,
+    /// Absolute processing deadline (release + `T_max`).
+    pub deadline: Nanos,
+    /// The subframe's MCS index (drives cache/profile bookkeeping).
+    pub mcs: u8,
+    /// Whether the (modeled) decode ends in CRC success.
+    pub crc_ok: bool,
+    /// Execution profile.
+    pub profile: TaskProfile,
+}
+
+impl SubframeTask {
+    /// Laxity at time `now`: deadline minus now minus remaining serial
+    /// work; negative laxity (returned as `None`) means the task cannot
+    /// finish in time even undisturbed.
+    pub fn laxity(&self, now: Nanos) -> Option<Nanos> {
+        let finish = now + self.profile.total();
+        self.deadline.checked_sub(finish)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> TaskProfile {
+        TaskProfile::from_model(&TaskTimeModel::paper_gpp(), 2, 6, 3.774, 2.0, 6, 50.0)
+    }
+
+    #[test]
+    fn totals_match_model() {
+        let p = profile();
+        let m = TaskTimeModel::paper_gpp();
+        let want = m.subframe_total(2, 6, 3.774, 2.0) + 50.0;
+        let got = p.total().as_us_f64();
+        assert!((got - want).abs() < 0.01, "{got} vs {want}");
+    }
+
+    #[test]
+    fn paper_fig5_shape() {
+        let p = profile();
+        assert_eq!(p.fft.subtasks, 2); // one per antenna
+        assert_eq!(p.decode.subtasks, 6); // MCS 27 → 6 code blocks
+        assert!(p.fft.subtask.as_us_f64() > 100.0); // ≈ 108 µs
+        assert!(p.decode.subtask.as_us_f64() > 100.0); // ≈ 117 µs at L=2
+    }
+
+    #[test]
+    fn negative_error_clamped() {
+        let p = TaskProfile::from_model(&TaskTimeModel::paper_gpp(), 1, 2, 0.2, 1.0, 1, -40.0);
+        assert_eq!(p.platform_extra, Nanos::ZERO);
+    }
+
+    #[test]
+    fn stage_lookup() {
+        let p = profile();
+        assert_eq!(p.stage(TaskKind::Fft), Some(p.fft));
+        assert_eq!(p.stage(TaskKind::Decode), Some(p.decode));
+        assert!(p.stage(TaskKind::Demod).is_none());
+    }
+
+    #[test]
+    fn laxity_math() {
+        let p = profile();
+        let t = SubframeTask {
+            bs_id: 0,
+            subframe_index: 0,
+            release: Nanos::ZERO,
+            deadline: Nanos::from_us(1500),
+            mcs: 27,
+            crc_ok: true,
+            profile: p,
+        };
+        // MCS 27 at L=2 is ≈ 1.37 ms + 50 µs: barely fits in 1.5 ms.
+        let lax = t.laxity(Nanos::ZERO);
+        assert!(lax.is_some());
+        assert!(lax.unwrap() < Nanos::from_us(120));
+        // Starting 200 µs late, it cannot make it.
+        assert!(t.laxity(Nanos::from_us(200)).is_none());
+    }
+
+    #[test]
+    fn stage_total_is_product() {
+        let s = StageProfile {
+            subtasks: 6,
+            subtask: Nanos::from_us(117),
+        };
+        assert_eq!(s.total(), Nanos::from_us(702));
+    }
+}

@@ -1,0 +1,153 @@
+//! Integer-nanosecond time base.
+//!
+//! The simulator and runtime account time in whole nanoseconds (`u64`),
+//! which is exact, totally ordered, and free of float-comparison hazards
+//! in the event queue; the analytical models speak microseconds (`f64`).
+//! [`Nanos`] is the bridge.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in time or a duration, in nanoseconds since experiment start.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Zero.
+    pub const ZERO: Nanos = Nanos(0);
+    /// One microsecond.
+    pub const US: Nanos = Nanos(1_000);
+    /// One millisecond — an LTE subframe period.
+    pub const MS: Nanos = Nanos(1_000_000);
+
+    /// From whole microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// From whole milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// From fractional microseconds (clamped below at zero, rounded).
+    pub fn from_us_f64(us: f64) -> Self {
+        Nanos((us.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    /// As fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction (durations never go negative).
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Nanos) -> Option<Nanos> {
+        self.0.checked_sub(rhs.0).map(Nanos)
+    }
+
+    /// The larger of two times.
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    /// # Panics
+    /// Panics on underflow in debug builds (wraps in release like `u64`).
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.1}µs", self.as_us_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Nanos::from_us(1500), Nanos(1_500_000));
+        assert_eq!(Nanos::from_ms(2), Nanos(2_000_000));
+        assert_eq!(Nanos::from_us_f64(0.5), Nanos(500));
+        assert!((Nanos(2_500_000).as_ms_f64() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_us_clamps_to_zero() {
+        assert_eq!(Nanos::from_us_f64(-5.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn saturating_and_checked_sub() {
+        assert_eq!(Nanos(5).saturating_sub(Nanos(10)), Nanos::ZERO);
+        assert_eq!(Nanos(10).checked_sub(Nanos(5)), Some(Nanos(5)));
+        assert_eq!(Nanos(5).checked_sub(Nanos(10)), None);
+    }
+
+    #[test]
+    fn ordering_and_arith() {
+        let a = Nanos::from_us(100);
+        let b = Nanos::from_us(200);
+        assert!(a < b);
+        assert_eq!(a + a, b);
+        assert_eq!(b - a, a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(format!("{}", Nanos(500)), "500ns");
+        assert_eq!(format!("{}", Nanos::from_us(42)), "42.0µs");
+        assert_eq!(format!("{}", Nanos::from_ms(3)), "3.000ms");
+    }
+}

@@ -1,0 +1,37 @@
+//! Measures the real PHY's per-subframe decode wall time on this machine
+//! across bandwidths and MCS — used to pick the runtime node's dilated
+//! subframe period (see rtopex-runtime's module docs).
+
+fn main() {
+    use rand::{Rng, SeedableRng};
+    use rtopex_phy::channel::*;
+    use rtopex_phy::params::Bandwidth;
+    use rtopex_phy::uplink::*;
+    for (bw, label) in [
+        (Bandwidth::Mhz1_4, "1.4MHz"),
+        (Bandwidth::Mhz5, "5MHz"),
+        (Bandwidth::Mhz10, "10MHz"),
+    ] {
+        for mcs in [5u8, 16, 27] {
+            let cfg = UplinkConfig::new(bw, 2, mcs).unwrap();
+            let tx = UplinkTx::new(cfg.clone());
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let p: Vec<u8> = (0..cfg.transport_block_bytes())
+                .map(|_| rng.gen())
+                .collect();
+            let sf = tx.encode_subframe(&p).unwrap();
+            let mut ch = AwgnChannel::new(30.0);
+            let rxs = ch.apply(&sf.samples, 2, &mut rng);
+            let rx = UplinkRx::new(cfg);
+            let t0 = std::time::Instant::now();
+            let n = 5;
+            for _ in 0..n {
+                std::hint::black_box(rx.decode_subframe(&rxs).unwrap());
+            }
+            println!(
+                "{label} MCS{mcs}: {:.1} us/subframe",
+                t0.elapsed().as_secs_f64() * 1e6 / n as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Shared options and helpers for the experiment modules.
+
+use rtopex_core::global::QueuePolicy;
+use rtopex_sim::{run, SchedulerKind, SimConfig};
+use rtopex_workload::Scenario;
+
+/// Command-line options common to all experiments.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Quick mode: fewer subframes / trials (CI-friendly).
+    pub quick: bool,
+    /// Seed override.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            quick: false,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+impl Opts {
+    /// Parses trailing CLI arguments (`--quick`, `--seed N`).
+    pub fn parse(args: &[String]) -> Self {
+        let mut opts = Opts::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--seed" => {
+                    opts.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                other => panic!("unknown option: {other}"),
+            }
+        }
+        opts
+    }
+
+    /// The evaluation scenario at this option level.
+    pub fn scenario(&self) -> Scenario {
+        let mut s = if self.quick {
+            let mut s = Scenario::paper_default();
+            s.subframes = 5_000;
+            s
+        } else {
+            Scenario::paper_default()
+        };
+        s.seed = self.seed;
+        s
+    }
+}
+
+/// The four schedulers compared throughout the evaluation.
+pub fn contenders() -> Vec<(&'static str, SchedulerKind)> {
+    vec![
+        ("partitioned", SchedulerKind::Partitioned),
+        (
+            "global-8",
+            SchedulerKind::Global {
+                cores: 8,
+                policy: QueuePolicy::Edf,
+            },
+        ),
+        (
+            "global-16",
+            SchedulerKind::Global {
+                cores: 16,
+                policy: QueuePolicy::Edf,
+            },
+        ),
+        ("rt-opex", SchedulerKind::RtOpex { delta_us: 20 }),
+    ]
+}
+
+/// Runs one simulator configuration and returns the miss rate.
+pub fn miss_rate(opts: &Opts, rtt_half_us: u64, sched: SchedulerKind) -> f64 {
+    let mut cfg = SimConfig::from_scenario(&opts.scenario(), rtt_half_us);
+    cfg.scheduler = sched;
+    run(&cfg).miss_rate()
+}
+
+/// Formats a rate for tabular output (scientific for small values).
+pub fn fmt_rate(r: f64) -> String {
+    if r == 0.0 {
+        "0".to_string()
+    } else if r < 0.01 {
+        format!("{r:.2e}")
+    } else {
+        format!("{r:.4}")
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str, paper_ref: &str) {
+    println!("\n=== {title} ===");
+    println!("    (reproduces {paper_ref})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let o = Opts::parse(&[]);
+        assert!(!o.quick);
+        let o = Opts::parse(&["--quick".into(), "--seed".into(), "7".into()]);
+        assert!(o.quick);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown option")]
+    fn unknown_flag_panics() {
+        Opts::parse(&["--frobnicate".into()]);
+    }
+
+    #[test]
+    fn quick_scenario_is_smaller() {
+        let q = Opts {
+            quick: true,
+            ..Opts::default()
+        };
+        assert!(q.scenario().subframes < Opts::default().scenario().subframes);
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(0.0), "0");
+        assert_eq!(fmt_rate(0.5), "0.5000");
+        assert!(fmt_rate(1.7e-4).contains('e'));
+    }
+
+    #[test]
+    fn four_contenders() {
+        assert_eq!(contenders().len(), 4);
+    }
+}

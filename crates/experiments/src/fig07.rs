@@ -1,0 +1,25 @@
+//! Fig. 7 — one-way transport latency vs. number of antennas.
+
+use crate::common::{header, Opts};
+use rtopex_phy::params::Bandwidth;
+use rtopex_transport::TestbedLink;
+
+/// Runs the experiment.
+pub fn run(_opts: &Opts) {
+    header("Fig. 7 — transport latency vs. antennas", "Fig. 7 (§2.3)");
+    let link = TestbedLink::paper_testbed();
+    println!("{:>9} {:>12} {:>12}", "antennas", "5MHz (µs)", "10MHz (µs)");
+    for n in [1usize, 2, 4, 8, 12, 16] {
+        println!(
+            "{:>9} {:>12.0} {:>12.0}",
+            n,
+            link.one_way_max_us(Bandwidth::Mhz5, n),
+            link.one_way_max_us(Bandwidth::Mhz10, n)
+        );
+    }
+    println!(
+        "max antennas at 10 MHz before exceeding the 1 ms period: {}",
+        link.max_supported_antennas(Bandwidth::Mhz10)
+    );
+    println!("paper: 620 µs max at 5 MHz; > 1 ms at 10 MHz; at most 8 antennas supported");
+}

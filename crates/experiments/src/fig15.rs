@@ -1,0 +1,100 @@
+//! Fig. 15 — the headline result: deadline-miss rate vs. transport latency
+//! for partitioned, global-8, global-16 and RT-OPEX.
+
+use crate::common::{contenders, fmt_rate, header, miss_rate, Opts};
+
+/// The RTT/2 sweep grid (µs), matching the paper's 0.4–0.7 ms range.
+pub const RTT_GRID: [u64; 7] = [400, 450, 500, 550, 600, 650, 700];
+
+/// Runs the sweep; returns `(rtt_half_us, [rates per contender])`.
+pub fn sweep(opts: &Opts) -> Vec<(u64, Vec<f64>)> {
+    RTT_GRID
+        .iter()
+        .map(|&rtt| {
+            let rates = contenders()
+                .into_iter()
+                .map(|(_, sched)| miss_rate(opts, rtt, sched))
+                .collect();
+            (rtt, rates)
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(opts: &Opts) {
+    header(
+        "Fig. 15 — deadline-miss rate vs. RTT/2",
+        "Fig. 15 (§4.3), the headline comparison",
+    );
+    let names: Vec<&str> = contenders().iter().map(|(n, _)| *n).collect();
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "RTT/2", names[0], names[1], names[2], names[3]
+    );
+    let results = sweep(opts);
+    for (rtt, rates) in &results {
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>12}",
+            format!("{rtt}µs"),
+            fmt_rate(rates[0]),
+            fmt_rate(rates[1]),
+            fmt_rate(rates[2]),
+            fmt_rate(rates[3])
+        );
+    }
+    // The paper's takeaways, checked on the spot.
+    let at = |rtt: u64| {
+        results
+            .iter()
+            .find(|(r, _)| *r == rtt)
+            .map(|(_, v)| v.clone())
+            .expect("grid point")
+    };
+    let low = at(400);
+    let high = at(700);
+    println!(
+        "takeaway 1 (RT-OPEX ≈ 0 below 500 µs): rt-opex @400 = {}",
+        fmt_rate(low[3])
+    );
+    println!(
+        "takeaway 2 (order-of-magnitude gap): @700µs partitioned/global = {} / {}, rt-opex = {} (×{:.0} better than partitioned)",
+        fmt_rate(high[0]),
+        fmt_rate(high[1]),
+        fmt_rate(high[3]),
+        high[0] / high[3].max(1e-9)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_shape_holds() {
+        let opts = Opts {
+            quick: true,
+            ..Opts::default()
+        };
+        let results = sweep(&opts);
+        for (rtt, rates) in &results {
+            let (part, g8, g16, rto) = (rates[0], rates[1], rates[2], rates[3]);
+            // RT-OPEX never worse than partitioned (paired workload).
+            assert!(rto <= part + 1e-9, "rtt {rtt}: rto {rto} vs part {part}");
+            // Global never better than partitioned by much; 16 cores never
+            // much better than 8 (Fig. 19's saturation).
+            assert!(g8 >= part * 0.5, "rtt {rtt}: g8 {g8} vs part {part}");
+            assert!(g16 >= g8 * 0.7, "rtt {rtt}: g16 {g16} vs g8 {g8}");
+        }
+        // Miss rate grows with transport latency for partitioned.
+        let first = results.first().unwrap().1[0];
+        let last = results.last().unwrap().1[0];
+        assert!(last > first, "partitioned flat: {first} → {last}");
+        // Order-of-magnitude claim at the high end.
+        let high = &results.last().unwrap().1;
+        assert!(
+            high[0] / high[3].max(1e-9) > 5.0,
+            "gap only ×{:.1}",
+            high[0] / high[3].max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Fig. 16 — gaps in the partitioned schedule and RT-OPEX's migrations.
+//!
+//! Left: the CDF of idle gaps on partitioned cores (≥ 60 % exceed 500 µs
+//! at low transport latency — the free cycles RT-OPEX harvests).
+//! Right: the fraction of FFT and decode subtasks RT-OPEX migrates as the
+//! transport latency varies.
+
+use crate::common::{header, Opts};
+use rtopex_core::time::Nanos;
+use rtopex_sim::{run as sim_run, SchedulerKind, SimConfig};
+
+/// Runs the experiment.
+pub fn run(opts: &Opts) {
+    header("Fig. 16 — gaps and migrations", "Fig. 16 (§4.3)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12} {:>12}",
+        "RTT/2", "gap p50 (µs)", "P(gap≥500µs)", "fft mig%", "dec mig%", "recoveries"
+    );
+    for rtt in [400u64, 500, 600, 700] {
+        // Gap statistics from the *partitioned* run (the gaps that exist
+        // before migration fills them).
+        let mut part = SimConfig::from_scenario(&opts.scenario(), rtt);
+        part.scheduler = SchedulerKind::Partitioned;
+        let mut part_report = sim_run(&part);
+
+        let mut rto = SimConfig::from_scenario(&opts.scenario(), rtt);
+        rto.scheduler = SchedulerKind::RtOpex { delta_us: 20 };
+        let rto_report = sim_run(&rto);
+
+        println!(
+            "{:>8} {:>14.0} {:>14.3} {:>12.3} {:>12.3} {:>12}",
+            format!("{rtt}µs"),
+            part_report.gaps.median_us(),
+            part_report.gaps.fraction_at_least(Nanos::from_us(500)),
+            rto_report.migration.fft_fraction(),
+            rto_report.migration.decode_fraction(),
+            rto_report.migration.recoveries,
+        );
+    }
+    println!("paper: >60 % of gaps exceed 500 µs at low latency; ~20 % of decode subtasks migrated,\n       decode migrations taper as gaps narrow while small FFT subtasks keep migrating");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtopex_core::time::Nanos;
+
+    #[test]
+    fn gaps_are_large_at_low_latency() {
+        let opts = Opts {
+            quick: true,
+            ..Opts::default()
+        };
+        let mut cfg = SimConfig::from_scenario(&opts.scenario(), 400);
+        cfg.scheduler = SchedulerKind::Partitioned;
+        let mut r = sim_run(&cfg);
+        assert!(
+            r.gaps.fraction_at_least(Nanos::from_us(500)) > 0.5,
+            "fraction {}",
+            r.gaps.fraction_at_least(Nanos::from_us(500))
+        );
+    }
+
+    #[test]
+    fn rtopex_migrates_both_kinds() {
+        let opts = Opts {
+            quick: true,
+            ..Opts::default()
+        };
+        let mut cfg = SimConfig::from_scenario(&opts.scenario(), 500);
+        cfg.scheduler = SchedulerKind::RtOpex { delta_us: 20 };
+        let r = sim_run(&cfg);
+        assert!(r.migration.fft_fraction() > 0.0);
+        assert!(r.migration.decode_fraction() > 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Table 2 — qualitative comparison of related C-RAN scheduling systems.
+
+use crate::common::{header, Opts};
+
+/// Runs the experiment (prints the paper's comparison matrix).
+pub fn run(_opts: &Opts) {
+    header("Table 2 — related scheduling approaches", "Table 2 (§5)");
+    println!(
+        "{:<14} {:>10} {:>18} {:>12}",
+        "system", "migration", "compute resources", "granularity"
+    );
+    for (name, mig, res, gran) in [
+        ("PRAN [31]", "yes", "dynamic", "subtask"),
+        ("CloudIQ [15]", "no", "fixed", "task"),
+        ("WiBench [34]", "no", "fixed", "subtask"),
+        ("BigStation [32]", "no", "fixed", "subtask"),
+        ("RT-OPEX", "yes", "fixed/dynamic", "subtask"),
+    ] {
+        println!("{name:<14} {mig:>10} {res:>18} {gran:>12}");
+    }
+    println!("RT-OPEX is the only approach combining runtime migration with subtask\ngranularity on either fixed or dynamic resources (work-stealing applied to C-RAN).");
+}

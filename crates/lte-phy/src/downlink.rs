@@ -1,0 +1,527 @@
+//! Downlink (PDSCH-style) processing — the paper's **Tx side**.
+//!
+//! The paper's Fig. 8 timeline reserves the last 1 ms of the HARQ loop for
+//! Tx processing: encoding the downlink subframe that carries the ACK/NACK
+//! and user data. Downlink processing is substantially cheaper than uplink
+//! (§2: "uplink … is significantly more time-consuming and varying than
+//! downlink") because encoding has no iterative decoder; this module makes
+//! that asymmetry measurable.
+//!
+//! The chain mirrors the uplink's coding path (CRC24A → segmentation →
+//! turbo → rate matching → scrambling → QAM) but uses plain OFDM (no DFT
+//! precoding) and **cell-specific reference signals** (CRS): scattered
+//! pilots on symbols 0/4 of each slot, every 6th subcarrier, frequency-
+//! shifted by the cell identity — the antenna-port-0 pattern of 36.211
+//! §6.10.1. A UE-side receiver with pilot interpolation is included so the
+//! chain is verifiable end to end.
+
+use crate::complex::Cf32;
+use crate::crc::{CRC24A, CRC24B};
+use crate::error::PhyError;
+use crate::mcs::Mcs;
+use crate::modulation::Modulation;
+use crate::params::{Bandwidth, SYMBOLS_PER_SLOT, SYMBOLS_PER_SUBFRAME};
+use crate::ratematch::RateMatcher;
+use crate::resource_grid::{Grid, OfdmProcessor};
+use crate::scramble::Scrambler;
+use crate::segmentation::Segmentation;
+use crate::turbo::{TurboDecoder, TurboEncoder};
+use crate::uplink::{bits_to_bytes, bytes_to_bits, RxOutput};
+use crate::zadoff_chu::dmrs_sequence;
+
+/// Strong "known zero" LLR clamped onto filler-bit positions.
+const FILLER_LLR: f32 = 100.0;
+
+/// Subframe symbols carrying CRS for antenna port 0 (l = 0, 4 per slot).
+pub const CRS_SYMBOLS: [usize; 4] = [0, 4, SYMBOLS_PER_SLOT, SYMBOLS_PER_SLOT + 4];
+
+/// CRS frequency stride: one pilot every 6th subcarrier.
+pub const CRS_STRIDE: usize = 6;
+
+/// Returns `true` if subframe symbol `l` carries CRS.
+pub const fn is_crs_symbol(l: usize) -> bool {
+    matches!(l % SYMBOLS_PER_SLOT, 0 | 4)
+}
+
+/// The pilot subcarrier offset for symbol `l` and a cell's shift:
+/// symbols 0 use `v = 0`, symbols 4 use `v = 3` (port 0), both shifted by
+/// `cell_id mod 6`.
+pub fn crs_offset(l: usize, cell_id: u16) -> usize {
+    let v = if l.is_multiple_of(SYMBOLS_PER_SLOT) { 0 } else { 3 };
+    (v + cell_id as usize) % CRS_STRIDE
+}
+
+/// Downlink configuration (single antenna port, full-band allocation).
+#[derive(Clone, Debug)]
+pub struct DownlinkConfig {
+    /// Channel bandwidth.
+    pub bandwidth: Bandwidth,
+    /// UE receive antennas (1–8).
+    pub num_antennas: usize,
+    /// Modulation and coding scheme (PDSCH shares the TBS table here).
+    pub mcs: Mcs,
+    /// Turbo-iteration cap at the UE.
+    pub max_turbo_iters: usize,
+    /// Cell identity (CRS shift, scrambling).
+    pub cell_id: u16,
+    seg: Segmentation,
+}
+
+impl DownlinkConfig {
+    /// Builds a configuration.
+    pub fn new(bandwidth: Bandwidth, num_antennas: usize, mcs_index: u8) -> Result<Self, PhyError> {
+        if !(1..=8).contains(&num_antennas) {
+            return Err(PhyError::InvalidConfig {
+                what: "num_antennas",
+                detail: format!("{num_antennas} not in 1..=8"),
+            });
+        }
+        let mcs = Mcs::new(mcs_index).ok_or_else(|| PhyError::InvalidConfig {
+            what: "mcs",
+            detail: format!("index {mcs_index} above 28"),
+        })?;
+        let tbs = mcs.transport_block_bits(bandwidth.num_prbs());
+        let seg = Segmentation::compute(tbs + 24)?;
+        Ok(DownlinkConfig {
+            bandwidth,
+            num_antennas,
+            mcs,
+            max_turbo_iters: crate::mcs::DEFAULT_MAX_TURBO_ITERS,
+            cell_id: 42,
+            seg,
+        })
+    }
+
+    /// Transport block size in bits.
+    pub fn tbs_bits(&self) -> usize {
+        self.mcs.transport_block_bits(self.bandwidth.num_prbs())
+    }
+
+    /// Transport block size in bytes.
+    pub fn transport_block_bytes(&self) -> usize {
+        self.tbs_bits() / 8
+    }
+
+    /// Pilots per CRS symbol.
+    pub fn pilots_per_symbol(&self) -> usize {
+        self.bandwidth.num_subcarriers() / CRS_STRIDE
+    }
+
+    /// Data resource elements: everything except the CRS.
+    pub fn data_res(&self) -> usize {
+        self.bandwidth.total_res() - CRS_SYMBOLS.len() * self.pilots_per_symbol()
+    }
+
+    /// Coded bits per subframe `G`.
+    pub fn coded_bits(&self) -> usize {
+        self.data_res() * self.mcs.modulation_order()
+    }
+
+    /// The code-block segmentation.
+    pub fn segmentation(&self) -> &Segmentation {
+        &self.seg
+    }
+
+    /// The modulation scheme.
+    pub fn modulation(&self) -> Modulation {
+        Modulation::from_order(self.mcs.modulation_order()).expect("valid Qm")
+    }
+
+    /// Per-code-block rate-matching sizes (multiples of Qm summing to G).
+    pub fn e_splits(&self) -> Vec<usize> {
+        let qm = self.mcs.modulation_order();
+        let c = self.seg.num_blocks;
+        let g_sym = self.coded_bits() / qm;
+        let gamma = g_sym % c;
+        (0..c)
+            .map(|r| {
+                if r < c - gamma {
+                    qm * (g_sym / c)
+                } else {
+                    qm * g_sym.div_ceil(c)
+                }
+            })
+            .collect()
+    }
+
+    /// Iterator over data RE coordinates `(symbol, subcarrier)` in mapping
+    /// order (symbol-major, skipping CRS positions).
+    fn data_positions(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let m = self.bandwidth.num_subcarriers();
+        let cell = self.cell_id;
+        (0..SYMBOLS_PER_SUBFRAME).flat_map(move |l| {
+            (0..m).filter_map(move |k| {
+                if is_crs_symbol(l) && k % CRS_STRIDE == crs_offset(l, cell) {
+                    None
+                } else {
+                    Some((l, k))
+                }
+            })
+        })
+    }
+}
+
+fn build_codecs(seg: &Segmentation) -> Vec<(usize, RateMatcher, TurboEncoder, TurboDecoder)> {
+    seg.block_sizes()
+        .into_iter()
+        .map(|k| {
+            let enc = TurboEncoder::new(k);
+            let dec = TurboDecoder::with_qpp(enc.qpp().clone());
+            (k, RateMatcher::new(k), enc, dec)
+        })
+        .collect()
+}
+
+/// Downlink transmitter (eNB side) — the Tx-processing workload of Fig. 8.
+#[derive(Clone, Debug)]
+pub struct DownlinkTx {
+    cfg: DownlinkConfig,
+    ofdm: OfdmProcessor,
+    scrambler: Scrambler,
+    pilots: Vec<Cf32>,
+    codecs: Vec<(usize, RateMatcher, TurboEncoder, TurboDecoder)>,
+}
+
+impl DownlinkTx {
+    /// Creates a transmitter.
+    pub fn new(cfg: DownlinkConfig) -> Self {
+        DownlinkTx {
+            ofdm: OfdmProcessor::new(cfg.bandwidth),
+            scrambler: Scrambler::new(0x4D00 | cfg.cell_id as u32, cfg.coded_bits()),
+            pilots: dmrs_sequence(cfg.cell_id as usize + 7, cfg.bandwidth.num_subcarriers()),
+            codecs: build_codecs(&cfg.seg),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DownlinkConfig {
+        &self.cfg
+    }
+
+    /// Encodes one downlink transport block into IQ samples.
+    pub fn encode_subframe(&self, payload: &[u8]) -> Result<Vec<Cf32>, PhyError> {
+        let cfg = &self.cfg;
+        if payload.len() != cfg.transport_block_bytes() {
+            return Err(PhyError::LengthMismatch {
+                what: "payload bytes",
+                expected: cfg.transport_block_bytes(),
+                actual: payload.len(),
+            });
+        }
+        let mut tb = bytes_to_bits(payload);
+        CRC24A.attach(&mut tb);
+        let blocks = cfg.seg.segment(&tb)?;
+        let mut coded = Vec::with_capacity(cfg.coded_bits());
+        for (r, (block, e)) in blocks.iter().zip(cfg.e_splits()).enumerate() {
+            let (_, rm, enc, _) = &self.codecs[r];
+            coded.extend(rm.rate_match(&enc.encode(block), e));
+        }
+        self.scrambler.scramble_bits(&mut coded);
+        let symbols = cfg.modulation().map(&coded);
+
+        let mut grid = Grid::new(cfg.bandwidth);
+        // Data REs in mapping order.
+        for ((l, k), &sym) in cfg.data_positions().zip(&symbols) {
+            grid.symbol_mut(l)[k] = sym;
+        }
+        // CRS pilots.
+        for &l in &CRS_SYMBOLS {
+            let off = crs_offset(l, cfg.cell_id);
+            let row = grid.symbol_mut(l);
+            for (p, k) in (off..row.len()).step_by(CRS_STRIDE).enumerate() {
+                row[k] = self.pilots[p % self.pilots.len()];
+            }
+        }
+        Ok(self.ofdm.modulate(&grid))
+    }
+}
+
+/// Downlink receiver (UE side) — verifies the Tx chain end to end.
+#[derive(Clone, Debug)]
+pub struct DownlinkRx {
+    cfg: DownlinkConfig,
+    ofdm: OfdmProcessor,
+    scrambler: Scrambler,
+    pilots: Vec<Cf32>,
+    codecs: Vec<(usize, RateMatcher, TurboEncoder, TurboDecoder)>,
+}
+
+impl DownlinkRx {
+    /// Creates a receiver.
+    pub fn new(cfg: DownlinkConfig) -> Self {
+        DownlinkRx {
+            ofdm: OfdmProcessor::new(cfg.bandwidth),
+            scrambler: Scrambler::new(0x4D00 | cfg.cell_id as u32, cfg.coded_bits()),
+            pilots: dmrs_sequence(cfg.cell_id as usize + 7, cfg.bandwidth.num_subcarriers()),
+            codecs: build_codecs(&cfg.seg),
+            cfg,
+        }
+    }
+
+    /// Per-antenna channel estimate from the CRS: LS at pilot positions,
+    /// linear interpolation across frequency, averaged over CRS symbols
+    /// (the channel is treated as block-constant in time).
+    fn estimate(&self, grid: &Grid) -> (Vec<Cf32>, f32) {
+        let m = self.cfg.bandwidth.num_subcarriers();
+        let mut per_symbol: Vec<Vec<Cf32>> = Vec::new();
+        for &l in &CRS_SYMBOLS {
+            let off = crs_offset(l, self.cfg.cell_id);
+            let row = grid.symbol(l);
+            // LS at pilots.
+            let pts: Vec<(usize, Cf32)> = (off..m)
+                .step_by(CRS_STRIDE)
+                .enumerate()
+                .map(|(p, k)| (k, row[k] * self.pilots[p % self.pilots.len()].conj()))
+                .collect();
+            // Linear interpolation to all subcarriers.
+            let mut h = vec![Cf32::ZERO; m];
+            for k in 0..m {
+                let (lo_i, hi_i) = match pts.binary_search_by(|&(pk, _)| pk.cmp(&k)) {
+                    Ok(i) => (i, i),
+                    Err(0) => (0, 0),
+                    Err(i) if i >= pts.len() => (pts.len() - 1, pts.len() - 1),
+                    Err(i) => (i - 1, i),
+                };
+                h[k] = if lo_i == hi_i {
+                    pts[lo_i].1
+                } else {
+                    let (k0, h0) = pts[lo_i];
+                    let (k1, h1) = pts[hi_i];
+                    let t = (k - k0) as f32 / (k1 - k0) as f32;
+                    h0.scale(1.0 - t) + h1.scale(t)
+                };
+            }
+            per_symbol.push(h);
+        }
+        // Average over CRS symbols; the spread estimates noise.
+        let mut h = vec![Cf32::ZERO; m];
+        for hs in &per_symbol {
+            for (a, &b) in h.iter_mut().zip(hs) {
+                *a += b;
+            }
+        }
+        let n = per_symbol.len() as f32;
+        for a in h.iter_mut() {
+            *a = a.scale(1.0 / n);
+        }
+        let mut noise = 0.0f64;
+        let mut count = 0usize;
+        for hs in &per_symbol {
+            for (a, &b) in h.iter().zip(hs) {
+                noise += (b - *a).norm_sq() as f64;
+                count += 1;
+            }
+        }
+        // Var of symbol estimate around the mean, scaled back to per-RE.
+        let noise_var = ((noise / count.max(1) as f64) as f32 * n / (n - 1.0).max(1.0)).max(1e-9);
+        (h, noise_var)
+    }
+
+    /// Decodes one downlink subframe received on `rx_samples` (one stream
+    /// per UE antenna).
+    pub fn decode_subframe(&self, rx_samples: &[Vec<Cf32>]) -> Result<RxOutput, PhyError> {
+        let cfg = &self.cfg;
+        if rx_samples.len() != cfg.num_antennas {
+            return Err(PhyError::LengthMismatch {
+                what: "antenna streams",
+                expected: cfg.num_antennas,
+                actual: rx_samples.len(),
+            });
+        }
+        let need = cfg.bandwidth.samples_per_subframe();
+        for s in rx_samples {
+            if s.len() != need {
+                return Err(PhyError::LengthMismatch {
+                    what: "subframe samples",
+                    expected: need,
+                    actual: s.len(),
+                });
+            }
+        }
+        // OFDM demodulate every antenna, estimate per-antenna channels.
+        let grids: Vec<Grid> = rx_samples.iter().map(|s| self.ofdm.demodulate(s)).collect();
+        let ests: Vec<(Vec<Cf32>, f32)> = grids.iter().map(|g| self.estimate(g)).collect();
+        let noise_var = ests.iter().map(|(_, v)| *v).sum::<f32>() / ests.len() as f32;
+
+        // MRC-combine and demap the data REs in mapping order.
+        let mut eq = Vec::with_capacity(cfg.data_res());
+        let mut nv = Vec::with_capacity(cfg.data_res());
+        for (l, k) in cfg.data_positions() {
+            let mut num = Cf32::ZERO;
+            let mut gain = 0.0f32;
+            for (g, (h, _)) in grids.iter().zip(&ests) {
+                num += h[k].conj() * g.symbol(l)[k];
+                gain += h[k].norm_sq();
+            }
+            let g = gain.max(1e-9);
+            eq.push(num.scale(1.0 / g));
+            nv.push(noise_var / g);
+        }
+        let mut llrs = Vec::with_capacity(cfg.coded_bits());
+        cfg.modulation().demap_maxlog(&eq, &nv, &mut llrs);
+        self.scrambler.descramble_llrs(&mut llrs);
+
+        // De-rate-match and turbo decode per code block.
+        let mut block_bits = Vec::new();
+        let mut block_crc_ok = Vec::new();
+        let mut block_iterations = Vec::new();
+        let mut off = 0usize;
+        let multi = cfg.seg.num_blocks > 1;
+        for (r, e) in cfg.e_splits().into_iter().enumerate() {
+            let (_, rm, _, dec) = &self.codecs[r];
+            let (mut d0, d1, d2) = rm.de_rate_match(&llrs[off..off + e]);
+            off += e;
+            let filler = if r == 0 { cfg.seg.filler } else { 0 };
+            for v in d0.iter_mut().take(filler) {
+                *v = FILLER_LLR;
+            }
+            let res = dec.decode(&d0, &d1, &d2, cfg.max_turbo_iters, |bits| {
+                if multi {
+                    CRC24B.check(bits)
+                } else {
+                    CRC24A.check(&bits[filler..])
+                }
+            });
+            block_crc_ok.push(res.converged);
+            block_iterations.push(res.iterations);
+            block_bits.push(res.bits);
+        }
+        let (tb, _) = cfg.seg.desegment(&block_bits)?;
+        let crc_ok = CRC24A.check(&tb) && block_crc_ok.iter().all(|&b| b);
+        Ok(RxOutput {
+            payload: bits_to_bytes(&tb[..cfg.tbs_bits()]),
+            crc_ok,
+            block_crc_ok,
+            block_iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{AwgnChannel, ChannelModel, MultipathChannel};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::Instant;
+
+    fn run(bw: Bandwidth, ants: usize, mcs: u8, snr: f64, seed: u64) -> (RxOutput, Vec<u8>) {
+        let cfg = DownlinkConfig::new(bw, ants, mcs).unwrap();
+        let tx = DownlinkTx::new(cfg.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p: Vec<u8> = (0..cfg.transport_block_bytes())
+            .map(|_| rng.gen())
+            .collect();
+        let wave = tx.encode_subframe(&p).unwrap();
+        let mut ch = AwgnChannel::new(snr);
+        let rxs = ch.apply(&wave, ants, &mut rng);
+        let rx = DownlinkRx::new(cfg);
+        (rx.decode_subframe(&rxs).unwrap(), p)
+    }
+
+    #[test]
+    fn crs_pattern_basics() {
+        assert!(is_crs_symbol(0) && is_crs_symbol(4) && is_crs_symbol(7) && is_crs_symbol(11));
+        assert!(!is_crs_symbol(3) && !is_crs_symbol(10));
+        // v-shift between l=0 and l=4 is 3 subcarriers.
+        let a = crs_offset(0, 0);
+        let b = crs_offset(4, 0);
+        assert_eq!((b + CRS_STRIDE - a) % CRS_STRIDE, 3);
+        // The cell id rotates the comb.
+        assert_ne!(crs_offset(0, 0), crs_offset(0, 1));
+    }
+
+    #[test]
+    fn data_res_accounting() {
+        let cfg = DownlinkConfig::new(Bandwidth::Mhz1_4, 1, 10).unwrap();
+        let m = Bandwidth::Mhz1_4.num_subcarriers();
+        assert_eq!(cfg.pilots_per_symbol(), m / 6);
+        assert_eq!(cfg.data_res(), 14 * m - 4 * (m / 6));
+        assert_eq!(cfg.data_positions().count(), cfg.data_res());
+        let total: usize = cfg.e_splits().iter().sum();
+        assert_eq!(total, cfg.coded_bits());
+    }
+
+    #[test]
+    fn e2e_awgn_roundtrip() {
+        let (out, p) = run(Bandwidth::Mhz1_4, 1, 12, 25.0, 1);
+        assert!(out.crc_ok);
+        assert_eq!(out.payload, p);
+    }
+
+    #[test]
+    fn e2e_two_antennas_64qam() {
+        let (out, p) = run(Bandwidth::Mhz1_4, 2, 24, 30.0, 2);
+        assert!(out.crc_ok);
+        assert_eq!(out.payload, p);
+    }
+
+    #[test]
+    fn e2e_multipath_pilot_interpolation() {
+        // The CRS comb + frequency interpolation must track a frequency-
+        // selective channel.
+        let cfg = DownlinkConfig::new(Bandwidth::Mhz1_4, 2, 8).unwrap();
+        let tx = DownlinkTx::new(cfg.clone());
+        let rx = DownlinkRx::new(cfg.clone());
+        let mut ok = 0;
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(300 + seed);
+            let p: Vec<u8> = (0..cfg.transport_block_bytes())
+                .map(|_| rng.gen())
+                .collect();
+            let wave = tx.encode_subframe(&p).unwrap();
+            let mut ch = MultipathChannel::two_path(28.0);
+            let rxs = ch.apply(&wave, 2, &mut rng);
+            let out = rx.decode_subframe(&rxs).unwrap();
+            if out.crc_ok && out.payload == p {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 5, "only {ok}/6 decoded through multipath");
+    }
+
+    #[test]
+    fn low_snr_fails_gracefully() {
+        let (out, _) = run(Bandwidth::Mhz1_4, 1, 20, -2.0, 3);
+        assert!(!out.crc_ok);
+    }
+
+    #[test]
+    fn tx_processing_is_cheaper_than_rx() {
+        // §2: downlink (encode) is significantly cheaper than uplink
+        // (decode). Measure the real kernels.
+        let cfg = DownlinkConfig::new(Bandwidth::Mhz1_4, 1, 16).unwrap();
+        let tx = DownlinkTx::new(cfg.clone());
+        let rx = DownlinkRx::new(cfg.clone());
+        let mut rng = StdRng::seed_from_u64(4);
+        let p: Vec<u8> = (0..cfg.transport_block_bytes())
+            .map(|_| rng.gen())
+            .collect();
+        let wave = tx.encode_subframe(&p).unwrap();
+        let mut ch = AwgnChannel::new(8.0); // noisy: decoder iterates
+        let rxs = ch.apply(&wave, 1, &mut rng);
+
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            std::hint::black_box(tx.encode_subframe(&p).unwrap());
+        }
+        let enc = t0.elapsed();
+        let t1 = Instant::now();
+        for _ in 0..3 {
+            std::hint::black_box(rx.decode_subframe(&rxs).unwrap());
+        }
+        let dec = t1.elapsed();
+        assert!(
+            dec > enc,
+            "decode ({dec:?}) should dominate encode ({enc:?})"
+        );
+    }
+
+    #[test]
+    fn wrong_payload_size_rejected() {
+        let cfg = DownlinkConfig::new(Bandwidth::Mhz1_4, 1, 5).unwrap();
+        let tx = DownlinkTx::new(cfg);
+        assert!(tx.encode_subframe(&[0u8; 1]).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared by the PHY chain.
+
+use std::fmt;
+
+/// Errors produced while configuring or running the PHY chain.
+///
+/// The chain is written so that *expected* run-time outcomes (a CRC failure
+/// on a noisy channel, a decoder hitting its iteration cap) are **not**
+/// errors — they are reported in the decode result. `PhyError` covers
+/// misconfiguration and internally inconsistent inputs only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PhyError {
+    /// A configuration parameter is outside the supported range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// An input buffer does not have the length the configuration implies.
+    LengthMismatch {
+        /// What buffer was being validated.
+        what: &'static str,
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+    /// A transport block size is not representable (e.g. too many code blocks).
+    UnsupportedBlockSize {
+        /// The offending size in bits.
+        bits: usize,
+    },
+}
+
+impl fmt::Display for PhyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyError::InvalidConfig { what, detail } => {
+                write!(f, "invalid PHY configuration ({what}): {detail}")
+            }
+            PhyError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "length mismatch for {what}: expected {expected}, got {actual}"
+            ),
+            PhyError::UnsupportedBlockSize { bits } => {
+                write!(f, "unsupported transport block size: {bits} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PhyError::LengthMismatch {
+            what: "samples",
+            expected: 15360,
+            actual: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("15360") && s.contains("samples"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(PhyError::UnsupportedBlockSize { bits: 1 });
+        assert!(e.to_string().contains("1 bits"));
+    }
+}

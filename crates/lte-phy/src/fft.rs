@@ -1,0 +1,318 @@
+//! Mixed-radix FFT/IFFT and DFT transform precoding.
+//!
+//! LTE needs transforms of two kinds of sizes: power-of-two (and `1536 =
+//! 2⁹·3`) OFDM FFTs, and `12·N_PRB`-point DFTs for SC-FDMA transform
+//! precoding (e.g. 600 points for 50 PRBs). This module implements a
+//! recursive mixed-radix Cooley-Tukey decomposition over arbitrary
+//! factorizations, with a naive `O(n²)` DFT fallback for prime factors —
+//! correct for *any* size, fast for the sizes LTE actually uses.
+//!
+//! The per-size [`FftPlan`] precomputes the factorization and a single
+//! root-of-unity table; plans are cheap to clone and safe to share.
+
+use crate::complex::Cf32;
+
+/// A precomputed transform plan for a fixed size `n`.
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// `twiddles[j] = e^{-2πi·j/n}` for `j ∈ [0, n)`.
+    twiddles: Vec<Cf32>,
+    /// Prime factorization of `n`, smallest factors first.
+    factors: Vec<usize>,
+}
+
+/// Returns the prime factorization of `n` (smallest first). `n ≥ 1`.
+fn factorize(mut n: usize) -> Vec<usize> {
+    let mut f = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        while n.is_multiple_of(d) {
+            f.push(d);
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        f.push(n);
+    }
+    f
+}
+
+impl FftPlan {
+    /// Builds a plan for `n`-point transforms.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT size must be positive");
+        let twiddles = (0..n)
+            .map(|j| Cf32::from_phase(-2.0 * std::f32::consts::PI * j as f32 / n as f32))
+            .collect();
+        FftPlan {
+            n,
+            twiddles,
+            factors: factorize(n),
+        }
+    }
+
+    /// The transform size this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; a plan has size ≥ 1.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward DFT: `X[k] = Σ x[j]·e^{-2πi jk/n}` (no normalization).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [Cf32]) {
+        assert_eq!(data.len(), self.n, "buffer length must equal plan size");
+        let mut out = vec![Cf32::ZERO; self.n];
+        self.rec(data, 1, &mut out, self.n, &self.factors);
+        data.copy_from_slice(&out);
+    }
+
+    /// Inverse DFT with `1/n` normalization, so `inverse(forward(x)) = x`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse(&self, data: &mut [Cf32]) {
+        assert_eq!(data.len(), self.n, "buffer length must equal plan size");
+        for v in data.iter_mut() {
+            *v = v.conj();
+        }
+        self.forward(data);
+        let s = 1.0 / self.n as f32;
+        for v in data.iter_mut() {
+            *v = v.conj().scale(s);
+        }
+    }
+
+    /// Recursive mixed-radix step: computes the `n`-point DFT of
+    /// `input[0], input[stride], …` into `out[0..n]`.
+    fn rec(&self, input: &[Cf32], stride: usize, out: &mut [Cf32], n: usize, factors: &[usize]) {
+        if n == 1 {
+            out[0] = input[0];
+            return;
+        }
+        let r = factors[0];
+        let m = n / r;
+        if m == 1 {
+            // Pure small/naive DFT of size r.
+            self.naive(input, stride, out, r);
+            return;
+        }
+        // r sub-DFTs of size m over the decimated sequences x_q[j] = x[jr+q].
+        for q in 0..r {
+            self.rec(
+                &input[q * stride..],
+                stride * r,
+                &mut out[q * m..(q + 1) * m],
+                m,
+                &factors[1..],
+            );
+        }
+        // Combine: X[k1 + m·k2] = Σ_q W_n^{q·k1} · W_r^{q·k2} · X_q[k1].
+        let root_stride = self.n / n; // W_n^j == twiddles[j · n_root/n]
+        let r_stride = self.n / r;
+        let mut t = [Cf32::ZERO; 16];
+        debug_assert!(r <= 16 || m == 1, "large prime factors handled by naive()");
+        if r > 16 {
+            // Extremely large prime factor with a composite cofactor: fall
+            // back to a naive DFT of the whole block (correct, slow).
+            self.naive(input, stride, out, n);
+            return;
+        }
+        for k1 in 0..m {
+            for (q, tq) in t.iter_mut().enumerate().take(r) {
+                let w = self.twiddles[(q * k1 * root_stride) % self.n];
+                *tq = w * out[q * m + k1];
+            }
+            for k2 in 0..r {
+                let mut acc = Cf32::ZERO;
+                for (q, tq) in t.iter().enumerate().take(r) {
+                    let w = self.twiddles[(q * k2 * r_stride) % self.n];
+                    acc += w * *tq;
+                }
+                out[k1 + m * k2] = acc;
+            }
+        }
+    }
+
+    /// Naive `O(n²)` DFT used for prime sizes.
+    fn naive(&self, input: &[Cf32], stride: usize, out: &mut [Cf32], n: usize) {
+        let root_stride = self.n / n;
+        for (k, o) in out.iter_mut().enumerate().take(n) {
+            let mut acc = Cf32::ZERO;
+            for j in 0..n {
+                let w = self.twiddles[(j * k * root_stride) % self.n];
+                acc += w * input[j * stride];
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Convenience: one-shot forward DFT (builds a plan internally).
+pub fn dft(data: &mut [Cf32]) {
+    FftPlan::new(data.len()).forward(data);
+}
+
+/// Convenience: one-shot inverse DFT (builds a plan internally).
+pub fn idft(data: &mut [Cf32]) {
+    FftPlan::new(data.len()).inverse(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_dft(x: &[Cf32]) -> Vec<Cf32> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Cf32::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let w = Cf32::from_phase(
+                        -2.0 * std::f32::consts::PI * (j * k % n) as f32 / n as f32,
+                    );
+                    acc += w * v;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn max_err(a: &[Cf32], b: &[Cf32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    fn ramp(n: usize) -> Vec<Cf32> {
+        (0..n)
+            .map(|i| Cf32::new((i % 17) as f32 - 8.0, ((i * 3) % 11) as f32 - 5.0))
+            .collect()
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let plan = FftPlan::new(64);
+        let mut x = vec![Cf32::ZERO; 64];
+        x[0] = Cf32::ONE;
+        plan.forward(&mut x);
+        for v in x {
+            assert!((v.re - 1.0).abs() < 1e-4 && v.im.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 600; // LTE 50-PRB DFT-precoding size
+        let plan = FftPlan::new(n);
+        let k0 = 42;
+        let mut x: Vec<Cf32> = (0..n)
+            .map(|j| Cf32::from_phase(2.0 * std::f32::consts::PI * (j * k0) as f32 / n as f32))
+            .collect();
+        plan.forward(&mut x);
+        for (k, v) in x.iter().enumerate() {
+            if k == k0 {
+                assert!((v.abs() - n as f32).abs() < 0.05 * n as f32);
+            } else {
+                assert!(v.abs() < 0.01 * n as f32, "leakage at bin {k}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_for_mixed_sizes() {
+        for n in [1, 2, 3, 4, 5, 6, 8, 12, 15, 20, 30, 36, 60, 72, 128, 144] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            FftPlan::new(n).forward(&mut y);
+            let z = naive_dft(&x);
+            assert!(max_err(&y, &z) < 1e-2 * n as f32, "size {n}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_for_prime_sizes() {
+        for n in [7, 11, 13, 17, 23, 31] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            FftPlan::new(n).forward(&mut y);
+            let z = naive_dft(&x);
+            assert!(max_err(&y, &z) < 1e-3 * n as f32, "prime size {n}");
+        }
+    }
+
+    #[test]
+    fn lte_sizes_roundtrip() {
+        for n in [128, 256, 512, 600, 1024, 1536, 2048, 900, 1200] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            let plan = FftPlan::new(n);
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            assert!(max_err(&x, &y) < 2e-3, "size {n}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 1024;
+        let x = ramp(n);
+        let time_energy: f32 = x.iter().map(|v| v.norm_sq()).sum();
+        let mut y = x;
+        FftPlan::new(n).forward(&mut y);
+        let freq_energy: f32 = y.iter().map(|v| v.norm_sq()).sum::<f32>() / n as f32;
+        assert!((time_energy - freq_energy).abs() < 1e-2 * time_energy);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 60;
+        let a = ramp(n);
+        let b: Vec<Cf32> = a.iter().map(|v| v.conj() + Cf32::new(0.5, 1.0)).collect();
+        let plan = FftPlan::new(n);
+        let mut fa = a.clone();
+        plan.forward(&mut fa);
+        let mut fb = b.clone();
+        plan.forward(&mut fb);
+        let mut fsum: Vec<Cf32> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        plan.forward(&mut fsum);
+        let expect: Vec<Cf32> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&fsum, &expect) < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn wrong_length_panics() {
+        FftPlan::new(16).forward(&mut [Cf32::ZERO; 8]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_roundtrip(n in 1usize..200, seed in 0u64..1000) {
+            let x: Vec<Cf32> = (0..n).map(|i| {
+                let a = ((i as u64 + seed) * 2654435761 % 1000) as f32 / 500.0 - 1.0;
+                let b = ((i as u64 * 7 + seed) * 40503 % 1000) as f32 / 500.0 - 1.0;
+                Cf32::new(a, b)
+            }).collect();
+            let plan = FftPlan::new(n);
+            let mut y = x.clone();
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            let err = x.iter().zip(&y).map(|(a, b)| (*a - *b).abs()).fold(0.0f32, f32::max);
+            prop_assert!(err < 5e-3, "n={n} err={err}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! HARQ soft combining — the reason the paper's 3 ms deadline exists.
+//!
+//! An LTE uplink subframe must be ACKed/NACKed in the downlink subframe
+//! 3 ms later (the paper's Fig. 8); a NACK triggers a retransmission that
+//! the receiver *soft-combines* with what it already has. This module
+//! provides the receive-side HARQ state:
+//!
+//! * retransmissions with the same redundancy version add LLR energy at
+//!   the same codeword positions (**chase combining**, ≈ +3 dB per rtx);
+//! * retransmissions with a different rv fill previously punctured parity
+//!   positions (**incremental redundancy**), lowering the effective code
+//!   rate.
+//!
+//! One [`HarqProcess`] holds the accumulated turbo-stream LLRs of a single
+//! transport block (all its code blocks); `UplinkRx::decode_subframe_harq`
+//! drives it.
+
+use crate::error::PhyError;
+use crate::segmentation::Segmentation;
+use crate::turbo::stream_len;
+
+/// One code block's accumulated turbo-stream LLRs.
+type BlockStreams = (Vec<f32>, Vec<f32>, Vec<f32>);
+
+/// Accumulated soft information for one transport block across HARQ
+/// (re)transmissions.
+#[derive(Clone, Debug)]
+pub struct HarqProcess {
+    /// Per code block: accumulated `(d0, d1, d2)` stream LLRs.
+    blocks: Vec<BlockStreams>,
+    transmissions: u32,
+}
+
+impl HarqProcess {
+    /// Creates an empty process for the given segmentation.
+    pub fn new(seg: &Segmentation) -> Self {
+        let blocks = seg
+            .block_sizes()
+            .into_iter()
+            .map(|k| {
+                let n = stream_len(k);
+                (vec![0.0; n], vec![0.0; n], vec![0.0; n])
+            })
+            .collect();
+        HarqProcess {
+            blocks,
+            transmissions: 0,
+        }
+    }
+
+    /// Number of transmissions combined so far.
+    pub fn transmissions(&self) -> u32 {
+        self.transmissions
+    }
+
+    /// Number of code blocks tracked.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Adds one (re)transmission's de-rate-matched LLRs for block `r` and
+    /// returns a view of the accumulated streams.
+    ///
+    /// Call once per block per transmission, then
+    /// [`HarqProcess::mark_transmission`] once per transmission.
+    ///
+    /// # Errors
+    /// Length mismatches return [`PhyError::LengthMismatch`].
+    #[allow(clippy::type_complexity)] // three parallel LLR streams is the domain shape
+    pub fn accumulate(
+        &mut self,
+        r: usize,
+        d0: &[f32],
+        d1: &[f32],
+        d2: &[f32],
+    ) -> Result<(&[f32], &[f32], &[f32]), PhyError> {
+        let (a0, a1, a2) = self.blocks.get_mut(r).ok_or(PhyError::LengthMismatch {
+            what: "harq block index",
+            expected: 0,
+            actual: r,
+        })?;
+        for (name, (acc, new)) in [
+            ("d0", (&mut *a0, d0)),
+            ("d1", (&mut *a1, d1)),
+            ("d2", (&mut *a2, d2)),
+        ] {
+            if acc.len() != new.len() {
+                return Err(PhyError::LengthMismatch {
+                    what: match name {
+                        "d0" => "harq d0 stream",
+                        "d1" => "harq d1 stream",
+                        _ => "harq d2 stream",
+                    },
+                    expected: acc.len(),
+                    actual: new.len(),
+                });
+            }
+            for (a, &n) in acc.iter_mut().zip(new) {
+                *a += n;
+            }
+        }
+        Ok((&self.blocks[r].0, &self.blocks[r].1, &self.blocks[r].2))
+    }
+
+    /// Records that a full transmission has been absorbed.
+    pub fn mark_transmission(&mut self) {
+        self.transmissions += 1;
+    }
+
+    /// The accumulated streams of block `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn streams(&self, r: usize) -> (&[f32], &[f32], &[f32]) {
+        let (a, b, c) = &self.blocks[r];
+        (a, b, c)
+    }
+
+    /// Clears all soft state (after an ACK, or on a new transport block).
+    pub fn reset(&mut self) {
+        for (a, b, c) in &mut self.blocks {
+            a.iter_mut().for_each(|x| *x = 0.0);
+            b.iter_mut().for_each(|x| *x = 0.0);
+            c.iter_mut().for_each(|x| *x = 0.0);
+        }
+        self.transmissions = 0;
+    }
+}
+
+/// The standard LTE rv cycling order for successive retransmissions.
+pub const RV_SEQUENCE: [u8; 4] = [0, 2, 3, 1];
+
+/// The redundancy version used for transmission number `tx` (0-based).
+pub const fn rv_for_transmission(tx: u32) -> u8 {
+    RV_SEQUENCE[(tx % 4) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> Segmentation {
+        Segmentation::compute(10_000).unwrap()
+    }
+
+    #[test]
+    fn fresh_process_is_empty() {
+        let p = HarqProcess::new(&seg());
+        assert_eq!(p.transmissions(), 0);
+        assert_eq!(p.num_blocks(), seg().num_blocks);
+        let (d0, _, _) = p.streams(0);
+        assert!(d0.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn accumulate_adds_energy() {
+        let s = seg();
+        let mut p = HarqProcess::new(&s);
+        let n = stream_len(s.block_sizes()[0]);
+        let ones = vec![1.0f32; n];
+        p.accumulate(0, &ones, &ones, &ones).unwrap();
+        p.mark_transmission();
+        p.accumulate(0, &ones, &ones, &ones).unwrap();
+        p.mark_transmission();
+        let (d0, d1, d2) = p.streams(0);
+        assert!(d0.iter().all(|&x| (x - 2.0).abs() < 1e-6));
+        assert!(d1.iter().all(|&x| (x - 2.0).abs() < 1e-6));
+        assert!(d2.iter().all(|&x| (x - 2.0).abs() < 1e-6));
+        assert_eq!(p.transmissions(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let s = seg();
+        let mut p = HarqProcess::new(&s);
+        let n = stream_len(s.block_sizes()[0]);
+        p.accumulate(0, &vec![1.0; n], &vec![1.0; n], &vec![1.0; n])
+            .unwrap();
+        p.mark_transmission();
+        p.reset();
+        assert_eq!(p.transmissions(), 0);
+        assert!(p.streams(0).0.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut p = HarqProcess::new(&seg());
+        let err = p.accumulate(0, &[1.0; 3], &[1.0; 3], &[1.0; 3]);
+        assert!(err.is_err());
+        let err = p.accumulate(99, &[], &[], &[]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rv_cycle_is_the_standard_order() {
+        assert_eq!(rv_for_transmission(0), 0);
+        assert_eq!(rv_for_transmission(1), 2);
+        assert_eq!(rv_for_transmission(2), 3);
+        assert_eq!(rv_for_transmission(3), 1);
+        assert_eq!(rv_for_transmission(4), 0); // wraps
+    }
+}

@@ -1,0 +1,279 @@
+//! QAM mapping and max-log soft demapping (3GPP TS 36.211 §7.1).
+//!
+//! Square Gray-mapped constellations — QPSK, 16-QAM, 64-QAM — with the
+//! standard LTE bit-to-level formulas. The demapper produces max-log LLRs
+//! (`L = ln P(0)/P(1)`) exploiting the I/Q separability of square QAM: each
+//! axis is an independent PAM constellation, so demapping is `O(levels)`
+//! per axis instead of `O(points)` per symbol.
+
+use crate::complex::Cf32;
+
+/// Supported modulation schemes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// QPSK, 2 bits/symbol.
+    Qpsk,
+    /// 16-QAM, 4 bits/symbol.
+    Qam16,
+    /// 64-QAM, 6 bits/symbol.
+    Qam64,
+}
+
+impl Modulation {
+    /// Maps a modulation order `Qm ∈ {2, 4, 6}` to the scheme.
+    pub const fn from_order(qm: usize) -> Option<Self> {
+        match qm {
+            2 => Some(Modulation::Qpsk),
+            4 => Some(Modulation::Qam16),
+            6 => Some(Modulation::Qam64),
+            _ => None,
+        }
+    }
+
+    /// Bits per symbol (`Qm`).
+    pub const fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Bits per axis (half of `Qm`).
+    const fn bits_per_axis(self) -> usize {
+        self.bits_per_symbol() / 2
+    }
+
+    /// Normalization factor so average symbol energy is 1.
+    fn norm(self) -> f32 {
+        match self {
+            Modulation::Qpsk => 1.0 / 2f32.sqrt(),
+            Modulation::Qam16 => 1.0 / 10f32.sqrt(),
+            Modulation::Qam64 => 1.0 / 42f32.sqrt(),
+        }
+    }
+
+    /// PAM level (unnormalized, odd integer) for the axis bits, MSB first.
+    ///
+    /// LTE formulas (36.211 Table 7.1.x):
+    /// * QPSK:  `(1−2b)`
+    /// * 16-QAM: `(1−2b₀)·(2−(1−2b₁))` → ±1, ±3
+    /// * 64-QAM: `(1−2b₀)·(4−(1−2b₁)·(2−(1−2b₂)))` → ±1…±7
+    fn axis_level(self, bits: &[u8]) -> f32 {
+        let s = |b: u8| 1.0 - 2.0 * b as f32;
+        match self {
+            Modulation::Qpsk => s(bits[0]),
+            Modulation::Qam16 => s(bits[0]) * (2.0 - s(bits[1])),
+            Modulation::Qam64 => s(bits[0]) * (4.0 - s(bits[1]) * (2.0 - s(bits[2]))),
+        }
+    }
+
+    /// All (level, axis-bit-pattern) pairs of the per-axis PAM constellation.
+    fn axis_table(self) -> Vec<(f32, Vec<u8>)> {
+        let nb = self.bits_per_axis();
+        (0..1usize << nb)
+            .map(|v| {
+                let bits: Vec<u8> = (0..nb).map(|i| ((v >> (nb - 1 - i)) & 1) as u8).collect();
+                (self.axis_level(&bits) * self.norm(), bits)
+            })
+            .collect()
+    }
+
+    /// Maps a bit slice to constellation symbols.
+    ///
+    /// LTE interleaves axis bits: even-indexed bits of each symbol drive the
+    /// I axis, odd-indexed the Q axis (b0,b2,… → I; b1,b3,… → Q).
+    ///
+    /// # Panics
+    /// Panics if `bits.len()` is not a multiple of `Qm`.
+    pub fn map(self, bits: &[u8]) -> Vec<Cf32> {
+        let qm = self.bits_per_symbol();
+        assert_eq!(bits.len() % qm, 0, "bit count must be a multiple of Qm");
+        let nb = self.bits_per_axis();
+        bits.chunks_exact(qm)
+            .map(|chunk| {
+                let mut ib = [0u8; 3];
+                let mut qb = [0u8; 3];
+                for i in 0..nb {
+                    ib[i] = chunk[2 * i];
+                    qb[i] = chunk[2 * i + 1];
+                }
+                Cf32::new(
+                    self.axis_level(&ib[..nb]) * self.norm(),
+                    self.axis_level(&qb[..nb]) * self.norm(),
+                )
+            })
+            .collect()
+    }
+
+    /// Max-log soft demapping of equalized symbols into LLRs
+    /// (`ln P(0)/P(1)` convention), appended to `out`.
+    ///
+    /// `noise_var[i]` is the post-equalization noise variance of symbol `i`
+    /// (complex, total across both axes).
+    ///
+    /// # Panics
+    /// Panics if `noise_var.len() != symbols.len()`.
+    pub fn demap_maxlog(self, symbols: &[Cf32], noise_var: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(symbols.len(), noise_var.len(), "per-symbol noise required");
+        let table = self.axis_table();
+        let nb = self.bits_per_axis();
+        out.reserve(symbols.len() * self.bits_per_symbol());
+        let mut axis_llr = [0.0f32; 3];
+        for (y, &nv) in symbols.iter().zip(noise_var) {
+            // Per-axis noise variance is half the complex variance.
+            let inv = 1.0 / (nv.max(1e-12) * 0.5);
+            for (axis, val) in [(0, y.re), (1, y.im)] {
+                for (t, slot) in axis_llr.iter_mut().enumerate().take(nb) {
+                    let mut d0 = f32::MAX;
+                    let mut d1 = f32::MAX;
+                    for (level, bits) in &table {
+                        let d = (val - level) * (val - level);
+                        if bits[t] == 0 {
+                            if d < d0 {
+                                d0 = d;
+                            }
+                        } else if d < d1 {
+                            d1 = d;
+                        }
+                    }
+                    *slot = (d1 - d0) * inv;
+                }
+                // Interleave back: axis-bit t of I axis → symbol bit 2t,
+                // of Q axis → 2t+1. Stash I-axis LLRs, emit after Q pass.
+                if axis == 0 {
+                    for t in 0..nb {
+                        out.push(axis_llr[t]);
+                        out.push(0.0); // placeholder for Q bit
+                    }
+                } else {
+                    let base = out.len() - 2 * nb;
+                    for t in 0..nb {
+                        out[base + 2 * t + 1] = axis_llr[t];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hard(llrs: &[f32]) -> Vec<u8> {
+        llrs.iter().map(|&l| (l < 0.0) as u8).collect()
+    }
+
+    fn roundtrip(m: Modulation, bits: &[u8]) -> Vec<u8> {
+        let syms = m.map(bits);
+        let nv = vec![0.01f32; syms.len()];
+        let mut llrs = Vec::new();
+        m.demap_maxlog(&syms, &nv, &mut llrs);
+        hard(&llrs)
+    }
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 7 + i / 3) % 2) as u8).collect()
+    }
+
+    #[test]
+    fn qpsk_constellation_points() {
+        let s = Modulation::Qpsk.map(&[0, 0, 0, 1, 1, 0, 1, 1]);
+        let a = 1.0 / 2f32.sqrt();
+        assert!((s[0].re - a).abs() < 1e-6 && (s[0].im - a).abs() < 1e-6);
+        assert!((s[1].re - a).abs() < 1e-6 && (s[1].im + a).abs() < 1e-6);
+        assert!((s[2].re + a).abs() < 1e-6 && (s[2].im - a).abs() < 1e-6);
+        assert!((s[3].re + a).abs() < 1e-6 && (s[3].im + a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_average_energy() {
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let qm = m.bits_per_symbol();
+            // All bit patterns of one symbol, uniformly.
+            let mut energy = 0.0f32;
+            let count = 1usize << qm;
+            for v in 0..count {
+                let bits: Vec<u8> = (0..qm).map(|i| ((v >> i) & 1) as u8).collect();
+                let s = m.map(&bits);
+                energy += s[0].norm_sq();
+            }
+            let avg = energy / count as f32;
+            assert!((avg - 1.0).abs() < 1e-4, "{m:?}: {avg}");
+        }
+    }
+
+    #[test]
+    fn qam64_levels_are_odd_integers() {
+        let m = Modulation::Qam64;
+        let mut levels: Vec<i32> = m
+            .axis_table()
+            .iter()
+            .map(|(l, _)| (l / m.norm()).round() as i32)
+            .collect();
+        levels.sort_unstable();
+        assert_eq!(levels, vec![-7, -5, -3, -1, 1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn clean_roundtrip_all_modulations() {
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let bits = pattern(m.bits_per_symbol() * 50);
+            assert_eq!(roundtrip(m, &bits), bits, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn llr_magnitude_scales_with_noise() {
+        let m = Modulation::Qam16;
+        let bits = pattern(4 * 10);
+        let syms = m.map(&bits);
+        let mut llr_low = Vec::new();
+        let mut llr_high = Vec::new();
+        m.demap_maxlog(&syms, &vec![0.01; syms.len()], &mut llr_low);
+        m.demap_maxlog(&syms, &vec![1.0; syms.len()], &mut llr_high);
+        for (a, b) in llr_low.iter().zip(&llr_high) {
+            assert!(a.abs() > b.abs(), "confidence must drop with noise");
+            assert_eq!(a.signum(), b.signum());
+        }
+    }
+
+    #[test]
+    fn from_order_mapping() {
+        assert_eq!(Modulation::from_order(2), Some(Modulation::Qpsk));
+        assert_eq!(Modulation::from_order(4), Some(Modulation::Qam16));
+        assert_eq!(Modulation::from_order(6), Some(Modulation::Qam64));
+        assert_eq!(Modulation::from_order(3), None);
+    }
+
+    #[test]
+    fn gray_mapping_near_decision_boundary() {
+        // A symbol right at a decision boundary should give a near-zero LLR
+        // for the boundary bit and confident LLRs for the others.
+        let m = Modulation::Qam16;
+        let norm = 1.0 / 10f32.sqrt();
+        // Between levels 1 and 3 on the I axis (boundary at 2·norm).
+        let y = [Cf32::new(2.0 * norm, 3.0 * norm)];
+        let mut llrs = Vec::new();
+        m.demap_maxlog(&y, &[0.1], &mut llrs);
+        // Bit 2 (I-axis inner/outer bit) is ambiguous.
+        assert!(llrs[2].abs() < 1e-4, "boundary LLR {}", llrs[2]);
+        // Bit 0 (I-axis sign bit) is confidently 0 (positive axis).
+        assert!(llrs[0] > 1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_clean_roundtrip(order in prop::sample::select(vec![2usize, 4, 6]),
+                                nsym in 1usize..64, seed in 0u64..1000) {
+            let m = Modulation::from_order(order).unwrap();
+            let bits: Vec<u8> = (0..nsym * order)
+                .map(|i| (((i as u64 + seed).wrapping_mul(0x9E3779B9) >> 13) & 1) as u8)
+                .collect();
+            prop_assert_eq!(roundtrip(m, &bits), bits);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Rate matching for turbo-coded transport channels (36.212 §5.1.4.1).
+//!
+//! Each of the three turbo output streams passes through a 32-column
+//! sub-block interleaver; the interleaved systematic stream followed by the
+//! bit-interlaced parity streams forms the **circular buffer**, from which
+//! exactly `E` bits are read (wrapping, skipping the `<NULL>` padding) for
+//! transmission. De-rate-matching reverses the walk, *accumulating* LLRs at
+//! repeated positions (chase combining) and leaving punctured positions at
+//! LLR 0 (erasure).
+
+use crate::turbo::{stream_len, TurboCodeword};
+
+/// Number of columns of the sub-block interleaver.
+const COLS: usize = 32;
+
+/// The inter-column permutation pattern of 36.212 Table 5.1.4-1.
+const PERM: [usize; COLS] = [
+    0, 16, 8, 24, 4, 20, 12, 28, 2, 18, 10, 26, 6, 22, 14, 30, 1, 17, 9, 25, 5, 21, 13, 29, 3, 19,
+    11, 27, 7, 23, 15, 31,
+];
+
+/// Identifies one of the three turbo streams inside the circular buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    /// `<NULL>` padding bit — never transmitted.
+    Null,
+    /// Bit `idx` of stream `stream`.
+    Bit { stream: u8, idx: u32 },
+}
+
+/// Rate matcher for turbo codewords of a fixed block size `K`.
+#[derive(Clone, Debug)]
+pub struct RateMatcher {
+    /// Stream length `D = K + 4`.
+    d: usize,
+    /// Rows of the sub-block interleaver, `R = ⌈D/32⌉`.
+    rows: usize,
+    /// Map: circular-buffer position → stream slot.
+    w_map: Vec<Slot>,
+}
+
+impl RateMatcher {
+    /// Creates a rate matcher for turbo block size `k`.
+    pub fn new(k: usize) -> Self {
+        let d = stream_len(k);
+        let rows = d.div_ceil(COLS);
+        let kpi = rows * COLS;
+        let nd = kpi - d; // NULL padding at the head of each stream
+        let mut w_map = Vec::with_capacity(3 * kpi);
+        // v0: interleaved systematic stream.
+        for j in 0..kpi {
+            w_map.push(Self::slot(j, rows, nd, 0, 0));
+        }
+        // Interlaced v1 (parity 1) and v2 (parity 2, extra +1 rotation).
+        for j in 0..kpi {
+            w_map.push(Self::slot(j, rows, nd, 1, 0));
+            w_map.push(Self::slot(j, rows, nd, 2, 1));
+        }
+        RateMatcher { d, rows, w_map }
+    }
+
+    /// Resolves sub-block-interleaver output position `j` of a stream to a
+    /// [`Slot`]. `shift` is 1 for the third stream (36.212's `+1` rotation).
+    fn slot(j: usize, rows: usize, nd: usize, stream: u8, shift: usize) -> Slot {
+        let kpi = rows * COLS;
+        let col = j / rows;
+        let row = j % rows;
+        let y_idx = (row * COLS + PERM[col] + shift) % kpi;
+        if y_idx < nd {
+            Slot::Null
+        } else {
+            Slot::Bit {
+                stream,
+                idx: (y_idx - nd) as u32,
+            }
+        }
+    }
+
+    /// Stream length `D = K + 4`.
+    pub fn stream_len(&self) -> usize {
+        self.d
+    }
+
+    /// Circular-buffer length `Kw = 3·R·32`.
+    pub fn buffer_len(&self) -> usize {
+        self.w_map.len()
+    }
+
+    /// Redundancy-version start offset `k0(rv)` (36.212 §5.1.4.1.2):
+    /// `k0 = R·(2·⌈Ncb/(8R)⌉·rv + 2)`, which with the full circular buffer
+    /// (`Ncb = 96R`) reduces to `R·(24·rv + 2)`.
+    ///
+    /// # Panics
+    /// Panics if `rv > 3`.
+    pub fn k0_rv(&self, rv: u8) -> usize {
+        assert!(rv <= 3, "redundancy version 0..=3");
+        self.rows * (24 * rv as usize + 2)
+    }
+
+    /// Redundancy-version start offset `k0` for rv 0 (`2R`).
+    pub fn k0(&self) -> usize {
+        self.k0_rv(0)
+    }
+
+    /// Selects `e` bits from the codeword's circular buffer.
+    ///
+    /// # Panics
+    /// Panics if the codeword block size differs from this matcher's, or if
+    /// `e == 0`.
+    pub fn rate_match(&self, cw: &TurboCodeword, e: usize) -> Vec<u8> {
+        self.rate_match_rv(cw, e, 0)
+    }
+
+    /// Selects `e` bits starting at redundancy version `rv`'s offset —
+    /// retransmissions with `rv > 0` begin deeper in the circular buffer,
+    /// sending mostly *new* parity (incremental redundancy).
+    ///
+    /// # Panics
+    /// Panics like [`RateMatcher::rate_match`], or if `rv > 3`.
+    pub fn rate_match_rv(&self, cw: &TurboCodeword, e: usize, rv: u8) -> Vec<u8> {
+        assert_eq!(cw.d0.len(), self.d, "codeword size mismatch");
+        assert!(e > 0, "cannot select zero bits");
+        let ncb = self.buffer_len();
+        let mut out = Vec::with_capacity(e);
+        let mut k = self.k0_rv(rv);
+        while out.len() < e {
+            if let Slot::Bit { stream, idx } = self.w_map[k] {
+                let bit = match stream {
+                    0 => cw.d0[idx as usize],
+                    1 => cw.d1[idx as usize],
+                    _ => cw.d2[idx as usize],
+                };
+                out.push(bit);
+            }
+            k = (k + 1) % ncb;
+        }
+        out
+    }
+
+    /// Reverses the selection walk over `llrs` (length `E`), accumulating
+    /// repeated transmissions and returning per-stream LLRs `(d0, d1, d2)`
+    /// of length `D` each. Punctured (never-sent) positions stay at 0.
+    pub fn de_rate_match(&self, llrs: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        self.de_rate_match_rv(llrs, 0)
+    }
+
+    /// Reverses a redundancy-version-`rv` selection (see
+    /// [`RateMatcher::rate_match_rv`]).
+    pub fn de_rate_match_rv(&self, llrs: &[f32], rv: u8) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let ncb = self.buffer_len();
+        let mut d0 = vec![0.0f32; self.d];
+        let mut d1 = vec![0.0f32; self.d];
+        let mut d2 = vec![0.0f32; self.d];
+        let mut k = self.k0_rv(rv);
+        let mut taken = 0usize;
+        while taken < llrs.len() {
+            if let Slot::Bit { stream, idx } = self.w_map[k] {
+                let tgt = match stream {
+                    0 => &mut d0[idx as usize],
+                    1 => &mut d1[idx as usize],
+                    _ => &mut d2[idx as usize],
+                };
+                *tgt += llrs[taken];
+                taken += 1;
+            }
+            k = (k + 1) % ncb;
+        }
+        (d0, d1, d2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::turbo::TurboEncoder;
+    use proptest::prelude::*;
+
+    fn bits(n: usize, seed: u64) -> Vec<u8> {
+        (0..n)
+            .map(|i| {
+                (((i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(seed)
+                    >> 40)
+                    & 1) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perm_is_a_permutation_of_columns() {
+        let mut seen = [false; COLS];
+        for &p in &PERM {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn every_codeword_bit_appears_in_buffer() {
+        let rm = RateMatcher::new(40);
+        let mut counts = [[0usize; 64]; 3];
+        for slot in &rm.w_map {
+            if let Slot::Bit { stream, idx } = slot {
+                counts[*stream as usize][*idx as usize] += 1;
+            }
+        }
+        for s in 0..3 {
+            for i in 0..44 {
+                assert_eq!(counts[s][i], 1, "stream {s} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_buffer_readout_contains_all_bits() {
+        let k = 104;
+        let enc = TurboEncoder::new(k);
+        let cw = enc.encode(&bits(k, 1));
+        let rm = RateMatcher::new(k);
+        let non_null = rm
+            .w_map
+            .iter()
+            .filter(|s| matches!(s, Slot::Bit { .. }))
+            .count();
+        assert_eq!(non_null, 3 * (k + 4));
+        let out = rm.rate_match(&cw, non_null);
+        let ones_in = cw
+            .d0
+            .iter()
+            .chain(&cw.d1)
+            .chain(&cw.d2)
+            .filter(|&&b| b == 1)
+            .count();
+        let ones_out = out.iter().filter(|&&b| b == 1).count();
+        assert_eq!(ones_in, ones_out);
+    }
+
+    #[test]
+    fn puncturing_then_soft_combine_roundtrip() {
+        // Rate-match to fewer bits than the buffer, de-rate-match perfect
+        // LLRs, and confirm transmitted positions carry the right signs.
+        let k = 512;
+        let enc = TurboEncoder::new(k);
+        let cw = enc.encode(&bits(k, 9));
+        let rm = RateMatcher::new(k);
+        let e = 2 * (k + 4); // some puncturing (rate 1/2 instead of 1/3)
+        let tx = rm.rate_match(&cw, e);
+        let llrs: Vec<f32> = tx
+            .iter()
+            .map(|&b| if b == 0 { 5.0 } else { -5.0 })
+            .collect();
+        let (d0, d1, d2) = rm.de_rate_match(&llrs);
+        let check = |llr: &[f32], bits: &[u8], name: &str| {
+            for (i, (&l, &b)) in llr.iter().zip(bits).enumerate() {
+                if l != 0.0 {
+                    let hard = (l < 0.0) as u8;
+                    assert_eq!(hard, b, "{name}[{i}]");
+                }
+            }
+        };
+        check(&d0, &cw.d0, "d0");
+        check(&d1, &cw.d1, "d1");
+        check(&d2, &cw.d2, "d2");
+    }
+
+    #[test]
+    fn repetition_accumulates_llrs() {
+        let k = 40;
+        let enc = TurboEncoder::new(k);
+        let cw = enc.encode(&bits(k, 2));
+        let rm = RateMatcher::new(k);
+        let ncb_bits = 3 * (k + 4);
+        let e = 2 * ncb_bits; // every bit sent exactly twice
+        let tx = rm.rate_match(&cw, e);
+        let llrs: Vec<f32> = tx
+            .iter()
+            .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let (d0, _, _) = rm.de_rate_match(&llrs);
+        for (&l, &b) in d0.iter().zip(&cw.d0) {
+            assert_eq!(l, if b == 0 { 2.0 } else { -2.0 });
+        }
+    }
+
+    #[test]
+    fn systematic_bits_survive_heavy_puncturing() {
+        // rv0 starts just past the NULL head of the systematic section, so
+        // with E = D the output is dominated by systematic bits.
+        let k = 1024;
+        let enc = TurboEncoder::new(k);
+        let data = bits(k, 3);
+        let cw = enc.encode(&data);
+        let rm = RateMatcher::new(k);
+        let tx = rm.rate_match(&cw, k);
+        // Count agreement with some systematic bits: walk the map again.
+        let mut sys_count = 0usize;
+        let ncb = rm.buffer_len();
+        let mut pos = rm.k0();
+        let mut taken = 0;
+        while taken < k {
+            if let Slot::Bit { stream, idx } = rm.w_map[pos] {
+                if stream == 0 {
+                    assert_eq!(tx[taken], cw.d0[idx as usize]);
+                    sys_count += 1;
+                }
+                taken += 1;
+            }
+            pos = (pos + 1) % ncb;
+        }
+        assert!(sys_count > k * 8 / 10, "only {sys_count} systematic bits");
+    }
+
+    #[test]
+    fn rv_offsets_are_distinct_and_in_buffer() {
+        let rm = RateMatcher::new(1024);
+        let offs: Vec<usize> = (0..4).map(|rv| rm.k0_rv(rv)).collect();
+        for w in offs.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(offs[3] < rm.buffer_len());
+        assert_eq!(rm.k0(), rm.k0_rv(0));
+    }
+
+    #[test]
+    fn rv_roundtrip_each_version() {
+        let k = 512;
+        let enc = TurboEncoder::new(k);
+        let cw = enc.encode(&bits(k, 5));
+        let rm = RateMatcher::new(k);
+        let e = 2 * (k + 4);
+        for rv in 0..4u8 {
+            let tx = rm.rate_match_rv(&cw, e, rv);
+            let llrs: Vec<f32> = tx
+                .iter()
+                .map(|&b| if b == 0 { 3.0 } else { -3.0 })
+                .collect();
+            let (d0, d1, d2) = rm.de_rate_match_rv(&llrs, rv);
+            for (llr, bits, name) in [
+                (&d0, &cw.d0, "d0"),
+                (&d1, &cw.d1, "d1"),
+                (&d2, &cw.d2, "d2"),
+            ] {
+                for (i, (&l, &b)) in llr.iter().zip(bits.iter()).enumerate() {
+                    if l != 0.0 {
+                        assert_eq!((l < 0.0) as u8, b, "rv{rv} {name}[{i}]");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_redundancy_covers_more_of_the_buffer() {
+        // rv0 + rv2 together should fill far more codeword positions than
+        // rv0 twice (chase) — the point of incremental redundancy.
+        let k = 2048;
+        let enc = TurboEncoder::new(k);
+        let cw = enc.encode(&bits(k, 6));
+        let rm = RateMatcher::new(k);
+        let e = k; // heavy puncturing, rate ~1
+        let filled = |rvs: &[u8]| -> usize {
+            let mut acc0 = vec![0.0f32; k + 4];
+            let mut acc1 = vec![0.0f32; k + 4];
+            let mut acc2 = vec![0.0f32; k + 4];
+            for &rv in rvs {
+                let tx = rm.rate_match_rv(&cw, e, rv);
+                let llrs: Vec<f32> = tx
+                    .iter()
+                    .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+                    .collect();
+                let (d0, d1, d2) = rm.de_rate_match_rv(&llrs, rv);
+                for i in 0..k + 4 {
+                    acc0[i] += d0[i];
+                    acc1[i] += d1[i];
+                    acc2[i] += d2[i];
+                }
+            }
+            acc0.iter()
+                .chain(&acc1)
+                .chain(&acc2)
+                .filter(|&&x| x != 0.0)
+                .count()
+        };
+        let chase = filled(&[0, 0]);
+        let ir = filled(&[0, 2]);
+        assert!(ir > chase + k / 2, "chase {chase}, ir {ir}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_de_rate_match_preserves_energy(k_sel in 0usize..6, e_mult in 1usize..4) {
+            let ks = [40usize, 104, 512, 1056, 2048, 6144];
+            let k = ks[k_sel];
+            let enc = TurboEncoder::new(k);
+            let cw = enc.encode(&bits(k, k as u64));
+            let rm = RateMatcher::new(k);
+            let e = e_mult * (k + 4);
+            let tx = rm.rate_match(&cw, e);
+            prop_assert_eq!(tx.len(), e);
+            let llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+            let (d0, d1, d2) = rm.de_rate_match(&llrs);
+            let total: f32 = d0.iter().chain(&d1).chain(&d2).map(|l| l.abs()).sum();
+            // Chase combining preserves total LLR magnitude.
+            prop_assert!((total - e as f32).abs() < 1e-3 * e as f32);
+        }
+    }
+}

@@ -1,0 +1,1132 @@
+//! End-to-end PUSCH uplink chain: transmit-side test-vector generation and
+//! the receive-side processing whose execution time the schedulers manage.
+//!
+//! The receiver is exposed two ways:
+//!
+//! * [`UplinkRx::decode_subframe`] — the serial chain, one call per subframe;
+//! * [`SubframeJob`] — the staged form matching the paper's Fig. 5: the
+//!   owner runs/absorbs individual **subtasks** (`run_fft_subtask`,
+//!   `run_demod_subtask`, `run_decode_subtask`), which is exactly the unit
+//!   RT-OPEX migrates to idle cores. `run_*` methods take `&self`, so a
+//!   migrated subtask can execute on another thread while the owner works
+//!   on its own share; results are combined with the `absorb_*` methods.
+
+use crate::complex::Cf32;
+use crate::crc::{CRC24A, CRC24B};
+use crate::equalizer::{estimate_channel_band, mrc_combine, ChannelEstimate};
+use crate::error::PhyError;
+use crate::fft::FftPlan;
+use crate::mcs::Mcs;
+use crate::modulation::Modulation;
+use crate::params::{is_dmrs_symbol, Bandwidth, SYMBOLS_PER_SUBFRAME};
+use crate::ratematch::RateMatcher;
+use crate::resource_grid::{Grid, OfdmProcessor};
+use crate::scramble::{pusch_c_init, Scrambler};
+use crate::segmentation::Segmentation;
+use crate::tasks::TaskBreakdown;
+use crate::turbo::{TurboDecoder, TurboEncoder};
+use crate::zadoff_chu::dmrs_sequence;
+
+/// Strong "known zero" LLR clamped onto filler-bit positions.
+const FILLER_LLR: f32 = 100.0;
+
+/// Converts bytes to bits, MSB first.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+    bytes
+        .iter()
+        .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1))
+        .collect()
+}
+
+/// Converts bits (MSB first) to bytes; the bit count must be a multiple of 8.
+///
+/// # Panics
+/// Panics if `bits.len() % 8 != 0`.
+pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    assert_eq!(bits.len() % 8, 0, "bit count must be a multiple of 8");
+    bits.chunks_exact(8)
+        .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b))
+        .collect()
+}
+
+/// Full configuration of one basestation's uplink processing.
+#[derive(Clone, Debug)]
+pub struct UplinkConfig {
+    /// Channel bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Number of receive antennas `N` (1–8).
+    pub num_antennas: usize,
+    /// Modulation and coding scheme.
+    pub mcs: Mcs,
+    /// Turbo-iteration cap `Lm` (paper default: 4).
+    pub max_turbo_iters: usize,
+    /// UE identity for scrambling.
+    pub n_rnti: u16,
+    /// Cell identity for scrambling/DMRS.
+    pub cell_id: u16,
+    /// Allocated PRBs (contiguous from PRB 0). The paper's experiments use
+    /// 100 % utilization; partial allocations model the multi-user /
+    /// varying-utilization scenario its §4.2 footnote discusses.
+    pub alloc_prbs: usize,
+    seg: Segmentation,
+}
+
+impl UplinkConfig {
+    /// Builds a configuration: full-band allocation (the paper's 100 % PRB
+    /// utilization), single user, `Lm = 4`.
+    pub fn new(bandwidth: Bandwidth, num_antennas: usize, mcs_index: u8) -> Result<Self, PhyError> {
+        Self::with_iters(
+            bandwidth,
+            num_antennas,
+            mcs_index,
+            crate::mcs::DEFAULT_MAX_TURBO_ITERS,
+        )
+    }
+
+    /// Like [`UplinkConfig::new`] with an explicit turbo-iteration cap.
+    pub fn with_iters(
+        bandwidth: Bandwidth,
+        num_antennas: usize,
+        mcs_index: u8,
+        max_turbo_iters: usize,
+    ) -> Result<Self, PhyError> {
+        Self::with_allocation(
+            bandwidth,
+            num_antennas,
+            mcs_index,
+            max_turbo_iters,
+            bandwidth.num_prbs(),
+        )
+    }
+
+    /// Builds a configuration with a partial allocation of `alloc_prbs`
+    /// contiguous PRBs (SC-FDMA requires contiguity). The transport block
+    /// size, coded bits, and DMRS band all scale with the allocation.
+    pub fn with_allocation(
+        bandwidth: Bandwidth,
+        num_antennas: usize,
+        mcs_index: u8,
+        max_turbo_iters: usize,
+        alloc_prbs: usize,
+    ) -> Result<Self, PhyError> {
+        if alloc_prbs == 0 || alloc_prbs > bandwidth.num_prbs() {
+            return Err(PhyError::InvalidConfig {
+                what: "alloc_prbs",
+                detail: format!("{alloc_prbs} not in 1..={}", bandwidth.num_prbs()),
+            });
+        }
+        if !(1..=8).contains(&num_antennas) {
+            return Err(PhyError::InvalidConfig {
+                what: "num_antennas",
+                detail: format!("{num_antennas} not in 1..=8"),
+            });
+        }
+        if max_turbo_iters == 0 || max_turbo_iters > 16 {
+            return Err(PhyError::InvalidConfig {
+                what: "max_turbo_iters",
+                detail: format!("{max_turbo_iters} not in 1..=16"),
+            });
+        }
+        let mcs = Mcs::new(mcs_index).ok_or_else(|| PhyError::InvalidConfig {
+            what: "mcs",
+            detail: format!("index {mcs_index} above 28"),
+        })?;
+        let tbs = mcs.transport_block_bits(alloc_prbs);
+        let seg = Segmentation::compute(tbs + 24)?;
+        Ok(UplinkConfig {
+            bandwidth,
+            num_antennas,
+            mcs,
+            max_turbo_iters,
+            n_rnti: 0x1234,
+            cell_id: 42,
+            alloc_prbs,
+            seg,
+        })
+    }
+
+    /// Allocated subcarriers (12 per allocated PRB).
+    pub fn alloc_subcarriers(&self) -> usize {
+        self.alloc_prbs * crate::params::SUBCARRIERS_PER_PRB
+    }
+
+    /// Data resource elements in the allocation (12 data symbols).
+    pub fn data_res(&self) -> usize {
+        self.alloc_subcarriers() * (SYMBOLS_PER_SUBFRAME - 2)
+    }
+
+    /// Transport block size in bits (scales with the allocation).
+    pub fn tbs_bits(&self) -> usize {
+        self.mcs.transport_block_bits(self.alloc_prbs)
+    }
+
+    /// Transport block size in bytes.
+    pub fn transport_block_bytes(&self) -> usize {
+        self.tbs_bits() / 8
+    }
+
+    /// Total coded bits per subframe: `G = allocated data REs × Qm`.
+    pub fn coded_bits(&self) -> usize {
+        self.data_res() * self.mcs.modulation_order()
+    }
+
+    /// The code-block segmentation in force.
+    pub fn segmentation(&self) -> &Segmentation {
+        &self.seg
+    }
+
+    /// The modulation scheme.
+    pub fn modulation(&self) -> Modulation {
+        Modulation::from_order(self.mcs.modulation_order()).expect("valid Qm")
+    }
+
+    /// Per-code-block rate-matching output sizes `E_r` (36.212 §5.1.4.1.2).
+    pub fn e_splits(&self) -> Vec<usize> {
+        let qm = self.mcs.modulation_order();
+        let c = self.seg.num_blocks;
+        let g_sym = self.coded_bits() / qm; // G' with one layer
+        let gamma = g_sym % c;
+        (0..c)
+            .map(|r| {
+                if r < c - gamma {
+                    qm * (g_sym / c)
+                } else {
+                    qm * g_sym.div_ceil(c)
+                }
+            })
+            .collect()
+    }
+
+    /// Bit offset of block `r` within the coded stream.
+    pub fn e_offset(&self, r: usize) -> usize {
+        self.e_splits()[..r].iter().sum()
+    }
+
+    /// Indices of the 12 data (non-DMRS) OFDM symbols.
+    pub fn data_symbols(&self) -> Vec<usize> {
+        (0..SYMBOLS_PER_SUBFRAME)
+            .filter(|&l| !is_dmrs_symbol(l))
+            .collect()
+    }
+
+    /// The Fig. 5 subtask breakdown for this configuration.
+    pub fn breakdown(&self) -> TaskBreakdown {
+        TaskBreakdown {
+            fft: self.num_antennas * SYMBOLS_PER_SUBFRAME,
+            demod: self.data_symbols().len(),
+            decode: self.seg.num_blocks,
+        }
+    }
+}
+
+/// Per-code-block codec state (shared between identical block sizes).
+#[derive(Clone, Debug)]
+struct BlockCodec {
+    k: usize,
+    matcher: RateMatcher,
+    decoder: TurboDecoder,
+    encoder: TurboEncoder,
+}
+
+fn build_codecs(seg: &Segmentation) -> (Vec<BlockCodec>, Vec<usize>) {
+    let sizes = seg.block_sizes();
+    let mut codecs: Vec<BlockCodec> = Vec::new();
+    let mut index = Vec::with_capacity(sizes.len());
+    for k in sizes {
+        if let Some(pos) = codecs.iter().position(|c| c.k == k) {
+            index.push(pos);
+        } else {
+            let encoder = TurboEncoder::new(k);
+            let decoder = TurboDecoder::with_qpp(encoder.qpp().clone());
+            codecs.push(BlockCodec {
+                k,
+                matcher: RateMatcher::new(k),
+                decoder,
+                encoder,
+            });
+            index.push(codecs.len() - 1);
+        }
+    }
+    (codecs, index)
+}
+
+/// A transmitted subframe: the time-domain IQ samples (single Tx antenna).
+#[derive(Clone, Debug)]
+pub struct TxSubframe {
+    /// Baseband samples, `samples_per_subframe` long.
+    pub samples: Vec<Cf32>,
+}
+
+/// PUSCH transmitter (test-vector generator).
+#[derive(Clone, Debug)]
+pub struct UplinkTx {
+    cfg: UplinkConfig,
+    ofdm: OfdmProcessor,
+    dft: FftPlan,
+    scrambler: Scrambler,
+    dmrs: Vec<Cf32>,
+    codecs: Vec<BlockCodec>,
+    codec_index: Vec<usize>,
+}
+
+impl UplinkTx {
+    /// Creates a transmitter for the configuration.
+    pub fn new(cfg: UplinkConfig) -> Self {
+        let m = cfg.alloc_subcarriers();
+        let (codecs, codec_index) = build_codecs(&cfg.seg);
+        UplinkTx {
+            ofdm: OfdmProcessor::new(cfg.bandwidth),
+            dft: FftPlan::new(m),
+            scrambler: Scrambler::new(pusch_c_init(cfg.n_rnti, 0, cfg.cell_id), cfg.coded_bits()),
+            dmrs: dmrs_sequence(cfg.cell_id as usize, m),
+            codecs,
+            codec_index,
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &UplinkConfig {
+        &self.cfg
+    }
+
+    /// Encodes one transport block into a subframe of IQ samples
+    /// (redundancy version 0).
+    ///
+    /// `payload` must be exactly [`UplinkConfig::transport_block_bytes`] long.
+    pub fn encode_subframe(&self, payload: &[u8]) -> Result<TxSubframe, PhyError> {
+        self.encode_subframe_rv(payload, 0)
+    }
+
+    /// Encodes a (re)transmission at redundancy version `rv` (0..=3) — the
+    /// HARQ incremental-redundancy path (see [`crate::harq`]).
+    pub fn encode_subframe_rv(&self, payload: &[u8], rv: u8) -> Result<TxSubframe, PhyError> {
+        let cfg = &self.cfg;
+        if payload.len() != cfg.transport_block_bytes() {
+            return Err(PhyError::LengthMismatch {
+                what: "payload bytes",
+                expected: cfg.transport_block_bytes(),
+                actual: payload.len(),
+            });
+        }
+        // Transport block: payload bits + CRC24A.
+        let mut tb = bytes_to_bits(payload);
+        CRC24A.attach(&mut tb);
+        let blocks = cfg.seg.segment(&tb)?;
+
+        // Per block: turbo encode + rate match, then concatenate.
+        let mut coded = Vec::with_capacity(cfg.coded_bits());
+        for (r, (block, e)) in blocks.iter().zip(cfg.e_splits()).enumerate() {
+            let codec = &self.codecs[self.codec_index[r]];
+            let cw = codec.encoder.encode(block);
+            coded.extend(codec.matcher.rate_match_rv(&cw, e, rv));
+        }
+        debug_assert_eq!(coded.len(), cfg.coded_bits());
+
+        // Scramble and map to constellation symbols.
+        self.scrambler.scramble_bits(&mut coded);
+        let symbols = cfg.modulation().map(&coded);
+
+        // DFT-precode each data symbol and place on the grid's allocated
+        // band (contiguous from subcarrier 0); DMRS on symbols 3/10.
+        let m = cfg.alloc_subcarriers();
+        let mut grid = Grid::new(cfg.bandwidth);
+        for (si, &l) in cfg.data_symbols().iter().enumerate() {
+            let mut chunk: Vec<Cf32> = symbols[si * m..(si + 1) * m].to_vec();
+            self.dft.forward(&mut chunk);
+            let scale = 1.0 / (m as f32).sqrt(); // unitary DFT precoding
+            for (dst, src) in grid.symbol_mut(l)[..m].iter_mut().zip(&chunk) {
+                *dst = src.scale(scale);
+            }
+        }
+        for l in crate::params::dmrs_symbols() {
+            grid.symbol_mut(l)[..m].copy_from_slice(&self.dmrs);
+        }
+        Ok(TxSubframe {
+            samples: self.ofdm.modulate(&grid),
+        })
+    }
+}
+
+/// Outcome of decoding one subframe.
+#[derive(Clone, Debug)]
+pub struct RxOutput {
+    /// Recovered transport-block payload bytes (best effort on CRC failure).
+    pub payload: Vec<u8>,
+    /// Transport-block CRC24A result — the ACK/NACK decision.
+    pub crc_ok: bool,
+    /// Per-code-block CRC results.
+    pub block_crc_ok: Vec<bool>,
+    /// Per-code-block turbo iteration counts (`L` of Eq. 1).
+    pub block_iterations: Vec<usize>,
+}
+
+impl RxOutput {
+    /// Total turbo iterations across code blocks.
+    pub fn total_iterations(&self) -> usize {
+        self.block_iterations.iter().sum()
+    }
+
+    /// Largest per-block iteration count (the critical-path `L`).
+    pub fn max_iterations(&self) -> usize {
+        self.block_iterations.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Result of one FFT subtask: a demodulated antenna-symbol row.
+#[derive(Clone, Debug)]
+pub struct FftOut {
+    /// Receive antenna index.
+    pub antenna: usize,
+    /// OFDM symbol index within the subframe.
+    pub symbol: usize,
+    /// The symbol's subcarrier values.
+    pub row: Vec<Cf32>,
+}
+
+/// Result of one demod subtask: soft bits for one data symbol.
+#[derive(Clone, Debug)]
+pub struct DemodOut {
+    /// Data-symbol index (0..12, skipping DMRS symbols).
+    pub data_symbol: usize,
+    /// `M × Qm` LLRs in transmission order.
+    pub llrs: Vec<f32>,
+}
+
+/// Result of one decode subtask: one turbo-decoded code block.
+#[derive(Clone, Debug)]
+pub struct BlockOut {
+    /// Code-block index.
+    pub index: usize,
+    /// Hard-decision bits of the block (length `K_r`).
+    pub bits: Vec<u8>,
+    /// Turbo iterations used.
+    pub iterations: usize,
+    /// Per-block CRC outcome.
+    pub crc_ok: bool,
+}
+
+/// PUSCH receiver.
+#[derive(Clone, Debug)]
+pub struct UplinkRx {
+    cfg: UplinkConfig,
+    ofdm: OfdmProcessor,
+    dft: FftPlan,
+    scrambler: Scrambler,
+    dmrs: Vec<Cf32>,
+    codecs: Vec<BlockCodec>,
+    codec_index: Vec<usize>,
+}
+
+impl UplinkRx {
+    /// Creates a receiver for the configuration.
+    pub fn new(cfg: UplinkConfig) -> Self {
+        let m = cfg.alloc_subcarriers();
+        let (codecs, codec_index) = build_codecs(&cfg.seg);
+        UplinkRx {
+            ofdm: OfdmProcessor::new(cfg.bandwidth),
+            dft: FftPlan::new(m),
+            scrambler: Scrambler::new(pusch_c_init(cfg.n_rnti, 0, cfg.cell_id), cfg.coded_bits()),
+            dmrs: dmrs_sequence(cfg.cell_id as usize, m),
+            codecs,
+            codec_index,
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &UplinkConfig {
+        &self.cfg
+    }
+
+    /// Starts a staged decode of one subframe. `rx_samples` holds one
+    /// stream per receive antenna.
+    pub fn start_job<'a>(
+        &'a self,
+        rx_samples: &'a [Vec<Cf32>],
+    ) -> Result<SubframeJob<'a>, PhyError> {
+        let cfg = &self.cfg;
+        if rx_samples.len() != cfg.num_antennas {
+            return Err(PhyError::LengthMismatch {
+                what: "antenna streams",
+                expected: cfg.num_antennas,
+                actual: rx_samples.len(),
+            });
+        }
+        let need = cfg.bandwidth.samples_per_subframe();
+        for s in rx_samples {
+            if s.len() != need {
+                return Err(PhyError::LengthMismatch {
+                    what: "subframe samples",
+                    expected: need,
+                    actual: s.len(),
+                });
+            }
+        }
+        Ok(SubframeJob {
+            rx: self,
+            samples: rx_samples,
+            grids: vec![Grid::new(cfg.bandwidth); cfg.num_antennas],
+            est: None,
+            llrs: vec![0.0; cfg.coded_bits()],
+            fft_done: 0,
+            demod_done: 0,
+            blocks: vec![None; cfg.seg.num_blocks],
+        })
+    }
+
+    /// Runs one FFT subtask against raw antenna streams — the stateless
+    /// form used when the subtask executes on a *different* thread than
+    /// the job owner (RT-OPEX migration): the callee only needs shared
+    /// references, and the owner absorbs the returned value.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range for the configured antenna count.
+    pub fn run_fft_subtask_on(&self, rx_samples: &[Vec<Cf32>], i: usize) -> FftOut {
+        let count = self.cfg.breakdown().fft;
+        assert!(i < count, "fft subtask {i} out of range");
+        let antenna = i / SYMBOLS_PER_SUBFRAME;
+        let symbol = i % SYMBOLS_PER_SUBFRAME;
+        FftOut {
+            antenna,
+            symbol,
+            row: self.ofdm.demod_symbol(&rx_samples[antenna], symbol),
+        }
+    }
+
+    /// Runs one decode subtask against a complete coded-LLR stream — the
+    /// stateless (migratable) form of [`SubframeJob::run_decode_subtask`].
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range or `llrs` has the wrong length.
+    pub fn run_decode_subtask_on(&self, llrs: &[f32], r: usize) -> BlockOut {
+        let cfg = &self.cfg;
+        assert!(r < cfg.seg.num_blocks, "decode subtask {r} out of range");
+        assert_eq!(llrs.len(), cfg.coded_bits(), "coded LLR stream length");
+        let e = cfg.e_splits()[r];
+        let off = cfg.e_offset(r);
+        let mut slice = llrs[off..off + e].to_vec();
+        self.scrambler.descramble_llrs_at(off, &mut slice);
+
+        let codec = &self.codecs[self.codec_index[r]];
+        let (mut d0, d1, d2) = codec.matcher.de_rate_match(&slice);
+        if r == 0 {
+            for v in d0.iter_mut().take(cfg.seg.filler) {
+                *v = FILLER_LLR;
+            }
+        }
+        let multi = cfg.seg.num_blocks > 1;
+        let filler = if r == 0 { cfg.seg.filler } else { 0 };
+        let res = codec
+            .decoder
+            .decode(&d0, &d1, &d2, cfg.max_turbo_iters, |bits| {
+                if multi {
+                    CRC24B.check(bits)
+                } else {
+                    CRC24A.check(&bits[filler..])
+                }
+            });
+        BlockOut {
+            index: r,
+            crc_ok: res.converged,
+            bits: res.bits,
+            iterations: res.iterations,
+        }
+    }
+
+    /// Decodes a (re)transmission at redundancy version `rv`, combining its
+    /// soft information with everything already accumulated in `harq`
+    /// before turbo decoding — chase combining for repeated rvs,
+    /// incremental redundancy across different rvs.
+    ///
+    /// The caller owns the ACK/NACK policy: on `crc_ok` reset the process,
+    /// otherwise request the next rv from
+    /// [`crate::harq::rv_for_transmission`] and call again.
+    ///
+    /// # Errors
+    /// Propagates configuration/shape errors; a failed CRC is reported in
+    /// the output, not as an error.
+    pub fn decode_subframe_harq(
+        &self,
+        rx_samples: &[Vec<Cf32>],
+        rv: u8,
+        harq: &mut crate::harq::HarqProcess,
+    ) -> Result<RxOutput, PhyError> {
+        if harq.num_blocks() != self.cfg.seg.num_blocks {
+            return Err(PhyError::LengthMismatch {
+                what: "harq process blocks",
+                expected: self.cfg.seg.num_blocks,
+                actual: harq.num_blocks(),
+            });
+        }
+        let mut job = self.start_job(rx_samples)?;
+        for i in 0..job.fft_subtask_count() {
+            let out = job.run_fft_subtask(i);
+            job.absorb_fft(out);
+        }
+        job.finish_fft();
+        for i in 0..job.demod_subtask_count() {
+            let out = job.run_demod_subtask(i);
+            job.absorb_demod(out);
+        }
+        let llrs = job.coded_llrs().to_vec();
+        let cfg = &self.cfg;
+        for r in 0..cfg.seg.num_blocks {
+            let e = cfg.e_splits()[r];
+            let off = cfg.e_offset(r);
+            let mut slice = llrs[off..off + e].to_vec();
+            self.scrambler.descramble_llrs_at(off, &mut slice);
+            let codec = &self.codecs[self.codec_index[r]];
+            let (d0, d1, d2) = codec.matcher.de_rate_match_rv(&slice, rv);
+            let (c0, c1, c2) = harq.accumulate(r, &d0, &d1, &d2)?;
+            let mut cd0 = c0.to_vec();
+            let (c1, c2) = (c1.to_vec(), c2.to_vec());
+            if r == 0 {
+                for v in cd0.iter_mut().take(cfg.seg.filler) {
+                    *v = FILLER_LLR;
+                }
+            }
+            let multi = cfg.seg.num_blocks > 1;
+            let filler = if r == 0 { cfg.seg.filler } else { 0 };
+            let res = codec
+                .decoder
+                .decode(&cd0, &c1, &c2, cfg.max_turbo_iters, |bits| {
+                    if multi {
+                        CRC24B.check(bits)
+                    } else {
+                        CRC24A.check(&bits[filler..])
+                    }
+                });
+            job.absorb_decode(BlockOut {
+                index: r,
+                crc_ok: res.converged,
+                bits: res.bits,
+                iterations: res.iterations,
+            });
+        }
+        harq.mark_transmission();
+        job.finish()
+    }
+
+    /// Serial convenience wrapper: runs every subtask in order on the
+    /// calling thread and finishes the job.
+    pub fn decode_subframe(&self, rx_samples: &[Vec<Cf32>]) -> Result<RxOutput, PhyError> {
+        let mut job = self.start_job(rx_samples)?;
+        for i in 0..job.fft_subtask_count() {
+            let out = job.run_fft_subtask(i);
+            job.absorb_fft(out);
+        }
+        job.finish_fft();
+        for i in 0..job.demod_subtask_count() {
+            let out = job.run_demod_subtask(i);
+            job.absorb_demod(out);
+        }
+        for r in 0..job.decode_subtask_count() {
+            let out = job.run_decode_subtask(r);
+            job.absorb_decode(out);
+        }
+        job.finish()
+    }
+}
+
+/// A staged subframe decode (see module docs). Subtask `run_*` methods are
+/// `&self` and side-effect-free, so they can run on any thread; `absorb_*`
+/// and the stage transitions belong to the owning thread.
+pub struct SubframeJob<'a> {
+    rx: &'a UplinkRx,
+    samples: &'a [Vec<Cf32>],
+    grids: Vec<Grid>,
+    est: Option<ChannelEstimate>,
+    llrs: Vec<f32>,
+    fft_done: usize,
+    demod_done: usize,
+    blocks: Vec<Option<BlockOut>>,
+}
+
+impl<'a> SubframeJob<'a> {
+    /// Number of FFT subtasks (`N × 14`).
+    pub fn fft_subtask_count(&self) -> usize {
+        self.rx.cfg.breakdown().fft
+    }
+
+    /// Runs FFT subtask `i` (antenna `i / 14`, symbol `i % 14`).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn run_fft_subtask(&self, i: usize) -> FftOut {
+        self.rx.run_fft_subtask_on(self.samples, i)
+    }
+
+    /// The complete coded-LLR stream (valid once the demod task finished);
+    /// owners clone this into shared storage when migrating decode
+    /// subtasks to other threads.
+    ///
+    /// # Panics
+    /// Panics if demod subtasks are still outstanding.
+    pub fn coded_llrs(&self) -> &[f32] {
+        assert_eq!(
+            self.demod_done,
+            self.demod_subtask_count(),
+            "demod task incomplete"
+        );
+        &self.llrs
+    }
+
+    /// Stores an FFT subtask result.
+    pub fn absorb_fft(&mut self, out: FftOut) {
+        self.grids[out.antenna]
+            .symbol_mut(out.symbol)
+            .copy_from_slice(&out.row);
+        self.fft_done += 1;
+    }
+
+    /// Ends the FFT task: estimates the channel from the DMRS symbols.
+    /// Must be called once after all FFT results are absorbed.
+    ///
+    /// # Panics
+    /// Panics if FFT subtasks are still outstanding.
+    pub fn finish_fft(&mut self) {
+        assert_eq!(
+            self.fft_done,
+            self.fft_subtask_count(),
+            "FFT task incomplete"
+        );
+        let band = 0..self.rx.cfg.alloc_subcarriers();
+        self.est = Some(estimate_channel_band(&self.grids, &self.rx.dmrs, band));
+    }
+
+    /// Number of demod subtasks (12 data symbols).
+    pub fn demod_subtask_count(&self) -> usize {
+        self.rx.cfg.breakdown().demod
+    }
+
+    /// Runs demod subtask `i`: MRC-combines data symbol `i` across
+    /// antennas, removes the DFT precoding and soft-demaps to LLRs.
+    ///
+    /// # Panics
+    /// Panics if called before [`SubframeJob::finish_fft`] or `i` is out of
+    /// range.
+    pub fn run_demod_subtask(&self, i: usize) -> DemodOut {
+        let est = self.est.as_ref().expect("finish_fft must run first");
+        let data_syms = self.rx.cfg.data_symbols();
+        assert!(i < data_syms.len(), "demod subtask {i} out of range");
+        let l = data_syms[i];
+        let m = self.rx.cfg.alloc_subcarriers();
+        let rows: Vec<&[Cf32]> = self.grids.iter().map(|g| &g.symbol(l)[..m]).collect();
+        let (combined, post_var) = mrc_combine(&rows, est);
+
+        // Undo the unitary DFT precoding (SC-FDMA → constellation domain).
+        let m = combined.len();
+        let mut time = combined;
+        self.rx.dft.inverse(&mut time);
+        let scale = (m as f32).sqrt();
+        for v in time.iter_mut() {
+            *v = v.scale(scale);
+        }
+        // The IDFT spreads each subcarrier's noise over all constellation
+        // symbols: use the mean post-combining variance for every symbol.
+        let mean_var = post_var.iter().sum::<f32>() / m as f32;
+        let nv = vec![mean_var; m];
+        let mut llrs = Vec::with_capacity(m * self.rx.cfg.mcs.modulation_order());
+        self.rx.cfg.modulation().demap_maxlog(&time, &nv, &mut llrs);
+        DemodOut {
+            data_symbol: i,
+            llrs,
+        }
+    }
+
+    /// Stores a demod subtask result.
+    pub fn absorb_demod(&mut self, out: DemodOut) {
+        let per_symbol = self.rx.cfg.alloc_subcarriers() * self.rx.cfg.mcs.modulation_order();
+        let off = out.data_symbol * per_symbol;
+        self.llrs[off..off + per_symbol].copy_from_slice(&out.llrs);
+        self.demod_done += 1;
+    }
+
+    /// Number of decode subtasks (`C` code blocks).
+    pub fn decode_subtask_count(&self) -> usize {
+        self.rx.cfg.seg.num_blocks
+    }
+
+    /// Runs decode subtask `r`: descrambles the block's slice of the coded
+    /// stream, de-rate-matches, clamps filler bits, and turbo-decodes with
+    /// CRC early termination.
+    ///
+    /// # Panics
+    /// Panics if demod subtasks are still outstanding or `r` out of range.
+    pub fn run_decode_subtask(&self, r: usize) -> BlockOut {
+        self.rx.run_decode_subtask_on(self.coded_llrs(), r)
+    }
+
+    /// Stores a decode subtask result.
+    pub fn absorb_decode(&mut self, out: BlockOut) {
+        let idx = out.index;
+        self.blocks[idx] = Some(out);
+    }
+
+    /// Finishes the job: reassembles the transport block and checks its CRC.
+    ///
+    /// # Panics
+    /// Panics if any decode subtask result is missing.
+    pub fn finish(self) -> Result<RxOutput, PhyError> {
+        let cfg = &self.rx.cfg;
+        let mut block_bits = Vec::with_capacity(cfg.seg.num_blocks);
+        let mut block_crc_ok = Vec::with_capacity(cfg.seg.num_blocks);
+        let mut block_iterations = Vec::with_capacity(cfg.seg.num_blocks);
+        for (r, slot) in self.blocks.into_iter().enumerate() {
+            let out = slot.unwrap_or_else(|| panic!("decode subtask {r} missing"));
+            block_crc_ok.push(out.crc_ok);
+            block_iterations.push(out.iterations);
+            block_bits.push(out.bits);
+        }
+        let (tb, _) = cfg.seg.desegment(&block_bits)?;
+        let crc_ok = CRC24A.check(&tb) && block_crc_ok.iter().all(|&b| b);
+        let payload = bits_to_bytes(&tb[..cfg.tbs_bits()]);
+        Ok(RxOutput {
+            payload,
+            crc_ok,
+            block_crc_ok,
+            block_iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{AwgnChannel, ChannelModel, MultipathChannel, RayleighBlockChannel};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn payload(cfg: &UplinkConfig, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..cfg.transport_block_bytes())
+            .map(|_| rng.gen())
+            .collect()
+    }
+
+    fn run_e2e(bw: Bandwidth, ants: usize, mcs: u8, snr_db: f64, seed: u64) -> (RxOutput, Vec<u8>) {
+        let cfg = UplinkConfig::new(bw, ants, mcs).unwrap();
+        let tx = UplinkTx::new(cfg.clone());
+        let p = payload(&cfg, seed);
+        let sf = tx.encode_subframe(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let mut ch = AwgnChannel::new(snr_db);
+        let rx_samples = ch.apply(&sf.samples, ants, &mut rng);
+        let rx = UplinkRx::new(cfg);
+        (rx.decode_subframe(&rx_samples).unwrap(), p)
+    }
+
+    #[test]
+    fn bits_bytes_roundtrip() {
+        let bytes = vec![0x00, 0xFF, 0xA5, 0x3C];
+        assert_eq!(bits_to_bytes(&bytes_to_bits(&bytes)), bytes);
+        assert_eq!(bytes_to_bits(&[0x80])[0], 1);
+    }
+
+    #[test]
+    fn e2e_qpsk_clean_channel() {
+        let (out, p) = run_e2e(Bandwidth::Mhz1_4, 1, 5, 30.0, 1);
+        assert!(out.crc_ok);
+        assert_eq!(out.payload, p);
+        assert_eq!(out.max_iterations(), 1, "clean channel needs 1 iteration");
+    }
+
+    #[test]
+    fn e2e_16qam_two_antennas() {
+        let (out, p) = run_e2e(Bandwidth::Mhz1_4, 2, 15, 25.0, 2);
+        assert!(out.crc_ok);
+        assert_eq!(out.payload, p);
+    }
+
+    #[test]
+    fn e2e_64qam_high_mcs() {
+        let (out, p) = run_e2e(Bandwidth::Mhz1_4, 2, 27, 30.0, 3);
+        assert!(out.crc_ok);
+        assert_eq!(out.payload, p);
+    }
+
+    #[test]
+    fn e2e_5mhz_multi_block() {
+        // 5 MHz, MCS 20: TBS big enough for multiple code blocks.
+        let cfg = UplinkConfig::new(Bandwidth::Mhz5, 2, 20).unwrap();
+        assert!(cfg.segmentation().num_blocks >= 2);
+        let (out, p) = run_e2e(Bandwidth::Mhz5, 2, 20, 28.0, 4);
+        assert!(out.crc_ok);
+        assert_eq!(out.payload, p);
+        assert_eq!(out.block_crc_ok.len(), cfg.segmentation().num_blocks);
+    }
+
+    #[test]
+    fn low_snr_fails_crc_not_panics() {
+        let (out, _) = run_e2e(Bandwidth::Mhz1_4, 1, 27, -5.0, 5);
+        assert!(!out.crc_ok);
+        assert_eq!(out.max_iterations(), 4, "hopeless decode hits Lm");
+    }
+
+    #[test]
+    fn iterations_grow_as_snr_drops() {
+        let hi = run_e2e(Bandwidth::Mhz1_4, 2, 16, 30.0, 6)
+            .0
+            .total_iterations();
+        let lo = run_e2e(Bandwidth::Mhz1_4, 2, 16, 8.5, 6)
+            .0
+            .total_iterations();
+        assert!(
+            lo >= hi,
+            "iterations should not decrease with noise: {hi} vs {lo}"
+        );
+    }
+
+    #[test]
+    fn rayleigh_fading_decodes_at_high_average_snr() {
+        let cfg = UplinkConfig::new(Bandwidth::Mhz1_4, 4, 10).unwrap();
+        let tx = UplinkTx::new(cfg.clone());
+        let p = payload(&cfg, 7);
+        let sf = tx.encode_subframe(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ch = RayleighBlockChannel::new(30.0);
+        let rx_samples = ch.apply(&sf.samples, 4, &mut rng);
+        let rx = UplinkRx::new(cfg);
+        let out = rx.decode_subframe(&rx_samples).unwrap();
+        assert!(out.crc_ok, "4-branch diversity at 30 dB must decode");
+        assert_eq!(out.payload, p);
+    }
+
+    #[test]
+    fn partial_allocation_roundtrip() {
+        // 10 of 25 PRBs at 5 MHz: TBS, G, and the DMRS band all shrink;
+        // the chain must still decode cleanly.
+        let cfg = UplinkConfig::with_allocation(Bandwidth::Mhz5, 2, 14, 4, 10).unwrap();
+        assert_eq!(cfg.alloc_subcarriers(), 120);
+        assert_eq!(cfg.tbs_bits(), cfg.mcs.transport_block_bits(10));
+        assert_eq!(cfg.coded_bits(), 120 * 12 * 4);
+        let tx = UplinkTx::new(cfg.clone());
+        let rx = UplinkRx::new(cfg.clone());
+        let p = payload(&cfg, 41);
+        let sf = tx.encode_subframe(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut ch = AwgnChannel::new(25.0);
+        let rxs = ch.apply(&sf.samples, 2, &mut rng);
+        let out = rx.decode_subframe(&rxs).unwrap();
+        assert!(out.crc_ok);
+        assert_eq!(out.payload, p);
+    }
+
+    #[test]
+    fn partial_allocation_leaves_unused_band_silent() {
+        // Energy outside the allocated band must be (near) zero — the rest
+        // of the carrier belongs to other users.
+        let cfg = UplinkConfig::with_allocation(Bandwidth::Mhz5, 1, 10, 4, 8).unwrap();
+        let tx = UplinkTx::new(cfg.clone());
+        let sf = tx.encode_subframe(&payload(&cfg, 42)).unwrap();
+        // Demodulate the clean waveform and inspect the grid.
+        let ofdm = crate::resource_grid::OfdmProcessor::new(cfg.bandwidth);
+        let grid = ofdm.demodulate(&sf.samples);
+        let m = cfg.alloc_subcarriers();
+        let width = cfg.bandwidth.num_subcarriers();
+        let mut in_band = 0.0f32;
+        let mut out_band = 0.0f32;
+        for l in 0..SYMBOLS_PER_SUBFRAME {
+            let row = grid.symbol(l);
+            in_band += row[..m].iter().map(|v| v.norm_sq()).sum::<f32>();
+            out_band += row[m..].iter().map(|v| v.norm_sq()).sum::<f32>();
+        }
+        assert!(in_band > 1.0, "allocation carries energy");
+        assert!(
+            out_band < in_band * ((width - m) as f32 / m as f32) * 1e-3,
+            "unallocated band leaks: {out_band} vs {in_band}"
+        );
+    }
+
+    #[test]
+    fn smaller_allocation_fewer_code_blocks() {
+        // Fewer PRBs ⇒ smaller TBS ⇒ fewer decode subtasks — the mechanism
+        // behind §4.2's note that varying PRB utilization changes the
+        // migration opportunity profile.
+        let full = UplinkConfig::new(Bandwidth::Mhz10, 2, 27).unwrap();
+        let half = UplinkConfig::with_allocation(Bandwidth::Mhz10, 2, 27, 4, 25).unwrap();
+        assert!(half.breakdown().decode < full.breakdown().decode);
+        assert!(half.tbs_bits() < full.tbs_bits());
+    }
+
+    #[test]
+    fn zero_or_oversized_allocation_rejected() {
+        assert!(UplinkConfig::with_allocation(Bandwidth::Mhz5, 1, 5, 4, 0).is_err());
+        assert!(UplinkConfig::with_allocation(Bandwidth::Mhz5, 1, 5, 4, 26).is_err());
+    }
+
+    #[test]
+    fn harq_retransmission_recovers_failed_decode() {
+        // Pick an SNR where the first transmission reliably fails but the
+        // accumulated soft energy of IR retransmissions succeeds.
+        let cfg = UplinkConfig::new(Bandwidth::Mhz1_4, 1, 16).unwrap();
+        let tx = UplinkTx::new(cfg.clone());
+        let rx = UplinkRx::new(cfg.clone());
+        let p = payload(&cfg, 77);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut harq = crate::harq::HarqProcess::new(cfg.segmentation());
+        let snr = 6.5; // well below the MCS-16 waterfall for one antenna
+        let mut history = Vec::new();
+        for txn in 0..4u32 {
+            let rv = crate::harq::rv_for_transmission(txn);
+            let sf = tx.encode_subframe_rv(&p, rv).unwrap();
+            let mut ch = AwgnChannel::new(snr);
+            let rx_samples = ch.apply(&sf.samples, 1, &mut rng);
+            let out = rx.decode_subframe_harq(&rx_samples, rv, &mut harq).unwrap();
+            history.push(out.crc_ok);
+            if out.crc_ok {
+                assert_eq!(out.payload, p, "combined decode must be correct");
+                break;
+            }
+        }
+        assert!(
+            !history[0],
+            "first transmission should fail at this SNR (else the test is vacuous)"
+        );
+        assert!(
+            history.iter().any(|&ok| ok),
+            "soft combining over {history:?} transmissions never recovered"
+        );
+        assert!(harq.transmissions() >= 2);
+    }
+
+    #[test]
+    fn harq_single_shot_equals_plain_decode_at_rv0() {
+        let cfg = UplinkConfig::new(Bandwidth::Mhz1_4, 2, 10).unwrap();
+        let tx = UplinkTx::new(cfg.clone());
+        let rx = UplinkRx::new(cfg.clone());
+        let p = payload(&cfg, 5);
+        let sf = tx.encode_subframe(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ch = AwgnChannel::new(25.0);
+        let rx_samples = ch.apply(&sf.samples, 2, &mut rng);
+        let plain = rx.decode_subframe(&rx_samples).unwrap();
+        let mut harq = crate::harq::HarqProcess::new(cfg.segmentation());
+        let combined = rx.decode_subframe_harq(&rx_samples, 0, &mut harq).unwrap();
+        assert_eq!(plain.crc_ok, combined.crc_ok);
+        assert_eq!(plain.payload, combined.payload);
+    }
+
+    #[test]
+    fn harq_rejects_mismatched_process() {
+        let cfg = UplinkConfig::new(Bandwidth::Mhz5, 1, 27).unwrap(); // multi-block
+        let other = UplinkConfig::new(Bandwidth::Mhz1_4, 1, 0).unwrap(); // single block
+        let rx = UplinkRx::new(cfg.clone());
+        let mut harq = crate::harq::HarqProcess::new(other.segmentation());
+        let samples = vec![vec![Cf32::ZERO; cfg.bandwidth.samples_per_subframe()]];
+        assert!(rx.decode_subframe_harq(&samples, 0, &mut harq).is_err());
+    }
+
+    #[test]
+    fn e2e_frequency_selective_channel() {
+        // Two-antenna diversity through a two-path fading channel: the
+        // per-subcarrier LS estimate + MRC must flatten the echo.
+        let cfg = UplinkConfig::new(Bandwidth::Mhz1_4, 2, 8).unwrap();
+        let tx = UplinkTx::new(cfg.clone());
+        let rx = UplinkRx::new(cfg.clone());
+        let mut decoded = 0;
+        let trials = 6;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(900 + seed);
+            let p = payload(&cfg, seed);
+            let sf = tx.encode_subframe(&p).unwrap();
+            let mut ch = MultipathChannel::two_path(28.0);
+            let rx_samples = ch.apply(&sf.samples, 2, &mut rng);
+            let out = rx.decode_subframe(&rx_samples).unwrap();
+            if out.crc_ok && out.payload == p {
+                decoded += 1;
+            }
+        }
+        // Rayleigh taps occasionally fade both antennas; most must decode.
+        assert!(decoded >= trials - 1, "only {decoded}/{trials} decoded");
+    }
+
+    #[test]
+    fn staged_job_equals_serial() {
+        let cfg = UplinkConfig::new(Bandwidth::Mhz1_4, 2, 12).unwrap();
+        let tx = UplinkTx::new(cfg.clone());
+        let p = payload(&cfg, 8);
+        let sf = tx.encode_subframe(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut ch = AwgnChannel::new(20.0);
+        let rx_samples = ch.apply(&sf.samples, 2, &mut rng);
+        let rx = UplinkRx::new(cfg);
+
+        let serial = rx.decode_subframe(&rx_samples).unwrap();
+
+        // Staged, with subtasks run out of order (as migration would).
+        let mut job = rx.start_job(&rx_samples).unwrap();
+        let fft_outs: Vec<_> = (0..job.fft_subtask_count())
+            .rev()
+            .map(|i| job.run_fft_subtask(i))
+            .collect();
+        for o in fft_outs {
+            job.absorb_fft(o);
+        }
+        job.finish_fft();
+        let demod_outs: Vec<_> = (0..job.demod_subtask_count())
+            .rev()
+            .map(|i| job.run_demod_subtask(i))
+            .collect();
+        for o in demod_outs {
+            job.absorb_demod(o);
+        }
+        let dec_outs: Vec<_> = (0..job.decode_subtask_count())
+            .rev()
+            .map(|r| job.run_decode_subtask(r))
+            .collect();
+        for o in dec_outs {
+            job.absorb_decode(o);
+        }
+        let staged = job.finish().unwrap();
+        assert_eq!(staged.payload, serial.payload);
+        assert_eq!(staged.crc_ok, serial.crc_ok);
+        assert_eq!(staged.block_iterations, serial.block_iterations);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(UplinkConfig::new(Bandwidth::Mhz10, 0, 5).is_err());
+        assert!(UplinkConfig::new(Bandwidth::Mhz10, 9, 5).is_err());
+        assert!(UplinkConfig::new(Bandwidth::Mhz10, 2, 29).is_err());
+        assert!(UplinkConfig::with_iters(Bandwidth::Mhz10, 2, 5, 0).is_err());
+    }
+
+    #[test]
+    fn e_splits_sum_to_g() {
+        for mcs in [0u8, 9, 17, 27, 28] {
+            let cfg = UplinkConfig::new(Bandwidth::Mhz10, 2, mcs).unwrap();
+            let total: usize = cfg.e_splits().iter().sum();
+            assert_eq!(total, cfg.coded_bits(), "MCS {mcs}");
+            for e in cfg.e_splits() {
+                assert_eq!(e % cfg.mcs.modulation_order(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_matches_paper_config() {
+        // Paper: N = 2, 10 MHz, MCS 27 → 28 FFT subtasks, 12 demod, 6 decode.
+        let cfg = UplinkConfig::new(Bandwidth::Mhz10, 2, 27).unwrap();
+        let b = cfg.breakdown();
+        assert_eq!(b.fft, 28);
+        assert_eq!(b.demod, 12);
+        assert_eq!(b.decode, 6);
+    }
+
+    #[test]
+    fn wrong_payload_size_rejected() {
+        let cfg = UplinkConfig::new(Bandwidth::Mhz1_4, 1, 5).unwrap();
+        let tx = UplinkTx::new(cfg);
+        assert!(tx.encode_subframe(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn wrong_antenna_count_rejected() {
+        let cfg = UplinkConfig::new(Bandwidth::Mhz1_4, 2, 5).unwrap();
+        let rx = UplinkRx::new(cfg.clone());
+        let one = vec![vec![Cf32::ZERO; cfg.bandwidth.samples_per_subframe()]];
+        assert!(rx.start_job(&one).is_err());
+    }
+}

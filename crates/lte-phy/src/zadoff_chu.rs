@@ -1,0 +1,141 @@
+//! Zadoff-Chu reference sequences for the uplink DMRS (36.211 §5.5).
+//!
+//! The PUSCH demodulation reference signal is a constant-amplitude
+//! zero-autocorrelation (CAZAC) sequence: a Zadoff-Chu sequence of the
+//! largest prime length below the allocation width, cyclically extended to
+//! fill the allocated subcarriers. Constant amplitude is what makes the
+//! least-squares channel estimate in the equalizer well-conditioned on
+//! every subcarrier.
+
+use crate::complex::Cf32;
+
+/// Returns `true` if `n` is prime (trial division; inputs are ≤ a few thousand).
+pub fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// Largest prime `≤ n`, or `None` for `n < 2`.
+pub fn largest_prime_leq(n: usize) -> Option<usize> {
+    (2..=n).rev().find(|&p| is_prime(p))
+}
+
+/// Generates a length-`nzc` Zadoff-Chu sequence with root `u`:
+/// `x(n) = e^{-jπ·u·n·(n+1)/Nzc}` (odd prime `nzc`).
+///
+/// # Panics
+/// Panics if `nzc` is not an odd prime or `u` is not in `1..nzc`.
+pub fn zadoff_chu(u: usize, nzc: usize) -> Vec<Cf32> {
+    assert!(is_prime(nzc) && nzc >= 3, "Nzc must be an odd prime");
+    assert!(u >= 1 && u < nzc, "root must be in 1..Nzc");
+    (0..nzc)
+        .map(|n| {
+            // n(n+1) fits easily in u64 for LTE sizes; reduce mod 2·Nzc to
+            // keep the phase argument small and exact.
+            let phase_num = (u as u64 * n as u64 * (n as u64 + 1)) % (2 * nzc as u64);
+            Cf32::from_phase(-std::f32::consts::PI * phase_num as f32 / nzc as f32)
+        })
+        .collect()
+}
+
+/// DMRS base sequence of length `len` (= allocated subcarriers): the
+/// largest-prime ZC sequence cyclically extended, per 36.211 §5.5.1.1.
+///
+/// # Panics
+/// Panics if `len < 3`.
+pub fn dmrs_sequence(root: usize, len: usize) -> Vec<Cf32> {
+    assert!(len >= 3, "DMRS length must be at least 3 subcarriers");
+    let nzc = largest_prime_leq(len).expect("a prime below any len ≥ 3 exists");
+    let u = 1 + (root % (nzc - 1));
+    let base = zadoff_chu(u, nzc);
+    (0..len).map(|n| base[n % nzc]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_basics() {
+        assert!(is_prime(2));
+        assert!(is_prime(3));
+        assert!(is_prime(599));
+        assert!(!is_prime(600));
+        assert!(!is_prime(1));
+        assert_eq!(largest_prime_leq(600), Some(599));
+        assert_eq!(largest_prime_leq(72), Some(71));
+        assert_eq!(largest_prime_leq(1), None);
+    }
+
+    #[test]
+    fn zc_is_constant_amplitude() {
+        let z = zadoff_chu(25, 599);
+        for v in &z {
+            assert!((v.abs() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn zc_has_zero_autocorrelation() {
+        // CAZAC property: cyclic autocorrelation is an impulse.
+        let z = zadoff_chu(7, 139);
+        let n = z.len();
+        for shift in 1..10 {
+            let mut acc = Cf32::ZERO;
+            for i in 0..n {
+                acc += z[i] * z[(i + shift) % n].conj();
+            }
+            assert!(
+                acc.abs() < 1e-3 * n as f32,
+                "autocorrelation at shift {shift}: {}",
+                acc.abs()
+            );
+        }
+    }
+
+    #[test]
+    fn different_roots_have_low_cross_correlation() {
+        let nzc = 139;
+        let a = zadoff_chu(3, nzc);
+        let b = zadoff_chu(5, nzc);
+        let mut acc = Cf32::ZERO;
+        for i in 0..nzc {
+            acc += a[i] * b[i].conj();
+        }
+        // Cross-correlation magnitude of distinct-root ZC is √Nzc.
+        assert!(acc.abs() < 1.5 * (nzc as f32).sqrt());
+    }
+
+    #[test]
+    fn dmrs_fills_allocation() {
+        let d = dmrs_sequence(0, 600);
+        assert_eq!(d.len(), 600);
+        // Cyclic extension repeats the head.
+        assert_eq!(d[599], d[0]);
+        for v in &d {
+            assert!((v.abs() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dmrs_roots_differ() {
+        let a = dmrs_sequence(0, 300);
+        let b = dmrs_sequence(1, 300);
+        assert_ne!(a[1], b[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd prime")]
+    fn non_prime_length_panics() {
+        zadoff_chu(1, 600);
+    }
+}

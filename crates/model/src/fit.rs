@@ -1,0 +1,230 @@
+//! Ordinary-least-squares fitting of the Eq. (1) model — regenerates Table 1.
+//!
+//! The paper fits `T = w0 + w1·N + w2·K + w3·(D·L)` on 4×10⁶ measurements
+//! and reports r² = 0.992. This module solves the 4×4 normal equations with
+//! Gaussian elimination (no linear-algebra dependency needed for a
+//! four-parameter regression).
+
+use crate::linmod::ProcModel;
+
+/// One processing-time measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelSample {
+    /// Number of receive antennas `N`.
+    pub n_antennas: usize,
+    /// Modulation order `K`.
+    pub qm: usize,
+    /// Subcarrier load `D` (bits per RE).
+    pub d_load: f64,
+    /// Turbo iterations `L`.
+    pub iters: f64,
+    /// Measured total processing time, µs.
+    pub time_us: f64,
+}
+
+impl ModelSample {
+    /// The regressor vector `(1, N, K, D·L)`.
+    fn regressors(&self) -> [f64; 4] {
+        [
+            1.0,
+            self.n_antennas as f64,
+            self.qm as f64,
+            self.d_load * self.iters,
+        ]
+    }
+}
+
+/// Result of a model fit.
+#[derive(Clone, Copy, Debug)]
+pub struct FitResult {
+    /// Estimated coefficients.
+    pub model: ProcModel,
+    /// Coefficient of determination r².
+    pub r2: f64,
+    /// Number of samples used.
+    pub n_samples: usize,
+}
+
+/// Solves `A·x = b` for a small dense system by Gaussian elimination with
+/// partial pivoting. Returns `None` if the system is singular.
+pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    #[allow(clippy::needless_range_loop)] // textbook Gaussian elimination indices
+    for col in 0..n {
+        // Pivot: largest |a[row][col]| among remaining rows.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Fits the Eq. (1) coefficients by OLS. Returns `None` when the design
+/// matrix is singular (e.g. all samples share the same antenna count).
+pub fn fit_proc_model(samples: &[ModelSample]) -> Option<FitResult> {
+    if samples.len() < 4 {
+        return None;
+    }
+    // Normal equations: (XᵀX) w = Xᵀy.
+    let mut xtx = vec![vec![0.0f64; 4]; 4];
+    let mut xty = vec![0.0f64; 4];
+    for s in samples {
+        let x = s.regressors();
+        for i in 0..4 {
+            for j in 0..4 {
+                xtx[i][j] += x[i] * x[j];
+            }
+            xty[i] += x[i] * s.time_us;
+        }
+    }
+    let w = solve_dense(xtx, xty)?;
+    let model = ProcModel {
+        w0: w[0],
+        w1: w[1],
+        w2: w[2],
+        w3: w[3],
+    };
+    // r² = 1 − SS_res / SS_tot.
+    let mean = samples.iter().map(|s| s.time_us).sum::<f64>() / samples.len() as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for s in samples {
+        let pred = model.predict(s.n_antennas, s.qm, s.d_load, s.iters);
+        ss_res += (s.time_us - pred).powi(2);
+        ss_tot += (s.time_us - mean).powi(2);
+    }
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    Some(FitResult {
+        model,
+        r2,
+        n_samples: samples.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn synth_samples(truth: &ProcModel, noise_us: f64, n: usize, seed: u64) -> Vec<ModelSample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let ants = rng.gen_range(1..=4usize);
+                let qm = [2usize, 4, 6][rng.gen_range(0..3)];
+                let d: f64 = rng.gen_range(0.16..3.8);
+                let l = rng.gen_range(1..=4usize) as f64;
+                let e: f64 = rng.gen_range(-noise_us..=noise_us);
+                ModelSample {
+                    n_antennas: ants,
+                    qm,
+                    d_load: d,
+                    iters: l,
+                    time_us: truth.predict(ants, qm, d, l) + e,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_recovery_without_noise() {
+        let truth = ProcModel::paper_gpp();
+        let fit = fit_proc_model(&synth_samples(&truth, 0.0, 500, 1)).unwrap();
+        assert!((fit.model.w0 - truth.w0).abs() < 1e-6);
+        assert!((fit.model.w1 - truth.w1).abs() < 1e-6);
+        assert!((fit.model.w2 - truth.w2).abs() < 1e-6);
+        assert!((fit.model.w3 - truth.w3).abs() < 1e-6);
+        assert!(fit.r2 > 0.999999);
+    }
+
+    #[test]
+    fn noisy_recovery_close_and_high_r2() {
+        let truth = ProcModel::paper_gpp();
+        let fit = fit_proc_model(&synth_samples(&truth, 30.0, 20_000, 2)).unwrap();
+        assert!((fit.model.w1 - truth.w1).abs() < 3.0, "w1 {}", fit.model.w1);
+        assert!((fit.model.w3 - truth.w3).abs() < 2.0, "w3 {}", fit.model.w3);
+        assert!(fit.r2 > 0.98, "r² {}", fit.r2);
+    }
+
+    #[test]
+    fn degenerate_design_is_rejected() {
+        // All samples identical → singular normal equations.
+        let s = ModelSample {
+            n_antennas: 2,
+            qm: 4,
+            d_load: 1.0,
+            iters: 2.0,
+            time_us: 500.0,
+        };
+        assert!(fit_proc_model(&vec![s; 100]).is_none());
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let s = ModelSample {
+            n_antennas: 1,
+            qm: 2,
+            d_load: 0.5,
+            iters: 1.0,
+            time_us: 300.0,
+        };
+        assert!(fit_proc_model(&[s; 3]).is_none());
+    }
+
+    #[test]
+    fn solve_dense_known_system() {
+        // x + y = 3; x − y = 1 → x = 2, y = 1.
+        let x = solve_dense(vec![vec![1.0, 1.0], vec![1.0, -1.0]], vec![3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_dense_singular_returns_none() {
+        assert!(solve_dense(vec![vec![1.0, 2.0], vec![2.0, 4.0]], vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_dense_needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let x = solve_dense(vec![vec![0.0, 1.0], vec![1.0, 0.0]], vec![5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12 && (x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_decreases_with_noise() {
+        let truth = ProcModel::paper_gpp();
+        let clean = fit_proc_model(&synth_samples(&truth, 5.0, 5000, 3)).unwrap();
+        let noisy = fit_proc_model(&synth_samples(&truth, 200.0, 5000, 3)).unwrap();
+        assert!(clean.r2 > noisy.r2);
+    }
+}

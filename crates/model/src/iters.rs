@@ -1,0 +1,272 @@
+//! Calibrated model of the turbo decoder's iteration count and outcome.
+//!
+//! The real decoder in `rtopex-phy` produces the iteration count `L`
+//! natively, but the headline experiments need millions of subframes —
+//! far beyond what running the full PHY allows. This module provides a
+//! statistical surrogate: given the MCS, its subcarrier load `D`, and the
+//! channel SNR, it samples `(L, CRC outcome)` with the qualitative
+//! properties the paper measures:
+//!
+//! * high-margin channels decode in 1 iteration, low-margin channels climb
+//!   toward the cap `Lm` (Fig. 3(a));
+//! * dropping SNR from 20 dB to 10 dB adds > 50 % processing time at
+//!   mid/high MCS (Fig. 3(b));
+//! * at the paper's operating point (30 dB SNR), the top MCSes (26–28)
+//!   still run 3–4 iterations — which is why subframes above ≈ 30 Mbps
+//!   miss a 1.5 ms budget on a single core 100 % of the time (Fig. 17);
+//! * the CRC fails with rapidly increasing probability once the SNR falls
+//!   below the MCS's requirement.
+//!
+//! The calibration constants are centralized here and covered by tests;
+//! `DESIGN.md` records this as a documented substitution for the authors'
+//! OAI decoder statistics.
+
+use rand::Rng;
+
+/// Outcome of one (modeled) transport-block decode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecodeOutcome {
+    /// Turbo iterations executed, `1..=l_max`.
+    pub iterations: usize,
+    /// Whether the transport block passed its CRC.
+    pub crc_ok: bool,
+}
+
+/// Iteration/outcome model. See the module docs for the calibration targets.
+#[derive(Clone, Copy, Debug)]
+pub struct IterationModel {
+    /// Iteration cap `Lm` (paper: 4).
+    pub l_max: usize,
+    /// Weight of the SNR-margin deficit term.
+    pub margin_gain: f64,
+    /// Margin (dB) below which extra iterations start being needed.
+    pub margin_knee_db: f64,
+    /// Weight of the subcarrier-load term.
+    pub load_gain: f64,
+    /// Std-dev of the per-subframe iteration noise.
+    pub noise_sigma: f64,
+}
+
+impl IterationModel {
+    /// Calibration used throughout the reproduction (targets above).
+    ///
+    /// With these constants at the paper's 30 dB operating point:
+    /// mean L ≈ 1.1 at MCS 0, ≈ 2.2 at MCS 20, ≈ 3 at MCS 25, pinned at
+    /// 4 for MCS 27 — which makes subframes above ≈ 30 Mbps exceed a
+    /// 1.5 ms budget on one core essentially always (Fig. 17) while the
+    /// MCS ≤ 19 bulk fits every budget in the paper's sweep.
+    pub const fn paper_gpp() -> Self {
+        IterationModel {
+            l_max: 4,
+            margin_gain: 0.5,
+            margin_knee_db: 6.0,
+            load_gain: 0.45,
+            noise_sigma: 0.42,
+        }
+    }
+
+    /// Approximate SNR (dB) required by MCS `m` for reliable decoding.
+    ///
+    /// Linear ≈ 1 dB/MCS through MCS 20, steeper (2.2 dB/MCS) above — the
+    /// top of the 64-QAM range operates very close to capacity.
+    pub fn required_snr_db(mcs: u8) -> f64 {
+        let m = mcs as f64;
+        if m <= 20.0 {
+            -6.0 + m
+        } else {
+            14.0 + 2.2 * (m - 20.0)
+        }
+    }
+
+    /// Mean iteration count for MCS `mcs` (subcarrier load `d_load`) at
+    /// `snr_db`, before clamping to `[1, l_max]`.
+    pub fn mean_iterations(&self, mcs: u8, d_load: f64, snr_db: f64) -> f64 {
+        let margin = snr_db - Self::required_snr_db(mcs);
+        1.0 + self.margin_gain * (self.margin_knee_db - margin).max(0.0) + self.load_gain * d_load
+    }
+
+    /// Probability the transport block fails its CRC even at `Lm`.
+    pub fn crc_fail_prob(&self, mcs: u8, snr_db: f64) -> f64 {
+        let margin = snr_db - Self::required_snr_db(mcs);
+        logistic((-1.0 - margin) / 0.7)
+    }
+
+    /// Samples one decode outcome.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        mcs: u8,
+        d_load: f64,
+        snr_db: f64,
+        rng: &mut R,
+    ) -> DecodeOutcome {
+        if rng.gen_bool(self.crc_fail_prob(mcs, snr_db).clamp(0.0, 1.0)) {
+            // A failing block burns the whole iteration budget.
+            return DecodeOutcome {
+                iterations: self.l_max,
+                crc_ok: false,
+            };
+        }
+        let mean = self.mean_iterations(mcs, d_load, snr_db);
+        let noisy = mean + gaussian(rng) * self.noise_sigma;
+        let l = noisy.round().clamp(1.0, self.l_max as f64) as usize;
+        DecodeOutcome {
+            iterations: l,
+            crc_ok: true,
+        }
+    }
+}
+
+impl Default for IterationModel {
+    fn default() -> Self {
+        Self::paper_gpp()
+    }
+}
+
+fn logistic(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-15..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Subcarrier load for MCS at 10 MHz (matches `rtopex-phy`'s table for
+    /// the values used here; duplicated to keep this crate PHY-independent).
+    fn d_load(mcs: u8) -> f64 {
+        match mcs {
+            0 => 0.165,  // TBS 1384 / 8400 REs
+            13 => 1.363, // TBS 11448
+            20 => 2.546, // TBS 21384
+            21 => 2.546, // same I_TBS as MCS 20 (Qm switch)
+            23 => 3.030, // TBS 25456
+            26 => 3.640, // TBS 30576
+            27 => 3.774, // TBS 31704
+            _ => 0.5 + 0.12 * mcs as f64,
+        }
+    }
+
+    fn mean_sampled_l(mcs: u8, snr: f64, seed: u64) -> f64 {
+        let m = IterationModel::paper_gpp();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 20_000;
+        (0..n)
+            .map(|_| m.sample(mcs, d_load(mcs), snr, &mut rng).iterations)
+            .sum::<usize>() as f64
+            / n as f64
+    }
+
+    #[test]
+    fn low_mcs_high_snr_is_one_iteration() {
+        let l = mean_sampled_l(0, 30.0, 1);
+        assert!(l < 1.2, "MCS 0 @ 30 dB: mean L = {l}");
+    }
+
+    #[test]
+    fn top_mcs_at_30db_runs_3_to_4_iterations() {
+        // The Fig. 17 calibration target: MCS 26+ needs L ≥ 3 essentially
+        // always, which makes >30 Mbps subframes exceed a 1.5 ms budget.
+        let l27 = mean_sampled_l(27, 30.0, 2);
+        assert!((3.4..=4.0).contains(&l27), "MCS 27: {l27}");
+        let m = IterationModel::paper_gpp();
+        let mut rng = StdRng::seed_from_u64(3);
+        let le2 = (0..50_000)
+            .filter(|_| m.sample(26, d_load(26), 30.0, &mut rng).iterations <= 2)
+            .count();
+        assert!(le2 < 200, "MCS 26 decoded in ≤2 iters {le2}/50000 times");
+    }
+
+    #[test]
+    fn mid_mcs_iteration_gradient() {
+        // The Fig. 17 cliff: partitioned scheduling holds ≈ 1e-2 misses
+        // through the mid-20s Mbps and collapses above ≈ 28 Mbps. That
+        // requires P(L ≥ 3) to climb steeply across MCS 20 → 25 while
+        // P(L = 4) stays small below MCS 25.
+        let m = IterationModel::paper_gpp();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let p_ge = |mcs: u8, lmin: usize, rng: &mut StdRng| {
+            (0..n)
+                .filter(|_| m.sample(mcs, d_load(mcs), 30.0, rng).iterations >= lmin)
+                .count() as f64
+                / n as f64
+        };
+        let p20 = p_ge(20, 3, &mut rng);
+        let p23 = p_ge(23, 3, &mut rng);
+        let p26 = p_ge(26, 3, &mut rng);
+        assert!(p20 < p23 && p23 < p26, "gradient {p20} {p23} {p26}");
+        assert!((0.1..0.5).contains(&p20), "P(L≥3|MCS20) = {p20}");
+        assert!(p26 > 0.95, "P(L≥3|MCS26) = {p26}");
+        // L = 4 remains rare in the low-20s band.
+        let p21_4 = p_ge(21, 4, &mut rng);
+        assert!(p21_4 < 0.02, "P(L=4|MCS21) = {p21_4}");
+    }
+
+    #[test]
+    fn fig3b_snr_drop_adds_iterations() {
+        // 20 dB → 10 dB at MCS 13 adds > 50 % iterations (hence time).
+        let hi = mean_sampled_l(13, 20.0, 5);
+        let lo = mean_sampled_l(13, 10.0, 5);
+        assert!(lo > 1.5 * hi, "20 dB: {hi}, 10 dB: {lo}");
+    }
+
+    #[test]
+    fn crc_fails_below_requirement() {
+        let m = IterationModel::paper_gpp();
+        let req = IterationModel::required_snr_db(16);
+        assert!(m.crc_fail_prob(16, req - 5.0) > 0.9);
+        assert!(m.crc_fail_prob(16, req + 5.0) < 0.01);
+    }
+
+    #[test]
+    fn crc_failures_cost_full_budget() {
+        let m = IterationModel::paper_gpp();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            let o = m.sample(27, d_load(27), 0.0, &mut rng);
+            if !o.crc_ok {
+                assert_eq!(o.iterations, m.l_max);
+            }
+        }
+    }
+
+    #[test]
+    fn required_snr_is_monotone() {
+        let mut prev = f64::MIN;
+        for mcs in 0..=28 {
+            let r = IterationModel::required_snr_db(mcs);
+            assert!(r > prev, "MCS {mcs}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn iterations_always_in_range() {
+        let m = IterationModel::paper_gpp();
+        let mut rng = StdRng::seed_from_u64(7);
+        for mcs in [0u8, 10, 20, 27] {
+            for snr in [-10.0, 5.0, 15.0, 30.0] {
+                for _ in 0..200 {
+                    let o = m.sample(mcs, d_load(mcs), snr, &mut rng);
+                    assert!((1..=m.l_max).contains(&o.iterations));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_operating_point_has_low_bler() {
+        // At 30 dB / MCS ≤ 23 the CRC should almost never fail; the top
+        // MCS may sit near the standard 10 % BLER operating target.
+        let m = IterationModel::paper_gpp();
+        assert!(m.crc_fail_prob(23, 30.0) < 1e-5);
+        assert!(m.crc_fail_prob(27, 30.0) < 0.15);
+    }
+}

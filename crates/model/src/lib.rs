@@ -1,0 +1,37 @@
+//! # rtopex-model — processing-time and platform models
+//!
+//! Implements §2.1 of the paper:
+//!
+//! * [`linmod`] — the linear uplink processing-time model, Eq. (1):
+//!   `T = w0 + w1·N + w2·K + w3·D·L + E`, with the paper's Table 1
+//!   GPP coefficients as defaults;
+//! * [`fit`] — ordinary-least-squares estimation of the coefficients from
+//!   measurements (regenerates Table 1) with the r² goodness-of-fit metric;
+//! * [`platform`] — the error term `E`: soft-real-time platform jitter with
+//!   the long tail of Fig. 3(d), plus a cyclictest-style stress benchmark
+//!   model;
+//! * [`tasks`] — the per-task (FFT / demod / decode) and per-subtask time
+//!   split used by the schedulers' migration decisions;
+//! * [`iters`] — a calibrated model of the turbo decoder's iteration count
+//!   and CRC outcome as a function of MCS and SNR, used by the simulator in
+//!   place of running the real decoder millions of times;
+//! * [`stats`] — small statistics toolkit (percentiles, CDFs, histograms)
+//!   shared by the experiment harness.
+//!
+//! All times are **microseconds** (`f64`) in this crate; the discrete-event
+//! simulator converts to integer nanoseconds at its boundary.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fit;
+pub mod iters;
+pub mod linmod;
+pub mod platform;
+pub mod stats;
+pub mod tasks;
+
+pub use fit::{fit_proc_model, FitResult, ModelSample};
+pub use linmod::ProcModel;
+pub use platform::{PlatformJitter, StressBenchmark};
+pub use tasks::TaskTimeModel;

@@ -1,0 +1,117 @@
+//! The linear uplink processing-time model — Eq. (1) of the paper.
+//!
+//! ```text
+//! T_rxproc = w0 + w1·N + w2·K + w3·D·L + E        [µs]
+//! ```
+//!
+//! * `N` — number of receive antennas,
+//! * `K` — modulation order (2 / 4 / 6),
+//! * `D` — subcarrier load in bits per resource element,
+//! * `L` — turbo iterations actually executed,
+//! * `E` — platform error term (see [`crate::platform`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Coefficients of the Eq. (1) processing-time model, in microseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProcModel {
+    /// Constant overhead `w0`.
+    pub w0: f64,
+    /// Per-antenna cost `w1` (symbol-level blocks: FFT, equalization, copies).
+    pub w1: f64,
+    /// Per-modulation-order cost `w2` (constellation-level blocks).
+    pub w2: f64,
+    /// Per-`D·L` cost `w3` (decoder: `D` bits per subcarrier per iteration).
+    pub w3: f64,
+}
+
+impl ProcModel {
+    /// The paper's Table 1 estimates for the GPP platform
+    /// (Xeon E5-2660, r² = 0.992).
+    pub const fn paper_gpp() -> Self {
+        ProcModel {
+            w0: 31.4,
+            w1: 169.1,
+            w2: 49.7,
+            w3: 93.0,
+        }
+    }
+
+    /// Predicted processing time in µs (without the error term `E`).
+    pub fn predict(&self, n_antennas: usize, qm: usize, d_load: f64, iters: f64) -> f64 {
+        self.w0 + self.w1 * n_antennas as f64 + self.w2 * qm as f64 + self.w3 * d_load * iters
+    }
+
+    /// Worst-case execution time: `L` replaced by the iteration cap `Lm`
+    /// (§2.1: "we obtain an WCET bound by substituting L with Lm").
+    pub fn wcet(&self, n_antennas: usize, qm: usize, d_load: f64, l_max: usize) -> f64 {
+        self.predict(n_antennas, qm, d_load, l_max as f64)
+    }
+
+    /// Marginal cost of one extra turbo iteration at subcarrier load `d`
+    /// (the paper quotes ≈ 345 µs at MCS 27, where `D ≈ 3.7`).
+    pub fn per_iteration_cost(&self, d_load: f64) -> f64 {
+        self.w3 * d_load
+    }
+}
+
+impl Default for ProcModel {
+    fn default() -> Self {
+        Self::paper_gpp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D_MCS0: f64 = 0.165; // 1384 bits / 8400 REs
+    const D_MCS27: f64 = 3.774; // 31704 bits / 8400 REs
+
+    #[test]
+    fn paper_headline_numbers() {
+        let m = ProcModel::paper_gpp();
+        // "each additional antenna adds 169µs"
+        let t1 = m.predict(1, 6, D_MCS27, 2.0);
+        let t2 = m.predict(2, 6, D_MCS27, 2.0);
+        assert!((t2 - t1 - 169.1).abs() < 1e-9);
+        // "each Turbo iteration at MCS 27 adds 345µs"
+        let per_iter = m.per_iteration_cost(D_MCS27);
+        assert!((per_iter - 351.0).abs() < 10.0, "per-iter {per_iter}");
+    }
+
+    #[test]
+    fn mcs_span_factor_matches_fig3a() {
+        // Fig. 3(a): processing time grows ≈ 2.8× from MCS 0 to MCS 27 (N=2).
+        let m = ProcModel::paper_gpp();
+        let lo = m.predict(2, 2, D_MCS0, 1.0);
+        let hi = m.predict(2, 6, D_MCS27, 2.0);
+        let ratio = hi / lo;
+        assert!(lo > 450.0 && lo < 550.0, "MCS0 time {lo}");
+        assert!((2.3..=3.2).contains(&ratio), "span ratio {ratio}");
+    }
+
+    #[test]
+    fn wcet_uses_iteration_cap() {
+        let m = ProcModel::paper_gpp();
+        assert_eq!(m.wcet(2, 6, D_MCS27, 4), m.predict(2, 6, D_MCS27, 4.0));
+        // WCET at MCS 27 exceeds 2 ms — the over-provisioning the paper
+        // blames partitioned schedulers for.
+        assert!(m.wcet(2, 6, D_MCS27, 4) > 2000.0);
+    }
+
+    #[test]
+    fn predict_is_monotone_in_everything() {
+        let m = ProcModel::paper_gpp();
+        let base = m.predict(1, 2, 1.0, 1.0);
+        assert!(m.predict(2, 2, 1.0, 1.0) > base);
+        assert!(m.predict(1, 4, 1.0, 1.0) > base);
+        assert!(m.predict(1, 2, 2.0, 1.0) > base);
+        assert!(m.predict(1, 2, 1.0, 2.0) > base);
+    }
+
+    #[test]
+    fn default_is_paper_gpp() {
+        assert_eq!(ProcModel::default(), ProcModel::paper_gpp());
+    }
+}

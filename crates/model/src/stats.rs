@@ -1,0 +1,318 @@
+//! Small statistics toolkit: percentiles, empirical CDFs, histograms, and
+//! rate accumulators used by the experiment harness and tests.
+
+/// An online accumulator for scalar samples with percentile queries.
+///
+/// Stores all samples (the experiments need exact tail quantiles down to
+/// 10⁻⁴, which sketches would distort). Memory is 8 bytes/sample.
+#[derive(Clone, Debug, Default)]
+pub struct Samples {
+    data: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an accumulator from existing values.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Samples {
+            data,
+            sorted: false,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, v: f64) {
+        self.data.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Sample standard deviation (0.0 for < 2 samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.data.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.data.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (self.data.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Minimum (NaN when empty).
+    pub fn min(&self) -> f64 {
+        self.data.iter().cloned().fold(f64::NAN, f64::min)
+    }
+
+    /// Maximum (NaN when empty).
+    pub fn max(&self) -> f64 {
+        self.data.iter().cloned().fold(f64::NAN, f64::max)
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.data
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.sorted = true;
+        }
+    }
+
+    /// Quantile `q ∈ [0, 1]` by nearest-rank (NaN when empty).
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.data.is_empty() {
+            return f64::NAN;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.data.len() as f64 - 1.0) * q).round() as usize;
+        self.data[idx]
+    }
+
+    /// Median.
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Empirical `P(X > x)` — the complementary CDF at `x`.
+    pub fn ccdf_at(&mut self, x: f64) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let above = self.data.partition_point(|v| *v <= x);
+        (self.data.len() - above) as f64 / self.data.len() as f64
+    }
+
+    /// Evaluates the empirical CDF at each of `points` (values in `[0,1]`).
+    pub fn cdf(&mut self, points: &[f64]) -> Vec<f64> {
+        points.iter().map(|&x| 1.0 - self.ccdf_at(x)).collect()
+    }
+
+    /// Consumes the accumulator and returns the (sorted) raw samples.
+    pub fn into_sorted_vec(mut self) -> Vec<f64> {
+        self.ensure_sorted();
+        self.data
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)`.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `nbins` equal bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0 && hi > lo, "invalid histogram range");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records a value.
+    pub fn record(&mut self, v: f64) {
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let idx = ((v - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.bins[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Total recorded values including out-of-range ones.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(bin_center, fraction)` pairs.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        let total = self.count().max(1) as f64;
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c as f64 / total))
+            .collect()
+    }
+
+    /// Values recorded below `lo` / at-or-above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+}
+
+/// Counts deadline outcomes and reports the miss rate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MissRate {
+    /// Subframes that met their deadline.
+    pub met: u64,
+    /// Subframes that missed their deadline.
+    pub missed: u64,
+}
+
+impl MissRate {
+    /// Records one subframe outcome.
+    pub fn record(&mut self, missed: bool) {
+        if missed {
+            self.missed += 1;
+        } else {
+            self.met += 1;
+        }
+    }
+
+    /// Total subframes observed.
+    pub fn total(&self) -> u64 {
+        self.met + self.missed
+    }
+
+    /// Miss rate in `[0, 1]` (0.0 when nothing recorded).
+    pub fn rate(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.missed as f64 / self.total() as f64
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MissRate) {
+        self.met += other.met;
+        self.missed += other.missed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let s = Samples::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean(), 2.5);
+        assert!((s.std_dev() - 1.2909944).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = Samples::from_vec((1..=101).map(|i| i as f64).collect());
+        assert_eq!(s.median(), 51.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 101.0);
+        assert_eq!(s.quantile(0.9), 91.0);
+    }
+
+    #[test]
+    fn ccdf_tail() {
+        let mut s = Samples::from_vec((0..10_000).map(|i| i as f64).collect());
+        assert!((s.ccdf_at(9899.0) - 0.01).abs() < 1e-3);
+        assert_eq!(s.ccdf_at(1e9), 0.0);
+        assert_eq!(s.ccdf_at(-1.0), 1.0);
+    }
+
+    #[test]
+    fn empty_samples_are_safe() {
+        let mut s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.quantile(0.5).is_nan());
+        assert_eq!(s.ccdf_at(0.0), 0.0);
+    }
+
+    #[test]
+    fn push_after_sort_stays_correct() {
+        let mut s = Samples::new();
+        s.push(3.0);
+        s.push(1.0);
+        // Nearest-rank on 2 samples: index round(0.5) = 1 → upper value.
+        assert_eq!(s.median(), 3.0);
+        s.push(0.0);
+        assert_eq!(s.median(), 1.0);
+        s.push(10.0);
+        s.push(12.0);
+        assert_eq!(s.quantile(1.0), 12.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        h.record(-1.0);
+        h.record(11.0);
+        assert_eq!(h.count(), 12);
+        assert!(h.bins().iter().all(|&c| c == 1));
+        assert_eq!(h.out_of_range(), (1, 1));
+    }
+
+    #[test]
+    fn histogram_normalized_sums_below_one_with_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for _ in 0..3 {
+            h.record(0.5);
+        }
+        h.record(5.0);
+        let total: f64 = h.normalized().iter().map(|(_, f)| f).sum();
+        assert!((total - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rate_accumulation() {
+        let mut m = MissRate::default();
+        for i in 0..1000 {
+            m.record(i % 100 == 0);
+        }
+        assert_eq!(m.total(), 1000);
+        assert!((m.rate() - 0.01).abs() < 1e-12);
+        let mut other = MissRate::default();
+        other.record(true);
+        m.merge(&other);
+        assert_eq!(m.missed, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram")]
+    fn bad_histogram_range_panics() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-task and per-subtask time split of the Eq. (1) total.
+//!
+//! §2.2 of the paper decomposes subframe processing into three sequential
+//! tasks — FFT, demod, decode — and measures (Fig. 4) that the FFT task
+//! parallelizes almost perfectly while the decode task parallelizes over
+//! code blocks. RT-OPEX's migration algorithm needs a *deterministic
+//! per-subtask execution time* `tp` (Alg. 1); this module provides it,
+//! splitting the model so the three tasks sum exactly back to Eq. (1).
+//!
+//! Defaults are calibrated to the paper's measurements: the per-antenna FFT
+//! task costs ≈ 108 µs (Fig. 18, local FFT median) and the decode task is
+//! the `w3·D·L` term, evenly split across `C` code blocks.
+
+use crate::linmod::ProcModel;
+
+/// Splits the Eq. (1) total into FFT / demod / decode task times.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskTimeModel {
+    /// The underlying total-time model.
+    pub proc: ProcModel,
+    /// FFT-task cost per receive antenna (µs). Must stay below `w1` so the
+    /// demod task's antenna share remains positive.
+    pub fft_per_antenna_us: f64,
+}
+
+impl TaskTimeModel {
+    /// Paper calibration (Table 1 + Fig. 18).
+    pub const fn paper_gpp() -> Self {
+        TaskTimeModel {
+            proc: ProcModel::paper_gpp(),
+            fft_per_antenna_us: 108.0,
+        }
+    }
+
+    /// Total FFT-task time for `n` antennas (µs).
+    pub fn fft_total(&self, n_antennas: usize) -> f64 {
+        self.fft_per_antenna_us * n_antennas as f64
+    }
+
+    /// Number of migratable FFT subtasks and each one's time `tp` (µs).
+    ///
+    /// Granularity: one antenna's 14-symbol FFT batch — the unit the paper
+    /// migrates (its Fig. 18 "FFT" tasks are ≈ 108 µs each).
+    pub fn fft_subtasks(&self, n_antennas: usize) -> (usize, f64) {
+        (n_antennas, self.fft_per_antenna_us)
+    }
+
+    /// Total demod-task time (channel estimation, equalization, demapping)
+    /// for `n` antennas and modulation order `qm` (µs).
+    pub fn demod_total(&self, n_antennas: usize, qm: usize) -> f64 {
+        self.proc.w0
+            + (self.proc.w1 - self.fft_per_antenna_us) * n_antennas as f64
+            + self.proc.w2 * qm as f64
+    }
+
+    /// Total decode-task time at subcarrier load `d` with `l` iterations (µs).
+    pub fn decode_total(&self, d_load: f64, iters: f64) -> f64 {
+        self.proc.w3 * d_load * iters
+    }
+
+    /// Number of decode subtasks (= code blocks `c`) and each one's `tp`
+    /// (µs), assuming the per-block iteration counts average to `iters`.
+    ///
+    /// # Panics
+    /// Panics if `c == 0`.
+    pub fn decode_subtasks(&self, d_load: f64, iters: f64, c: usize) -> (usize, f64) {
+        assert!(c > 0, "at least one code block");
+        (c, self.decode_total(d_load, iters) / c as f64)
+    }
+
+    /// Total subframe processing time — identical to
+    /// [`ProcModel::predict`], by construction.
+    pub fn subframe_total(&self, n_antennas: usize, qm: usize, d_load: f64, iters: f64) -> f64 {
+        self.fft_total(n_antennas)
+            + self.demod_total(n_antennas, qm)
+            + self.decode_total(d_load, iters)
+    }
+}
+
+impl Default for TaskTimeModel {
+    fn default() -> Self {
+        Self::paper_gpp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tasks_sum_to_eq1() {
+        let m = TaskTimeModel::paper_gpp();
+        for (n, qm, d, l) in [(1, 2, 0.165, 1.0), (2, 6, 3.77, 4.0), (4, 4, 1.5, 2.0)] {
+            let split = m.subframe_total(n, qm, d, l);
+            let direct = m.proc.predict(n, qm, d, l);
+            assert!((split - direct).abs() < 1e-9, "n={n} qm={qm}");
+        }
+    }
+
+    #[test]
+    fn fig4a_fft_halves_over_two_cores() {
+        // Splitting the N=2 FFT task across 2 cores ⇒ each core does one
+        // antenna's batch: exactly half the serial time.
+        let m = TaskTimeModel::paper_gpp();
+        let serial = m.fft_total(2);
+        let (count, tp) = m.fft_subtasks(2);
+        assert_eq!(count, 2);
+        assert!((tp - serial / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig4b_decode_parallel_gain() {
+        // Paper Fig. 4(b): parallelizing MCS-27 decode over 2 cores cuts
+        // ≈ 310 µs (980 → 670 µs). In the model, moving half the code
+        // blocks halves the decode-task critical path.
+        let m = TaskTimeModel::paper_gpp();
+        let total = m.decode_total(3.77, 2.0);
+        let (c, tp) = m.decode_subtasks(3.77, 2.0, 6);
+        let two_core_critical_path = tp * (c as f64 / 2.0);
+        let saving = total - two_core_critical_path;
+        assert!(
+            (250.0..=400.0).contains(&saving),
+            "saving {saving} µs should be near the paper's 310 µs"
+        );
+    }
+
+    #[test]
+    fn demod_share_positive_for_all_antennas() {
+        let m = TaskTimeModel::paper_gpp();
+        for n in 1..=8 {
+            for qm in [2, 4, 6] {
+                assert!(m.demod_total(n, qm) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_subtask_times_scale_inverse_c() {
+        let m = TaskTimeModel::paper_gpp();
+        let (_, tp6) = m.decode_subtasks(3.77, 4.0, 6);
+        let (_, tp3) = m.decode_subtasks(3.77, 4.0, 3);
+        assert!((tp3 - 2.0 * tp6).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "code block")]
+    fn zero_blocks_panics() {
+        TaskTimeModel::paper_gpp().decode_subtasks(1.0, 1.0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_consistency(n in 1usize..8, qm in prop::sample::select(vec![2usize, 4, 6]),
+                                  d in 0.1f64..4.0, l in 1f64..4.0) {
+            let m = TaskTimeModel::paper_gpp();
+            let total = m.subframe_total(n, qm, d, l);
+            let direct = m.proc.predict(n, qm, d, l);
+            prop_assert!((total - direct).abs() < 1e-6);
+            prop_assert!(m.fft_total(n) > 0.0);
+            prop_assert!(m.decode_total(d, l) > 0.0);
+        }
+    }
+}

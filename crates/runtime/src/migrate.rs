@@ -1,0 +1,170 @@
+//! Migration plumbing: subtask envelopes, result-ready flags, host loops.
+//!
+//! A migrated subtask travels as a boxed closure through a crossbeam
+//! channel to an idle worker; its completion is advertised through a
+//! shared *result-ready* flag, exactly the mechanism of §3.2.1 — the
+//! owner polls the flag after finishing its local share and recomputes
+//! (recovery) anything still pending.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A migrated unit of work. The lifetime parameter lets scoped threads
+/// migrate closures that borrow the owner's job state (no `'static`
+/// requirement, no allocation of owned copies).
+pub struct Envelope<'a> {
+    work: Box<dyn FnOnce() + Send + 'a>,
+    flag: ResultFlag,
+}
+
+impl<'a> Envelope<'a> {
+    /// Wraps `work`; the returned [`ResultFlag`] turns ready when the
+    /// envelope has been executed.
+    pub fn new(work: impl FnOnce() + Send + 'a) -> (Self, ResultFlag) {
+        let flag = ResultFlag::new();
+        (
+            Envelope {
+                work: Box::new(work),
+                flag: flag.clone(),
+            },
+            flag,
+        )
+    }
+
+    /// Executes the work and raises the flag.
+    pub fn run(self) {
+        (self.work)();
+        self.flag.set_ready();
+    }
+}
+
+/// The per-subtask *result ready* flag of §3.2.1.
+#[derive(Clone, Debug)]
+pub struct ResultFlag(Arc<AtomicBool>);
+
+impl ResultFlag {
+    /// A fresh, not-ready flag.
+    pub fn new() -> Self {
+        ResultFlag(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Marks the result ready (release ordering pairs with [`Self::is_ready`]).
+    pub fn set_ready(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Non-blocking readiness check.
+    pub fn is_ready(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Waits until ready or until `timeout` elapses; returns the final
+    /// readiness. Spins briefly, then yields — pure spinning would starve
+    /// the executing thread on machines with few CPUs.
+    pub fn wait(&self, timeout: std::time::Duration) -> bool {
+        let start = std::time::Instant::now();
+        let mut spins = 0u32;
+        while !self.is_ready() {
+            if start.elapsed() >= timeout {
+                return self.is_ready();
+            }
+            if spins < 128 {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        true
+    }
+}
+
+impl Default for ResultFlag {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Creates a host mailbox pair.
+pub fn mailbox<'a>() -> (Sender<Envelope<'a>>, Receiver<Envelope<'a>>) {
+    unbounded()
+}
+
+/// A host's service loop: executes envelopes until the channel closes.
+/// Run this on a pinned thread to model one idle core hosting migrations.
+pub fn host_loop(rx: Receiver<Envelope<'_>>) {
+    while let Ok(envelope) = rx.recv() {
+        envelope.run();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn envelope_runs_and_raises_flag() {
+        let counter = AtomicUsize::new(0);
+        let (env, flag) = Envelope::new(|| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(!flag.is_ready());
+        env.run();
+        assert!(flag.is_ready());
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn host_loop_processes_until_close() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let (tx, rx) = mailbox();
+            s.spawn(move || host_loop(rx));
+            let mut flags = Vec::new();
+            for _ in 0..16 {
+                let hits = Arc::clone(&hits);
+                let (env, flag) = Envelope::new(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+                tx.send(env).unwrap();
+                flags.push(flag);
+            }
+            for f in &flags {
+                assert!(f.wait(std::time::Duration::from_secs(5)));
+            }
+            drop(tx); // close → host exits, scope joins
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn migrated_closure_borrows_scoped_data() {
+        // The 'a lifetime lets an envelope borrow stack data across threads
+        // inside a scope — the pattern the node uses for PHY subtasks.
+        let data = [1u64, 2, 3, 4];
+        let slot = parking_lot::Mutex::new(0u64);
+        let mut result = 0u64;
+        std::thread::scope(|s| {
+            let (tx, rx) = mailbox();
+            s.spawn(move || host_loop(rx));
+            let (env, flag) = Envelope::new(|| {
+                *slot.lock() = data.iter().sum();
+            });
+            tx.send(env).unwrap();
+            assert!(flag.wait(std::time::Duration::from_secs(5)));
+            result = *slot.lock();
+            drop(tx);
+        });
+        assert_eq!(result, 10);
+    }
+
+    #[test]
+    fn wait_times_out_on_never_ready() {
+        let flag = ResultFlag::new();
+        let start = std::time::Instant::now();
+        assert!(!flag.wait(std::time::Duration::from_millis(10)));
+        assert!(start.elapsed() >= std::time::Duration::from_millis(10));
+    }
+}

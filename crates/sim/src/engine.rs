@@ -1,0 +1,513 @@
+//! The partitioned / RT-OPEX engine.
+//!
+//! Both schedulers share the same offline core mapping (§3.1.1); RT-OPEX
+//! is the partitioned engine with runtime migration enabled (§3.2). The
+//! engine is event-driven: subframe releases and per-task stage boundaries
+//! are the events, so every migration decision observes the core states
+//! exactly as of its stage-start instant.
+//!
+//! Faithful details:
+//!
+//! * slack check before each task stage ("we check on the slack time
+//!   before we execute each task; … else we drop the task and the
+//!   subframe", §4.1) — a dropped subframe is a deadline miss;
+//! * gaps left by drops are **not** offered for migration ("the resulting
+//!   gaps are, however, not used for migration");
+//! * hosts are preempted by their own next subframe release — which is
+//!   deterministic under the partitioned base schedule, so Algorithm 1
+//!   knows every idle core's free-time budget `fck`;
+//! * migrated batches may overrun their estimate (background/kernel
+//!   noise); subtasks whose results are not ready when the owner finishes
+//!   its local share are recomputed locally — the recovery state (Fig. 12),
+//!   guaranteeing RT-OPEX is never worse than no migration.
+
+use crate::config::SimConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::gen::generate_tasks;
+use crate::report::SimReport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtopex_core::migration::plan_migration;
+use rtopex_core::partitioned::PartitionedSchedule;
+use rtopex_core::task::{StageProfile, SubframeTask};
+use rtopex_core::time::Nanos;
+use rtopex_phy::tasks::TaskKind;
+use std::collections::VecDeque;
+
+/// Which stage an in-flight task executes next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stage {
+    Fft,
+    Demod,
+    Decode,
+    Finish,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    task: SubframeTask,
+    next: Stage,
+    start: Nanos,
+}
+
+/// A planned (not yet committed) parallelizable stage execution.
+struct StagePlan {
+    /// When the stage (including any recovery) completes.
+    end: Nanos,
+    kind: TaskKind,
+    subtasks: usize,
+    migrated: usize,
+    recover: usize,
+    /// `(host core, busy-until)` reservations to apply on commit.
+    host_updates: Vec<(usize, Nanos)>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct CoreSim {
+    queue: VecDeque<SubframeTask>,
+    current: Option<InFlight>,
+    /// Busy hosting a migrated batch until this instant.
+    host_busy_until: Nanos,
+    /// Post-drop gap: hosting disabled until the core's next own release.
+    no_host_until: Nanos,
+    /// When the previous own task ended (for gap accounting).
+    last_end: Option<Nanos>,
+}
+
+/// The partitioned/RT-OPEX simulation engine.
+pub struct PartitionedEngine<'a> {
+    cfg: &'a SimConfig,
+    migrate: bool,
+    delta: Nanos,
+    schedule: PartitionedSchedule,
+    tasks: Vec<Vec<SubframeTask>>,
+    cores: Vec<CoreSim>,
+    events: EventQueue,
+    report: SimReport,
+    rng: StdRng,
+}
+
+impl<'a> PartitionedEngine<'a> {
+    /// Builds the engine; `migrate` selects RT-OPEX vs plain partitioned.
+    pub fn new(cfg: &'a SimConfig, migrate: bool) -> Self {
+        let schedule = PartitionedSchedule::new(cfg.num_bs, &cfg.budget());
+        let delta = match cfg.scheduler {
+            crate::config::SchedulerKind::RtOpex { delta_us } => Nanos::from_us(delta_us),
+            _ => Nanos::from_us(20),
+        };
+        PartitionedEngine {
+            migrate,
+            delta,
+            tasks: generate_tasks(cfg),
+            // Scheduled cores plus any spare cores (§5-B): spares never
+            // receive releases, so they are permanently idle hosts that
+            // only RT-OPEX's migration can exploit.
+            cores: vec![CoreSim::default(); schedule.total_cores() + cfg.spare_cores],
+            schedule,
+            events: EventQueue::new(),
+            report: SimReport::new(cfg.num_bs),
+            rng: StdRng::seed_from_u64(cfg.seed ^ HOST_NOISE_SEED_MIX),
+            cfg,
+        }
+    }
+
+    /// Runs to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        for bs in 0..self.cfg.num_bs {
+            for j in 0..self.cfg.subframes as u64 {
+                self.events.push(
+                    self.tasks[bs][j as usize].release,
+                    EventKind::Release { bs, index: j },
+                );
+            }
+        }
+        while let Some((t, kind)) = self.events.pop() {
+            match kind {
+                EventKind::Release { bs, index } => self.on_release(t, bs, index),
+                EventKind::StageBoundary { core } => self.on_stage(t, core),
+                EventKind::TaskDone { .. } => unreachable!("engine uses StageBoundary"),
+            }
+        }
+        self.report
+    }
+
+    /// True once `core` has failed at time `t`.
+    fn core_failed(&self, core: usize, t: Nanos) -> bool {
+        matches!(self.cfg.failed_core, Some((c, at)) if c == core && t >= Nanos::from_us(at))
+    }
+
+    /// Semi-partitioned whole-task placement: when the home core is busy,
+    /// move the *entire* task into another core's idle window (task
+    /// granularity — the paper's [14] baseline). Returns true if placed.
+    fn try_whole_task_migration(&mut self, t: Nanos, task: SubframeTask) -> bool {
+        let total = task.profile.total();
+        let target = (0..self.cores.len()).find(|&c| {
+            let core = &self.cores[c];
+            core.current.is_none()
+                && core.host_busy_until <= t
+                && !self.core_failed(c, t)
+                && self.next_release(c, t).saturating_sub(t) >= total
+        });
+        let Some(c) = target else {
+            return false;
+        };
+        let end = t + total;
+        self.cores[c].host_busy_until = end;
+        self.report
+            .deadline
+            .record(task.bs_id, end > task.deadline);
+        if !task.crc_ok {
+            self.report.crc_failures += 1;
+        }
+        self.report.proc_times_us.push(total.as_us_f64());
+        self.report.migration.record_whole_task();
+        true
+    }
+
+    fn on_release(&mut self, t: Nanos, bs: usize, index: u64) {
+        let core = self.schedule.core_for(bs, index);
+        let task = self.tasks[bs][index as usize];
+        if self.core_failed(core, t) {
+            // The partitioned mapping is static: a dead core's subframes
+            // are simply lost (§5-B's "significant performance
+            // degradation" under resource changes).
+            self.report.deadline.record(task.bs_id, true);
+            self.report.dropped += 1;
+            return;
+        }
+        let semi = matches!(
+            self.cfg.scheduler,
+            crate::config::SchedulerKind::SemiPartitioned
+        );
+        if semi
+            && self.cores[core].current.is_some()
+            && self.try_whole_task_migration(t, task)
+        {
+            return;
+        }
+        self.cores[core].queue.push_back(task);
+        // A release preempts any hosted batch on this core (the batch's
+        // useful-results accounting already capped at this instant).
+        self.cores[core].host_busy_until = self.cores[core].host_busy_until.min(t);
+        self.try_start(t, core);
+    }
+
+    fn try_start(&mut self, t: Nanos, core: usize) {
+        if self.cores[core].current.is_some() {
+            return;
+        }
+        let Some(task) = self.cores[core].queue.pop_front() else {
+            return;
+        };
+        if let Some(prev_end) = self.cores[core].last_end {
+            self.report.gaps.record(t.saturating_sub(prev_end));
+        }
+        self.cores[core].current = Some(InFlight {
+            task,
+            next: Stage::Fft,
+            start: t,
+        });
+        self.events.push(t, EventKind::StageBoundary { core });
+    }
+
+    /// The core's next own subframe release strictly after `t` —
+    /// deterministic under the partitioned schedule. Spare cores have no
+    /// releases at all.
+    fn next_release(&self, core: usize, t: Nanos) -> Nanos {
+        if core >= self.schedule.total_cores() {
+            return Nanos(u64::MAX / 2);
+        }
+        let bs = self.schedule.bs_for_core(core);
+        let phase = core % self.schedule.cores_per_bs;
+        let period = self.schedule.cores_per_bs as u64;
+        let rtt = Nanos::from_us(self.cfg.rtt_half_us);
+        // Smallest j ≡ phase (mod period) with j·1ms + rtt > t.
+        let mut j = if t < rtt {
+            0
+        } else {
+            (t - rtt).0 / Nanos::MS.0
+        };
+        // Align to the core's phase, then advance past t.
+        while j % period != phase as u64 || Nanos::from_ms(j) + rtt <= t {
+            j += 1;
+        }
+        if j >= self.cfg.subframes as u64 {
+            // No more releases for this core: effectively unbounded window.
+            return Nanos(u64::MAX / 2);
+        }
+        debug_assert_eq!(self.schedule.core_for(bs, j), core);
+        Nanos::from_ms(j) + rtt
+    }
+
+    /// Idle cores and their free-time budgets at `t`, for Algorithm 1.
+    fn idle_cores(&self, t: Nanos, requester: usize) -> Vec<(usize, Nanos)> {
+        let mut v: Vec<(usize, Nanos)> = (0..self.cores.len())
+            .filter(|&c| c != requester)
+            .filter_map(|c| {
+                let core = &self.cores[c];
+                if core.current.is_some()
+                    || core.host_busy_until > t
+                    || core.no_host_until > t
+                    || self.core_failed(c, t)
+                {
+                    return None;
+                }
+                let window = self.next_release(c, t).saturating_sub(t);
+                (window > Nanos::ZERO).then_some((c, window))
+            })
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    fn drop_task(&mut self, t: Nanos, core: usize) {
+        let inf = self.cores[core].current.take().expect("task in flight");
+        self.report.deadline.record(inf.task.bs_id, true);
+        self.report.dropped += 1;
+        // The gap a drop leaves is not offered to migration (§4.1).
+        self.cores[core].no_host_until = self.next_release(core, t);
+        self.cores[core].last_end = Some(t);
+        self.try_start(t, core);
+    }
+
+    /// Plans a parallelizable stage starting at `t` **without** mutating
+    /// engine state, so the slack check can veto it first. Returns the
+    /// stage end time and the side effects to apply on commit.
+    fn plan_parallel_stage(
+        &mut self,
+        t: Nanos,
+        core: usize,
+        kind: TaskKind,
+        stage: StageProfile,
+    ) -> StagePlan {
+        let p = stage.subtasks;
+        let tp = stage.subtask;
+        let serial_end = t + stage.total();
+        let mut plan_out = StagePlan {
+            end: serial_end,
+            kind,
+            subtasks: p,
+            migrated: 0,
+            recover: 0,
+            host_updates: Vec::new(),
+        };
+        if !self.migrate || p <= 1 {
+            return plan_out;
+        }
+        let idle = self.idle_cores(t, core);
+        let plan = plan_migration(p, tp, self.delta, &idle);
+        if plan.migrated() == 0 {
+            return plan_out;
+        }
+        let local_end = t + Nanos(tp.0 * plan.local as u64);
+        let mut recover = 0usize;
+        let mut results_ready_at = local_end;
+        for &(host, n) in &plan.assignments {
+            // Host-side noise: a batch occasionally overruns its estimate.
+            let tp_actual = if self.rng.gen_bool(self.cfg.overrun_prob) {
+                Nanos((tp.0 as f64 * self.cfg.overrun_factor) as u64)
+            } else {
+                tp
+            };
+            let per = tp_actual + self.delta;
+            // The host runs the batch until done or until its own next
+            // subframe preempts it (result-not-ready flag, Fig. 12).
+            let preempt = self.next_release(host, t);
+            let mut completed = 0usize;
+            for i in 1..=n {
+                if t + Nanos(per.0 * i as u64) <= preempt {
+                    completed = i;
+                } else {
+                    break;
+                }
+            }
+            recover += n - completed;
+            let effective_end = (t + Nanos(per.0 * n as u64)).min(preempt);
+            plan_out.host_updates.push((host, effective_end));
+            if completed > 0 {
+                // The owner waits for results still being computed.
+                results_ready_at = results_ready_at.max(t + Nanos(per.0 * completed as u64));
+            }
+        }
+        plan_out.migrated = plan.migrated();
+        plan_out.recover = recover;
+        // Owner: local share, wait for in-flight results, then serially
+        // recover the subtasks cut off by host preemption. If a badly
+        // overrunning batch would make waiting slower than the serial
+        // baseline, the owner recomputes instead (recovery), so the stage
+        // can never end later than serial execution — the paper's "equal
+        // to or strictly better" guarantee.
+        let end = results_ready_at.max(local_end) + Nanos(tp.0 * recover as u64);
+        plan_out.end = end.min(serial_end);
+        plan_out
+    }
+
+    /// Applies a stage plan's side effects (host reservations, accounting).
+    fn commit_stage(&mut self, plan: &StagePlan) {
+        for &(host, until) in &plan.host_updates {
+            self.cores[host].host_busy_until = until;
+        }
+        if self.migrate {
+            self.report
+                .migration
+                .record_stage(plan.kind, plan.subtasks, plan.migrated);
+            if plan.recover > 0 {
+                self.report.migration.record_recovery(plan.recover);
+            }
+        }
+    }
+
+    fn on_stage(&mut self, t: Nanos, core: usize) {
+        let Some(inf) = self.cores[core].current else {
+            return;
+        };
+        let task = inf.task;
+        let deadline = task.deadline;
+        match inf.next {
+            Stage::Fft => {
+                // Slack check against the stage's *achievable* end: under
+                // RT-OPEX the migration plan is drawn up first, so a task
+                // that only fits thanks to migration is not dropped.
+                let plan = self.plan_parallel_stage(t, core, TaskKind::Fft, task.profile.fft);
+                if plan.end > deadline {
+                    self.drop_task(t, core);
+                    return;
+                }
+                self.commit_stage(&plan);
+                self.advance(core, Stage::Demod, plan.end);
+            }
+            Stage::Demod => {
+                if t + task.profile.demod > deadline {
+                    self.drop_task(t, core);
+                    return;
+                }
+                self.advance(core, Stage::Decode, t + task.profile.demod);
+            }
+            Stage::Decode => {
+                let plan = self.plan_parallel_stage(t, core, TaskKind::Decode, task.profile.decode);
+                let end = plan.end + task.profile.platform_extra;
+                if end > deadline {
+                    self.drop_task(t, core);
+                    return;
+                }
+                self.commit_stage(&plan);
+                self.advance(core, Stage::Finish, end);
+            }
+            Stage::Finish => {
+                let missed = t > deadline;
+                self.report.deadline.record(task.bs_id, missed);
+                if !task.crc_ok {
+                    self.report.crc_failures += 1;
+                }
+                self.report.proc_times_us.push((t - inf.start).as_us_f64());
+                self.cores[core].current = None;
+                self.cores[core].last_end = Some(t);
+                self.try_start(t, core);
+            }
+        }
+    }
+
+    fn advance(&mut self, core: usize, next: Stage, at: Nanos) {
+        if let Some(inf) = self.cores[core].current.as_mut() {
+            inf.next = next;
+        }
+        self.events.push(at, EventKind::StageBoundary { core });
+    }
+}
+
+/// Seed-mixing constant separating the host-noise RNG stream from the
+/// task-generation streams.
+const HOST_NOISE_SEED_MIX: u64 = 0x0517_09E8_7709_0EC5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use rtopex_workload::Scenario;
+
+    fn cfg(rtt: u64, sched: SchedulerKind) -> SimConfig {
+        let mut c = SimConfig::from_scenario(&Scenario::smoke_test(), rtt);
+        c.scheduler = sched;
+        c
+    }
+
+    #[test]
+    fn partitioned_counts_every_subframe() {
+        let c = cfg(500, SchedulerKind::Partitioned);
+        let r = PartitionedEngine::new(&c, false).run();
+        assert_eq!(r.deadline.total_subframes(), 2 * 2000);
+        // Completed + dropped = total.
+        assert_eq!(
+            r.proc_times_us.len() as u64 + r.dropped,
+            2 * 2000,
+            "drops {} + completions {}",
+            r.dropped,
+            r.proc_times_us.len()
+        );
+    }
+
+    #[test]
+    fn no_completion_after_deadline() {
+        // The stage-granular slack check makes every miss a drop.
+        let c = cfg(700, SchedulerKind::Partitioned);
+        let r = PartitionedEngine::new(&c, false).run();
+        assert_eq!(r.deadline.overall().missed, r.dropped);
+    }
+
+    #[test]
+    fn rtopex_reduces_misses_at_moderate_latency() {
+        let cp = cfg(550, SchedulerKind::Partitioned);
+        let cr = cfg(550, SchedulerKind::RtOpex { delta_us: 20 });
+        let part = PartitionedEngine::new(&cp, false).run();
+        let rto = PartitionedEngine::new(&cr, true).run();
+        assert!(
+            rto.deadline.overall().missed <= part.deadline.overall().missed,
+            "rtopex {} vs partitioned {}",
+            rto.deadline.overall().missed,
+            part.deadline.overall().missed
+        );
+    }
+
+    #[test]
+    fn gaps_are_recorded() {
+        let c = cfg(500, SchedulerKind::Partitioned);
+        let r = PartitionedEngine::new(&c, false).run();
+        assert!(r.gaps.count() > 1000, "gaps {}", r.gaps.count());
+    }
+
+    #[test]
+    fn fig16_many_gaps_exceed_500us() {
+        // Fig. 16: at low transport latency, ≥ 60 % of gaps exceed 500 µs
+        // (the partitioned schedule leaves large idle windows).
+        let c = cfg(400, SchedulerKind::Partitioned);
+        let mut r = PartitionedEngine::new(&c, false).run();
+        let frac = r.gaps.fraction_at_least(Nanos::from_us(500));
+        assert!(frac > 0.5, "fraction of gaps ≥ 500µs: {frac}");
+    }
+
+    #[test]
+    fn overruns_trigger_recovery() {
+        let mut c = cfg(500, SchedulerKind::RtOpex { delta_us: 20 });
+        c.overrun_prob = 0.5;
+        c.overrun_factor = 4.0;
+        let r = PartitionedEngine::new(&c, true).run();
+        assert!(r.migration.recoveries > 0, "no recoveries observed");
+    }
+
+    #[test]
+    fn zero_overrun_zero_recovery_mostly() {
+        let mut c = cfg(500, SchedulerKind::RtOpex { delta_us: 20 });
+        c.overrun_prob = 0.0;
+        let r = PartitionedEngine::new(&c, true).run();
+        // Without host noise, recoveries only from genuine window misfits,
+        // which Algorithm 1's R1 rules out.
+        assert_eq!(r.migration.recoveries, 0);
+    }
+
+    #[test]
+    fn huge_delta_suppresses_migration() {
+        let c = cfg(500, SchedulerKind::RtOpex { delta_us: 5000 });
+        let r = PartitionedEngine::new(&c, true).run();
+        assert_eq!(r.migration.decode_migrated + r.migration.fft_migrated, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The simulator's event queue: a time-ordered heap with deterministic
+//! tie-breaking (kind priority, then insertion sequence).
+
+use rtopex_core::time::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events the engines schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A core finished (or dropped) its current task.
+    TaskDone {
+        /// Core index.
+        core: usize,
+    },
+    /// A subframe was released by the transport.
+    Release {
+        /// Basestation index.
+        bs: usize,
+        /// Subframe index within the basestation.
+        index: u64,
+    },
+    /// A core's in-flight task reaches its next stage boundary.
+    StageBoundary {
+        /// Core index.
+        core: usize,
+    },
+}
+
+impl EventKind {
+    /// Same-timestamp ordering: completions free resources before new
+    /// arrivals claim them; stage boundaries run last so they observe the
+    /// post-arrival core states.
+    fn priority(&self) -> u8 {
+        match self {
+            EventKind::TaskDone { .. } => 0,
+            EventKind::Release { .. } => 1,
+            EventKind::StageBoundary { .. } => 2,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Entry {
+    at: Nanos,
+    prio: u8,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert to pop earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then(other.prio.cmp(&self.prio))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at time `at`.
+    pub fn push(&mut self, at: Nanos, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            at,
+            prio: kind.priority(),
+            seq,
+            kind,
+        });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Nanos, EventKind)> {
+        self.heap.pop().map(|e| (e.at, e.kind))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Nanos::from_us(30), EventKind::TaskDone { core: 0 });
+        q.push(Nanos::from_us(10), EventKind::TaskDone { core: 1 });
+        q.push(Nanos::from_us(20), EventKind::TaskDone { core: 2 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t.0)).collect();
+        assert_eq!(order, vec![10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn same_time_done_before_release_before_stage() {
+        let mut q = EventQueue::new();
+        let t = Nanos::from_us(5);
+        q.push(t, EventKind::StageBoundary { core: 0 });
+        q.push(t, EventKind::Release { bs: 0, index: 0 });
+        q.push(t, EventKind::TaskDone { core: 0 });
+        assert!(matches!(q.pop().unwrap().1, EventKind::TaskDone { .. }));
+        assert!(matches!(q.pop().unwrap().1, EventKind::Release { .. }));
+        assert!(matches!(
+            q.pop().unwrap().1,
+            EventKind::StageBoundary { .. }
+        ));
+    }
+
+    #[test]
+    fn fifo_within_same_time_and_kind() {
+        let mut q = EventQueue::new();
+        let t = Nanos::from_us(5);
+        for bs in 0..4 {
+            q.push(t, EventKind::Release { bs, index: 0 });
+        }
+        for want in 0..4 {
+            match q.pop().unwrap().1 {
+                EventKind::Release { bs, .. } => assert_eq!(bs, want),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Nanos::ZERO, EventKind::TaskDone { core: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,186 @@
+//! Task generation: turns the workload scenario into concrete
+//! [`SubframeTask`]s with sampled execution profiles.
+//!
+//! Generation is independent of the scheduler under test and fully
+//! determined by the seed, so different schedulers can be compared on the
+//! *identical* sequence of subframes — a paired comparison, as the paper's
+//! trace-replay methodology provides.
+
+use crate::config::SimConfig;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rtopex_core::task::{SubframeTask, TaskProfile};
+use rtopex_core::time::Nanos;
+use rtopex_phy::mcs::Mcs;
+use rtopex_phy::segmentation::Segmentation;
+use rtopex_workload::{load_to_mcs, LoadTrace};
+
+/// Number of code blocks per MCS at the configured bandwidth.
+fn code_block_table(cfg: &SimConfig) -> Vec<usize> {
+    Mcs::all()
+        .map(|m| {
+            let tbs = m.transport_block_bits(cfg.bandwidth.num_prbs());
+            Segmentation::compute(tbs + 24)
+                .expect("all standard TBS values segment")
+                .num_blocks
+        })
+        .collect()
+}
+
+/// Code-block count for an arbitrary (MCS, PRB) pair.
+fn blocks_for(mcs: Mcs, nprb: usize) -> usize {
+    Segmentation::compute(mcs.transport_block_bits(nprb) + 24)
+        .expect("all scaled TBS values segment")
+        .num_blocks
+}
+
+/// Generates every basestation's task stream: `result[bs][j]`.
+pub fn generate_tasks(cfg: &SimConfig) -> Vec<Vec<SubframeTask>> {
+    let budget = cfg.budget();
+    let tmax = budget.tmax();
+    let rtt = Nanos::from_us(cfg.rtt_half_us);
+    let blocks = code_block_table(cfg);
+
+    (0..cfg.num_bs)
+        .map(|bs| {
+            // The trace RNG stream matches Scenario::load_traces so the
+            // simulator replays exactly the workload the scenario defines.
+            let mut trace_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(bs as u64 * 7919));
+            let mut outcome_rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_0000 ^ (bs as u64) << 32);
+            let params = cfg.traces[bs % cfg.traces.len()];
+            let mut trace = LoadTrace::new(params);
+
+            (0..cfg.subframes as u64)
+                .map(|j| {
+                    let trace_mcs = load_to_mcs(trace.next_load(&mut trace_rng));
+                    let mcs = match (cfg.fixed_mcs, cfg.bs0_mcs) {
+                        (Some(idx), _) => Mcs::new(idx).expect("fixed MCS valid"),
+                        (None, Some(idx)) if bs == 0 => Mcs::new(idx).expect("fixed MCS valid"),
+                        _ => trace_mcs,
+                    };
+                    // Varying PRB utilization shrinks the transport block
+                    // (and its code-block count) while the antenna-level
+                    // FFT cost stays full-bandwidth.
+                    let total_prbs = cfg.bandwidth.num_prbs();
+                    let (d, c) = match cfg.prb_util_range {
+                        Some((lo, hi)) => {
+                            let util = outcome_rng.gen_range(lo..=hi);
+                            let nprb =
+                                ((total_prbs as f64 * util).ceil() as usize).clamp(1, total_prbs);
+                            let d = mcs.transport_block_bits(nprb) as f64
+                                / cfg.bandwidth.total_res() as f64;
+                            (d, blocks_for(mcs, nprb))
+                        }
+                        None => (
+                            mcs.subcarrier_load(cfg.bandwidth),
+                            blocks[mcs.index() as usize],
+                        ),
+                    };
+                    let qm = mcs.modulation_order();
+                    let outcome =
+                        cfg.iter_model
+                            .sample(mcs.index(), d, cfg.snr_db, &mut outcome_rng);
+                    let extra = cfg.jitter.sample(&mut outcome_rng);
+                    let release = Nanos::from_ms(j) + rtt;
+                    SubframeTask {
+                        bs_id: bs,
+                        subframe_index: j,
+                        release,
+                        deadline: release + tmax,
+                        mcs: mcs.index(),
+                        crc_ok: outcome.crc_ok,
+                        profile: TaskProfile::from_model(
+                            &cfg.time_model,
+                            cfg.num_antennas,
+                            qm,
+                            d,
+                            outcome.iterations as f64,
+                            c,
+                            extra,
+                        ),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtopex_workload::Scenario;
+
+    fn cfg() -> SimConfig {
+        SimConfig::from_scenario(&Scenario::smoke_test(), 500)
+    }
+
+    #[test]
+    fn shape_and_timing() {
+        let c = cfg();
+        let tasks = generate_tasks(&c);
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].len(), 2000);
+        let t = &tasks[1][3];
+        assert_eq!(t.bs_id, 1);
+        assert_eq!(t.subframe_index, 3);
+        assert_eq!(t.release, Nanos::from_ms(3) + Nanos::from_us(500));
+        // Deadline = over-the-air arrival + 2 ms, regardless of transport.
+        assert_eq!(t.deadline, Nanos::from_ms(3) + Nanos::from_ms(2));
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = cfg();
+        assert_eq!(generate_tasks(&c), generate_tasks(&c));
+    }
+
+    #[test]
+    fn code_blocks_match_mcs() {
+        let c = cfg();
+        let blocks = code_block_table(&c);
+        assert_eq!(blocks[0], 1); // MCS 0: single block
+        assert_eq!(blocks[27], 6); // MCS 27: six blocks (paper §2.2)
+        let tasks = generate_tasks(&c);
+        for t in tasks.iter().flatten() {
+            assert_eq!(t.profile.decode.subtasks, blocks[t.mcs as usize]);
+        }
+    }
+
+    #[test]
+    fn fixed_mcs_override() {
+        let mut c = cfg();
+        c.fixed_mcs = Some(27);
+        let tasks = generate_tasks(&c);
+        assert!(tasks.iter().flatten().all(|t| t.mcs == 27));
+        // MCS 27 at 30 dB: heavy subframes, mostly 3-4 iterations, so the
+        // serial total is well above 1.5 ms on average.
+        let mean_us: f64 = tasks
+            .iter()
+            .flatten()
+            .map(|t| t.profile.total().as_us_f64())
+            .sum::<f64>()
+            / (2.0 * 2000.0);
+        assert!(mean_us > 1500.0, "mean MCS-27 time {mean_us} µs");
+    }
+
+    #[test]
+    fn trace_driven_has_mcs_diversity() {
+        let tasks = generate_tasks(&cfg());
+        let distinct: std::collections::HashSet<u8> =
+            tasks.iter().flatten().map(|t| t.mcs).collect();
+        assert!(distinct.len() > 10, "only {} MCS values", distinct.len());
+    }
+
+    #[test]
+    fn profiles_scale_with_antennas() {
+        let mut c2 = cfg();
+        c2.num_antennas = 2;
+        let mut c4 = cfg();
+        c4.num_antennas = 4;
+        let t2 = generate_tasks(&c2);
+        let t4 = generate_tasks(&c4);
+        assert_eq!(t4[0][0].profile.fft.subtasks, 4);
+        assert!(t4[0][0].profile.fft.total() > t2[0][0].profile.fft.total());
+    }
+}

@@ -1,0 +1,249 @@
+//! The global-scheduler engine (§3.1.2, evaluated in Figs. 15 and 19).
+//!
+//! A dispatcher thread holds the shared ring-buffer queue; any free worker
+//! core takes the next subframe (EDF or FIFO) and processes it serially.
+//! What keeps this scheduler from matching partitioned performance — the
+//! paper's "surprising behavior" — is modeled explicitly:
+//!
+//! * a fixed dispatch overhead per assignment (locking, wake-up);
+//! * a **cache-affinity penalty**: a worker that last served a different
+//!   basestation pays to refill its cache, and a basestation whose context
+//!   last lived on a different core pays coherence traffic to move it.
+//!   More workers ⇒ a basestation's subframes scatter more ⇒ both
+//!   penalties fire more often — why 16 cores is no better than 8
+//!   (Fig. 19);
+//! * a task still running at its deadline is terminated on the spot
+//!   ("the processing thread terminates the ongoing task and goes to an
+//!   idle state").
+
+use crate::config::SimConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::gen::generate_tasks;
+use crate::report::SimReport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtopex_core::global::GlobalQueue;
+use rtopex_core::task::SubframeTask;
+use rtopex_core::time::Nanos;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Worker {
+    busy: bool,
+    /// Whether the in-flight task will complete (vs. be cut at deadline).
+    completes: bool,
+    current_bs: usize,
+    crc_ok: bool,
+    /// Full execution time (penalties included, not deadline-truncated).
+    exec_us: f64,
+}
+
+/// The global-scheduler simulation engine.
+pub struct GlobalEngine<'a> {
+    cfg: &'a SimConfig,
+    workers: Vec<Worker>,
+    /// When each (core, basestation) pairing last executed — the cache
+    /// recency the penalty model decays over.
+    last_served: Vec<Vec<Option<Nanos>>>,
+    /// Dispatch nondeterminism: a real "next available core" choice
+    /// depends on wake-up races, so the engine picks uniformly among the
+    /// free workers. (A deterministic round-robin resonates with the
+    /// 4-basestation release cycle whenever the pool size is a multiple
+    /// of 4, accidentally giving every core a fixed basestation.)
+    pick: StdRng,
+    queue: GlobalQueue,
+    events: EventQueue,
+    tasks: Vec<Vec<SubframeTask>>,
+    report: SimReport,
+}
+
+impl<'a> GlobalEngine<'a> {
+    /// Builds the engine from the configuration.
+    ///
+    /// # Panics
+    /// Panics if the configured scheduler is not [`crate::config::SchedulerKind::Global`].
+    pub fn new(cfg: &'a SimConfig) -> Self {
+        let (cores, policy) = match cfg.scheduler {
+            crate::config::SchedulerKind::Global { cores, policy } => (cores, policy),
+            other => panic!("GlobalEngine needs a global scheduler, got {other:?}"),
+        };
+        assert!(cores > 0, "at least one worker core");
+        GlobalEngine {
+            workers: vec![Worker::default(); cores],
+            last_served: vec![vec![None; cfg.num_bs]; cores],
+            pick: StdRng::seed_from_u64(cfg.seed ^ 0x61_0BA1),
+            queue: GlobalQueue::new(policy, cfg.queue_capacity),
+            events: EventQueue::new(),
+            tasks: generate_tasks(cfg),
+            report: SimReport::new(cfg.num_bs),
+            cfg,
+        }
+    }
+
+    /// Runs to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        for bs in 0..self.cfg.num_bs {
+            for j in 0..self.cfg.subframes as u64 {
+                self.events.push(
+                    self.tasks[bs][j as usize].release,
+                    EventKind::Release { bs, index: j },
+                );
+            }
+        }
+        while let Some((t, kind)) = self.events.pop() {
+            match kind {
+                EventKind::Release { bs, index } => {
+                    let task = self.tasks[bs][index as usize];
+                    if let Some(evicted) = self.queue.push(task) {
+                        self.report.deadline.record(evicted.bs_id, true);
+                        self.report.dropped += 1;
+                    }
+                    self.dispatch(t);
+                }
+                EventKind::TaskDone { core } => {
+                    let w = self.workers[core];
+                    self.workers[core].busy = false;
+                    self.report.deadline.record(w.current_bs, !w.completes);
+                    if w.completes && !w.crc_ok {
+                        self.report.crc_failures += 1;
+                    }
+                    // Fig. 19 (right) plots the *execution-time*
+                    // distribution, so deadline-cut tasks report their
+                    // full would-be time rather than vanishing.
+                    self.report.proc_times_us.push(w.exec_us);
+                    self.dispatch(t);
+                }
+                EventKind::StageBoundary { .. } => {
+                    unreachable!("global engine runs tasks atomically")
+                }
+            }
+        }
+        self.report
+    }
+
+    fn dispatch(&mut self, t: Nanos) {
+        // No pre-dispatch feasibility filtering: per §3.1.2 a hopeless
+        // task still occupies its core until the deadline terminates it —
+        // one of the reasons global lags partitioned in Fig. 15.
+        loop {
+            let free: Vec<usize> = (0..self.workers.len())
+                .filter(|&c| !self.workers[c].busy)
+                .collect();
+            if free.is_empty() {
+                return;
+            }
+            let core = free[self.pick.gen_range(0..free.len())];
+            let Some(task) = self.queue.pop() else {
+                return;
+            };
+            self.exec(t, core, task);
+        }
+    }
+
+    fn exec(&mut self, t: Nanos, core: usize, task: SubframeTask) {
+        let cache = &self.cfg.cache;
+        // Cache-recency penalty: decays toward the cold maximum with the
+        // time since this core last processed this basestation.
+        let warmth = match self.last_served[core][task.bs_id] {
+            Some(last) => {
+                let dt_ms = (t - last).as_ms_f64();
+                (-dt_ms / cache.reuse_tau_ms).exp()
+            }
+            None => 0.0,
+        };
+        let penalty_us = cache.dispatch_overhead_us + cache.cold_penalty_us * (1.0 - warmth);
+        self.last_served[core][task.bs_id] = Some(t);
+
+        let exec = task.profile.total() + Nanos::from_us_f64(penalty_us);
+        let exec_end = t + exec;
+        let completes = exec_end <= task.deadline;
+        // A task hitting its deadline is terminated there (§3.1.2); a
+        // task dispatched after its deadline is terminated immediately.
+        let occupied_until = exec_end.min(task.deadline).max(t);
+        self.workers[core].busy = true;
+        self.workers[core].completes = completes;
+        self.workers[core].current_bs = task.bs_id;
+        self.workers[core].crc_ok = task.crc_ok;
+        self.workers[core].exec_us = exec.as_us_f64();
+        self.events
+            .push(occupied_until, EventKind::TaskDone { core });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use rtopex_core::global::QueuePolicy;
+    use rtopex_workload::Scenario;
+
+    fn cfg(rtt: u64, cores: usize) -> SimConfig {
+        let mut c = SimConfig::from_scenario(&Scenario::smoke_test(), rtt);
+        c.scheduler = SchedulerKind::Global {
+            cores,
+            policy: QueuePolicy::Edf,
+        };
+        c
+    }
+
+    #[test]
+    fn processes_every_subframe() {
+        let c = cfg(500, 8);
+        let r = GlobalEngine::new(&c).run();
+        assert_eq!(r.deadline.total_subframes(), 2 * 2000);
+    }
+
+    #[test]
+    fn single_core_overloads_and_misses() {
+        // Two basestations at ~1 ms average processing per 1 ms arrival
+        // cannot fit on one core: massive misses expected.
+        let c = cfg(500, 1);
+        let r = GlobalEngine::new(&c).run();
+        assert!(
+            r.deadline.overall().rate() > 0.3,
+            "rate {}",
+            r.deadline.overall().rate()
+        );
+    }
+
+    #[test]
+    fn global_has_nonzero_floor_even_at_low_latency() {
+        // Fig. 15: global "does not exhibit a zero deadline-miss rate even
+        // at the lowest RTT value".
+        let c = cfg(400, 8);
+        let r = GlobalEngine::new(&c).run();
+        assert!(r.deadline.overall().missed > 0);
+    }
+
+    #[test]
+    fn more_cores_do_not_fix_global() {
+        // Fig. 19: beyond 8 cores the miss rate saturates/worsens.
+        let c8 = cfg(500, 8);
+        let c16 = cfg(500, 16);
+        let r8 = GlobalEngine::new(&c8).run();
+        let r16 = GlobalEngine::new(&c16).run();
+        let m8 = r8.deadline.overall().rate();
+        let m16 = r16.deadline.overall().rate();
+        assert!(
+            m16 >= m8 * 0.7,
+            "16 cores should not beat 8 by much: {m8} vs {m16}"
+        );
+    }
+
+    #[test]
+    fn cache_penalties_inflate_processing_times() {
+        let mut quiet = cfg(500, 8);
+        quiet.cache = crate::config::CacheModel::free();
+        let noisy = cfg(500, 8);
+        let rq = GlobalEngine::new(&quiet).run();
+        let rn = GlobalEngine::new(&noisy).run();
+        assert!(rn.proc_times_us.mean() > rq.proc_times_us.mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "global scheduler")]
+    fn wrong_scheduler_kind_panics() {
+        let mut c = cfg(500, 8);
+        c.scheduler = SchedulerKind::Partitioned;
+        GlobalEngine::new(&c);
+    }
+}

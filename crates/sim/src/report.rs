@@ -1,0 +1,54 @@
+//! Aggregated results of one simulation run.
+
+use rtopex_core::metrics::{DeadlineMetrics, GapTracker, MigrationStats};
+use rtopex_model::stats::Samples;
+
+/// Everything an experiment needs from one run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Per-basestation deadline outcomes (Fig. 15/17 material).
+    pub deadline: DeadlineMetrics,
+    /// Migration accounting (Fig. 16 right; zero under non-RT-OPEX).
+    pub migration: MigrationStats,
+    /// Idle-gap durations on processing cores (Fig. 16 left).
+    pub gaps: GapTracker,
+    /// Per-subframe processing times, µs (Fig. 19 right), for subframes
+    /// that ran to completion (drops excluded).
+    pub proc_times_us: Samples,
+    /// Subframes dropped by the slack check / queue (subset of misses).
+    pub dropped: u64,
+    /// Subframes whose (modeled) decode failed its CRC — NACKs that are
+    /// *not* deadline misses.
+    pub crc_failures: u64,
+}
+
+impl SimReport {
+    /// Creates an empty report for `num_bs` basestations.
+    pub fn new(num_bs: usize) -> Self {
+        SimReport {
+            deadline: DeadlineMetrics::new(num_bs),
+            migration: MigrationStats::default(),
+            gaps: GapTracker::new(),
+            proc_times_us: Samples::new(),
+            dropped: 0,
+            crc_failures: 0,
+        }
+    }
+
+    /// Convenience: the aggregate deadline-miss rate.
+    pub fn miss_rate(&self) -> f64 {
+        self.deadline.overall().rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report() {
+        let r = SimReport::new(4);
+        assert_eq!(r.miss_rate(), 0.0);
+        assert_eq!(r.dropped, 0);
+    }
+}

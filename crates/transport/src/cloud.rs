@@ -1,0 +1,122 @@
+//! Cloud-network latency distribution — Fig. 6 of the paper.
+//!
+//! Measured between a host and a cloud resource through a switch at
+//! 1000 packets/s: the one-way latency has a ≈ 0.15 ms mean but a long
+//! tail — about 1 in 10⁴ packets above 0.25 ms for both 1 GbE and 10 GbE.
+//! The paper's conclusion ("the mean statistic is not good enough to
+//! provide latency guarantees") is exactly what this sampler preserves:
+//! a lognormal body plus a rare exponential excess.
+
+use rand::Rng;
+
+/// One-way cloud-network latency sampler.
+#[derive(Clone, Copy, Debug)]
+pub struct CloudLatency {
+    /// Median of the lognormal body, µs.
+    pub median_us: f64,
+    /// Lognormal shape parameter.
+    pub sigma: f64,
+    /// Probability of a tail event.
+    pub tail_prob: f64,
+    /// Mean of the tail's exponential excess, µs.
+    pub tail_mean_us: f64,
+}
+
+impl CloudLatency {
+    /// 1 GbE calibration (Fig. 6 left): slightly wider body.
+    pub const fn gbe1() -> Self {
+        CloudLatency {
+            median_us: 150.0,
+            sigma: 0.14,
+            tail_prob: 2.0e-4,
+            tail_mean_us: 80.0,
+        }
+    }
+
+    /// 10 GbE calibration (Fig. 6 right): tighter body, same tail order.
+    pub const fn gbe10() -> Self {
+        CloudLatency {
+            median_us: 145.0,
+            sigma: 0.09,
+            tail_prob: 2.0e-4,
+            tail_mean_us: 80.0,
+        }
+    }
+
+    /// Draws one one-way latency in µs.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(1e-15..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let body = self.median_us * (g * self.sigma).exp();
+        if self.tail_prob > 0.0 && rng.gen_bool(self.tail_prob) {
+            body + 100.0 + -self.tail_mean_us * (1.0 - rng.gen::<f64>()).ln()
+        } else {
+            body
+        }
+    }
+
+    /// Mean of `n` samples — a quick empirical-mean helper for reports.
+    pub fn empirical_mean<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> f64 {
+        (0..n).map(|_| self.sample(rng)).sum::<f64>() / n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draw(c: CloudLatency, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| c.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn mean_is_near_150us_both_speeds() {
+        for (name, c) in [
+            ("1GbE", CloudLatency::gbe1()),
+            ("10GbE", CloudLatency::gbe10()),
+        ] {
+            let v = draw(c, 200_000, 1);
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            assert!((140.0..=165.0).contains(&mean), "{name}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn tail_is_about_1e4_above_250us() {
+        // "around one in 10⁴ packets … has a latency more than 0.25ms".
+        for c in [CloudLatency::gbe1(), CloudLatency::gbe10()] {
+            let n = 1_000_000;
+            let above = draw(c, n, 2).into_iter().filter(|&x| x > 250.0).count();
+            let frac = above as f64 / n as f64;
+            assert!((1.0e-5..2.0e-3).contains(&frac), "P(>250µs) = {frac}");
+        }
+    }
+
+    #[test]
+    fn ten_gbe_body_is_tighter() {
+        let mut v1 = draw(CloudLatency::gbe1(), 100_000, 3);
+        let mut v10 = draw(CloudLatency::gbe10(), 100_000, 3);
+        v1.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v10.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let iqr = |v: &[f64]| v[v.len() * 3 / 4] - v[v.len() / 4];
+        assert!(iqr(&v10) < iqr(&v1), "10GbE IQR should be smaller");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        assert!(draw(CloudLatency::gbe1(), 50_000, 4)
+            .iter()
+            .all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn empirical_mean_helper() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = CloudLatency::gbe10().empirical_mean(50_000, &mut rng);
+        assert!((130.0..=170.0).contains(&m));
+    }
+}

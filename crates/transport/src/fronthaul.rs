@@ -1,0 +1,77 @@
+//! Optical fronthaul: fixed propagation delay, negligible jitter (§2.3).
+
+/// Propagation speed of light in fiber, expressed as delay per km.
+pub const FIBER_US_PER_KM: f64 = 5.0;
+
+/// A CPRI-style fronthaul link between remote radios and the cloud.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fronthaul {
+    /// Fiber length in km (paper: deployments of up to 20–40 km).
+    pub fiber_km: f64,
+    /// Fixed optical switching + (de)packetization overhead, µs.
+    pub switch_overhead_us: f64,
+}
+
+impl Fronthaul {
+    /// A co-located deployment (radios at the cloud site).
+    pub const fn on_site() -> Self {
+        Fronthaul {
+            fiber_km: 1.0,
+            switch_overhead_us: 10.0,
+        }
+    }
+
+    /// A 20 km off-site deployment (the near end of the paper's range).
+    pub const fn off_site_20km() -> Self {
+        Fronthaul {
+            fiber_km: 20.0,
+            switch_overhead_us: 10.0,
+        }
+    }
+
+    /// A 40 km off-site deployment (the far end of the paper's range).
+    pub const fn off_site_40km() -> Self {
+        Fronthaul {
+            fiber_km: 40.0,
+            switch_overhead_us: 10.0,
+        }
+    }
+
+    /// One-way fronthaul delay in µs. Deterministic: the paper treats the
+    /// fronthaul as fixed-delay with "almost negligible jitter".
+    pub fn one_way_us(&self) -> f64 {
+        self.fiber_km * FIBER_US_PER_KM + self.switch_overhead_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_range_is_100_to_200us() {
+        // §2.3: 20–40 km ⇒ 0.1–0.2 ms one-way propagation.
+        let near = Fronthaul::off_site_20km().one_way_us();
+        let far = Fronthaul::off_site_40km().one_way_us();
+        assert!((100.0..=130.0).contains(&near), "{near}");
+        assert!((200.0..=230.0).contains(&far), "{far}");
+    }
+
+    #[test]
+    fn on_site_is_small() {
+        assert!(Fronthaul::on_site().one_way_us() < 20.0);
+    }
+
+    #[test]
+    fn delay_scales_linearly_with_fiber() {
+        let a = Fronthaul {
+            fiber_km: 10.0,
+            switch_overhead_us: 0.0,
+        };
+        let b = Fronthaul {
+            fiber_km: 30.0,
+            switch_overhead_us: 0.0,
+        };
+        assert!((b.one_way_us() - 3.0 * a.one_way_us()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! # rtopex-transport — fronthaul and cloud-network transport
+//!
+//! Models §2.3 of the paper: the path IQ samples travel from the radio
+//! front-ends to the compute node, whose one-way latency is the `RTT/2`
+//! term of the deadline equation (Eq. 2):
+//!
+//! ```text
+//! T_rxproc + T_fronthaul + T_cloud ≤ 2 ms
+//! ```
+//!
+//! * [`fronthaul`] — fixed-delay optical fronthaul (5 µs/km fiber, optical
+//!   switching overhead); negligible jitter, per the paper.
+//! * [`cloud`] — the cloud/datacenter network latency distribution of
+//!   Fig. 6: ≈ 0.15 ms mean with a long tail (10⁻⁴ of packets above
+//!   0.25 ms) for both 1 GbE and 10 GbE.
+//! * [`link`] — the testbed serialization model behind Fig. 7: per-radio
+//!   1 GbE links aggregated through a switch into the GPP's 10 GbE port,
+//!   reproducing "620 µs at 5 MHz, above 1 ms at 10 MHz" and the resulting
+//!   8-antenna limit.
+//! * [`packet`] — an IQ packetizer (16-bit I/Q over MTU-sized frames, with
+//!   sequence/identity headers), standing in for the CWARP transport
+//!   library the testbed used.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cloud;
+pub mod fronthaul;
+pub mod link;
+pub mod packet;
+
+pub use cloud::CloudLatency;
+pub use fronthaul::Fronthaul;
+pub use link::TestbedLink;
+pub use packet::{IqPacketizer, PacketHeader};

@@ -1,0 +1,158 @@
+//! Testbed transport serialization model — Fig. 7 of the paper.
+//!
+//! The testbed connects each WARPv3 radio over 1 GbE, aggregated by a
+//! 1/10 GbE switch into the GPP's 10 GbE port. A subframe of IQ samples
+//! (16-bit I + 16-bit Q per sample) must be serialized over the radio's
+//! link, then over the shared aggregation link — once per antenna. The
+//! model reproduces Fig. 7's observations: a 620 µs maximum at 5 MHz with
+//! 8 antennas, crossing 1 ms at 10 MHz, hence "at most 8 antennas at
+//! 10 MHz can be supported on the GPP".
+
+use rand::Rng;
+use rtopex_phy::params::Bandwidth;
+
+/// Bytes per IQ sample on the wire (16-bit I + 16-bit Q).
+pub const BYTES_PER_SAMPLE: usize = 4;
+
+/// The radio-to-GPP Ethernet transport of the testbed.
+#[derive(Clone, Copy, Debug)]
+pub struct TestbedLink {
+    /// Effective per-radio link goodput, bits/s (1 GbE minus overheads).
+    pub radio_bps: f64,
+    /// Effective aggregation link goodput into the GPP, bits/s.
+    pub aggregate_bps: f64,
+    /// Fixed base latency: driver, interrupt, switch forwarding, µs.
+    pub base_us: f64,
+    /// Jitter ceiling added uniformly at random, µs.
+    pub jitter_us: f64,
+}
+
+impl TestbedLink {
+    /// The paper's testbed: 1 GbE radio links into a 10 GbE GPP port,
+    /// with ~5 % protocol overhead on each.
+    pub const fn paper_testbed() -> Self {
+        TestbedLink {
+            radio_bps: 0.95e9,
+            aggregate_bps: 9.5e9,
+            base_us: 30.0,
+            jitter_us: 30.0,
+        }
+    }
+
+    /// Payload bytes a subframe occupies per antenna.
+    pub fn subframe_bytes(bw: Bandwidth) -> usize {
+        bw.samples_per_subframe() * BYTES_PER_SAMPLE
+    }
+
+    /// Deterministic part of the one-way latency for `n_antennas`, µs.
+    ///
+    /// The radio links serialize in parallel (one per antenna); the
+    /// aggregation link carries all antennas' samples back-to-back.
+    pub fn one_way_deterministic_us(&self, bw: Bandwidth, n_antennas: usize) -> f64 {
+        let bytes = Self::subframe_bytes(bw) as f64;
+        let radio = bytes * 8.0 / self.radio_bps * 1e6;
+        let aggregate = bytes * 8.0 * n_antennas as f64 / self.aggregate_bps * 1e6;
+        self.base_us + radio + aggregate
+    }
+
+    /// Samples the one-way latency including jitter, µs.
+    pub fn one_way_us<R: Rng + ?Sized>(
+        &self,
+        bw: Bandwidth,
+        n_antennas: usize,
+        rng: &mut R,
+    ) -> f64 {
+        self.one_way_deterministic_us(bw, n_antennas) + rng.gen_range(0.0..=self.jitter_us)
+    }
+
+    /// Worst-case one-way latency (deterministic + full jitter), µs.
+    pub fn one_way_max_us(&self, bw: Bandwidth, n_antennas: usize) -> f64 {
+        self.one_way_deterministic_us(bw, n_antennas) + self.jitter_us
+    }
+
+    /// The largest antenna count whose worst-case one-way latency stays
+    /// below the 1 ms subframe period (no queuing build-up) — the paper's
+    /// supportability criterion.
+    pub fn max_supported_antennas(&self, bw: Bandwidth) -> usize {
+        (1..=64)
+            .take_while(|&n| self.one_way_max_us(bw, n) < 1000.0)
+            .last()
+            .unwrap_or(0)
+    }
+}
+
+impl Default for TestbedLink {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn subframe_byte_counts() {
+        assert_eq!(TestbedLink::subframe_bytes(Bandwidth::Mhz10), 15_360 * 4);
+        assert_eq!(TestbedLink::subframe_bytes(Bandwidth::Mhz5), 7_680 * 4);
+    }
+
+    #[test]
+    fn fig7_5mhz_max_is_about_620us() {
+        // "In the 5 MHz case … the maximum latency is 620µs" (8 antennas).
+        let link = TestbedLink::paper_testbed();
+        let max = link.one_way_max_us(Bandwidth::Mhz5, 8);
+        assert!((520.0..=680.0).contains(&max), "max {max}");
+    }
+
+    #[test]
+    fn fig7_10mhz_exceeds_1ms() {
+        // "it exceeds 1000µs (or 1ms) for 10MHz bandwidth" at high antenna
+        // counts.
+        let link = TestbedLink::paper_testbed();
+        assert!(link.one_way_max_us(Bandwidth::Mhz10, 12) > 1000.0);
+    }
+
+    #[test]
+    fn paper_8_antenna_limit_at_10mhz() {
+        // "at most 8 antennas at 10 MHz can be supported on the GPP".
+        let link = TestbedLink::paper_testbed();
+        let max_ants = link.max_supported_antennas(Bandwidth::Mhz10);
+        assert!((7..=9).contains(&max_ants), "supported antennas {max_ants}");
+        assert!(link.one_way_max_us(Bandwidth::Mhz10, 8) < 1000.0);
+    }
+
+    #[test]
+    fn latency_monotone_in_antennas_and_bandwidth() {
+        let link = TestbedLink::paper_testbed();
+        let mut prev = 0.0;
+        for n in 1..=16 {
+            let t = link.one_way_deterministic_us(Bandwidth::Mhz10, n);
+            assert!(t > prev);
+            prev = t;
+        }
+        assert!(
+            link.one_way_deterministic_us(Bandwidth::Mhz10, 4)
+                > link.one_way_deterministic_us(Bandwidth::Mhz5, 4)
+        );
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let link = TestbedLink::paper_testbed();
+        let det = link.one_way_deterministic_us(Bandwidth::Mhz10, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let t = link.one_way_us(Bandwidth::Mhz10, 2, &mut rng);
+            assert!(t >= det && t <= det + link.jitter_us);
+        }
+    }
+
+    #[test]
+    fn narrowband_supports_many_radios() {
+        let link = TestbedLink::paper_testbed();
+        assert!(link.max_supported_antennas(Bandwidth::Mhz1_4) >= 16);
+    }
+}

@@ -1,0 +1,30 @@
+//! # rtopex-workload — cellular load traces and experiment scenarios
+//!
+//! The paper drives its evaluation with RF load traces logged off the air
+//! from four live LTE towers (Band 13 / Band 17) at 1 ms granularity
+//! (Fig. 1 shows the ms-scale variability; Fig. 14 the per-tower load
+//! CDFs), then maps the normalized load of each subframe to an MCS.
+//!
+//! Those traces are not publicly available, so this crate generates
+//! statistically matched synthetic ones (substitution documented in
+//! DESIGN.md): an AR(1) body — loads are strongly correlated at 1 ms lag
+//! but visibly fluctuating — plus a burst regime that produces the
+//! high-load excursions responsible for deadline misses.
+//!
+//! * [`trace`] — the per-basestation trace generator and Band-13/17 presets;
+//! * [`mcs_map`] — normalized load → MCS quantizer (the paper's emulation
+//!   of BS traffic "through MCS variations");
+//! * [`scenario`] — the paper's experimental setup (§4.2) as a reusable
+//!   preset: 4 basestations, 2 antennas, 10 MHz, SNR 30 dB, Lm = 4,
+//!   30 000 subframes per basestation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mcs_map;
+pub mod scenario;
+pub mod trace;
+
+pub use mcs_map::load_to_mcs;
+pub use scenario::Scenario;
+pub use trace::{LoadTrace, TraceParams};

@@ -1,0 +1,75 @@
+//! Normalized load → MCS mapping.
+//!
+//! The paper could not obtain decodable multi-user traces, so it emulated
+//! the uplink traffic load "through MCS variations" of a single full-band
+//! user (§4.2): the heavier the tower's load at a given millisecond, the
+//! higher the MCS of the emulated subframe. We use a linear quantizer onto
+//! MCS 0..=27 (the paper's range — Fig. 3 sweeps MCS 0–27).
+
+use rtopex_phy::mcs::Mcs;
+
+/// Highest MCS the mapping produces (the paper sweeps 0–27).
+pub const MAX_MAPPED_MCS: u8 = 27;
+
+/// Maps a normalized load in `[0, 1]` to an MCS.
+///
+/// Values outside `[0, 1]` are clamped.
+pub fn load_to_mcs(load: f64) -> Mcs {
+    let l = load.clamp(0.0, 1.0);
+    let idx = (l * (MAX_MAPPED_MCS as f64 + 1.0)).floor() as u8;
+    Mcs::new(idx.min(MAX_MAPPED_MCS)).expect("clamped index is valid")
+}
+
+/// The minimum load that maps to the given MCS index (inverse of the
+/// quantizer's lower edge); useful for calibrating trace tails.
+pub fn mcs_load_threshold(mcs: u8) -> f64 {
+    mcs as f64 / (MAX_MAPPED_MCS as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(load_to_mcs(0.0).index(), 0);
+        assert_eq!(load_to_mcs(1.0).index(), 27);
+        assert_eq!(load_to_mcs(0.999).index(), 27);
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(load_to_mcs(-3.0).index(), 0);
+        assert_eq!(load_to_mcs(42.0).index(), 27);
+    }
+
+    #[test]
+    fn monotone() {
+        let mut prev = 0u8;
+        for i in 0..=100 {
+            let m = load_to_mcs(i as f64 / 100.0).index();
+            assert!(m >= prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn threshold_is_consistent_with_mapping() {
+        for mcs in 0..=27u8 {
+            let t = mcs_load_threshold(mcs);
+            assert_eq!(load_to_mcs(t).index(), mcs, "at threshold of {mcs}");
+            if mcs > 0 {
+                assert_eq!(load_to_mcs(t - 1e-9).index(), mcs - 1);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_in_range(load in -1.0f64..2.0) {
+            let m = load_to_mcs(load);
+            prop_assert!(m.index() <= MAX_MAPPED_MCS);
+        }
+    }
+}

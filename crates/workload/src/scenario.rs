@@ -1,0 +1,160 @@
+//! The paper's experimental setup (§4.2) as a reusable scenario preset.
+
+use crate::mcs_map::load_to_mcs;
+use crate::trace::{LoadTrace, TraceParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtopex_phy::mcs::Mcs;
+use rtopex_phy::params::Bandwidth;
+
+/// A complete experiment scenario: who transmits what, for how long.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Number of basestations processed on the compute node.
+    pub num_bs: usize,
+    /// Channel bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Receive antennas per basestation (`N`).
+    pub num_antennas: usize,
+    /// Channel SNR in dB (paper: fixed 30 dB AWGN, load via MCS).
+    pub snr_db: f64,
+    /// Turbo iteration cap `Lm`.
+    pub max_turbo_iters: usize,
+    /// Subframes per basestation.
+    pub subframes: usize,
+    /// Per-basestation trace parameters.
+    pub traces: Vec<TraceParams>,
+    /// RNG seed for trace generation.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's §4.2 configuration: 4 basestations × 2 antennas at
+    /// 10 MHz, AWGN at 30 dB, `Lm = 4`, 30 000 subframes each, tower
+    /// presets 0–3.
+    pub fn paper_default() -> Self {
+        Scenario {
+            num_bs: 4,
+            bandwidth: Bandwidth::Mhz10,
+            num_antennas: 2,
+            snr_db: 30.0,
+            max_turbo_iters: 4,
+            subframes: 30_000,
+            traces: (0..4).map(TraceParams::tower).collect(),
+            seed: 0xC0DE,
+        }
+    }
+
+    /// A smaller scenario for quick tests (2 basestations, 2 000 subframes).
+    pub fn smoke_test() -> Self {
+        Scenario {
+            num_bs: 2,
+            subframes: 2_000,
+            traces: (0..2).map(TraceParams::tower).collect(),
+            ..Self::paper_default()
+        }
+    }
+
+    /// Generates each basestation's load trace, `num_bs × subframes`.
+    pub fn load_traces(&self) -> Vec<Vec<f64>> {
+        (0..self.num_bs)
+            .map(|bs| {
+                let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(bs as u64 * 7919));
+                let params = self.traces[bs % self.traces.len()];
+                LoadTrace::new(params).generate(self.subframes, &mut rng)
+            })
+            .collect()
+    }
+
+    /// Generates each basestation's per-subframe MCS sequence.
+    pub fn mcs_sequences(&self) -> Vec<Vec<Mcs>> {
+        self.load_traces()
+            .into_iter()
+            .map(|trace| trace.into_iter().map(load_to_mcs).collect())
+            .collect()
+    }
+
+    /// Scenario with every subframe pinned to one MCS (the Fig. 17 load
+    /// sweep uses fixed offered loads).
+    pub fn fixed_mcs_sequences(&self, mcs: Mcs) -> Vec<Vec<Mcs>> {
+        vec![vec![mcs; self.subframes]; self.num_bs]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_4_2() {
+        let s = Scenario::paper_default();
+        assert_eq!(s.num_bs, 4);
+        assert_eq!(s.num_antennas, 2);
+        assert_eq!(s.bandwidth, Bandwidth::Mhz10);
+        assert_eq!(s.snr_db, 30.0);
+        assert_eq!(s.max_turbo_iters, 4);
+        assert_eq!(s.subframes, 30_000);
+    }
+
+    #[test]
+    fn traces_have_right_shape() {
+        let s = Scenario::smoke_test();
+        let traces = s.load_traces();
+        assert_eq!(traces.len(), 2);
+        assert!(traces.iter().all(|t| t.len() == 2_000));
+    }
+
+    #[test]
+    fn traces_are_reproducible_and_distinct_across_bs() {
+        let s = Scenario::smoke_test();
+        let a = s.load_traces();
+        let b = s.load_traces();
+        assert_eq!(a, b, "same seed must reproduce");
+        assert_ne!(a[0], a[1], "different towers must differ");
+    }
+
+    #[test]
+    fn mcs_sequences_span_a_wide_range() {
+        let s = Scenario::paper_default();
+        let seqs = s.mcs_sequences();
+        let all: Vec<u8> = seqs.iter().flatten().map(|m| m.index()).collect();
+        let min = *all.iter().min().unwrap();
+        let max = *all.iter().max().unwrap();
+        assert!(min < 8, "min MCS {min}");
+        assert!(max >= 25, "max MCS {max}");
+    }
+
+    #[test]
+    fn fixed_mcs_is_constant() {
+        let s = Scenario::smoke_test();
+        let seqs = s.fixed_mcs_sequences(Mcs::new(20).unwrap());
+        assert!(seqs.iter().flatten().all(|m| m.index() == 20));
+    }
+
+    #[test]
+    fn high_mcs_tail_calibration() {
+        // The Fig. 15 floors need MCS ≥ 25 to be rare but present
+        // (≈ 0.02–0.6 % of subframes across the pool), and a moderate
+        // MCS 20–24 band (≈ 1–8 %) that drives the partitioned curve's
+        // rise with transport latency.
+        let s = Scenario::paper_default();
+        let seqs = s.mcs_sequences();
+        let total: usize = seqs.iter().map(Vec::len).sum();
+        let top: usize = seqs.iter().flatten().filter(|m| m.index() >= 25).count();
+        let mid: usize = seqs
+            .iter()
+            .flatten()
+            .filter(|m| (20..25).contains(&m.index()))
+            .count();
+        let frac_top = top as f64 / total as f64;
+        let frac_mid = mid as f64 / total as f64;
+        assert!(
+            (0.0002..0.006).contains(&frac_top),
+            "P(MCS ≥ 25) = {frac_top}"
+        );
+        assert!(
+            (0.01..0.08).contains(&frac_mid),
+            "P(20 ≤ MCS < 25) = {frac_mid}"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Scheduler face-off: renders the paper's example schedules (Figs. 9-11)
+//! as ASCII timelines, then runs the three schedulers head-to-head on a
+//! paired workload across the transport-latency sweep.
+//!
+//! Run with: `cargo run --release --example scheduler_faceoff`
+
+use rtopex::core::budget::Budget;
+use rtopex::core::partitioned::PartitionedSchedule;
+use rtopex::sim::{run, SchedulerKind, SimConfig};
+use rtopex::workload::Scenario;
+use rtopex_core::global::QueuePolicy;
+
+/// Renders a partitioned timeline like the paper's Fig. 9: each row is a
+/// core, each column a millisecond, each cell the (bs, subframe) it
+/// processes.
+fn render_partitioned() {
+    println!("— Fig. 9: a partitioned schedule, 1 basestation × 2 cores —");
+    let sched = PartitionedSchedule::with_cores_per_bs(1, 2);
+    for core in 0..sched.total_cores() {
+        print!("core {core} |");
+        for j in 0..6u64 {
+            if sched.core_for(0, j) == core {
+                print!(" (0,{j})   ");
+            } else {
+                print!("   .     ");
+            }
+        }
+        println!();
+    }
+    println!("        +---1ms---+---1ms---+---1ms---+---1ms---+---1ms---+");
+    println!("each subframe gets its core for 2 ms — the ⌈T_max⌉ guarantee;");
+    println!("the idle tail of every slot is the gap RT-OPEX migrates into (Fig. 11).\n");
+}
+
+fn main() {
+    render_partitioned();
+
+    let budget = Budget::from_rtt_half_us(500);
+    println!(
+        "deadline arithmetic (Eq. 3): RTT/2 = 500 µs ⇒ T_max = {} ⇒ {} cores per BS\n",
+        budget.tmax(),
+        budget.ceil_tmax_ms()
+    );
+
+    println!("— head-to-head on the paper's 4-BS workload (paired seeds) —");
+    let mut scenario = Scenario::paper_default();
+    scenario.subframes = 10_000;
+    println!(
+        "{:>8} {:>13} {:>13} {:>13} {:>10}",
+        "RTT/2", "partitioned", "global-8", "rt-opex", "winner"
+    );
+    for rtt in [400u64, 500, 600, 700] {
+        let mut rates = Vec::new();
+        for sched in [
+            SchedulerKind::Partitioned,
+            SchedulerKind::Global {
+                cores: 8,
+                policy: QueuePolicy::Edf,
+            },
+            SchedulerKind::RtOpex { delta_us: 20 },
+        ] {
+            let mut cfg = SimConfig::from_scenario(&scenario, rtt);
+            cfg.scheduler = sched;
+            rates.push(run(&cfg).miss_rate());
+        }
+        let names = ["partitioned", "global-8", "rt-opex"];
+        let winner = names[rates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()];
+        println!(
+            "{:>7}µ {:>13.2e} {:>13.2e} {:>13.2e} {:>10}",
+            rtt, rates[0], rates[1], rates[2], winner
+        );
+    }
+}

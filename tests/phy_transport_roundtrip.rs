@@ -1,0 +1,65 @@
+//! Integration: the full receive path the paper's Fig. 2 draws —
+//! TX waveform → IQ packetization over the emulated fronthaul →
+//! reassembly at the compute node → PHY decode.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtopex::phy::channel::{AwgnChannel, ChannelModel};
+use rtopex::phy::params::Bandwidth;
+use rtopex::phy::uplink::{UplinkConfig, UplinkRx, UplinkTx};
+use rtopex::transport::{Fronthaul, IqPacketizer, TestbedLink};
+
+#[test]
+fn subframe_survives_packetized_transport() {
+    let cfg = UplinkConfig::new(Bandwidth::Mhz1_4, 2, 12).expect("config");
+    let tx = UplinkTx::new(cfg.clone());
+    let mut rng = StdRng::seed_from_u64(11);
+    let payload: Vec<u8> = (0..cfg.transport_block_bytes())
+        .map(|_| rng.gen())
+        .collect();
+    let sf = tx.encode_subframe(&payload).expect("encode");
+
+    // Over the air, then over the wire: each antenna's stream is
+    // quantized to 16-bit IQ, packetized, and reassembled.
+    let mut chan = AwgnChannel::new(25.0);
+    let rx_air = chan.apply(&sf.samples, cfg.num_antennas, &mut rng);
+    let pk = IqPacketizer;
+    let rx_wire: Vec<_> = rx_air
+        .iter()
+        .enumerate()
+        .map(|(ant, stream)| {
+            let pkts = pk.packetize(0, ant as u8, 1, stream);
+            pk.reassemble(&pkts).expect("complete fragment set")
+        })
+        .collect();
+
+    let rx = UplinkRx::new(cfg);
+    let out = rx.decode_subframe(&rx_wire).expect("decode");
+    assert!(out.crc_ok, "16-bit IQ quantization must not break decoding");
+    assert_eq!(out.payload, payload);
+}
+
+#[test]
+fn lost_packet_drops_the_subframe_not_the_process() {
+    let cfg = UplinkConfig::new(Bandwidth::Mhz1_4, 1, 5).expect("config");
+    let tx = UplinkTx::new(cfg.clone());
+    let payload = vec![0x5Au8; cfg.transport_block_bytes()];
+    let sf = tx.encode_subframe(&payload).expect("encode");
+    let pk = IqPacketizer;
+    let mut pkts = pk.packetize(3, 0, 9, &sf.samples);
+    pkts.remove(pkts.len() / 2);
+    assert!(pk.reassemble(&pkts).is_none(), "loss must be detected");
+}
+
+#[test]
+fn transport_budget_is_consistent_with_deadlines() {
+    // Fronthaul + testbed serialization must fit inside the RTT/2 values
+    // the paper sweeps (0.4–0.7 ms) for its deployment scenarios.
+    let fh = Fronthaul::off_site_20km();
+    let link = TestbedLink::paper_testbed();
+    let one_way = fh.one_way_us() + link.one_way_deterministic_us(Bandwidth::Mhz10, 2);
+    assert!(
+        (400.0..=1_000.0).contains(&one_way),
+        "20 km + 2-antenna 10 MHz transport = {one_way} µs"
+    );
+}

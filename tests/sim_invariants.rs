@@ -1,0 +1,83 @@
+//! Property-based invariants of the simulator across random operating
+//! points: the §3.2 dominance guarantee and conservation of subframes.
+
+use proptest::prelude::*;
+use rtopex::sim::{run, SchedulerKind, SimConfig};
+use rtopex::workload::Scenario;
+
+fn config(rtt: u64, seed: u64) -> SimConfig {
+    let mut s = Scenario::smoke_test();
+    s.subframes = 1_200;
+    s.seed = seed;
+    SimConfig::from_scenario(&s, rtt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// RT-OPEX never misses more than partitioned on the same workload,
+    /// for any transport latency, seed, or migration cost.
+    #[test]
+    fn rtopex_dominates_partitioned(
+        rtt in 400u64..900,
+        seed in 0u64..1_000,
+        delta in 0u64..100,
+    ) {
+        let mut p = config(rtt, seed);
+        p.scheduler = SchedulerKind::Partitioned;
+        let mut r = config(rtt, seed);
+        r.scheduler = SchedulerKind::RtOpex { delta_us: delta };
+        let pm = run(&p).deadline.overall().missed;
+        let rm = run(&r).deadline.overall().missed;
+        prop_assert!(rm <= pm, "rtt {rtt} seed {seed} δ {delta}: {rm} > {pm}");
+    }
+
+    /// Every released subframe is accounted for exactly once, and the
+    /// completion/drop split is consistent, under every scheduler.
+    #[test]
+    fn subframes_are_conserved(
+        rtt in 400u64..900,
+        seed in 0u64..1_000,
+        which in 0usize..3,
+    ) {
+        let mut cfg = config(rtt, seed);
+        cfg.scheduler = [
+            SchedulerKind::Partitioned,
+            SchedulerKind::RtOpex { delta_us: 20 },
+            SchedulerKind::Global {
+                cores: 8,
+                policy: rtopex::core::global::QueuePolicy::Edf,
+            },
+        ][which];
+        let report = run(&cfg);
+        let total = (cfg.num_bs * cfg.subframes) as u64;
+        prop_assert_eq!(report.deadline.total_subframes(), total);
+        prop_assert!(report.deadline.overall().missed <= total);
+        // Drops are a subset of misses for the partitioned-based engines.
+        if which < 2 {
+            prop_assert!(report.dropped <= report.deadline.overall().missed);
+            prop_assert_eq!(
+                report.proc_times_us.len() as u64 + report.dropped,
+                total
+            );
+        }
+    }
+
+    /// Miss rates are monotone (within tolerance) in transport latency for
+    /// the partitioned scheduler: shrinking the budget can only hurt.
+    #[test]
+    fn partitioned_monotone_in_rtt(seed in 0u64..200) {
+        let rates: Vec<f64> = [450u64, 600, 750, 900]
+            .iter()
+            .map(|&rtt| {
+                let mut cfg = config(rtt, seed);
+                cfg.scheduler = SchedulerKind::Partitioned;
+                run(&cfg).miss_rate()
+            })
+            .collect();
+        for w in rates.windows(2) {
+            // Allow tiny statistical wiggle at these sample sizes.
+            prop_assert!(w[1] >= w[0] - 2e-3, "rates {rates:?}");
+        }
+    }
+}
