@@ -9,7 +9,7 @@ use rtopex_phy::crc::CRC24A;
 use rtopex_phy::fft::FftPlan;
 use rtopex_phy::modulation::Modulation;
 use rtopex_phy::ratematch::RateMatcher;
-use rtopex_phy::turbo::{Qpp, TurboDecoder, TurboEncoder};
+use rtopex_phy::turbo::{Qpp, TurboDecoder, TurboEncoder, TurboWorkspace};
 use rtopex_phy::Cf32;
 use std::time::Duration;
 
@@ -109,13 +109,72 @@ fn bench_crc_qpp(c: &mut Criterion) {
     g.finish();
 }
 
+/// Plan-cached, scratch-reusing FFT vs. building a plan (and scratch) per
+/// call — the cost the plan cache removes from the resource-grid and
+/// DFT-precoding hot paths.
+fn bench_fft_planned(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_planned");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [600usize, 1024] {
+        let data: Vec<Cf32> = (0..n).map(|i| Cf32::from_phase(i as f32 * 0.1)).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("unplanned", n), &n, |b, _| {
+            b.iter(|| {
+                let plan = FftPlan::new(n);
+                let mut buf = data.clone();
+                plan.forward(&mut buf);
+                buf
+            })
+        });
+        let plan = rtopex_phy::fft::plan(n);
+        let mut buf = data.clone();
+        let mut scratch = vec![Cf32::ZERO; n];
+        g.bench_with_input(BenchmarkId::new("plan_cached", n), &n, |b, _| {
+            b.iter(|| {
+                buf.copy_from_slice(&data);
+                plan.forward_scratch(&mut buf, &mut scratch);
+                buf[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Turbo decoding with a persistent [`TurboWorkspace`] vs. the allocating
+/// wrapper — the per-code-block saving of the workspace arena.
+fn bench_turbo_workspace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("turbo_workspace");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for k in [2048usize, 6144] {
+        let data = bits(k, 5);
+        let enc = TurboEncoder::new(k);
+        let cw = enc.encode(&data);
+        let llr =
+            |v: &[u8]| -> Vec<f32> { v.iter().map(|&x| 4.0 * (1.0 - 2.0 * x as f32)).collect() };
+        let (d0, d1, d2) = (llr(&cw.d0), llr(&cw.d1), llr(&cw.d2));
+        let dec = TurboDecoder::with_qpp(enc.qpp().clone());
+        g.throughput(Throughput::Elements(k as u64));
+        g.bench_with_input(BenchmarkId::new("fresh", k), &k, |b, _| {
+            b.iter(|| dec.decode(&d0, &d1, &d2, 1, |_| false))
+        });
+        let mut ws = TurboWorkspace::new();
+        dec.decode_with(&d0, &d1, &d2, 1, |_| false, &mut ws);
+        g.bench_with_input(BenchmarkId::new("reused_ws", k), &k, |b, _| {
+            b.iter(|| dec.decode_with(&d0, &d1, &d2, 1, |_| false, &mut ws))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fft,
     bench_turbo,
     bench_ratematch,
     bench_modulation,
-    bench_crc_qpp
+    bench_crc_qpp,
+    bench_fft_planned,
+    bench_turbo_workspace
 );
 criterion_main!(benches);
 

@@ -159,7 +159,10 @@ understates RT-OPEX's advantage, exactly as the paper claims."
 /// Migration granularity: whole tasks (semi-partitioned) vs. subtasks
 /// (RT-OPEX) — the Table 2 "granularity" column, quantified.
 pub fn run_granularity(opts: &Opts) {
-    header("Ablation — migration granularity (Table 2)", "Table 2 / [14]");
+    header(
+        "Ablation — migration granularity (Table 2)",
+        "Table 2 / [14]",
+    );
     println!(
         "{:>8} {:>13} {:>13} {:>13}",
         "RTT/2", "partitioned", "semi-part.", "rt-opex"
@@ -183,9 +186,11 @@ pub fn run_granularity(opts: &Opts) {
             fmt_rate(rates[2])
         );
     }
-    println!("expected: whole-task migration ≈ partitioned — the misses come from
+    println!(
+        "expected: whole-task migration ≈ partitioned — the misses come from
 subframes whose serial time exceeds T_max, which moving the task cannot
-fix; only subtask-level parallelism (RT-OPEX) does.");
+fix; only subtask-level parallelism (RT-OPEX) does."
+    );
 }
 
 /// Runs all ablations.

@@ -304,7 +304,6 @@ mod tests {
     fn multipath_is_frequency_selective() {
         // The echo creates subcarrier-dependent gain: the DFT of the
         // channel impulse response must vary across bins.
-        use crate::fft::FftPlan;
         let mut rng = StdRng::seed_from_u64(8);
         // Impulse probing: send a delta, read the impulse response.
         let mut tx = vec![Cf32::ZERO; 256];
@@ -312,7 +311,7 @@ mod tests {
         let mut ch = MultipathChannel::two_path(80.0); // negligible noise
         let rx = ch.apply(&tx, 1, &mut rng);
         let mut h = rx[0].clone();
-        FftPlan::new(256).forward(&mut h);
+        crate::fft::plan(256).forward(&mut h);
         let mags: Vec<f32> = h.iter().map(|v| v.abs()).collect();
         let max = mags.iter().cloned().fold(0.0f32, f32::max);
         let min = mags.iter().cloned().fold(f32::MAX, f32::min);

@@ -47,7 +47,11 @@ pub const fn is_crs_symbol(l: usize) -> bool {
 /// symbols 0 use `v = 0`, symbols 4 use `v = 3` (port 0), both shifted by
 /// `cell_id mod 6`.
 pub fn crs_offset(l: usize, cell_id: u16) -> usize {
-    let v = if l.is_multiple_of(SYMBOLS_PER_SLOT) { 0 } else { 3 };
+    let v = if l.is_multiple_of(SYMBOLS_PER_SLOT) {
+        0
+    } else {
+        3
+    };
     (v + cell_id as usize) % CRS_STRIDE
 }
 

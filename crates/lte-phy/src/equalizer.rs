@@ -62,6 +62,27 @@ pub fn estimate_channel_band(
     dmrs_ref: &[Cf32],
     band: std::ops::Range<usize>,
 ) -> ChannelEstimate {
+    let mut est = ChannelEstimate {
+        h: Vec::new(),
+        noise_var: 0.0,
+    };
+    estimate_channel_band_into(grids, dmrs_ref, band, &mut est);
+    est
+}
+
+/// [`estimate_channel_band`] into a caller-owned estimate, reusing its
+/// per-antenna gain vectors (no allocation once they have capacity).
+/// Produces values identical to [`estimate_channel_band`].
+///
+/// # Panics
+/// Panics if `grids` is empty, the band exceeds the grid, or `dmrs_ref`
+/// length mismatches the band width.
+pub fn estimate_channel_band_into(
+    grids: &[Grid],
+    dmrs_ref: &[Cf32],
+    band: std::ops::Range<usize>,
+    est: &mut ChannelEstimate,
+) {
     assert!(!grids.is_empty(), "at least one antenna required");
     let width = grids[0].bandwidth().num_subcarriers();
     assert!(band.end <= width, "band exceeds grid width");
@@ -69,12 +90,19 @@ pub fn estimate_channel_band(
     assert_eq!(dmrs_ref.len(), m, "DMRS reference length");
     let [l1, l2] = dmrs_symbols();
 
-    let mut h = Vec::with_capacity(grids.len());
+    // Grow-only: keep existing inner vectors (and their capacity) alive.
+    if est.h.len() > grids.len() {
+        est.h.truncate(grids.len());
+    }
+    while est.h.len() < grids.len() {
+        est.h.push(Vec::new());
+    }
     let mut noise_acc = 0.0f64;
-    for grid in grids {
+    for (grid, ha) in grids.iter().zip(est.h.iter_mut()) {
         let y1 = &grid.symbol(l1)[band.clone()];
         let y2 = &grid.symbol(l2)[band.clone()];
-        let mut ha = Vec::with_capacity(m);
+        ha.clear();
+        ha.reserve(m);
         for k in 0..m {
             // LS estimate: y = h·r + n with |r| = 1 ⇒ ĥ = y·r*.
             let e1 = y1[k] * dmrs_ref[k].conj();
@@ -83,10 +111,8 @@ pub fn estimate_channel_band(
             // (e1 − e2) = n1·r* − n2·r* has variance 2σ².
             noise_acc += ((e1 - e2).norm_sq() / 2.0) as f64;
         }
-        h.push(ha);
     }
-    let noise_var = (noise_acc / (grids.len() * m) as f64).max(1e-12) as f32;
-    ChannelEstimate { h, noise_var }
+    est.noise_var = (noise_acc / (grids.len() * m) as f64).max(1e-12) as f32;
 }
 
 /// Maximum-ratio combining of one OFDM symbol across antennas.
@@ -99,13 +125,34 @@ pub fn estimate_channel_band(
 /// Panics if `rows` length differs from the estimate's antenna count, or a
 /// row's width differs from the subcarrier count.
 pub fn mrc_combine(rows: &[&[Cf32]], est: &ChannelEstimate) -> (Vec<Cf32>, Vec<f32>) {
+    let mut combined = Vec::new();
+    let mut post_var = Vec::new();
+    mrc_combine_into(rows, est, &mut combined, &mut post_var);
+    (combined, post_var)
+}
+
+/// [`mrc_combine`] into caller-owned vectors (cleared and refilled; no
+/// allocation once they have capacity). Produces values identical to
+/// [`mrc_combine`].
+///
+/// # Panics
+/// Panics if `rows` length differs from the estimate's antenna count, or a
+/// row's width differs from the subcarrier count.
+pub fn mrc_combine_into(
+    rows: &[&[Cf32]],
+    est: &ChannelEstimate,
+    combined: &mut Vec<Cf32>,
+    post_var: &mut Vec<f32>,
+) {
     assert_eq!(rows.len(), est.num_antennas(), "antenna count");
     let m = est.num_subcarriers();
     for row in rows {
         assert_eq!(row.len(), m, "subcarrier count");
     }
-    let mut combined = Vec::with_capacity(m);
-    let mut post_var = Vec::with_capacity(m);
+    combined.clear();
+    combined.reserve(m);
+    post_var.clear();
+    post_var.reserve(m);
     for k in 0..m {
         let mut num = Cf32::ZERO;
         let mut gain = 0.0f32;
@@ -118,7 +165,6 @@ pub fn mrc_combine(rows: &[&[Cf32]], est: &ChannelEstimate) -> (Vec<Cf32>, Vec<f
         combined.push(num.scale(1.0 / g));
         post_var.push(est.noise_var / g);
     }
-    (combined, post_var)
 }
 
 #[cfg(test)]

@@ -2,15 +2,23 @@
 //!
 //! LTE needs transforms of two kinds of sizes: power-of-two (and `1536 =
 //! 2⁹·3`) OFDM FFTs, and `12·N_PRB`-point DFTs for SC-FDMA transform
-//! precoding (e.g. 600 points for 50 PRBs). This module implements a
-//! recursive mixed-radix Cooley-Tukey decomposition over arbitrary
-//! factorizations, with a naive `O(n²)` DFT fallback for prime factors —
-//! correct for *any* size, fast for the sizes LTE actually uses.
+//! precoding (e.g. 600 points for 50 PRBs). This module implements an
+//! **iterative** mixed-radix Stockham autosort kernel over arbitrary
+//! factorizations — no recursion, no per-call heap allocation, and no
+//! digit-reversal pass. Prime factors degrade to an `O(n·r)` stage, so the
+//! transform is correct for *any* size and fast for the sizes LTE uses.
 //!
 //! The per-size [`FftPlan`] precomputes the factorization and a single
-//! root-of-unity table; plans are cheap to clone and safe to share.
+//! root-of-unity table; plans are cheap to clone and safe to share. The
+//! steady-state entry points are [`FftPlan::forward_with`] /
+//! [`FftPlan::inverse_with`], which ping-pong between the caller's buffer
+//! and a caller-owned scratch vector; [`FftPlan::forward`] /
+//! [`FftPlan::inverse`] are allocating conveniences. [`plan`] returns a
+//! process-wide cached `Arc<FftPlan>` so hot paths build each size once.
 
 use crate::complex::Cf32;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A precomputed transform plan for a fixed size `n`.
 #[derive(Clone, Debug)]
@@ -37,6 +45,23 @@ fn factorize(mut n: usize) -> Vec<usize> {
         f.push(n);
     }
     f
+}
+
+/// Process-wide plan cache, one shared immutable plan per size.
+static PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+
+/// Returns the shared plan for size `n`, building it on first use.
+///
+/// Every component that transforms a given size (OFDM processors, DFT
+/// precoders, tests) resolves through this cache, so twiddle tables are
+/// computed once per process rather than once per constructor call.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn plan(n: usize) -> Arc<FftPlan> {
+    let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("plan cache poisoned");
+    Arc::clone(map.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
 }
 
 impl FftPlan {
@@ -68,104 +93,150 @@ impl FftPlan {
 
     /// Forward DFT: `X[k] = Σ x[j]·e^{-2πi jk/n}` (no normalization).
     ///
+    /// Allocating convenience over [`FftPlan::forward_with`].
+    ///
     /// # Panics
     /// Panics if `data.len() != self.len()`.
     pub fn forward(&self, data: &mut [Cf32]) {
-        assert_eq!(data.len(), self.n, "buffer length must equal plan size");
-        let mut out = vec![Cf32::ZERO; self.n];
-        self.rec(data, 1, &mut out, self.n, &self.factors);
-        data.copy_from_slice(&out);
+        let mut scratch = vec![Cf32::ZERO; self.n];
+        self.forward_scratch(data, &mut scratch);
     }
 
     /// Inverse DFT with `1/n` normalization, so `inverse(forward(x)) = x`.
     ///
+    /// Allocating convenience over [`FftPlan::inverse_with`].
+    ///
     /// # Panics
     /// Panics if `data.len() != self.len()`.
     pub fn inverse(&self, data: &mut [Cf32]) {
+        let mut scratch = vec![Cf32::ZERO; self.n];
+        self.inverse_scratch(data, &mut scratch);
+    }
+
+    /// Forward DFT using a caller-owned scratch vector, resized as needed.
+    /// After warm-up the call performs no heap allocation.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward_with(&self, data: &mut [Cf32], scratch: &mut Vec<Cf32>) {
+        scratch.resize(self.n, Cf32::ZERO);
+        self.forward_scratch(data, &mut scratch[..]);
+    }
+
+    /// Inverse DFT using a caller-owned scratch vector, resized as needed.
+    /// After warm-up the call performs no heap allocation.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse_with(&self, data: &mut [Cf32], scratch: &mut Vec<Cf32>) {
+        scratch.resize(self.n, Cf32::ZERO);
+        self.inverse_scratch(data, &mut scratch[..]);
+    }
+
+    /// Forward DFT with an exact-size scratch slice (the zero-allocation
+    /// primitive; `scratch` contents are clobbered).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()` or `scratch.len() != self.len()`.
+    pub fn forward_scratch(&self, data: &mut [Cf32], scratch: &mut [Cf32]) {
         assert_eq!(data.len(), self.n, "buffer length must equal plan size");
+        assert_eq!(scratch.len(), self.n, "scratch length must equal plan size");
+        self.stockham(data, scratch);
+    }
+
+    /// Inverse DFT with an exact-size scratch slice (the zero-allocation
+    /// primitive; `scratch` contents are clobbered).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()` or `scratch.len() != self.len()`.
+    pub fn inverse_scratch(&self, data: &mut [Cf32], scratch: &mut [Cf32]) {
+        assert_eq!(data.len(), self.n, "buffer length must equal plan size");
+        assert_eq!(scratch.len(), self.n, "scratch length must equal plan size");
         for v in data.iter_mut() {
             *v = v.conj();
         }
-        self.forward(data);
+        self.stockham(data, scratch);
         let s = 1.0 / self.n as f32;
         for v in data.iter_mut() {
             *v = v.conj().scale(s);
         }
     }
 
-    /// Recursive mixed-radix step: computes the `n`-point DFT of
-    /// `input[0], input[stride], …` into `out[0..n]`.
-    fn rec(&self, input: &[Cf32], stride: usize, out: &mut [Cf32], n: usize, factors: &[usize]) {
+    /// Iterative Stockham autosort mixed-radix kernel. One pass per prime
+    /// factor, ping-ponging between `data` and `scratch`; the result always
+    /// ends up back in `data`.
+    ///
+    /// Stage invariant: with `n_cur` the remaining sub-transform length and
+    /// `s` the accumulated stride (`s · n_cur · …` spans `n`), each stage of
+    /// radix `r` (`m = n_cur / r`) computes
+    ///
+    /// ```text
+    /// y[q + s·(r·p + j)] = ( Σᵢ x[q + s·(p + m·i)] · W_r^{ij} ) · W_{n_cur}^{p·j}
+    /// ```
+    ///
+    /// for `p ∈ [0,m)`, `q ∈ [0,s)`, `j ∈ [0,r)`; then `n_cur ← m`, `s ← s·r`.
+    fn stockham(&self, data: &mut [Cf32], scratch: &mut [Cf32]) {
+        let n = self.n;
         if n == 1 {
-            out[0] = input[0];
             return;
         }
-        let r = factors[0];
-        let m = n / r;
-        if m == 1 {
-            // Pure small/naive DFT of size r.
-            self.naive(input, stride, out, r);
-            return;
-        }
-        // r sub-DFTs of size m over the decimated sequences x_q[j] = x[jr+q].
-        for q in 0..r {
-            self.rec(
-                &input[q * stride..],
-                stride * r,
-                &mut out[q * m..(q + 1) * m],
-                m,
-                &factors[1..],
-            );
-        }
-        // Combine: X[k1 + m·k2] = Σ_q W_n^{q·k1} · W_r^{q·k2} · X_q[k1].
-        let root_stride = self.n / n; // W_n^j == twiddles[j · n_root/n]
-        let r_stride = self.n / r;
-        let mut t = [Cf32::ZERO; 16];
-        debug_assert!(r <= 16 || m == 1, "large prime factors handled by naive()");
-        if r > 16 {
-            // Extremely large prime factor with a composite cofactor: fall
-            // back to a naive DFT of the whole block (correct, slow).
-            self.naive(input, stride, out, n);
-            return;
-        }
-        for k1 in 0..m {
-            for (q, tq) in t.iter_mut().enumerate().take(r) {
-                let w = self.twiddles[(q * k1 * root_stride) % self.n];
-                *tq = w * out[q * m + k1];
-            }
-            for k2 in 0..r {
-                let mut acc = Cf32::ZERO;
-                for (q, tq) in t.iter().enumerate().take(r) {
-                    let w = self.twiddles[(q * k2 * r_stride) % self.n];
-                    acc += w * *tq;
+        let tw = &self.twiddles;
+        let mut n_cur = n;
+        let mut s = 1usize;
+        let mut in_data = true;
+        for &r in &self.factors {
+            let m = n_cur / r;
+            let (src, dst): (&[Cf32], &mut [Cf32]) = if in_data {
+                (data, scratch)
+            } else {
+                (scratch, data)
+            };
+            let wn_stride = n / n_cur;
+            if r == 2 {
+                // Radix-2 butterfly: j = 0 twiddle is 1, j = 1 is W_{n_cur}^p.
+                for p in 0..m {
+                    let wp = tw[p * wn_stride];
+                    for q in 0..s {
+                        let x0 = src[q + s * p];
+                        let x1 = src[q + s * (p + m)];
+                        dst[q + s * 2 * p] = x0 + x1;
+                        dst[q + s * (2 * p + 1)] = (x0 - x1) * wp;
+                    }
                 }
-                out[k1 + m * k2] = acc;
+            } else {
+                let wr_stride = n / r;
+                for j in 0..r {
+                    for p in 0..m {
+                        let wp = tw[(p * j) % n_cur * wn_stride];
+                        for q in 0..s {
+                            let mut acc = Cf32::ZERO;
+                            for i in 0..r {
+                                let w = tw[(i * j) % r * wr_stride];
+                                acc += w * src[q + s * (p + m * i)];
+                            }
+                            dst[q + s * (r * p + j)] = acc * wp;
+                        }
+                    }
+                }
             }
+            n_cur = m;
+            s *= r;
+            in_data = !in_data;
         }
-    }
-
-    /// Naive `O(n²)` DFT used for prime sizes.
-    fn naive(&self, input: &[Cf32], stride: usize, out: &mut [Cf32], n: usize) {
-        let root_stride = self.n / n;
-        for (k, o) in out.iter_mut().enumerate().take(n) {
-            let mut acc = Cf32::ZERO;
-            for j in 0..n {
-                let w = self.twiddles[(j * k * root_stride) % self.n];
-                acc += w * input[j * stride];
-            }
-            *o = acc;
+        if !in_data {
+            data.copy_from_slice(scratch);
         }
     }
 }
 
-/// Convenience: one-shot forward DFT (builds a plan internally).
+/// Convenience: one-shot forward DFT (resolves through the plan cache).
 pub fn dft(data: &mut [Cf32]) {
-    FftPlan::new(data.len()).forward(data);
+    plan(data.len()).forward(data);
 }
 
-/// Convenience: one-shot inverse DFT (builds a plan internally).
+/// Convenience: one-shot inverse DFT (resolves through the plan cache).
 pub fn idft(data: &mut [Cf32]) {
-    FftPlan::new(data.len()).inverse(data);
+    plan(data.len()).inverse(data);
 }
 
 #[cfg(test)]
@@ -266,6 +337,31 @@ mod tests {
     }
 
     #[test]
+    fn scratch_path_matches_allocating_path() {
+        for n in [1usize, 2, 12, 128, 600, 1536] {
+            let x = ramp(n);
+            let mut a = x.clone();
+            FftPlan::new(n).forward(&mut a);
+            let mut b = x.clone();
+            let mut scratch = Vec::new();
+            let plan = plan(n);
+            plan.forward_with(&mut b, &mut scratch);
+            assert_eq!(a, b, "size {n}");
+            // And the cached-plan inverse round-trips through the same scratch.
+            plan.inverse_with(&mut b, &mut scratch);
+            assert!(max_err(&x, &b) < 2e-3, "size {n}");
+        }
+    }
+
+    #[test]
+    fn plan_cache_returns_shared_plan() {
+        let a = plan(640);
+        let b = plan(640);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 640);
+    }
+
+    #[test]
     fn parseval_energy_conservation() {
         let n = 1024;
         let x = ramp(n);
@@ -296,6 +392,12 @@ mod tests {
     #[should_panic(expected = "buffer length")]
     fn wrong_length_panics() {
         FftPlan::new(16).forward(&mut [Cf32::ZERO; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch length")]
+    fn wrong_scratch_length_panics() {
+        FftPlan::new(16).forward_scratch(&mut [Cf32::ZERO; 16], &mut [Cf32::ZERO; 8]);
     }
 
     proptest! {

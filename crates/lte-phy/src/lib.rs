@@ -77,6 +77,7 @@ pub mod segmentation;
 pub mod tasks;
 pub mod turbo;
 pub mod uplink;
+pub mod workspace;
 pub mod zadoff_chu;
 
 pub use complex::Cf32;

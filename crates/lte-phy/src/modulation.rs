@@ -68,15 +68,20 @@ impl Modulation {
         }
     }
 
-    /// All (level, axis-bit-pattern) pairs of the per-axis PAM constellation.
-    fn axis_table(self) -> Vec<(f32, Vec<u8>)> {
+    /// All (level, axis-bit-pattern) pairs of the per-axis PAM
+    /// constellation, as a fixed-size array plus its used length — the
+    /// demapper runs per data symbol and must not allocate.
+    fn axis_table(self) -> ([(f32, [u8; 3]); 8], usize) {
         let nb = self.bits_per_axis();
-        (0..1usize << nb)
-            .map(|v| {
-                let bits: Vec<u8> = (0..nb).map(|i| ((v >> (nb - 1 - i)) & 1) as u8).collect();
-                (self.axis_level(&bits) * self.norm(), bits)
-            })
-            .collect()
+        let mut table = [(0.0f32, [0u8; 3]); 8];
+        for (v, entry) in table.iter_mut().enumerate().take(1 << nb) {
+            let mut bits = [0u8; 3];
+            for i in 0..nb {
+                bits[i] = ((v >> (nb - 1 - i)) & 1) as u8;
+            }
+            *entry = (self.axis_level(&bits[..nb]) * self.norm(), bits);
+        }
+        (table, 1 << nb)
     }
 
     /// Maps a bit slice to constellation symbols.
@@ -116,7 +121,8 @@ impl Modulation {
     /// Panics if `noise_var.len() != symbols.len()`.
     pub fn demap_maxlog(self, symbols: &[Cf32], noise_var: &[f32], out: &mut Vec<f32>) {
         assert_eq!(symbols.len(), noise_var.len(), "per-symbol noise required");
-        let table = self.axis_table();
+        let (table, used) = self.axis_table();
+        let table = &table[..used];
         let nb = self.bits_per_axis();
         out.reserve(symbols.len() * self.bits_per_symbol());
         let mut axis_llr = [0.0f32; 3];
@@ -127,7 +133,7 @@ impl Modulation {
                 for (t, slot) in axis_llr.iter_mut().enumerate().take(nb) {
                     let mut d0 = f32::MAX;
                     let mut d1 = f32::MAX;
-                    for (level, bits) in &table {
+                    for &(level, bits) in table {
                         let d = (val - level) * (val - level);
                         if bits[t] == 0 {
                             if d < d0 {
@@ -208,8 +214,8 @@ mod tests {
     #[test]
     fn qam64_levels_are_odd_integers() {
         let m = Modulation::Qam64;
-        let mut levels: Vec<i32> = m
-            .axis_table()
+        let (table, used) = m.axis_table();
+        let mut levels: Vec<i32> = table[..used]
             .iter()
             .map(|(l, _)| (l / m.norm()).round() as i32)
             .collect();

@@ -147,10 +147,40 @@ impl RateMatcher {
     /// Reverses a redundancy-version-`rv` selection (see
     /// [`RateMatcher::rate_match_rv`]).
     pub fn de_rate_match_rv(&self, llrs: &[f32], rv: u8) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut d0 = Vec::new();
+        let mut d1 = Vec::new();
+        let mut d2 = Vec::new();
+        self.de_rate_match_rv_into(llrs, rv, &mut d0, &mut d1, &mut d2);
+        (d0, d1, d2)
+    }
+
+    /// [`RateMatcher::de_rate_match`] into caller-owned stream vectors
+    /// (cleared, resized to `D`, refilled; no allocation once they have
+    /// capacity).
+    pub fn de_rate_match_into(
+        &self,
+        llrs: &[f32],
+        d0: &mut Vec<f32>,
+        d1: &mut Vec<f32>,
+        d2: &mut Vec<f32>,
+    ) {
+        self.de_rate_match_rv_into(llrs, 0, d0, d1, d2);
+    }
+
+    /// [`RateMatcher::de_rate_match_rv`] into caller-owned stream vectors.
+    pub fn de_rate_match_rv_into(
+        &self,
+        llrs: &[f32],
+        rv: u8,
+        d0: &mut Vec<f32>,
+        d1: &mut Vec<f32>,
+        d2: &mut Vec<f32>,
+    ) {
         let ncb = self.buffer_len();
-        let mut d0 = vec![0.0f32; self.d];
-        let mut d1 = vec![0.0f32; self.d];
-        let mut d2 = vec![0.0f32; self.d];
+        for v in [&mut *d0, &mut *d1, &mut *d2] {
+            v.clear();
+            v.resize(self.d, 0.0);
+        }
         let mut k = self.k0_rv(rv);
         let mut taken = 0usize;
         while taken < llrs.len() {
@@ -165,7 +195,6 @@ impl RateMatcher {
             }
             k = (k + 1) % ncb;
         }
-        (d0, d1, d2)
     }
 }
 

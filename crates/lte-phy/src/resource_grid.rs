@@ -7,8 +7,9 @@
 //! subtask** (Fig. 4(a), Fig. 5).
 
 use crate::complex::Cf32;
-use crate::fft::FftPlan;
+use crate::fft::{self, FftPlan};
 use crate::params::{Bandwidth, SYMBOLS_PER_SUBFRAME};
+use std::sync::Arc;
 
 /// One antenna's subframe resource grid (14 × `num_subcarriers`).
 #[derive(Clone, Debug)]
@@ -50,11 +51,12 @@ impl Grid {
     }
 }
 
-/// OFDM modulator/demodulator for a fixed bandwidth (owns the FFT plan).
+/// OFDM modulator/demodulator for a fixed bandwidth (shares the cached
+/// FFT plan for that size).
 #[derive(Clone, Debug)]
 pub struct OfdmProcessor {
     bw: Bandwidth,
-    plan: FftPlan,
+    plan: Arc<FftPlan>,
 }
 
 impl OfdmProcessor {
@@ -62,7 +64,7 @@ impl OfdmProcessor {
     pub fn new(bw: Bandwidth) -> Self {
         OfdmProcessor {
             bw,
-            plan: FftPlan::new(bw.fft_size()),
+            plan: fft::plan(bw.fft_size()),
         }
     }
 
@@ -87,12 +89,13 @@ impl OfdmProcessor {
         let scale = n as f32 / (m as f32).sqrt();
         let mut out = Vec::with_capacity(self.bw.samples_per_subframe());
         let mut freq = vec![Cf32::ZERO; n];
+        let mut scratch = vec![Cf32::ZERO; n];
         for l in 0..SYMBOLS_PER_SUBFRAME {
             freq.iter_mut().for_each(|v| *v = Cf32::ZERO);
             for (k, &v) in grid.symbol(l).iter().enumerate() {
                 freq[self.bin(k)] = v;
             }
-            self.plan.inverse(&mut freq);
+            self.plan.inverse_scratch(&mut freq, &mut scratch);
             for v in freq.iter_mut() {
                 *v = v.scale(scale);
             }
@@ -112,17 +115,44 @@ impl OfdmProcessor {
     /// # Panics
     /// Panics if `samples` is shorter than a subframe or `l >= 14`.
     pub fn demod_symbol(&self, samples: &[Cf32], l: usize) -> Vec<Cf32> {
+        let m = self.bw.num_subcarriers();
+        let mut out = vec![Cf32::ZERO; m];
+        let mut time_buf = Vec::new();
+        let mut fft_scratch = Vec::new();
+        self.demod_symbol_into(samples, l, &mut out, &mut time_buf, &mut fft_scratch);
+        out
+    }
+
+    /// Demodulates one OFDM symbol into `out` (length `num_subcarriers`),
+    /// using caller-owned scratch buffers so steady-state calls perform no
+    /// heap allocation. Produces values identical to [`Self::demod_symbol`].
+    ///
+    /// # Panics
+    /// Panics if `samples` is shorter than a subframe, `l >= 14`, or
+    /// `out.len() != num_subcarriers`.
+    pub fn demod_symbol_into(
+        &self,
+        samples: &[Cf32],
+        l: usize,
+        out: &mut [Cf32],
+        time_buf: &mut Vec<Cf32>,
+        fft_scratch: &mut Vec<Cf32>,
+    ) {
         assert!(
             samples.len() >= self.bw.samples_per_subframe(),
             "subframe samples required"
         );
         let n = self.bw.fft_size();
         let m = self.bw.num_subcarriers();
+        assert_eq!(out.len(), m, "output length must equal subcarrier count");
         let start = self.bw.symbol_offset(l) + self.bw.cp_len(l);
-        let mut buf = samples[start..start + n].to_vec();
-        self.plan.forward(&mut buf);
+        time_buf.clear();
+        time_buf.extend_from_slice(&samples[start..start + n]);
+        self.plan.forward_with(time_buf, fft_scratch);
         let scale = (m as f32).sqrt() / n as f32;
-        (0..m).map(|k| buf[self.bin(k)].scale(scale)).collect()
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = time_buf[self.bin(k)].scale(scale);
+        }
     }
 
     /// Demodulates all 14 symbols into a [`Grid`] (serial helper).

@@ -125,9 +125,20 @@ impl Segmentation {
     /// Sizes of the `C` code blocks in transmission order
     /// (`K⁻` blocks first, per 36.212).
     pub fn block_sizes(&self) -> Vec<usize> {
-        let mut v = vec![self.k_minus; self.c_minus];
-        v.extend(std::iter::repeat_n(self.k_plus, self.c_plus));
-        v
+        (0..self.num_blocks).map(|r| self.block_size(r)).collect()
+    }
+
+    /// Size of code block `r` in transmission order (`K⁻` blocks first).
+    ///
+    /// # Panics
+    /// Panics if `r >= num_blocks`.
+    pub fn block_size(&self, r: usize) -> usize {
+        assert!(r < self.num_blocks, "code block index out of range");
+        if r < self.c_minus {
+            self.k_minus
+        } else {
+            self.k_plus
+        }
     }
 
     /// Splits `tb` (the transport block bits including its CRC24A, length
@@ -169,6 +180,20 @@ impl Segmentation {
     /// Returns the reassembled bits and a per-block CRC24B pass/fail vector
     /// (all `true` when `C == 1`, where no per-block CRC exists).
     pub fn desegment(&self, blocks: &[Vec<u8>]) -> Result<(Vec<u8>, Vec<bool>), PhyError> {
+        let mut tb = Vec::new();
+        let mut oks = Vec::new();
+        self.desegment_into(blocks, &mut tb, &mut oks)?;
+        Ok((tb, oks))
+    }
+
+    /// [`Segmentation::desegment`] into caller-owned vectors (cleared and
+    /// refilled; no allocation once they have capacity).
+    pub fn desegment_into(
+        &self,
+        blocks: &[Vec<u8>],
+        tb: &mut Vec<u8>,
+        oks: &mut Vec<bool>,
+    ) -> Result<(), PhyError> {
         if blocks.len() != self.num_blocks {
             return Err(PhyError::LengthMismatch {
                 what: "code blocks",
@@ -177,9 +202,12 @@ impl Segmentation {
             });
         }
         let crc = self.num_blocks > 1;
-        let mut tb = Vec::with_capacity(self.input_bits);
-        let mut oks = Vec::with_capacity(self.num_blocks);
-        for (r, (blk, k)) in blocks.iter().zip(self.block_sizes()).enumerate() {
+        tb.clear();
+        tb.reserve(self.input_bits);
+        oks.clear();
+        oks.reserve(self.num_blocks);
+        for (r, blk) in blocks.iter().enumerate() {
+            let k = self.block_size(r);
             if blk.len() != k {
                 return Err(PhyError::LengthMismatch {
                     what: "code block",
@@ -193,7 +221,7 @@ impl Segmentation {
             tb.extend_from_slice(&blk[start..payload_end]);
         }
         debug_assert_eq!(tb.len(), self.input_bits);
-        Ok((tb, oks))
+        Ok(())
     }
 }
 

@@ -40,6 +40,58 @@ pub struct TurboDecoder {
     qpp: Qpp,
 }
 
+/// Reusable scratch for [`TurboDecoder::decode_with`].
+///
+/// Holds every intermediate buffer a decode needs — the flattened alpha
+/// trellis, interleaved systematic copy, extrinsic exchanges, posteriors
+/// and hard decisions. Buffers grow to the largest block size seen and are
+/// then reused, so steady-state decoding performs no heap allocation even
+/// when consecutive code blocks have different sizes.
+#[derive(Clone, Debug, Default)]
+pub struct TurboWorkspace {
+    alpha: Vec<f32>,
+    sys2: Vec<f32>,
+    le21: Vec<f32>,
+    le12: Vec<f32>,
+    a2: Vec<f32>,
+    le21_il: Vec<f32>,
+    l1: Vec<f32>,
+    l2: Vec<f32>,
+    l2_nat: Vec<f32>,
+    /// Hard-decision bits from the most recent decode (length `K`).
+    pub bits: Vec<u8>,
+}
+
+fn reserve_to<T>(v: &mut Vec<T>, n: usize) {
+    v.reserve(n.saturating_sub(v.len()));
+}
+
+impl TurboWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-grows every buffer for block size `k`, so a subsequent decode of
+    /// any block size `≤ k` allocates nothing.
+    pub fn warm(&mut self, k: usize) {
+        reserve_to(&mut self.alpha, (k + 1) * NUM_STATES);
+        for v in [
+            &mut self.sys2,
+            &mut self.le21,
+            &mut self.le12,
+            &mut self.a2,
+            &mut self.le21_il,
+            &mut self.l1,
+            &mut self.l2,
+            &mut self.l2_nat,
+        ] {
+            reserve_to(v, k);
+        }
+        reserve_to(&mut self.bits, k);
+    }
+}
+
 /// Half branch metric for bit hypothesis `u` given LLR `l`
 /// (`L = ln P(0)/P(1)`; hypothesis 0 earns `+l/2`, hypothesis 1 `-l/2`).
 #[inline]
@@ -55,7 +107,15 @@ fn half_metric(u: u8, l: f32) -> f32 {
 ///
 /// * `sys`, `par`, `apriori` — length-`K` LLRs,
 /// * `sys_tail`, `par_tail` — termination LLRs,
-/// * `out` — length-`K` posterior LLRs.
+/// * `out` — length-`K` posterior LLRs,
+/// * `alpha` — caller-owned forward-metric storage, resized to
+///   `(K+1)·NUM_STATES` (flattened row-major; reused across calls).
+///
+/// The branch metric for hypothesis bit `u` with parity `p` is
+/// `±lu/2 ± lp/2` where `lu = sys + apriori`, `lp = par`; the four
+/// combinations are hoisted out of the state loop. Value-preserving: the
+/// hoisted sums and `f32::max` produce bit-identical results to the naive
+/// per-transition `half_metric` formulation for finite LLRs.
 fn map_decode(
     sys: &[f32],
     sys_tail: &[f32; TAIL_STEPS],
@@ -63,35 +123,32 @@ fn map_decode(
     par_tail: &[f32; TAIL_STEPS],
     apriori: &[f32],
     out: &mut [f32],
+    alpha: &mut Vec<f32>,
 ) {
     let k = sys.len();
     debug_assert_eq!(par.len(), k);
     debug_assert_eq!(apriori.len(), k);
     debug_assert_eq!(out.len(), k);
 
-    // Forward (alpha) recursion, storing all steps.
-    let mut alpha = vec![[NEG_INF; NUM_STATES]; k + 1];
-    alpha[0][0] = 0.0;
+    // Forward (alpha) recursion, storing all steps (flattened rows).
+    alpha.clear();
+    alpha.resize((k + 1) * NUM_STATES, NEG_INF);
+    alpha[0] = 0.0;
     for i in 0..k {
-        let lu = sys[i] + apriori[i];
-        let lp = par[i];
-        let (cur, nxt) = {
-            let (a, b) = alpha.split_at_mut(i + 1);
-            (&a[i], &mut b[0])
-        };
+        let hu = 0.5 * (sys[i] + apriori[i]);
+        let hp = 0.5 * par[i];
+        // g[u][p] = half_metric(u, lu) + half_metric(p, lp), hoisted.
+        let g = [[hu + hp, hu - hp], [hp - hu, -hu - hp]];
+        let (cur, nxt) = alpha[i * NUM_STATES..(i + 2) * NUM_STATES].split_at_mut(NUM_STATES);
         for s in 0..NUM_STATES {
             let a = cur[s];
             if a <= NEG_INF {
                 continue;
             }
-            for u in 0..2u8 {
-                let p = TRELLIS.parity[s][u as usize];
-                let g = half_metric(u, lu) + half_metric(p, lp);
-                let ns = TRELLIS.next[s][u as usize] as usize;
-                let cand = a + g;
-                if cand > nxt[ns] {
-                    nxt[ns] = cand;
-                }
+            for u in 0..2usize {
+                let p = TRELLIS.parity[s][u] as usize;
+                let ns = TRELLIS.next[s][u] as usize;
+                nxt[ns] = nxt[ns].max(a + g[u][p]);
             }
         }
     }
@@ -115,34 +172,31 @@ fn map_decode(
     // Backward (beta) recursion over the data part, emitting LLRs on the fly.
     let mut beta = beta_end;
     for i in (0..k).rev() {
-        let lu = sys[i] + apriori[i];
-        let lp = par[i];
+        let hu = 0.5 * (sys[i] + apriori[i]);
+        let hp = 0.5 * par[i];
+        let g = [[hu + hp, hu - hp], [hp - hu, -hu - hp]];
         let mut best0 = NEG_INF;
         let mut best1 = NEG_INF;
         let mut new_beta = [NEG_INF; NUM_STATES];
+        let arow = &alpha[i * NUM_STATES..(i + 1) * NUM_STATES];
         for s in 0..NUM_STATES {
-            let a = alpha[i][s];
-            for u in 0..2u8 {
-                let p = TRELLIS.parity[s][u as usize];
-                let ns = TRELLIS.next[s][u as usize] as usize;
-                let g = half_metric(u, lu) + half_metric(p, lp);
+            let a = arow[s];
+            for u in 0..2usize {
+                let p = TRELLIS.parity[s][u] as usize;
+                let ns = TRELLIS.next[s][u] as usize;
                 let b = beta[ns];
                 // Beta update uses only gamma + beta.
-                let gb = g + b;
-                if gb > new_beta[s] {
-                    new_beta[s] = gb;
-                }
+                let gb = g[u][p] + b;
+                new_beta[s] = new_beta[s].max(gb);
                 // LLR uses alpha + gamma + beta.
                 if a <= NEG_INF || b <= NEG_INF {
                     continue;
                 }
                 let m = a + gb;
                 if u == 0 {
-                    if m > best0 {
-                        best0 = m;
-                    }
-                } else if m > best1 {
-                    best1 = m;
+                    best0 = best0.max(m);
+                } else {
+                    best1 = best1.max(m);
                 }
             }
         }
@@ -182,6 +236,32 @@ impl TurboDecoder {
         max_iters: usize,
         early_stop: impl Fn(&[u8]) -> bool,
     ) -> TurboDecodeResult {
+        let mut ws = TurboWorkspace::new();
+        let (iterations, converged) = self.decode_with(d0, d1, d2, max_iters, early_stop, &mut ws);
+        TurboDecodeResult {
+            bits: ws.bits,
+            iterations,
+            converged,
+        }
+    }
+
+    /// [`TurboDecoder::decode`] with caller-owned scratch: all intermediate
+    /// buffers live in `ws` and are reused across calls, so a warmed
+    /// workspace makes steady-state decoding allocation-free. Hard-decision
+    /// bits are left in `ws.bits`; returns `(iterations, converged)`.
+    /// Produces values identical to [`TurboDecoder::decode`].
+    ///
+    /// # Panics
+    /// Panics if any stream length differs from `K + 4` or `max_iters == 0`.
+    pub fn decode_with(
+        &self,
+        d0: &[f32],
+        d1: &[f32],
+        d2: &[f32],
+        max_iters: usize,
+        early_stop: impl Fn(&[u8]) -> bool,
+        ws: &mut TurboWorkspace,
+    ) -> (usize, bool) {
         let k = self.k();
         assert!(max_iters > 0, "max_iters must be positive");
         assert_eq!(d0.len(), k + 4, "d0 length");
@@ -197,46 +277,52 @@ impl TurboDecoder {
         let xt2 = [d0[k + 3], d1[k + 3], d2[k + 3]];
         let zt2 = [d2[k], d2[k + 1], d2[k + 2]];
 
-        let sys2 = self.qpp.interleave(sys);
+        let TurboWorkspace {
+            alpha,
+            sys2,
+            le21, // extrinsic DEC2 → DEC1
+            le12,
+            a2,
+            le21_il,
+            l1,
+            l2,
+            l2_nat,
+            bits,
+        } = ws;
 
-        let mut le21 = vec![0.0f32; k]; // extrinsic DEC2 → DEC1
-        let mut l1 = vec![0.0f32; k];
-        let mut l2 = vec![0.0f32; k];
-        let mut bits = vec![0u8; k];
+        self.qpp.interleave_into(sys, sys2);
+        le21.clear();
+        le21.resize(k, 0.0);
+        l1.clear();
+        l1.resize(k, 0.0);
+        l2.clear();
+        l2.resize(k, 0.0);
+        bits.clear();
+        bits.resize(k, 0);
 
         for it in 1..=max_iters {
             // DEC1 on natural order.
-            map_decode(sys, &xt1, par1, &zt1, &le21, &mut l1);
-            let le12: Vec<f32> = (0..k)
-                .map(|i| clamp_scale(l1[i] - sys[i] - le21[i]))
-                .collect();
+            map_decode(sys, &xt1, par1, &zt1, le21, l1, alpha);
+            le12.clear();
+            le12.extend((0..k).map(|i| clamp_scale(l1[i] - sys[i] - le21[i])));
 
             // DEC2 on interleaved order.
-            let a2 = self.qpp.interleave(&le12);
-            map_decode(&sys2, &xt2, par2, &zt2, &a2, &mut l2);
-            let le21_il: Vec<f32> = (0..k)
-                .map(|i| clamp_scale(l2[i] - sys2[i] - a2[i]))
-                .collect();
-            le21 = self.qpp.deinterleave(&le21_il);
+            self.qpp.interleave_into(le12, a2);
+            map_decode(sys2, &xt2, par2, &zt2, a2, l2, alpha);
+            le21_il.clear();
+            le21_il.extend((0..k).map(|i| clamp_scale(l2[i] - sys2[i] - a2[i])));
+            self.qpp.deinterleave_into(le21_il, le21);
 
             // Hard decision from DEC2's posteriors, in natural order.
-            let l2_nat = self.qpp.deinterleave(&l2);
-            for (b, &l) in bits.iter_mut().zip(&l2_nat) {
+            self.qpp.deinterleave_into(l2, l2_nat);
+            for (b, &l) in bits.iter_mut().zip(l2_nat.iter()) {
                 *b = (l < 0.0) as u8;
             }
-            if early_stop(&bits) {
-                return TurboDecodeResult {
-                    bits,
-                    iterations: it,
-                    converged: true,
-                };
+            if early_stop(bits) {
+                return (it, true);
             }
         }
-        TurboDecodeResult {
-            bits,
-            iterations: max_iters,
-            converged: false,
-        }
+        (max_iters, false)
     }
 }
 

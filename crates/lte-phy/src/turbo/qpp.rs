@@ -158,8 +158,20 @@ impl Qpp {
     /// # Panics
     /// Panics if `input.len() != K`.
     pub fn interleave<T: Copy>(&self, input: &[T]) -> Vec<T> {
+        let mut out = Vec::new();
+        self.interleave_into(input, &mut out);
+        out
+    }
+
+    /// [`Qpp::interleave`] into a caller-owned vector (cleared and refilled;
+    /// no allocation once `out` has capacity `K`).
+    ///
+    /// # Panics
+    /// Panics if `input.len() != K`.
+    pub fn interleave_into<T: Copy>(&self, input: &[T], out: &mut Vec<T>) {
         assert_eq!(input.len(), self.k, "interleave length mismatch");
-        self.perm.iter().map(|&p| input[p as usize]).collect()
+        out.clear();
+        out.extend(self.perm.iter().map(|&p| input[p as usize]));
     }
 
     /// Inverse of [`Qpp::interleave`]: `out[π(i)] = input[i]`.
@@ -167,12 +179,23 @@ impl Qpp {
     /// # Panics
     /// Panics if `input.len() != K`.
     pub fn deinterleave<T: Copy + Default>(&self, input: &[T]) -> Vec<T> {
+        let mut out = Vec::new();
+        self.deinterleave_into(input, &mut out);
+        out
+    }
+
+    /// [`Qpp::deinterleave`] into a caller-owned vector (cleared and
+    /// refilled; no allocation once `out` has capacity `K`).
+    ///
+    /// # Panics
+    /// Panics if `input.len() != K`.
+    pub fn deinterleave_into<T: Copy + Default>(&self, input: &[T], out: &mut Vec<T>) {
         assert_eq!(input.len(), self.k, "deinterleave length mismatch");
-        let mut out = vec![T::default(); self.k];
+        out.clear();
+        out.resize(self.k, T::default());
         for (i, &p) in self.perm.iter().enumerate() {
             out[p as usize] = input[i];
         }
-        out
     }
 }
 

@@ -13,9 +13,11 @@
 
 use crate::complex::Cf32;
 use crate::crc::{CRC24A, CRC24B};
-use crate::equalizer::{estimate_channel_band, mrc_combine, ChannelEstimate};
+use crate::equalizer::{
+    estimate_channel_band, estimate_channel_band_into, mrc_combine_into, ChannelEstimate,
+};
 use crate::error::PhyError;
-use crate::fft::FftPlan;
+use crate::fft::{self, FftPlan};
 use crate::mcs::Mcs;
 use crate::modulation::Modulation;
 use crate::params::{is_dmrs_symbol, Bandwidth, SYMBOLS_PER_SUBFRAME};
@@ -25,7 +27,9 @@ use crate::scramble::{pusch_c_init, Scrambler};
 use crate::segmentation::Segmentation;
 use crate::tasks::TaskBreakdown;
 use crate::turbo::{TurboDecoder, TurboEncoder};
+use crate::workspace::{self, PhyWorkspace};
 use crate::zadoff_chu::dmrs_sequence;
+use std::sync::Arc;
 
 /// Strong "known zero" LLR clamped onto filler-bit positions.
 const FILLER_LLR: f32 = 100.0;
@@ -43,10 +47,23 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
 /// # Panics
 /// Panics if `bits.len() % 8 != 0`.
 pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    bits_to_bytes_into(bits, &mut out);
+    out
+}
+
+/// [`bits_to_bytes`] into a caller-owned vector (cleared and refilled; no
+/// allocation once `out` has capacity).
+///
+/// # Panics
+/// Panics if `bits.len() % 8 != 0`.
+pub fn bits_to_bytes_into(bits: &[u8], out: &mut Vec<u8>) {
     assert_eq!(bits.len() % 8, 0, "bit count must be a multiple of 8");
-    bits.chunks_exact(8)
-        .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b))
-        .collect()
+    out.clear();
+    out.extend(
+        bits.chunks_exact(8)
+            .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b)),
+    );
 }
 
 /// Full configuration of one basestation's uplink processing.
@@ -69,6 +86,12 @@ pub struct UplinkConfig {
     /// varying-utilization scenario its §4.2 footnote discusses.
     pub alloc_prbs: usize,
     seg: Segmentation,
+    /// Per-block rate-matching sizes `E_r`, precomputed at construction.
+    e_splits: Vec<usize>,
+    /// Prefix sums of `e_splits` (length `C + 1`).
+    e_offsets: Vec<usize>,
+    /// Indices of the data (non-DMRS) OFDM symbols.
+    data_syms: Vec<usize>,
 }
 
 impl UplinkConfig {
@@ -133,6 +156,33 @@ impl UplinkConfig {
         })?;
         let tbs = mcs.transport_block_bits(alloc_prbs);
         let seg = Segmentation::compute(tbs + 24)?;
+
+        // Precompute the hot-path lookup tables once (36.212 §5.1.4.1.2).
+        let data_syms: Vec<usize> = (0..SYMBOLS_PER_SUBFRAME)
+            .filter(|&l| !is_dmrs_symbol(l))
+            .collect();
+        let qm = mcs.modulation_order();
+        let alloc_sc = alloc_prbs * crate::params::SUBCARRIERS_PER_PRB;
+        let g_sym = alloc_sc * data_syms.len(); // G' with one layer
+        let c = seg.num_blocks;
+        let gamma = g_sym % c;
+        let e_splits: Vec<usize> = (0..c)
+            .map(|r| {
+                if r < c - gamma {
+                    qm * (g_sym / c)
+                } else {
+                    qm * g_sym.div_ceil(c)
+                }
+            })
+            .collect();
+        let mut e_offsets = Vec::with_capacity(c + 1);
+        let mut acc = 0usize;
+        e_offsets.push(0);
+        for &e in &e_splits {
+            acc += e;
+            e_offsets.push(acc);
+        }
+
         Ok(UplinkConfig {
             bandwidth,
             num_antennas,
@@ -142,6 +192,9 @@ impl UplinkConfig {
             cell_id: 42,
             alloc_prbs,
             seg,
+            e_splits,
+            e_offsets,
+            data_syms,
         })
     }
 
@@ -180,33 +233,20 @@ impl UplinkConfig {
         Modulation::from_order(self.mcs.modulation_order()).expect("valid Qm")
     }
 
-    /// Per-code-block rate-matching output sizes `E_r` (36.212 §5.1.4.1.2).
-    pub fn e_splits(&self) -> Vec<usize> {
-        let qm = self.mcs.modulation_order();
-        let c = self.seg.num_blocks;
-        let g_sym = self.coded_bits() / qm; // G' with one layer
-        let gamma = g_sym % c;
-        (0..c)
-            .map(|r| {
-                if r < c - gamma {
-                    qm * (g_sym / c)
-                } else {
-                    qm * g_sym.div_ceil(c)
-                }
-            })
-            .collect()
+    /// Per-code-block rate-matching output sizes `E_r` (36.212 §5.1.4.1.2),
+    /// precomputed at construction.
+    pub fn e_splits(&self) -> &[usize] {
+        &self.e_splits
     }
 
-    /// Bit offset of block `r` within the coded stream.
+    /// Bit offset of block `r` within the coded stream (precomputed).
     pub fn e_offset(&self, r: usize) -> usize {
-        self.e_splits()[..r].iter().sum()
+        self.e_offsets[r]
     }
 
-    /// Indices of the 12 data (non-DMRS) OFDM symbols.
-    pub fn data_symbols(&self) -> Vec<usize> {
-        (0..SYMBOLS_PER_SUBFRAME)
-            .filter(|&l| !is_dmrs_symbol(l))
-            .collect()
+    /// Indices of the 12 data (non-DMRS) OFDM symbols (precomputed).
+    pub fn data_symbols(&self) -> &[usize] {
+        &self.data_syms
     }
 
     /// The Fig. 5 subtask breakdown for this configuration.
@@ -262,7 +302,7 @@ pub struct TxSubframe {
 pub struct UplinkTx {
     cfg: UplinkConfig,
     ofdm: OfdmProcessor,
-    dft: FftPlan,
+    dft: Arc<FftPlan>,
     scrambler: Scrambler,
     dmrs: Vec<Cf32>,
     codecs: Vec<BlockCodec>,
@@ -276,7 +316,7 @@ impl UplinkTx {
         let (codecs, codec_index) = build_codecs(&cfg.seg);
         UplinkTx {
             ofdm: OfdmProcessor::new(cfg.bandwidth),
-            dft: FftPlan::new(m),
+            dft: fft::plan(m),
             scrambler: Scrambler::new(pusch_c_init(cfg.n_rnti, 0, cfg.cell_id), cfg.coded_bits()),
             dmrs: dmrs_sequence(cfg.cell_id as usize, m),
             codecs,
@@ -316,7 +356,7 @@ impl UplinkTx {
 
         // Per block: turbo encode + rate match, then concatenate.
         let mut coded = Vec::with_capacity(cfg.coded_bits());
-        for (r, (block, e)) in blocks.iter().zip(cfg.e_splits()).enumerate() {
+        for (r, (block, &e)) in blocks.iter().zip(cfg.e_splits()).enumerate() {
             let codec = &self.codecs[self.codec_index[r]];
             let cw = codec.encoder.encode(block);
             coded.extend(codec.matcher.rate_match_rv(&cw, e, rv));
@@ -373,6 +413,44 @@ impl RxOutput {
     }
 }
 
+/// Borrowed outcome of a workspace-based decode
+/// ([`UplinkRx::decode_subframe_with`]): the same information as
+/// [`RxOutput`], but viewing the workspace's buffers instead of owning
+/// fresh allocations.
+#[derive(Debug)]
+pub struct RxView<'w> {
+    /// Recovered transport-block payload bytes (best effort on CRC failure).
+    pub payload: &'w [u8],
+    /// Transport-block CRC24A result — the ACK/NACK decision.
+    pub crc_ok: bool,
+    /// Per-code-block CRC results.
+    pub block_crc_ok: &'w [bool],
+    /// Per-code-block turbo iteration counts (`L` of Eq. 1).
+    pub block_iterations: &'w [usize],
+}
+
+impl RxView<'_> {
+    /// Copies the view into an owned [`RxOutput`].
+    pub fn to_output(&self) -> RxOutput {
+        RxOutput {
+            payload: self.payload.to_vec(),
+            crc_ok: self.crc_ok,
+            block_crc_ok: self.block_crc_ok.to_vec(),
+            block_iterations: self.block_iterations.to_vec(),
+        }
+    }
+
+    /// Total turbo iterations across code blocks.
+    pub fn total_iterations(&self) -> usize {
+        self.block_iterations.iter().sum()
+    }
+
+    /// Largest per-block iteration count (the critical-path `L`).
+    pub fn max_iterations(&self) -> usize {
+        self.block_iterations.iter().copied().max().unwrap_or(0)
+    }
+}
+
 /// Result of one FFT subtask: a demodulated antenna-symbol row.
 #[derive(Clone, Debug)]
 pub struct FftOut {
@@ -411,7 +489,7 @@ pub struct BlockOut {
 pub struct UplinkRx {
     cfg: UplinkConfig,
     ofdm: OfdmProcessor,
-    dft: FftPlan,
+    dft: Arc<FftPlan>,
     scrambler: Scrambler,
     dmrs: Vec<Cf32>,
     codecs: Vec<BlockCodec>,
@@ -425,7 +503,7 @@ impl UplinkRx {
         let (codecs, codec_index) = build_codecs(&cfg.seg);
         UplinkRx {
             ofdm: OfdmProcessor::new(cfg.bandwidth),
-            dft: FftPlan::new(m),
+            dft: fft::plan(m),
             scrambler: Scrambler::new(pusch_c_init(cfg.n_rnti, 0, cfg.cell_id), cfg.coded_bits()),
             dmrs: dmrs_sequence(cfg.cell_id as usize, m),
             codecs,
@@ -487,10 +565,22 @@ impl UplinkRx {
         assert!(i < count, "fft subtask {i} out of range");
         let antenna = i / SYMBOLS_PER_SUBFRAME;
         let symbol = i % SYMBOLS_PER_SUBFRAME;
+        // The output row is owned (it crosses threads on migration), but
+        // the FFT scratch comes from this thread's workspace.
+        let mut row = vec![Cf32::ZERO; self.cfg.bandwidth.num_subcarriers()];
+        workspace::with_thread_workspace(|ws| {
+            self.ofdm.demod_symbol_into(
+                &rx_samples[antenna],
+                symbol,
+                &mut row,
+                &mut ws.time,
+                &mut ws.fft_scratch,
+            );
+        });
         FftOut {
             antenna,
             symbol,
-            row: self.ofdm.demod_symbol(&rx_samples[antenna], symbol),
+            row,
         }
     }
 
@@ -505,33 +595,42 @@ impl UplinkRx {
         assert_eq!(llrs.len(), cfg.coded_bits(), "coded LLR stream length");
         let e = cfg.e_splits()[r];
         let off = cfg.e_offset(r);
-        let mut slice = llrs[off..off + e].to_vec();
-        self.scrambler.descramble_llrs_at(off, &mut slice);
-
-        let codec = &self.codecs[self.codec_index[r]];
-        let (mut d0, d1, d2) = codec.matcher.de_rate_match(&slice);
-        if r == 0 {
-            for v in d0.iter_mut().take(cfg.seg.filler) {
-                *v = FILLER_LLR;
-            }
-        }
         let multi = cfg.seg.num_blocks > 1;
         let filler = if r == 0 { cfg.seg.filler } else { 0 };
-        let res = codec
-            .decoder
-            .decode(&d0, &d1, &d2, cfg.max_turbo_iters, |bits| {
-                if multi {
-                    CRC24B.check(bits)
-                } else {
-                    CRC24A.check(&bits[filler..])
-                }
-            });
-        BlockOut {
-            index: r,
-            crc_ok: res.converged,
-            bits: res.bits,
-            iterations: res.iterations,
-        }
+        let codec = &self.codecs[self.codec_index[r]];
+
+        workspace::with_thread_workspace(|ws| {
+            ws.block_llrs.clear();
+            ws.block_llrs.extend_from_slice(&llrs[off..off + e]);
+            self.scrambler.descramble_llrs_at(off, &mut ws.block_llrs);
+            codec
+                .matcher
+                .de_rate_match_into(&ws.block_llrs, &mut ws.d0, &mut ws.d1, &mut ws.d2);
+            for v in ws.d0.iter_mut().take(filler) {
+                *v = FILLER_LLR;
+            }
+            let (iterations, crc_ok) = codec.decoder.decode_with(
+                &ws.d0,
+                &ws.d1,
+                &ws.d2,
+                cfg.max_turbo_iters,
+                |bits| {
+                    if multi {
+                        CRC24B.check(bits)
+                    } else {
+                        CRC24A.check(&bits[filler..])
+                    }
+                },
+                &mut ws.turbo,
+            );
+            BlockOut {
+                index: r,
+                crc_ok,
+                // Owned copy: the result crosses threads on migration.
+                bits: ws.turbo.bits.clone(),
+                iterations,
+            }
+        })
     }
 
     /// Decodes a (re)transmission at redundancy version `rv`, combining its
@@ -608,24 +707,160 @@ impl UplinkRx {
         job.finish()
     }
 
-    /// Serial convenience wrapper: runs every subtask in order on the
-    /// calling thread and finishes the job.
+    /// Decodes one subframe serially, using `ws` for every intermediate
+    /// buffer and returning views into the workspace instead of fresh
+    /// allocations. After one warm-up call (or an explicit
+    /// [`PhyWorkspace::warm`]) further calls with the same — or any
+    /// smaller — configuration perform **zero heap allocations**.
+    ///
+    /// Produces bit-identical results to the staged
+    /// [`UplinkRx::start_job`] path: both run the same `_into` kernels in
+    /// the same order.
+    ///
+    /// # Errors
+    /// Returns [`PhyError::LengthMismatch`] if the antenna-stream count or
+    /// per-stream sample count does not match the configuration.
+    pub fn decode_subframe_with<'w>(
+        &self,
+        rx_samples: &[Vec<Cf32>],
+        ws: &'w mut PhyWorkspace,
+    ) -> Result<RxView<'w>, PhyError> {
+        let cfg = &self.cfg;
+        if rx_samples.len() != cfg.num_antennas {
+            return Err(PhyError::LengthMismatch {
+                what: "antenna streams",
+                expected: cfg.num_antennas,
+                actual: rx_samples.len(),
+            });
+        }
+        let need = cfg.bandwidth.samples_per_subframe();
+        for s in rx_samples {
+            if s.len() != need {
+                return Err(PhyError::LengthMismatch {
+                    what: "subframe samples",
+                    expected: need,
+                    actual: s.len(),
+                });
+            }
+        }
+        ws.prepare(cfg);
+        let PhyWorkspace {
+            grids,
+            est,
+            llrs,
+            time,
+            fft_scratch,
+            combined,
+            post_var,
+            nv,
+            sym_llrs,
+            block_llrs,
+            d0,
+            d1,
+            d2,
+            turbo,
+            block_bits,
+            block_crc_ok,
+            block_iters,
+            tb,
+            tb_oks,
+            payload,
+        } = ws;
+
+        // FFT task: CP removal + FFT per antenna-symbol.
+        for (a, samples) in rx_samples.iter().enumerate() {
+            for l in 0..SYMBOLS_PER_SUBFRAME {
+                self.ofdm
+                    .demod_symbol_into(samples, l, grids[a].symbol_mut(l), time, fft_scratch);
+            }
+        }
+        let m = cfg.alloc_subcarriers();
+        estimate_channel_band_into(grids, &self.dmrs, 0..m, est);
+
+        // Demod task: MRC + DFT de-precoding + soft demapping per data
+        // symbol.
+        llrs.clear();
+        llrs.resize(cfg.coded_bits(), 0.0);
+        let per_symbol = m * cfg.mcs.modulation_order();
+        let scale = (m as f32).sqrt();
+        for (si, &l) in cfg.data_symbols().iter().enumerate() {
+            let mut rows: [&[Cf32]; 8] = [&[]; 8];
+            for (a, g) in grids.iter().enumerate() {
+                rows[a] = &g.symbol(l)[..m];
+            }
+            mrc_combine_into(&rows[..grids.len()], est, combined, post_var);
+            self.dft.inverse_with(combined, fft_scratch);
+            for v in combined.iter_mut() {
+                *v = v.scale(scale);
+            }
+            let mean_var = post_var.iter().sum::<f32>() / m as f32;
+            nv.clear();
+            nv.resize(m, mean_var);
+            sym_llrs.clear();
+            cfg.modulation().demap_maxlog(combined, nv, sym_llrs);
+            llrs[si * per_symbol..(si + 1) * per_symbol].copy_from_slice(sym_llrs);
+        }
+
+        // Decode task: descramble + de-rate-match + turbo per code block.
+        block_crc_ok.clear();
+        block_iters.clear();
+        let multi = cfg.seg.num_blocks > 1;
+        for r in 0..cfg.seg.num_blocks {
+            let e = cfg.e_splits[r];
+            let off = cfg.e_offsets[r];
+            block_llrs.clear();
+            block_llrs.extend_from_slice(&llrs[off..off + e]);
+            self.scrambler.descramble_llrs_at(off, block_llrs);
+            let codec = &self.codecs[self.codec_index[r]];
+            codec.matcher.de_rate_match_into(block_llrs, d0, d1, d2);
+            let filler = if r == 0 { cfg.seg.filler } else { 0 };
+            for v in d0.iter_mut().take(filler) {
+                *v = FILLER_LLR;
+            }
+            let (iterations, crc_ok) = codec.decoder.decode_with(
+                d0,
+                d1,
+                d2,
+                cfg.max_turbo_iters,
+                |bits| {
+                    if multi {
+                        CRC24B.check(bits)
+                    } else {
+                        CRC24A.check(&bits[filler..])
+                    }
+                },
+                turbo,
+            );
+            block_crc_ok.push(crc_ok);
+            block_iters.push(iterations);
+            block_bits[r].clear();
+            block_bits[r].extend_from_slice(&turbo.bits);
+        }
+
+        // Finish: transport-block reassembly + CRC24A.
+        cfg.seg
+            .desegment_into(&block_bits[..cfg.seg.num_blocks], tb, tb_oks)?;
+        let crc_ok = CRC24A.check(tb) && block_crc_ok.iter().all(|&b| b);
+        bits_to_bytes_into(&tb[..cfg.tbs_bits()], payload);
+        Ok(RxView {
+            payload: &payload[..],
+            crc_ok,
+            block_crc_ok: &block_crc_ok[..],
+            block_iterations: &block_iters[..],
+        })
+    }
+
+    /// Serial convenience wrapper: decodes on the calling thread using its
+    /// thread-local [`PhyWorkspace`], so repeated calls on one thread are
+    /// allocation-free in steady state.
+    ///
+    /// # Errors
+    /// See [`UplinkRx::decode_subframe_with`].
     pub fn decode_subframe(&self, rx_samples: &[Vec<Cf32>]) -> Result<RxOutput, PhyError> {
-        let mut job = self.start_job(rx_samples)?;
-        for i in 0..job.fft_subtask_count() {
-            let out = job.run_fft_subtask(i);
-            job.absorb_fft(out);
-        }
-        job.finish_fft();
-        for i in 0..job.demod_subtask_count() {
-            let out = job.run_demod_subtask(i);
-            job.absorb_demod(out);
-        }
-        for r in 0..job.decode_subtask_count() {
-            let out = job.run_decode_subtask(r);
-            job.absorb_decode(out);
-        }
-        job.finish()
+        workspace::with_thread_workspace(|ws| {
+            let view = self.decode_subframe_with(rx_samples, ws)?;
+            Ok(view.to_output())
+        })
     }
 }
 
@@ -712,23 +947,39 @@ impl<'a> SubframeJob<'a> {
         assert!(i < data_syms.len(), "demod subtask {i} out of range");
         let l = data_syms[i];
         let m = self.rx.cfg.alloc_subcarriers();
-        let rows: Vec<&[Cf32]> = self.grids.iter().map(|g| &g.symbol(l)[..m]).collect();
-        let (combined, post_var) = mrc_combine(&rows, est);
-
-        // Undo the unitary DFT precoding (SC-FDMA → constellation domain).
-        let m = combined.len();
-        let mut time = combined;
-        self.rx.dft.inverse(&mut time);
-        let scale = (m as f32).sqrt();
-        for v in time.iter_mut() {
-            *v = v.scale(scale);
-        }
-        // The IDFT spreads each subcarrier's noise over all constellation
-        // symbols: use the mean post-combining variance for every symbol.
-        let mean_var = post_var.iter().sum::<f32>() / m as f32;
-        let nv = vec![mean_var; m];
         let mut llrs = Vec::with_capacity(m * self.rx.cfg.mcs.modulation_order());
-        self.rx.cfg.modulation().demap_maxlog(&time, &nv, &mut llrs);
+        workspace::with_thread_workspace(|ws| {
+            let mut rows: [&[Cf32]; 8] = [&[]; 8];
+            for (a, g) in self.grids.iter().enumerate() {
+                rows[a] = &g.symbol(l)[..m];
+            }
+            mrc_combine_into(
+                &rows[..self.grids.len()],
+                est,
+                &mut ws.combined,
+                &mut ws.post_var,
+            );
+
+            // Undo the unitary DFT precoding (SC-FDMA → constellation
+            // domain).
+            self.rx
+                .dft
+                .inverse_with(&mut ws.combined, &mut ws.fft_scratch);
+            let scale = (m as f32).sqrt();
+            for v in ws.combined.iter_mut() {
+                *v = v.scale(scale);
+            }
+            // The IDFT spreads each subcarrier's noise over all
+            // constellation symbols: use the mean post-combining variance
+            // for every symbol.
+            let mean_var = ws.post_var.iter().sum::<f32>() / m as f32;
+            ws.nv.clear();
+            ws.nv.resize(m, mean_var);
+            self.rx
+                .cfg
+                .modulation()
+                .demap_maxlog(&ws.combined, &ws.nv, &mut llrs);
+        });
         DemodOut {
             data_symbol: i,
             llrs,

@@ -197,12 +197,7 @@ pub fn measure_migration_overhead(
 
     pin_current_thread(0);
     let job = bench.job_at(task);
-    for t in 0..trials {
-        let i = t % bench.subtask_count(&job, task);
-        let t0 = Instant::now();
-        bench.run_subtask(&job, task, i);
-        local_us.push(as_us(t0.elapsed()));
-    }
+    let count = bench.subtask_count(&job, task);
 
     std::thread::scope(|s| {
         let (tx, rx) = mailbox();
@@ -210,21 +205,39 @@ pub fn measure_migration_overhead(
             pin_current_thread(1);
             host_loop(rx);
         });
-        // Warm the channel/thread wake-up path before timing.
+        // Warm both paths before timing: the channel/thread wake-up
+        // machinery, plus each thread's workspace and caches (one untimed
+        // pass over every subtask locally and on the host).
         let (warm, wflag) = Envelope::new(|| {});
         tx.send(warm).unwrap();
         wflag.wait(Duration::from_secs(5));
-        for t in 0..trials {
-            let i = t % bench.subtask_count(&job, task);
+        for i in 0..count {
+            bench.run_subtask(&job, task, i);
             let job_ref = &job;
             let bench_ref = &bench;
-            let t0 = Instant::now();
             let (env, flag) = Envelope::new(move || {
                 bench_ref.run_subtask(job_ref, task, i);
             });
             tx.send(env).expect("host alive");
             assert!(flag.wait(Duration::from_secs(30)), "host hung");
-            migrated_us.push(as_us(t0.elapsed()));
+        }
+        // Interleave local and migrated trials so ambient load (other
+        // tests, frequency scaling) perturbs both series equally.
+        for t in 0..trials {
+            let i = t % count;
+            let t0 = Instant::now();
+            bench.run_subtask(&job, task, i);
+            local_us.push(as_us(t0.elapsed()));
+
+            let job_ref = &job;
+            let bench_ref = &bench;
+            let t1 = Instant::now();
+            let (env, flag) = Envelope::new(move || {
+                bench_ref.run_subtask(job_ref, task, i);
+            });
+            tx.send(env).expect("host alive");
+            assert!(flag.wait(Duration::from_secs(30)), "host hung");
+            migrated_us.push(as_us(t1.elapsed()));
         }
         drop(tx);
     });
@@ -286,7 +299,10 @@ mod tests {
 
     #[test]
     fn fig18_migration_has_positive_overhead() {
-        let m = measure_migration_overhead(Bandwidth::Mhz5, 1, 16, TaskKind::Decode, 12);
+        // FFT subtasks are ~10 µs of work, so the fixed migration cost
+        // (envelope + wake-up) dominates the comparison; decode subtasks
+        // run hundreds of µs and their jitter would swamp the overhead.
+        let m = measure_migration_overhead(Bandwidth::Mhz5, 1, 16, TaskKind::Fft, 12);
         let mut local = m.local_us.clone();
         let mut migrated = m.migrated_us.clone();
         assert!(

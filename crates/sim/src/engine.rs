@@ -153,9 +153,7 @@ impl<'a> PartitionedEngine<'a> {
         };
         let end = t + total;
         self.cores[c].host_busy_until = end;
-        self.report
-            .deadline
-            .record(task.bs_id, end > task.deadline);
+        self.report.deadline.record(task.bs_id, end > task.deadline);
         if !task.crc_ok {
             self.report.crc_failures += 1;
         }
@@ -179,10 +177,7 @@ impl<'a> PartitionedEngine<'a> {
             self.cfg.scheduler,
             crate::config::SchedulerKind::SemiPartitioned
         );
-        if semi
-            && self.cores[core].current.is_some()
-            && self.try_whole_task_migration(t, task)
-        {
+        if semi && self.cores[core].current.is_some() && self.try_whole_task_migration(t, task) {
             return;
         }
         self.cores[core].queue.push_back(task);

@@ -65,7 +65,11 @@ fn main() {
         let ack = fb_out.crc_ok && fb_out.payload[0] == 0xAC;
         println!(
             "UE hears: {} (downlink crc {})",
-            if ack { "ACK — done" } else { "NACK — retransmit" },
+            if ack {
+                "ACK — done"
+            } else {
+                "NACK — retransmit"
+            },
             fb_out.crc_ok
         );
         if ack {

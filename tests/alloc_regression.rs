@@ -1,0 +1,195 @@
+//! Guards the PR's two hot-path guarantees:
+//!
+//! 1. **Zero steady-state allocations** — after one warm-up subframe (or an
+//!    explicit [`PhyWorkspace::warm`]), `UplinkRx::decode_subframe_with`
+//!    performs no heap allocation at all, measured by a counting global
+//!    allocator.
+//! 2. **Bit-exactness** — the workspace-reusing decode produces exactly the
+//!    same output as the staged `start_job` decode path, for random MCS /
+//!    SNR / antenna configurations, including *different* consecutive
+//!    configurations reusing one workspace (stale-buffer hazard).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtopex::phy::channel::{AwgnChannel, ChannelModel};
+use rtopex::phy::params::Bandwidth;
+use rtopex::phy::uplink::{RxOutput, UplinkConfig, UplinkRx, UplinkTx};
+use rtopex::phy::workspace::PhyWorkspace;
+use rtopex::phy::Cf32;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Wraps the system allocator, counting allocations made by the *current
+/// thread* while that thread's counter is armed. Per-thread counting keeps
+/// the measurement immune to the test harness's other threads.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOC_COUNT: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+fn note_alloc() {
+    // `try_with` so allocations during TLS teardown never panic.
+    let _ = ALLOC_COUNT.try_with(|c| {
+        if let Some(n) = c.get() {
+            c.set(Some(n + 1));
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note_alloc();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with this thread's allocation counter armed; returns
+/// (result, allocations made by `f`).
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    ALLOC_COUNT.with(|c| c.set(Some(0)));
+    let r = f();
+    let n = ALLOC_COUNT.with(|c| c.replace(None)).unwrap_or(0);
+    (r, n)
+}
+
+/// Builds an encoded, channel-impaired subframe for the configuration.
+fn make_subframe(cfg: &UplinkConfig, snr_db: f64, seed: u64) -> (Vec<u8>, Vec<Vec<Cf32>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tx = UplinkTx::new(cfg.clone());
+    let payload: Vec<u8> = (0..cfg.transport_block_bytes())
+        .map(|_| rng.gen())
+        .collect();
+    let sf = tx.encode_subframe(&payload).expect("encode");
+    let mut chan = AwgnChannel::new(snr_db);
+    let samples = chan.apply(&sf.samples, cfg.num_antennas, &mut rng);
+    (payload, samples)
+}
+
+/// Decodes via the staged job path (the reference the runtime node uses).
+fn staged_decode(rx: &UplinkRx, samples: &[Vec<Cf32>]) -> RxOutput {
+    let mut job = rx.start_job(samples).expect("job");
+    for i in 0..job.fft_subtask_count() {
+        let out = job.run_fft_subtask(i);
+        job.absorb_fft(out);
+    }
+    job.finish_fft();
+    for i in 0..job.demod_subtask_count() {
+        let out = job.run_demod_subtask(i);
+        job.absorb_demod(out);
+    }
+    for r in 0..job.decode_subtask_count() {
+        let out = job.run_decode_subtask(r);
+        job.absorb_decode(out);
+    }
+    job.finish().expect("finish")
+}
+
+#[test]
+fn steady_state_decode_makes_zero_allocations() {
+    // Multi-block configuration: 5 MHz, 2 antennas, MCS 20 exercises every
+    // stage buffer including per-block reuse of the turbo workspace.
+    let cfg = UplinkConfig::new(Bandwidth::Mhz5, 2, 20).unwrap();
+    assert!(cfg.segmentation().num_blocks >= 2, "want multi-block");
+    let (_, samples) = make_subframe(&cfg, 28.0, 0xA110C);
+
+    let rx = UplinkRx::new(cfg.clone());
+    let mut ws = PhyWorkspace::new();
+    ws.warm(&cfg);
+    // One warm-up decode settles anything `warm` cannot size exactly.
+    let warm = rx.decode_subframe_with(&samples, &mut ws).expect("decode");
+    assert!(warm.crc_ok, "test vector must decode cleanly");
+
+    let (crc_ok, allocs) = count_allocs(|| {
+        let mut all_ok = true;
+        for _ in 0..5 {
+            let view = rx.decode_subframe_with(&samples, &mut ws).expect("decode");
+            all_ok &= view.crc_ok;
+        }
+        all_ok
+    });
+    assert!(crc_ok);
+    assert_eq!(
+        allocs, 0,
+        "steady-state decode_subframe_with must not touch the heap"
+    );
+}
+
+#[test]
+fn warm_start_decode_makes_zero_allocations_across_configs() {
+    // A workspace warmed for the largest configuration must stay
+    // allocation-free when subframes alternate between configurations.
+    let big = UplinkConfig::new(Bandwidth::Mhz5, 2, 24).unwrap();
+    let small = UplinkConfig::new(Bandwidth::Mhz5, 2, 7).unwrap();
+    let (_, big_samples) = make_subframe(&big, 30.0, 1);
+    let (_, small_samples) = make_subframe(&small, 30.0, 2);
+    let big_rx = UplinkRx::new(big.clone());
+    let small_rx = UplinkRx::new(small.clone());
+
+    let mut ws = PhyWorkspace::new();
+    ws.warm(&big);
+    ws.warm(&small);
+    // Warm-up pass per configuration.
+    big_rx.decode_subframe_with(&big_samples, &mut ws).unwrap();
+    small_rx
+        .decode_subframe_with(&small_samples, &mut ws)
+        .unwrap();
+
+    let (_, allocs) = count_allocs(|| {
+        for _ in 0..3 {
+            big_rx.decode_subframe_with(&big_samples, &mut ws).unwrap();
+            small_rx
+                .decode_subframe_with(&small_samples, &mut ws)
+                .unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "alternating configs must reuse warmed buffers");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The workspace decode equals the staged decode bit for bit — same
+    /// payload, CRCs, and per-block iteration counts — even when one
+    /// workspace is reused across two different configurations in a row.
+    #[test]
+    fn workspace_decode_is_bit_exact(
+        mcs_a in 0u8..29,
+        mcs_b in 0u8..29,
+        ants in 1usize..3,
+        snr_tenths in 120i64..300,
+        seed in 0u64..1_000,
+    ) {
+        let snr_db = snr_tenths as f64 / 10.0;
+        let mut ws = PhyWorkspace::new();
+        for (round, mcs) in [mcs_a, mcs_b].into_iter().enumerate() {
+            let cfg = UplinkConfig::new(Bandwidth::Mhz1_4, ants, mcs).unwrap();
+            let (_, samples) = make_subframe(&cfg, snr_db, seed ^ round as u64);
+            let rx = UplinkRx::new(cfg);
+            let reference = staged_decode(&rx, &samples);
+            let view = rx.decode_subframe_with(&samples, &mut ws).expect("decode");
+            prop_assert_eq!(view.payload, &reference.payload[..]);
+            prop_assert_eq!(view.crc_ok, reference.crc_ok);
+            prop_assert_eq!(view.block_crc_ok, &reference.block_crc_ok[..]);
+            prop_assert_eq!(view.block_iterations, &reference.block_iterations[..]);
+        }
+    }
+}

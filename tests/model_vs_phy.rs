@@ -42,7 +42,7 @@ fn real_decoder_iterations_rise_as_snr_falls() {
     // decoder: colder channels burn more iterations. Single antenna (no
     // MRC gain), 16-QAM near its waterfall.
     let (clean, _) = phy_stats_ant(16, 1, 25.0, 6, 1);
-    let (cold, _) = phy_stats_ant(16, 1, 9.5, 6, 1);
+    let (cold, _) = phy_stats_ant(16, 1, 8.0, 6, 1);
     assert!(
         cold > clean,
         "iterations should rise as SNR falls: {clean} → {cold}"

@@ -1,0 +1,212 @@
+//! Offline stand-in for the `bytes` crate: `Bytes` (cheaply clonable,
+//! sliceable, consumable-from-the-front) and `BytesMut` (growable builder),
+//! with the big-endian `Buf`/`BufMut` accessors the transport layer uses.
+
+use std::ops::RangeBounds;
+use std::sync::Arc;
+
+/// Read-side cursor operations (big-endian).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consumes and returns the next byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Consumes a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes([self.get_u8(), self.get_u8()])
+    }
+
+    /// Consumes a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes([self.get_u8(), self.get_u8(), self.get_u8(), self.get_u8()])
+    }
+
+    /// Consumes a big-endian i16.
+    fn get_i16(&mut self) -> i16 {
+        i16::from_be_bytes([self.get_u8(), self.get_u8()])
+    }
+}
+
+/// Write-side append operations (big-endian).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        for b in v.to_be_bytes() {
+            self.put_u8(b);
+        }
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        for b in v.to_be_bytes() {
+            self.put_u8(b);
+        }
+    }
+
+    /// Appends a big-endian i16.
+    fn put_i16(&mut self, v: i16) {
+        for b in v.to_be_bytes() {
+            self.put_u8(b);
+        }
+    }
+}
+
+/// Immutable, cheaply clonable byte buffer with a consuming cursor.
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Bytes not yet consumed.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A view of the unconsumed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// A sub-range of the unconsumed bytes, sharing storage.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of range");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.start < self.end, "advance past end of Bytes");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+/// Growable byte builder.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn be_roundtrip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u16(0xBEEF);
+        b.put_u8(7);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_i16(-1234);
+        assert_eq!(b.len(), 9);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u16(), 0xBEEF);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_i16(), -1234);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let mut b = BytesMut::new();
+        for i in 0..10u8 {
+            b.put_u8(i);
+        }
+        let frozen = b.freeze();
+        let cut = frozen.slice(2..5);
+        assert_eq!(cut.as_slice(), &[2, 3, 4]);
+        let clone = frozen.clone();
+        assert_eq!(clone, frozen);
+    }
+}

@@ -1,0 +1,298 @@
+//! Offline stand-in for the `criterion` crate: same macro/builder surface,
+//! but a small wall-clock runner instead of the full statistical engine.
+//!
+//! Each benchmark warms up briefly, then runs timed batches until the
+//! group's `measurement_time` budget is spent, and prints mean time per
+//! iteration (plus throughput when configured). Good enough to compare
+//! before/after numbers in this repository; not a substitute for upstream
+//! criterion's outlier analysis.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement backends (only wall time exists here).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    pub struct WallTime;
+}
+
+/// Units for reporting throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Bare parameter id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark id in `bench_function`.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    meas_time: Duration,
+    /// Mean nanoseconds per iteration, set by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: at least one call, up to ~10% of the budget.
+        let warm_budget = self.meas_time.mul_f64(0.1).max(Duration::from_millis(5));
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= warm_budget {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Batch size targeting ~10ms per batch so Instant overhead vanishes.
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        let mut total_iters = 0u64;
+        while start.elapsed() < self.meas_time {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_iters += batch;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / total_iters as f64;
+        self.iters = total_iters;
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    meas_time: Duration,
+    throughput: Option<Throughput>,
+    _marker: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the time budget for each benchmark in the group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.meas_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; the runner sizes batches itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.full.clone();
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut b = Bencher {
+            meas_time: self.meas_time,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let mut line = format!("{full:<60} time: {:>12}", fmt_time(b.mean_ns));
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let rate = count as f64 / (b.mean_ns / 1e9);
+            line.push_str(&format!("   thrpt: {rate:.3e} {unit}"));
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Picks up a substring filter from the command line (`cargo bench -- foo`).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            meas_time: Duration::from_secs(1),
+            throughput: None,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, &mut f);
+        g.finish();
+        self
+    }
+
+    /// Upstream prints a summary here; the stand-in has nothing buffered.
+    pub fn final_summary(&self) {}
+}
+
+/// Bundles benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_times_a_cheap_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.measurement_time(Duration::from_millis(30));
+        let mut ran = false;
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fft", 600).full, "fft/600");
+        assert_eq!(BenchmarkId::from_parameter(42).full, "42");
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline stand-in for `libc`, declaring only the glibc symbols and types
+//! the runtime's affinity module uses: `sysconf`, `sched_setaffinity`,
+//! `sched_setscheduler`, and the `cpu_set_t` helpers. Layouts and constants
+//! match x86-64/aarch64 Linux glibc.
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type pid_t = i32;
+pub type size_t = usize;
+
+/// `sysconf` name for the number of online processors (Linux).
+pub const _SC_NPROCESSORS_ONLN: c_int = 84;
+
+/// Real-time FIFO scheduling policy (Linux).
+pub const SCHED_FIFO: c_int = 1;
+
+/// CPU affinity mask — 1024 bits, matching glibc's `cpu_set_t`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; 16],
+}
+
+/// Scheduling parameters for `sched_setscheduler`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sched_param {
+    pub sched_priority: c_int,
+}
+
+extern "C" {
+    pub fn sysconf(name: c_int) -> c_long;
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+    pub fn sched_setscheduler(pid: pid_t, policy: c_int, param: *const sched_param) -> c_int;
+}
+
+/// Clears every CPU in the set (glibc macro equivalent).
+#[allow(non_snake_case)]
+pub fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; 16];
+}
+
+/// Adds `cpu` to the set; out-of-range indices are ignored, as glibc does.
+#[allow(non_snake_case)]
+pub fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < 1024 {
+        set.bits[cpu / 64] |= 1 << (cpu % 64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sysconf_reports_cpus() {
+        let n = unsafe { sysconf(_SC_NPROCESSORS_ONLN) };
+        assert!(n >= 1, "sysconf returned {n}");
+    }
+
+    #[test]
+    fn cpu_set_bit_arithmetic() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        CPU_ZERO(&mut set);
+        CPU_SET(3, &mut set);
+        CPU_SET(130, &mut set);
+        assert_eq!(set.bits[0], 1 << 3);
+        assert_eq!(set.bits[2], 1 << 2);
+        assert_eq!(std::mem::size_of::<cpu_set_t>(), 128);
+    }
+}

@@ -1,0 +1,6 @@
+//! Offline stand-in for `serde`. The workspace uses serde exclusively in
+//! `#[derive(Serialize, Deserialize)]` position as forward-looking metadata;
+//! no serializer is ever invoked. The derives expand to nothing, so the
+//! derived types simply carry no serde impls until a real backend lands.
+
+pub use serde_derive::{Deserialize, Serialize};
