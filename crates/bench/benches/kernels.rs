@@ -9,6 +9,7 @@ use rtopex_phy::crc::CRC24A;
 use rtopex_phy::fft::FftPlan;
 use rtopex_phy::modulation::Modulation;
 use rtopex_phy::ratematch::RateMatcher;
+use rtopex_phy::simd::{force_tier, SimdTier};
 use rtopex_phy::turbo::{Qpp, TurboDecoder, TurboEncoder, TurboWorkspace};
 use rtopex_phy::Cf32;
 use std::time::Duration;
@@ -166,6 +167,65 @@ fn bench_turbo_workspace(c: &mut Criterion) {
     g.finish();
 }
 
+/// Forced-scalar vs. auto-dispatched turbo decoding: the win of the SIMD
+/// tier (and the autovectorized lane form it falls back to) over the
+/// historical per-state scalar recursions is visible in `BENCH_kernels.json`.
+fn bench_turbo_simd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("turbo_simd");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for k in [2048usize, 6144] {
+        let data = bits(k, 6);
+        let enc = TurboEncoder::new(k);
+        let cw = enc.encode(&data);
+        let llr =
+            |v: &[u8]| -> Vec<f32> { v.iter().map(|&x| 4.0 * (1.0 - 2.0 * x as f32)).collect() };
+        let (d0, d1, d2) = (llr(&cw.d0), llr(&cw.d1), llr(&cw.d2));
+        let dec = TurboDecoder::with_qpp(enc.qpp().clone());
+        let mut ws = TurboWorkspace::new();
+        dec.decode_with(&d0, &d1, &d2, 1, |_| false, &mut ws);
+        g.throughput(Throughput::Elements(k as u64));
+        force_tier(Some(SimdTier::Scalar));
+        g.bench_with_input(BenchmarkId::new("decode_scalar", k), &k, |b, _| {
+            b.iter(|| dec.decode_with(&d0, &d1, &d2, 1, |_| false, &mut ws))
+        });
+        force_tier(None);
+        g.bench_with_input(BenchmarkId::new("decode_auto", k), &k, |b, _| {
+            b.iter(|| dec.decode_with(&d0, &d1, &d2, 1, |_| false, &mut ws))
+        });
+    }
+    g.finish();
+}
+
+/// Forced-scalar vs. auto-dispatched soft demapping.
+fn bench_demap_simd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("demap_simd");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for m in [Modulation::Qpsk, Modulation::Qam64] {
+        let qm = m.bits_per_symbol();
+        let data = bits(600 * qm, 7);
+        let syms = m.map(&data);
+        let nv = vec![0.05f32; syms.len()];
+        let mut out = Vec::with_capacity(600 * qm);
+        force_tier(Some(SimdTier::Scalar));
+        g.bench_function(format!("demap_scalar_qm{qm}"), |b| {
+            b.iter(|| {
+                out.clear();
+                m.demap_maxlog(&syms, &nv, &mut out);
+                out.len()
+            })
+        });
+        force_tier(None);
+        g.bench_function(format!("demap_auto_qm{qm}"), |b| {
+            b.iter(|| {
+                out.clear();
+                m.demap_maxlog(&syms, &nv, &mut out);
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fft,
@@ -174,7 +234,9 @@ criterion_group!(
     bench_modulation,
     bench_crc_qpp,
     bench_fft_planned,
-    bench_turbo_workspace
+    bench_turbo_workspace,
+    bench_turbo_simd,
+    bench_demap_simd
 );
 criterion_main!(benches);
 

@@ -1,0 +1,247 @@
+//! `rtopex-bench` — emits `BENCH_kernels.json`, the tracked kernel-latency
+//! baseline.
+//!
+//! Times the four vectorized PHY kernels (turbo max-log-MAP, soft demapper,
+//! MRC equalizer, FFT) plus the end-to-end MCS 27 subframe decode with a
+//! plain `Instant` loop (no criterion), and writes one JSON object with the
+//! per-kernel mean in nanoseconds, a machine fingerprint, the git revision
+//! and the active SIMD tier. Commit the output at the repository root to
+//! refresh the baseline:
+//!
+//! ```text
+//! cargo run --release -p rtopex-bench [OUTPUT.json]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtopex_phy::channel::{AwgnChannel, ChannelModel};
+use rtopex_phy::equalizer::{mrc_combine, ChannelEstimate};
+use rtopex_phy::fft::FftPlan;
+use rtopex_phy::modulation::Modulation;
+use rtopex_phy::params::Bandwidth;
+use rtopex_phy::simd;
+use rtopex_phy::turbo::{TurboDecoder, TurboEncoder, TurboWorkspace};
+use rtopex_phy::uplink::{UplinkConfig, UplinkRx, UplinkTx};
+use rtopex_phy::Cf32;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Measured mean for one kernel.
+struct Entry {
+    name: &'static str,
+    size: usize,
+    mean_ns: u64,
+    iters: u32,
+}
+
+/// Runs `f` until roughly `target_ms` of wall clock is spent (after a short
+/// warmup) and returns the mean iteration time in nanoseconds.
+fn time_kernel<R>(target_ms: u64, mut f: impl FnMut() -> R) -> (u64, u32) {
+    for _ in 0..3 {
+        std::hint::black_box(f());
+    }
+    // Pilot run to size the batch.
+    let t = Instant::now();
+    std::hint::black_box(f());
+    let pilot_ns = t.elapsed().as_nanos().max(1) as u64;
+    let iters = ((target_ms * 1_000_000) / pilot_ns).clamp(5, 10_000) as u32;
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    ((t.elapsed().as_nanos() as u64) / iters as u64, iters)
+}
+
+fn bits(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..2u8)).collect()
+}
+
+fn turbo_entries(out: &mut Vec<Entry>) {
+    for k in [512usize, 2048, 6144] {
+        let data = bits(k, 1);
+        let enc = TurboEncoder::new(k);
+        let cw = enc.encode(&data);
+        let llr =
+            |v: &[u8]| -> Vec<f32> { v.iter().map(|&x| 4.0 * (1.0 - 2.0 * x as f32)).collect() };
+        let (d0, d1, d2) = (llr(&cw.d0), llr(&cw.d1), llr(&cw.d2));
+        let dec = TurboDecoder::with_qpp(enc.qpp().clone());
+        let mut ws = TurboWorkspace::new();
+        dec.decode_with(&d0, &d1, &d2, 1, |_| false, &mut ws);
+        let (mean_ns, iters) = time_kernel(300, || {
+            dec.decode_with(&d0, &d1, &d2, 1, |_| false, &mut ws)
+        });
+        out.push(Entry {
+            name: "turbo_decode_1iter",
+            size: k,
+            mean_ns,
+            iters,
+        });
+    }
+}
+
+fn demap_entries(out: &mut Vec<Entry>) {
+    for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        let qm = m.bits_per_symbol();
+        let data = bits(600 * qm, 2);
+        let syms = m.map(&data);
+        let nv = vec![0.05f32; syms.len()];
+        let mut llrs = Vec::with_capacity(600 * qm);
+        let (mean_ns, iters) = time_kernel(200, || {
+            llrs.clear();
+            m.demap_maxlog(&syms, &nv, &mut llrs);
+            llrs.len()
+        });
+        out.push(Entry {
+            name: "demap_600sym_qm",
+            size: qm,
+            mean_ns,
+            iters,
+        });
+    }
+}
+
+fn mrc_entries(out: &mut Vec<Entry>) {
+    let m = 600usize;
+    let nant = 2usize;
+    let mut rng = StdRng::seed_from_u64(3);
+    let cplx = |rng: &mut StdRng| Cf32::new(rng.gen::<f32>() - 0.5, rng.gen::<f32>() - 0.5);
+    let h: Vec<Vec<Cf32>> = (0..nant)
+        .map(|_| (0..m).map(|_| cplx(&mut rng)).collect())
+        .collect();
+    let data: Vec<Vec<Cf32>> = (0..nant)
+        .map(|_| (0..m).map(|_| cplx(&mut rng)).collect())
+        .collect();
+    let est = ChannelEstimate { h, noise_var: 0.05 };
+    let rows: Vec<&[Cf32]> = data.iter().map(Vec::as_slice).collect();
+    let (mean_ns, iters) = time_kernel(200, || mrc_combine(&rows, &est));
+    out.push(Entry {
+        name: "mrc_600sc_2ant",
+        size: m,
+        mean_ns,
+        iters,
+    });
+}
+
+fn fft_entries(out: &mut Vec<Entry>) {
+    for n in [128usize, 600, 1024, 1536] {
+        let plan = FftPlan::new(n);
+        let data: Vec<Cf32> = (0..n).map(|i| Cf32::from_phase(i as f32 * 0.1)).collect();
+        let mut buf = data.clone();
+        let mut scratch = vec![Cf32::ZERO; n];
+        let (mean_ns, iters) = time_kernel(200, || {
+            buf.copy_from_slice(&data);
+            plan.forward_scratch(&mut buf, &mut scratch);
+            buf[0]
+        });
+        out.push(Entry {
+            name: "fft_forward",
+            size: n,
+            mean_ns,
+            iters,
+        });
+    }
+}
+
+fn subframe_entry(out: &mut Vec<Entry>) {
+    // Same configuration as the tracked `subframe_decode/mhz1_4_mcs/27`
+    // criterion entry (1.4 MHz, 2 antennas, MCS 27).
+    let cfg = UplinkConfig::new(Bandwidth::Mhz1_4, 2, 27).expect("config");
+    let tx = UplinkTx::new(cfg.clone());
+    let mut rng = StdRng::seed_from_u64(4);
+    let payload: Vec<u8> = (0..cfg.transport_block_bytes())
+        .map(|_| rng.gen())
+        .collect();
+    let sf = tx.encode_subframe(&payload).expect("encode");
+    let mut chan = AwgnChannel::new(30.0);
+    let samples = chan.apply(&sf.samples, cfg.num_antennas, &mut rng);
+    let rx = UplinkRx::new(cfg);
+    let (mean_ns, iters) = time_kernel(500, || rx.decode_subframe(&samples).expect("decode"));
+    out.push(Entry {
+        name: "subframe_decode_mhz1_4_mcs",
+        size: 27,
+        mean_ns,
+        iters,
+    });
+}
+
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| std::env::consts::ARCH.to_string())
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let tier = format!("{:?}", simd::detected_tier()).to_lowercase();
+    let mut entries = Vec::new();
+    eprintln!("timing kernels (tier: {tier})…");
+    turbo_entries(&mut entries);
+    demap_entries(&mut entries);
+    mrc_entries(&mut entries);
+    fft_entries(&mut entries);
+    subframe_entry(&mut entries);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut body = String::new();
+    writeln!(body, "{{").unwrap();
+    writeln!(body, "  \"schema\": 1,").unwrap();
+    writeln!(body, "  \"git_rev\": \"{}\",", json_escape(&git_rev())).unwrap();
+    writeln!(
+        body,
+        "  \"machine\": {{ \"cpu\": \"{}\", \"cores\": {}, \"simd_tier\": \"{}\" }},",
+        json_escape(&cpu_model()),
+        cores,
+        tier
+    )
+    .unwrap();
+    writeln!(body, "  \"kernels\": {{").unwrap();
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        writeln!(
+            body,
+            "    \"{}_{}\": {{ \"mean_ns\": {}, \"iters\": {} }}{}",
+            e.name, e.size, e.mean_ns, e.iters, comma
+        )
+        .unwrap();
+        eprintln!(
+            "  {:>28}_{:<5} {:>12} ns  ({} iters)",
+            e.name, e.size, e.mean_ns, e.iters
+        );
+    }
+    writeln!(body, "  }}").unwrap();
+    writeln!(body, "}}").unwrap();
+    std::fs::write(&path, body).expect("write baseline");
+    eprintln!("wrote {path}");
+}

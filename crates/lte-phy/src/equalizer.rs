@@ -11,6 +11,7 @@
 use crate::complex::Cf32;
 use crate::params::dmrs_symbols;
 use crate::resource_grid::Grid;
+use crate::simd::{self, SimdTier};
 
 /// Channel state estimated from one subframe's DMRS.
 #[derive(Clone, Debug)]
@@ -103,13 +104,38 @@ pub fn estimate_channel_band_into(
         let y2 = &grid.symbol(l2)[band.clone()];
         ha.clear();
         ha.reserve(m);
-        for k in 0..m {
-            // LS estimate: y = h·r + n with |r| = 1 ⇒ ĥ = y·r*.
-            let e1 = y1[k] * dmrs_ref[k].conj();
-            let e2 = y2[k] * dmrs_ref[k].conj();
-            ha.push((e1 + e2).scale(0.5));
-            // (e1 − e2) = n1·r* − n2·r* has variance 2σ².
-            noise_acc += ((e1 - e2).norm_sq() / 2.0) as f64;
+        // Split-complex lane blocks: the per-subcarrier LS estimates and
+        // difference energies vectorize; only the f64 noise accumulation
+        // stays scalar (in subcarrier order, so values are unchanged).
+        let mut k0 = 0;
+        while k0 < m {
+            let len = (m - k0).min(8);
+            let mut h_re = [0.0f32; 8];
+            let mut h_im = [0.0f32; 8];
+            let mut dn = [0.0f32; 8];
+            for j in 0..len {
+                let k = k0 + j;
+                // LS estimate: y = h·r + n with |r| = 1 ⇒ ĥ = y·r*.
+                let r = dmrs_ref[k];
+                let (e1re, e1im) = (
+                    y1[k].re * r.re + y1[k].im * r.im,
+                    y1[k].im * r.re - y1[k].re * r.im,
+                );
+                let (e2re, e2im) = (
+                    y2[k].re * r.re + y2[k].im * r.im,
+                    y2[k].im * r.re - y2[k].re * r.im,
+                );
+                h_re[j] = (e1re + e2re) * 0.5;
+                h_im[j] = (e1im + e2im) * 0.5;
+                // (e1 − e2) = n1·r* − n2·r* has variance 2σ².
+                let (dre, dim) = (e1re - e2re, e1im - e2im);
+                dn[j] = (dre * dre + dim * dim) / 2.0;
+            }
+            for j in 0..len {
+                ha.push(Cf32::new(h_re[j], h_im[j]));
+                noise_acc += dn[j] as f64;
+            }
+            k0 += len;
         }
     }
     est.noise_var = (noise_acc / (grids.len() * m) as f64).max(1e-12) as f32;
@@ -153,17 +179,128 @@ pub fn mrc_combine_into(
     combined.reserve(m);
     post_var.clear();
     post_var.reserve(m);
-    for k in 0..m {
-        let mut num = Cf32::ZERO;
-        let mut gain = 0.0f32;
-        for (a, row) in rows.iter().enumerate() {
-            let hk = est.h[a][k];
-            num += hk.conj() * row[k];
-            gain += hk.norm_sq();
+    let tier = simd::active_tier();
+    let mut k0 = 0;
+    while k0 < m {
+        let len = (m - k0).min(8);
+        let mut acc_re = [0.0f32; 8];
+        let mut acc_im = [0.0f32; 8];
+        let mut gain = [0.0f32; 8];
+        #[cfg(target_arch = "x86_64")]
+        let done = if tier == SimdTier::Avx2 && len == 8 {
+            // SAFETY: the Avx2 tier is only reported after runtime
+            // detection succeeded (see crate::simd).
+            #[allow(unsafe_code)]
+            unsafe {
+                avx2::mrc_block(rows, &est.h, k0, &mut acc_re, &mut acc_im, &mut gain)
+            };
+            true
+        } else {
+            false
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let done = {
+            let _ = tier;
+            false
+        };
+        if !done {
+            // Split-complex (SoA) lane accumulation — same per-subcarrier
+            // arithmetic as the AVX2 tier and the historical per-k loop
+            // (`x − (−y)` ≡ `x + y` in IEEE 754, so expanding the complex
+            // conjugate multiply is value-preserving).
+            for (a, row) in rows.iter().enumerate() {
+                let h = &est.h[a][k0..k0 + len];
+                let r = &row[k0..k0 + len];
+                for j in 0..len {
+                    acc_re[j] += h[j].re * r[j].re + h[j].im * r[j].im;
+                    acc_im[j] += h[j].re * r[j].im - h[j].im * r[j].re;
+                    gain[j] += h[j].re * h[j].re + h[j].im * h[j].im;
+                }
+            }
         }
-        let g = gain.max(1e-9);
-        combined.push(num.scale(1.0 / g));
-        post_var.push(est.noise_var / g);
+        for j in 0..len {
+            let g = gain[j].max(1e-9);
+            let inv = 1.0 / g;
+            combined.push(Cf32::new(acc_re[j] * inv, acc_im[j] * inv));
+            post_var.push(est.noise_var / g);
+        }
+        k0 += len;
+    }
+}
+
+/// Explicit AVX2 tier of the MRC accumulation: deinterleaves eight complex
+/// subcarriers per antenna into split-complex registers and accumulates
+/// `Σ h*·r` and `Σ |h|²` with the exact operation sequence of the lane
+/// form, hence bit-exact with it.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    #![allow(unsafe_code)]
+
+    use crate::complex::Cf32;
+    use core::arch::x86_64::*;
+
+    /// Deinterleaves 8 consecutive `Cf32` (16 floats) into (re, im) lanes
+    /// in subcarrier order.
+    ///
+    /// # Safety
+    /// `ptr` must point at 8 valid `Cf32` values; the CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_split(ptr: *const Cf32) -> (__m256, __m256) {
+        // SAFETY: caller guarantees 16 readable f32s at `ptr`.
+        unsafe {
+            let p = ptr as *const f32;
+            let v0 = _mm256_loadu_ps(p); // r0 i0 r1 i1 | r2 i2 r3 i3
+            let v1 = _mm256_loadu_ps(p.add(8)); // r4 i4 r5 i5 | r6 i6 r7 i7
+            let lo = _mm256_permute2f128_ps(v0, v1, 0x20); // r0 i0 r1 i1 | r4 i4 r5 i5
+            let hi = _mm256_permute2f128_ps(v0, v1, 0x31); // r2 i2 r3 i3 | r6 i6 r7 i7
+            let re = _mm256_shuffle_ps(lo, hi, 0b10_00_10_00); // r0 r1 r2 r3 | r4..r7
+            let im = _mm256_shuffle_ps(lo, hi, 0b11_01_11_01); // i0 i1 i2 i3 | i4..i7
+            (re, im)
+        }
+    }
+
+    /// # Safety
+    /// Every row and `h[a]` must have at least `k0 + 8` entries; the CPU
+    /// must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mrc_block(
+        rows: &[&[Cf32]],
+        h: &[Vec<Cf32>],
+        k0: usize,
+        acc_re: &mut [f32; 8],
+        acc_im: &mut [f32; 8],
+        gain: &mut [f32; 8],
+    ) {
+        let mut num_re = _mm256_setzero_ps();
+        let mut num_im = _mm256_setzero_ps();
+        let mut g = _mm256_setzero_ps();
+        for (a, row) in rows.iter().enumerate() {
+            // SAFETY: caller guarantees k0 + 8 in-bounds complex entries.
+            let ((hre, him), (rre, rim)) = unsafe {
+                (
+                    load_split(h[a].as_ptr().add(k0)),
+                    load_split(row.as_ptr().add(k0)),
+                )
+            };
+            num_re = _mm256_add_ps(
+                num_re,
+                _mm256_add_ps(_mm256_mul_ps(hre, rre), _mm256_mul_ps(him, rim)),
+            );
+            num_im = _mm256_add_ps(
+                num_im,
+                _mm256_sub_ps(_mm256_mul_ps(hre, rim), _mm256_mul_ps(him, rre)),
+            );
+            g = _mm256_add_ps(
+                g,
+                _mm256_add_ps(_mm256_mul_ps(hre, hre), _mm256_mul_ps(him, him)),
+            );
+        }
+        // SAFETY: the output arrays are 8 contiguous f32s each.
+        unsafe {
+            _mm256_storeu_ps(acc_re.as_mut_ptr(), num_re);
+            _mm256_storeu_ps(acc_im.as_mut_ptr(), num_im);
+            _mm256_storeu_ps(gain.as_mut_ptr(), g);
+        }
     }
 }
 
@@ -290,6 +427,48 @@ mod tests {
             .map(|(a, b)| (*a - *b).abs())
             .fold(0.0, f32::max);
         assert!(err < 0.2, "max err {err}");
+    }
+
+    #[test]
+    fn blocked_mrc_is_bit_exact_vs_reference() {
+        use crate::simd::{force_tier, test_guard, SimdTier};
+        let _g = test_guard();
+        let mut rng = StdRng::seed_from_u64(9);
+        // Deliberately non-multiple-of-8 widths to cover the lane tail.
+        for m in [1usize, 8, 13, 72] {
+            for nant in [1usize, 2, 4] {
+                let h: Vec<Vec<Cf32>> = (0..nant)
+                    .map(|_| (0..m).map(|_| complex_gaussian(&mut rng)).collect())
+                    .collect();
+                let data: Vec<Vec<Cf32>> = (0..nant)
+                    .map(|_| (0..m).map(|_| complex_gaussian(&mut rng)).collect())
+                    .collect();
+                let est = ChannelEstimate { h, noise_var: 0.07 };
+                let rows: Vec<&[Cf32]> = data.iter().map(Vec::as_slice).collect();
+                // Reference: the historical per-subcarrier Cf32 loop.
+                let mut exp_c = Vec::new();
+                let mut exp_v = Vec::new();
+                for k in 0..m {
+                    let mut num = Cf32::ZERO;
+                    let mut gain = 0.0f32;
+                    for (a, row) in rows.iter().enumerate() {
+                        let hk = est.h[a][k];
+                        num += hk.conj() * row[k];
+                        gain += hk.norm_sq();
+                    }
+                    let g = gain.max(1e-9);
+                    exp_c.push(num.scale(1.0 / g));
+                    exp_v.push(est.noise_var / g);
+                }
+                for tier in [None, Some(SimdTier::Scalar)] {
+                    force_tier(tier);
+                    let (c, v) = mrc_combine(&rows, &est);
+                    assert_eq!(c, exp_c, "m={m} nant={nant} tier={tier:?}");
+                    assert_eq!(v, exp_v, "m={m} nant={nant} tier={tier:?}");
+                }
+                force_tier(None);
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! process-wide cached `Arc<FftPlan>` so hot paths build each size once.
 
 use crate::complex::Cf32;
+use crate::simd::{self, SimdTier};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -181,6 +182,7 @@ impl FftPlan {
             return;
         }
         let tw = &self.twiddles;
+        let tier = simd::active_tier();
         let mut n_cur = n;
         let mut s = 1usize;
         let mut in_data = true;
@@ -194,13 +196,36 @@ impl FftPlan {
             let wn_stride = n / n_cur;
             if r == 2 {
                 // Radix-2 butterfly: j = 0 twiddle is 1, j = 1 is W_{n_cur}^p.
-                for p in 0..m {
-                    let wp = tw[p * wn_stride];
-                    for q in 0..s {
-                        let x0 = src[q + s * p];
-                        let x1 = src[q + s * (p + m)];
-                        dst[q + s * 2 * p] = x0 + x1;
-                        dst[q + s * (2 * p + 1)] = (x0 - x1) * wp;
+                // Once the accumulated stride is a whole vector (s % 4 == 0)
+                // the inner q loop runs 4 complex lanes per instruction; the
+                // per-element complex add/sub/multiply sequence is identical
+                // to the scalar loop, so the tiers are bit-exact.
+                #[cfg(target_arch = "x86_64")]
+                let vectorized = if tier == SimdTier::Avx2 && s.is_multiple_of(4) {
+                    // SAFETY: the Avx2 tier is only reported after runtime
+                    // detection succeeded (see crate::simd).
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        avx2::radix2_stage(src, dst, tw, m, s, wn_stride)
+                    };
+                    true
+                } else {
+                    false
+                };
+                #[cfg(not(target_arch = "x86_64"))]
+                let vectorized = {
+                    let _ = tier;
+                    false
+                };
+                if !vectorized {
+                    for p in 0..m {
+                        let wp = tw[p * wn_stride];
+                        for q in 0..s {
+                            let x0 = src[q + s * p];
+                            let x1 = src[q + s * (p + m)];
+                            dst[q + s * 2 * p] = x0 + x1;
+                            dst[q + s * (2 * p + 1)] = (x0 - x1) * wp;
+                        }
                     }
                 }
             } else {
@@ -225,6 +250,69 @@ impl FftPlan {
         }
         if !in_data {
             data.copy_from_slice(scratch);
+        }
+    }
+}
+
+/// AVX2 radix-2 butterfly stage operating on 4 interleaved complex values
+/// per vector. The arithmetic per element — complex add, subtract, and the
+/// `(re·wr − im·wi, re·wi + im·wr)` twiddle multiply — matches the scalar
+/// `Cf32` operators term for term (the only reordering is the commuted final
+/// addition of the imaginary part), so stage output is bit-identical to the
+/// scalar loop.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    #![allow(unsafe_code)]
+
+    use crate::complex::Cf32;
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime. Requires
+    /// `s % 4 == 0`, `src.len() >= 2 * m * s`, and `dst.len() >= 2 * m * s`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn radix2_stage(
+        src: &[Cf32],
+        dst: &mut [Cf32],
+        tw: &[Cf32],
+        m: usize,
+        s: usize,
+        wn_stride: usize,
+    ) {
+        debug_assert!(s.is_multiple_of(4));
+        debug_assert!(src.len() >= 2 * m * s && dst.len() >= 2 * m * s);
+        let sp = src.as_ptr() as *const f32;
+        let dp = dst.as_mut_ptr() as *mut f32;
+        for p in 0..m {
+            let wp = tw[p * wn_stride];
+            let wr = _mm256_set1_ps(wp.re);
+            let wi = _mm256_set1_ps(wp.im);
+            let a = s * p;
+            let b = s * (p + m);
+            let lo = s * 2 * p;
+            let hi = s * (2 * p + 1);
+            let mut q = 0usize;
+            while q < s {
+                // SAFETY: q + 4 <= s, so all four-complex (8-float) loads and
+                // stores below stay inside the slices per the length bounds.
+                unsafe {
+                    let x0 = _mm256_loadu_ps(sp.add(2 * (a + q)));
+                    let x1 = _mm256_loadu_ps(sp.add(2 * (b + q)));
+                    let sum = _mm256_add_ps(x0, x1);
+                    let d = _mm256_sub_ps(x0, x1);
+                    // (re·wr − im·wi, im·wr + re·wi): multiply the lanes by
+                    // wr, the pair-swapped lanes by wi, then addsub merges
+                    // the even (subtract) and odd (add) results.
+                    let t1 = _mm256_mul_ps(d, wr);
+                    let dsw = _mm256_permute_ps(d, 0b10_11_00_01);
+                    let t2 = _mm256_mul_ps(dsw, wi);
+                    let prod = _mm256_addsub_ps(t1, t2);
+                    _mm256_storeu_ps(dp.add(2 * (lo + q)), sum);
+                    _mm256_storeu_ps(dp.add(2 * (hi + q)), prod);
+                }
+                q += 4;
+            }
         }
     }
 }
@@ -350,6 +438,34 @@ mod tests {
             // And the cached-plan inverse round-trips through the same scratch.
             plan.inverse_with(&mut b, &mut scratch);
             assert!(max_err(&x, &b) < 2e-3, "size {n}");
+        }
+    }
+
+    #[test]
+    fn avx2_tier_is_bit_exact_vs_scalar() {
+        use crate::simd::{self, SimdTier};
+        if simd::detected_tier() != SimdTier::Avx2 {
+            eprintln!("skipping avx2_tier_is_bit_exact_vs_scalar: no AVX2");
+            return;
+        }
+        let _g = simd::test_guard();
+        // Sizes with radix-2 stages at s >= 4 (the vectorized case) plus
+        // odd/mixed sizes that exercise the scalar fallback under both tiers.
+        for n in [8usize, 16, 128, 256, 600, 900, 1024, 1536, 2048] {
+            let x = ramp(n);
+            let plan = FftPlan::new(n);
+            simd::force_tier(Some(SimdTier::Scalar));
+            let mut a = x.clone();
+            plan.forward(&mut a);
+            simd::force_tier(None);
+            let mut b = x.clone();
+            plan.forward(&mut b);
+            assert_eq!(a, b, "forward size {n}");
+            plan.inverse(&mut b);
+            simd::force_tier(Some(SimdTier::Scalar));
+            plan.inverse(&mut a);
+            simd::force_tier(None);
+            assert_eq!(a, b, "inverse size {n}");
         }
     }
 

@@ -53,7 +53,9 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the explicitly-allowed SIMD kernel
+// modules, whose `core::arch` loads/stores need it (see `simd`).
+#![deny(unsafe_code)]
 // DSP recurrences (shift registers, trellis states, per-subcarrier loops)
 // read most clearly with explicit indices; the iterator rewrites clippy
 // suggests obscure the math.
@@ -74,6 +76,7 @@ pub mod ratematch;
 pub mod resource_grid;
 pub mod scramble;
 pub mod segmentation;
+pub mod simd;
 pub mod tasks;
 pub mod turbo;
 pub mod uplink;

@@ -1,0 +1,128 @@
+//! Runtime-dispatched SIMD tier selection for the PHY kernels.
+//!
+//! The hot kernels (max-log-MAP, soft demapper, MRC, FFT butterflies) each
+//! exist in two tiers:
+//!
+//! * **lane-form scalar** — fixed-width, branchless `[f32; 8]` loops that
+//!   LLVM autovectorizes on any target; the portable fallback and the
+//!   reference the intrinsic tier is tested against, and
+//! * **AVX2** — explicit `core::arch::x86_64` intrinsics, selected at
+//!   runtime via [`is_x86_feature_detected!`].
+//!
+//! Both tiers are **bit-exact** with each other: every kernel restricts
+//! itself to the same adds, multiplies by exact constants, `max`/`min`
+//! reductions and permutations in both forms, so dispatch never changes a
+//! single output bit (see `DESIGN.md` §"SIMD strategy").
+//!
+//! Detection runs once per process ([`active_tier`] caches it); tests and
+//! benchmarks can pin a tier with [`force_tier`] or the `RTOPEX_SIMD`
+//! environment variable (`scalar` or `avx2`, checked at first use).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// The instruction-set tier a kernel invocation will use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdTier {
+    /// Portable lane-form scalar code (autovectorized by LLVM).
+    Scalar,
+    /// Explicit AVX2 intrinsics.
+    Avx2,
+}
+
+/// Tier override: 0 = none, 1 = force scalar, 2 = force AVX2.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// One-time hardware detection result (includes the env-var override).
+static DETECTED: OnceLock<SimdTier> = OnceLock::new();
+
+/// The tier the hardware (and `RTOPEX_SIMD`, if set) supports, resolved
+/// once per process.
+pub fn detected_tier() -> SimdTier {
+    *DETECTED.get_or_init(|| {
+        match std::env::var("RTOPEX_SIMD").as_deref() {
+            Ok("scalar") => return SimdTier::Scalar,
+            Ok("avx2") => return SimdTier::Avx2,
+            _ => {}
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdTier::Avx2;
+            }
+        }
+        SimdTier::Scalar
+    })
+}
+
+/// The tier kernels will actually dispatch to right now: the programmatic
+/// override if one is set, else the detected tier.
+#[inline]
+pub fn active_tier() -> SimdTier {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => SimdTier::Scalar,
+        2 => SimdTier::Avx2,
+        _ => detected_tier(),
+    }
+}
+
+/// Forces every subsequent kernel dispatch to `tier` (process-wide), or
+/// restores hardware detection with `None`.
+///
+/// Forcing [`SimdTier::Avx2`] on hardware without AVX2 is rejected
+/// (detection wins), so this function is always safe to call.
+pub fn force_tier(tier: Option<SimdTier>) {
+    let v = match tier {
+        None => 0,
+        Some(SimdTier::Scalar) => 1,
+        Some(SimdTier::Avx2) => {
+            if detected_tier() != SimdTier::Avx2 {
+                return;
+            }
+            2
+        }
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Serializes tests (across modules) that mutate the process-wide override.
+/// Poisoning is ignored: the override is valid in any state.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_override_routes_to_scalar() {
+        let _g = test_guard();
+        force_tier(Some(SimdTier::Scalar));
+        assert_eq!(active_tier(), SimdTier::Scalar);
+        force_tier(None);
+        assert_eq!(active_tier(), detected_tier());
+    }
+
+    #[test]
+    fn forcing_avx2_without_hardware_is_rejected() {
+        let _g = test_guard();
+        force_tier(Some(SimdTier::Avx2));
+        // Either the hardware has AVX2 (override honored) or it does not
+        // (override rejected): active == detected in both cases only when
+        // detection says AVX2; otherwise active stays Scalar.
+        match detected_tier() {
+            SimdTier::Avx2 => assert_eq!(active_tier(), SimdTier::Avx2),
+            SimdTier::Scalar => assert_eq!(active_tier(), SimdTier::Scalar),
+        }
+        force_tier(None);
+    }
+
+    #[test]
+    fn detection_is_stable() {
+        let _g = test_guard();
+        assert_eq!(detected_tier(), detected_tier());
+    }
+}

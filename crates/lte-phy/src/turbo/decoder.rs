@@ -11,6 +11,7 @@
 //! physical origin of the execution-time variability RT-OPEX exploits.
 
 use super::{Qpp, NUM_STATES, TAIL_STEPS, TRELLIS};
+use crate::simd::{self, SimdTier};
 
 /// LLR convention: `L = ln(P(bit = 0) / P(bit = 1))`.
 /// Log-domain "minus infinity" for unreachable states.
@@ -103,7 +104,97 @@ fn half_metric(u: u8, l: f32) -> f32 {
     }
 }
 
-/// One constituent max-log-MAP pass.
+/// Per-transition permutation/sign tables derived from [`TRELLIS`] at
+/// compile time — the "gather masks" of the lane-form recursions.
+///
+/// The LTE trellis is a *permutation* per input bit (each state has exactly
+/// one predecessor under `u = 0` and one under `u = 1`), so both recursions
+/// become 8-lane shuffles:
+///
+/// * forward: `α'[ns] = max_u( α[prev[u][ns]] + γ_u(prev[u][ns]) )`,
+/// * backward: `β'[s] = max_u( γ_u(s) + β[next[u][s]] )`,
+///
+/// with the branch metric in sign-vector form
+/// `γ_u(s) = ±hu + sign[u][s]·hp` (`+hu` for `u = 0`, `−hu` for `u = 1`;
+/// the sign is `+1` when the transition's parity bit is 0, else `−1`).
+struct LaneTables {
+    /// `prev[u][ns]` — the unique state `s` with `next[s][u] == ns`.
+    prev: [[usize; NUM_STATES]; 2],
+    /// Parity sign of the transition `prev[u][ns] → ns` (gathered order).
+    sign_prev: [[f32; NUM_STATES]; 2],
+    /// `next[u][s]` — successor state ([`TRELLIS::next`] transposed).
+    next: [[usize; NUM_STATES]; 2],
+    /// Parity sign of the transition `s → next[u][s]` (source order).
+    sign_next: [[f32; NUM_STATES]; 2],
+}
+
+const fn build_lane_tables() -> LaneTables {
+    let mut prev = [[0usize; NUM_STATES]; 2];
+    let mut sign_prev = [[0.0f32; NUM_STATES]; 2];
+    let mut next = [[0usize; NUM_STATES]; 2];
+    let mut sign_next = [[0.0f32; NUM_STATES]; 2];
+    let mut u = 0;
+    while u < 2 {
+        let mut s = 0;
+        while s < NUM_STATES {
+            let ns = TRELLIS.next[s][u] as usize;
+            let sign = if TRELLIS.parity[s][u] == 0 { 1.0 } else { -1.0 };
+            next[u][s] = ns;
+            sign_next[u][s] = sign;
+            prev[u][ns] = s;
+            sign_prev[u][ns] = sign;
+            s += 1;
+        }
+        u += 1;
+    }
+    LaneTables {
+        prev,
+        sign_prev,
+        next,
+        sign_next,
+    }
+}
+
+/// The lane tables for the LTE trellis (compile-time constant, so the
+/// scalar tier's gathers compile to shuffles too).
+const LANES: LaneTables = build_lane_tables();
+
+/// Horizontal max over 8 lanes with the fixed pairwise reduction tree the
+/// AVX2 tier uses (`max` is order-independent for the finite, non-NaN
+/// metrics here; the fixed tree keeps the two tiers literally identical).
+#[inline]
+fn hmax8(v: [f32; 8]) -> f32 {
+    let a = [
+        v[0].max(v[4]),
+        v[1].max(v[5]),
+        v[2].max(v[6]),
+        v[3].max(v[7]),
+    ];
+    let b = [a[0].max(a[2]), a[1].max(a[3])];
+    b[0].max(b[1])
+}
+
+/// Tail metric propagation: beta from the known zero end state back through
+/// the three termination steps, yielding beta at step `K`. Each state has
+/// exactly one termination branch per step, so this is scalar and tiny.
+fn tail_betas(sys_tail: &[f32; TAIL_STEPS], par_tail: &[f32; TAIL_STEPS]) -> [f32; NUM_STATES] {
+    let mut beta_end = [NEG_INF; NUM_STATES];
+    beta_end[0] = 0.0;
+    for t in (0..TAIL_STEPS).rev() {
+        let mut prev = [NEG_INF; NUM_STATES];
+        for s in 0..NUM_STATES {
+            let u = TRELLIS.term_input[s];
+            let p = TRELLIS.parity[s][u as usize];
+            let ns = TRELLIS.next[s][u as usize] as usize;
+            let g = half_metric(u, sys_tail[t]) + half_metric(p, par_tail[t]);
+            prev[s] = g + beta_end[ns];
+        }
+        beta_end = prev;
+    }
+    beta_end
+}
+
+/// One constituent max-log-MAP pass (runtime-dispatched).
 ///
 /// * `sys`, `par`, `apriori` — length-`K` LLRs,
 /// * `sys_tail`, `par_tail` — termination LLRs,
@@ -111,12 +202,43 @@ fn half_metric(u: u8, l: f32) -> f32 {
 /// * `alpha` — caller-owned forward-metric storage, resized to
 ///   `(K+1)·NUM_STATES` (flattened row-major; reused across calls).
 ///
-/// The branch metric for hypothesis bit `u` with parity `p` is
-/// `±lu/2 ± lp/2` where `lu = sys + apriori`, `lp = par`; the four
-/// combinations are hoisted out of the state loop. Value-preserving: the
-/// hoisted sums and `f32::max` produce bit-identical results to the naive
-/// per-transition `half_metric` formulation for finite LLRs.
+/// Both tiers run the identical lane-form recursion (add, multiply by ±1,
+/// `max`), so the AVX2 tier is bit-exact vs the scalar tier — and both
+/// match the historical per-state/per-input scalar loop: unreachable-state
+/// skips are replaced by unconditional arithmetic on `NEG_INF`, which
+/// absorbs any finite branch metric (`−10³⁰ + γ` rounds back to `−10³⁰`
+/// for `|γ| ≪ ulp(10³⁰)/2 ≈ 3.7·10²²`), so dead lanes never win a `max`.
+// The argument list mirrors the historical scalar signature plus the tier;
+// bundling it into a struct would obscure the BCJR call sites.
+#[allow(clippy::too_many_arguments)]
 fn map_decode(
+    sys: &[f32],
+    sys_tail: &[f32; TAIL_STEPS],
+    par: &[f32],
+    par_tail: &[f32; TAIL_STEPS],
+    apriori: &[f32],
+    out: &mut [f32],
+    alpha: &mut Vec<f32>,
+    tier: SimdTier,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if tier == SimdTier::Avx2 {
+        // SAFETY: the Avx2 tier is only ever reported by `crate::simd`
+        // after `is_x86_feature_detected!("avx2")` succeeded.
+        #[allow(unsafe_code)]
+        unsafe {
+            avx2::map_decode(sys, sys_tail, par, par_tail, apriori, out, alpha)
+        };
+        return;
+    }
+    let _ = tier;
+    map_decode_lanes(sys, sys_tail, par, par_tail, apriori, out, alpha);
+}
+
+/// Portable lane-form tier of [`map_decode`]: branchless `[f32; 8]`
+/// state-metric rows with compile-time gather indices, which LLVM turns
+/// into shuffles on any vector ISA.
+fn map_decode_lanes(
     sys: &[f32],
     sys_tail: &[f32; TAIL_STEPS],
     par: &[f32],
@@ -137,71 +259,148 @@ fn map_decode(
     for i in 0..k {
         let hu = 0.5 * (sys[i] + apriori[i]);
         let hp = 0.5 * par[i];
-        // g[u][p] = half_metric(u, lu) + half_metric(p, lp), hoisted.
-        let g = [[hu + hp, hu - hp], [hp - hu, -hu - hp]];
         let (cur, nxt) = alpha[i * NUM_STATES..(i + 2) * NUM_STATES].split_at_mut(NUM_STATES);
-        for s in 0..NUM_STATES {
-            let a = cur[s];
-            if a <= NEG_INF {
-                continue;
-            }
-            for u in 0..2usize {
-                let p = TRELLIS.parity[s][u] as usize;
-                let ns = TRELLIS.next[s][u] as usize;
-                nxt[ns] = nxt[ns].max(a + g[u][p]);
-            }
+        for ns in 0..NUM_STATES {
+            let c0 = cur[LANES.prev[0][ns]] + (hu + LANES.sign_prev[0][ns] * hp);
+            let c1 = cur[LANES.prev[1][ns]] + (LANES.sign_prev[1][ns] * hp - hu);
+            nxt[ns] = c0.max(c1);
         }
-    }
-
-    // Tail: propagate beta from the known zero end state back to step K.
-    // Each state has exactly one termination branch per step.
-    let mut beta_end = [NEG_INF; NUM_STATES];
-    beta_end[0] = 0.0;
-    for t in (0..TAIL_STEPS).rev() {
-        let mut prev = [NEG_INF; NUM_STATES];
-        for s in 0..NUM_STATES {
-            let u = TRELLIS.term_input[s];
-            let p = TRELLIS.parity[s][u as usize];
-            let ns = TRELLIS.next[s][u as usize] as usize;
-            let g = half_metric(u, sys_tail[t]) + half_metric(p, par_tail[t]);
-            prev[s] = g + beta_end[ns];
-        }
-        beta_end = prev;
     }
 
     // Backward (beta) recursion over the data part, emitting LLRs on the fly.
-    let mut beta = beta_end;
+    let mut beta = tail_betas(sys_tail, par_tail);
     for i in (0..k).rev() {
         let hu = 0.5 * (sys[i] + apriori[i]);
         let hp = 0.5 * par[i];
-        let g = [[hu + hp, hu - hp], [hp - hu, -hu - hp]];
-        let mut best0 = NEG_INF;
-        let mut best1 = NEG_INF;
-        let mut new_beta = [NEG_INF; NUM_STATES];
         let arow = &alpha[i * NUM_STATES..(i + 1) * NUM_STATES];
+        let mut new_beta = [0.0f32; NUM_STATES];
+        let mut m0 = [0.0f32; NUM_STATES];
+        let mut m1 = [0.0f32; NUM_STATES];
         for s in 0..NUM_STATES {
-            let a = arow[s];
-            for u in 0..2usize {
-                let p = TRELLIS.parity[s][u] as usize;
-                let ns = TRELLIS.next[s][u] as usize;
-                let b = beta[ns];
-                // Beta update uses only gamma + beta.
-                let gb = g[u][p] + b;
-                new_beta[s] = new_beta[s].max(gb);
-                // LLR uses alpha + gamma + beta.
-                if a <= NEG_INF || b <= NEG_INF {
-                    continue;
-                }
-                let m = a + gb;
-                if u == 0 {
-                    best0 = best0.max(m);
-                } else {
-                    best1 = best1.max(m);
-                }
+            let gb0 = (hu + LANES.sign_next[0][s] * hp) + beta[LANES.next[0][s]];
+            let gb1 = (LANES.sign_next[1][s] * hp - hu) + beta[LANES.next[1][s]];
+            new_beta[s] = gb0.max(gb1);
+            m0[s] = arow[s] + gb0;
+            m1[s] = arow[s] + gb1;
+        }
+        out[i] = hmax8(m0) - hmax8(m1);
+        beta = new_beta;
+    }
+}
+
+/// Explicit AVX2 tier: the 8 state metrics live in one `__m256`, the
+/// trellis permutations become `vpermps`, and the paired LLR reduction
+/// shares shuffles between `best0` and `best1`. Same operations in the
+/// same order as [`map_decode_lanes`], hence bit-exact with it.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    #![allow(unsafe_code)]
+
+    use super::{tail_betas, LANES, NEG_INF, NUM_STATES, TAIL_STEPS};
+    use core::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2")]
+    fn idx(p: &[usize; NUM_STATES]) -> __m256i {
+        _mm256_setr_epi32(
+            p[0] as i32,
+            p[1] as i32,
+            p[2] as i32,
+            p[3] as i32,
+            p[4] as i32,
+            p[5] as i32,
+            p[6] as i32,
+            p[7] as i32,
+        )
+    }
+
+    /// # Safety
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn map_decode(
+        sys: &[f32],
+        sys_tail: &[f32; TAIL_STEPS],
+        par: &[f32],
+        par_tail: &[f32; TAIL_STEPS],
+        apriori: &[f32],
+        out: &mut [f32],
+        alpha: &mut Vec<f32>,
+    ) {
+        let k = sys.len();
+        debug_assert_eq!(par.len(), k);
+        debug_assert_eq!(apriori.len(), k);
+        debug_assert_eq!(out.len(), k);
+
+        alpha.clear();
+        alpha.resize((k + 1) * NUM_STATES, NEG_INF);
+        alpha[0] = 0.0;
+
+        let ip0 = idx(&LANES.prev[0]);
+        let ip1 = idx(&LANES.prev[1]);
+        // SAFETY: the sign tables are 8 contiguous f32s.
+        let (sp0, sp1) = unsafe {
+            (
+                _mm256_loadu_ps(LANES.sign_prev[0].as_ptr()),
+                _mm256_loadu_ps(LANES.sign_prev[1].as_ptr()),
+            )
+        };
+        let ap = alpha.as_mut_ptr();
+        for i in 0..k {
+            let hu = 0.5 * (sys[i] + apriori[i]);
+            let hp = 0.5 * par[i];
+            let hu_v = _mm256_set1_ps(hu);
+            let hp_v = _mm256_set1_ps(hp);
+            let g0 = _mm256_add_ps(hu_v, _mm256_mul_ps(sp0, hp_v));
+            let g1 = _mm256_sub_ps(_mm256_mul_ps(sp1, hp_v), hu_v);
+            // SAFETY: rows i and i+1 are in bounds of the (k+1)·8 buffer.
+            unsafe {
+                let cur = _mm256_loadu_ps(ap.add(i * NUM_STATES));
+                let a0 = _mm256_permutevar8x32_ps(cur, ip0);
+                let a1 = _mm256_permutevar8x32_ps(cur, ip1);
+                let nxt = _mm256_max_ps(_mm256_add_ps(a0, g0), _mm256_add_ps(a1, g1));
+                _mm256_storeu_ps(ap.add((i + 1) * NUM_STATES), nxt);
             }
         }
-        out[i] = best0 - best1;
-        beta = new_beta;
+
+        let in0 = idx(&LANES.next[0]);
+        let in1 = idx(&LANES.next[1]);
+        // SAFETY: 8 contiguous f32s each.
+        let (sn0, sn1, mut beta) = unsafe {
+            (
+                _mm256_loadu_ps(LANES.sign_next[0].as_ptr()),
+                _mm256_loadu_ps(LANES.sign_next[1].as_ptr()),
+                _mm256_loadu_ps(tail_betas(sys_tail, par_tail).as_ptr()),
+            )
+        };
+        for i in (0..k).rev() {
+            let hu = 0.5 * (sys[i] + apriori[i]);
+            let hp = 0.5 * par[i];
+            let hu_v = _mm256_set1_ps(hu);
+            let hp_v = _mm256_set1_ps(hp);
+            let gb0 = _mm256_add_ps(
+                _mm256_add_ps(hu_v, _mm256_mul_ps(sn0, hp_v)),
+                _mm256_permutevar8x32_ps(beta, in0),
+            );
+            let gb1 = _mm256_add_ps(
+                _mm256_sub_ps(_mm256_mul_ps(sn1, hp_v), hu_v),
+                _mm256_permutevar8x32_ps(beta, in1),
+            );
+            // SAFETY: row i is in bounds.
+            let arow = unsafe { _mm256_loadu_ps(ap.add(i * NUM_STATES)) };
+            let m0 = _mm256_add_ps(arow, gb0);
+            let m1 = _mm256_add_ps(arow, gb1);
+            beta = _mm256_max_ps(gb0, gb1);
+            // Paired horizontal max: after the three shuffle/max rounds,
+            // lane 0 holds hmax(m0) and lane 4 holds hmax(m1), with the
+            // exact reduction tree of `hmax8`.
+            let lo = _mm256_permute2f128_ps(m0, m1, 0x20);
+            let hi = _mm256_permute2f128_ps(m0, m1, 0x31);
+            let a = _mm256_max_ps(lo, hi);
+            let b = _mm256_max_ps(a, _mm256_shuffle_ps(a, a, 0b0100_1110));
+            let c = _mm256_max_ps(b, _mm256_shuffle_ps(b, b, 0b1011_0001));
+            let best0 = _mm_cvtss_f32(_mm256_castps256_ps128(c));
+            let best1 = _mm_cvtss_f32(_mm256_extractf128_ps(c, 1));
+            out[i] = best0 - best1;
+        }
     }
 }
 
@@ -290,6 +489,9 @@ impl TurboDecoder {
             bits,
         } = ws;
 
+        // Resolve the SIMD tier once per decode, not per constituent pass.
+        let tier = simd::active_tier();
+
         self.qpp.interleave_into(sys, sys2);
         le21.clear();
         le21.resize(k, 0.0);
@@ -302,13 +504,13 @@ impl TurboDecoder {
 
         for it in 1..=max_iters {
             // DEC1 on natural order.
-            map_decode(sys, &xt1, par1, &zt1, le21, l1, alpha);
+            map_decode(sys, &xt1, par1, &zt1, le21, l1, alpha, tier);
             le12.clear();
             le12.extend((0..k).map(|i| clamp_scale(l1[i] - sys[i] - le21[i])));
 
             // DEC2 on interleaved order.
             self.qpp.interleave_into(le12, a2);
-            map_decode(sys2, &xt2, par2, &zt2, a2, l2, alpha);
+            map_decode(sys2, &xt2, par2, &zt2, a2, l2, alpha, tier);
             le21_il.clear();
             le21_il.extend((0..k).map(|i| clamp_scale(l2[i] - sys2[i] - a2[i])));
             self.qpp.deinterleave_into(le21_il, le21);
@@ -475,5 +677,129 @@ mod tests {
     fn zero_iters_panics() {
         let dec = TurboDecoder::new(40);
         dec.decode(&[0.0; 44], &[0.0; 44], &[0.0; 44], 0, |_| true);
+    }
+
+    /// The pre-vectorization per-state/per-input scalar MAP pass, kept
+    /// verbatim as the reference the lane-form tiers are verified against.
+    fn map_decode_reference(
+        sys: &[f32],
+        sys_tail: &[f32; TAIL_STEPS],
+        par: &[f32],
+        par_tail: &[f32; TAIL_STEPS],
+        apriori: &[f32],
+        out: &mut [f32],
+        alpha: &mut Vec<f32>,
+    ) {
+        let k = sys.len();
+        alpha.clear();
+        alpha.resize((k + 1) * NUM_STATES, NEG_INF);
+        alpha[0] = 0.0;
+        for i in 0..k {
+            let hu = 0.5 * (sys[i] + apriori[i]);
+            let hp = 0.5 * par[i];
+            let g = [[hu + hp, hu - hp], [hp - hu, -hu - hp]];
+            let (cur, nxt) = alpha[i * NUM_STATES..(i + 2) * NUM_STATES].split_at_mut(NUM_STATES);
+            for s in 0..NUM_STATES {
+                let a = cur[s];
+                if a <= NEG_INF {
+                    continue;
+                }
+                for u in 0..2usize {
+                    let p = TRELLIS.parity[s][u] as usize;
+                    let ns = TRELLIS.next[s][u] as usize;
+                    nxt[ns] = nxt[ns].max(a + g[u][p]);
+                }
+            }
+        }
+        let mut beta = tail_betas(sys_tail, par_tail);
+        for i in (0..k).rev() {
+            let hu = 0.5 * (sys[i] + apriori[i]);
+            let hp = 0.5 * par[i];
+            let g = [[hu + hp, hu - hp], [hp - hu, -hu - hp]];
+            let mut best0 = NEG_INF;
+            let mut best1 = NEG_INF;
+            let mut new_beta = [NEG_INF; NUM_STATES];
+            let arow = &alpha[i * NUM_STATES..(i + 1) * NUM_STATES];
+            for s in 0..NUM_STATES {
+                let a = arow[s];
+                for u in 0..2usize {
+                    let p = TRELLIS.parity[s][u] as usize;
+                    let ns = TRELLIS.next[s][u] as usize;
+                    let b = beta[ns];
+                    let gb = g[u][p] + b;
+                    new_beta[s] = new_beta[s].max(gb);
+                    if a <= NEG_INF || b <= NEG_INF {
+                        continue;
+                    }
+                    let m = a + gb;
+                    if u == 0 {
+                        best0 = best0.max(m);
+                    } else {
+                        best1 = best1.max(m);
+                    }
+                }
+            }
+            out[i] = best0 - best1;
+            beta = new_beta;
+        }
+    }
+
+    fn random_llrs(n: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-20.0f32..20.0)).collect()
+    }
+
+    /// One random MAP-pass input set plus its reference output.
+    #[allow(clippy::type_complexity)]
+    fn map_case(
+        k: usize,
+        seed: u64,
+    ) -> (Vec<f32>, [f32; 3], Vec<f32>, [f32; 3], Vec<f32>, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sys = random_llrs(k, &mut rng);
+        let par = random_llrs(k, &mut rng);
+        let apriori = random_llrs(k, &mut rng);
+        let st: [f32; 3] = std::array::from_fn(|_| rng.gen_range(-20.0f32..20.0));
+        let pt: [f32; 3] = std::array::from_fn(|_| rng.gen_range(-20.0f32..20.0));
+        let mut expect = vec![0.0f32; k];
+        let mut alpha = Vec::new();
+        map_decode_reference(&sys, &st, &par, &pt, &apriori, &mut expect, &mut alpha);
+        (sys, st, par, pt, apriori, expect)
+    }
+
+    #[test]
+    fn lane_form_is_bit_exact_vs_reference() {
+        for (k, seed) in [(40usize, 1u64), (104, 2), (512, 3), (1024, 4)] {
+            let (sys, st, par, pt, apriori, expect) = map_case(k, seed);
+            let mut got = vec![0.0f32; k];
+            let mut alpha = Vec::new();
+            map_decode_lanes(&sys, &st, &par, &pt, &apriori, &mut got, &mut alpha);
+            assert_eq!(got, expect, "k={k} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn avx2_tier_is_bit_exact_vs_lane_form() {
+        if simd::detected_tier() != SimdTier::Avx2 {
+            eprintln!("skipping: AVX2 not available, lane-form tier already covered");
+            return;
+        }
+        for (k, seed) in [(40usize, 5u64), (104, 6), (512, 7), (2048, 8)] {
+            let (sys, st, par, pt, apriori, _) = map_case(k, seed);
+            let mut lanes = vec![0.0f32; k];
+            let mut intr = vec![0.0f32; k];
+            let mut alpha = Vec::new();
+            map_decode_lanes(&sys, &st, &par, &pt, &apriori, &mut lanes, &mut alpha);
+            map_decode(
+                &sys,
+                &st,
+                &par,
+                &pt,
+                &apriori,
+                &mut intr,
+                &mut alpha,
+                SimdTier::Avx2,
+            );
+            assert_eq!(intr, lanes, "k={k} seed={seed}");
+        }
     }
 }

@@ -9,13 +9,14 @@
 //!
 //! ## Time dilation
 //!
-//! The clarity-first Rust PHY is ~10× slower than the paper's vectorized
-//! OAI build, so running a 1 ms cadence at 10 MHz is not meaningful on
-//! this substrate. The node instead runs a configurable subframe period
-//! (default: 1.4 MHz bandwidth at a 1.5 ms period) with every deadline
-//! scaled identically (`budget = 2·period − rtt_half`). All *ratios* —
-//! processing time vs. budget, gap sizes vs. migration cost — stay
-//! faithful; `DESIGN.md` records this substitution.
+//! The Rust PHY is slower than the paper's hand-vectorized OAI build at
+//! wide bandwidths, so running a 1 ms cadence at 10 MHz is not meaningful
+//! on this substrate. The node instead runs a configurable subframe period
+//! (default: 1.4 MHz bandwidth at the true 1 ms LTE period, sustainable
+//! since the kernels were SIMD-vectorized) with every deadline scaled
+//! identically (`budget = 2·period − rtt_half`). All *ratios* — processing
+//! time vs. budget, gap sizes vs. migration cost — stay faithful;
+//! `DESIGN.md` records this substitution.
 
 use crate::affinity::pin_current_thread;
 use crate::migrate::{Envelope, ResultFlag};
@@ -35,7 +36,7 @@ use rtopex_phy::Cf32;
 use rtopex_workload::{load_to_mcs, LoadTrace, TraceParams};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Configuration of a node run.
@@ -66,17 +67,18 @@ pub struct NodeConfig {
 }
 
 impl NodeConfig {
-    /// A demo run: 2 basestations, 1.4 MHz, 2 antennas, 1.5 ms period,
-    /// RT-OPEX enabled. (The period was 2.5 ms before the PHY hot path
-    /// went allocation-free; the workspace-arena decode sustains the
-    /// tighter cadence with slack — see `EXPERIMENTS.md`.)
+    /// A demo run: 2 basestations, 1.4 MHz, 2 antennas, 1 ms period (the
+    /// real LTE subframe cadence), RT-OPEX enabled. (The period was 2.5 ms
+    /// before the PHY hot path went allocation-free and 1.5 ms before the
+    /// kernels were vectorized; the SIMD decode sustains the true cadence
+    /// with slack at this bandwidth — see `EXPERIMENTS.md`.)
     pub fn demo() -> Self {
         NodeConfig {
             bandwidth: Bandwidth::Mhz1_4,
             num_antennas: 2,
             num_bs: 2,
             subframes: 200,
-            period: Duration::from_micros(1_500),
+            period: Duration::from_micros(1_000),
             rtt_half: Duration::from_micros(1_000),
             migrate: true,
             snr_db: 30.0,
@@ -211,19 +213,22 @@ impl<'a> Shared<'a> {
         self.release_instant(j)
     }
 
-    /// Idle-core candidates for Algorithm 1 at `now` (free time in ns).
-    fn idle_cores(&self, now: Instant, me: usize) -> Vec<(usize, Nanos)> {
-        let mut v: Vec<(usize, Nanos)> = (0..self.inboxes.len())
-            .filter(|&c| c != me)
-            .filter(|&c| self.idle[c].load(Ordering::Acquire))
-            .map(|c| {
-                let window = self.next_release(c, now).saturating_duration_since(now);
-                (c, Nanos(window.as_nanos() as u64))
-            })
-            .filter(|&(_, w)| w > Nanos::ZERO)
-            .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        v
+    /// Idle-core candidates for Algorithm 1 at `now` (free time in ns),
+    /// written into the caller's scratch vector so the per-subframe hot
+    /// path performs no allocation once the scratch has grown.
+    fn idle_cores_into(&self, now: Instant, me: usize, out: &mut Vec<(usize, Nanos)>) {
+        out.clear();
+        for c in 0..self.inboxes.len() {
+            if c == me || !self.idle[c].load(Ordering::Acquire) {
+                continue;
+            }
+            let window = self.next_release(c, now).saturating_duration_since(now);
+            let w = Nanos(window.as_nanos() as u64);
+            if w > Nanos::ZERO {
+                out.push((c, w));
+            }
+        }
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     }
 
     fn push_migrated(&self, host: usize, env: Envelope<'a>) {
@@ -280,37 +285,50 @@ impl CranNode {
             .collect()
     }
 
-    /// Measures per-stage execution on this machine (one serial decode per
-    /// pool entry) so Algorithm 1 has deterministic `tp` estimates.
+    /// Measures per-stage execution on this machine so Algorithm 1 has
+    /// deterministic `tp` estimates. Each pool entry is decoded serially
+    /// three times and the per-stage **median** is kept: a single trial is
+    /// vulnerable to a cold cache or a scheduler hiccup inflating an
+    /// estimate, which would then bias every migration decision of the run.
     fn calibrate(pool: &[Prepared]) -> Calib {
+        const TRIALS: usize = 3;
         let mut calib = Calib::default();
         let mut fft_batches = Samples::new();
         for p in pool {
-            let mut job = p.rx.start_job(&p.samples).expect("job");
-            let t0 = Instant::now();
-            for i in 0..job.fft_subtask_count() {
-                let out = job.run_fft_subtask(i);
-                job.absorb_fft(out);
+            let mut fft_trials = Samples::new();
+            let mut demod_trials = Samples::new();
+            let mut dec_trials = Samples::new();
+            let mut blocks = 1usize;
+            for _ in 0..TRIALS {
+                let mut job = p.rx.start_job(&p.samples).expect("job");
+                let t0 = Instant::now();
+                for i in 0..job.fft_subtask_count() {
+                    let out = job.run_fft_subtask(i);
+                    job.absorb_fft(out);
+                }
+                let fft_us = t0.elapsed().as_secs_f64() * 1e6;
+                fft_trials.push(fft_us / p.samples.len() as f64);
+                job.finish_fft();
+                let t1 = Instant::now();
+                for i in 0..job.demod_subtask_count() {
+                    let out = job.run_demod_subtask(i);
+                    job.absorb_demod(out);
+                }
+                demod_trials.push(t1.elapsed().as_secs_f64() * 1e6);
+                let t2 = Instant::now();
+                blocks = job.decode_subtask_count();
+                for r in 0..blocks {
+                    let out = job.run_decode_subtask(r);
+                    job.absorb_decode(out);
+                }
+                dec_trials.push(t2.elapsed().as_secs_f64() * 1e6);
+                let _ = job.finish();
             }
-            let fft_us = t0.elapsed().as_secs_f64() * 1e6;
-            fft_batches.push(fft_us / p.samples.len() as f64);
-            job.finish_fft();
-            let t1 = Instant::now();
-            for i in 0..job.demod_subtask_count() {
-                let out = job.run_demod_subtask(i);
-                job.absorb_demod(out);
-            }
-            calib.demod_us.push(t1.elapsed().as_secs_f64() * 1e6);
-            let t2 = Instant::now();
-            let blocks = job.decode_subtask_count();
-            for r in 0..blocks {
-                let out = job.run_decode_subtask(r);
-                job.absorb_decode(out);
-            }
-            let dec_us = t2.elapsed().as_secs_f64() * 1e6;
+            fft_batches.push(fft_trials.median());
+            calib.demod_us.push(demod_trials.median());
+            let dec_us = dec_trials.median();
             calib.decode_total_us.push(dec_us);
             calib.decode_block_us.push(dec_us / blocks as f64);
-            let _ = job.finish();
         }
         calib.fft_batch_us = fft_batches.mean();
         calib
@@ -432,6 +450,9 @@ fn worker_loop<'a>(me: usize, shared: &Shared<'a>, pool: &'a [Prepared]) {
             ws.warm(p.rx.config());
         }
     });
+    // Reused by every Algorithm 1 invocation on this worker (idle-core
+    // candidate list); grows once, never reallocates afterwards.
+    let mut idle_scratch: Vec<(usize, Nanos)> = Vec::with_capacity(shared.inboxes.len());
     loop {
         let work = {
             let mut st = shared.inboxes[me].state.lock();
@@ -451,7 +472,7 @@ fn worker_loop<'a>(me: usize, shared: &Shared<'a>, pool: &'a [Prepared]) {
             }
         };
         match work {
-            Work::Own(job) => process_subframe(me, shared, &job),
+            Work::Own(job) => process_subframe(me, shared, &job, &mut idle_scratch),
             Work::Migrated(env) => env.run(),
             Work::Shutdown => return,
         }
@@ -473,6 +494,7 @@ fn parallel_stage<'a>(
     run_local: &mut dyn FnMut(usize),
     make_remote: &dyn Fn(usize) -> (Envelope<'a>, ResultFlag),
     recover: &mut dyn FnMut(usize),
+    idle_scratch: &mut Vec<(usize, Nanos)>,
 ) {
     if !shared.cfg.migrate || count <= 1 {
         for i in 0..count {
@@ -484,12 +506,12 @@ fn parallel_stage<'a>(
         return;
     }
     let now = Instant::now();
-    let idle = shared.idle_cores(now, me);
+    shared.idle_cores_into(now, me, idle_scratch);
     let plan = plan_migration(
         count,
         Nanos::from_us_f64(tp_us),
         Nanos::from_us_f64(shared.cfg.delta_us),
-        &idle,
+        idle_scratch,
     );
     // Owner keeps the first `local` subtasks; batches take the tail.
     let mut next = plan.local;
@@ -522,7 +544,12 @@ fn parallel_stage<'a>(
     }
 }
 
-fn process_subframe<'a>(me: usize, shared: &Shared<'a>, job: &OwnJob<'a>) {
+fn process_subframe<'a>(
+    me: usize,
+    shared: &Shared<'a>,
+    job: &OwnJob<'a>,
+    idle_scratch: &mut Vec<(usize, Nanos)>,
+) {
     let cfg = shared.cfg;
     let prepared = job.prepared;
     let started = Instant::now();
@@ -587,6 +614,7 @@ fn process_subframe<'a>(me: usize, shared: &Shared<'a>, job: &OwnJob<'a>) {
             &mut run_local,
             &make_remote,
             &mut recover,
+            idle_scratch,
         );
         for outs in absorbed {
             for o in outs {
@@ -630,26 +658,32 @@ fn process_subframe<'a>(me: usize, shared: &Shared<'a>, job: &OwnJob<'a>) {
     let blocks = phy_job.decode_subtask_count();
     let dec_slots: Arc<Vec<Mutex<Option<BlockOut>>>> =
         Arc::new((0..blocks).map(|_| Mutex::new(None)).collect());
-    let llrs: Arc<Vec<f32>> = Arc::new(phy_job.coded_llrs().to_vec());
+    // The shareable LLR snapshot is built lazily, on the first envelope
+    // Algorithm 1 actually ships: a subframe that stays local (the common
+    // case) never pays the copy.
+    let llr_cache: OnceLock<Arc<Vec<f32>>> = OnceLock::new();
     {
         let rx = &prepared.rx;
+        let phy_job_ref = &phy_job;
         let mut local_outs: Vec<BlockOut> = Vec::new();
         let mut run_local = |r: usize| {
-            local_outs.push(phy_job.run_decode_subtask(r));
+            local_outs.push(phy_job_ref.run_decode_subtask(r));
         };
         let make_remote = |r: usize| {
+            let llrs =
+                Arc::clone(llr_cache.get_or_init(|| Arc::new(phy_job_ref.coded_llrs().to_vec())));
             let slots = Arc::clone(&dec_slots);
-            let llrs = Arc::clone(&llrs);
             Envelope::new(move || {
                 let out = rx.run_decode_subtask_on(&llrs, r);
                 *slots[r].lock() = Some(out);
             })
         };
-        let dec_slots_rec = Arc::clone(&dec_slots);
-        let llrs_rec = Arc::clone(&llrs);
-        let mut recover = move |r: usize| {
-            let out = rx.run_decode_subtask_on(&llrs_rec, r);
-            *dec_slots_rec[r].lock() = Some(out);
+        let mut recover = |r: usize| {
+            let llrs = llr_cache
+                .get()
+                .expect("recovery implies a migration happened");
+            let out = rx.run_decode_subtask_on(llrs, r);
+            *dec_slots[r].lock() = Some(out);
         };
         parallel_stage(
             me,
@@ -661,6 +695,7 @@ fn process_subframe<'a>(me: usize, shared: &Shared<'a>, job: &OwnJob<'a>) {
             &mut run_local,
             &make_remote,
             &mut recover,
+            idle_scratch,
         );
         for out in local_outs {
             phy_job.absorb_decode(out);
@@ -737,7 +772,7 @@ mod tests {
     #[test]
     fn budget_math() {
         let cfg = NodeConfig::demo();
-        assert_eq!(cfg.budget(), Duration::from_micros(2_000));
+        assert_eq!(cfg.budget(), Duration::from_micros(1_000));
         assert_eq!(cfg.total_cores(), 4);
     }
 
