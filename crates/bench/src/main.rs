@@ -26,6 +26,8 @@ use rtopex_phy::Cf32;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+mod node;
+
 /// Measured mean for one kernel.
 struct Entry {
     name: &'static str,
@@ -199,8 +201,21 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--node") {
+        let quick = args.iter().any(|a| a == "--quick");
+        let path = args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_node.json".to_string());
+        node::run(quick, &path);
+        return;
+    }
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "BENCH_kernels.json".to_string());
     let tier = format!("{:?}", simd::detected_tier()).to_lowercase();
     let mut entries = Vec::new();

@@ -18,6 +18,9 @@
 //! * [`cpu_state`] — the shared per-core activity table RT-OPEX polls to
 //!   find idle cycles and their remaining duration;
 //! * [`state`] — the processing-thread state machine of Fig. 12;
+//! * [`steal`] — lock-free work-stealing migration: a bounded Chase–Lev
+//!   deque of subtask tickets plus the steal-time δ admission guard (the
+//!   contention-free form of Algorithm 1's "migrate to idle cores");
 //! * [`metrics`] — deadline-miss, gap, and migration accounting
 //!   (the raw material of Figs. 15–19).
 
@@ -31,10 +34,12 @@ pub mod metrics;
 pub mod migration;
 pub mod partitioned;
 pub mod state;
+pub mod steal;
 pub mod task;
 pub mod time;
 
 pub use budget::Budget;
 pub use migration::{plan_migration, MigrationPlan};
+pub use steal::{steal_pair, AdmissionPolicy, DeltaGuard, Steal, Stealer, Worker};
 pub use task::{StageProfile, SubframeTask, TaskProfile};
 pub use time::Nanos;

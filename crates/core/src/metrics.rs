@@ -45,6 +45,22 @@ impl DeadlineMetrics {
     pub fn total_subframes(&self) -> u64 {
         self.overall().total()
     }
+
+    /// Merges another accumulator with the same basestation count
+    /// (per-worker metrics merged at the end of a run).
+    ///
+    /// # Panics
+    /// Panics on a basestation-count mismatch.
+    pub fn merge(&mut self, other: &DeadlineMetrics) {
+        assert_eq!(
+            self.per_bs.len(),
+            other.per_bs.len(),
+            "merging metrics for different cell counts"
+        );
+        for (a, b) in self.per_bs.iter_mut().zip(&other.per_bs) {
+            a.merge(b);
+        }
+    }
 }
 
 /// Distribution of idle gaps on partitioned cores (Fig. 16, left).

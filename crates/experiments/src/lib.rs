@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod cluster_scale;
 pub mod common;
 pub mod discussion;
 pub mod fig01;

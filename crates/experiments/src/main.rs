@@ -25,6 +25,7 @@ EXPERIMENTS:
   fig17     deadline-miss vs offered load         (Fig. 17)
   fig18     local vs migrated subtask times       (Fig. 18)
   fig19     global scheduler vs core count        (Fig. 19)
+  cluster   cells sustained per host, real threads (Figs. 17/18 consolidation)
   table2    qualitative comparison matrix         (Table 2)
   discussion §5 claims: spare cores, core failure, load surges
   ablations delta / policy / recovery / cache ablations
@@ -59,6 +60,7 @@ fn main() {
         "fig17" => fig17::run(&opts),
         "fig18" => fig18::run(&opts),
         "fig19" => fig19::run(&opts),
+        "cluster" => cluster_scale::run(&opts),
         "table2" => table2::run(&opts),
         "discussion" => discussion::run(&opts),
         "ablations" => ablations::run(&opts),
@@ -81,6 +83,7 @@ fn main() {
             fig17::run(&opts);
             fig18::run(&opts);
             fig19::run(&opts);
+            cluster_scale::run(&opts);
             table2::run(&opts);
             discussion::run(&opts);
             ablations::run(&opts);

@@ -14,7 +14,7 @@ use crate::resource_grid::Grid;
 use crate::simd::{self, SimdTier};
 
 /// Channel state estimated from one subframe's DMRS.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ChannelEstimate {
     /// Per-antenna, per-subcarrier channel gains, `h[antenna][subcarrier]`.
     pub h: Vec<Vec<Cf32>>,

@@ -561,27 +561,73 @@ impl UplinkRx {
     /// # Panics
     /// Panics if `i` is out of range for the configured antenna count.
     pub fn run_fft_subtask_on(&self, rx_samples: &[Vec<Cf32>], i: usize) -> FftOut {
+        // The output row is owned (it crosses threads on migration), but
+        // the FFT scratch comes from this thread's workspace.
+        let mut row = Vec::new();
+        self.run_fft_subtask_into(rx_samples, i, &mut row);
+        FftOut {
+            antenna: i / SYMBOLS_PER_SUBFRAME,
+            symbol: i % SYMBOLS_PER_SUBFRAME,
+            row,
+        }
+    }
+
+    /// [`UplinkRx::run_fft_subtask_on`] into a caller-owned row buffer —
+    /// no allocation once `row` has capacity. This is the form the
+    /// work-stealing runtime uses: a thief demodulates straight into a
+    /// preallocated slot in the owner's arena.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range for the configured antenna count.
+    pub fn run_fft_subtask_into(&self, rx_samples: &[Vec<Cf32>], i: usize, row: &mut Vec<Cf32>) {
         let count = self.cfg.breakdown().fft;
         assert!(i < count, "fft subtask {i} out of range");
         let antenna = i / SYMBOLS_PER_SUBFRAME;
         let symbol = i % SYMBOLS_PER_SUBFRAME;
-        // The output row is owned (it crosses threads on migration), but
-        // the FFT scratch comes from this thread's workspace.
-        let mut row = vec![Cf32::ZERO; self.cfg.bandwidth.num_subcarriers()];
+        row.clear();
+        row.resize(self.cfg.bandwidth.num_subcarriers(), Cf32::ZERO);
         workspace::with_thread_workspace(|ws| {
             self.ofdm.demod_symbol_into(
                 &rx_samples[antenna],
                 symbol,
-                &mut row,
+                row,
                 &mut ws.time,
                 &mut ws.fft_scratch,
             );
         });
-        FftOut {
-            antenna,
-            symbol,
-            row,
-        }
+    }
+
+    /// Runs one antenna's full 14-symbol FFT batch — the node's FFT
+    /// migration unit — into `out` as 14 back-to-back subcarrier rows
+    /// (`out.len() == 14 × num_subcarriers`). Allocation-free once `out`
+    /// has grown; this is what a thief executes into a slot arena.
+    ///
+    /// # Panics
+    /// Panics if `antenna` is out of range.
+    pub fn run_fft_batch_into(
+        &self,
+        rx_samples: &[Vec<Cf32>],
+        antenna: usize,
+        out: &mut Vec<Cf32>,
+    ) {
+        assert!(
+            antenna < self.cfg.num_antennas,
+            "antenna {antenna} out of range"
+        );
+        let nsc = self.cfg.bandwidth.num_subcarriers();
+        out.clear();
+        out.resize(SYMBOLS_PER_SUBFRAME * nsc, Cf32::ZERO);
+        workspace::with_thread_workspace(|ws| {
+            for (symbol, row) in out.chunks_exact_mut(nsc).enumerate() {
+                self.ofdm.demod_symbol_into(
+                    &rx_samples[antenna],
+                    symbol,
+                    row,
+                    &mut ws.time,
+                    &mut ws.fft_scratch,
+                );
+            }
+        });
     }
 
     /// Runs one decode subtask against a complete coded-LLR stream — the
@@ -590,6 +636,30 @@ impl UplinkRx {
     /// # Panics
     /// Panics if `r` is out of range or `llrs` has the wrong length.
     pub fn run_decode_subtask_on(&self, llrs: &[f32], r: usize) -> BlockOut {
+        let mut bits = Vec::new();
+        let (iterations, crc_ok) = self.run_decode_subtask_into(llrs, r, &mut bits);
+        BlockOut {
+            index: r,
+            crc_ok,
+            // Owned copy: the result crosses threads on migration.
+            bits,
+            iterations,
+        }
+    }
+
+    /// [`UplinkRx::run_decode_subtask_on`] into a caller-owned bit buffer,
+    /// returning `(iterations, crc_ok)` — no allocation once `bits` has
+    /// capacity. Thieves in the work-stealing runtime decode into a
+    /// preallocated [`BlockBuf`] slot in the owner's arena.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range or `llrs` has the wrong length.
+    pub fn run_decode_subtask_into(
+        &self,
+        llrs: &[f32],
+        r: usize,
+        bits: &mut Vec<u8>,
+    ) -> (usize, bool) {
         let cfg = &self.cfg;
         assert!(r < cfg.seg.num_blocks, "decode subtask {r} out of range");
         assert_eq!(llrs.len(), cfg.coded_bits(), "coded LLR stream length");
@@ -623,13 +693,9 @@ impl UplinkRx {
                 },
                 &mut ws.turbo,
             );
-            BlockOut {
-                index: r,
-                crc_ok,
-                // Owned copy: the result crosses threads on migration.
-                bits: ws.turbo.bits.clone(),
-                iterations,
-            }
+            bits.clear();
+            bits.extend_from_slice(&ws.turbo.bits);
+            (iterations, crc_ok)
         })
     }
 
@@ -1042,6 +1108,406 @@ impl<'a> SubframeJob<'a> {
     }
 }
 
+/// Reusable result buffer for one migrated decode subtask: the
+/// allocation-free counterpart of [`BlockOut`], owned by a slot arena and
+/// refilled in place by [`UplinkRx::run_decode_subtask_into`].
+#[derive(Clone, Debug, Default)]
+pub struct BlockBuf {
+    /// Hard-decision bits of the block (length `K_r`).
+    pub bits: Vec<u8>,
+    /// Turbo iterations used.
+    pub iterations: usize,
+    /// Per-block CRC outcome.
+    pub crc_ok: bool,
+}
+
+impl BlockBuf {
+    /// An empty buffer; grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-grows the bit buffer for any block of `cfg`.
+    pub fn warm(&mut self, cfg: &UplinkConfig) {
+        let want = cfg.seg.k_plus;
+        self.bits.reserve(want.saturating_sub(self.bits.len()));
+    }
+}
+
+/// Preallocated per-subframe state backing a [`SlabJob`] — the
+/// allocation-free counterpart of the buffers [`UplinkRx::start_job`]
+/// allocates per call. A runtime worker keeps one slab per core, warms it
+/// once for every configuration it will see, and reuses it for every
+/// subframe: the steady-state staged decode then performs **zero heap
+/// allocations**, matching `decode_subframe_with`.
+#[derive(Debug, Default)]
+pub struct JobSlab {
+    grids: Vec<Grid>,
+    est: ChannelEstimate,
+    llrs: Vec<f32>,
+    block_bits: Vec<Vec<u8>>,
+    block_iters: Vec<usize>,
+    block_crc: Vec<bool>,
+    block_done: Vec<bool>,
+    tb: Vec<u8>,
+    tb_oks: Vec<bool>,
+    payload: Vec<u8>,
+}
+
+impl JobSlab {
+    /// An empty slab; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the slab for `cfg` (grids rebuilt only on a bandwidth or
+    /// antenna-count change; everything else grow-only).
+    fn prepare(&mut self, cfg: &UplinkConfig) {
+        let rebuild = self.grids.len() != cfg.num_antennas
+            || self
+                .grids
+                .first()
+                .is_some_and(|g| g.bandwidth() != cfg.bandwidth);
+        if rebuild {
+            self.grids = vec![Grid::new(cfg.bandwidth); cfg.num_antennas];
+        }
+        let c = cfg.seg.num_blocks;
+        while self.block_bits.len() < c {
+            self.block_bits.push(Vec::new());
+        }
+        self.llrs.clear();
+        self.llrs.resize(cfg.coded_bits(), 0.0);
+        self.block_iters.clear();
+        self.block_iters.resize(c, 0);
+        self.block_crc.clear();
+        self.block_crc.resize(c, false);
+        self.block_done.clear();
+        self.block_done.resize(c, false);
+    }
+
+    /// Pre-grows every buffer to the steady-state size of `cfg`, so later
+    /// [`UplinkRx::start_job_in`] cycles with this configuration (or any
+    /// smaller one) perform no heap allocation.
+    pub fn warm(&mut self, cfg: &UplinkConfig) {
+        self.prepare(cfg);
+        let m = cfg.alloc_subcarriers();
+        let seg = &cfg.seg;
+        let c = seg.num_blocks;
+        for (r, bits) in self.block_bits.iter_mut().enumerate().take(c) {
+            let want = seg.block_size(r);
+            bits.reserve(want.saturating_sub(bits.len()));
+        }
+        let grow = |v: &mut Vec<u8>, n: usize| v.reserve(n.saturating_sub(v.len()));
+        grow(&mut self.tb, seg.input_bits);
+        grow(&mut self.payload, cfg.transport_block_bytes());
+        self.tb_oks.reserve(c.saturating_sub(self.tb_oks.len()));
+        while self.est.h.len() < cfg.num_antennas {
+            self.est.h.push(Vec::new());
+        }
+        for ha in self.est.h.iter_mut().take(cfg.num_antennas) {
+            ha.reserve(m.saturating_sub(ha.len()));
+        }
+    }
+
+    /// The recovered payload bytes of the last finished job.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Per-block turbo iteration counts of the last finished job.
+    pub fn block_iterations(&self) -> &[usize] {
+        &self.block_iters
+    }
+
+    /// Per-block CRC outcomes of the last finished job.
+    pub fn block_crc_ok(&self) -> &[bool] {
+        &self.block_crc
+    }
+}
+
+/// Compact outcome of a slab-backed staged decode: the ACK/NACK decision
+/// plus iteration accounting. The payload stays in the slab
+/// ([`JobSlab::payload`]) — nothing is allocated.
+#[derive(Clone, Copy, Debug)]
+pub struct SlabVerdict {
+    /// Transport-block CRC24A result — the ACK/NACK decision.
+    pub crc_ok: bool,
+    /// Total turbo iterations across code blocks.
+    pub total_iterations: usize,
+}
+
+/// The allocation-free staged decode: same stage/subtask structure as
+/// [`SubframeJob`] (Fig. 5), but every intermediate buffer lives in a
+/// caller-owned [`JobSlab`]. Local subtasks write straight into the slab;
+/// migrated subtasks run via the `_into` kernels on the thief's thread
+/// into arena slots the owner absorbs with `absorb_*`.
+pub struct SlabJob<'a> {
+    rx: &'a UplinkRx,
+    samples: &'a [Vec<Cf32>],
+    slab: &'a mut JobSlab,
+    fft_done: usize,
+    demod_done: usize,
+}
+
+impl UplinkRx {
+    /// Starts a staged decode whose buffers come from `slab` — the
+    /// allocation-free form of [`UplinkRx::start_job`].
+    ///
+    /// # Errors
+    /// Returns [`PhyError::LengthMismatch`] on an antenna-stream or
+    /// sample-count mismatch.
+    pub fn start_job_in<'a>(
+        &'a self,
+        rx_samples: &'a [Vec<Cf32>],
+        slab: &'a mut JobSlab,
+    ) -> Result<SlabJob<'a>, PhyError> {
+        let cfg = &self.cfg;
+        if rx_samples.len() != cfg.num_antennas {
+            return Err(PhyError::LengthMismatch {
+                what: "antenna streams",
+                expected: cfg.num_antennas,
+                actual: rx_samples.len(),
+            });
+        }
+        let need = cfg.bandwidth.samples_per_subframe();
+        for s in rx_samples {
+            if s.len() != need {
+                return Err(PhyError::LengthMismatch {
+                    what: "subframe samples",
+                    expected: need,
+                    actual: s.len(),
+                });
+            }
+        }
+        slab.prepare(cfg);
+        Ok(SlabJob {
+            rx: self,
+            samples: rx_samples,
+            slab,
+            fft_done: 0,
+            demod_done: 0,
+        })
+    }
+}
+
+impl SlabJob<'_> {
+    /// Number of FFT subtasks (`N × 14`).
+    pub fn fft_subtask_count(&self) -> usize {
+        self.rx.cfg.breakdown().fft
+    }
+
+    /// Runs FFT subtask `i` on the owning thread, demodulating straight
+    /// into the slab's grid (no intermediate row buffer).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn run_fft_subtask_local(&mut self, i: usize) {
+        assert!(i < self.fft_subtask_count(), "fft subtask {i} out of range");
+        let antenna = i / SYMBOLS_PER_SUBFRAME;
+        let symbol = i % SYMBOLS_PER_SUBFRAME;
+        workspace::with_thread_workspace(|ws| {
+            self.rx.ofdm.demod_symbol_into(
+                &self.samples[antenna],
+                symbol,
+                self.slab.grids[antenna].symbol_mut(symbol),
+                &mut ws.time,
+                &mut ws.fft_scratch,
+            );
+        });
+        self.fft_done += 1;
+    }
+
+    /// Absorbs a migrated FFT row (produced by
+    /// [`UplinkRx::run_fft_subtask_into`] on another thread).
+    ///
+    /// # Panics
+    /// Panics if the row length does not match the grid.
+    pub fn absorb_fft_row(&mut self, antenna: usize, symbol: usize, row: &[Cf32]) {
+        self.slab.grids[antenna]
+            .symbol_mut(symbol)
+            .copy_from_slice(row);
+        self.fft_done += 1;
+    }
+
+    /// Absorbs a migrated 14-symbol FFT batch (produced by
+    /// [`UplinkRx::run_fft_batch_into`] on another thread).
+    ///
+    /// # Panics
+    /// Panics if `flat` is not `14 × num_subcarriers` long.
+    pub fn absorb_fft_batch(&mut self, antenna: usize, flat: &[Cf32]) {
+        let nsc = self.rx.cfg.bandwidth.num_subcarriers();
+        assert_eq!(flat.len(), SYMBOLS_PER_SUBFRAME * nsc, "batch length");
+        for (symbol, row) in flat.chunks_exact(nsc).enumerate() {
+            self.slab.grids[antenna]
+                .symbol_mut(symbol)
+                .copy_from_slice(row);
+        }
+        self.fft_done += SYMBOLS_PER_SUBFRAME;
+    }
+
+    /// Runs one antenna's whole 14-symbol FFT batch locally (the node's
+    /// FFT migration granularity).
+    ///
+    /// # Panics
+    /// Panics if `antenna` is out of range.
+    pub fn run_fft_batch_local(&mut self, antenna: usize) {
+        for s in 0..SYMBOLS_PER_SUBFRAME {
+            self.run_fft_subtask_local(antenna * SYMBOLS_PER_SUBFRAME + s);
+        }
+    }
+
+    /// Ends the FFT task: estimates the channel from the DMRS symbols.
+    ///
+    /// # Panics
+    /// Panics if FFT subtasks are still outstanding.
+    pub fn finish_fft(&mut self) {
+        assert_eq!(
+            self.fft_done,
+            self.fft_subtask_count(),
+            "FFT task incomplete"
+        );
+        let band = 0..self.rx.cfg.alloc_subcarriers();
+        estimate_channel_band_into(&self.slab.grids, &self.rx.dmrs, band, &mut self.slab.est);
+    }
+
+    /// Number of demod subtasks (12 data symbols).
+    pub fn demod_subtask_count(&self) -> usize {
+        self.rx.cfg.breakdown().demod
+    }
+
+    /// Runs demod subtask `i` on the owning thread, writing LLRs straight
+    /// into the slab's coded stream.
+    ///
+    /// # Panics
+    /// Panics if called before [`SlabJob::finish_fft`] or `i` is out of
+    /// range.
+    pub fn run_demod_subtask_local(&mut self, i: usize) {
+        assert_eq!(
+            self.fft_done,
+            self.fft_subtask_count(),
+            "FFT task incomplete"
+        );
+        let cfg = &self.rx.cfg;
+        let data_syms = cfg.data_symbols();
+        assert!(i < data_syms.len(), "demod subtask {i} out of range");
+        let l = data_syms[i];
+        let m = cfg.alloc_subcarriers();
+        let per_symbol = m * cfg.mcs.modulation_order();
+        workspace::with_thread_workspace(|ws| {
+            let mut rows: [&[Cf32]; 8] = [&[]; 8];
+            for (a, g) in self.slab.grids.iter().enumerate() {
+                rows[a] = &g.symbol(l)[..m];
+            }
+            mrc_combine_into(
+                &rows[..self.slab.grids.len()],
+                &self.slab.est,
+                &mut ws.combined,
+                &mut ws.post_var,
+            );
+            self.rx
+                .dft
+                .inverse_with(&mut ws.combined, &mut ws.fft_scratch);
+            let scale = (m as f32).sqrt();
+            for v in ws.combined.iter_mut() {
+                *v = v.scale(scale);
+            }
+            let mean_var = ws.post_var.iter().sum::<f32>() / m as f32;
+            ws.nv.clear();
+            ws.nv.resize(m, mean_var);
+            ws.sym_llrs.clear();
+            cfg.modulation()
+                .demap_maxlog(&ws.combined, &ws.nv, &mut ws.sym_llrs);
+            self.slab.llrs[i * per_symbol..(i + 1) * per_symbol].copy_from_slice(&ws.sym_llrs);
+        });
+        self.demod_done += 1;
+    }
+
+    /// The complete coded-LLR stream (valid once the demod task finished).
+    /// This is what the owner copies into its arena when publishing decode
+    /// subtasks for stealing.
+    ///
+    /// # Panics
+    /// Panics if demod subtasks are still outstanding.
+    pub fn coded_llrs(&self) -> &[f32] {
+        assert_eq!(
+            self.demod_done,
+            self.demod_subtask_count(),
+            "demod task incomplete"
+        );
+        &self.slab.llrs
+    }
+
+    /// Number of decode subtasks (`C` code blocks).
+    pub fn decode_subtask_count(&self) -> usize {
+        self.rx.cfg.seg.num_blocks
+    }
+
+    /// Runs decode subtask `r` on the owning thread, writing straight into
+    /// the slab's per-block buffers.
+    ///
+    /// # Panics
+    /// Panics if demod subtasks are still outstanding or `r` out of range.
+    pub fn run_decode_subtask_local(&mut self, r: usize) {
+        assert_eq!(
+            self.demod_done,
+            self.demod_subtask_count(),
+            "demod task incomplete"
+        );
+        let (iterations, crc_ok) =
+            self.rx
+                .run_decode_subtask_into(&self.slab.llrs, r, &mut self.slab.block_bits[r]);
+        self.slab.block_iters[r] = iterations;
+        self.slab.block_crc[r] = crc_ok;
+        self.slab.block_done[r] = true;
+    }
+
+    /// Absorbs a migrated decode result (produced by
+    /// [`UplinkRx::run_decode_subtask_into`] on another thread).
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn absorb_decode_buf(&mut self, r: usize, buf: &BlockBuf) {
+        let bits = &mut self.slab.block_bits[r];
+        bits.clear();
+        bits.extend_from_slice(&buf.bits);
+        self.slab.block_iters[r] = buf.iterations;
+        self.slab.block_crc[r] = buf.crc_ok;
+        self.slab.block_done[r] = true;
+    }
+
+    /// Whether decode subtask `r` has been run or absorbed.
+    pub fn decode_done(&self, r: usize) -> bool {
+        self.slab.block_done[r]
+    }
+
+    /// Finishes the job: reassembles the transport block into the slab and
+    /// checks its CRC. The payload stays in [`JobSlab::payload`].
+    ///
+    /// # Errors
+    /// Propagates desegmentation shape errors.
+    ///
+    /// # Panics
+    /// Panics if any decode subtask is missing.
+    pub fn finish(self) -> Result<SlabVerdict, PhyError> {
+        let cfg = &self.rx.cfg;
+        let c = cfg.seg.num_blocks;
+        for (r, done) in self.slab.block_done.iter().enumerate().take(c) {
+            assert!(done, "decode subtask {r} missing");
+        }
+        cfg.seg.desegment_into(
+            &self.slab.block_bits[..c],
+            &mut self.slab.tb,
+            &mut self.slab.tb_oks,
+        )?;
+        let crc_ok = CRC24A.check(&self.slab.tb) && self.slab.block_crc[..c].iter().all(|&b| b);
+        bits_to_bytes_into(&self.slab.tb[..cfg.tbs_bits()], &mut self.slab.payload);
+        Ok(SlabVerdict {
+            crc_ok,
+            total_iterations: self.slab.block_iters[..c].iter().sum(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1334,6 +1800,77 @@ mod tests {
         assert_eq!(staged.payload, serial.payload);
         assert_eq!(staged.crc_ok, serial.crc_ok);
         assert_eq!(staged.block_iterations, serial.block_iterations);
+    }
+
+    #[test]
+    fn slab_job_equals_serial() {
+        let cfg = UplinkConfig::new(Bandwidth::Mhz5, 2, 20).unwrap();
+        assert!(cfg.segmentation().num_blocks >= 2);
+        let tx = UplinkTx::new(cfg.clone());
+        let p = payload(&cfg, 9);
+        let sf = tx.encode_subframe(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ch = AwgnChannel::new(22.0);
+        let rx_samples = ch.apply(&sf.samples, 2, &mut rng);
+        let rx = UplinkRx::new(cfg.clone());
+
+        let serial = rx.decode_subframe(&rx_samples).unwrap();
+
+        let mut slab = JobSlab::new();
+        slab.warm(&cfg);
+        // Run the slab job three times (reuse), alternating local subtasks
+        // with the migrated `_into` + `absorb_*` path, as the cluster would;
+        // the last round uses the batch-granularity FFT unit.
+        for round in 0..3 {
+            let mut job = rx.start_job_in(&rx_samples, &mut slab).unwrap();
+            let mut row = Vec::new();
+            if round == 2 {
+                for a in 0..2 {
+                    if a == 0 {
+                        job.run_fft_batch_local(a);
+                    } else {
+                        rx.run_fft_batch_into(&rx_samples, a, &mut row);
+                        job.absorb_fft_batch(a, &row);
+                    }
+                }
+            } else {
+                for i in 0..job.fft_subtask_count() {
+                    if (i + round) % 2 == 0 {
+                        job.run_fft_subtask_local(i);
+                    } else {
+                        rx.run_fft_subtask_into(&rx_samples, i, &mut row);
+                        job.absorb_fft_row(
+                            i / SYMBOLS_PER_SUBFRAME,
+                            i % SYMBOLS_PER_SUBFRAME,
+                            &row,
+                        );
+                    }
+                }
+            }
+            job.finish_fft();
+            for i in 0..job.demod_subtask_count() {
+                job.run_demod_subtask_local(i);
+            }
+            let llrs = job.coded_llrs().to_vec();
+            let mut buf = BlockBuf::new();
+            for r in 0..job.decode_subtask_count() {
+                if (r + round) % 2 == 0 {
+                    job.run_decode_subtask_local(r);
+                } else {
+                    let (iterations, crc_ok) = rx.run_decode_subtask_into(&llrs, r, &mut buf.bits);
+                    buf.iterations = iterations;
+                    buf.crc_ok = crc_ok;
+                    job.absorb_decode_buf(r, &buf);
+                }
+                assert!(job.decode_done(r));
+            }
+            let verdict = job.finish().unwrap();
+            assert_eq!(verdict.crc_ok, serial.crc_ok);
+            assert_eq!(verdict.total_iterations, serial.total_iterations());
+            assert_eq!(slab.payload(), &serial.payload[..]);
+            assert_eq!(slab.block_iterations(), &serial.block_iterations[..]);
+            assert_eq!(slab.block_crc_ok(), &serial.block_crc_ok[..]);
+        }
     }
 
     #[test]

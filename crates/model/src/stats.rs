@@ -31,6 +31,13 @@ impl Samples {
         self.sorted = false;
     }
 
+    /// Appends every sample of `other` (per-worker accumulators merged at
+    /// the end of a run).
+    pub fn merge(&mut self, other: &Samples) {
+        self.data.extend_from_slice(&other.data);
+        self.sorted = false;
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.data.len()

@@ -1,0 +1,1531 @@
+//! The sharded multi-cell runtime: one `CranCluster` drives N cells
+//! (RAPs) on one host — the consolidation regime of Figs. 17/18.
+//!
+//! Four scheduler modes share the same transport cadence, calibration and
+//! PHY so their deadline behaviour is directly comparable:
+//!
+//! * **Partitioned** (§3.1.1) — each cell owns `⌈T_max⌉ = 2` cores; a
+//!   subframe runs serially on its assigned core; no cross-core help.
+//! * **Global** (§3.1.2) — one shared FIFO queue, any core takes the next
+//!   subframe whole.
+//! * **RT-OPEX (mutex)** — the PR-2 era migration path: Algorithm 1 plans
+//!   at the *owner*, ships subtasks as boxed closures through per-core
+//!   `Mutex<VecDeque>+Condvar` inboxes, and recovers stragglers. Kept as
+//!   the baseline the lock-free path is measured against.
+//! * **RT-OPEX (steal)** — the lock-free path: the owner publishes
+//!   subtask *tickets* into its bounded Chase–Lev deque
+//!   ([`rtopex_core::steal`]) and drains it LIFO; parked cores steal FIFO
+//!   from the top and run the δ admission check (*steal-time*, not
+//!   plan-time) before executing into the owner's preallocated slot
+//!   arena. Nothing migrates unless a thief actually had the idle cycles
+//!   to take it — Algorithm 1's "migrate to idle cores" without the
+//!   sender ever guessing wrong about who is idle.
+//!
+//! ## Allocation discipline
+//!
+//! Every per-subframe buffer lives in a per-worker [`JobSlab`] or a
+//! per-core [`CoreArena`] warmed before the run starts: the steady-state
+//! steal-mode loop performs **zero heap allocations** (enforced by
+//! `tests/alloc_regression.rs`). The mutex baseline still boxes one
+//! closure per migrated subtask — that allocation is the mailbox's cost
+//! and part of what the comparison measures.
+//!
+//! ## Memory-safety protocol for the slot arena
+//!
+//! A stage publication bumps the arena epoch under the `RwLock` write
+//! guard; a thief holds the read guard for its whole execution and
+//! re-validates the ticket's epoch first. A straggler from a recovered
+//! stage therefore either (a) still holds the read guard — the owner's
+//! next publication blocks until it finishes — or (b) acquires it after
+//! the bump, sees a stale epoch, and drops the ticket without writing.
+//! Slot payloads are only read by the owner after the slot's ready flag
+//! turns `DONE` (release/acquire paired), so a half-written slot is never
+//! absorbed.
+
+use crate::affinity::pin_current_thread;
+use crate::migrate::{Envelope, ResultFlag};
+use parking_lot::{Condvar, Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtopex_core::metrics::{DeadlineMetrics, MigrationStats};
+use rtopex_core::migration::plan_migration;
+use rtopex_core::partitioned::PartitionedSchedule;
+use rtopex_core::steal::{self, decode_ticket, encode_ticket, AdmissionPolicy, DeltaGuard, Steal};
+use rtopex_core::time::Nanos;
+use rtopex_model::stats::Samples;
+use rtopex_phy::channel::{AwgnChannel, ChannelModel};
+use rtopex_phy::params::Bandwidth;
+use rtopex_phy::tasks::TaskKind;
+use rtopex_phy::uplink::{BlockBuf, JobSlab, UplinkConfig, UplinkRx, UplinkTx};
+use rtopex_phy::Cf32;
+use rtopex_transport::{MulticellIngest, TestbedLink};
+use rtopex_workload::{load_to_mcs, LoadTrace, TraceParams};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// How subframes are scheduled across the cluster's cores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// §3.1.1 — static core ownership, serial subframes, no migration.
+    Partitioned,
+    /// §3.1.2 — one shared FIFO queue of whole subframes.
+    Global,
+    /// RT-OPEX over the mutex mailbox (Algorithm 1, sender-initiated).
+    RtOpexMutex,
+    /// RT-OPEX over the Chase–Lev deque (steal-time admission,
+    /// receiver-initiated).
+    RtOpexSteal,
+}
+
+impl SchedulerMode {
+    /// Every mode, in sweep order.
+    pub const ALL: [SchedulerMode; 4] = [
+        SchedulerMode::Partitioned,
+        SchedulerMode::Global,
+        SchedulerMode::RtOpexMutex,
+        SchedulerMode::RtOpexSteal,
+    ];
+
+    /// Stable identifier for reports and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerMode::Partitioned => "partitioned",
+            SchedulerMode::Global => "global",
+            SchedulerMode::RtOpexMutex => "rtopex_mutex",
+            SchedulerMode::RtOpexSteal => "rtopex_steal",
+        }
+    }
+
+    /// Whether the mode migrates subtasks across cores.
+    pub fn migrates(self) -> bool {
+        matches!(
+            self,
+            SchedulerMode::RtOpexMutex | SchedulerMode::RtOpexSteal
+        )
+    }
+}
+
+/// Configuration of a cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Channel bandwidth of every cell.
+    pub bandwidth: Bandwidth,
+    /// Receive antennas per cell.
+    pub num_antennas: usize,
+    /// Consolidated cells (RAPs); each owns 2 cores (`⌈T_max⌉ = 2`).
+    pub num_cells: usize,
+    /// Subframes per cell.
+    pub subframes: usize,
+    /// Subframe period (LTE: 1 ms; dilatable — see `node` module docs).
+    pub period: Duration,
+    /// Emulated one-way transport latency.
+    pub rtt_half: Duration,
+    /// Scheduler under test.
+    pub mode: SchedulerMode,
+    /// Channel SNR for the pre-encoded subframes.
+    pub snr_db: f64,
+    /// Distinct MCS values to pre-encode; trace loads snap to the nearest.
+    pub mcs_pool: Vec<u8>,
+    /// Per-subtask migration cost estimate δ, µs.
+    pub delta_us: f64,
+    /// RNG seed (traces, payloads, channel noise).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A demo cluster: 3 cells at 1.4 MHz / 2 antennas on the true 1 ms
+    /// LTE cadence, RT-OPEX(steal).
+    pub fn demo() -> Self {
+        ClusterConfig {
+            bandwidth: Bandwidth::Mhz1_4,
+            num_antennas: 2,
+            num_cells: 3,
+            subframes: 200,
+            period: Duration::from_micros(1_000),
+            rtt_half: Duration::from_micros(1_000),
+            mode: SchedulerMode::RtOpexSteal,
+            snr_db: 30.0,
+            mcs_pool: vec![5, 10, 16, 22, 27],
+            delta_us: 60.0,
+            seed: 0xC0DE,
+        }
+    }
+
+    /// Processing budget per subframe: `2·period − rtt_half` (Eq. 3).
+    pub fn budget(&self) -> Duration {
+        2 * self.period - self.rtt_half
+    }
+
+    /// Total processing cores (2 per cell).
+    pub fn total_cores(&self) -> usize {
+        self.num_cells * 2
+    }
+}
+
+/// Results of a cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// The mode that ran.
+    pub mode: SchedulerMode,
+    /// Cells driven.
+    pub cells: usize,
+    /// Per-cell deadline outcomes.
+    pub deadline: DeadlineMetrics,
+    /// Migration accounting (zero for Partitioned/Global).
+    pub migration: MigrationStats,
+    /// Wall-clock processing times of completed subframes, µs.
+    pub proc_us: Samples,
+    /// Subframes dropped by the slack check.
+    pub dropped: u64,
+    /// Completed subframes whose transport-block CRC failed (NACKs).
+    pub crc_failures: u64,
+    /// Whether CPU pinning succeeded on this machine.
+    pub pinned: bool,
+    /// Subtasks actually executed by a thief (steal mode).
+    pub steals: u64,
+    /// Steals the δ admission guard declined at the thief.
+    pub declined_steals: u64,
+    /// Wall clock from the first release to run end.
+    pub elapsed: Duration,
+}
+
+impl ClusterReport {
+    /// Aggregate deadline-miss rate across cells.
+    pub fn miss_rate(&self) -> f64 {
+        self.deadline.overall().rate()
+    }
+
+    /// Completed subframes per wall-clock second.
+    pub fn subframes_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.proc_us.len() as f64 / secs
+        }
+    }
+}
+
+/// A pre-encoded, channel-impaired subframe ready for decoding.
+pub(crate) struct Prepared {
+    pub(crate) mcs: u8,
+    pub(crate) rx: UplinkRx,
+    pub(crate) samples: Vec<Vec<Cf32>>,
+}
+
+/// Calibrated per-MCS execution estimates (µs), indexed like `mcs_pool`.
+#[derive(Clone, Debug, Default)]
+struct Calib {
+    fft_batch_us: f64,
+    demod_us: Vec<f64>,
+    decode_block_us: Vec<f64>,
+    decode_total_us: Vec<f64>,
+}
+
+/// One subframe release. `Copy` so the release queues never allocate.
+/// Jobs are pre-staged into the inboxes with an embargo timestamp:
+/// workers take a job only once `release` has passed, which keeps the
+/// cadence exact without a per-release delivery-thread wakeup (whose OS
+/// scheduling jitter on a busy host would eat into every budget).
+#[derive(Clone, Copy, Debug)]
+struct OwnJob {
+    cell: usize,
+    pool_idx: usize,
+    release: Instant,
+    deadline: Instant,
+}
+
+struct InboxState<'a> {
+    own: VecDeque<OwnJob>,
+    migrated: VecDeque<Envelope<'a>>,
+    shutdown: bool,
+}
+
+struct Inbox<'a> {
+    state: Mutex<InboxState<'a>>,
+    cv: Condvar,
+}
+
+impl<'a> Inbox<'a> {
+    fn with_capacity(cap: usize) -> Self {
+        Inbox {
+            state: Mutex::new(InboxState {
+                own: VecDeque::with_capacity(cap),
+                migrated: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+const SLOT_PENDING: u8 = 0;
+const SLOT_DONE: u8 = 1;
+const SLOT_DECLINED: u8 = 2;
+
+/// The stage a core has published for helpers, plus its slot arena.
+struct StageCtx {
+    /// Monotonic stage counter; tickets embed it and stale tickets are
+    /// dropped on mismatch.
+    epoch: u64,
+    kind: TaskKind,
+    pool_idx: usize,
+    tp_us: f64,
+    deadline: Instant,
+    /// Snapshot of the coded-LLR stream for decode stages.
+    llrs: Vec<f32>,
+}
+
+/// Per-core preallocated migration arena: the published stage descriptor
+/// plus reusable result slots for both subtask kinds. Replaces the
+/// per-subframe `Arc<Vec<Mutex<Option<…>>>>` churn the node used to pay.
+pub(crate) struct CoreArena {
+    ctx: RwLock<StageCtx>,
+    /// One flattened 14-row buffer per FFT batch (antenna).
+    fft_slots: Vec<Mutex<Vec<Cf32>>>,
+    /// One block buffer per decode subtask.
+    dec_slots: Vec<Mutex<BlockBuf>>,
+    /// Per-subtask readiness of the active stage.
+    ready: Vec<AtomicU8>,
+}
+
+impl CoreArena {
+    fn new(pool: &[Prepared], cfg: &ClusterConfig) -> Self {
+        let nsc = cfg.bandwidth.num_subcarriers();
+        let max_blocks = pool
+            .iter()
+            .map(|p| p.rx.config().segmentation().num_blocks)
+            .max()
+            .unwrap_or(1);
+        let max_llrs = pool
+            .iter()
+            .map(|p| p.rx.config().coded_bits())
+            .max()
+            .unwrap_or(0);
+        let fft_slots = (0..cfg.num_antennas)
+            .map(|_| Mutex::new(Vec::with_capacity(14 * nsc)))
+            .collect();
+        let dec_slots = (0..max_blocks)
+            .map(|_| {
+                let mut b = BlockBuf::new();
+                for p in pool {
+                    b.warm(p.rx.config());
+                }
+                Mutex::new(b)
+            })
+            .collect();
+        let ready = (0..cfg.num_antennas.max(max_blocks))
+            .map(|_| AtomicU8::new(SLOT_DONE))
+            .collect();
+        CoreArena {
+            ctx: RwLock::new(StageCtx {
+                epoch: 0,
+                kind: TaskKind::Demod,
+                pool_idx: 0,
+                tp_us: 0.0,
+                deadline: Instant::now(),
+                llrs: Vec::with_capacity(max_llrs),
+            }),
+            fft_slots,
+            dec_slots,
+            ready,
+        }
+    }
+}
+
+/// Publishes a stage: bumps the epoch (blocking out stragglers of the
+/// previous stage), records the descriptor, resets the ready flags.
+/// Returns the new epoch.
+fn publish_stage(
+    arena: &CoreArena,
+    kind: TaskKind,
+    pool_idx: usize,
+    count: usize,
+    tp_us: f64,
+    deadline: Instant,
+    llrs: Option<&[f32]>,
+) -> u64 {
+    let mut ctx = arena.ctx.write();
+    ctx.epoch += 1;
+    ctx.kind = kind;
+    ctx.pool_idx = pool_idx;
+    ctx.tp_us = tp_us;
+    ctx.deadline = deadline;
+    if let Some(l) = llrs {
+        ctx.llrs.clear();
+        ctx.llrs.extend_from_slice(l);
+    }
+    let epoch = ctx.epoch;
+    drop(ctx);
+    for r in arena.ready.iter().take(count) {
+        r.store(SLOT_PENDING, Ordering::Release);
+    }
+    epoch
+}
+
+/// Spin-then-yield wait for a slot to leave `PENDING`; bounded by the
+/// remaining deadline budget (capped at 50 ms). Returns the final state.
+fn wait_slot(ready: &AtomicU8, deadline: Instant) -> u8 {
+    let start = Instant::now();
+    let limit = deadline
+        .saturating_duration_since(start)
+        .min(Duration::from_millis(50));
+    let mut spins = 0u32;
+    loop {
+        let v = ready.load(Ordering::Acquire);
+        if v != SLOT_PENDING {
+            return v;
+        }
+        if start.elapsed() >= limit {
+            return SLOT_PENDING;
+        }
+        if spins < 128 {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Per-worker accumulators, merged once at worker exit so the hot loop
+/// never touches a shared metrics lock.
+struct WorkerTotals {
+    deadline: DeadlineMetrics,
+    migration: MigrationStats,
+    proc_us: Samples,
+    dropped: u64,
+    crc_failures: u64,
+    steals: u64,
+    declined: u64,
+}
+
+impl WorkerTotals {
+    fn new(cells: usize) -> Self {
+        WorkerTotals {
+            deadline: DeadlineMetrics::new(cells),
+            migration: MigrationStats::default(),
+            proc_us: Samples::new(),
+            dropped: 0,
+            crc_failures: 0,
+            steals: 0,
+            declined: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &WorkerTotals) {
+        self.deadline.merge(&other.deadline);
+        self.migration.merge(&other.migration);
+        self.proc_us.merge(&other.proc_us);
+        self.dropped += other.dropped;
+        self.crc_failures += other.crc_failures;
+        self.steals += other.steals;
+        self.declined += other.declined;
+    }
+}
+
+struct Shared<'a> {
+    cfg: &'a ClusterConfig,
+    arenas: &'a [CoreArena],
+    inboxes: Vec<Inbox<'a>>,
+    global: Inbox<'a>,
+    stealers: Vec<steal::Stealer>,
+    idle: Vec<AtomicBool>,
+    totals: Mutex<WorkerTotals>,
+    calib: Calib,
+    schedule: PartitionedSchedule,
+    /// Reference instant for `epoch_ns` (captured at construction).
+    base: Instant,
+    /// Over-the-air instant of subframe 0, as nanoseconds after `base`;
+    /// written once by the transport thread after every worker has warmed
+    /// up and passed the start barrier, so cold caches never eat into the
+    /// first subframes' budgets.
+    epoch_ns: AtomicU64,
+    /// Per-cell ingest stagger within a period (shared 10 GbE port).
+    stagger: Vec<Duration>,
+    pinned: AtomicBool,
+}
+
+impl<'a> Shared<'a> {
+    /// Over-the-air instant of subframe 0.
+    fn epoch(&self) -> Instant {
+        self.base + Duration::from_nanos(self.epoch_ns.load(Ordering::Acquire))
+    }
+
+    /// Arrival instant of cell `cell`'s subframe `j` at the compute node.
+    fn release_instant(&self, cell: usize, j: u64) -> Instant {
+        self.epoch() + self.cfg.period * j as u32 + self.cfg.rtt_half + self.stagger[cell]
+    }
+
+    /// The next release that will claim `core`, strictly after `now`.
+    fn next_release(&self, core: usize, now: Instant) -> Instant {
+        let cell = core / 2;
+        let phase = (core % 2) as u64;
+        let base = self.epoch() + self.cfg.rtt_half + self.stagger[cell];
+        let elapsed = now.saturating_duration_since(base);
+        let mut j = (elapsed.as_nanos() / self.cfg.period.as_nanos()) as u64;
+        while j % 2 != phase || self.release_instant(cell, j) <= now {
+            j += 1;
+        }
+        if j >= self.cfg.subframes as u64 {
+            return now + self.cfg.period * 64;
+        }
+        self.release_instant(cell, j)
+    }
+
+    /// Idle-core candidates for Algorithm 1 at `now` (free time in ns).
+    fn idle_cores_into(&self, now: Instant, me: usize, out: &mut Vec<(usize, Nanos)>) {
+        out.clear();
+        for c in 0..self.inboxes.len() {
+            if c == me || !self.idle[c].load(Ordering::Acquire) {
+                continue;
+            }
+            let window = self.next_release(c, now).saturating_duration_since(now);
+            let w = Nanos(window.as_nanos() as u64);
+            if w > Nanos::ZERO {
+                out.push((c, w));
+            }
+        }
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    }
+
+    /// Whether any other core is currently parked (cheap lazy-publish
+    /// check: no helper → no point copying LLRs or bumping epochs).
+    fn any_idle_helper(&self, me: usize) -> bool {
+        self.idle
+            .iter()
+            .enumerate()
+            .any(|(c, f)| c != me && f.load(Ordering::Acquire))
+    }
+
+    /// Owner-side benefit gate for steal-mode publication: some parked
+    /// core must have an idle window long enough to fit one subtask plus
+    /// the migration cost δ. Without this, a saturated cluster pays the
+    /// publication overhead (epoch bump, LLR snapshot, thief wake) on
+    /// every stage while no thief ever has the cycles to help — the
+    /// steal-time guard at the thief would decline anyway. This mirrors
+    /// the information the mutex baseline feeds `plan_migration`; the
+    /// binding δ admission decision still happens at steal time.
+    fn worth_publishing(&self, me: usize, tp_us: f64, now: Instant) -> bool {
+        let need = Duration::from_secs_f64((tp_us + self.cfg.delta_us) / 1e6);
+        self.idle.iter().enumerate().any(|(c, f)| {
+            c != me
+                && f.load(Ordering::Acquire)
+                && self.next_release(c, now).saturating_duration_since(now) >= need
+        })
+    }
+
+    fn push_migrated(&self, host: usize, env: Envelope<'a>) {
+        let mut st = self.inboxes[host].state.lock();
+        st.migrated.push_back(env);
+        drop(st);
+        self.inboxes[host].cv.notify_one();
+    }
+
+    /// Wakes parked workers so they scan the deques (steal mode).
+    fn wake_thieves(&self, me: usize) {
+        for (c, inbox) in self.inboxes.iter().enumerate() {
+            if c != me && self.idle[c].load(Ordering::Acquire) {
+                inbox.cv.notify_one();
+            }
+        }
+    }
+}
+
+/// The sharded multi-cell runtime.
+pub struct CranCluster {
+    cfg: ClusterConfig,
+}
+
+impl CranCluster {
+    /// Creates a cluster.
+    ///
+    /// # Panics
+    /// Panics on an empty MCS pool or zero cells/subframes.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(!cfg.mcs_pool.is_empty(), "MCS pool must be non-empty");
+        assert!(cfg.num_cells > 0 && cfg.subframes > 0, "empty run");
+        CranCluster { cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Pre-encodes one subframe per pool MCS (shared by every cell: the
+    /// trace decides which entry a given release uses).
+    pub(crate) fn prepare_pool(cfg: &ClusterConfig) -> Vec<Prepared> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9E37);
+        cfg.mcs_pool
+            .iter()
+            .map(|&mcs| {
+                let ucfg = UplinkConfig::new(cfg.bandwidth, cfg.num_antennas, mcs).expect("config");
+                let tx = UplinkTx::new(ucfg.clone());
+                let payload: Vec<u8> = (0..ucfg.transport_block_bytes())
+                    .map(|_| rng.gen())
+                    .collect();
+                let sf = tx.encode_subframe(&payload).expect("encode");
+                let mut chan = AwgnChannel::new(cfg.snr_db);
+                let samples = chan.apply(&sf.samples, cfg.num_antennas, &mut rng);
+                Prepared {
+                    mcs,
+                    rx: UplinkRx::new(ucfg),
+                    samples,
+                }
+            })
+            .collect()
+    }
+
+    /// Measures per-stage execution through the slab path so Algorithm 1
+    /// and the δ guard have deterministic `tp` estimates (median of 3).
+    fn calibrate(pool: &[Prepared]) -> Calib {
+        const TRIALS: usize = 3;
+        rtopex_phy::workspace::with_thread_workspace(|ws| {
+            for p in pool {
+                ws.warm(p.rx.config());
+            }
+        });
+        let mut slab = JobSlab::new();
+        for p in pool {
+            slab.warm(p.rx.config());
+        }
+        let mut calib = Calib::default();
+        let mut fft_batches = Samples::new();
+        for p in pool {
+            let mut fft_trials = Samples::new();
+            let mut demod_trials = Samples::new();
+            let mut dec_trials = Samples::new();
+            let mut blocks = 1usize;
+            for _ in 0..TRIALS {
+                let mut job = p.rx.start_job_in(&p.samples, &mut slab).expect("job");
+                let t0 = Instant::now();
+                let batches = p.samples.len();
+                for b in 0..batches {
+                    job.run_fft_batch_local(b);
+                }
+                fft_trials.push(t0.elapsed().as_secs_f64() * 1e6 / batches as f64);
+                job.finish_fft();
+                let t1 = Instant::now();
+                for i in 0..job.demod_subtask_count() {
+                    job.run_demod_subtask_local(i);
+                }
+                demod_trials.push(t1.elapsed().as_secs_f64() * 1e6);
+                let t2 = Instant::now();
+                blocks = job.decode_subtask_count();
+                for r in 0..blocks {
+                    job.run_decode_subtask_local(r);
+                }
+                dec_trials.push(t2.elapsed().as_secs_f64() * 1e6);
+                let _ = job.finish();
+            }
+            fft_batches.push(fft_trials.median());
+            calib.demod_us.push(demod_trials.median());
+            let dec_us = dec_trials.median();
+            calib.decode_total_us.push(dec_us);
+            calib.decode_block_us.push(dec_us / blocks as f64);
+        }
+        calib.fft_batch_us = fft_batches.mean();
+        calib
+    }
+
+    /// Per-cell pool-index sequences from the tower traces.
+    fn schedule_mcs(&self, pool: &[Prepared]) -> Vec<Vec<usize>> {
+        (0..self.cfg.num_cells)
+            .map(|cell| {
+                let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(cell as u64 * 7919));
+                let mut trace = LoadTrace::new(TraceParams::tower(cell % 4));
+                (0..self.cfg.subframes)
+                    .map(|_| {
+                        let mcs = load_to_mcs(trace.next_load(&mut rng)).index();
+                        pool.iter()
+                            .enumerate()
+                            .min_by_key(|(_, p)| (p.mcs as i32 - mcs as i32).abs())
+                            .map(|(i, _)| i)
+                            .expect("non-empty pool")
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs the cluster to completion (blocking) and reports.
+    pub fn run(&self) -> ClusterReport {
+        let cfg = &self.cfg;
+        let pool = Self::prepare_pool(cfg);
+        let calib = Self::calibrate(&pool);
+        let mcs_seq = self.schedule_mcs(&pool);
+        let cores = cfg.total_cores();
+        let arenas: Vec<CoreArena> = (0..cores).map(|_| CoreArena::new(&pool, cfg)).collect();
+        let ingest = MulticellIngest::homogeneous(
+            TestbedLink::paper_testbed(),
+            cfg.num_cells,
+            cfg.bandwidth,
+            cfg.num_antennas,
+        );
+        let d0 = ingest.deterministic_delivery_us(0).unwrap_or(0.0);
+        let stagger: Vec<Duration> = (0..cfg.num_cells)
+            .map(|c| {
+                let d = ingest.deterministic_delivery_us(c).unwrap_or(d0);
+                Duration::from_secs_f64(((d - d0).max(0.0)) / 1e6)
+            })
+            .collect();
+        let (mut workers, stealers): (Vec<steal::Worker>, Vec<steal::Stealer>) =
+            (0..cores).map(|_| steal::steal_pair(64)).unzip();
+        let shared = Shared {
+            cfg,
+            arenas: &arenas,
+            inboxes: (0..cores)
+                .map(|_| Inbox::with_capacity(cfg.subframes + 2))
+                .collect(),
+            global: Inbox::with_capacity(cfg.num_cells * cfg.subframes + 2),
+            stealers,
+            idle: (0..cores).map(|_| AtomicBool::new(false)).collect(),
+            totals: Mutex::new(WorkerTotals::new(cfg.num_cells)),
+            calib,
+            schedule: PartitionedSchedule::with_cores_per_bs(cfg.num_cells, 2),
+            base: Instant::now(),
+            epoch_ns: AtomicU64::new(0),
+            stagger,
+            pinned: AtomicBool::new(false),
+        };
+        // Start barrier: workers warm caches (a full decode of every pool
+        // entry) before the release cadence exists, so subframe 0 never
+        // pays the cold-start penalty. The transport thread pins the epoch
+        // only after every worker has reported ready.
+        let barrier = Barrier::new(cores + 1);
+
+        std::thread::scope(|s| {
+            let shared = &shared;
+            let pool = &pool;
+            let barrier = &barrier;
+            for (core, w) in workers.drain(..).enumerate() {
+                s.spawn(move || worker_loop(core, shared, pool, w, barrier));
+            }
+            // Transport: play the batched-ingest delivery thread — one
+            // port, cells back-to-back per period. The whole delivery
+            // schedule is deterministic, so every release is pre-staged
+            // with its embargo timestamp; workers gate on it themselves
+            // (see `OwnJob`).
+            barrier.wait();
+            let epoch = Instant::now() + Duration::from_millis(5);
+            shared.epoch_ns.store(
+                epoch.saturating_duration_since(shared.base).as_nanos() as u64,
+                Ordering::Release,
+            );
+            barrier.wait();
+            for j in 0..cfg.subframes as u64 {
+                for (cell, seq) in mcs_seq.iter().enumerate() {
+                    let release = shared.release_instant(cell, j);
+                    let job = OwnJob {
+                        cell,
+                        pool_idx: seq[j as usize],
+                        release,
+                        deadline: release + cfg.budget(),
+                    };
+                    match cfg.mode {
+                        SchedulerMode::Global => {
+                            shared.global.state.lock().own.push_back(job);
+                        }
+                        _ => {
+                            let core = shared.schedule.core_for(cell, j);
+                            shared.inboxes[core].state.lock().own.push_back(job);
+                        }
+                    }
+                }
+            }
+            for inbox in &shared.inboxes {
+                inbox.cv.notify_all();
+            }
+            shared.global.cv.notify_all();
+            // Sleep out the cadence plus drain margin, then shut down.
+            let end =
+                shared.epoch() + cfg.period * cfg.subframes as u32 + cfg.budget() + cfg.period * 4;
+            std::thread::sleep(end.saturating_duration_since(Instant::now()));
+            for inbox in &shared.inboxes {
+                inbox.state.lock().shutdown = true;
+                inbox.cv.notify_all();
+            }
+            shared.global.state.lock().shutdown = true;
+            shared.global.cv.notify_all();
+        });
+
+        let elapsed = Instant::now().saturating_duration_since(shared.epoch());
+        let m = shared.totals.into_inner();
+        ClusterReport {
+            mode: cfg.mode,
+            cells: cfg.num_cells,
+            deadline: m.deadline,
+            migration: m.migration,
+            proc_us: m.proc_us,
+            dropped: m.dropped,
+            crc_failures: m.crc_failures,
+            pinned: shared.pinned.load(Ordering::Relaxed),
+            steals: m.steals,
+            declined_steals: m.declined,
+            elapsed,
+        }
+    }
+}
+
+/// What the fan-out helpers ask the owner to do with subtask `i`.
+enum StageOp {
+    /// Execute locally through the slab job.
+    RunLocal(usize),
+    /// Absorb a completed result from the arena slot.
+    Absorb(usize),
+}
+
+fn worker_loop<'a>(
+    me: usize,
+    shared: &Shared<'a>,
+    pool: &'a [Prepared],
+    mut steal_worker: steal::Worker,
+    barrier: &Barrier,
+) {
+    if matches!(pin_current_thread(me), crate::affinity::PinOutcome::Pinned) && me == 0 {
+        shared.pinned.store(true, Ordering::Relaxed);
+    }
+    rtopex_phy::workspace::with_thread_workspace(|ws| {
+        for p in pool {
+            ws.warm(p.rx.config());
+        }
+    });
+    let mut slab = JobSlab::new();
+    for p in pool {
+        slab.warm(p.rx.config());
+        // Warm decode: run the whole pipeline once so instruction and data
+        // caches, branch predictors and the slab's buffers are all hot
+        // before the first real release.
+        let mut job = p.rx.start_job_in(&p.samples, &mut slab).expect("warm job");
+        for b in 0..p.samples.len() {
+            job.run_fft_batch_local(b);
+        }
+        job.finish_fft();
+        for i in 0..job.demod_subtask_count() {
+            job.run_demod_subtask_local(i);
+        }
+        for r in 0..job.decode_subtask_count() {
+            job.run_decode_subtask_local(r);
+        }
+        let _ = job.finish();
+    }
+    barrier.wait(); // all workers warm
+    barrier.wait(); // transport has pinned the epoch
+    let mode = shared.cfg.mode;
+    let mut wm = WorkerTotals::new(shared.cfg.num_cells);
+    let mut idle_scratch: Vec<(usize, Nanos)> = Vec::with_capacity(shared.inboxes.len());
+    let mut flag_scratch: Vec<(usize, ResultFlag)> = Vec::with_capacity(64);
+
+    enum Got<'e> {
+        Own(OwnJob),
+        Migrated(Envelope<'e>),
+        Shutdown,
+    }
+
+    loop {
+        let inbox = if mode == SchedulerMode::Global {
+            &shared.global
+        } else {
+            &shared.inboxes[me]
+        };
+        let got = 'acquire: loop {
+            // The front job may still be embargoed (release in the
+            // future); until then this core is idle and may help others.
+            let mut embargo: Option<Instant> = None;
+            {
+                let mut st = inbox.state.lock();
+                match st.own.front() {
+                    Some(j) if j.release <= Instant::now() => {
+                        let j = st.own.pop_front().expect("non-empty front");
+                        break 'acquire Got::Own(j);
+                    }
+                    Some(j) => embargo = Some(j.release),
+                    None => {}
+                }
+                if let Some(e) = st.migrated.pop_front() {
+                    break 'acquire Got::Migrated(e);
+                }
+                if st.shutdown && st.own.is_empty() {
+                    break 'acquire Got::Shutdown;
+                }
+                if mode != SchedulerMode::RtOpexSteal {
+                    shared.idle[me].store(true, Ordering::Release);
+                    match embargo {
+                        Some(t) => {
+                            let d = t.saturating_duration_since(Instant::now());
+                            inbox.cv.wait_for(&mut st, d);
+                        }
+                        None => inbox.cv.wait(&mut st),
+                    }
+                    shared.idle[me].store(false, Ordering::Release);
+                    continue 'acquire;
+                }
+            }
+            // Steal mode: advertise idleness, scan the other deques, then
+            // *yield* instead of parking. A parked thread pays the OS wake
+            // latency — 1-3 ms on a loaded host — the moment its own
+            // release fires, which alone sinks a 5-cell node on start
+            // lateness; a yielding thread is already on the runqueue and
+            // resumes within a scheduling quantum. This is the same
+            // always-runnable property the mutex baseline inherits
+            // accidentally from its flag-wait yield loops, adopted here as
+            // a deliberate design: each idle turn is ~1 µs (inbox peek +
+            // deque scan), so busy peers lose only a few context switches
+            // per subframe to their idle neighbours.
+            shared.idle[me].store(true, Ordering::Release);
+            if try_steal(me, shared, pool, &mut wm) {
+                shared.idle[me].store(false, Ordering::Release);
+                continue 'acquire;
+            }
+            std::thread::yield_now();
+        };
+        shared.idle[me].store(false, Ordering::Release);
+        match got {
+            Got::Own(job) => process_subframe(
+                me,
+                shared,
+                pool,
+                job,
+                &mut slab,
+                &mut steal_worker,
+                &mut idle_scratch,
+                &mut flag_scratch,
+                &mut wm,
+            ),
+            Got::Migrated(env) => env.run(),
+            Got::Shutdown => break,
+        }
+    }
+    shared.totals.lock().merge(&wm);
+}
+
+/// A thief's scan: steal one ticket from any other core's deque, validate
+/// its epoch, run the steal-time δ admission check, and execute it into
+/// the victim's arena. Returns whether anything was executed or declined.
+fn try_steal(me: usize, shared: &Shared<'_>, pool: &[Prepared], wm: &mut WorkerTotals) -> bool {
+    let n = shared.stealers.len();
+    for off in 1..n {
+        let victim = (me + off) % n;
+        let mut retries = 0u32;
+        let ticket = loop {
+            match shared.stealers[victim].steal() {
+                Steal::Taken(t) => break Some(t),
+                Steal::Retry if retries < 4 => {
+                    retries += 1;
+                    continue;
+                }
+                _ => break None,
+            }
+        };
+        let Some(ticket) = ticket else { continue };
+        let (epoch, idx) = decode_ticket(ticket);
+        let arena = &shared.arenas[victim];
+        // Hold the read guard for the whole execution: the victim's next
+        // publication (epoch bump) cannot start until we are done, so a
+        // stale thief can never write into a newer stage's slots.
+        let ctx = arena.ctx.read();
+        if ctx.epoch != epoch {
+            return true; // stale ticket of a recovered stage: drop it
+        }
+        let now = Instant::now();
+        let slack = ctx.deadline.saturating_duration_since(now);
+        let idle_window = shared.next_release(me, now).saturating_duration_since(now);
+        let guard = DeltaGuard {
+            delta: Nanos::from_us_f64(shared.cfg.delta_us),
+        };
+        if !guard.admit(
+            Nanos::from_us_f64(ctx.tp_us),
+            Nanos(slack.as_nanos() as u64),
+            Nanos(idle_window.as_nanos() as u64),
+        ) {
+            arena.ready[idx].store(SLOT_DECLINED, Ordering::Release);
+            wm.declined += 1;
+            return true;
+        }
+        let prepared = &pool[ctx.pool_idx];
+        match ctx.kind {
+            TaskKind::Fft => {
+                let mut slot = arena.fft_slots[idx].lock();
+                prepared
+                    .rx
+                    .run_fft_batch_into(&prepared.samples, idx, &mut slot);
+            }
+            TaskKind::Decode => {
+                let mut slot = arena.dec_slots[idx].lock();
+                let (iterations, crc_ok) =
+                    prepared
+                        .rx
+                        .run_decode_subtask_into(&ctx.llrs, idx, &mut slot.bits);
+                slot.iterations = iterations;
+                slot.crc_ok = crc_ok;
+            }
+            TaskKind::Demod => {}
+        }
+        arena.ready[idx].store(SLOT_DONE, Ordering::Release);
+        wm.steals += 1;
+        return true;
+    }
+    false
+}
+
+/// Steal-mode fan-out: publish tickets, drain own deque LIFO, absorb or
+/// recover what thieves took. `published` is `Some(epoch)` when the stage
+/// descriptor is already in the arena; `None` means run fully local.
+#[allow(clippy::too_many_arguments)]
+fn fanout_steal(
+    me: usize,
+    shared: &Shared<'_>,
+    worker: &mut steal::Worker,
+    kind: TaskKind,
+    count: usize,
+    published: Option<u64>,
+    deadline: Instant,
+    exec: &mut dyn FnMut(StageOp),
+    wm: &mut WorkerTotals,
+) {
+    let Some(epoch) = published else {
+        for i in 0..count {
+            exec(StageOp::RunLocal(i));
+        }
+        wm.migration.record_stage(kind, count, 0);
+        return;
+    };
+    assert!(count <= 64, "subtask count exceeds owner mask");
+    let arena = &shared.arenas[me];
+    let mut local_mask: u64 = 0;
+    for i in 0..count {
+        if worker.push(encode_ticket(epoch, i)).is_err() {
+            local_mask |= 1 << i; // deque full: keep it local
+        }
+    }
+    if (local_mask.count_ones() as usize) < count {
+        shared.wake_thieves(me);
+    }
+    for i in 0..count {
+        if local_mask & (1 << i) != 0 {
+            exec(StageOp::RunLocal(i));
+        }
+    }
+    // Drain own work LIFO; anything not popped here was stolen.
+    while let Some(t) = worker.pop() {
+        let (e, i) = decode_ticket(t);
+        debug_assert_eq!(e, epoch, "own deque holds a stale ticket");
+        exec(StageOp::RunLocal(i));
+        local_mask |= 1 << i;
+    }
+    let mut migrated = 0usize;
+    let mut recoveries = 0usize;
+    for i in 0..count {
+        if local_mask & (1 << i) != 0 {
+            continue;
+        }
+        match wait_slot(&arena.ready[i], deadline) {
+            SLOT_DONE => {
+                exec(StageOp::Absorb(i));
+                migrated += 1;
+            }
+            _ => {
+                // Declined by the guard, or a straggler: recover locally
+                // (Fig. 12 state 6).
+                exec(StageOp::RunLocal(i));
+                recoveries += 1;
+            }
+        }
+    }
+    wm.migration.record_stage(kind, count, migrated);
+    if recoveries > 0 {
+        wm.migration.record_recovery(recoveries);
+    }
+}
+
+/// Mutex-mode fan-out: Algorithm 1 at the owner, boxed envelopes through
+/// the inboxes, flag waits, local recovery — the PR-2 baseline, now
+/// writing into the preallocated arena instead of per-subframe slots.
+#[allow(clippy::too_many_arguments)]
+fn fanout_mutex<'a>(
+    me: usize,
+    shared: &Shared<'a>,
+    kind: TaskKind,
+    count: usize,
+    tp_us: f64,
+    published: Option<u64>,
+    deadline: Instant,
+    make_remote: &dyn Fn(usize, u64) -> (Envelope<'a>, ResultFlag),
+    exec: &mut dyn FnMut(StageOp),
+    idle_scratch: &mut Vec<(usize, Nanos)>,
+    flag_scratch: &mut Vec<(usize, ResultFlag)>,
+    wm: &mut WorkerTotals,
+) {
+    let serial = |exec: &mut dyn FnMut(StageOp), wm: &mut WorkerTotals| {
+        for i in 0..count {
+            exec(StageOp::RunLocal(i));
+        }
+        wm.migration.record_stage(kind, count, 0);
+    };
+    let Some(epoch) = published else {
+        serial(exec, wm);
+        return;
+    };
+    let now = Instant::now();
+    shared.idle_cores_into(now, me, idle_scratch);
+    let plan = plan_migration(
+        count,
+        Nanos::from_us_f64(tp_us),
+        Nanos::from_us_f64(shared.cfg.delta_us),
+        idle_scratch,
+    );
+    if plan.migrated() == 0 {
+        serial(exec, wm);
+        return;
+    }
+    let mut next = plan.local;
+    flag_scratch.clear();
+    for &(host, n) in &plan.assignments {
+        for _ in 0..n {
+            let (env, flag) = make_remote(next, epoch);
+            shared.push_migrated(host, env);
+            flag_scratch.push((next, flag));
+            next += 1;
+        }
+    }
+    debug_assert_eq!(next, count);
+    for i in 0..plan.local {
+        exec(StageOp::RunLocal(i));
+    }
+    let mut recoveries = 0usize;
+    let migrated = flag_scratch.len();
+    for (i, flag) in flag_scratch.drain(..) {
+        let budget = deadline.saturating_duration_since(Instant::now());
+        if flag.wait(budget.min(Duration::from_millis(50))) {
+            exec(StageOp::Absorb(i));
+        } else {
+            exec(StageOp::RunLocal(i));
+            recoveries += 1;
+        }
+    }
+    wm.migration.record_stage(kind, count, migrated);
+    if recoveries > 0 {
+        wm.migration.record_recovery(recoveries);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_subframe<'a>(
+    me: usize,
+    shared: &Shared<'a>,
+    pool: &'a [Prepared],
+    job: OwnJob,
+    slab: &mut JobSlab,
+    steal_worker: &mut steal::Worker,
+    idle_scratch: &mut Vec<(usize, Nanos)>,
+    flag_scratch: &mut Vec<(usize, ResultFlag)>,
+    wm: &mut WorkerTotals,
+) {
+    let cfg = shared.cfg;
+    let mode = cfg.mode;
+    let prepared = &pool[job.pool_idx];
+    let started = Instant::now();
+    let pidx = job.pool_idx;
+    let calib = &shared.calib;
+    // Re-borrow through the `'a` slice so envelope closures may hold the
+    // arena reference for the scope's lifetime.
+    let arenas: &'a [CoreArena] = shared.arenas;
+    let arena = &arenas[me];
+
+    // Stage slack checks use the calibrated serial stage estimates.
+    let est_fft = Duration::from_secs_f64(calib.fft_batch_us * cfg.num_antennas as f64 / 1e6);
+    if Instant::now() + est_fft > job.deadline {
+        wm.deadline.record(job.cell, true);
+        wm.dropped += 1;
+        return;
+    }
+
+    let mut phy = prepared
+        .rx
+        .start_job_in(&prepared.samples, slab)
+        .expect("prepared samples are consistent");
+
+    // --- FFT task: subtask = one antenna's 14-symbol batch. ---
+    let antennas = cfg.num_antennas;
+    match mode {
+        SchedulerMode::RtOpexSteal => {
+            let published = (antennas > 1
+                && shared.worth_publishing(me, calib.fft_batch_us, Instant::now()))
+            .then(|| {
+                publish_stage(
+                    arena,
+                    TaskKind::Fft,
+                    pidx,
+                    antennas,
+                    calib.fft_batch_us,
+                    job.deadline,
+                    None,
+                )
+            });
+            let mut exec = |op: StageOp| match op {
+                StageOp::RunLocal(b) => phy.run_fft_batch_local(b),
+                StageOp::Absorb(b) => {
+                    let slot = arena.fft_slots[b].lock();
+                    phy.absorb_fft_batch(b, &slot);
+                }
+            };
+            fanout_steal(
+                me,
+                shared,
+                steal_worker,
+                TaskKind::Fft,
+                antennas,
+                published,
+                job.deadline,
+                &mut exec,
+                wm,
+            );
+        }
+        SchedulerMode::RtOpexMutex => {
+            let published = (antennas > 1 && shared.any_idle_helper(me)).then(|| {
+                publish_stage(
+                    arena,
+                    TaskKind::Fft,
+                    pidx,
+                    antennas,
+                    calib.fft_batch_us,
+                    job.deadline,
+                    None,
+                )
+            });
+            let rx = &prepared.rx;
+            let samples = &prepared.samples;
+            let make_remote = |b: usize, ep: u64| {
+                Envelope::new(move || {
+                    let ctx = arena.ctx.read();
+                    if ctx.epoch != ep {
+                        return; // straggler of a recovered stage
+                    }
+                    let mut slot = arena.fft_slots[b].lock();
+                    rx.run_fft_batch_into(samples, b, &mut slot);
+                })
+            };
+            let mut exec = |op: StageOp| match op {
+                StageOp::RunLocal(b) => phy.run_fft_batch_local(b),
+                StageOp::Absorb(b) => {
+                    let slot = arena.fft_slots[b].lock();
+                    phy.absorb_fft_batch(b, &slot);
+                }
+            };
+            fanout_mutex(
+                me,
+                shared,
+                TaskKind::Fft,
+                antennas,
+                calib.fft_batch_us,
+                published,
+                job.deadline,
+                &make_remote,
+                &mut exec,
+                idle_scratch,
+                flag_scratch,
+                wm,
+            );
+        }
+        _ => {
+            for b in 0..antennas {
+                phy.run_fft_batch_local(b);
+            }
+        }
+    }
+    phy.finish_fft();
+
+    // --- Demod task: serial on the owner. ---
+    let est_demod = Duration::from_secs_f64(calib.demod_us[pidx] / 1e6);
+    if Instant::now() + est_demod > job.deadline {
+        wm.deadline.record(job.cell, true);
+        wm.dropped += 1;
+        return;
+    }
+    for i in 0..phy.demod_subtask_count() {
+        phy.run_demod_subtask_local(i);
+    }
+
+    // --- Decode task: subtask = one code block. ---
+    let est_dec = Duration::from_secs_f64(calib.decode_total_us[pidx] / 1e6);
+    let blocks = phy.decode_subtask_count();
+    // Migration roughly halves the decode critical path; the slack check
+    // is plan-aware like the simulator's.
+    let est_effective = if mode.migrates() && blocks > 1 {
+        est_dec / 2 + Duration::from_secs_f64(cfg.delta_us / 1e6)
+    } else {
+        est_dec
+    };
+    if Instant::now() + est_effective > job.deadline {
+        wm.deadline.record(job.cell, true);
+        wm.dropped += 1;
+        return;
+    }
+    match mode {
+        SchedulerMode::RtOpexSteal => {
+            let published = (blocks > 1
+                && shared.worth_publishing(me, calib.decode_block_us[pidx], Instant::now()))
+            .then(|| {
+                publish_stage(
+                    arena,
+                    TaskKind::Decode,
+                    pidx,
+                    blocks,
+                    calib.decode_block_us[pidx],
+                    job.deadline,
+                    Some(phy.coded_llrs()),
+                )
+            });
+            let mut exec = |op: StageOp| match op {
+                StageOp::RunLocal(r) => phy.run_decode_subtask_local(r),
+                StageOp::Absorb(r) => {
+                    let slot = arena.dec_slots[r].lock();
+                    phy.absorb_decode_buf(r, &slot);
+                }
+            };
+            fanout_steal(
+                me,
+                shared,
+                steal_worker,
+                TaskKind::Decode,
+                blocks,
+                published,
+                job.deadline,
+                &mut exec,
+                wm,
+            );
+        }
+        SchedulerMode::RtOpexMutex => {
+            let published = (blocks > 1 && shared.any_idle_helper(me)).then(|| {
+                publish_stage(
+                    arena,
+                    TaskKind::Decode,
+                    pidx,
+                    blocks,
+                    calib.decode_block_us[pidx],
+                    job.deadline,
+                    Some(phy.coded_llrs()),
+                )
+            });
+            let rx = &prepared.rx;
+            let make_remote = |r: usize, ep: u64| {
+                Envelope::new(move || {
+                    let ctx = arena.ctx.read();
+                    if ctx.epoch != ep {
+                        return;
+                    }
+                    let mut slot = arena.dec_slots[r].lock();
+                    let (iterations, crc_ok) =
+                        rx.run_decode_subtask_into(&ctx.llrs, r, &mut slot.bits);
+                    slot.iterations = iterations;
+                    slot.crc_ok = crc_ok;
+                })
+            };
+            let mut exec = |op: StageOp| match op {
+                StageOp::RunLocal(r) => phy.run_decode_subtask_local(r),
+                StageOp::Absorb(r) => {
+                    let slot = arena.dec_slots[r].lock();
+                    phy.absorb_decode_buf(r, &slot);
+                }
+            };
+            fanout_mutex(
+                me,
+                shared,
+                TaskKind::Decode,
+                blocks,
+                calib.decode_block_us[pidx],
+                published,
+                job.deadline,
+                &make_remote,
+                &mut exec,
+                idle_scratch,
+                flag_scratch,
+                wm,
+            );
+        }
+        _ => {
+            for r in 0..blocks {
+                phy.run_decode_subtask_local(r);
+            }
+        }
+    }
+
+    let verdict = phy.finish().expect("all subtasks absorbed");
+    let finished = Instant::now();
+    wm.deadline.record(job.cell, finished > job.deadline);
+    if !verdict.crc_ok {
+        wm.crc_failures += 1;
+    }
+    wm.proc_us
+        .push(finished.saturating_duration_since(started).as_secs_f64() * 1e6);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(mode: SchedulerMode) -> ClusterConfig {
+        ClusterConfig {
+            bandwidth: Bandwidth::Mhz5,
+            num_cells: 2,
+            subframes: 40,
+            period: Duration::from_micros(3_000),
+            mode,
+            mcs_pool: vec![5, 16, 27],
+            ..ClusterConfig::demo()
+        }
+    }
+
+    #[test]
+    fn every_mode_accounts_for_all_subframes() {
+        for mode in SchedulerMode::ALL {
+            let r = CranCluster::new(quick_cfg(mode)).run();
+            assert_eq!(r.deadline.total_subframes(), 2 * 40, "{}", mode.name());
+            assert_eq!(
+                r.proc_us.len() as u64 + r.dropped,
+                2 * 40,
+                "{}",
+                mode.name()
+            );
+            assert_eq!(r.crc_failures, 0, "{} corrupted decodes", mode.name());
+        }
+    }
+
+    #[test]
+    fn serial_modes_never_migrate() {
+        for mode in [SchedulerMode::Partitioned, SchedulerMode::Global] {
+            let r = CranCluster::new(quick_cfg(mode)).run();
+            assert_eq!(
+                r.migration.fft_migrated + r.migration.decode_migrated,
+                0,
+                "{}",
+                mode.name()
+            );
+            assert_eq!(r.steals, 0);
+        }
+    }
+
+    #[test]
+    fn steal_mode_decodes_correctly_under_migration() {
+        // Give thieves real idle windows: a long period and few cells.
+        let r = CranCluster::new(quick_cfg(SchedulerMode::RtOpexSteal)).run();
+        assert_eq!(r.crc_failures, 0, "stolen subtasks corrupted decodes");
+        // Steal accounting is self-consistent: every absorbed migration
+        // was a thief execution.
+        assert!(
+            r.steals >= r.migration.fft_migrated + r.migration.decode_migrated,
+            "steals {} < absorbed {}",
+            r.steals,
+            r.migration.fft_migrated + r.migration.decode_migrated
+        );
+    }
+
+    #[test]
+    fn deterministic_thief_correctness() {
+        // Owner publishes a decode stage; two thieves race to steal every
+        // ticket; the owner absorbs and the payload must be bit-exact.
+        let cfg = ClusterConfig {
+            bandwidth: Bandwidth::Mhz5,
+            num_cells: 1,
+            subframes: 1,
+            mcs_pool: vec![20],
+            mode: SchedulerMode::RtOpexSteal,
+            ..ClusterConfig::demo()
+        };
+        let pool = CranCluster::prepare_pool(&cfg);
+        let p = &pool[0];
+        let serial = p.rx.decode_subframe(&p.samples).unwrap();
+        let blocks = p.rx.config().segmentation().num_blocks;
+        assert!(blocks >= 2, "need multiple code blocks");
+
+        let arena = CoreArena::new(&pool, &cfg);
+        let mut slab = JobSlab::new();
+        slab.warm(p.rx.config());
+        let mut job = p.rx.start_job_in(&p.samples, &mut slab).unwrap();
+        for b in 0..cfg.num_antennas {
+            job.run_fft_batch_local(b);
+        }
+        job.finish_fft();
+        for i in 0..job.demod_subtask_count() {
+            job.run_demod_subtask_local(i);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let epoch = publish_stage(
+            &arena,
+            TaskKind::Decode,
+            0,
+            blocks,
+            50.0,
+            deadline,
+            Some(job.coded_llrs()),
+        );
+        let (mut w, s) = steal::steal_pair(64);
+        for r in 0..blocks {
+            w.push(encode_ticket(epoch, r)).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let s = s.clone();
+                let arena = &arena;
+                let p = &pool[0];
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Taken(t) => {
+                            let (e, r) = decode_ticket(t);
+                            let ctx = arena.ctx.read();
+                            assert_eq!(ctx.epoch, e);
+                            let mut slot = arena.dec_slots[r].lock();
+                            let (iters, ok) =
+                                p.rx.run_decode_subtask_into(&ctx.llrs, r, &mut slot.bits);
+                            slot.iterations = iters;
+                            slot.crc_ok = ok;
+                            drop(slot);
+                            arena.ready[r].store(SLOT_DONE, Ordering::Release);
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
+                    }
+                });
+            }
+        });
+        // Owner: whatever was not stolen is still in the deque.
+        let mut local = 0;
+        while let Some(t) = w.pop() {
+            let (_, r) = decode_ticket(t);
+            job.run_decode_subtask_local(r);
+            local += 1;
+        }
+        for r in 0..blocks {
+            if !job.decode_done(r) {
+                assert_eq!(wait_slot(&arena.ready[r], deadline), SLOT_DONE);
+                let slot = arena.dec_slots[r].lock();
+                job.absorb_decode_buf(r, &slot);
+            }
+        }
+        let verdict = job.finish().unwrap();
+        assert!(local < blocks, "thieves never stole anything");
+        assert_eq!(verdict.crc_ok, serial.crc_ok);
+        assert_eq!(slab.payload(), &serial.payload[..]);
+    }
+
+    #[test]
+    fn budget_and_core_math() {
+        let cfg = ClusterConfig::demo();
+        assert_eq!(cfg.budget(), Duration::from_micros(1_000));
+        assert_eq!(cfg.total_cores(), 6);
+        assert!(SchedulerMode::RtOpexSteal.migrates());
+        assert!(!SchedulerMode::Global.migrates());
+    }
+
+    #[test]
+    #[should_panic(expected = "MCS pool")]
+    fn empty_pool_rejected() {
+        CranCluster::new(ClusterConfig {
+            mcs_pool: vec![],
+            ..ClusterConfig::demo()
+        });
+    }
+}

@@ -26,9 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod affinity;
+pub mod cluster;
 pub mod measure;
 pub mod migrate;
 pub mod node;
 
-pub use measure::{measure_migration_overhead, measure_stage_parallelism, StageMeasurement};
+pub use cluster::{ClusterConfig, ClusterReport, CranCluster, SchedulerMode};
+pub use measure::{
+    measure_migration_overhead, measure_stage_parallelism, measure_steal_overhead,
+    StageMeasurement, StealMeasurement,
+};
 pub use node::{CranNode, NodeConfig, NodeReport};

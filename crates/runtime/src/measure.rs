@@ -8,19 +8,26 @@
 //! * [`measure_migration_overhead`] — per-subtask execution time locally
 //!   vs. end-to-end through a migration mailbox on another core, whose
 //!   difference is the machine's real migration cost δ (Fig. 18 reports
-//!   ≈ 18–20 µs on the paper's Xeon).
+//!   ≈ 18–20 µs on the paper's Xeon);
+//! * [`measure_steal_overhead`] — the same comparison through the
+//!   lock-free work-stealing path, where the handoff is a ticket in a
+//!   bounded Chase–Lev deque instead of a boxed closure in a channel.
+//!   The gap between the two deltas is what the cluster's steal mode
+//!   saves per migration.
 
 use crate::affinity::pin_current_thread;
 use crate::migrate::{host_loop, mailbox, Envelope};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rtopex_core::steal::{self, Steal};
 use rtopex_model::stats::Samples;
 use rtopex_phy::channel::{AwgnChannel, ChannelModel};
 use rtopex_phy::params::Bandwidth;
 use rtopex_phy::tasks::TaskKind;
 use rtopex_phy::uplink::{SubframeJob, UplinkConfig, UplinkRx, UplinkTx};
 use rtopex_phy::Cf32;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Serial vs. two-core timings of one task (µs).
@@ -255,6 +262,120 @@ pub fn measure_migration_overhead(
     }
 }
 
+/// Local vs. stolen per-subtask timings (µs): the lock-free counterpart
+/// of [`MigrationMeasurement`].
+#[derive(Clone, Debug)]
+pub struct StealMeasurement {
+    /// The task whose subtasks were measured.
+    pub task: TaskKind,
+    /// Per-subtask time when executed by the owning thread.
+    pub local_us: Samples,
+    /// Per-subtask time when stolen by another core (push → steal →
+    /// execute → ready-flag round trip).
+    pub stolen_us: Samples,
+    /// Median overhead `stolen − local` (the steal-path δ), µs.
+    pub delta_us: f64,
+}
+
+/// Spin-then-yield until `done` reads `epoch` (pure spinning would starve
+/// the thief on machines with few CPUs).
+fn wait_done(done: &AtomicU64, epoch: u64) {
+    let mut spins = 0u32;
+    while done.load(Ordering::Acquire) != epoch {
+        if spins < 128 {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Measures a subtask locally vs. stolen by a second core through the
+/// Chase–Lev deque — the steal-path analogue of
+/// [`measure_migration_overhead`]. No allocation happens at handoff: the
+/// owner pushes a `(epoch, index)` ticket, the thief steals it, runs the
+/// subtask, and publishes completion through an atomic.
+pub fn measure_steal_overhead(
+    bw: Bandwidth,
+    antennas: usize,
+    mcs: u8,
+    task: TaskKind,
+    trials: usize,
+) -> StealMeasurement {
+    let bench = Workbench::new(bw, antennas, mcs, 0x057E_A100);
+    let mut local_us = Samples::new();
+    let mut stolen_us = Samples::new();
+
+    pin_current_thread(0);
+    let job = bench.job_at(task);
+    let count = bench.subtask_count(&job, task);
+    let (mut w, s) = steal::steal_pair(64);
+    let done = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|sc| {
+        let job_ref = &job;
+        let bench_ref = &bench;
+        let done = &done;
+        let stop = &stop;
+        sc.spawn(move || {
+            pin_current_thread(1);
+            loop {
+                match s.steal() {
+                    Steal::Taken(t) => {
+                        let (epoch, i) = steal::decode_ticket(t);
+                        bench_ref.run_subtask(job_ref, task, i);
+                        done.store(epoch, Ordering::Release);
+                    }
+                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Empty => {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        });
+        // Warm both paths untimed: caches and workspaces on each thread.
+        let mut epoch = 0u64;
+        for i in 0..count {
+            bench.run_subtask(&job, task, i);
+            epoch += 1;
+            w.push(steal::encode_ticket(epoch, i)).expect("deque room");
+            wait_done(done, epoch);
+        }
+        // Interleave local and stolen trials so ambient load perturbs
+        // both series equally.
+        for t in 0..trials {
+            let i = t % count;
+            let t0 = Instant::now();
+            bench.run_subtask(&job, task, i);
+            local_us.push(as_us(t0.elapsed()));
+
+            epoch += 1;
+            let t1 = Instant::now();
+            w.push(steal::encode_ticket(epoch, i)).expect("deque room");
+            wait_done(done, epoch);
+            stolen_us.push(as_us(t1.elapsed()));
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    let delta_us = {
+        let mut l = local_us.clone();
+        let mut m = stolen_us.clone();
+        m.median() - l.median()
+    };
+    StealMeasurement {
+        task,
+        local_us,
+        stolen_us,
+        delta_us,
+    }
+}
+
 /// Measures the serial wall time of one full subframe decode (µs) —
 /// handy for calibrating node periods on the current machine.
 pub fn measure_subframe_decode(bw: Bandwidth, antennas: usize, mcs: u8, trials: usize) -> Samples {
@@ -309,6 +430,23 @@ mod tests {
             migrated.median() >= local.median(),
             "migrated {} vs local {}",
             migrated.median(),
+            local.median()
+        );
+    }
+
+    #[test]
+    fn steal_overhead_measurement_is_sane() {
+        let m = measure_steal_overhead(Bandwidth::Mhz5, 1, 16, TaskKind::Fft, 12);
+        let mut local = m.local_us.clone();
+        let mut stolen = m.stolen_us.clone();
+        assert_eq!(local.len(), 12);
+        assert_eq!(stolen.len(), 12);
+        assert!(local.median() > 0.0 && stolen.median() > 0.0);
+        // The handoff adds cost, never removes it.
+        assert!(
+            stolen.median() >= local.median(),
+            "stolen {} vs local {}",
+            stolen.median(),
             local.median()
         );
     }

@@ -5,6 +5,19 @@
 //! shared *result-ready* flag, exactly the mechanism of §3.2.1 — the
 //! owner polls the flag after finishing its local share and recomputes
 //! (recovery) anything still pending.
+//!
+//! ## Why this module survives the lock-free runtime
+//!
+//! The cluster's hot path migrates through `rtopex_core::steal` tickets,
+//! which allocate nothing at handoff. The mailbox here is kept on
+//! purpose: it **is** the sender-initiated baseline
+//! ([`SchedulerMode::RtOpexMutex`](crate::cluster::SchedulerMode)) the
+//! steal path is benchmarked against, and it remains the instrument
+//! behind [`measure_migration_overhead`](crate::measure_migration_overhead)
+//! (Fig. 18's local-vs-migrated δ) and
+//! [`measure_stage_parallelism`](crate::measure_stage_parallelism)
+//! (Fig. 4) — those harnesses need the generality of an arbitrary
+//! closure crossing cores, which a fixed-kind ticket cannot express.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -140,24 +153,39 @@ mod tests {
     }
 
     #[test]
-    fn migrated_closure_borrows_scoped_data() {
-        // The 'a lifetime lets an envelope borrow stack data across threads
-        // inside a scope — the pattern the node uses for PHY subtasks.
+    fn migrated_subtask_borrows_scoped_data_via_steal() {
+        // Successor of the old envelope-based test: the steal path ships a
+        // plain (epoch, index) ticket, so the thief reads the borrowed
+        // stage data directly — no boxed closure, no allocation at
+        // handoff. Scoped threads give the same borrow guarantee the
+        // envelope lifetime used to.
+        use rtopex_core::steal::{decode_ticket, encode_ticket, steal_pair, Steal};
         let data = [1u64, 2, 3, 4];
         let slot = parking_lot::Mutex::new(0u64);
-        let mut result = 0u64;
-        std::thread::scope(|s| {
-            let (tx, rx) = mailbox();
-            s.spawn(move || host_loop(rx));
-            let (env, flag) = Envelope::new(|| {
-                *slot.lock() = data.iter().sum();
+        let done = AtomicBool::new(false);
+        let (mut w, s) = steal_pair(8);
+        w.push(encode_ticket(1, 0)).unwrap();
+        std::thread::scope(|sc| {
+            let slot = &slot;
+            let data = &data;
+            let done = &done;
+            sc.spawn(move || loop {
+                match s.steal() {
+                    Steal::Taken(t) => {
+                        let (epoch, idx) = decode_ticket(t);
+                        assert_eq!((epoch, idx), (1, 0));
+                        *slot.lock() = data.iter().sum();
+                        done.store(true, Ordering::Release);
+                        break;
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => std::thread::yield_now(),
+                }
             });
-            tx.send(env).unwrap();
-            assert!(flag.wait(std::time::Duration::from_secs(5)));
-            result = *slot.lock();
-            drop(tx);
         });
-        assert_eq!(result, 10);
+        assert!(done.load(Ordering::Acquire));
+        assert!(w.pop().is_none(), "ticket was stolen, not left behind");
+        assert_eq!(*slot.lock(), 10);
     }
 
     #[test]

@@ -4,8 +4,15 @@
 //! releases pre-encoded subframes on a fixed cadence to per-core queues
 //! (partitioned mapping), pinned processing threads decode them with the
 //! **real** PHY, and — when RT-OPEX is enabled — parallelizable stages are
-//! split per Algorithm 1 and shipped to idle workers as closures, with
-//! result-ready flags and local recovery of stragglers.
+//! split per Algorithm 1 and shipped to idle workers, with result-ready
+//! slots and local recovery of stragglers.
+//!
+//! Since the cluster runtime landed, [`CranNode`] is a compatibility
+//! facade: it drives a [`CranCluster`](crate::cluster::CranCluster) with
+//! one cell per basestation, selecting the mutex-mailbox RT-OPEX path
+//! (the historical behaviour of this module) when `migrate` is on. New
+//! code — the multi-cell experiments, the lock-free steal path — should
+//! use [`crate::cluster`] directly.
 //!
 //! ## Time dilation
 //!
@@ -18,26 +25,11 @@
 //! time vs. budget, gap sizes vs. migration cost — stay faithful;
 //! `DESIGN.md` records this substitution.
 
-use crate::affinity::pin_current_thread;
-use crate::migrate::{Envelope, ResultFlag};
-use parking_lot::{Condvar, Mutex};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::cluster::{ClusterConfig, CranCluster, SchedulerMode};
 use rtopex_core::metrics::{DeadlineMetrics, MigrationStats};
-use rtopex_core::migration::plan_migration;
-use rtopex_core::partitioned::PartitionedSchedule;
-use rtopex_core::time::Nanos;
 use rtopex_model::stats::Samples;
-use rtopex_phy::channel::{AwgnChannel, ChannelModel};
 use rtopex_phy::params::Bandwidth;
-use rtopex_phy::tasks::TaskKind;
-use rtopex_phy::uplink::{BlockOut, FftOut, UplinkConfig, UplinkRx, UplinkTx};
-use rtopex_phy::Cf32;
-use rtopex_workload::{load_to_mcs, LoadTrace, TraceParams};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of a node run.
 #[derive(Clone, Debug)]
@@ -98,6 +90,28 @@ impl NodeConfig {
     pub fn total_cores(&self) -> usize {
         self.num_bs * 2
     }
+
+    /// The equivalent cluster configuration: one cell per basestation,
+    /// with `migrate` selecting the mutex-mailbox RT-OPEX path.
+    pub fn to_cluster(&self) -> ClusterConfig {
+        ClusterConfig {
+            bandwidth: self.bandwidth,
+            num_antennas: self.num_antennas,
+            num_cells: self.num_bs,
+            subframes: self.subframes,
+            period: self.period,
+            rtt_half: self.rtt_half,
+            mode: if self.migrate {
+                SchedulerMode::RtOpexMutex
+            } else {
+                SchedulerMode::Partitioned
+            },
+            snr_db: self.snr_db,
+            mcs_pool: self.mcs_pool.clone(),
+            delta_us: self.delta_us,
+            seed: self.seed,
+        }
+    }
 }
 
 /// Results of a node run.
@@ -117,129 +131,7 @@ pub struct NodeReport {
     pub pinned: bool,
 }
 
-/// A pre-encoded, channel-impaired subframe ready for decoding.
-struct Prepared {
-    mcs: u8,
-    rx: UplinkRx,
-    samples: Vec<Vec<Cf32>>,
-}
-
-/// Calibrated per-MCS execution estimates (µs), indexed like `mcs_pool`.
-#[derive(Clone, Debug, Default)]
-struct Calib {
-    fft_batch_us: f64,
-    demod_us: Vec<f64>,
-    decode_block_us: Vec<f64>,
-    decode_total_us: Vec<f64>,
-}
-
-struct OwnJob<'a> {
-    bs: usize,
-    prepared: &'a Prepared,
-    pool_idx: usize,
-    deadline: Instant,
-}
-
-enum Work<'a> {
-    Own(Box<OwnJob<'a>>),
-    Migrated(Envelope<'a>),
-    Shutdown,
-}
-
-struct InboxState<'a> {
-    own: VecDeque<Box<OwnJob<'a>>>,
-    migrated: VecDeque<Envelope<'a>>,
-    shutdown: bool,
-}
-
-struct Inbox<'a> {
-    state: Mutex<InboxState<'a>>,
-    cv: Condvar,
-}
-
-impl<'a> Inbox<'a> {
-    fn new() -> Self {
-        Inbox {
-            state: Mutex::new(InboxState {
-                own: VecDeque::new(),
-                migrated: VecDeque::new(),
-                shutdown: false,
-            }),
-            cv: Condvar::new(),
-        }
-    }
-}
-
-struct Metrics {
-    deadline: DeadlineMetrics,
-    migration: MigrationStats,
-    proc_us: Samples,
-    dropped: u64,
-    crc_failures: u64,
-}
-
-struct Shared<'a> {
-    cfg: &'a NodeConfig,
-    inboxes: Vec<Inbox<'a>>,
-    /// True while a worker is parked in its waiting state.
-    idle: Vec<AtomicBool>,
-    metrics: Mutex<Metrics>,
-    calib: Calib,
-    schedule: PartitionedSchedule,
-    /// Over-the-air instant of subframe 0; releases derive from it.
-    epoch: Instant,
-    pinned: AtomicBool,
-}
-
-impl<'a> Shared<'a> {
-    /// Ideal release instant of subframe `j` (arrival + transport).
-    fn release_instant(&self, j: u64) -> Instant {
-        self.epoch + self.cfg.period * j as u32 + self.cfg.rtt_half
-    }
-
-    /// The next release that will preempt `core`, strictly after `now`.
-    fn next_release(&self, core: usize, now: Instant) -> Instant {
-        let phase = (core % 2) as u64;
-        let base = self.epoch + self.cfg.rtt_half;
-        let elapsed = now.saturating_duration_since(base);
-        let mut j = (elapsed.as_nanos() / self.cfg.period.as_nanos()) as u64;
-        while j % 2 != phase || self.release_instant(j) <= now {
-            j += 1;
-        }
-        if j >= self.cfg.subframes as u64 {
-            // No more releases: a generous horizon.
-            return now + self.cfg.period * 64;
-        }
-        self.release_instant(j)
-    }
-
-    /// Idle-core candidates for Algorithm 1 at `now` (free time in ns),
-    /// written into the caller's scratch vector so the per-subframe hot
-    /// path performs no allocation once the scratch has grown.
-    fn idle_cores_into(&self, now: Instant, me: usize, out: &mut Vec<(usize, Nanos)>) {
-        out.clear();
-        for c in 0..self.inboxes.len() {
-            if c == me || !self.idle[c].load(Ordering::Acquire) {
-                continue;
-            }
-            let window = self.next_release(c, now).saturating_duration_since(now);
-            let w = Nanos(window.as_nanos() as u64);
-            if w > Nanos::ZERO {
-                out.push((c, w));
-            }
-        }
-        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    }
-
-    fn push_migrated(&self, host: usize, env: Envelope<'a>) {
-        let mut st = self.inboxes[host].state.lock();
-        st.migrated.push_back(env);
-        drop(st);
-        self.inboxes[host].cv.notify_one();
-    }
-}
-
-/// The node itself.
+/// The node itself: a single-tenant facade over the cluster runtime.
 pub struct CranNode {
     cfg: NodeConfig,
 }
@@ -260,462 +152,18 @@ impl CranNode {
         &self.cfg
     }
 
-    /// Pre-encodes one subframe per pool MCS.
-    fn prepare_pool(&self) -> Vec<Prepared> {
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x9E37);
-        self.cfg
-            .mcs_pool
-            .iter()
-            .map(|&mcs| {
-                let cfg = UplinkConfig::new(self.cfg.bandwidth, self.cfg.num_antennas, mcs)
-                    .expect("config");
-                let tx = UplinkTx::new(cfg.clone());
-                let payload: Vec<u8> = (0..cfg.transport_block_bytes())
-                    .map(|_| rng.gen())
-                    .collect();
-                let sf = tx.encode_subframe(&payload).expect("encode");
-                let mut chan = AwgnChannel::new(self.cfg.snr_db);
-                let samples = chan.apply(&sf.samples, self.cfg.num_antennas, &mut rng);
-                Prepared {
-                    mcs,
-                    rx: UplinkRx::new(cfg),
-                    samples,
-                }
-            })
-            .collect()
-    }
-
-    /// Measures per-stage execution on this machine so Algorithm 1 has
-    /// deterministic `tp` estimates. Each pool entry is decoded serially
-    /// three times and the per-stage **median** is kept: a single trial is
-    /// vulnerable to a cold cache or a scheduler hiccup inflating an
-    /// estimate, which would then bias every migration decision of the run.
-    fn calibrate(pool: &[Prepared]) -> Calib {
-        const TRIALS: usize = 3;
-        let mut calib = Calib::default();
-        let mut fft_batches = Samples::new();
-        for p in pool {
-            let mut fft_trials = Samples::new();
-            let mut demod_trials = Samples::new();
-            let mut dec_trials = Samples::new();
-            let mut blocks = 1usize;
-            for _ in 0..TRIALS {
-                let mut job = p.rx.start_job(&p.samples).expect("job");
-                let t0 = Instant::now();
-                for i in 0..job.fft_subtask_count() {
-                    let out = job.run_fft_subtask(i);
-                    job.absorb_fft(out);
-                }
-                let fft_us = t0.elapsed().as_secs_f64() * 1e6;
-                fft_trials.push(fft_us / p.samples.len() as f64);
-                job.finish_fft();
-                let t1 = Instant::now();
-                for i in 0..job.demod_subtask_count() {
-                    let out = job.run_demod_subtask(i);
-                    job.absorb_demod(out);
-                }
-                demod_trials.push(t1.elapsed().as_secs_f64() * 1e6);
-                let t2 = Instant::now();
-                blocks = job.decode_subtask_count();
-                for r in 0..blocks {
-                    let out = job.run_decode_subtask(r);
-                    job.absorb_decode(out);
-                }
-                dec_trials.push(t2.elapsed().as_secs_f64() * 1e6);
-                let _ = job.finish();
-            }
-            fft_batches.push(fft_trials.median());
-            calib.demod_us.push(demod_trials.median());
-            let dec_us = dec_trials.median();
-            calib.decode_total_us.push(dec_us);
-            calib.decode_block_us.push(dec_us / blocks as f64);
-        }
-        calib.fft_batch_us = fft_batches.mean();
-        calib
-    }
-
-    /// Per-BS pool-index sequences from the tower traces.
-    fn schedule_mcs(&self, pool: &[Prepared]) -> Vec<Vec<usize>> {
-        (0..self.cfg.num_bs)
-            .map(|bs| {
-                let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(bs as u64 * 7919));
-                let mut trace = LoadTrace::new(TraceParams::tower(bs % 4));
-                (0..self.cfg.subframes)
-                    .map(|_| {
-                        let mcs = load_to_mcs(trace.next_load(&mut rng)).index();
-                        // Snap to the nearest pre-encoded MCS.
-                        pool.iter()
-                            .enumerate()
-                            .min_by_key(|(_, p)| (p.mcs as i32 - mcs as i32).abs())
-                            .map(|(i, _)| i)
-                            .expect("non-empty pool")
-                    })
-                    .collect()
-            })
-            .collect()
-    }
-
     /// Runs the node to completion (blocking) and reports.
     pub fn run(&self) -> NodeReport {
-        let pool = self.prepare_pool();
-        let calib = Self::calibrate(&pool);
-        let mcs_seq = self.schedule_mcs(&pool);
-        let cores = self.cfg.total_cores();
-        let shared = Shared {
-            cfg: &self.cfg,
-            inboxes: (0..cores).map(|_| Inbox::new()).collect(),
-            idle: (0..cores).map(|_| AtomicBool::new(false)).collect(),
-            metrics: Mutex::new(Metrics {
-                deadline: DeadlineMetrics::new(self.cfg.num_bs),
-                migration: MigrationStats::default(),
-                proc_us: Samples::new(),
-                dropped: 0,
-                crc_failures: 0,
-            }),
-            calib,
-            schedule: PartitionedSchedule::with_cores_per_bs(self.cfg.num_bs, 2),
-            epoch: Instant::now() + Duration::from_millis(20),
-            pinned: AtomicBool::new(false),
-        };
-
-        std::thread::scope(|s| {
-            let shared = &shared;
-            let pool = &pool;
-            for core in 0..cores {
-                s.spawn(move || worker_loop(core, shared, pool));
-            }
-            // Transport: this thread plays the paper's transport component.
-            for j in 0..self.cfg.subframes as u64 {
-                let target = shared.release_instant(j);
-                sleep_until(target);
-                for (bs, seq) in mcs_seq.iter().enumerate() {
-                    let core = shared.schedule.core_for(bs, j);
-                    let pool_idx = seq[j as usize];
-                    let job = Box::new(OwnJob {
-                        bs,
-                        prepared: &pool[pool_idx],
-                        pool_idx,
-                        deadline: target + self.cfg.budget(),
-                    });
-                    let mut st = shared.inboxes[core].state.lock();
-                    st.own.push_back(job);
-                    drop(st);
-                    shared.inboxes[core].cv.notify_one();
-                }
-            }
-            // Drain, then shut down.
-            std::thread::sleep(self.cfg.budget() + self.cfg.period * 4);
-            for inbox in &shared.inboxes {
-                inbox.state.lock().shutdown = true;
-                inbox.cv.notify_all();
-            }
-        });
-
-        let m = shared.metrics.into_inner();
+        let r = CranCluster::new(self.cfg.to_cluster()).run();
         NodeReport {
-            deadline: m.deadline,
-            migration: m.migration,
-            proc_us: m.proc_us,
-            dropped: m.dropped,
-            crc_failures: m.crc_failures,
-            pinned: shared.pinned.load(Ordering::Relaxed),
+            deadline: r.deadline,
+            migration: r.migration,
+            proc_us: r.proc_us,
+            dropped: r.dropped,
+            crc_failures: r.crc_failures,
+            pinned: r.pinned,
         }
     }
-}
-
-fn sleep_until(target: Instant) {
-    loop {
-        let now = Instant::now();
-        if now >= target {
-            return;
-        }
-        let remaining = target - now;
-        if remaining > Duration::from_micros(300) {
-            std::thread::sleep(remaining - Duration::from_micros(200));
-        } else {
-            std::hint::spin_loop();
-        }
-    }
-}
-
-fn worker_loop<'a>(me: usize, shared: &Shared<'a>, pool: &'a [Prepared]) {
-    if matches!(pin_current_thread(me), crate::affinity::PinOutcome::Pinned) && me == 0 {
-        shared.pinned.store(true, Ordering::Relaxed);
-    }
-    // Pre-grow this worker's thread-local PHY workspace for every pool
-    // configuration, so no subframe — own or migrated — pays allocation
-    // cost inside its deadline window.
-    rtopex_phy::workspace::with_thread_workspace(|ws| {
-        for p in pool {
-            ws.warm(p.rx.config());
-        }
-    });
-    // Reused by every Algorithm 1 invocation on this worker (idle-core
-    // candidate list); grows once, never reallocates afterwards.
-    let mut idle_scratch: Vec<(usize, Nanos)> = Vec::with_capacity(shared.inboxes.len());
-    loop {
-        let work = {
-            let mut st = shared.inboxes[me].state.lock();
-            loop {
-                if let Some(j) = st.own.pop_front() {
-                    break Work::Own(j);
-                }
-                if let Some(e) = st.migrated.pop_front() {
-                    break Work::Migrated(e);
-                }
-                if st.shutdown {
-                    break Work::Shutdown;
-                }
-                shared.idle[me].store(true, Ordering::Release);
-                shared.inboxes[me].cv.wait(&mut st);
-                shared.idle[me].store(false, Ordering::Release);
-            }
-        };
-        match work {
-            Work::Own(job) => process_subframe(me, shared, &job, &mut idle_scratch),
-            Work::Migrated(env) => env.run(),
-            Work::Shutdown => return,
-        }
-    }
-}
-
-/// Executes a parallelizable stage, migrating per Algorithm 1 when
-/// enabled. `run_local` executes subtask `i` on the owner; `make_remote`
-/// builds the closure a host will run for subtask `i`; `recover`
-/// recomputes a straggler locally.
-#[allow(clippy::too_many_arguments)]
-fn parallel_stage<'a>(
-    me: usize,
-    shared: &Shared<'a>,
-    kind: TaskKind,
-    count: usize,
-    tp_us: f64,
-    deadline: Instant,
-    run_local: &mut dyn FnMut(usize),
-    make_remote: &dyn Fn(usize) -> (Envelope<'a>, ResultFlag),
-    recover: &mut dyn FnMut(usize),
-    idle_scratch: &mut Vec<(usize, Nanos)>,
-) {
-    if !shared.cfg.migrate || count <= 1 {
-        for i in 0..count {
-            run_local(i);
-        }
-        if shared.cfg.migrate {
-            shared.metrics.lock().migration.record_stage(kind, count, 0);
-        }
-        return;
-    }
-    let now = Instant::now();
-    shared.idle_cores_into(now, me, idle_scratch);
-    let plan = plan_migration(
-        count,
-        Nanos::from_us_f64(tp_us),
-        Nanos::from_us_f64(shared.cfg.delta_us),
-        idle_scratch,
-    );
-    // Owner keeps the first `local` subtasks; batches take the tail.
-    let mut next = plan.local;
-    let mut outstanding: Vec<(usize, ResultFlag)> = Vec::new();
-    for &(host, n) in &plan.assignments {
-        for _ in 0..n {
-            let (env, flag) = make_remote(next);
-            shared.push_migrated(host, env);
-            outstanding.push((next, flag));
-            next += 1;
-        }
-    }
-    debug_assert_eq!(next, count);
-    for i in 0..plan.local {
-        run_local(i);
-    }
-    // Consume migrated results; recover stragglers (Fig. 12 state 6).
-    let mut recoveries = 0usize;
-    for (i, flag) in outstanding {
-        let budget = deadline.saturating_duration_since(Instant::now());
-        if !flag.wait(budget.min(Duration::from_millis(50))) {
-            recover(i);
-            recoveries += 1;
-        }
-    }
-    let mut m = shared.metrics.lock();
-    m.migration.record_stage(kind, count, plan.migrated());
-    if recoveries > 0 {
-        m.migration.record_recovery(recoveries);
-    }
-}
-
-fn process_subframe<'a>(
-    me: usize,
-    shared: &Shared<'a>,
-    job: &OwnJob<'a>,
-    idle_scratch: &mut Vec<(usize, Nanos)>,
-) {
-    let cfg = shared.cfg;
-    let prepared = job.prepared;
-    let started = Instant::now();
-    let pidx = job.pool_idx;
-    let calib = &shared.calib;
-
-    let drop_task = |shared: &Shared<'a>, bs: usize| {
-        let mut m = shared.metrics.lock();
-        m.deadline.record(bs, true);
-        m.dropped += 1;
-    };
-
-    // Stage slack checks use the calibrated serial stage estimates.
-    let est_fft = Duration::from_secs_f64(calib.fft_batch_us * cfg.num_antennas as f64 / 1e6);
-    if Instant::now() + est_fft > job.deadline {
-        drop_task(shared, job.bs);
-        return;
-    }
-
-    let mut phy_job = prepared
-        .rx
-        .start_job(&prepared.samples)
-        .expect("prepared samples are consistent");
-
-    // --- FFT task: subtask = one antenna's 14-symbol batch. ---
-    let antennas = cfg.num_antennas;
-    let fft_slots: Arc<Vec<Mutex<Option<Vec<FftOut>>>>> =
-        Arc::new((0..antennas).map(|_| Mutex::new(None)).collect());
-    {
-        let rx = &prepared.rx;
-        let samples = &prepared.samples;
-        let mut absorbed: Vec<Vec<FftOut>> = Vec::new();
-        let mut run_local = |b: usize| {
-            let outs: Vec<FftOut> = (b * 14..(b + 1) * 14)
-                .map(|i| rx.run_fft_subtask_on(samples, i))
-                .collect();
-            absorbed.push(outs);
-        };
-        let make_remote = |b: usize| {
-            let slots = Arc::clone(&fft_slots);
-            Envelope::new(move || {
-                let outs: Vec<FftOut> = (b * 14..(b + 1) * 14)
-                    .map(|i| rx.run_fft_subtask_on(samples, i))
-                    .collect();
-                *slots[b].lock() = Some(outs);
-            })
-        };
-        let fft_slots_rec = Arc::clone(&fft_slots);
-        let mut recover = move |b: usize| {
-            let outs: Vec<FftOut> = (b * 14..(b + 1) * 14)
-                .map(|i| rx.run_fft_subtask_on(samples, i))
-                .collect();
-            *fft_slots_rec[b].lock() = Some(outs);
-        };
-        parallel_stage(
-            me,
-            shared,
-            TaskKind::Fft,
-            antennas,
-            calib.fft_batch_us,
-            job.deadline,
-            &mut run_local,
-            &make_remote,
-            &mut recover,
-            idle_scratch,
-        );
-        for outs in absorbed {
-            for o in outs {
-                phy_job.absorb_fft(o);
-            }
-        }
-        for slot in fft_slots.iter() {
-            if let Some(outs) = slot.lock().take() {
-                for o in outs {
-                    phy_job.absorb_fft(o);
-                }
-            }
-        }
-    }
-    phy_job.finish_fft();
-
-    // --- Demod task: serial on the owner. ---
-    let est_demod = Duration::from_secs_f64(calib.demod_us[pidx] / 1e6);
-    if Instant::now() + est_demod > job.deadline {
-        drop_task(shared, job.bs);
-        return;
-    }
-    for i in 0..phy_job.demod_subtask_count() {
-        let out = phy_job.run_demod_subtask(i);
-        phy_job.absorb_demod(out);
-    }
-
-    // --- Decode task: subtask = one code block. ---
-    let est_dec = Duration::from_secs_f64(calib.decode_total_us[pidx] / 1e6);
-    // Migration roughly halves the decode critical path; the slack check
-    // is plan-aware like the simulator's.
-    let est_effective = if cfg.migrate && phy_job.decode_subtask_count() > 1 {
-        est_dec / 2 + Duration::from_secs_f64(cfg.delta_us / 1e6)
-    } else {
-        est_dec
-    };
-    if Instant::now() + est_effective > job.deadline {
-        drop_task(shared, job.bs);
-        return;
-    }
-    let blocks = phy_job.decode_subtask_count();
-    let dec_slots: Arc<Vec<Mutex<Option<BlockOut>>>> =
-        Arc::new((0..blocks).map(|_| Mutex::new(None)).collect());
-    // The shareable LLR snapshot is built lazily, on the first envelope
-    // Algorithm 1 actually ships: a subframe that stays local (the common
-    // case) never pays the copy.
-    let llr_cache: OnceLock<Arc<Vec<f32>>> = OnceLock::new();
-    {
-        let rx = &prepared.rx;
-        let phy_job_ref = &phy_job;
-        let mut local_outs: Vec<BlockOut> = Vec::new();
-        let mut run_local = |r: usize| {
-            local_outs.push(phy_job_ref.run_decode_subtask(r));
-        };
-        let make_remote = |r: usize| {
-            let llrs =
-                Arc::clone(llr_cache.get_or_init(|| Arc::new(phy_job_ref.coded_llrs().to_vec())));
-            let slots = Arc::clone(&dec_slots);
-            Envelope::new(move || {
-                let out = rx.run_decode_subtask_on(&llrs, r);
-                *slots[r].lock() = Some(out);
-            })
-        };
-        let mut recover = |r: usize| {
-            let llrs = llr_cache
-                .get()
-                .expect("recovery implies a migration happened");
-            let out = rx.run_decode_subtask_on(llrs, r);
-            *dec_slots[r].lock() = Some(out);
-        };
-        parallel_stage(
-            me,
-            shared,
-            TaskKind::Decode,
-            blocks,
-            calib.decode_block_us[pidx],
-            job.deadline,
-            &mut run_local,
-            &make_remote,
-            &mut recover,
-            idle_scratch,
-        );
-        for out in local_outs {
-            phy_job.absorb_decode(out);
-        }
-        for slot in dec_slots.iter() {
-            if let Some(out) = slot.lock().take() {
-                phy_job.absorb_decode(out);
-            }
-        }
-    }
-
-    let output = phy_job.finish().expect("all subtasks absorbed");
-    let finished = Instant::now();
-    let mut m = shared.metrics.lock();
-    m.deadline.record(job.bs, finished > job.deadline);
-    if !output.crc_ok {
-        m.crc_failures += 1;
-    }
-    m.proc_us
-        .push(finished.saturating_duration_since(started).as_secs_f64() * 1e6);
 }
 
 #[cfg(test)]
@@ -759,7 +207,7 @@ mod tests {
     fn rtopex_node_migrates_and_decodes_correctly() {
         let node = CranNode::new(quick_cfg(true));
         let r = node.run();
-        // Real closures crossed threads…
+        // Real subtasks crossed threads…
         assert!(
             r.migration.fft_migrated + r.migration.decode_migrated > 0,
             "no migrations happened"
@@ -774,6 +222,7 @@ mod tests {
         let cfg = NodeConfig::demo();
         assert_eq!(cfg.budget(), Duration::from_micros(1_000));
         assert_eq!(cfg.total_cores(), 4);
+        assert_eq!(cfg.to_cluster().mode, SchedulerMode::RtOpexMutex);
     }
 
     #[test]

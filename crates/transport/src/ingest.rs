@@ -1,0 +1,204 @@
+//! Batched multi-cell fronthaul ingest.
+//!
+//! When one host consolidates N RAPs (the Fig. 17/18 regime), their IQ
+//! streams do not arrive over N independent transports: every radio's
+//! 1 GbE link funnels through the same aggregation switch into the GPP's
+//! single 10 GbE port, and a single delivery thread demultiplexes the
+//! stream to the per-cell workers. This module models that shared path:
+//! the per-radio serialization still happens in parallel, but the
+//! aggregation link carries all cells' subframes back-to-back each 1 ms
+//! period, so cell *k*'s samples land `Σ_{j≤k} serialize(j)` after the
+//! first byte — a deterministic stagger the cluster scheduler can exploit
+//! (cells do not all release at the same instant, spreading the load).
+//!
+//! All steady-state methods write into caller-owned buffers so the
+//! delivery thread stays allocation-free.
+
+use crate::link::{TestbedLink, BYTES_PER_SAMPLE};
+use rand::Rng;
+use rtopex_phy::params::Bandwidth;
+
+/// One consolidated cell's fronthaul demand.
+#[derive(Clone, Copy, Debug)]
+pub struct CellFeed {
+    /// The cell's LTE bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Receive antennas at the RAP.
+    pub num_antennas: usize,
+}
+
+impl CellFeed {
+    /// Bytes this cell ships per subframe period (all antennas).
+    pub fn bytes_per_subframe(&self) -> usize {
+        self.bandwidth.samples_per_subframe() * BYTES_PER_SAMPLE * self.num_antennas
+    }
+}
+
+/// Shared-port ingest for N consolidated cells.
+#[derive(Clone, Debug)]
+pub struct MulticellIngest {
+    link: TestbedLink,
+    cells: Vec<CellFeed>,
+}
+
+impl MulticellIngest {
+    /// Builds an ingest plan for `cells` sharing `link`'s aggregation port.
+    pub fn new(link: TestbedLink, cells: Vec<CellFeed>) -> Self {
+        MulticellIngest { link, cells }
+    }
+
+    /// A homogeneous cluster: `n` identical cells.
+    pub fn homogeneous(link: TestbedLink, n: usize, bandwidth: Bandwidth, ants: usize) -> Self {
+        Self::new(
+            link,
+            vec![
+                CellFeed {
+                    bandwidth,
+                    num_antennas: ants
+                };
+                n
+            ],
+        )
+    }
+
+    /// Number of consolidated cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The per-cell feeds.
+    pub fn cells(&self) -> &[CellFeed] {
+        &self.cells
+    }
+
+    /// Total bytes crossing the aggregation port per subframe period.
+    pub fn aggregate_bytes_per_subframe(&self) -> usize {
+        self.cells.iter().map(CellFeed::bytes_per_subframe).sum()
+    }
+
+    /// Time to serialize one period's worth of every cell over the shared
+    /// aggregation link, µs — the quantity that must stay below the period
+    /// for the port not to build a queue.
+    pub fn aggregate_serialize_us(&self) -> f64 {
+        self.aggregate_bytes_per_subframe() as f64 * 8.0 / self.link.aggregate_bps * 1e6
+    }
+
+    /// Whether the shared port can sustain all cells at `period_us`
+    /// (worst-case delivery of the last cell, jitter included, inside the
+    /// period — the paper's supportability criterion generalized to N
+    /// cells).
+    pub fn sustainable(&self, period_us: f64) -> bool {
+        let last = self
+            .deterministic_delivery_us(self.cells.len().saturating_sub(1))
+            .unwrap_or(0.0);
+        last + self.link.jitter_us < period_us
+    }
+
+    /// Deterministic delivery offset of cell `idx` within a period, µs:
+    /// base latency + its radio-link serialization (parallel across
+    /// antennas/radios) + the aggregation link's back-to-back serialization
+    /// of every cell up to and including it.
+    pub fn deterministic_delivery_us(&self, idx: usize) -> Option<f64> {
+        let cell = self.cells.get(idx)?;
+        let radio =
+            TestbedLink::subframe_bytes(cell.bandwidth) as f64 * 8.0 / self.link.radio_bps * 1e6;
+        let agg_bytes: usize = self.cells[..=idx]
+            .iter()
+            .map(CellFeed::bytes_per_subframe)
+            .sum();
+        let agg = agg_bytes as f64 * 8.0 / self.link.aggregate_bps * 1e6;
+        Some(self.link.base_us + radio + agg)
+    }
+
+    /// Fills `out[k]` with cell `k`'s delivery offset for one period,
+    /// adding a single shared jitter draw (one delivery thread, one port).
+    /// Reuses `out`'s capacity — allocation-free once warmed.
+    pub fn plan_deliveries_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<f64>) {
+        let jitter = if self.link.jitter_us > 0.0 {
+            rng.gen_range(0.0..=self.link.jitter_us)
+        } else {
+            0.0
+        };
+        out.clear();
+        for k in 0..self.cells.len() {
+            let d = self.deterministic_delivery_us(k).unwrap_or(0.0);
+            out.push(d + jitter);
+        }
+    }
+
+    /// The largest homogeneous cell count the shared port sustains at
+    /// `period_us`.
+    pub fn max_supported_cells(
+        link: TestbedLink,
+        bandwidth: Bandwidth,
+        ants: usize,
+        period_us: f64,
+    ) -> usize {
+        (1..=256)
+            .take_while(|&n| Self::homogeneous(link, n, bandwidth, ants).sustainable(period_us))
+            .last()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn link() -> TestbedLink {
+        TestbedLink::paper_testbed()
+    }
+
+    #[test]
+    fn aggregate_bytes_sum_over_cells() {
+        let ing = MulticellIngest::homogeneous(link(), 3, Bandwidth::Mhz5, 2);
+        assert_eq!(ing.aggregate_bytes_per_subframe(), 3 * 2 * 7_680 * 4);
+        assert_eq!(ing.num_cells(), 3);
+    }
+
+    #[test]
+    fn deliveries_are_staggered_and_monotone() {
+        let ing = MulticellIngest::homogeneous(link(), 4, Bandwidth::Mhz5, 2);
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        ing.plan_deliveries_into(&mut rng, &mut out);
+        assert_eq!(out.len(), 4);
+        for w in out.windows(2) {
+            assert!(w[1] > w[0], "later cells deliver strictly later");
+        }
+        // The stagger between adjacent cells equals one cell's aggregate
+        // serialization time.
+        let per_cell = ing.aggregate_serialize_us() / 4.0;
+        assert!((out[1] - out[0] - per_cell).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_cell_matches_link_model() {
+        let ing = MulticellIngest::homogeneous(link(), 1, Bandwidth::Mhz5, 2);
+        let d = ing.deterministic_delivery_us(0).unwrap();
+        let expect = link().one_way_deterministic_us(Bandwidth::Mhz5, 2);
+        assert!((d - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sustainability_bounds_cell_count() {
+        let max = MulticellIngest::max_supported_cells(link(), Bandwidth::Mhz5, 2, 1000.0);
+        assert!(max >= 2, "a 10 GbE port carries several 5 MHz cells");
+        let over = MulticellIngest::homogeneous(link(), max + 1, Bandwidth::Mhz5, 2);
+        assert!(!over.sustainable(1000.0));
+    }
+
+    #[test]
+    fn plan_reuses_buffer() {
+        let ing = MulticellIngest::homogeneous(link(), 8, Bandwidth::Mhz1_4, 2);
+        let mut out = Vec::with_capacity(8);
+        let ptr = out.as_ptr();
+        let mut rng = StdRng::seed_from_u64(2);
+        ing.plan_deliveries_into(&mut rng, &mut out);
+        ing.plan_deliveries_into(&mut rng, &mut out);
+        assert_eq!(out.len(), 8);
+        assert_eq!(out.as_ptr(), ptr, "no reallocation when warmed");
+    }
+}

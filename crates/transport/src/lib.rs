@@ -20,16 +20,22 @@
 //! * [`packet`] — an IQ packetizer (16-bit I/Q over MTU-sized frames, with
 //!   sequence/identity headers), standing in for the CWARP transport
 //!   library the testbed used.
+//! * [`ingest`] — batched multi-cell ingest: N consolidated cells sharing
+//!   one aggregation port and one delivery thread, with deterministic
+//!   per-cell delivery stagger (the transport side of Fig. 17/18's
+//!   consolidation story).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cloud;
 pub mod fronthaul;
+pub mod ingest;
 pub mod link;
 pub mod packet;
 
 pub use cloud::CloudLatency;
 pub use fronthaul::Fronthaul;
+pub use ingest::{CellFeed, MulticellIngest};
 pub use link::TestbedLink;
 pub use packet::{IqPacketizer, PacketHeader};

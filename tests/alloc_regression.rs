@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtopex::phy::channel::{AwgnChannel, ChannelModel};
 use rtopex::phy::params::Bandwidth;
-use rtopex::phy::uplink::{RxOutput, UplinkConfig, UplinkRx, UplinkTx};
+use rtopex::phy::uplink::{BlockBuf, JobSlab, RxOutput, UplinkConfig, UplinkRx, UplinkTx};
 use rtopex::phy::workspace::PhyWorkspace;
 use rtopex::phy::Cf32;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -162,6 +162,72 @@ fn warm_start_decode_makes_zero_allocations_across_configs() {
         }
     });
     assert_eq!(allocs, 0, "alternating configs must reuse warmed buffers");
+}
+
+/// One subframe through the cluster's staged slab path, with antenna 0
+/// and code block 0 taking the "migrated" route: kernels execute into
+/// preallocated slot buffers (as a thief would) and the owner absorbs
+/// them. Returns the transport-block CRC verdict.
+fn slab_round(
+    rx: &UplinkRx,
+    samples: &[Vec<Cf32>],
+    slab: &mut JobSlab,
+    fft_slot: &mut Vec<Cf32>,
+    dec_slot: &mut BlockBuf,
+) -> bool {
+    let mut job = rx.start_job_in(samples, slab).expect("job");
+    rx.run_fft_batch_into(samples, 0, fft_slot);
+    job.absorb_fft_batch(0, fft_slot);
+    for b in 1..samples.len() {
+        job.run_fft_batch_local(b);
+    }
+    job.finish_fft();
+    for i in 0..job.demod_subtask_count() {
+        job.run_demod_subtask_local(i);
+    }
+    let blocks = job.decode_subtask_count();
+    let (iterations, crc_ok) = rx.run_decode_subtask_into(job.coded_llrs(), 0, &mut dec_slot.bits);
+    dec_slot.iterations = iterations;
+    dec_slot.crc_ok = crc_ok;
+    job.absorb_decode_buf(0, dec_slot);
+    for r in 1..blocks {
+        job.run_decode_subtask_local(r);
+    }
+    job.finish().expect("finish").crc_ok
+}
+
+#[test]
+fn staged_slab_path_makes_zero_allocations() {
+    // The cluster node's per-subframe path: slab job + arena-style slot
+    // buffers. After warming (and one settling round) the whole staged
+    // pipeline — including the migrated-and-absorbed subtasks — must not
+    // touch the heap.
+    let cfg = UplinkConfig::new(Bandwidth::Mhz5, 2, 20).unwrap();
+    assert!(cfg.segmentation().num_blocks >= 2, "want multi-block");
+    let (_, samples) = make_subframe(&cfg, 28.0, 0x51AB);
+    let rx = UplinkRx::new(cfg.clone());
+
+    rtopex::phy::workspace::with_thread_workspace(|ws| ws.warm(&cfg));
+    let mut slab = JobSlab::new();
+    slab.warm(&cfg);
+    let mut fft_slot: Vec<Cf32> = Vec::with_capacity(14 * cfg.bandwidth.num_subcarriers());
+    let mut dec_slot = BlockBuf::new();
+    dec_slot.warm(&cfg);
+    let warm = slab_round(&rx, &samples, &mut slab, &mut fft_slot, &mut dec_slot);
+    assert!(warm, "test vector must decode cleanly");
+
+    let (crc_ok, allocs) = count_allocs(|| {
+        let mut all_ok = true;
+        for _ in 0..5 {
+            all_ok &= slab_round(&rx, &samples, &mut slab, &mut fft_slot, &mut dec_slot);
+        }
+        all_ok
+    });
+    assert!(crc_ok);
+    assert_eq!(
+        allocs, 0,
+        "steady-state staged slab path must not touch the heap"
+    );
 }
 
 proptest! {

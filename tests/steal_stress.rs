@@ -1,0 +1,215 @@
+//! Stress and model-based tests for the bounded Chase–Lev deque behind
+//! the cluster's lock-free migration path (`rtopex::core::steal`).
+//!
+//! The property under stress: **every pushed ticket is consumed exactly
+//! once** — either popped by the owner (LIFO) or stolen by exactly one
+//! thief (FIFO) — across wrap-arounds of the bounded ring and under
+//! maximum thief contention. CI runs this under `cargo test --release`
+//! with `RUST_TEST_THREADS=1` so the thief threads spawned *inside* the
+//! test own the machine's cores instead of fighting the harness.
+
+use proptest::prelude::*;
+use rtopex::core::steal::{steal_pair, Steal};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+/// Four thieves hammer one owner through sustained wrap-around of a small
+/// ring; each of `TOTAL` tickets must be consumed exactly once.
+#[test]
+fn every_ticket_popped_or_stolen_exactly_once() {
+    const TOTAL: usize = 100_000;
+    const THIEVES: usize = 4;
+    let (mut w, s) = steal_pair(64);
+    let seen: Vec<AtomicU8> = (0..TOTAL).map(|_| AtomicU8::new(0)).collect();
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for _ in 0..THIEVES {
+            let s = s.clone();
+            let seen = &seen;
+            let done = &done;
+            scope.spawn(move || {
+                let mut idle = 0u32;
+                loop {
+                    match s.steal() {
+                        Steal::Taken(t) => {
+                            idle = 0;
+                            seen[t as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => {
+                            idle = 0;
+                            std::hint::spin_loop();
+                        }
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) {
+                                break;
+                            }
+                            idle += 1;
+                            if idle > 64 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        // Owner: push every ticket; when the ring fills, work the backlog
+        // LIFO like the runtime's fan-out does. Occasionally pop anyway so
+        // both ends stay active while thieves race the same slots.
+        for t in 0..TOTAL as u64 {
+            while w.push(t).is_err() {
+                if let Some(x) = w.pop() {
+                    seen[x as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if t % 7 == 0 {
+                if let Some(x) = w.pop() {
+                    seen[x as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        while let Some(x) = w.pop() {
+            seen[x as usize].fetch_add(1, Ordering::Relaxed);
+        }
+        // The deque is empty from the owner's side; any ticket not yet
+        // counted is in a thief's hands and will be counted before the
+        // scope joins.
+        done.store(true, Ordering::Release);
+    });
+
+    let mut missing = 0usize;
+    let mut duplicated = 0usize;
+    for c in &seen {
+        match c.load(Ordering::Relaxed) {
+            0 => missing += 1,
+            1 => {}
+            _ => duplicated += 1,
+        }
+    }
+    assert_eq!(
+        (missing, duplicated),
+        (0, 0),
+        "of {TOTAL} tickets: {missing} lost, {duplicated} consumed twice"
+    );
+}
+
+/// Two owners with interleaved thieves — the cluster shape, where every
+/// core is simultaneously an owner of its own deque and a thief of
+/// everyone else's.
+#[test]
+fn two_owners_cross_stealing_stay_exact() {
+    const PER_OWNER: usize = 20_000;
+    let (w0, s0) = steal_pair(32);
+    let (w1, s1) = steal_pair(32);
+    let seen: Vec<AtomicU8> = (0..2 * PER_OWNER).map(|_| AtomicU8::new(0)).collect();
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Each owner thread pushes its own range and steals from the peer.
+        let owners: Vec<_> = [(w0, s1.clone(), 0u64), (w1, s0.clone(), PER_OWNER as u64)]
+            .into_iter()
+            .map(|(mut w, peer, base)| {
+                let seen = &seen;
+                scope.spawn(move || {
+                    for t in 0..PER_OWNER as u64 {
+                        let ticket = base + t;
+                        while w.push(ticket).is_err() {
+                            if let Some(x) = w.pop() {
+                                seen[x as usize].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        if let Steal::Taken(x) = peer.steal() {
+                            seen[x as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    while let Some(x) = w.pop() {
+                        seen[x as usize].fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        // A floating thief drains whatever the owners leave behind.
+        let done_ref = &done;
+        let seen = &seen;
+        scope.spawn(move || loop {
+            let mut took = false;
+            for s in [&s0, &s1] {
+                match s.steal() {
+                    Steal::Taken(x) => {
+                        took = true;
+                        seen[x as usize].fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => took = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !took {
+                if done_ref.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        });
+        // Both owners drain their own deques before exiting, so once they
+        // have joined, the floating thief can stop.
+        for h in owners {
+            h.join().expect("owner thread");
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    let consumed_once = seen
+        .iter()
+        .filter(|c| c.load(Ordering::Relaxed) == 1)
+        .count();
+    assert_eq!(consumed_once, 2 * PER_OWNER, "every ticket exactly once");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-threaded, the deque must behave exactly like a bounded
+    /// `VecDeque`: push appends at the back (failing when full), pop takes
+    /// from the back (LIFO), steal takes from the front (FIFO), and
+    /// without contention a steal never spuriously retries.
+    #[test]
+    fn deque_matches_reference_model(
+        ops in proptest::collection::vec(0u8..3, 1..400),
+    ) {
+        const CAP: usize = 8; // power of two: the ring's exact capacity
+        let (mut w, s) = steal_pair(CAP);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    let res = w.push(next);
+                    if model.len() < CAP {
+                        prop_assert_eq!(res, Ok(()), "push must fit");
+                        model.push_back(next);
+                    } else {
+                        prop_assert_eq!(res, Err(next), "push must reject when full");
+                    }
+                    next += 1;
+                }
+                1 => {
+                    prop_assert_eq!(w.pop(), model.pop_back(), "pop is LIFO");
+                }
+                _ => {
+                    let got = match s.steal() {
+                        Steal::Taken(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => {
+                            prop_assert!(false, "uncontended steal retried");
+                            None
+                        }
+                    };
+                    prop_assert_eq!(got, model.pop_front(), "steal is FIFO");
+                }
+            }
+            prop_assert_eq!(w.is_empty(), model.is_empty());
+            prop_assert_eq!(s.len_hint(), model.len());
+        }
+    }
+}

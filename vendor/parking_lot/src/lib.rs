@@ -89,6 +89,21 @@ impl Condvar {
         guard.guard = Some(g);
     }
 
+    /// Atomically releases the lock and waits for a notification or for
+    /// `timeout` to elapse; returns `true` if the wait timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let g = guard.guard.take().expect("guard present");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res),
+            Err(e) => {
+                let (g, res) = e.into_inner();
+                (g, res)
+            }
+        };
+        guard.guard = Some(g);
+        res.timed_out()
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -97,6 +112,42 @@ impl Condvar {
     /// Wakes all waiters.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Reader-writer lock without poisoning semantics, parking_lot-shaped:
+/// `read()`/`write()` return the guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Blocks until a shared read guard is held.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until the exclusive write guard is held.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -129,5 +180,28 @@ mod tests {
         *m.lock() = true;
         cv.notify_all();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let timed_out = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(timed_out);
+        drop(g); // guard restored and usable after the timed wait
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(7);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 14);
+        }
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+        assert_eq!(l.into_inner(), 9);
     }
 }
