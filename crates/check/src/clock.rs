@@ -1,0 +1,103 @@
+//! Vector clocks — the happens-before lattice every other part of the
+//! checker is built on.
+//!
+//! One component per model thread (thread ids are dense and small — the
+//! engine caps a model at a handful of threads), so a clock is a plain
+//! `Vec<u32>` and joins are element-wise maxima. `VClock::le` is the
+//! partial order: `a ≤ b` iff every event `a` knows about, `b` also knows
+//! about — i.e. `a` happens-before-or-equals `b`.
+
+/// A vector clock over model-thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    slots: Vec<u32>,
+}
+
+impl VClock {
+    /// The empty clock (happens-before everything).
+    pub fn new() -> Self {
+        VClock { slots: Vec::new() }
+    }
+
+    /// This thread's own component.
+    pub fn get(&self, thread: usize) -> u32 {
+        self.slots.get(thread).copied().unwrap_or(0)
+    }
+
+    /// Advances `thread`'s component by one (a new local event).
+    pub fn tick(&mut self, thread: usize) {
+        if self.slots.len() <= thread {
+            self.slots.resize(thread + 1, 0);
+        }
+        self.slots[thread] += 1;
+    }
+
+    /// Element-wise maximum: afterwards `self` knows everything `other`
+    /// knew.
+    pub fn join(&mut self, other: &VClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (s, o) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// The happens-before partial order: true iff every component of
+    /// `self` is ≤ the matching component of `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(t, &v)| v == 0 || v <= other.get(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_clock_precedes_everything() {
+        let empty = VClock::new();
+        let mut c = VClock::new();
+        c.tick(2);
+        assert!(empty.le(&c));
+        assert!(empty.le(&empty));
+        assert!(!c.le(&empty));
+    }
+
+    #[test]
+    fn join_is_elementwise_max() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        let mut j = a.clone();
+        j.join(&b);
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 1);
+        assert!(a.le(&j) && b.le(&j));
+    }
+
+    #[test]
+    fn concurrent_clocks_are_unordered() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn tick_grows_and_increments() {
+        let mut c = VClock::new();
+        c.tick(3);
+        assert_eq!(c.get(3), 1);
+        assert_eq!(c.get(0), 0);
+        c.tick(3);
+        assert_eq!(c.get(3), 2);
+    }
+}

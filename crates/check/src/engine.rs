@@ -1,0 +1,1238 @@
+//! The exploration engine: cooperative scheduling, C11-flavoured weak
+//! memory, and depth-first path replay.
+//!
+//! ## How an execution runs
+//!
+//! Model threads are real OS threads, but **exactly one runs at a time**:
+//! every visible operation (atomic access, lock, `Data` access, spawn,
+//! join, yield) passes through [`ExecShared::op`], which holds a baton.
+//! At each operation's entry the engine consults the [`Path`] — the
+//! recorded tree position of this execution — to decide which thread
+//! executes next; unexplored alternatives are visited by re-running the
+//! whole closure with the path advanced ([`Path::advance`]), exactly the
+//! loom strategy.
+//!
+//! ## How weak memory is modelled
+//!
+//! Every atomic location keeps the **history of its stores**. A load does
+//! not necessarily observe the newest store: the set of *readable* stores
+//! is computed from the C11 coherence rules (a thread can never read a
+//! store older than one it has already observed, nor older than a store
+//! that happens-before the load), and when several stores remain
+//! readable, the choice becomes an explored branch. Release stores carry
+//! the storing thread's vector clock; acquire loads join it — that is the
+//! happens-before edge. `SeqCst` operations additionally join a global SC
+//! clock, which realises the single total order (and slightly
+//! *strengthens* the model: independent SC operations gain an hb edge the
+//! standard does not guarantee — a conservative, documented
+//! simplification shared with other practical checkers).
+//!
+//! Modification order is identified with store execution order, and loads
+//! never read from stores that have not yet executed — so load-buffering
+//! outcomes are unexplorable (conservative in the safe direction for
+//! race *detection*, but means out-of-thin-air behaviours are not
+//! reproduced; none of the checked algorithms rely on their absence in a
+//! way this weakens).
+//!
+//! ## Mutation support
+//!
+//! [`Config::weaken_release_stores`] downgrades every plain
+//! `Ordering::Release` store to `Relaxed` inside the model. A test suite
+//! that still passes under the weakening is not actually exercising its
+//! release/acquire edges — see the mutation self-tests.
+
+use crate::clock::VClock;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
+
+/// Sentinel panic payload used to unwind model threads when an execution
+/// aborts (failure elsewhere, or teardown). Never escapes the crate.
+pub(crate) struct Abort;
+
+/// Engine knobs, frozen per [`crate::Builder::check`] call.
+#[derive(Clone, Debug)]
+pub(crate) struct Config {
+    pub preemption_bound: Option<usize>,
+    pub max_steps: usize,
+    pub max_threads: usize,
+    pub max_executions: usize,
+    pub weaken_release_stores: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: Some(3),
+            max_steps: 20_000,
+            max_threads: 6,
+            max_executions: 500_000,
+            weaken_release_stores: false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Path: the DFS position in the execution tree.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Choice {
+    /// Which thread executes the next operation.
+    Schedule { options: Vec<usize>, index: usize },
+    /// Which store a load reads, among `n` readable candidates
+    /// (index 0 = newest).
+    ReadsFrom { n: usize, index: usize },
+}
+
+/// One root-to-leaf position in the tree of scheduling / reads-from
+/// choices. Replayed from the start on every execution.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Path {
+    choices: Vec<Choice>,
+    pos: usize,
+}
+
+impl Path {
+    fn next_schedule(&mut self, options: &[usize]) -> usize {
+        if self.pos < self.choices.len() {
+            let c = &self.choices[self.pos];
+            let Choice::Schedule { options: o, index } = c else {
+                panic!("rtopex-check: nondeterministic model (schedule point became a load)");
+            };
+            assert_eq!(
+                o, options,
+                "rtopex-check: nondeterministic model (different runnable sets on replay)"
+            );
+            let pick = o[*index];
+            self.pos += 1;
+            pick
+        } else {
+            self.choices.push(Choice::Schedule {
+                options: options.to_vec(),
+                index: 0,
+            });
+            self.pos += 1;
+            options[0]
+        }
+    }
+
+    fn next_reads_from(&mut self, n: usize) -> usize {
+        if self.pos < self.choices.len() {
+            let c = &self.choices[self.pos];
+            let Choice::ReadsFrom { n: m, index } = c else {
+                panic!("rtopex-check: nondeterministic model (load point became a schedule)");
+            };
+            assert_eq!(
+                *m, n,
+                "rtopex-check: nondeterministic model (candidate-store count changed on replay)"
+            );
+            let pick = *index;
+            self.pos += 1;
+            pick
+        } else {
+            self.choices.push(Choice::ReadsFrom { n, index: 0 });
+            self.pos += 1;
+            0
+        }
+    }
+
+    /// Moves to the next unexplored leaf: bumps the deepest choice that
+    /// still has an untried alternative and truncates below it. Returns
+    /// false when the whole tree has been explored.
+    pub(crate) fn advance(&mut self) -> bool {
+        while let Some(last) = self.choices.last_mut() {
+            let exhausted = match last {
+                Choice::Schedule { options, index } => {
+                    *index += 1;
+                    *index >= options.len()
+                }
+                Choice::ReadsFrom { n, index } => {
+                    *index += 1;
+                    *index >= *n
+                }
+            };
+            if exhausted {
+                self.choices.pop();
+            } else {
+                self.pos = 0;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Events: the interleaving trace reported on failure.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum EvKind {
+    Load,
+    Store,
+    Rmw,
+    CasFail,
+    LockAcq,
+    LockRel,
+    DataRead,
+    DataWrite,
+    Spawn,
+    Finish,
+    Join,
+    Yield,
+}
+
+#[derive(Clone, Debug)]
+struct Event {
+    thread: usize,
+    kind: EvKind,
+    loc: usize,
+    a: u64,
+    b: u64,
+    ord: Option<Ordering>,
+}
+
+fn ord_name(o: Option<Ordering>) -> &'static str {
+    match o {
+        Some(Ordering::Relaxed) => "Relaxed",
+        Some(Ordering::Acquire) => "Acquire",
+        Some(Ordering::Release) => "Release",
+        Some(Ordering::AcqRel) => "AcqRel",
+        Some(Ordering::SeqCst) => "SeqCst",
+        _ => "",
+    }
+}
+
+fn fmt_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 40);
+    for (i, e) in events.iter().enumerate() {
+        let line = match e.kind {
+            EvKind::Load => format!("load  A{} -> {} ({})", e.loc, e.a, ord_name(e.ord)),
+            EvKind::Store => format!("store A{} <- {} ({})", e.loc, e.a, ord_name(e.ord)),
+            EvKind::Rmw => format!("rmw   A{} {} -> {} ({})", e.loc, e.a, e.b, ord_name(e.ord)),
+            EvKind::CasFail => format!("cas!  A{} saw {} ({})", e.loc, e.a, ord_name(e.ord)),
+            EvKind::LockAcq => format!(
+                "lock  M{} ({})",
+                e.loc,
+                if e.a == 0 { "write" } else { "read" }
+            ),
+            EvKind::LockRel => format!(
+                "unlock M{} ({})",
+                e.loc,
+                if e.a == 0 { "write" } else { "read" }
+            ),
+            EvKind::DataRead => format!("read  D{}", e.loc),
+            EvKind::DataWrite => format!("write D{}", e.loc),
+            EvKind::Spawn => format!("spawn T{}", e.a),
+            EvKind::Finish => "finish".to_string(),
+            EvKind::Join => format!("join  T{}", e.a),
+            EvKind::Yield => "yield".to_string(),
+        };
+        out.push_str(&format!("  #{i:<4} [T{}] {line}\n", e.thread));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Execution state.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LockKind {
+    Write,
+    Read,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum BlockOn {
+    Lock(usize, LockKind),
+    Join(usize),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TState {
+    Run,
+    Blocked(BlockOn),
+    Finished,
+}
+
+struct ThreadSt {
+    state: TState,
+    clock: VClock,
+    /// Per-location index of the newest store this thread has observed
+    /// (coherence floor for its future loads).
+    views: Vec<usize>,
+    /// Per-location count of consecutive loads that read a non-newest
+    /// store. C11 guarantees stores become visible "in a finite period
+    /// of time" (§32.4 [atomics.order] p11); without a bound, polling
+    /// loops spin forever in executions where every load picks the
+    /// stale branch. After [`STALE_READ_BOUND`] consecutive stale reads
+    /// the load is forced to the newest store (no reads-from choice).
+    stale: Vec<usize>,
+    yielded: bool,
+    /// Set when a scheduling choice selected this thread; its next
+    /// operation executes without a fresh decision.
+    chosen: bool,
+}
+
+impl ThreadSt {
+    fn new(clock: VClock) -> Self {
+        ThreadSt {
+            state: TState::Run,
+            clock,
+            views: Vec::new(),
+            stale: Vec::new(),
+            yielded: false,
+            chosen: false,
+        }
+    }
+
+    fn view(&self, loc: usize) -> usize {
+        self.views.get(loc).copied().unwrap_or(0)
+    }
+
+    fn set_view(&mut self, loc: usize, v: usize) {
+        if self.views.len() <= loc {
+            self.views.resize(loc + 1, 0);
+        }
+        self.views[loc] = v;
+    }
+
+    fn stale_reads(&self, loc: usize) -> usize {
+        self.stale.get(loc).copied().unwrap_or(0)
+    }
+
+    fn set_stale_reads(&mut self, loc: usize, n: usize) {
+        if self.stale.len() <= loc {
+            self.stale.resize(loc + 1, 0);
+        }
+        self.stale[loc] = n;
+    }
+}
+
+/// How many consecutive loads of one location may read a non-newest
+/// store before eventual visibility forces the newest one. Three stale
+/// observations are enough to surface every ordering bug the litmus and
+/// mutation suites seed, while keeping polling loops finite.
+const STALE_READ_BOUND: usize = 3;
+
+struct StoreEv {
+    val: u64,
+    /// Storing thread's full clock at the store — bounds *visibility*
+    /// (a load whose thread's clock dominates this cannot read older
+    /// stores).
+    hb: VClock,
+    /// Clock transferred to acquiring readers (empty for Relaxed).
+    sync: VClock,
+}
+
+struct Location {
+    stores: Vec<StoreEv>,
+    /// Index of the newest SeqCst store: SC loads may not read past it.
+    last_sc: Option<usize>,
+}
+
+struct LockSt {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+    release_clock: VClock,
+}
+
+struct DataSt {
+    write_clock: VClock,
+    write_thread: usize,
+    reads: Vec<(usize, VClock)>,
+}
+
+struct ExecState {
+    threads: Vec<ThreadSt>,
+    current: usize,
+    locations: Vec<Location>,
+    locks: Vec<LockSt>,
+    datas: Vec<DataSt>,
+    path: Path,
+    events: Vec<Event>,
+    failure: Option<String>,
+    abort: bool,
+    steps: usize,
+    preemptions: usize,
+    sc_clock: VClock,
+}
+
+/// One execution's shared engine state plus its baton condvar. Model
+/// threads hold an `Arc`; shim primitives hold a `Weak` so a leaked
+/// structure never keeps a finished execution alive.
+pub(crate) struct ExecShared {
+    m: Mutex<ExecState>,
+    cv: Condvar,
+    cfg: Config,
+}
+
+enum OpOutcome<R> {
+    Done(R),
+    Block(BlockOn),
+    Fail(String),
+}
+
+impl ExecShared {
+    fn new(cfg: Config, path: Path) -> Self {
+        let mut t0 = ThreadSt::new(VClock::new());
+        t0.clock.tick(0);
+        ExecShared {
+            m: Mutex::new(ExecState {
+                threads: vec![t0],
+                current: 0,
+                locations: Vec::new(),
+                locks: Vec::new(),
+                datas: Vec::new(),
+                path,
+                events: Vec::new(),
+                failure: None,
+                abort: false,
+                steps: 0,
+                preemptions: 0,
+                sc_clock: VClock::new(),
+            }),
+            cv: Condvar::new(),
+            cfg,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        self.m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Threads other than `me` that could execute an operation now.
+    fn runnable_others(st: &ExecState, me: usize) -> Vec<usize> {
+        (0..st.threads.len())
+            .filter(|&t| t != me && st.threads[t].state == TState::Run)
+            .collect()
+    }
+
+    /// The candidate set for the scheduling decision at `me`'s operation
+    /// entry, honouring yielding and the preemption bound.
+    fn schedule_options(&self, st: &ExecState, me: usize) -> Vec<usize> {
+        let others = Self::runnable_others(st, me);
+        let non_yielded: Vec<usize> = others
+            .iter()
+            .copied()
+            .filter(|&t| !st.threads[t].yielded)
+            .collect();
+        if st.threads[me].yielded {
+            // A yielded thread steps aside whenever anyone else can run.
+            if !non_yielded.is_empty() {
+                return non_yielded;
+            }
+            if !others.is_empty() {
+                return others;
+            }
+            return vec![me];
+        }
+        let bound_hit = self
+            .cfg
+            .preemption_bound
+            .is_some_and(|b| st.preemptions >= b);
+        if bound_hit {
+            return vec![me];
+        }
+        let mut v = Vec::with_capacity(1 + non_yielded.len());
+        v.push(me);
+        v.extend(non_yielded);
+        v
+    }
+
+    fn abort_unwind(&self, st: MutexGuard<'_, ExecState>) -> ! {
+        drop(st);
+        panic::panic_any(Abort);
+    }
+
+    /// Records a failure discovered while holding the state lock, aborts
+    /// every other thread, and unwinds the current one.
+    fn fail_locked(&self, mut st: MutexGuard<'_, ExecState>, msg: String) -> ! {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+        self.abort_unwind(st);
+    }
+
+    /// Records a user panic (assertion failure in model code) as the
+    /// execution's failure.
+    pub(crate) fn record_panic(&self, msg: String) {
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Runs one visible operation for thread `me`: waits for the baton,
+    /// makes (or replays) the scheduling decision, executes `body` under
+    /// the state lock, and retries transparently when `body` blocks.
+    fn op<R>(&self, me: usize, mut body: impl FnMut(&mut ExecState) -> OpOutcome<R>) -> R {
+        let mut st = self.lock();
+        loop {
+            if st.abort {
+                self.abort_unwind(st);
+            }
+            if st.current != me {
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            if st.threads[me].chosen {
+                st.threads[me].chosen = false;
+            } else {
+                let options = self.schedule_options(&st, me);
+                let pick = st.path.next_schedule(&options);
+                if pick != me {
+                    if !st.threads[me].yielded {
+                        st.preemptions += 1;
+                    }
+                    st.current = pick;
+                    st.threads[pick].chosen = true;
+                    self.cv.notify_all();
+                    continue;
+                }
+            }
+            match body(&mut st) {
+                OpOutcome::Done(r) => {
+                    st.steps += 1;
+                    if st.steps > self.cfg.max_steps {
+                        self.fail_locked(
+                            st,
+                            format!(
+                                "step limit ({}) exceeded — unbounded spin loop in the model? \
+                                 bound retries or raise Builder::max_steps",
+                                self.cfg.max_steps
+                            ),
+                        );
+                    }
+                    for t in 0..st.threads.len() {
+                        if t != me {
+                            st.threads[t].yielded = false;
+                        }
+                    }
+                    return r;
+                }
+                OpOutcome::Block(on) => {
+                    st.threads[me].state = TState::Blocked(on);
+                    let others = Self::runnable_others(&st, me);
+                    if others.is_empty() {
+                        self.fail_locked(st, "deadlock: every model thread is blocked".into());
+                    }
+                    let pick = st.path.next_schedule(&others);
+                    st.current = pick;
+                    st.threads[pick].chosen = true;
+                    self.cv.notify_all();
+                    // Loop back: wait to be unblocked and chosen again,
+                    // then retry the body.
+                }
+                OpOutcome::Fail(msg) => self.fail_locked(st, msg),
+            }
+        }
+    }
+
+    // -- registration (not scheduling points) --------------------------
+
+    pub(crate) fn register_atomic(&self, me: usize, init: u64) -> usize {
+        let mut st = self.lock();
+        let hb = st.threads[me].clock.clone();
+        st.locations.push(Location {
+            stores: vec![StoreEv {
+                val: init,
+                hb,
+                sync: VClock::new(),
+            }],
+            last_sc: None,
+        });
+        st.locations.len() - 1
+    }
+
+    pub(crate) fn register_lock(&self, _me: usize) -> usize {
+        let mut st = self.lock();
+        st.locks.push(LockSt {
+            writer: None,
+            readers: Vec::new(),
+            release_clock: VClock::new(),
+        });
+        st.locks.len() - 1
+    }
+
+    pub(crate) fn register_data(&self, me: usize) -> usize {
+        let mut st = self.lock();
+        let write_clock = st.threads[me].clock.clone();
+        st.datas.push(DataSt {
+            write_clock,
+            write_thread: me,
+            reads: Vec::new(),
+        });
+        st.datas.len() - 1
+    }
+
+    // -- atomic operations ---------------------------------------------
+
+    pub(crate) fn atomic_load(&self, me: usize, loc: usize, ord: Ordering) -> u64 {
+        self.op(me, |st| {
+            st.threads[me].clock.tick(me);
+            if ord == Ordering::SeqCst {
+                let sc = st.sc_clock.clone();
+                st.threads[me].clock.join(&sc);
+            }
+            // Readable floor: own view, stores that happen-before this
+            // load, and (for SC loads) the newest SC store.
+            let mut lo = st.threads[me].view(loc);
+            {
+                let clock = &st.threads[me].clock;
+                let l = &st.locations[loc];
+                for (i, s) in l.stores.iter().enumerate().skip(lo + 1) {
+                    if s.hb.le(clock) {
+                        lo = i;
+                    }
+                }
+                if ord == Ordering::SeqCst {
+                    if let Some(k) = l.last_sc {
+                        lo = lo.max(k);
+                    }
+                }
+            }
+            let n = st.locations[loc].stores.len() - lo;
+            let newest = st.locations[loc].stores.len() - 1;
+            let pick = if n > 1 && st.threads[me].stale_reads(loc) < STALE_READ_BOUND {
+                // index 0 = newest store, so the leftmost (first-tried)
+                // branch is the sequentially-consistent behaviour.
+                let offset = st.path.next_reads_from(n);
+                newest - offset
+            } else {
+                // Single candidate, or eventual visibility kicked in:
+                // no reads-from branch point.
+                if n > 1 {
+                    newest
+                } else {
+                    lo
+                }
+            };
+            let count = if pick < newest {
+                st.threads[me].stale_reads(loc) + 1
+            } else {
+                0
+            };
+            st.threads[me].set_stale_reads(loc, count);
+            let (val, sync) = {
+                let s = &st.locations[loc].stores[pick];
+                (s.val, s.sync.clone())
+            };
+            if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+                st.threads[me].clock.join(&sync);
+            }
+            if ord == Ordering::SeqCst {
+                let c = st.threads[me].clock.clone();
+                st.sc_clock.join(&c);
+            }
+            st.threads[me].set_view(loc, pick);
+            st.events.push(Event {
+                thread: me,
+                kind: EvKind::Load,
+                loc,
+                a: val,
+                b: 0,
+                ord: Some(ord),
+            });
+            OpOutcome::Done(val)
+        })
+    }
+
+    pub(crate) fn atomic_store(&self, me: usize, loc: usize, val: u64, ord: Ordering) {
+        let eff = if self.cfg.weaken_release_stores && ord == Ordering::Release {
+            Ordering::Relaxed
+        } else {
+            ord
+        };
+        self.op(me, |st| {
+            st.threads[me].clock.tick(me);
+            if eff == Ordering::SeqCst {
+                let sc = st.sc_clock.clone();
+                st.threads[me].clock.join(&sc);
+            }
+            let clock = st.threads[me].clock.clone();
+            let sync = if matches!(eff, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+                clock.clone()
+            } else {
+                VClock::new()
+            };
+            let l = &mut st.locations[loc];
+            l.stores.push(StoreEv {
+                val,
+                hb: clock.clone(),
+                sync,
+            });
+            let idx = l.stores.len() - 1;
+            if eff == Ordering::SeqCst {
+                l.last_sc = Some(idx);
+                st.sc_clock.join(&clock);
+            }
+            st.threads[me].set_view(loc, idx);
+            st.events.push(Event {
+                thread: me,
+                kind: EvKind::Store,
+                loc,
+                a: val,
+                b: 0,
+                ord: Some(ord),
+            });
+            OpOutcome::Done(())
+        })
+    }
+
+    /// Read-modify-write: reads the newest store in modification order
+    /// (C11 requires RMWs to), applies `f`, and if `f` yields a new
+    /// value, stores it continuing the read store's release sequence.
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: usize,
+        loc: usize,
+        success: Ordering,
+        failure: Ordering,
+        f: &mut dyn FnMut(u64) -> Option<u64>,
+    ) -> Result<u64, u64> {
+        self.op(me, |st| {
+            st.threads[me].clock.tick(me);
+            let old = st.locations[loc].stores.last().expect("init store").val;
+            let new = f(old);
+            let ord = if new.is_some() { success } else { failure };
+            if ord == Ordering::SeqCst {
+                let sc = st.sc_clock.clone();
+                st.threads[me].clock.join(&sc);
+            }
+            let read_sync = st.locations[loc]
+                .stores
+                .last()
+                .expect("init store")
+                .sync
+                .clone();
+            if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+                st.threads[me].clock.join(&read_sync);
+            }
+            if ord == Ordering::SeqCst {
+                let c = st.threads[me].clock.clone();
+                st.sc_clock.join(&c);
+            }
+            match new {
+                Some(v) => {
+                    let clock = st.threads[me].clock.clone();
+                    // A RMW store continues the release sequence headed by
+                    // the store it read: acquire-readers of `v` also
+                    // synchronize with that head.
+                    let mut sync = read_sync;
+                    if matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+                        sync.join(&clock);
+                    }
+                    let l = &mut st.locations[loc];
+                    l.stores.push(StoreEv {
+                        val: v,
+                        hb: clock.clone(),
+                        sync,
+                    });
+                    let idx = l.stores.len() - 1;
+                    if ord == Ordering::SeqCst {
+                        l.last_sc = Some(idx);
+                    }
+                    st.threads[me].set_view(loc, idx);
+                    st.events.push(Event {
+                        thread: me,
+                        kind: EvKind::Rmw,
+                        loc,
+                        a: old,
+                        b: v,
+                        ord: Some(ord),
+                    });
+                    OpOutcome::Done(Ok(old))
+                }
+                None => {
+                    let idx = st.locations[loc].stores.len() - 1;
+                    st.threads[me].set_view(loc, idx);
+                    st.events.push(Event {
+                        thread: me,
+                        kind: EvKind::CasFail,
+                        loc,
+                        a: old,
+                        b: 0,
+                        ord: Some(ord),
+                    });
+                    OpOutcome::Done(Err(old))
+                }
+            }
+        })
+    }
+
+    // -- locks ----------------------------------------------------------
+
+    pub(crate) fn lock_acquire(&self, me: usize, lock: usize, kind: LockKind) {
+        self.op(me, |st| {
+            let free = {
+                let l = &st.locks[lock];
+                match kind {
+                    LockKind::Write => l.writer.is_none() && l.readers.is_empty(),
+                    LockKind::Read => l.writer.is_none(),
+                }
+            };
+            if !free {
+                return OpOutcome::Block(BlockOn::Lock(lock, kind));
+            }
+            st.threads[me].clock.tick(me);
+            let rc = st.locks[lock].release_clock.clone();
+            st.threads[me].clock.join(&rc);
+            match kind {
+                LockKind::Write => st.locks[lock].writer = Some(me),
+                LockKind::Read => st.locks[lock].readers.push(me),
+            }
+            st.events.push(Event {
+                thread: me,
+                kind: EvKind::LockAcq,
+                loc: lock,
+                a: if kind == LockKind::Write { 0 } else { 1 },
+                b: 0,
+                ord: None,
+            });
+            OpOutcome::Done(())
+        })
+    }
+
+    pub(crate) fn lock_release(&self, me: usize, lock: usize, kind: LockKind) {
+        self.op(me, |st| {
+            st.threads[me].clock.tick(me);
+            let clock = st.threads[me].clock.clone();
+            {
+                let l = &mut st.locks[lock];
+                match kind {
+                    LockKind::Write => {
+                        debug_assert_eq!(l.writer, Some(me), "release of unheld write lock");
+                        l.writer = None;
+                    }
+                    LockKind::Read => {
+                        if let Some(p) = l.readers.iter().position(|&t| t == me) {
+                            l.readers.swap_remove(p);
+                        }
+                    }
+                }
+                l.release_clock.join(&clock);
+            }
+            // Wake every thread parked on this lock; losers re-block.
+            for t in 0..st.threads.len() {
+                if st.threads[t].state == TState::Blocked(BlockOn::Lock(lock, LockKind::Write))
+                    || st.threads[t].state == TState::Blocked(BlockOn::Lock(lock, LockKind::Read))
+                {
+                    st.threads[t].state = TState::Run;
+                }
+            }
+            st.events.push(Event {
+                thread: me,
+                kind: EvKind::LockRel,
+                loc: lock,
+                a: if kind == LockKind::Write { 0 } else { 1 },
+                b: 0,
+                ord: None,
+            });
+            OpOutcome::Done(())
+        })
+    }
+
+    // -- non-atomic data (race detection) -------------------------------
+
+    pub(crate) fn data_read(&self, me: usize, data: usize) {
+        self.op(me, |st| {
+            st.threads[me].clock.tick(me);
+            let ok = st.datas[data].write_clock.le(&st.threads[me].clock);
+            if !ok {
+                return OpOutcome::Fail(format!(
+                    "data race on D{data}: read by T{me} is concurrent with the last write (by T{})",
+                    st.datas[data].write_thread
+                ));
+            }
+            let clock = st.threads[me].clock.clone();
+            st.datas[data].reads.push((me, clock));
+            st.events.push(Event {
+                thread: me,
+                kind: EvKind::DataRead,
+                loc: data,
+                a: 0,
+                b: 0,
+                ord: None,
+            });
+            OpOutcome::Done(())
+        })
+    }
+
+    pub(crate) fn data_write(&self, me: usize, data: usize) {
+        self.op(me, |st| {
+            st.threads[me].clock.tick(me);
+            let clock = st.threads[me].clock.clone();
+            if !st.datas[data].write_clock.le(&clock) {
+                return OpOutcome::Fail(format!(
+                    "data race on D{data}: write by T{me} is concurrent with the last write (by T{})",
+                    st.datas[data].write_thread
+                ));
+            }
+            if let Some((rt, _)) = st.datas[data]
+                .reads
+                .iter()
+                .find(|(_, rc)| !rc.le(&clock))
+            {
+                return OpOutcome::Fail(format!(
+                    "data race on D{data}: write by T{me} is concurrent with a read by T{rt}"
+                ));
+            }
+            let d = &mut st.datas[data];
+            d.write_clock = clock;
+            d.write_thread = me;
+            d.reads.clear();
+            st.events.push(Event {
+                thread: me,
+                kind: EvKind::DataWrite,
+                loc: data,
+                a: 0,
+                b: 0,
+                ord: None,
+            });
+            OpOutcome::Done(())
+        })
+    }
+
+    // -- threads --------------------------------------------------------
+
+    pub(crate) fn spawn_thread(&self, me: usize) -> usize {
+        let max = self.cfg.max_threads;
+        self.op(me, |st| {
+            st.threads[me].clock.tick(me);
+            let tid = st.threads.len();
+            if tid >= max {
+                return OpOutcome::Fail(format!(
+                    "model spawned more than {max} threads (Builder::max_threads)"
+                ));
+            }
+            let mut clock = st.threads[me].clock.clone();
+            clock.tick(tid);
+            st.threads.push(ThreadSt::new(clock));
+            st.events.push(Event {
+                thread: me,
+                kind: EvKind::Spawn,
+                loc: 0,
+                a: tid as u64,
+                b: 0,
+                ord: None,
+            });
+            OpOutcome::Done(tid)
+        })
+    }
+
+    /// Parks a freshly spawned OS thread until the scheduler first picks
+    /// it. Leaves `chosen` set: the pick covers the thread's first
+    /// visible operation.
+    pub(crate) fn gate(&self, tid: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.abort {
+                self.abort_unwind(st);
+            }
+            if st.current == tid {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Marks `me` finished, wakes joiners, and hands the baton on. The
+    /// calling OS thread must exit afterwards.
+    pub(crate) fn finish_thread(&self, me: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.abort {
+                self.abort_unwind(st);
+            }
+            if st.current != me {
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            if st.threads[me].chosen {
+                st.threads[me].chosen = false;
+            } else {
+                let options = self.schedule_options(&st, me);
+                let pick = st.path.next_schedule(&options);
+                if pick != me {
+                    if !st.threads[me].yielded {
+                        st.preemptions += 1;
+                    }
+                    st.current = pick;
+                    st.threads[pick].chosen = true;
+                    self.cv.notify_all();
+                    continue;
+                }
+            }
+            break;
+        }
+        st.threads[me].clock.tick(me);
+        st.threads[me].state = TState::Finished;
+        st.steps += 1;
+        for t in 0..st.threads.len() {
+            if st.threads[t].state == TState::Blocked(BlockOn::Join(me)) {
+                st.threads[t].state = TState::Run;
+            }
+        }
+        st.events.push(Event {
+            thread: me,
+            kind: EvKind::Finish,
+            loc: 0,
+            a: 0,
+            b: 0,
+            ord: None,
+        });
+        let others = Self::runnable_others(&st, me);
+        if others.is_empty() {
+            let all_done = st.threads.iter().all(|t| t.state == TState::Finished);
+            if !all_done {
+                self.fail_locked(st, "deadlock: every model thread is blocked".into());
+            }
+            return;
+        }
+        let pick = st.path.next_schedule(&others);
+        st.current = pick;
+        st.threads[pick].chosen = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        self.op(me, |st| {
+            if st.threads[target].state != TState::Finished {
+                return OpOutcome::Block(BlockOn::Join(target));
+            }
+            st.threads[me].clock.tick(me);
+            let tc = st.threads[target].clock.clone();
+            st.threads[me].clock.join(&tc);
+            st.events.push(Event {
+                thread: me,
+                kind: EvKind::Join,
+                loc: 0,
+                a: target as u64,
+                b: 0,
+                ord: None,
+            });
+            OpOutcome::Done(())
+        })
+    }
+
+    pub(crate) fn yield_now(&self, me: usize) {
+        self.op(me, |st| {
+            st.threads[me].clock.tick(me);
+            st.threads[me].yielded = true;
+            st.events.push(Event {
+                thread: me,
+                kind: EvKind::Yield,
+                loc: 0,
+                a: 0,
+                b: 0,
+                ord: None,
+            });
+            OpOutcome::Done(())
+        })
+    }
+
+    /// Joins every spawned thread (used by the runner after the model
+    /// closure returns, so an execution always ends quiescent).
+    pub(crate) fn drain(&self) {
+        loop {
+            let next = {
+                let st = self.lock();
+                if st.abort {
+                    self.abort_unwind(st);
+                }
+                (1..st.threads.len()).find(|&t| st.threads[t].state != TState::Finished)
+            };
+            match next {
+                Some(t) => self.join_thread(0, t),
+                None => return,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-thread context: which execution (if any) this OS thread belongs to.
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub exec: Arc<ExecShared>,
+    pub id: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn install_ctx(exec: Arc<ExecShared>, id: usize) {
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        assert!(
+            c.is_none(),
+            "rtopex-check: nested model executions are not supported"
+        );
+        *c = Some(Ctx { exec, id });
+    });
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// A handle a shim primitive keeps to its registered model location.
+#[derive(Clone)]
+pub(crate) struct LocRef {
+    pub exec: Weak<ExecShared>,
+    pub id: usize,
+}
+
+impl LocRef {
+    /// The live execution this location belongs to, if the calling thread
+    /// is one of its model threads.
+    pub(crate) fn live(&self) -> Option<(Arc<ExecShared>, usize)> {
+        let exec = self.exec.upgrade()?;
+        let ctx = current_ctx()?;
+        if Arc::ptr_eq(&exec, &ctx.exec) {
+            Some((exec, ctx.id))
+        } else {
+            None
+        }
+    }
+}
+
+/// Registers a location of the given flavour if a model execution is
+/// active on this thread.
+pub(crate) fn register(flavour: Flavour, init: u64) -> Option<LocRef> {
+    let ctx = current_ctx()?;
+    let id = match flavour {
+        Flavour::Atomic => ctx.exec.register_atomic(ctx.id, init),
+        Flavour::Lock => ctx.exec.register_lock(ctx.id),
+        Flavour::Data => ctx.exec.register_data(ctx.id),
+    };
+    Some(LocRef {
+        exec: Arc::downgrade(&ctx.exec),
+        id,
+    })
+}
+
+pub(crate) enum Flavour {
+    Atomic,
+    Lock,
+    Data,
+}
+
+// ---------------------------------------------------------------------
+// Runner: the exploration loop.
+// ---------------------------------------------------------------------
+
+/// Exploration statistics returned by a successful check.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Executions (interleaving × reads-from combinations) explored.
+    pub executions: usize,
+    /// True when the bounded tree was explored exhaustively; false when
+    /// `max_executions` cut the search short.
+    pub complete: bool,
+}
+
+/// A failed check: the first failing execution's message and trace.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong (assertion message, race report, deadlock…).
+    pub message: String,
+    /// The failing execution's full event trace, one line per operation.
+    pub trace: String,
+    /// Executions explored before the failure (inclusive).
+    pub executions: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model check failed after {} execution(s): {}\ninterleaving trace:\n{}",
+            self.executions, self.message, self.trace
+        )
+    }
+}
+
+/// Silences the default panic hook for model threads: their panics are
+/// captured, attributed, and reported with a full interleaving trace, so
+/// the raw hook output (fired for *every* failing execution during
+/// exploration) is pure noise. Non-model threads keep the normal hook.
+fn install_quiet_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if current_ctx().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+pub(crate) fn explore<F: Fn() + Sync>(cfg: &Config, f: F) -> Result<Report, Failure> {
+    install_quiet_hook();
+    let mut path = Path::default();
+    let mut executions = 0usize;
+    loop {
+        let shared = Arc::new(ExecShared::new(cfg.clone(), std::mem::take(&mut path)));
+        install_ctx(Arc::clone(&shared), 0);
+        let body = panic::catch_unwind(AssertUnwindSafe(|| {
+            f();
+            shared.drain();
+        }));
+        clear_ctx();
+        if let Err(e) = body {
+            if e.downcast_ref::<Abort>().is_none() {
+                shared.record_panic(panic_payload_msg(e));
+            }
+        }
+        let mut st = shared.lock();
+        executions += 1;
+        if let Some(msg) = st.failure.take() {
+            return Err(Failure {
+                message: msg,
+                trace: fmt_trace(&st.events),
+                executions,
+            });
+        }
+        path = std::mem::take(&mut st.path);
+        drop(st);
+        if !path.advance() {
+            return Ok(Report {
+                executions,
+                complete: true,
+            });
+        }
+        if executions >= cfg.max_executions {
+            return Ok(Report {
+                executions,
+                complete: false,
+            });
+        }
+    }
+}
+
+pub(crate) fn panic_payload_msg(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}

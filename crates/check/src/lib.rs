@@ -1,0 +1,416 @@
+//! rtopex-check — an in-repo bounded concurrency model checker.
+//!
+//! crates.io is unavailable to this workspace (every dependency is a
+//! vendored shim), so loom is not an option; this crate rebuilds the part
+//! of it the runtime needs: shim atomics/locks/threads whose every
+//! operation is a visible event, a cooperative scheduler that runs **one
+//! thread at a time** and treats each scheduling decision and each
+//! weak-memory reads-from choice as a branch, and a DFS driver that
+//! replays the test closure once per branch combination until the bounded
+//! tree is exhausted.
+//!
+//! ```
+//! use rtopex_check as check;
+//! use check::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! let report = check::model(|| {
+//!     let flag = Arc::new(AtomicU64::new(0));
+//!     let f2 = Arc::clone(&flag);
+//!     let t = check::thread::spawn(move || f2.store(1, Ordering::Release));
+//!     let _saw = flag.load(Ordering::Acquire);
+//!     t.join().unwrap();
+//! });
+//! assert!(report.complete);
+//! ```
+//!
+//! What it checks, per execution: user assertions (`assert!` in the
+//! closure fails that interleaving with a full trace), data races on
+//! [`sync::Data`] cells, deadlocks, and livelocks (step-limit). What it
+//! explores: all interleavings up to the preemption bound × all C11-legal
+//! reads-from choices for every atomic load (Relaxed loads may observe
+//! stale stores; Acquire loads synchronize with Release stores; `SeqCst`
+//! operations share a single total order — modelled slightly
+//! conservatively, see `engine` docs).
+//!
+//! The runtime's own lock-free code is compiled *into this crate* against
+//! the shim (see the `ported` module) via `#[path]` includes, so the
+//! model tests exercise the exact shipped source, not a copy.
+
+#![warn(missing_docs)]
+
+mod clock;
+mod engine;
+
+pub mod sync;
+pub mod thread;
+
+pub use engine::{Failure, Report};
+
+// ------------------------------------------------------------------
+// Ported runtime modules: the *shipped source files* from rtopex-core,
+// compiled here against the shim `crate::sync` (in rtopex-core the same
+// paths resolve to the std facade). `#[path]` includes — not copies — so
+// the model tests can never drift from the code that actually runs.
+// ------------------------------------------------------------------
+
+/// rtopex-core's time base (`crates/core/src/time.rs`), needed by the
+/// ported deque's admission guard.
+#[path = "../../core/src/time.rs"]
+pub mod time;
+
+/// The shipped Chase–Lev deque (`crates/core/src/steal.rs`) compiled
+/// against the shim atomics.
+#[path = "../../core/src/steal.rs"]
+pub mod steal;
+
+/// The shipped slot-arena publication protocol
+/// (`crates/core/src/slots.rs`) compiled against the shim lock/atomics.
+#[path = "../../core/src/slots.rs"]
+pub mod slots;
+
+/// Configures and runs a bounded model check.
+///
+/// Defaults: preemption bound 3, at most 6 threads, 20k steps per
+/// execution, 500k executions. The defaults suit the runtime's two- and
+/// three-thread protocol tests; raise them for bigger models.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    cfg: engine::Config,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Builder {
+            cfg: engine::Config::default(),
+        }
+    }
+
+    /// Maximum involuntary context switches per execution (`None` =
+    /// unbounded). Two or three preemptions find the vast majority of
+    /// real concurrency bugs while keeping the tree tractable.
+    pub fn preemption_bound(mut self, bound: Option<usize>) -> Self {
+        self.cfg.preemption_bound = bound;
+        self
+    }
+
+    /// Per-execution step limit; exceeding it fails the check as a
+    /// livelock. Model code must bound its spin loops.
+    pub fn max_steps(mut self, steps: usize) -> Self {
+        self.cfg.max_steps = steps;
+        self
+    }
+
+    /// Maximum live model threads (including the main one).
+    pub fn max_threads(mut self, threads: usize) -> Self {
+        self.cfg.max_threads = threads;
+        self
+    }
+
+    /// Cap on explored executions; hitting it returns an incomplete
+    /// [`Report`] instead of failing.
+    pub fn max_executions(mut self, executions: usize) -> Self {
+        self.cfg.max_executions = executions;
+        self
+    }
+
+    /// Mutation knob: downgrade every plain `Ordering::Release` store to
+    /// `Relaxed` inside the model. A protocol test that still passes
+    /// under this weakening is not actually relying on its release
+    /// edges — the mutation self-tests assert the deque/arena suites
+    /// *fail* here, proving the checker is not vacuously green.
+    pub fn weaken_release_stores(mut self, weaken: bool) -> Self {
+        self.cfg.weaken_release_stores = weaken;
+        self
+    }
+
+    /// Runs the check; panics with the failing interleaving trace on the
+    /// first failure.
+    pub fn check<F: Fn() + Sync>(&self, f: F) -> Report {
+        match self.try_check(f) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the check, returning the failure (message + trace) instead of
+    /// panicking.
+    pub fn try_check<F: Fn() + Sync>(&self, f: F) -> Result<Report, Failure> {
+        engine::explore(&self.cfg, f)
+    }
+}
+
+/// Checks `f` under the default [`Builder`] bounds.
+pub fn model<F: Fn() + Sync>(f: F) -> Report {
+    Builder::new().check(f)
+}
+
+#[cfg(test)]
+mod litmus {
+    //! Classic litmus tests: the checker must both *find* the weak
+    //! behaviours the C11 model allows and *never invent* ones it
+    //! forbids. These validate the engine before any runtime code is
+    //! trusted to it.
+
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::Data;
+    use super::{thread, Builder};
+    use std::sync::Arc;
+
+    /// Message passing with Release/Acquire must never lose the payload:
+    /// if the consumer sees the flag, it must see the data.
+    #[test]
+    fn mp_release_acquire_passes() {
+        let report = Builder::new().check(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "MP: lost payload");
+            }
+            t.join().unwrap();
+        });
+        assert!(report.complete);
+        assert!(report.executions >= 3, "expected several interleavings");
+    }
+
+    /// The same shape with a Relaxed flag store MUST be caught: the
+    /// consumer can see flag=1 yet read data=0.
+    #[test]
+    fn mp_relaxed_flag_fails() {
+        let failure = Builder::new()
+            .try_check(|| {
+                let data = Arc::new(AtomicU64::new(0));
+                let flag = Arc::new(AtomicU64::new(0));
+                let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+                let t = thread::spawn(move || {
+                    d2.store(42, Ordering::Relaxed);
+                    f2.store(1, Ordering::Relaxed);
+                });
+                if flag.load(Ordering::Acquire) == 1 {
+                    assert_eq!(data.load(Ordering::Relaxed), 42, "MP: lost payload");
+                }
+                t.join().unwrap();
+            })
+            .expect_err("relaxed message passing must be refuted");
+        assert!(failure.message.contains("lost payload"), "{failure}");
+        assert!(!failure.trace.is_empty());
+    }
+
+    /// The weaken_release_stores mutation knob must turn the *passing* MP
+    /// test into a failing one — the self-check the mutation suite
+    /// relies on.
+    #[test]
+    fn mp_weakened_release_fails() {
+        let failure = Builder::new()
+            .weaken_release_stores(true)
+            .try_check(|| {
+                let data = Arc::new(AtomicU64::new(0));
+                let flag = Arc::new(AtomicU64::new(0));
+                let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+                let t = thread::spawn(move || {
+                    d2.store(42, Ordering::Relaxed);
+                    f2.store(1, Ordering::Release);
+                });
+                if flag.load(Ordering::Acquire) == 1 {
+                    assert_eq!(data.load(Ordering::Relaxed), 42, "MP: lost payload");
+                }
+                t.join().unwrap();
+            })
+            .expect_err("weakened release store must lose the payload");
+        assert!(failure.message.contains("lost payload"), "{failure}");
+    }
+
+    /// Store buffering: with Relaxed (or even Acquire/Release) both
+    /// threads may read 0 — the checker must reach that outcome.
+    #[test]
+    fn sb_relaxed_observes_both_zero() {
+        let saw_both_zero = std::sync::atomic::AtomicBool::new(false);
+        let report = Builder::new().check(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t = thread::spawn(move || {
+                x2.store(1, Ordering::Relaxed);
+                y2.load(Ordering::Relaxed)
+            });
+            y.store(1, Ordering::Relaxed);
+            let rx = x.load(Ordering::Relaxed);
+            let ry = t.join().unwrap();
+            if rx == 0 && ry == 0 {
+                saw_both_zero.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        assert!(report.complete);
+        assert!(
+            saw_both_zero.load(std::sync::atomic::Ordering::Relaxed),
+            "store buffering outcome (0,0) was never explored"
+        );
+    }
+
+    /// Store buffering with SeqCst everywhere: (0,0) is forbidden by the
+    /// single total order and must never be observed.
+    #[test]
+    fn sb_seqcst_never_both_zero() {
+        Builder::new().check(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t = thread::spawn(move || {
+                x2.store(1, Ordering::SeqCst);
+                y2.load(Ordering::SeqCst)
+            });
+            y.store(1, Ordering::SeqCst);
+            let rx = x.load(Ordering::SeqCst);
+            let ry = t.join().unwrap();
+            assert!(
+                rx == 1 || ry == 1,
+                "SeqCst store buffering produced the forbidden (0,0)"
+            );
+        });
+    }
+
+    /// Coherence: a thread that has read a newer store may never read an
+    /// older one afterwards, even fully Relaxed.
+    #[test]
+    fn coherence_no_backward_reads() {
+        Builder::new().check(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = Arc::clone(&x);
+            let t = thread::spawn(move || {
+                x2.store(1, Ordering::Relaxed);
+                x2.store(2, Ordering::Relaxed);
+            });
+            let a = x.load(Ordering::Relaxed);
+            let b = x.load(Ordering::Relaxed);
+            assert!(b >= a, "coherence violation: read {b} after {a}");
+            t.join().unwrap();
+        });
+    }
+
+    /// An unsynchronized Data write racing a read must be reported.
+    #[test]
+    fn data_race_detected() {
+        let failure = Builder::new()
+            .try_check(|| {
+                let d = Arc::new(Data::new(0u64));
+                let d2 = Arc::clone(&d);
+                let t = thread::spawn(move || d2.set(1));
+                let _ = d.get();
+                t.join().unwrap();
+            })
+            .expect_err("unsynchronized Data access must race");
+        assert!(failure.message.contains("data race"), "{failure}");
+    }
+
+    /// The same Data access pattern protected by a flag handshake is
+    /// race-free.
+    #[test]
+    fn data_handshake_race_free() {
+        let report = Builder::new().check(|| {
+            let d = Arc::new(Data::new(0u64));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d2, f2) = (Arc::clone(&d), Arc::clone(&flag));
+            let t = thread::spawn(move || {
+                d2.set(7);
+                f2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(d.get(), 7);
+            }
+            t.join().unwrap();
+        });
+        assert!(report.complete);
+    }
+
+    /// Lock-protected counter: no lost updates, and the checker visits
+    /// both acquisition orders.
+    #[test]
+    fn mutex_no_lost_update() {
+        let report = Builder::new().check(|| {
+            let c = Arc::new(super::sync::Mutex::new(0u64));
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || {
+                *c2.lock().unwrap() += 1;
+            });
+            *c.lock().unwrap() += 1;
+            t.join().unwrap();
+            assert_eq!(*c.lock().unwrap(), 2, "lost update under mutex");
+        });
+        assert!(report.complete);
+    }
+
+    /// CAS-based counter with two increments: RMW atomicity must prevent
+    /// a lost update.
+    #[test]
+    fn cas_counter_exact() {
+        Builder::new().check(|| {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = Arc::clone(&c);
+            let bump = |a: &AtomicU64| {
+                for _ in 0..8 {
+                    let cur = a.load(Ordering::Relaxed);
+                    if a.compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                panic!("CAS retry bound exceeded");
+            };
+            let t = thread::spawn(move || bump(&c2));
+            bump(&c);
+            t.join().unwrap();
+            assert_eq!(c.load(Ordering::Relaxed), 2, "lost update via CAS");
+        });
+    }
+
+    /// Deadlock detection: two threads acquiring two mutexes in opposite
+    /// orders must be reported (not hang).
+    #[test]
+    fn deadlock_detected() {
+        let failure = Builder::new()
+            .try_check(|| {
+                let a = Arc::new(super::sync::Mutex::new(()));
+                let b = Arc::new(super::sync::Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t = thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+                drop((_ga, _gb));
+                t.join().unwrap();
+            })
+            .expect_err("opposite-order double locking must deadlock somewhere");
+        assert!(failure.message.contains("deadlock"), "{failure}");
+    }
+
+    /// A panic inside a spawned model thread surfaces as a check failure
+    /// with its message, not a hang or a silent pass.
+    #[test]
+    fn child_assertion_failure_reported() {
+        let failure = Builder::new()
+            .try_check(|| {
+                let t = thread::spawn(|| panic!("child invariant broken"));
+                t.join().unwrap();
+            })
+            .expect_err("child panic must fail the check");
+        assert!(
+            failure.message.contains("child invariant broken"),
+            "{failure}"
+        );
+    }
+}

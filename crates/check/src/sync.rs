@@ -1,0 +1,532 @@
+//! Shim synchronization primitives.
+//!
+//! Same surface as `std::sync` (plus [`Data`]), but every operation is a
+//! *visible event* to the model-checking engine when the calling thread
+//! belongs to an active execution. Outside an execution — e.g. the ported
+//! modules' own unit tests running under real concurrency — every type
+//! degrades to a thin wrapper over the real `std` primitive, so the same
+//! source compiles and behaves identically in both worlds.
+//!
+//! `rtopex_core::sync` re-exports this module under `cfg(rtopex_model)`
+//! and `std::sync` otherwise; code written against the facade never names
+//! this crate directly.
+
+use crate::engine::{self, ExecShared, Flavour, LocRef, LockKind};
+use std::sync::Arc;
+
+pub use std::sync::atomic::Ordering;
+
+/// Model-aware drop-ins for `std::sync::atomic`.
+pub mod atomic {
+    use super::*;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! shim_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            $(#[$doc])*
+            pub struct $name {
+                real: std::sync::atomic::$std,
+                model: Option<LocRef>,
+            }
+
+            impl $name {
+                /// Creates the atomic; registers a model location when a
+                /// model execution is active on this thread.
+                pub fn new(v: $ty) -> Self {
+                    $name {
+                        real: std::sync::atomic::$std::new(v),
+                        model: engine::register(Flavour::Atomic, v as u64),
+                    }
+                }
+
+                fn live(&self) -> Option<(Arc<ExecShared>, usize, usize)> {
+                    let m = self.model.as_ref()?;
+                    let (exec, me) = m.live()?;
+                    Some((exec, me, m.id))
+                }
+
+                /// Atomic load (modelled: an explored reads-from choice).
+                pub fn load(&self, ord: Ordering) -> $ty {
+                    if let Some((e, me, id)) = self.live() {
+                        let v = e.atomic_load(me, id, ord) as $ty;
+                        return v;
+                    }
+                    self.real.load(ord)
+                }
+
+                /// Atomic store.
+                pub fn store(&self, v: $ty, ord: Ordering) {
+                    if let Some((e, me, id)) = self.live() {
+                        e.atomic_store(me, id, v as u64, ord);
+                        self.real.store(v, Ordering::Relaxed);
+                        return;
+                    }
+                    self.real.store(v, ord)
+                }
+
+                /// Atomic swap; returns the previous value.
+                pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                    if let Some((e, me, id)) = self.live() {
+                        let old = e
+                            .atomic_rmw(me, id, ord, ord, &mut |_| Some(v as u64))
+                            .expect("swap always succeeds") as $ty;
+                        self.real.store(v, Ordering::Relaxed);
+                        return old;
+                    }
+                    self.real.swap(v, ord)
+                }
+
+                /// Strong compare-exchange (weak is modelled identically —
+                /// the model has no spurious failures).
+                pub fn compare_exchange(
+                    &self,
+                    expected: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    if let Some((e, me, id)) = self.live() {
+                        let r = e.atomic_rmw(me, id, success, failure, &mut |cur| {
+                            if cur == expected as u64 {
+                                Some(new as u64)
+                            } else {
+                                None
+                            }
+                        });
+                        if r.is_ok() {
+                            self.real.store(new, Ordering::Relaxed);
+                        }
+                        return r.map(|v| v as $ty).map_err(|v| v as $ty);
+                    }
+                    self.real.compare_exchange(expected, new, success, failure)
+                }
+
+                /// Weak compare-exchange; see [`Self::compare_exchange`].
+                pub fn compare_exchange_weak(
+                    &self,
+                    expected: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(expected, new, success, failure)
+                }
+
+                /// Atomic wrapping add; returns the previous value.
+                pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                    if let Some((e, me, id)) = self.live() {
+                        let old = e
+                            .atomic_rmw(me, id, ord, ord, &mut |cur| {
+                                Some((cur as $ty).wrapping_add(v) as u64)
+                            })
+                            .expect("fetch_add always succeeds") as $ty;
+                        self.real.store(old.wrapping_add(v), Ordering::Relaxed);
+                        return old;
+                    }
+                    self.real.fetch_add(v, ord)
+                }
+
+                /// Atomic wrapping subtract; returns the previous value.
+                pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                    if let Some((e, me, id)) = self.live() {
+                        let old = e
+                            .atomic_rmw(me, id, ord, ord, &mut |cur| {
+                                Some((cur as $ty).wrapping_sub(v) as u64)
+                            })
+                            .expect("fetch_sub always succeeds") as $ty;
+                        self.real.store(old.wrapping_sub(v), Ordering::Relaxed);
+                        return old;
+                    }
+                    self.real.fetch_sub(v, ord)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    // No load: Debug must not be a scheduling point.
+                    f.write_str(concat!(stringify!($name), "(..)"))
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(0 as $ty)
+                }
+            }
+        };
+    }
+
+    shim_atomic!(
+        /// Model-aware `AtomicU64`.
+        AtomicU64, AtomicU64, u64
+    );
+    shim_atomic!(
+        /// Model-aware `AtomicU32`.
+        AtomicU32, AtomicU32, u32
+    );
+    shim_atomic!(
+        /// Model-aware `AtomicU8`.
+        AtomicU8, AtomicU8, u8
+    );
+    shim_atomic!(
+        /// Model-aware `AtomicUsize`.
+        AtomicUsize, AtomicUsize, usize
+    );
+
+    /// Model-aware `AtomicBool` (stored as 0/1 in the model).
+    pub struct AtomicBool {
+        real: std::sync::atomic::AtomicBool,
+        model: Option<LocRef>,
+    }
+
+    impl AtomicBool {
+        /// Creates the atomic; registers a model location when a model
+        /// execution is active on this thread.
+        pub fn new(v: bool) -> Self {
+            AtomicBool {
+                real: std::sync::atomic::AtomicBool::new(v),
+                model: engine::register(Flavour::Atomic, v as u64),
+            }
+        }
+
+        fn live(&self) -> Option<(Arc<ExecShared>, usize, usize)> {
+            let m = self.model.as_ref()?;
+            let (exec, me) = m.live()?;
+            Some((exec, me, m.id))
+        }
+
+        /// Atomic load.
+        pub fn load(&self, ord: Ordering) -> bool {
+            if let Some((e, me, id)) = self.live() {
+                return e.atomic_load(me, id, ord) != 0;
+            }
+            self.real.load(ord)
+        }
+
+        /// Atomic store.
+        pub fn store(&self, v: bool, ord: Ordering) {
+            if let Some((e, me, id)) = self.live() {
+                e.atomic_store(me, id, v as u64, ord);
+                self.real.store(v, Ordering::Relaxed);
+                return;
+            }
+            self.real.store(v, ord)
+        }
+
+        /// Atomic swap; returns the previous value.
+        pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+            if let Some((e, me, id)) = self.live() {
+                let old = e
+                    .atomic_rmw(me, id, ord, ord, &mut |_| Some(v as u64))
+                    .expect("swap always succeeds");
+                self.real.store(v, Ordering::Relaxed);
+                return old != 0;
+            }
+            self.real.swap(v, ord)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("AtomicBool(..)")
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Locks.
+// ---------------------------------------------------------------------
+
+/// Model-aware `std::sync::Mutex`. Lock/unlock are visible events that
+/// carry happens-before edges; contention becomes explored blocking.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    model: Option<LocRef>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex; registers a model lock when an execution is
+    /// active on this thread.
+    pub fn new(t: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(t),
+            model: engine::register(Flavour::Lock, 0),
+        }
+    }
+
+    /// Acquires the mutex. Mirrors `std`'s signature (always `Ok` in the
+    /// model; the engine serializes threads so the inner lock is never
+    /// contended there).
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        let rel = if let Some(m) = &self.model {
+            if let Some((e, me)) = m.live() {
+                e.lock_acquire(me, m.id, LockKind::Write);
+                Some(m.clone())
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard { inner: g, rel }),
+            Err(p) => Ok(MutexGuard {
+                inner: p.into_inner(),
+                rel,
+            }),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Mutex(..)")
+    }
+}
+
+/// Guard for [`Mutex`]; releases the model lock on drop.
+pub struct MutexGuard<'a, T> {
+    inner: std::sync::MutexGuard<'a, T>,
+    rel: Option<LocRef>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // During an abort unwind the engine op would panic again (fatal
+        // inside Drop); the execution's lock state is discarded anyway.
+        if std::thread::panicking() {
+            return;
+        }
+        if let Some(m) = &self.rel {
+            if let Some((e, me)) = m.live() {
+                e.lock_release(me, m.id, LockKind::Write);
+            }
+        }
+    }
+}
+
+/// Model-aware `std::sync::RwLock`. Reader clocks accumulate into the
+/// release clock, so a later writer synchronizes with every prior reader.
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+    model: Option<LocRef>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates the lock; registers a model lock when an execution is
+    /// active on this thread.
+    pub fn new(t: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(t),
+            model: engine::register(Flavour::Lock, 0),
+        }
+    }
+
+    fn acquire(&self, kind: LockKind) -> Option<LocRef> {
+        if let Some(m) = &self.model {
+            if let Some((e, me)) = m.live() {
+                e.lock_acquire(me, m.id, kind);
+                return Some(m.clone());
+            }
+        }
+        None
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> std::sync::LockResult<RwLockReadGuard<'_, T>> {
+        let rel = self.acquire(LockKind::Read);
+        match self.inner.read() {
+            Ok(g) => Ok(RwLockReadGuard { inner: g, rel }),
+            Err(p) => Ok(RwLockReadGuard {
+                inner: p.into_inner(),
+                rel,
+            }),
+        }
+    }
+
+    /// Acquires the exclusive write guard.
+    pub fn write(&self) -> std::sync::LockResult<RwLockWriteGuard<'_, T>> {
+        let rel = self.acquire(LockKind::Write);
+        match self.inner.write() {
+            Ok(g) => Ok(RwLockWriteGuard { inner: g, rel }),
+            Err(p) => Ok(RwLockWriteGuard {
+                inner: p.into_inner(),
+                rel,
+            }),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RwLock(..)")
+    }
+}
+
+macro_rules! rw_guard {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $kind:expr, $($mutdef:tt)*) => {
+        $(#[$doc])*
+        pub struct $name<'a, T> {
+            inner: std::sync::$std<'a, T>,
+            rel: Option<LocRef>,
+        }
+
+        impl<T> std::ops::Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+
+        $($mutdef)*
+
+        impl<T> Drop for $name<'_, T> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    return;
+                }
+                if let Some(m) = &self.rel {
+                    if let Some((e, me)) = m.live() {
+                        e.lock_release(me, m.id, $kind);
+                    }
+                }
+            }
+        }
+    };
+}
+
+rw_guard!(
+    /// Shared guard for [`RwLock`].
+    RwLockReadGuard,
+    RwLockReadGuard,
+    LockKind::Read,
+);
+
+rw_guard!(
+    /// Exclusive guard for [`RwLock`].
+    RwLockWriteGuard,
+    RwLockWriteGuard,
+    LockKind::Write,
+    impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+);
+
+// ---------------------------------------------------------------------
+// Race-detected plain data.
+// ---------------------------------------------------------------------
+
+/// A cell holding *non-atomic* data whose accesses the model checks for
+/// data races: a read or write that is not happens-before-ordered with
+/// the latest write (or, for writes, with any outstanding read) fails the
+/// execution with a race report.
+///
+/// Outside a model execution it degrades to a mutex-protected cell —
+/// always memory-safe, just without detection. Model tests use it for
+/// payloads that the algorithm under test claims to hand over exclusively
+/// (e.g. a deque slot's job body).
+pub struct Data<T> {
+    inner: std::sync::Mutex<T>,
+    model: Option<LocRef>,
+}
+
+impl<T> Data<T> {
+    /// Creates the cell; registers a model location when an execution is
+    /// active on this thread.
+    pub fn new(t: T) -> Self {
+        Data {
+            inner: std::sync::Mutex::new(t),
+            model: engine::register(Flavour::Data, 0),
+        }
+    }
+
+    fn live(&self) -> Option<(Arc<ExecShared>, usize, usize)> {
+        let m = self.model.as_ref()?;
+        let (exec, me) = m.live()?;
+        Some((exec, me, m.id))
+    }
+
+    /// Reads through `f`; reports a race if the read is concurrent with
+    /// the latest write.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        if let Some((e, me, id)) = self.live() {
+            e.data_read(me, id);
+        }
+        f(&self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Writes through `f`; reports a race if the write is concurrent with
+    /// the latest write or any read since it.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        if let Some((e, me, id)) = self.live() {
+            e.data_write(me, id);
+        }
+        f(&mut self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Copies the value out (a checked read).
+    pub fn get(&self) -> T
+    where
+        T: Copy,
+    {
+        self.with(|v| *v)
+    }
+
+    /// Replaces the value (a checked write).
+    pub fn set(&self, v: T) {
+        self.with_mut(|p| *p = v)
+    }
+}
+
+impl<T> std::fmt::Debug for Data<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Data(..)")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spin/yield hints.
+// ---------------------------------------------------------------------
+
+/// Spin-wait hint. Inside the model this is a *yield*: the spinning
+/// thread steps aside until another thread has made progress, which is
+/// both how real backoff behaves and what keeps bounded spin loops from
+/// exploding the schedule space.
+pub fn spin_loop() {
+    if let Some(ctx) = engine::current_ctx() {
+        let exec = ctx.exec.clone();
+        exec.yield_now(ctx.id);
+        return;
+    }
+    std::hint::spin_loop();
+}
+
+pub use crate::thread::yield_now;

@@ -1,0 +1,92 @@
+//! Model-aware `thread::spawn` / `JoinHandle` / `yield_now`.
+//!
+//! Inside a model execution, spawned closures become model threads: real
+//! OS threads gated by the engine so only the scheduled one runs, with
+//! spawn/join carrying the usual happens-before edges. Outside a model
+//! these delegate straight to `std::thread`.
+
+use crate::engine::{self, Abort, ExecShared};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<ExecShared>,
+        tid: usize,
+        result: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned (model or real) thread.
+pub struct JoinHandle<T>(Imp<T>);
+
+impl<T> JoinHandle<T> {
+    /// Joins the thread and returns its result. In the model this is a
+    /// visible blocking operation; a panic in the joined thread fails the
+    /// whole execution rather than surfacing here.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Imp::Std(h) => h.join(),
+            Imp::Model { exec, tid, result } => {
+                let me = engine::current_ctx()
+                    .expect("model JoinHandle joined from outside its execution")
+                    .id;
+                exec.join_thread(me, tid);
+                let v = result
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("joined model thread left no result");
+                Ok(v)
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model execution the closure becomes a model
+/// thread scheduled by the engine; otherwise this is `std::thread::spawn`.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let Some(ctx) = engine::current_ctx() else {
+        return JoinHandle(Imp::Std(std::thread::spawn(f)));
+    };
+    let exec = ctx.exec.clone();
+    let tid = exec.spawn_thread(ctx.id);
+    let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let child_exec = Arc::clone(&exec);
+    std::thread::spawn(move || {
+        engine::install_ctx(Arc::clone(&child_exec), tid);
+        // Park until the scheduler first picks this thread, then run the
+        // closure; its panics (assertion failures) fail the execution.
+        let run = panic::catch_unwind(AssertUnwindSafe(|| {
+            child_exec.gate(tid);
+            let v = f();
+            *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+            child_exec.finish_thread(tid);
+        }));
+        if let Err(e) = run {
+            if e.downcast_ref::<Abort>().is_none() {
+                child_exec.record_panic(engine::panic_payload_msg(e));
+            }
+        }
+        engine::clear_ctx();
+    });
+    JoinHandle(Imp::Model { exec, tid, result })
+}
+
+/// Yields the current thread. Inside the model this deprioritizes the
+/// caller until another thread has made progress (breaking spin livelock
+/// in bounded retry loops); outside it is `std::thread::yield_now`.
+pub fn yield_now() {
+    if let Some(ctx) = engine::current_ctx() {
+        let exec = ctx.exec.clone();
+        exec.yield_now(ctx.id);
+        return;
+    }
+    std::thread::yield_now();
+}

@@ -1,0 +1,242 @@
+//! Model checks for the shipped Chase–Lev deque (`crates/core/src/steal.rs`,
+//! compiled into `rtopex-check` against the shim atomics).
+//!
+//! Every test here explores *all* interleavings (up to the preemption
+//! bound) times all weak-memory reads-from choices, so a pass is a proof
+//! over that bounded space — not a lucky schedule. The `mutation_*`
+//! tests then weaken the deque's Release publication inside the model
+//! and demand the same suites FAIL, proving the checker actually
+//! exercises the orderings it claims to.
+
+use rtopex_check::steal::{steal_pair, Steal};
+use rtopex_check::sync::Data;
+use rtopex_check::{thread, Builder};
+use std::sync::Arc;
+
+/// The hard case PR 3's stress test could barely reach: owner `pop` and a
+/// thief `steal` racing for the **last element**. Exactly one side may
+/// win, in every interleaving.
+#[test]
+fn pop_vs_steal_last_element_exactly_once() {
+    let report = Builder::new().check(|| {
+        let (mut w, s) = steal_pair(2);
+        w.push(42).unwrap();
+        let t = thread::spawn(move || {
+            // Bounded retry: a lost CAS means the owner won; the next
+            // attempt then observes Empty.
+            for _ in 0..3 {
+                match s.steal() {
+                    Steal::Taken(v) => return Some(v),
+                    Steal::Retry => continue,
+                    Steal::Empty => return None,
+                }
+            }
+            None
+        });
+        let mine = w.pop();
+        let theirs = t.join().unwrap();
+        let takes = usize::from(mine.is_some()) + usize::from(theirs.is_some());
+        assert_eq!(
+            takes, 1,
+            "last ticket taken {takes} times (lost or duplicated)"
+        );
+        let v = mine.or(theirs).unwrap();
+        assert_eq!(v, 42, "winner read a torn/stale slot value");
+        assert_eq!(w.pop(), None, "deque must end empty");
+    });
+    assert!(report.complete, "exploration must exhaust the bounded tree");
+    assert!(
+        report.executions >= 50,
+        "suspiciously few interleavings: {}",
+        report.executions
+    );
+}
+
+/// Ticket handoff publishes the *payload*: a thief that takes a ticket
+/// must see every write the owner made before pushing it. The payload is
+/// a race-detected [`Data`] cell, so a missing happens-before edge fails
+/// the execution even if the value happens to look right.
+#[test]
+fn steal_handoff_publishes_payload() {
+    let report = Builder::new().check(steal_handoff_body);
+    assert!(report.complete);
+    assert!(report.executions >= 50);
+}
+
+/// The seeded-bug satellite: flip the deque's `bottom` Release store to
+/// Relaxed *inside the model* and the handoff suite above must fail —
+/// the thief can observe the new `bottom` without the slot write or the
+/// payload write, i.e. a stale ticket or a data race. A checker that
+/// stays green here would be vacuous.
+#[test]
+fn mutation_weakened_bottom_release_is_caught() {
+    let failure = Builder::new()
+        .weaken_release_stores(true)
+        .try_check(steal_handoff_body)
+        .expect_err("Release→Relaxed downgrade of the bottom store must be detected");
+    assert!(
+        failure.message.contains("data race")
+            || failure.message.contains("stale")
+            || failure.message.contains("assertion")
+            || failure.message.contains("torn"),
+        "unexpected failure kind: {failure}"
+    );
+    assert!(!failure.trace.is_empty(), "failure must carry a trace");
+}
+
+fn steal_handoff_body() {
+    let payload = Arc::new(Data::new(0u64));
+    let (mut w, s) = steal_pair(2);
+    let p2 = Arc::clone(&payload);
+    let t = thread::spawn(move || {
+        for _ in 0..6 {
+            match s.steal() {
+                Steal::Taken(v) => {
+                    assert_eq!(v, 1, "stole a stale/torn ticket");
+                    // Must be ordered after the owner's payload write.
+                    assert_eq!(p2.get(), 7, "ticket visible before its payload");
+                    return true;
+                }
+                _ => thread::yield_now(),
+            }
+        }
+        false
+    });
+    payload.set(7);
+    w.push(1).unwrap();
+    let mine = w.pop();
+    if let Some(v) = mine {
+        assert_eq!(v, 1);
+        assert_eq!(payload.get(), 7);
+    }
+    let stolen = t.join().unwrap();
+    assert_eq!(
+        usize::from(mine.is_some()) + usize::from(stolen),
+        1,
+        "ticket must be taken exactly once"
+    );
+}
+
+/// Two tickets, one thief: every ticket is taken exactly once across the
+/// owner's LIFO pops and the thief's FIFO steals, in every interleaving.
+#[test]
+fn owner_and_thief_partition_two_tickets() {
+    let report = Builder::new().check(|| {
+        let (mut w, s) = steal_pair(4);
+        w.push(10).unwrap();
+        w.push(11).unwrap();
+        let t = thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut retries = 0;
+            loop {
+                match s.steal() {
+                    Steal::Taken(v) => got.push(v),
+                    Steal::Retry if retries < 4 => {
+                        retries += 1;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            got
+        });
+        let mut got = Vec::new();
+        while let Some(v) = w.pop() {
+            got.push(v);
+        }
+        got.extend(t.join().unwrap());
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 11], "tickets lost or duplicated: {got:?}");
+    });
+    assert!(report.complete);
+    assert!(report.executions >= 200);
+}
+
+/// Three-way race: two thieves and the owner contend for a single
+/// ticket. The decisive CAS must serialize them — exactly one winner.
+#[test]
+fn two_thieves_and_owner_race_last_ticket() {
+    let report = Builder::new()
+        // Three threads blow up fast; four preemptions keep exploration
+        // around 40k executions / ~3 s while covering one involuntary
+        // switch per contender pair plus two extra mid-CAS preemptions.
+        .preemption_bound(Some(4))
+        .check(|| {
+            let (mut w, s) = steal_pair(2);
+            w.push(5).unwrap();
+            let thief = |s: rtopex_check::steal::Stealer| {
+                thread::spawn(move || {
+                    for _ in 0..3 {
+                        match s.steal() {
+                            Steal::Taken(v) => return Some(v),
+                            Steal::Retry => continue,
+                            Steal::Empty => return None,
+                        }
+                    }
+                    None
+                })
+            };
+            let t1 = thief(s.clone());
+            let t2 = thief(s);
+            let mine = w.pop();
+            let r1 = t1.join().unwrap();
+            let r2 = t2.join().unwrap();
+            let takes =
+                usize::from(mine.is_some()) + usize::from(r1.is_some()) + usize::from(r2.is_some());
+            assert_eq!(takes, 1, "single ticket taken {takes} times");
+        });
+    assert!(report.complete);
+    // The headline exploration budget: this one scenario already covers
+    // the "≥10k interleavings" bar the CI analysis job quotes.
+    assert!(report.executions >= 10_000);
+}
+
+/// Push racing a steal at full capacity: the capacity check may refuse
+/// the push, but it must never overwrite a slot a stealer still holds an
+/// un-CASed claim on (the safety argument in the module docs).
+#[test]
+fn full_ring_push_never_clobbers_inflight_steal() {
+    let report = Builder::new().check(|| {
+        let (mut w, s) = steal_pair(2);
+        w.push(1).unwrap();
+        w.push(2).unwrap();
+        let t = thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut retries = 0;
+            loop {
+                match s.steal() {
+                    Steal::Taken(v) => got.push(v),
+                    Steal::Retry if retries < 4 => {
+                        retries += 1;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            got
+        });
+        // Owner keeps trying to push a third ticket while the thief
+        // drains; a successful push must reuse only truly freed slots.
+        let mut pushed3 = false;
+        for _ in 0..4 {
+            if w.push(3).is_ok() {
+                pushed3 = true;
+                break;
+            }
+            thread::yield_now();
+        }
+        let mut got = Vec::new();
+        while let Some(v) = w.pop() {
+            got.push(v);
+        }
+        got.extend(t.join().unwrap());
+        got.sort_unstable();
+        let mut expect = vec![1, 2];
+        if pushed3 {
+            expect.push(3);
+        }
+        assert_eq!(got, expect, "ring reuse corrupted a ticket: {got:?}");
+    });
+    assert!(report.complete);
+    assert!(report.executions >= 200);
+}

@@ -21,6 +21,11 @@
 //! * [`steal`] — lock-free work-stealing migration: a bounded Chase–Lev
 //!   deque of subtask tickets plus the steal-time δ admission guard (the
 //!   contention-free form of Algorithm 1's "migrate to idle cores");
+//! * [`slots`] — epoch-validated slot-arena publication: the board a
+//!   core publishes a stage on and helpers complete/decline slots
+//!   through (model-checked by `rtopex-check`);
+//! * [`sync`] — the synchronization facade: `std::sync` in production,
+//!   the model checker's instrumented shims under `--cfg rtopex_model`;
 //! * [`metrics`] — deadline-miss, gap, and migration accounting
 //!   (the raw material of Figs. 15–19).
 
@@ -33,8 +38,10 @@ pub mod global;
 pub mod metrics;
 pub mod migration;
 pub mod partitioned;
+pub mod slots;
 pub mod state;
 pub mod steal;
+pub mod sync;
 pub mod task;
 pub mod time;
 

@@ -1,0 +1,271 @@
+//! Epoch-validated slot-arena publication — the coordination half of the
+//! runtime's migration arena, extracted so the model checker can compile
+//! it against shim primitives and the runtime can reuse it verbatim.
+//!
+//! The protocol (one board per core):
+//!
+//! * the **owner** [`publish`](SlotBoard::publish)es a stage: bumps the
+//!   epoch under the stage lock's *write* guard (which blocks until every
+//!   straggling helper of the previous stage has left), updates the stage
+//!   descriptor, and resets the first `count` ready flags to
+//!   [`SlotState::Pending`];
+//! * a **helper** that stole a ticket `(epoch, idx)` calls
+//!   [`enter`](SlotBoard::enter): it takes the *read* guard and
+//!   re-validates the epoch — a stale ticket from a recovered stage is
+//!   refused before it can touch anything. While the returned
+//!   [`StageGuard`] lives, the owner cannot republish, so a validated
+//!   helper can never write into a *newer* stage's slots;
+//! * the helper finishes its slot with [`StageGuard::complete`] (payload
+//!   written) or [`StageGuard::decline`] (δ admission failed), both
+//!   `Release` stores the owner's `Acquire` [`poll`](SlotBoard::poll) /
+//!   [`wait`](SlotBoard::wait) pairs with — seeing `Done` therefore
+//!   proves the payload writes are visible.
+//!
+//! Slot *payloads* stay with the embedding code (the runtime keeps them
+//! in per-slot mutexes next to the board); the board only carries the
+//! descriptor, the epoch, and the ready flags, which is exactly the part
+//! whose interleavings are hard to reason about and worth model-checking
+//! (`rtopex-check` includes this file and drives it from its arena test
+//! suite).
+
+use crate::sync::atomic::{AtomicU8, Ordering};
+use crate::sync::{spin_loop, yield_now, RwLock, RwLockReadGuard};
+use std::sync::PoisonError;
+use std::time::{Duration, Instant};
+
+/// State of one result slot in the active stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotState {
+    /// Published, not yet taken to completion by anyone.
+    Pending,
+    /// A helper (or the owner) wrote the payload; safe to absorb.
+    Done,
+    /// A helper took the ticket but the δ guard refused it; the owner
+    /// must recover the subtask locally.
+    Declined,
+}
+
+const SLOT_PENDING: u8 = 0;
+const SLOT_DONE: u8 = 1;
+const SLOT_DECLINED: u8 = 2;
+
+impl SlotState {
+    fn from_u8(v: u8) -> SlotState {
+        match v {
+            SLOT_PENDING => SlotState::Pending,
+            SLOT_DONE => SlotState::Done,
+            _ => SlotState::Declined,
+        }
+    }
+}
+
+/// The published stage: a monotonic epoch plus the embedding code's
+/// descriptor (task kind, deadline, input snapshot, …).
+struct Stage<D> {
+    epoch: u64,
+    desc: D,
+}
+
+/// One core's publication board: stage descriptor + epoch under a
+/// read/write lock, and per-slot ready flags.
+pub struct SlotBoard<D> {
+    stage: RwLock<Stage<D>>,
+    ready: Vec<AtomicU8>,
+}
+
+impl<D> SlotBoard<D> {
+    /// A board with `slots` result slots (all initially `Done`, i.e. no
+    /// stage outstanding) and the initial descriptor value.
+    pub fn new(slots: usize, desc: D) -> Self {
+        SlotBoard {
+            stage: RwLock::new(Stage { epoch: 0, desc }),
+            ready: (0..slots).map(|_| AtomicU8::new(SLOT_DONE)).collect(),
+        }
+    }
+
+    /// Number of result slots.
+    pub fn slot_count(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Publishes a new stage: bumps the epoch (blocking out stragglers of
+    /// the previous stage via the write guard), lets `update` rewrite the
+    /// descriptor, and resets the first `count` ready flags. Returns the
+    /// new epoch for ticket encoding.
+    ///
+    /// Must be called by the owning core only, and only after the
+    /// previous stage is fully absorbed/recovered.
+    pub fn publish(&self, count: usize, update: impl FnOnce(&mut D)) -> u64 {
+        debug_assert!(count <= self.ready.len(), "stage larger than the arena");
+        let mut st = self.stage.write().unwrap_or_else(PoisonError::into_inner);
+        st.epoch += 1;
+        update(&mut st.desc);
+        let epoch = st.epoch;
+        drop(st);
+        // Flags reset after the bump but before the owner hands out any
+        // ticket, so a helper admitted into this epoch can only find
+        // Pending here.
+        for r in self.ready.iter().take(count) {
+            // ORDERING: Release — a helper that validated the epoch reads
+            // these flags with Acquire before writing its slot payload;
+            // the edge guarantees it sees this stage's reset, not the
+            // previous stage's terminal states.
+            r.store(SLOT_PENDING, Ordering::Release);
+        }
+        epoch
+    }
+
+    /// Validates a stolen ticket's epoch and pins the stage against
+    /// republication. Returns `None` for a stale ticket (the helper must
+    /// drop it without touching any slot).
+    pub fn enter(&self, epoch: u64) -> Option<StageGuard<'_, D>> {
+        let guard = self.stage.read().unwrap_or_else(PoisonError::into_inner);
+        if guard.epoch != epoch {
+            return None;
+        }
+        Some(StageGuard { board: self, guard })
+    }
+
+    /// Owner-side non-blocking slot check (`Acquire`; pairs with
+    /// [`StageGuard::complete`] / [`StageGuard::decline`]).
+    pub fn poll(&self, idx: usize) -> SlotState {
+        SlotState::from_u8(self.ready[idx].load(Ordering::Acquire))
+    }
+
+    /// Owner-side spin-then-yield wait for a slot to leave `Pending`,
+    /// bounded by the remaining deadline budget (capped at 50 ms).
+    /// Returns `Pending` on timeout — the straggler-recovery path.
+    pub fn wait(&self, idx: usize, deadline: Instant) -> SlotState {
+        let start = Instant::now();
+        let limit = deadline
+            .saturating_duration_since(start)
+            .min(Duration::from_millis(50));
+        let mut spins = 0u32;
+        loop {
+            let v = self.poll(idx);
+            if v != SlotState::Pending {
+                return v;
+            }
+            if start.elapsed() >= limit {
+                return SlotState::Pending;
+            }
+            if spins < 128 {
+                spins += 1;
+                spin_loop();
+            } else {
+                yield_now();
+            }
+        }
+    }
+}
+
+/// Proof that a helper validated its ticket against the live epoch; while
+/// it exists the owner's next [`SlotBoard::publish`] blocks. Grants read
+/// access to the stage descriptor and the right to finish slots.
+pub struct StageGuard<'a, D> {
+    board: &'a SlotBoard<D>,
+    guard: RwLockReadGuard<'a, Stage<D>>,
+}
+
+impl<D> StageGuard<'_, D> {
+    /// The validated epoch.
+    pub fn epoch(&self) -> u64 {
+        self.guard.epoch
+    }
+
+    /// The published stage descriptor.
+    pub fn desc(&self) -> &D {
+        &self.guard.desc
+    }
+
+    /// Marks `idx` done — call only after the slot payload is fully
+    /// written.
+    pub fn complete(&self, idx: usize) {
+        // ORDERING: Release publishes the helper's payload writes; the
+        // owner's Acquire poll/wait observing `Done` therefore proves the
+        // payload is safe to absorb (the model's ready-flag publication
+        // test fails with Relaxed here).
+        self.board.ready[idx].store(SLOT_DONE, Ordering::Release);
+    }
+
+    /// Marks `idx` declined by the admission guard; the owner recovers
+    /// the subtask locally.
+    pub fn decline(&self, idx: usize) {
+        // ORDERING: Release for symmetry with `complete`: the owner's
+        // Acquire load of `Declined` must also be ordered after the
+        // helper's (absence of) payload writes.
+        self.board.ready[idx].store(SLOT_DECLINED, Ordering::Release);
+    }
+}
+
+impl<D> std::ops::Deref for StageGuard<'_, D> {
+    type Target = D;
+    fn deref(&self) -> &D {
+        self.desc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_bumps_epoch_and_resets_flags() {
+        let board = SlotBoard::new(4, 0u32);
+        assert_eq!(board.slot_count(), 4);
+        let e1 = board.publish(2, |d| *d = 7);
+        assert_eq!(e1, 1);
+        assert_eq!(board.poll(0), SlotState::Pending);
+        assert_eq!(board.poll(1), SlotState::Pending);
+        // Slots beyond `count` keep their terminal state.
+        assert_eq!(board.poll(2), SlotState::Done);
+        let e2 = board.publish(1, |d| *d = 8);
+        assert_eq!(e2, 2);
+    }
+
+    #[test]
+    fn enter_refuses_stale_epoch() {
+        let board = SlotBoard::new(2, ());
+        let e1 = board.publish(1, |_| {});
+        {
+            let g = board.enter(e1).expect("live epoch must validate");
+            assert_eq!(g.epoch(), e1);
+            g.complete(0);
+        }
+        let e2 = board.publish(1, |_| {});
+        assert!(board.enter(e1).is_none(), "stale ticket must be refused");
+        assert!(board.enter(e2).is_some());
+    }
+
+    #[test]
+    fn decline_and_complete_reach_the_owner() {
+        let board = SlotBoard::new(2, ());
+        let e = board.publish(2, |_| {});
+        {
+            let g = board.enter(e).unwrap();
+            g.decline(0);
+            g.complete(1);
+        }
+        assert_eq!(board.poll(0), SlotState::Declined);
+        assert_eq!(board.poll(1), SlotState::Done);
+    }
+
+    #[test]
+    fn wait_times_out_to_pending() {
+        let board = SlotBoard::new(1, ());
+        let _e = board.publish(1, |_| {});
+        let r = board.wait(0, Instant::now() + Duration::from_millis(1));
+        assert_eq!(r, SlotState::Pending);
+    }
+
+    #[test]
+    fn descriptor_is_readable_through_the_guard() {
+        let board = SlotBoard::new(1, String::new());
+        let e = board.publish(1, |d| {
+            d.clear();
+            d.push_str("decode");
+        });
+        let g = board.enter(e).unwrap();
+        assert_eq!(&*g, "decode");
+    }
+}

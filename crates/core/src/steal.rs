@@ -31,8 +31,8 @@
 //! `t mod cap` implies `top > t`, which makes the stale stealer's CAS
 //! fail).
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::time::Nanos;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Result of one steal attempt.
@@ -70,6 +70,7 @@ pub fn steal_pair(capacity: usize) -> (Worker, Stealer) {
         top: AtomicU64::new(0),
         bottom: AtomicU64::new(0),
         mask: cap as u64 - 1,
+        // lint: allow(hot-alloc): one-time ring construction at node setup
         slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
     });
     (
@@ -112,10 +113,15 @@ impl Worker {
             return None;
         }
         let nb = b - 1;
-        // SeqCst store + SeqCst load form the StoreLoad barrier the
-        // algorithm needs: stealers must observe the reservation before we
-        // trust our `top` read.
+        // ORDERING: SeqCst store + SeqCst load form the StoreLoad barrier
+        // the algorithm needs: the reservation of `bottom` must be globally
+        // visible before we trust our `top` read, or a concurrent steal and
+        // this pop could both take the last ticket (the model checker's
+        // `deque_last_element_race` test fails with anything weaker here).
         self.inner.bottom.store(nb, Ordering::SeqCst);
+        // ORDERING: SeqCst — the load half of the StoreLoad pair above; it
+        // must be ordered after the `bottom` reservation in the single
+        // total order that concurrent stealers' SeqCst loads observe.
         let t = self.inner.top.load(Ordering::SeqCst);
         if t < nb {
             // More than one element remained: slot `nb` is exclusively
@@ -124,17 +130,28 @@ impl Worker {
         }
         if t == nb {
             // Exactly one element: race any stealer for it.
+            // ORDERING: SeqCst success keeps the decisive CAS in the same
+            // total order as the stealers' SeqCst top/bottom loads, so
+            // exactly one contender wins the last ticket. Failure is
+            // Relaxed (Lê et al., CPP'13): a losing owner only restores
+            // `bottom` and returns None, using nothing it read.
             let won = self
                 .inner
                 .top
-                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok();
             // Either way the deque is now empty; restore canonical form.
-            self.inner.bottom.store(t + 1, Ordering::SeqCst);
+            // Relaxed suffices: the store only un-reserves the ticket we
+            // no longer hold, and the next publication that makes slot
+            // contents reachable again is push's Release `bottom` store
+            // (verified by the model's deque suites; Lê et al. use a
+            // relaxed store here too).
+            self.inner.bottom.store(t + 1, Ordering::Relaxed);
             return won.then(|| self.inner.slot(nb).load(Ordering::Relaxed));
         }
         // t > nb: stealers emptied it under us; undo the reservation.
-        self.inner.bottom.store(t, Ordering::SeqCst);
+        // Relaxed for the same reason as the empty-case restore above.
+        self.inner.bottom.store(t, Ordering::Relaxed);
         None
     }
 
@@ -163,7 +180,17 @@ pub struct Stealer {
 impl Stealer {
     /// Attempts to steal the oldest ticket (FIFO end).
     pub fn steal(&self) -> Steal {
+        // ORDERING: SeqCst — paired with pop's SeqCst bottom-store /
+        // top-load barrier: if this load is ordered before an owner's
+        // reservation in the SC total order, the owner's subsequent `top`
+        // read sees our claim (or our CAS fails); Acquire alone would let
+        // both sides read stale values and hand out the last ticket twice.
         let t = self.inner.top.load(Ordering::SeqCst);
+        // ORDERING: SeqCst — the second half of the emptiness check must
+        // not be reordered before the `top` load, and must observe any
+        // owner reservation SC-ordered earlier. (Also Acquire: pairs with
+        // push's Release `bottom` store so the slot write below is
+        // visible.)
         let b = self.inner.bottom.load(Ordering::SeqCst);
         if t >= b {
             return Steal::Empty;
@@ -171,6 +198,9 @@ impl Stealer {
         let v = self.inner.slot(t).load(Ordering::Relaxed);
         // The CAS decides ownership; on failure the value may have been
         // taken by the owner's pop or another thief.
+        // ORDERING: SeqCst success joins the claim into the same total
+        // order as pop's barrier (see above); Relaxed failure is fine —
+        // a losing thief discards `v` and reports Retry.
         match self
             .inner
             .top

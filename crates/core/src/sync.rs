@@ -1,0 +1,31 @@
+//! Synchronization facade: `std::sync` in production, the model checker's
+//! shims under `--cfg rtopex_model`.
+//!
+//! Every concurrency primitive the runtime's lock-free paths use is
+//! imported through this module rather than from `std` directly, so the
+//! *same source text* can be compiled against `rtopex-check`'s
+//! instrumented atomics (whose every operation is a visible, explorable
+//! event) simply by setting `RUSTFLAGS="--cfg rtopex_model"`. Normal
+//! builds re-export the `std` types unchanged — the facade is a pure
+//! renaming with zero runtime cost.
+//!
+//! Note the model checker does not normally rebuild this crate: it
+//! compiles `steal.rs` / `slots.rs` directly into `rtopex-check` via
+//! `#[path]` includes, where `crate::sync` resolves to the shim
+//! natively. The `rtopex_model` cfg arm exists so the *whole* crate (and
+//! its dependents) can also be compiled against the shims, e.g. to model
+//! higher-level code that embeds these primitives.
+
+#[cfg(not(rtopex_model))]
+pub use std::hint::spin_loop;
+#[cfg(not(rtopex_model))]
+pub use std::sync::atomic;
+#[cfg(not(rtopex_model))]
+pub use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(not(rtopex_model))]
+pub use std::thread::yield_now;
+
+#[cfg(rtopex_model)]
+pub use rtopex_check::sync::{
+    atomic, spin_loop, yield_now, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};

@@ -45,6 +45,7 @@ impl ChannelEstimate {
 pub fn estimate_channel(grids: &[Grid], dmrs_ref: &[Cf32]) -> ChannelEstimate {
     let m = grids
         .first()
+        // lint: allow(hot-panic): documented precondition, validated at setup
         .expect("at least one antenna required")
         .bandwidth()
         .num_subcarriers();
@@ -64,6 +65,7 @@ pub fn estimate_channel_band(
     band: std::ops::Range<usize>,
 ) -> ChannelEstimate {
     let mut est = ChannelEstimate {
+        // lint: allow(hot-alloc): allocating convenience over the _into form
         h: Vec::new(),
         noise_var: 0.0,
     };
@@ -96,6 +98,7 @@ pub fn estimate_channel_band_into(
         est.h.truncate(grids.len());
     }
     while est.h.len() < grids.len() {
+        // lint: allow(hot-alloc): Vec::new is allocation-free; rows grow on warm-up only
         est.h.push(Vec::new());
     }
     let mut noise_acc = 0.0f64;
@@ -151,7 +154,9 @@ pub fn estimate_channel_band_into(
 /// Panics if `rows` length differs from the estimate's antenna count, or a
 /// row's width differs from the subcarrier count.
 pub fn mrc_combine(rows: &[&[Cf32]], est: &ChannelEstimate) -> (Vec<Cf32>, Vec<f32>) {
+    // lint: allow(hot-alloc): allocating convenience over mrc_combine_into
     let mut combined = Vec::new();
+    // lint: allow(hot-alloc): allocating convenience over mrc_combine_into
     let mut post_var = Vec::new();
     mrc_combine_into(rows, est, &mut combined, &mut post_var);
     (combined, post_var)

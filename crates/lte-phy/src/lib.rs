@@ -56,6 +56,10 @@
 // Unsafe is denied everywhere except the explicitly-allowed SIMD kernel
 // modules, whose `core::arch` loads/stores need it (see `simd`).
 #![deny(unsafe_code)]
+// Inside those modules, every unsafe operation must sit in an explicit
+// `unsafe {}` block with its own `// SAFETY:` comment (enforced by
+// `cargo xtask lint`) — an `unsafe fn` signature alone licenses nothing.
+#![deny(unsafe_op_in_unsafe_fn)]
 // DSP recurrences (shift registers, trellis states, per-subcarrier loops)
 // read most clearly with explicit indices; the iterator rewrites clippy
 // suggests obscure the math.

@@ -109,6 +109,7 @@ impl Modulation {
                     self.axis_level(&qb[..nb]) * self.norm(),
                 )
             })
+            // lint: allow(hot-alloc): TX-side mapper; the RX hot path is demap_maxlog_into
             .collect()
     }
 

@@ -44,12 +44,13 @@
 
 use crate::affinity::pin_current_thread;
 use crate::migrate::{Envelope, ResultFlag};
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtopex_core::metrics::{DeadlineMetrics, MigrationStats};
 use rtopex_core::migration::plan_migration;
 use rtopex_core::partitioned::PartitionedSchedule;
+use rtopex_core::slots::{SlotBoard, SlotState};
 use rtopex_core::steal::{self, decode_ticket, encode_ticket, AdmissionPolicy, DeltaGuard, Steal};
 use rtopex_core::time::Nanos;
 use rtopex_model::stats::Samples;
@@ -61,7 +62,7 @@ use rtopex_phy::Cf32;
 use rtopex_transport::{MulticellIngest, TestbedLink};
 use rtopex_workload::{load_to_mcs, LoadTrace, TraceParams};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
@@ -261,15 +262,10 @@ impl<'a> Inbox<'a> {
     }
 }
 
-const SLOT_PENDING: u8 = 0;
-const SLOT_DONE: u8 = 1;
-const SLOT_DECLINED: u8 = 2;
-
-/// The stage a core has published for helpers, plus its slot arena.
-struct StageCtx {
-    /// Monotonic stage counter; tickets embed it and stale tickets are
-    /// dropped on mismatch.
-    epoch: u64,
+/// The stage a core has published for helpers. The epoch and the ready
+/// flags live in the [`SlotBoard`] (rtopex-core's model-checked
+/// publication protocol); this is just its descriptor payload.
+struct StageDesc {
     kind: TaskKind,
     pool_idx: usize,
     tp_us: f64,
@@ -278,17 +274,16 @@ struct StageCtx {
     llrs: Vec<f32>,
 }
 
-/// Per-core preallocated migration arena: the published stage descriptor
-/// plus reusable result slots for both subtask kinds. Replaces the
-/// per-subframe `Arc<Vec<Mutex<Option<…>>>>` churn the node used to pay.
+/// Per-core preallocated migration arena: the publication board (stage
+/// descriptor + epoch + ready flags) plus reusable result slots for both
+/// subtask kinds. Replaces the per-subframe `Arc<Vec<Mutex<Option<…>>>>`
+/// churn the node used to pay.
 pub(crate) struct CoreArena {
-    ctx: RwLock<StageCtx>,
+    board: SlotBoard<StageDesc>,
     /// One flattened 14-row buffer per FFT batch (antenna).
     fft_slots: Vec<Mutex<Vec<Cf32>>>,
     /// One block buffer per decode subtask.
     dec_slots: Vec<Mutex<BlockBuf>>,
-    /// Per-subtask readiness of the active stage.
-    ready: Vec<AtomicU8>,
 }
 
 impl CoreArena {
@@ -316,28 +311,26 @@ impl CoreArena {
                 Mutex::new(b)
             })
             .collect();
-        let ready = (0..cfg.num_antennas.max(max_blocks))
-            .map(|_| AtomicU8::new(SLOT_DONE))
-            .collect();
         CoreArena {
-            ctx: RwLock::new(StageCtx {
-                epoch: 0,
-                kind: TaskKind::Demod,
-                pool_idx: 0,
-                tp_us: 0.0,
-                deadline: Instant::now(),
-                llrs: Vec::with_capacity(max_llrs),
-            }),
+            board: SlotBoard::new(
+                cfg.num_antennas.max(max_blocks),
+                StageDesc {
+                    kind: TaskKind::Demod,
+                    pool_idx: 0,
+                    tp_us: 0.0,
+                    deadline: Instant::now(),
+                    llrs: Vec::with_capacity(max_llrs),
+                },
+            ),
             fft_slots,
             dec_slots,
-            ready,
         }
     }
 }
 
-/// Publishes a stage: bumps the epoch (blocking out stragglers of the
-/// previous stage), records the descriptor, resets the ready flags.
-/// Returns the new epoch.
+/// Publishes a stage on the arena's board: bumps the epoch (blocking out
+/// stragglers of the previous stage), records the descriptor, resets the
+/// ready flags. Returns the new epoch.
 fn publish_stage(
     arena: &CoreArena,
     kind: TaskKind,
@@ -347,47 +340,16 @@ fn publish_stage(
     deadline: Instant,
     llrs: Option<&[f32]>,
 ) -> u64 {
-    let mut ctx = arena.ctx.write();
-    ctx.epoch += 1;
-    ctx.kind = kind;
-    ctx.pool_idx = pool_idx;
-    ctx.tp_us = tp_us;
-    ctx.deadline = deadline;
-    if let Some(l) = llrs {
-        ctx.llrs.clear();
-        ctx.llrs.extend_from_slice(l);
-    }
-    let epoch = ctx.epoch;
-    drop(ctx);
-    for r in arena.ready.iter().take(count) {
-        r.store(SLOT_PENDING, Ordering::Release);
-    }
-    epoch
-}
-
-/// Spin-then-yield wait for a slot to leave `PENDING`; bounded by the
-/// remaining deadline budget (capped at 50 ms). Returns the final state.
-fn wait_slot(ready: &AtomicU8, deadline: Instant) -> u8 {
-    let start = Instant::now();
-    let limit = deadline
-        .saturating_duration_since(start)
-        .min(Duration::from_millis(50));
-    let mut spins = 0u32;
-    loop {
-        let v = ready.load(Ordering::Acquire);
-        if v != SLOT_PENDING {
-            return v;
+    arena.board.publish(count, |d| {
+        d.kind = kind;
+        d.pool_idx = pool_idx;
+        d.tp_us = tp_us;
+        d.deadline = deadline;
+        if let Some(l) = llrs {
+            d.llrs.clear();
+            d.llrs.extend_from_slice(l);
         }
-        if start.elapsed() >= limit {
-            return SLOT_PENDING;
-        }
-        if spins < 128 {
-            spins += 1;
-            std::hint::spin_loop();
-        } else {
-            std::thread::yield_now();
-        }
-    }
+    })
 }
 
 /// Per-worker accumulators, merged once at worker exit so the hot loop
@@ -923,30 +885,30 @@ fn try_steal(me: usize, shared: &Shared<'_>, pool: &[Prepared], wm: &mut WorkerT
         let Some(ticket) = ticket else { continue };
         let (epoch, idx) = decode_ticket(ticket);
         let arena = &shared.arenas[victim];
-        // Hold the read guard for the whole execution: the victim's next
-        // publication (epoch bump) cannot start until we are done, so a
-        // stale thief can never write into a newer stage's slots.
-        let ctx = arena.ctx.read();
-        if ctx.epoch != epoch {
+        // `enter` validates the epoch and holds the board's read guard
+        // for the whole execution: the victim's next publication (epoch
+        // bump) cannot start until we are done, so a stale thief can
+        // never write into a newer stage's slots.
+        let Some(stage) = arena.board.enter(epoch) else {
             return true; // stale ticket of a recovered stage: drop it
-        }
+        };
         let now = Instant::now();
-        let slack = ctx.deadline.saturating_duration_since(now);
+        let slack = stage.deadline.saturating_duration_since(now);
         let idle_window = shared.next_release(me, now).saturating_duration_since(now);
         let guard = DeltaGuard {
             delta: Nanos::from_us_f64(shared.cfg.delta_us),
         };
         if !guard.admit(
-            Nanos::from_us_f64(ctx.tp_us),
+            Nanos::from_us_f64(stage.tp_us),
             Nanos(slack.as_nanos() as u64),
             Nanos(idle_window.as_nanos() as u64),
         ) {
-            arena.ready[idx].store(SLOT_DECLINED, Ordering::Release);
+            stage.decline(idx);
             wm.declined += 1;
             return true;
         }
-        let prepared = &pool[ctx.pool_idx];
-        match ctx.kind {
+        let prepared = &pool[stage.pool_idx];
+        match stage.kind {
             TaskKind::Fft => {
                 let mut slot = arena.fft_slots[idx].lock();
                 prepared
@@ -958,13 +920,13 @@ fn try_steal(me: usize, shared: &Shared<'_>, pool: &[Prepared], wm: &mut WorkerT
                 let (iterations, crc_ok) =
                     prepared
                         .rx
-                        .run_decode_subtask_into(&ctx.llrs, idx, &mut slot.bits);
+                        .run_decode_subtask_into(&stage.llrs, idx, &mut slot.bits);
                 slot.iterations = iterations;
                 slot.crc_ok = crc_ok;
             }
             TaskKind::Demod => {}
         }
-        arena.ready[idx].store(SLOT_DONE, Ordering::Release);
+        stage.complete(idx);
         wm.steals += 1;
         return true;
     }
@@ -1022,8 +984,8 @@ fn fanout_steal(
         if local_mask & (1 << i) != 0 {
             continue;
         }
-        match wait_slot(&arena.ready[i], deadline) {
-            SLOT_DONE => {
+        match arena.board.wait(i, deadline) {
+            SlotState::Done => {
                 exec(StageOp::Absorb(i));
                 migrated += 1;
             }
@@ -1200,10 +1162,11 @@ fn process_subframe<'a>(
             let samples = &prepared.samples;
             let make_remote = |b: usize, ep: u64| {
                 Envelope::new(move || {
-                    let ctx = arena.ctx.read();
-                    if ctx.epoch != ep {
+                    // Hold the board guard while writing the slot so a
+                    // straggler of a recovered stage is fenced out.
+                    let Some(_stage) = arena.board.enter(ep) else {
                         return; // straggler of a recovered stage
-                    }
+                    };
                     let mut slot = arena.fft_slots[b].lock();
                     rx.run_fft_batch_into(samples, b, &mut slot);
                 })
@@ -1313,13 +1276,12 @@ fn process_subframe<'a>(
             let rx = &prepared.rx;
             let make_remote = |r: usize, ep: u64| {
                 Envelope::new(move || {
-                    let ctx = arena.ctx.read();
-                    if ctx.epoch != ep {
+                    let Some(stage) = arena.board.enter(ep) else {
                         return;
-                    }
+                    };
                     let mut slot = arena.dec_slots[r].lock();
                     let (iterations, crc_ok) =
-                        rx.run_decode_subtask_into(&ctx.llrs, r, &mut slot.bits);
+                        rx.run_decode_subtask_into(&stage.llrs, r, &mut slot.bits);
                     slot.iterations = iterations;
                     slot.crc_ok = crc_ok;
                 })
@@ -1475,15 +1437,14 @@ mod tests {
                     match s.steal() {
                         Steal::Taken(t) => {
                             let (e, r) = decode_ticket(t);
-                            let ctx = arena.ctx.read();
-                            assert_eq!(ctx.epoch, e);
+                            let stage = arena.board.enter(e).expect("live epoch");
                             let mut slot = arena.dec_slots[r].lock();
                             let (iters, ok) =
-                                p.rx.run_decode_subtask_into(&ctx.llrs, r, &mut slot.bits);
+                                p.rx.run_decode_subtask_into(&stage.llrs, r, &mut slot.bits);
                             slot.iterations = iters;
                             slot.crc_ok = ok;
                             drop(slot);
-                            arena.ready[r].store(SLOT_DONE, Ordering::Release);
+                            stage.complete(r);
                         }
                         Steal::Retry => continue,
                         Steal::Empty => break,
@@ -1500,7 +1461,7 @@ mod tests {
         }
         for r in 0..blocks {
             if !job.decode_done(r) {
-                assert_eq!(wait_slot(&arena.ready[r], deadline), SLOT_DONE);
+                assert_eq!(arena.board.wait(r, deadline), SlotState::Done);
                 let slot = arena.dec_slots[r].lock();
                 job.absorb_decode_buf(r, &slot);
             }

@@ -24,6 +24,10 @@
 //! ACK/NACK accounting — at a configurable subframe period.
 
 #![warn(missing_docs)]
+// Every unsafe operation (the libc affinity calls) must sit in an explicit
+// `unsafe {}` block with its own `// SAFETY:` comment (enforced by
+// `cargo xtask lint`) — an `unsafe fn` signature alone licenses nothing.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod affinity;
 pub mod cluster;

@@ -1,0 +1,28 @@
+//! Repo automation. Currently one subcommand:
+//!
+//! * `cargo xtask lint` — hot-path invariant linter (see [`lint`]).
+
+mod lint;
+
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // CARGO_MANIFEST_DIR = <workspace>/crates/xtask at compile time; the
+    // binary only ever runs from this repo via the cargo alias.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    match args.first().map(String::as_str) {
+        Some("lint") => std::process::exit(lint::run(root)),
+        Some(other) => {
+            eprintln!("unknown xtask `{other}`; available: lint");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            std::process::exit(2);
+        }
+    }
+}

@@ -9,9 +9,11 @@
 //! test own the machine's cores instead of fighting the harness.
 
 use proptest::prelude::*;
-use rtopex::core::steal::{steal_pair, Steal};
+use rtopex::core::slots::{SlotBoard, SlotState};
+use rtopex::core::steal::{decode_ticket, encode_ticket, steal_pair, Steal};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
 
 /// Four thieves hammer one owner through sustained wrap-around of a small
 /// ring; each of `TOTAL` tickets must be consumed exactly once.
@@ -164,6 +166,125 @@ fn two_owners_cross_stealing_stay_exact() {
         .filter(|c| c.load(Ordering::Relaxed) == 1)
         .count();
     assert_eq!(consumed_once, 2 * PER_OWNER, "every ticket exactly once");
+}
+
+/// Cross-thread epoch reuse (ABA) under real atomics: the owner publishes
+/// thousands of short-lived stages, abandoning most of them on a timed-out
+/// wait, while a thief steals tickets and deliberately dawdles between the
+/// steal and the epoch validation. A dawdling thief's `enter` must come
+/// back refused — and an admitted thief must read exactly the descriptor
+/// of *its* epoch, never a later stage's (the ABA corruption this
+/// protocol exists to prevent; `crates/check/tests/arena_model.rs` proves
+/// the same property over all bounded interleavings).
+#[test]
+fn stale_epoch_tickets_refused_under_reuse_stress() {
+    const MIN_EPOCHS: u64 = 20_000;
+    // Scheduling decides when a steal actually goes stale, so the owner
+    // keeps publishing (well past MIN_EPOCHS if needed) until the thief
+    // has reported at least one refusal, up to a generous wall-clock cap.
+    const TIME_CAP: Duration = Duration::from_secs(10);
+    let board = SlotBoard::new(1, 0u64);
+    let (mut w, s) = steal_pair(8);
+    let done = AtomicBool::new(false);
+    let executed = std::sync::atomic::AtomicU64::new(0);
+    let stale = std::sync::atomic::AtomicU64::new(0);
+    let mut epochs_run = 0u64;
+
+    std::thread::scope(|scope| {
+        let board = &board;
+        let done = &done;
+        let (executed, stale) = (&executed, &stale);
+        scope.spawn(move || {
+            let mut lag = 0u32;
+            loop {
+                match s.steal() {
+                    Steal::Taken(t) => {
+                        let (e, i) = decode_ticket(t);
+                        assert_eq!(i, 0, "single-slot board");
+                        // Dawdle a varying amount before validating, so
+                        // the owner's recover-and-republish cycle often
+                        // overtakes this ticket.
+                        lag = (lag + 1) % 8;
+                        for _ in 0..lag {
+                            std::thread::yield_now();
+                        }
+                        match board.enter(e) {
+                            Some(stage) => {
+                                assert_eq!(
+                                    *stage.desc(),
+                                    e,
+                                    "admitted thief read a different stage's descriptor (ABA)"
+                                );
+                                stage.complete(0);
+                                executed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => {
+                                stale.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        });
+
+        let start = Instant::now();
+        let mut e = 0u64;
+        while e < MIN_EPOCHS || (stale.load(Ordering::Relaxed) == 0 && start.elapsed() < TIME_CAP) {
+            e += 1;
+            // Epochs are the board's own monotone counter (starting at 0),
+            // so stage `e` gets epoch `e`; writing `e` into the descriptor
+            // lets the thief cross-check ticket epoch against descriptor.
+            let epoch = board.publish(1, |d| *d = e);
+            assert_eq!(epoch, e, "publish must bump the epoch by exactly one");
+            let ticket = encode_ticket(epoch, 0);
+            if w.push(ticket).is_err() {
+                // Ring full of abandoned tickets: drain one and retry.
+                let _ = w.pop();
+                w.push(ticket).expect("slot freed");
+            }
+            // Alternate between giving the thief a real window (so the
+            // Done/absorb path runs) and bailing immediately (so recover
+            // + republish overtakes in-flight steals → stale tickets).
+            let deadline = if e.is_multiple_of(2) {
+                Instant::now() + Duration::from_micros(50)
+            } else {
+                Instant::now()
+            };
+            match board.wait(0, deadline) {
+                SlotState::Done => {}
+                SlotState::Pending | SlotState::Declined => {
+                    // Recover: reclaim the ticket if the thief has not
+                    // taken it, and execute "locally" (a no-op here).
+                    let _ = w.pop();
+                }
+            }
+        }
+        epochs_run = e;
+        done.store(true, Ordering::Release);
+    });
+
+    let (executed, stale) = (
+        executed.load(Ordering::Relaxed),
+        stale.load(Ordering::Relaxed),
+    );
+    // The scenario must actually have exercised the ABA regime, not
+    // passed vacuously.
+    assert!(
+        executed + stale > 0,
+        "thief never obtained a ticket — scenario vacuous"
+    );
+    assert!(
+        stale > 0,
+        "no steal ever went stale across {epochs_run} republishes — scenario vacuous \
+         (executed {executed})"
+    );
 }
 
 proptest! {
