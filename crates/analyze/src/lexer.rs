@@ -1,0 +1,258 @@
+//! Line-level lexing shared by every pass: comment/string masking and
+//! token scanning.
+//!
+//! The analyzer never parses full Rust — it works line by line on a
+//! *masked* view of the source in which string/char literal bodies are
+//! blanked and comments are split out. That is enough to extract item
+//! boundaries, call sites, and deny-list patterns without ever being
+//! fooled by `"Vec::new() unsafe { SeqCst"` inside a literal, and it is
+//! what keeps the whole tool dependency-free and fast (one pass over
+//! ~30k lines).
+
+/// One masked source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub no: usize,
+    /// Code with string/char literal bodies masked out.
+    pub code: String,
+    /// The line's comment text (`//` tail and/or block-comment content).
+    pub comment: String,
+}
+
+/// Cross-line lexer state: inside a `/* .. */` comment, and inside an
+/// unterminated (multi-line) string literal.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LexState {
+    pub in_block_comment: bool,
+    pub in_string: bool,
+}
+
+/// Splits a source line into its code part and its `//` comment part,
+/// masking string/char literal contents so brace counting and pattern
+/// matching cannot be fooled by literals. Tracks `/* .. */` and
+/// multi-line string state across lines via `st`.
+pub fn split_line(line: &str, st: &mut LexState) -> (String, String) {
+    let bytes = line.as_bytes();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0;
+    if st.in_string {
+        // Continuation of a multi-line string literal: skip (masked)
+        // until the closing quote, honouring escapes.
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    code.push('"');
+                    st.in_string = false;
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        if st.in_string {
+            return (code, comment);
+        }
+    }
+    while i < bytes.len() {
+        if st.in_block_comment {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                st.in_block_comment = false;
+                i += 2;
+            } else {
+                comment.push(bytes[i] as char);
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                comment.push_str(&line[i..]);
+                break;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                st.in_block_comment = true;
+                i += 2;
+            }
+            b'"' => {
+                // Mask the string literal body (escapes included). A
+                // literal still open at end of line spills into the
+                // next line via `st.in_string`.
+                code.push('"');
+                i += 1;
+                st.in_string = true;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            code.push('"');
+                            st.in_string = false;
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes with a quote
+                // one-or-two chars later ('x' or '\n'); lifetimes do not.
+                let lit_len = if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                    bytes[i + 2..]
+                        .iter()
+                        .position(|&b| b == b'\'')
+                        .map(|p| p + 3)
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    Some(3)
+                } else {
+                    None
+                };
+                match lit_len {
+                    Some(n) => {
+                        code.push_str("' '");
+                        i += n;
+                    }
+                    None => {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                code.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
+
+/// Masks a whole file into [`Line`]s.
+pub fn mask(src: &str) -> Vec<Line> {
+    let mut st = LexState::default();
+    src.lines()
+        .enumerate()
+        .map(|(idx, raw)| {
+            let (code, comment) = split_line(raw, &mut st);
+            Line {
+                no: idx + 1,
+                code,
+                comment,
+            }
+        })
+        .collect()
+}
+
+/// True when `code` contains `word` as a standalone token (not a prefix
+/// or suffix of a longer identifier).
+pub fn has_token(code: &str, word: &str) -> bool {
+    find_token(code, word, 0).is_some()
+}
+
+/// Finds the next standalone-token occurrence of `word` at or after
+/// byte offset `from`, returning its start offset.
+pub fn find_token(code: &str, word: &str, mut from: usize) -> Option<usize> {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let pre_ok = start == 0 || !is_ident(code[..start].chars().next_back().unwrap());
+        let post_ok = end == code.len() || !is_ident(code[end..].chars().next().unwrap());
+        if pre_ok && post_ok {
+            return Some(start);
+        }
+        from = end;
+    }
+    None
+}
+
+/// Iterates `(start, ident)` over the identifiers in a masked code line.
+/// Byte offsets come from `char_indices`, so non-ASCII text (doc prose
+/// that leaks into code on malformed lines) cannot split a char.
+pub fn idents(code: &str) -> Vec<(usize, &str)> {
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut out = Vec::new();
+    let mut chars = code.char_indices().peekable();
+    while let Some(&(start, c)) = chars.peek() {
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut end = start;
+            while let Some(&(i, c)) = chars.peek() {
+                if is_ident(c) {
+                    end = i + c.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            out.push((start, &code[start..end]));
+        } else {
+            chars.next();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_strings_and_comments() {
+        let mut st = LexState::default();
+        let (code, comment) = split_line(r#"let s = "Vec::new()"; // tail"#, &mut st);
+        assert!(!code.contains("Vec::new"));
+        assert!(comment.contains("tail"));
+        assert!(!st.in_block_comment && !st.in_string);
+    }
+
+    #[test]
+    fn multi_line_strings_stay_masked() {
+        let lines = mask(
+            "println!(\n    \"expected: grows — the 100 % setting\nsecond line of prose\"\n);\n",
+        );
+        assert!(
+            lines[1].code.trim_start().starts_with('"'),
+            "{:?}",
+            lines[1].code
+        );
+        assert!(!lines[1].code.contains("expected"));
+        assert!(lines[2].code.trim() == "\"", "{:?}", lines[2].code);
+        assert!(lines[3].code.contains(')'));
+        // Non-ASCII prose never panics the ident scanner.
+        for l in &lines {
+            let _ = idents(&l.code);
+        }
+    }
+
+    #[test]
+    fn block_comment_state_spans_lines() {
+        let lines = mask("let a = 1; /* start\nVec::new()\nend */ let b = 2;");
+        assert!(lines[1].code.is_empty());
+        assert!(lines[1].comment.contains("Vec::new"));
+        assert!(lines[2].code.contains("let b"));
+    }
+
+    #[test]
+    fn token_matching_rejects_substrings() {
+        assert!(has_token("assert!(x)", "assert"));
+        assert!(!has_token("debug_assert!(x)", "assert"));
+        assert_eq!(find_token("xassert assert", "assert", 0), Some(8));
+    }
+
+    #[test]
+    fn ident_scan() {
+        let ids = idents("foo.bar(baz_2)");
+        let names: Vec<&str> = ids.iter().map(|(_, s)| *s).collect();
+        assert_eq!(names, vec!["foo", "bar", "baz_2"]);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let mut b = LexState::default();
+        let (code, _) = split_line("fn f<'a>(x: &'a str) { let c = 'x'; }", &mut b);
+        assert!(code.contains("'a"));
+        assert!(!code.contains("'x'"));
+    }
+}

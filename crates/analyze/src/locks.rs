@@ -1,0 +1,521 @@
+//! Pass 2 — lock-order and blocking audit.
+//!
+//! Builds the mutex/rwlock acquisition graph over the whole workspace:
+//! an edge `A -> B` means a guard for `A` is still live (lexically, by
+//! brace scope) when `B` is acquired — either directly on a later line
+//! or transitively inside a callee. Cycles in this graph are potential
+//! deadlocks and are reported; so is any lock acquired while a
+//! `SlotBoard` stage guard (`.enter(..)` binding) or a `DeltaGuard` is
+//! held, because those guards sit on the steal hot path where blocking
+//! is only tolerable when argued for explicitly.
+//!
+//! Lock identity is the *last field/path segment* before the zero-arg
+//! `.lock()` / `.read()` / `.write()` call (`arena.fft_slots[i].lock()`
+//! names the lock `fft_slots`). That merges same-named locks on
+//! different types — a deliberate over-approximation: it can invent
+//! cycles, never hide one. Non-zero-arg `.read(buf)` / `.write(buf)` IO
+//! calls never match.
+//!
+//! Suppressions (reason mandatory, same line or the run above):
+//!
+//! ```text
+//! // analyze: allow(lock-order): slot mutexes are leaves; ordering fixed by stage index
+//! // analyze: allow(guard-held-lock): slot lock is uncontended by protocol — owner declined the stage
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::graph::{FnId, Workspace};
+use crate::lexer::Line;
+use crate::purity::suppression;
+use crate::Violation;
+
+/// A live guard on the lexical scan stack.
+#[derive(Debug, Clone)]
+enum Guard {
+    /// Mutex/rwlock guard for the named lock.
+    Lock {
+        name: String,
+        binding: Option<String>,
+        depth: i32,
+    },
+    /// `SlotBoard` stage guard or `DeltaGuard`.
+    Hot {
+        label: &'static str,
+        binding: Option<String>,
+        depth: i32,
+    },
+}
+
+impl Guard {
+    fn depth(&self) -> i32 {
+        match self {
+            Guard::Lock { depth, .. } | Guard::Hot { depth, .. } => *depth,
+        }
+    }
+    fn binding(&self) -> Option<&str> {
+        match self {
+            Guard::Lock { binding, .. } | Guard::Hot { binding, .. } => binding.as_deref(),
+        }
+    }
+}
+
+/// An acquisition-order edge with its first witness site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    pub from: String,
+    pub to: String,
+    pub file: String,
+    pub line: usize,
+}
+
+/// Runs the lock audit over every non-test fn.
+pub fn run(ws: &Workspace) -> Vec<Violation> {
+    let trans = transitive_locks(ws);
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    let mut out = Vec::new();
+
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test || f.body.is_none() {
+            continue;
+        }
+        scan_fn(ws, id, &trans, &mut edges, &mut out);
+    }
+
+    report_cycles(&edges, &mut out);
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.class == b.class);
+    out
+}
+
+/// Fixpoint: every lock a fn may acquire, directly or via callees.
+fn transitive_locks(ws: &Workspace) -> Vec<BTreeSet<String>> {
+    let mut direct: Vec<BTreeSet<String>> = vec![BTreeSet::new(); ws.fns.len()];
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        for line in ws.body_lines(id) {
+            for (name, _) in acquisitions(&line.code) {
+                direct[id].insert(name);
+            }
+        }
+    }
+    let mut trans = direct;
+    loop {
+        let mut changed = false;
+        for id in 0..ws.fns.len() {
+            for &ci in &ws.calls_by_fn[id] {
+                for &callee in &ws.calls[ci].resolved {
+                    if ws.fns[callee].is_test {
+                        continue;
+                    }
+                    let add: Vec<String> = trans[callee]
+                        .iter()
+                        .filter(|l| !trans[id].contains(*l))
+                        .cloned()
+                        .collect();
+                    if !add.is_empty() {
+                        trans[id].extend(add);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return trans;
+        }
+    }
+}
+
+fn scan_fn(
+    ws: &Workspace,
+    id: FnId,
+    trans: &[BTreeSet<String>],
+    edges: &mut BTreeMap<(String, String), Edge>,
+    out: &mut Vec<Violation>,
+) {
+    let f = &ws.fns[id];
+    let file = &ws.files[f.file];
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i32 = 0;
+
+    // Call sites by line, for transitive edges.
+    let mut calls_at: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &ci in &ws.calls_by_fn[id] {
+        calls_at.entry(ws.calls[ci].line).or_default().push(ci);
+    }
+
+    for line in ws.body_lines(id) {
+        let code = line.code.as_str();
+        let binding = let_binding(code);
+
+        // Explicit drops release guards early.
+        for dropped in drop_targets(code) {
+            guards.retain(|g| g.binding() != Some(dropped.as_str()));
+        }
+
+        let acqs = acquisitions(code);
+        let hot = hot_guard(code);
+
+        // Direct acquisitions while guards are live.
+        for (lock, _) in &acqs {
+            note_acquire(file, line, lock, &guards, edges, out);
+        }
+        // Transitive acquisitions inside callees while guards are live.
+        if !guards.is_empty() {
+            for ci in calls_at.get(&line.no).into_iter().flatten() {
+                for &callee in &ws.calls[*ci].resolved {
+                    if ws.fns[callee].is_test {
+                        continue;
+                    }
+                    for lock in &trans[callee] {
+                        note_acquire(file, line, lock, &guards, edges, out);
+                    }
+                }
+            }
+        }
+
+        // New guards become live (temporaries die at end of statement —
+        // modelled as end of line).
+        let mut new_guards: Vec<Guard> = Vec::new();
+        for (lock, _) in acqs {
+            new_guards.push(Guard::Lock {
+                name: lock,
+                binding: binding.clone(),
+                depth,
+            });
+        }
+        if let Some(label) = hot {
+            new_guards.push(Guard::Hot {
+                label,
+                binding: binding.clone(),
+                depth,
+            });
+        }
+        let keep_live = binding.is_some();
+        if keep_live {
+            guards.extend(new_guards);
+        }
+
+        depth += code
+            .bytes()
+            .map(|b| match b {
+                b'{' => 1,
+                b'}' => -1,
+                _ => 0,
+            })
+            .sum::<i32>();
+        guards.retain(|g| g.depth() <= depth);
+    }
+}
+
+/// Records edges/violations for acquiring `lock` while `guards` live.
+fn note_acquire(
+    file: &crate::graph::SourceFile,
+    line: &Line,
+    lock: &str,
+    guards: &[Guard],
+    edges: &mut BTreeMap<(String, String), Edge>,
+    out: &mut Vec<Violation>,
+) {
+    for g in guards {
+        match g {
+            Guard::Lock { name, .. } => {
+                if suppression(&file.lines, line.no, "lock-order").is_some() {
+                    continue;
+                }
+                edges
+                    .entry((name.clone(), lock.to_string()))
+                    .or_insert_with(|| Edge {
+                        from: name.clone(),
+                        to: lock.to_string(),
+                        file: file.path.clone(),
+                        line: line.no,
+                    });
+            }
+            Guard::Hot { label, .. } => {
+                if suppression(&file.lines, line.no, "guard-held-lock").is_some() {
+                    continue;
+                }
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: line.no,
+                    pass: "locks",
+                    class: "guard-held-lock",
+                    msg: format!(
+                        "lock `{lock}` acquired while a {label} is held — blocking under a hot-path guard; justify with `// analyze: allow(guard-held-lock): <reason>` or restructure",
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn report_cycles(edges: &BTreeMap<(String, String), Edge>, out: &mut Vec<Violation>) {
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in edges.values() {
+        adj.entry(e.from.as_str()).or_default().push(e);
+    }
+    // DFS from every node; report each canonicalized cycle once.
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let starts: Vec<&str> = adj.keys().copied().collect();
+    for start in starts {
+        let mut stack: Vec<&Edge> = Vec::new();
+        dfs(start, start, &adj, &mut stack, &mut seen_cycles, out, 0);
+    }
+}
+
+fn dfs<'a>(
+    start: &str,
+    node: &str,
+    adj: &BTreeMap<&'a str, Vec<&'a Edge>>,
+    stack: &mut Vec<&'a Edge>,
+    seen: &mut BTreeSet<Vec<String>>,
+    out: &mut Vec<Violation>,
+    depth: usize,
+) {
+    if depth > 16 {
+        return; // graphs here are tiny; bound for safety
+    }
+    for e in adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]) {
+        if e.to == start {
+            let mut names: Vec<String> = stack.iter().map(|e| e.from.clone()).collect();
+            names.push(e.from.clone());
+            let canon = canonical(&names);
+            if seen.insert(canon) {
+                let witness: Vec<String> = stack
+                    .iter()
+                    .chain(std::iter::once(e))
+                    .map(|e| format!("{} -> {} at {}:{}", e.from, e.to, e.file, e.line))
+                    .collect();
+                out.push(Violation {
+                    file: e.file.clone(),
+                    line: e.line,
+                    pass: "locks",
+                    class: "lock-cycle",
+                    msg: format!(
+                        "potential deadlock: lock-order cycle [{}] — {}",
+                        names.join(" -> "),
+                        witness.join("; "),
+                    ),
+                });
+            }
+        } else if !stack.iter().any(|s| s.from == e.to) {
+            stack.push(e);
+            dfs(start, &e.to, adj, stack, seen, out, depth + 1);
+            stack.pop();
+        }
+    }
+}
+
+/// Rotates a cycle's node list so the smallest name comes first.
+fn canonical(names: &[String]) -> Vec<String> {
+    let Some(min_idx) = names
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, n)| n.as_str())
+        .map(|(i, _)| i)
+    else {
+        return Vec::new();
+    };
+    let mut v = Vec::with_capacity(names.len());
+    v.extend_from_slice(&names[min_idx..]);
+    v.extend_from_slice(&names[..min_idx]);
+    v
+}
+
+/// Zero-arg `.lock()` / `.read()` / `.write()` acquisitions on a masked
+/// line, as `(lock_name, offset)` in textual order.
+pub fn acquisitions(code: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for method in [".lock(", ".read(", ".write("] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(method) {
+            let start = from + pos;
+            let after = &code[start + method.len()..];
+            if after.trim_start().starts_with(')') {
+                out.push((receiver_name(&code[..start]), start));
+            }
+            from = start + method.len();
+        }
+    }
+    out.sort_by_key(|(_, off)| *off);
+    out
+}
+
+/// Last field/path segment of the receiver expression ending at `end`
+/// (skipping a trailing `[..]` index group).
+fn receiver_name(before: &str) -> String {
+    let bytes = before.as_bytes();
+    let mut i = bytes.len();
+    // Skip a trailing index group: `fft_slots[idx]` → `fft_slots`.
+    if i > 0 && bytes[i - 1] == b']' {
+        let mut depth = 0i32;
+        while i > 0 {
+            i -= 1;
+            match bytes[i] {
+                b']' => depth += 1,
+                b'[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let end = i;
+    let mut start = end;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if c.is_alphanumeric() || c == '_' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    if start == end {
+        "<expr>".to_string()
+    } else {
+        before[start..end].to_string()
+    }
+}
+
+/// Stage-guard / DeltaGuard creation on this line.
+fn hot_guard(code: &str) -> Option<&'static str> {
+    if code.contains(".enter(") && code.trim_start().starts_with("let ") {
+        return Some("SlotBoard stage guard");
+    }
+    if code.contains("DeltaGuard {") || code.contains("DeltaGuard::new(") {
+        return Some("DeltaGuard");
+    }
+    None
+}
+
+/// Binding name of a `let` statement (handles `mut`, `Some(..)`,
+/// `Ok(..)` patterns).
+fn let_binding(code: &str) -> Option<String> {
+    let rest = code.trim_start().strip_prefix("let ")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let rest = rest
+        .strip_prefix("Some(")
+        .or_else(|| rest.strip_prefix("Ok("))
+        .unwrap_or(rest);
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// `drop(x)` / `drop(st)` targets on this line.
+fn drop_targets(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = crate::lexer::find_token(code, "drop", from) {
+        let after = &code[pos + 4..];
+        if let Some(inner) = after.strip_prefix('(') {
+            let name: String = inner
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                out.push(name);
+            }
+        }
+        from = pos + 4;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{parse_source, resolve_calls, Workspace};
+
+    fn ws(src: &str) -> Workspace {
+        let mut w = Workspace::default();
+        parse_source(&mut w, "t.rs", src);
+        resolve_calls(&mut w);
+        w
+    }
+
+    #[test]
+    fn receiver_names() {
+        assert_eq!(acquisitions("let g = self.state.lock();")[0].0, "state");
+        let a = acquisitions("let s = arena.fft_slots[idx].lock();");
+        assert_eq!(a[0].0, "fft_slots");
+        assert!(acquisitions("sock.read(&mut buf)").is_empty());
+        assert_eq!(
+            acquisitions("let st = self.stage.write().unwrap_or_else(PoisonError::into_inner);")[0]
+                .0,
+            "stage"
+        );
+    }
+
+    #[test]
+    fn direct_cycle_detected() {
+        let w = ws(
+            "fn ab() {\n    let g1 = self_a.lock();\n    let g2 = self_b.lock();\n    drop(g2);\n    drop(g1);\n}\nfn ba() {\n    let g2 = self_b.lock();\n    let g1 = self_a.lock();\n    drop(g1);\n    drop(g2);\n}\n",
+        );
+        let v = run(&w);
+        assert!(v.iter().any(|v| v.class == "lock-cycle"), "{v:?}");
+    }
+
+    #[test]
+    fn scoped_guards_do_not_leak_order() {
+        let w = ws(
+            "fn ok() {\n    {\n        let g1 = self_a.lock();\n        drop(g1);\n    }\n    {\n        let g2 = self_b.lock();\n        drop(g2);\n    }\n}\nfn ok2() {\n    let g2 = self_b.lock();\n    drop(g2);\n    let g1 = self_a.lock();\n    drop(g1);\n}\n",
+        );
+        assert!(run(&w).is_empty(), "{:?}", run(&w));
+    }
+
+    #[test]
+    fn transitive_cycle_via_callee() {
+        let w = ws(
+            "fn outer() {\n    let g = self_a.lock();\n    inner();\n    drop(g);\n}\nfn inner() {\n    let g = self_b.lock();\n    drop(g);\n}\nfn rev() {\n    let g = self_b.lock();\n    let h = self_a.lock();\n    drop(h);\n    drop(g);\n}\n",
+        );
+        let v = run(&w);
+        assert!(v.iter().any(|v| v.class == "lock-cycle"), "{v:?}");
+    }
+
+    #[test]
+    fn guard_held_lock_flagged_and_suppressible() {
+        let w = ws(
+            "fn steals() {\n    let Some(stage) = board.enter(ep) else { return };\n    let s = slots.lock();\n    drop(s);\n}\n",
+        );
+        let v = run(&w);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].class, "guard-held-lock");
+
+        let w2 = ws(
+            "fn steals() {\n    let Some(stage) = board.enter(ep) else { return };\n    // analyze: allow(guard-held-lock): slot uncontended by protocol\n    let s = slots.lock();\n    drop(s);\n}\n",
+        );
+        assert!(run(&w2).is_empty());
+    }
+
+    #[test]
+    fn temporaries_do_not_hold_across_lines() {
+        let w = ws(
+            "fn a() {\n    self_a.lock().push(1);\n    let g = self_b.lock();\n    drop(g);\n}\nfn b() {\n    self_b.lock().push(1);\n    let g = self_a.lock();\n    drop(g);\n}\n",
+        );
+        assert!(run(&w).is_empty(), "{:?}", run(&w));
+    }
+
+    #[test]
+    fn self_deadlock_same_lock() {
+        let w = ws("fn bad() {\n    let g = self_a.lock();\n    let h = self_a.lock();\n    drop(h);\n    drop(g);\n}\n");
+        let v = run(&w);
+        assert!(v.iter().any(|v| v.class == "lock-cycle"), "{v:?}");
+    }
+}

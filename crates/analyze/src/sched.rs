@@ -1,0 +1,874 @@
+//! Pass 3 — the static Eq. 3 schedulability audit.
+//!
+//! Re-derives the paper's deadline arithmetic from the *tracked* bench
+//! baselines alone (`BENCH_kernels.json`, `BENCH_node.json`) and gates
+//! every shipped scheduler config against it:
+//!
+//! * **Eq. 3 budget** — a γ-calibrated kernel component model (FFT
+//!   `n·log₂n` fit, turbo linear-in-K interpolation over the measured
+//!   {512, 2048, 6144} points, per-Qm demapper scaling) estimates the
+//!   worst-MCS subframe processing time `T̂_w` per (bandwidth, MCS);
+//!   every shipped (scheduler, cells, MCS) tuple must satisfy
+//!   `T̂_w ≤ 2·period − rtt_half` (the dilated Eq. 3 budget) and the
+//!   2-cores-per-cell utilization bound `T̂_w ≤ 2·period`.
+//! * **δ admission sanity** — a config's declared δ must not be below
+//!   the *measured* handoff overhead of its migration path
+//!   (`steal_delta` / `mailbox_delta` from `BENCH_node.json`) nor below
+//!   the smallest migratable subtask (an FFT transform): a δ smaller
+//!   than either makes Alg. 1's `tp + δ ≤ slack` test admit migrations
+//!   whose bookkeeping exceeds the work moved.
+//! * **capacity reproduction** — recomputes `cells_sustained` per mode
+//!   from the raw miss arrays + threshold (the leading-run rule the
+//!   experiment uses) and fails if the recomputed table drifts from the
+//!   recorded one or if the paper's ordering steal ≥ mutex ≥ global no
+//!   longer holds.
+//!
+//! The PHY structure (FFT sizes, PRB/TBS tables, turbo segmentation)
+//! and the shipped configs are *mirrored* here rather than imported, so
+//! the analyzer stays dependency-free; `tests/mirror_check.rs` proves
+//! (via dev-dependencies) that every mirrored table equals the shipped
+//! constructors' output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use crate::json::Json;
+use crate::Violation;
+
+// ---------------------------------------------------------------------
+// Mirrored LTE structure (cross-checked by tests/mirror_check.rs).
+// ---------------------------------------------------------------------
+
+/// Mirrored `rtopex_phy::params::Bandwidth`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bw {
+    Mhz1_4,
+    Mhz3,
+    Mhz5,
+    Mhz10,
+    Mhz15,
+    Mhz20,
+}
+
+/// Mirrored `SYMBOLS_PER_SUBFRAME`.
+pub const SYMBOLS_PER_SUBFRAME: usize = 14;
+
+impl Bw {
+    pub const fn fft_size(self) -> usize {
+        match self {
+            Bw::Mhz1_4 => 128,
+            Bw::Mhz3 => 256,
+            Bw::Mhz5 => 512,
+            Bw::Mhz10 => 1024,
+            Bw::Mhz15 => 1536,
+            Bw::Mhz20 => 2048,
+        }
+    }
+
+    pub const fn num_prbs(self) -> usize {
+        match self {
+            Bw::Mhz1_4 => 6,
+            Bw::Mhz3 => 15,
+            Bw::Mhz5 => 25,
+            Bw::Mhz10 => 50,
+            Bw::Mhz15 => 75,
+            Bw::Mhz20 => 100,
+        }
+    }
+
+    pub const fn num_subcarriers(self) -> usize {
+        self.num_prbs() * 12
+    }
+
+    /// Data REs: everything except the two DMRS symbols.
+    pub const fn data_res(self) -> usize {
+        self.num_subcarriers() * (SYMBOLS_PER_SUBFRAME - 2)
+    }
+
+    pub const fn label(self) -> &'static str {
+        match self {
+            Bw::Mhz1_4 => "1.4MHz",
+            Bw::Mhz3 => "3MHz",
+            Bw::Mhz5 => "5MHz",
+            Bw::Mhz10 => "10MHz",
+            Bw::Mhz15 => "15MHz",
+            Bw::Mhz20 => "20MHz",
+        }
+    }
+}
+
+/// Mirrored `Mcs::modulation_order`.
+pub const fn qm(mcs: u8) -> usize {
+    match mcs {
+        0..=10 => 2,
+        11..=20 => 4,
+        _ => 6,
+    }
+}
+
+/// Mirrored 36.213 TBS column for N_PRB = 50, indexed by I_TBS.
+const TBS_50PRB: [usize; 27] = [
+    1384, 1800, 2216, 2856, 3624, 4392, 5160, 6200, 6968, 7992, 8760, 9912, 11448, 12960, 14112,
+    15264, 16416, 18336, 19848, 21384, 22920, 25456, 27376, 28336, 30576, 31704, 32856,
+];
+
+/// Mirrored `Mcs::tbs_index` + `transport_block_bits`.
+pub fn tbs_bits(mcs: u8, nprb: usize) -> usize {
+    let i_tbs = match mcs {
+        0..=10 => mcs as usize,
+        11..=20 => mcs as usize - 1,
+        _ => mcs as usize - 2,
+    };
+    let base = TBS_50PRB[i_tbs];
+    if nprb == 50 {
+        return base;
+    }
+    let scaled = base as u64 * nprb as u64 / 50;
+    ((scaled / 8 * 8) as usize).max(16)
+}
+
+const MAX_CODE_BLOCK: usize = 6144;
+const BLOCK_CRC_LEN: usize = 24;
+/// Transport-block CRC24A length prepended before segmentation.
+pub const TB_CRC_LEN: usize = 24;
+
+fn next_valid_k(want: usize) -> Option<usize> {
+    if want > MAX_CODE_BLOCK {
+        return None;
+    }
+    Some(if want <= 512 {
+        40usize.max(want.div_ceil(8) * 8)
+    } else if want <= 1024 {
+        want.div_ceil(16) * 16
+    } else if want <= 2048 {
+        want.div_ceil(32) * 32
+    } else {
+        want.div_ceil(64) * 64
+    })
+}
+
+fn prev_valid_k(k: usize) -> Option<usize> {
+    if k <= 40 {
+        return None;
+    }
+    let want = k - 1;
+    Some(if want <= 512 {
+        40usize.max(want / 8 * 8)
+    } else if want <= 1024 {
+        (want / 16 * 16).max(512)
+    } else if want <= 2048 {
+        (want / 32 * 32).max(1024)
+    } else {
+        (want / 64 * 64).max(2048)
+    })
+}
+
+/// Mirrored `Segmentation::compute(b).block_sizes()` for a transport
+/// block of `b` bits (TB CRC included).
+pub fn block_sizes(b: usize) -> Vec<usize> {
+    let (c, b_prime) = if b <= MAX_CODE_BLOCK {
+        (1, b)
+    } else {
+        let c = b.div_ceil(MAX_CODE_BLOCK - BLOCK_CRC_LEN);
+        (c, b + c * BLOCK_CRC_LEN)
+    };
+    let Some(k_plus) = next_valid_k(b_prime.div_ceil(c)) else {
+        return Vec::new();
+    };
+    let (k_minus, c_minus, c_plus) = if c == 1 {
+        (0, 0, 1)
+    } else {
+        match prev_valid_k(k_plus) {
+            Some(k_minus) => {
+                let delta = k_plus - k_minus;
+                let c_minus = (c * k_plus - b_prime) / delta;
+                (k_minus, c_minus, c - c_minus)
+            }
+            None => (0, 0, c),
+        }
+    };
+    let mut out = vec![k_minus; c_minus];
+    out.extend(std::iter::repeat_n(k_plus, c_plus));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Mirrored shipped configs (cross-checked by tests/mirror_check.rs).
+// ---------------------------------------------------------------------
+
+/// Scheduler modes, named as in `BENCH_node.json`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    Partitioned,
+    Global,
+    RtOpexMutex,
+    RtOpexSteal,
+}
+
+impl Mode {
+    pub const fn key(self) -> &'static str {
+        match self {
+            Mode::Partitioned => "partitioned",
+            Mode::Global => "global",
+            Mode::RtOpexMutex => "rtopex_mutex",
+            Mode::RtOpexSteal => "rtopex_steal",
+        }
+    }
+}
+
+/// A mirrored shipped scheduler config.
+#[derive(Clone, Debug)]
+pub struct MirrorConfig {
+    /// Short name used in the report.
+    pub name: &'static str,
+    /// Source file declaring the real constructor (for diagnostics).
+    pub file: &'static str,
+    pub bw: Bw,
+    pub cells: usize,
+    pub period_us: f64,
+    pub rtt_half_us: f64,
+    pub mcs_pool: &'static [u8],
+    pub delta_us: f64,
+    /// Modes the config ships with / is swept over.
+    pub modes: &'static [Mode],
+}
+
+impl MirrorConfig {
+    /// Dilated Eq. 3 budget: `2·period − rtt_half`.
+    pub fn budget_us(&self) -> f64 {
+        2.0 * self.period_us - self.rtt_half_us
+    }
+}
+
+/// Every scheduler config the repo ships.
+pub fn shipped_configs() -> Vec<MirrorConfig> {
+    vec![
+        MirrorConfig {
+            name: "cluster-demo",
+            file: "crates/runtime/src/cluster.rs",
+            bw: Bw::Mhz1_4,
+            cells: 3,
+            period_us: 1_000.0,
+            rtt_half_us: 1_000.0,
+            mcs_pool: &[5, 10, 16, 22, 27],
+            delta_us: 60.0,
+            modes: &[Mode::RtOpexSteal],
+        },
+        MirrorConfig {
+            name: "node-demo",
+            file: "crates/runtime/src/node.rs",
+            bw: Bw::Mhz1_4,
+            cells: 2,
+            period_us: 1_000.0,
+            rtt_half_us: 1_000.0,
+            mcs_pool: &[5, 10, 16, 22, 27],
+            delta_us: 60.0,
+            modes: &[Mode::RtOpexMutex],
+        },
+        MirrorConfig {
+            name: "example-cran-node",
+            file: "examples/cran_node.rs",
+            bw: Bw::Mhz1_4,
+            cells: 2,
+            period_us: 1_000.0,
+            rtt_half_us: 1_000.0,
+            mcs_pool: &[10, 16, 27],
+            delta_us: 60.0,
+            modes: &[Mode::Partitioned, Mode::RtOpexMutex, Mode::RtOpexSteal],
+        },
+        MirrorConfig {
+            name: "experiments-cluster-sweep",
+            file: "crates/experiments/src/cluster_scale.rs",
+            bw: Bw::Mhz5,
+            cells: 5,
+            period_us: 6_000.0,
+            rtt_half_us: 7_000.0,
+            mcs_pool: &[5, 10, 16, 22, 27],
+            delta_us: 60.0,
+            modes: &[
+                Mode::Partitioned,
+                Mode::Global,
+                Mode::RtOpexMutex,
+                Mode::RtOpexSteal,
+            ],
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Tracked bench baselines.
+// ---------------------------------------------------------------------
+
+/// WCET inputs parsed from `BENCH_kernels.json`.
+#[derive(Debug, Clone)]
+pub struct KernelTable {
+    /// Measured turbo per-iteration cost as `(K, ns)` points, ascending.
+    pub turbo: Vec<(f64, f64)>,
+    /// Per-data-symbol demap cost for Qm 2/4/6 (ns).
+    pub demap_per_sym_ns: [f64; 3],
+    /// Per-RE MRC/equalize cost at 2 antennas (ns).
+    pub mrc_per_re_ns: f64,
+    /// Measured FFT forward costs as `(n, ns)` points.
+    pub fft: Vec<(usize, f64)>,
+    /// Measured end-to-end subframe decode, 1.4 MHz MCS 27 (ns) — the
+    /// γ-calibration anchor.
+    pub subframe_ref_ns: f64,
+}
+
+/// Parses `BENCH_kernels.json`.
+pub fn parse_kernels(src: &str) -> Result<KernelTable, String> {
+    let j = Json::parse(src)?;
+    let kernels = j.get("kernels").ok_or("missing `kernels` object")?;
+    let mean = |name: &str| -> Result<f64, String> {
+        kernels
+            .path(&[name, "mean_ns"])
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing kernel `{name}`"))
+    };
+    let mut turbo = Vec::new();
+    let mut fft = Vec::new();
+    for (key, _) in kernels.fields() {
+        if let Some(k) = key.strip_prefix("turbo_decode_1iter_") {
+            let k: f64 = k.parse().map_err(|_| format!("bad turbo key `{key}`"))?;
+            turbo.push((k, mean(key)?));
+        } else if let Some(n) = key.strip_prefix("fft_forward_") {
+            let n: usize = n.parse().map_err(|_| format!("bad fft key `{key}`"))?;
+            fft.push((n, mean(key)?));
+        }
+    }
+    turbo.sort_by(|a, b| a.0.total_cmp(&b.0));
+    fft.sort_by_key(|(n, _)| *n);
+    if turbo.len() < 2 {
+        return Err("need at least two turbo_decode_1iter_* points".into());
+    }
+    Ok(KernelTable {
+        turbo,
+        demap_per_sym_ns: [
+            mean("demap_600sym_qm_2")? / 600.0,
+            mean("demap_600sym_qm_4")? / 600.0,
+            mean("demap_600sym_qm_6")? / 600.0,
+        ],
+        mrc_per_re_ns: mean("mrc_600sc_2ant_600")? / 600.0,
+        fft,
+        subframe_ref_ns: mean("subframe_decode_mhz1_4_mcs_27")?,
+    })
+}
+
+/// Migration-overhead and capacity inputs parsed from `BENCH_node.json`.
+#[derive(Debug, Clone)]
+pub struct NodeBench {
+    /// Worst measured steal-path handoff delta (µs).
+    pub steal_delta_us: f64,
+    /// Worst measured mailbox handoff delta (µs).
+    pub mailbox_delta_us: f64,
+    /// Sweep miss threshold.
+    pub miss_threshold: f64,
+    /// Per-mode `(key, miss array, recorded cells_sustained)`.
+    pub modes: Vec<(String, Vec<f64>, usize)>,
+    /// Recorded headline claim.
+    pub headline_steal_ge_mutex: bool,
+}
+
+/// Parses `BENCH_node.json`.
+pub fn parse_node(src: &str) -> Result<NodeBench, String> {
+    let j = Json::parse(src)?;
+    let delta = |path: &[&str]| -> Result<f64, String> {
+        j.path(path)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing `{}`", path.join(".")))
+    };
+    let steal_delta_us = delta(&["steal_path", "fft", "steal_delta_us"])?.max(delta(&[
+        "steal_path",
+        "decode",
+        "steal_delta_us",
+    ])?);
+    let mailbox_delta_us = delta(&["steal_path", "fft", "mailbox_delta_us"])?.max(delta(&[
+        "steal_path",
+        "decode",
+        "mailbox_delta_us",
+    ])?);
+    let miss_threshold = delta(&["sweep", "config", "miss_threshold"])?;
+    let mut modes = Vec::new();
+    for (key, val) in j
+        .path(&["sweep", "modes"])
+        .ok_or("missing sweep.modes")?
+        .fields()
+    {
+        let miss: Vec<f64> = val
+            .get("miss")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("missing miss array for `{key}`"))?
+            .iter()
+            .filter_map(Json::as_f64)
+            .collect();
+        let recorded = val
+            .get("cells_sustained")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing cells_sustained for `{key}`"))?
+            as usize;
+        modes.push((key.clone(), miss, recorded));
+    }
+    Ok(NodeBench {
+        steal_delta_us,
+        mailbox_delta_us,
+        miss_threshold,
+        modes,
+        headline_steal_ge_mutex: j
+            .path(&["headline", "steal_ge_mutex"])
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    })
+}
+
+// ---------------------------------------------------------------------
+// The γ-calibrated component model.
+// ---------------------------------------------------------------------
+
+/// Modeled FFT cost (ns) for size `n`: measured point if tracked,
+/// otherwise an `n·log₂n` fit whose per-op constant is interpolated in
+/// `log₂n` between the power-of-two anchors.
+pub fn fft_cost_ns(t: &KernelTable, n: usize) -> f64 {
+    if let Some((_, ns)) = t.fft.iter().find(|(m, _)| *m == n) {
+        return *ns;
+    }
+    let anchors: Vec<(f64, f64)> = t
+        .fft
+        .iter()
+        .filter(|(m, _)| m.is_power_of_two())
+        .map(|(m, ns)| {
+            let lg = (*m as f64).log2();
+            (lg, ns / (*m as f64 * lg))
+        })
+        .collect();
+    let lg = (n as f64).log2();
+    let c = interp(&anchors, lg);
+    c * n as f64 * lg
+}
+
+/// Modeled turbo per-iteration cost (ns) at block size `k`, linear
+/// between the measured K points (clamped extrapolation outside).
+pub fn iter_cost_ns(t: &KernelTable, k: usize) -> f64 {
+    interp(&t.turbo, k as f64)
+}
+
+/// Piecewise-linear interpolation over ascending `(x, y)` points.
+fn interp(points: &[(f64, f64)], x: f64) -> f64 {
+    match points {
+        [] => 0.0,
+        [(_, y)] => *y,
+        _ => {
+            let i = points
+                .windows(2)
+                .position(|w| x <= w[1].0)
+                .unwrap_or(points.len() - 2);
+            let (x0, y0) = points[i];
+            let (x1, y1) = points[i + 1];
+            y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+        }
+    }
+}
+
+/// Uncalibrated subframe component model (ns).
+pub fn modeled_subframe_ns(t: &KernelTable, bw: Bw, mcs: u8, antennas: usize) -> f64 {
+    let ffts = (SYMBOLS_PER_SUBFRAME * antennas) as f64 * fft_cost_ns(t, bw.fft_size());
+    let mrc = t.mrc_per_re_ns
+        * (bw.num_subcarriers() * SYMBOLS_PER_SUBFRAME) as f64
+        * (antennas as f64 / 2.0);
+    let qi = match qm(mcs) {
+        2 => 0,
+        4 => 1,
+        _ => 2,
+    };
+    let demap = t.demap_per_sym_ns[qi] * bw.data_res() as f64;
+    let b = tbs_bits(mcs, bw.num_prbs()) + TB_CRC_LEN;
+    let turbo: f64 = block_sizes(b)
+        .iter()
+        .map(|&k| iter_cost_ns(t, k) * MAX_TURBO_ITERS as f64)
+        .sum();
+    ffts + mrc + demap + turbo
+}
+
+/// Mirrored `DEFAULT_MAX_TURBO_ITERS`.
+pub const MAX_TURBO_ITERS: usize = 4;
+
+/// Calibration factor γ: measured end-to-end subframe decode over the
+/// component model at the same operating point (1.4 MHz, MCS 27,
+/// 2 antennas). γ < 1 captures early-terminating turbo iterations and
+/// cache effects the per-kernel microbenches cannot see.
+pub fn gamma(t: &KernelTable) -> f64 {
+    t.subframe_ref_ns / modeled_subframe_ns(t, Bw::Mhz1_4, 27, 2)
+}
+
+/// Calibrated subframe processing estimate `T̂` (µs).
+pub fn estimate_us(t: &KernelTable, bw: Bw, mcs: u8, antennas: usize) -> f64 {
+    gamma(t) * modeled_subframe_ns(t, bw, mcs, antennas) / 1_000.0
+}
+
+/// Smallest migratable subtask (µs): one FFT transform — the finest
+/// granule `fanout_steal` publishes.
+pub fn smallest_subtask_us(t: &KernelTable, bw: Bw) -> f64 {
+    gamma(t) * fft_cost_ns(t, bw.fft_size()) / 1_000.0
+}
+
+/// The leading-run capacity rule the cluster sweep uses: cells
+/// sustained = longest prefix of the miss array under the threshold.
+pub fn cells_sustained(miss: &[f64], threshold: f64) -> usize {
+    miss.iter().take_while(|m| **m < threshold).count()
+}
+
+// ---------------------------------------------------------------------
+// The audit.
+// ---------------------------------------------------------------------
+
+/// Audit outcome: gating violations plus the JSON report body.
+#[derive(Debug)]
+pub struct Audit {
+    pub violations: Vec<Violation>,
+    pub report: String,
+}
+
+/// Audits the workspace: tracked baselines + shipped configs.
+pub fn audit_workspace(root: &Path) -> Audit {
+    let kernels = fs::read_to_string(root.join("BENCH_kernels.json"))
+        .map_err(|e| format!("BENCH_kernels.json: {e}"));
+    let node = fs::read_to_string(root.join("BENCH_node.json"))
+        .map_err(|e| format!("BENCH_node.json: {e}"));
+    match (kernels, node) {
+        (Ok(k), Ok(n)) => audit(&k, &n, &shipped_configs()),
+        (k, n) => {
+            let mut violations = Vec::new();
+            for err in [k.err(), n.err()].into_iter().flatten() {
+                violations.push(Violation {
+                    file: String::new(),
+                    line: 0,
+                    pass: "sched",
+                    class: "bench-parse",
+                    msg: err,
+                });
+            }
+            Audit {
+                violations,
+                report: "{}".into(),
+            }
+        }
+    }
+}
+
+/// Audits explicit inputs (fixture tests inject doctored baselines and
+/// configs here).
+pub fn audit(kernels_src: &str, node_src: &str, configs: &[MirrorConfig]) -> Audit {
+    let mut v = Vec::new();
+    let mut report = String::from("{\n");
+
+    let table = match parse_kernels(kernels_src) {
+        Ok(t) => t,
+        Err(e) => {
+            v.push(parse_violation("BENCH_kernels.json", e));
+            return Audit {
+                violations: v,
+                report: "{}".into(),
+            };
+        }
+    };
+    let node = match parse_node(node_src) {
+        Ok(n) => n,
+        Err(e) => {
+            v.push(parse_violation("BENCH_node.json", e));
+            return Audit {
+                violations: v,
+                report: "{}".into(),
+            };
+        }
+    };
+
+    let g = gamma(&table);
+    let _ = writeln!(report, "  \"gamma\": {g:.4},");
+    let _ = writeln!(report, "  \"configs\": [");
+
+    for (ci, cfg) in configs.iter().enumerate() {
+        let budget = cfg.budget_us();
+        let _ = writeln!(report, "    {{");
+        let _ = writeln!(report, "      \"name\": \"{}\",", cfg.name);
+        let _ = writeln!(
+            report,
+            "      \"bandwidth\": \"{}\", \"cells\": {}, \"period_us\": {}, \"budget_us\": {}, \"delta_us\": {},",
+            cfg.bw.label(),
+            cfg.cells,
+            cfg.period_us,
+            budget,
+            cfg.delta_us
+        );
+        let _ = writeln!(report, "      \"mcs\": [");
+        for (mi, &mcs) in cfg.mcs_pool.iter().enumerate() {
+            let t_hat = estimate_us(&table, cfg.bw, mcs, 2);
+            let eq3_ok = t_hat <= budget;
+            let util_ok = t_hat <= 2.0 * cfg.period_us;
+            let comma = if mi + 1 < cfg.mcs_pool.len() { "," } else { "" };
+            let _ = writeln!(
+                report,
+                "        {{\"mcs\": {mcs}, \"t_hat_us\": {t_hat:.1}, \"eq3_ok\": {eq3_ok}, \"util_ok\": {util_ok}}}{comma}"
+            );
+            if !eq3_ok || !util_ok {
+                for mode in cfg.modes {
+                    v.push(Violation {
+                        file: cfg.file.to_string(),
+                        line: 0,
+                        pass: "sched",
+                        class: "unschedulable",
+                        msg: format!(
+                            "config `{}` ({}, {} cells, {}) is statically unschedulable at MCS {mcs}: T̂_w = {t_hat:.1} µs exceeds {} (Eq. 3 budget {budget:.0} µs, 2-core bound {:.0} µs)",
+                            cfg.name,
+                            cfg.bw.label(),
+                            cfg.cells,
+                            mode.key(),
+                            if eq3_ok { "the 2-core utilization bound" } else { "the Eq. 3 budget" },
+                            2.0 * cfg.period_us,
+                        ),
+                    });
+                }
+            }
+        }
+        let _ = writeln!(report, "      ],");
+
+        // δ admission sanity, for the modes that migrate.
+        let smallest = smallest_subtask_us(&table, cfg.bw);
+        let _ = writeln!(
+            report,
+            "      \"smallest_subtask_us\": {smallest:.2}, \"measured_steal_delta_us\": {:.2}, \"measured_mailbox_delta_us\": {:.2}",
+            node.steal_delta_us, node.mailbox_delta_us
+        );
+        for mode in cfg.modes {
+            let measured = match mode {
+                Mode::RtOpexSteal => node.steal_delta_us,
+                Mode::RtOpexMutex => node.mailbox_delta_us,
+                _ => continue,
+            };
+            if cfg.delta_us < measured {
+                v.push(Violation {
+                    file: cfg.file.to_string(),
+                    line: 0,
+                    pass: "sched",
+                    class: "delta-too-small",
+                    msg: format!(
+                        "config `{}`: declared δ = {} µs is below the measured {} handoff overhead {measured:.1} µs — Alg. 1 would admit migrations that cannot pay for themselves",
+                        cfg.name,
+                        cfg.delta_us,
+                        mode.key()
+                    ),
+                });
+            }
+            if cfg.delta_us < smallest {
+                v.push(Violation {
+                    file: cfg.file.to_string(),
+                    line: 0,
+                    pass: "sched",
+                    class: "delta-too-small",
+                    msg: format!(
+                        "config `{}`: declared δ = {} µs is below the smallest migratable subtask ({smallest:.1} µs FFT at {}) — the admission test degenerates",
+                        cfg.name,
+                        cfg.delta_us,
+                        cfg.bw.label()
+                    ),
+                });
+            }
+        }
+        let comma = if ci + 1 < configs.len() { "," } else { "" };
+        let _ = writeln!(report, "    }}{comma}");
+    }
+    let _ = writeln!(report, "  ],");
+
+    // Capacity reproduction from the raw miss arrays.
+    let mut computed: Vec<(String, usize, usize)> = Vec::new();
+    for (key, miss, recorded) in &node.modes {
+        let c = cells_sustained(miss, node.miss_threshold);
+        if c != *recorded {
+            v.push(Violation {
+                file: "BENCH_node.json".into(),
+                line: 0,
+                pass: "sched",
+                class: "capacity-drift",
+                msg: format!(
+                    "mode `{key}`: cells_sustained recomputed from the miss array is {c}, but the tracked file records {recorded} — re-run `rtopex-bench --node` or fix the file"
+                ),
+            });
+        }
+        computed.push((key.clone(), c, *recorded));
+    }
+    let lookup = |k: &str| {
+        computed
+            .iter()
+            .find(|(key, ..)| key == k)
+            .map(|(_, c, _)| *c)
+    };
+    let _ = writeln!(report, "  \"capacity\": {{");
+    for (i, (key, c, recorded)) in computed.iter().enumerate() {
+        let comma = if i + 1 < computed.len() { "," } else { "" };
+        let _ = writeln!(
+            report,
+            "    \"{key}\": {{\"computed\": {c}, \"recorded\": {recorded}}}{comma}"
+        );
+    }
+    let _ = writeln!(report, "  }},");
+    if let (Some(steal), Some(mutex), Some(global)) = (
+        lookup("rtopex_steal"),
+        lookup("rtopex_mutex"),
+        lookup("global"),
+    ) {
+        let ordered = steal >= mutex && mutex >= global;
+        let _ = writeln!(
+            report,
+            "  \"capacity_ordering\": {{\"steal\": {steal}, \"mutex\": {mutex}, \"global\": {global}, \"steal_ge_mutex_ge_global\": {ordered}}}"
+        );
+        if !ordered {
+            v.push(Violation {
+                file: "BENCH_node.json".into(),
+                line: 0,
+                pass: "sched",
+                class: "capacity-order",
+                msg: format!(
+                    "measured capacity ordering violated: steal={steal}, mutex={mutex}, global={global} — the paper's steal ≥ mutex ≥ global claim no longer holds in the tracked baseline"
+                ),
+            });
+        }
+        if node.headline_steal_ge_mutex != (steal >= mutex) {
+            v.push(Violation {
+                file: "BENCH_node.json".into(),
+                line: 0,
+                pass: "sched",
+                class: "capacity-drift",
+                msg: "headline.steal_ge_mutex disagrees with the miss arrays".into(),
+            });
+        }
+    } else {
+        let _ = writeln!(report, "  \"capacity_ordering\": null");
+        v.push(Violation {
+            file: "BENCH_node.json".into(),
+            line: 0,
+            pass: "sched",
+            class: "capacity-drift",
+            msg: "sweep.modes is missing one of rtopex_steal/rtopex_mutex/global".into(),
+        });
+    }
+    report.push_str("}\n");
+
+    Audit {
+        violations: v,
+        report,
+    }
+}
+
+fn parse_violation(file: &str, err: String) -> Violation {
+    Violation {
+        file: file.to_string(),
+        line: 0,
+        pass: "sched",
+        class: "bench-parse",
+        msg: err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNELS: &str = include_str!("../../../BENCH_kernels.json");
+    const NODE: &str = include_str!("../../../BENCH_node.json");
+
+    #[test]
+    fn gamma_is_sane() {
+        let t = parse_kernels(KERNELS).unwrap();
+        let g = gamma(&t);
+        assert!(g > 0.1 && g < 2.0, "gamma = {g}");
+        // The calibration anchor reproduces itself exactly.
+        let anchor = estimate_us(&t, Bw::Mhz1_4, 27, 2);
+        assert!((anchor - t.subframe_ref_ns / 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fft_model_matches_tracked_points_and_interpolates() {
+        let t = parse_kernels(KERNELS).unwrap();
+        assert_eq!(fft_cost_ns(&t, 128), 987.0);
+        let t512 = fft_cost_ns(&t, 512);
+        assert!(t512 > 987.0 && t512 < 8533.0, "fft512 = {t512}");
+    }
+
+    #[test]
+    fn shipped_configs_pass_the_audit() {
+        let a = audit(KERNELS, NODE, &shipped_configs());
+        assert!(a.violations.is_empty(), "{:#?}", a.violations);
+        assert!(a.report.contains("capacity_ordering"));
+    }
+
+    #[test]
+    fn capacity_ordering_reproduced_from_miss_arrays_alone() {
+        let n = parse_node(NODE).unwrap();
+        let get = |k: &str| {
+            n.modes
+                .iter()
+                .find(|(key, ..)| key == k)
+                .map(|(_, m, _)| cells_sustained(m, n.miss_threshold))
+                .unwrap()
+        };
+        let (steal, mutex, global, part) = (
+            get("rtopex_steal"),
+            get("rtopex_mutex"),
+            get("global"),
+            get("partitioned"),
+        );
+        assert!(
+            steal >= mutex && mutex >= global,
+            "{steal} {mutex} {global}"
+        );
+        // The PR 3 measured table.
+        assert_eq!((steal, mutex, global, part), (4, 3, 3, 4));
+    }
+
+    #[test]
+    fn unschedulable_config_is_caught() {
+        let bad = MirrorConfig {
+            name: "bad",
+            file: "fixture.rs",
+            bw: Bw::Mhz5,
+            cells: 2,
+            period_us: 300.0,
+            rtt_half_us: 100.0,
+            mcs_pool: &[27],
+            delta_us: 60.0,
+            modes: &[Mode::RtOpexSteal],
+        };
+        let a = audit(KERNELS, NODE, &[bad]);
+        assert!(
+            a.violations.iter().any(|v| v.class == "unschedulable"),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn tiny_delta_is_caught() {
+        let bad = MirrorConfig {
+            name: "tiny-delta",
+            file: "fixture.rs",
+            bw: Bw::Mhz5,
+            cells: 2,
+            period_us: 6_000.0,
+            rtt_half_us: 7_000.0,
+            mcs_pool: &[27],
+            delta_us: 0.5,
+            modes: &[Mode::RtOpexSteal],
+        };
+        let a = audit(KERNELS, NODE, &[bad]);
+        assert!(
+            a.violations.iter().any(|v| v.class == "delta-too-small"),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn report_is_valid_json() {
+        let a = audit(KERNELS, NODE, &shipped_configs());
+        crate::json::Json::parse(&a.report).expect("report must parse");
+    }
+}

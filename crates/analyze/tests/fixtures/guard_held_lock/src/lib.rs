@@ -1,0 +1,22 @@
+//! Fixture: a mutex taken while a `SlotBoard` stage guard is held,
+//! without the mandatory justification comment.
+//!
+//! Never compiled — `tests/fixtures.rs` feeds this file to the lock
+//! pass and asserts the `locks/guard-held-lock` finding.
+
+use std::sync::Mutex;
+
+pub fn steal_under_guard(board: &Board, slots: &Mutex<u32>, ep: u64) {
+    let Some(stage) = board.enter(ep) else { return };
+    let s = slots.lock().unwrap();
+    drop(s);
+    drop(stage);
+}
+
+pub struct Board;
+
+impl Board {
+    pub fn enter(&self, _ep: u64) -> Option<u32> {
+        Some(0)
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: an AB/BA mutex acquisition cycle across two fns.
+//!
+//! Never compiled — `tests/fixtures.rs` feeds this file to the lock
+//! pass and asserts the `locks/lock-cycle` finding.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub fft: Mutex<u32>,
+    pub dec: Mutex<u32>,
+}
+
+pub fn forward(p: &Pair) {
+    let g1 = p.fft.lock().unwrap();
+    let g2 = p.dec.lock().unwrap();
+    drop(g2);
+    drop(g1);
+}
+
+pub fn backward(p: &Pair) {
+    let g2 = p.dec.lock().unwrap();
+    let g1 = p.fft.lock().unwrap();
+    drop(g1);
+    drop(g2);
+}

@@ -1,0 +1,25 @@
+//! Fixture: a declared hot seed reaching an allocation two calls down.
+//!
+//! Never compiled — `tests/fixtures.rs` feeds this file to the analyzer
+//! and asserts the `purity/alloc` finding with the full witness chain
+//! `hot_decode -> stage_one -> stage_two`. The PR 4 lexical lint could
+//! not see this: the allocation is in a free fn with no `hot` marker of
+//! its own.
+
+pub struct Rx;
+
+impl Rx {
+    pub fn hot_decode(&self) {
+        stage_one();
+    }
+}
+
+fn stage_one() {
+    stage_two();
+}
+
+fn stage_two() {
+    let mut scratch = Vec::with_capacity(16);
+    scratch.push(1u8);
+    drop(scratch);
+}

@@ -52,6 +52,7 @@ impl DeadlineMetrics {
     /// # Panics
     /// Panics on a basestation-count mismatch.
     pub fn merge(&mut self, other: &DeadlineMetrics) {
+        // analyze: allow(panic): per-worker accumulators are built from one SimConfig, so differing cell counts mean corrupted results — abort the merge loudly
         assert_eq!(
             self.per_bs.len(),
             other.per_bs.len(),

@@ -51,6 +51,7 @@ impl PartitionedSchedule {
     /// # Panics
     /// Panics if `bs >= num_bs`.
     pub fn core_for(&self, bs: usize, subframe: u64) -> usize {
+        // analyze: allow(panic): schedule-table indexing contract; an out-of-range id is a construction bug, not a runtime condition
         assert!(bs < self.num_bs, "basestation {bs} out of range");
         bs * self.cores_per_bs + (subframe % self.cores_per_bs as u64) as usize
     }
@@ -60,6 +61,7 @@ impl PartitionedSchedule {
     /// # Panics
     /// Panics if `core >= total_cores()`.
     pub fn bs_for_core(&self, core: usize) -> usize {
+        // analyze: allow(panic): schedule-table indexing contract; an out-of-range id is a construction bug, not a runtime condition
         assert!(core < self.total_cores(), "core {core} out of range");
         core / self.cores_per_bs
     }

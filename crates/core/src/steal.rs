@@ -70,7 +70,7 @@ pub fn steal_pair(capacity: usize) -> (Worker, Stealer) {
         top: AtomicU64::new(0),
         bottom: AtomicU64::new(0),
         mask: cap as u64 - 1,
-        // lint: allow(hot-alloc): one-time ring construction at node setup
+        // analyze: allow(alloc): one-time ring construction at node setup
         slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
     });
     (

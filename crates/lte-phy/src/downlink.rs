@@ -69,6 +69,11 @@ pub struct DownlinkConfig {
     /// Cell identity (CRS shift, scrambling).
     pub cell_id: u16,
     seg: Segmentation,
+    /// The constellation, resolved from the MCS once at construction so
+    /// the per-subframe paths never re-derive (and never re-validate) it.
+    modu: Modulation,
+    /// Per-block rate-matching sizes `E_r`, precomputed at construction.
+    e_splits: Vec<usize>,
 }
 
 impl DownlinkConfig {
@@ -86,6 +91,27 @@ impl DownlinkConfig {
         })?;
         let tbs = mcs.transport_block_bits(bandwidth.num_prbs());
         let seg = Segmentation::compute(tbs + 24)?;
+        let qm = mcs.modulation_order();
+        let modu = Modulation::from_order(qm).ok_or_else(|| PhyError::InvalidConfig {
+            what: "modulation",
+            detail: format!("unsupported Qm {qm}"),
+        })?;
+        // Precompute E_r once (36.212 §5.1.4.1.2), mirroring the uplink
+        // config, so the decode path never allocates the split table.
+        let data_res =
+            bandwidth.total_res() - CRS_SYMBOLS.len() * (bandwidth.num_subcarriers() / CRS_STRIDE);
+        let g_sym = data_res;
+        let c = seg.num_blocks;
+        let gamma = g_sym % c;
+        let e_splits: Vec<usize> = (0..c)
+            .map(|r| {
+                if r < c - gamma {
+                    qm * (g_sym / c)
+                } else {
+                    qm * g_sym.div_ceil(c)
+                }
+            })
+            .collect();
         Ok(DownlinkConfig {
             bandwidth,
             num_antennas,
@@ -93,6 +119,8 @@ impl DownlinkConfig {
             max_turbo_iters: crate::mcs::DEFAULT_MAX_TURBO_ITERS,
             cell_id: 42,
             seg,
+            modu,
+            e_splits,
         })
     }
 
@@ -128,24 +156,13 @@ impl DownlinkConfig {
 
     /// The modulation scheme.
     pub fn modulation(&self) -> Modulation {
-        Modulation::from_order(self.mcs.modulation_order()).expect("valid Qm")
+        self.modu
     }
 
-    /// Per-code-block rate-matching sizes (multiples of Qm summing to G).
-    pub fn e_splits(&self) -> Vec<usize> {
-        let qm = self.mcs.modulation_order();
-        let c = self.seg.num_blocks;
-        let g_sym = self.coded_bits() / qm;
-        let gamma = g_sym % c;
-        (0..c)
-            .map(|r| {
-                if r < c - gamma {
-                    qm * (g_sym / c)
-                } else {
-                    qm * g_sym.div_ceil(c)
-                }
-            })
-            .collect()
+    /// Per-code-block rate-matching sizes (multiples of Qm summing to G),
+    /// precomputed at construction.
+    pub fn e_splits(&self) -> &[usize] {
+        &self.e_splits
     }
 
     /// Iterator over data RE coordinates `(symbol, subcarrier)` in mapping
@@ -217,7 +234,7 @@ impl DownlinkTx {
         CRC24A.attach(&mut tb);
         let blocks = cfg.seg.segment(&tb)?;
         let mut coded = Vec::with_capacity(cfg.coded_bits());
-        for (r, (block, e)) in blocks.iter().zip(cfg.e_splits()).enumerate() {
+        for (r, (block, &e)) in blocks.iter().zip(cfg.e_splits()).enumerate() {
             let (_, rm, enc, _) = &self.codecs[r];
             coded.extend(rm.rate_match(&enc.encode(block), e));
         }
@@ -372,7 +389,7 @@ impl DownlinkRx {
         let mut block_iterations = Vec::new();
         let mut off = 0usize;
         let multi = cfg.seg.num_blocks > 1;
-        for (r, e) in cfg.e_splits().into_iter().enumerate() {
+        for (r, &e) in cfg.e_splits().iter().enumerate() {
             let (_, rm, _, dec) = &self.codecs[r];
             let (mut d0, d1, d2) = rm.de_rate_match(&llrs[off..off + e]);
             off += e;

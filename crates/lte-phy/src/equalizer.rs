@@ -45,7 +45,7 @@ impl ChannelEstimate {
 pub fn estimate_channel(grids: &[Grid], dmrs_ref: &[Cf32]) -> ChannelEstimate {
     let m = grids
         .first()
-        // lint: allow(hot-panic): documented precondition, validated at setup
+        // analyze: allow(panic): documented precondition, validated at setup
         .expect("at least one antenna required")
         .bandwidth()
         .num_subcarriers();
@@ -65,7 +65,8 @@ pub fn estimate_channel_band(
     band: std::ops::Range<usize>,
 ) -> ChannelEstimate {
     let mut est = ChannelEstimate {
-        // lint: allow(hot-alloc): allocating convenience over the _into form
+        // analyze: allow(alloc): allocating convenience over the _into form
+        // analyze: allow(alloc): Vec::new does not allocate; rows grow once during the warm-up decode and retain capacity thereafter
         h: Vec::new(),
         noise_var: 0.0,
     };
@@ -86,10 +87,13 @@ pub fn estimate_channel_band_into(
     band: std::ops::Range<usize>,
     est: &mut ChannelEstimate,
 ) {
+    // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
     assert!(!grids.is_empty(), "at least one antenna required");
     let width = grids[0].bandwidth().num_subcarriers();
+    // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
     assert!(band.end <= width, "band exceeds grid width");
     let m = band.len();
+    // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
     assert_eq!(dmrs_ref.len(), m, "DMRS reference length");
     let [l1, l2] = dmrs_symbols();
 
@@ -98,7 +102,8 @@ pub fn estimate_channel_band_into(
         est.h.truncate(grids.len());
     }
     while est.h.len() < grids.len() {
-        // lint: allow(hot-alloc): Vec::new is allocation-free; rows grow on warm-up only
+        // analyze: allow(alloc): Vec::new is allocation-free; rows grow on warm-up only
+        // analyze: allow(alloc): push into a capacity-retaining estimate buffer; tests/alloc_regression.rs proves zero steady-state allocations
         est.h.push(Vec::new());
     }
     let mut noise_acc = 0.0f64;
@@ -154,9 +159,9 @@ pub fn estimate_channel_band_into(
 /// Panics if `rows` length differs from the estimate's antenna count, or a
 /// row's width differs from the subcarrier count.
 pub fn mrc_combine(rows: &[&[Cf32]], est: &ChannelEstimate) -> (Vec<Cf32>, Vec<f32>) {
-    // lint: allow(hot-alloc): allocating convenience over mrc_combine_into
+    // analyze: allow(alloc): allocating convenience over mrc_combine_into
     let mut combined = Vec::new();
-    // lint: allow(hot-alloc): allocating convenience over mrc_combine_into
+    // analyze: allow(alloc): allocating convenience over mrc_combine_into
     let mut post_var = Vec::new();
     mrc_combine_into(rows, est, &mut combined, &mut post_var);
     (combined, post_var)
@@ -175,9 +180,11 @@ pub fn mrc_combine_into(
     combined: &mut Vec<Cf32>,
     post_var: &mut Vec<f32>,
 ) {
+    // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
     assert_eq!(rows.len(), est.num_antennas(), "antenna count");
     let m = est.num_subcarriers();
     for row in rows {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(row.len(), m, "subcarrier count");
     }
     combined.clear();

@@ -33,7 +33,7 @@ pub struct FftPlan {
 
 /// Returns the prime factorization of `n` (smallest first). `n ≥ 1`.
 fn factorize(mut n: usize) -> Vec<usize> {
-    // lint: allow(hot-alloc): runs once per FFT size at plan construction
+    // analyze: allow(alloc): runs once per FFT size at plan construction
     let mut f = Vec::new();
     let mut d = 2;
     while d * d <= n {
@@ -62,7 +62,7 @@ static PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new
 /// Panics if `n == 0`.
 pub fn plan(n: usize) -> Arc<FftPlan> {
     let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    // lint: allow(hot-panic): poison implies a prior panic already failed the run
+    // analyze: allow(panic): poison implies a prior panic already failed the run
     let mut map = cache.lock().expect("plan cache poisoned");
     Arc::clone(map.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
 }
@@ -76,7 +76,7 @@ impl FftPlan {
         assert!(n > 0, "FFT size must be positive");
         let twiddles = (0..n)
             .map(|j| Cf32::from_phase(-2.0 * std::f32::consts::PI * j as f32 / n as f32))
-            // lint: allow(hot-alloc): runs once per FFT size at plan construction
+            // analyze: allow(alloc): runs once per FFT size at plan construction
             .collect();
         FftPlan {
             n,
@@ -102,7 +102,7 @@ impl FftPlan {
     /// # Panics
     /// Panics if `data.len() != self.len()`.
     pub fn forward(&self, data: &mut [Cf32]) {
-        // lint: allow(hot-alloc): allocating convenience; hot callers use forward_scratch
+        // analyze: allow(alloc): allocating convenience; hot callers use forward_scratch
         let mut scratch = vec![Cf32::ZERO; self.n];
         self.forward_scratch(data, &mut scratch);
     }
@@ -114,7 +114,7 @@ impl FftPlan {
     /// # Panics
     /// Panics if `data.len() != self.len()`.
     pub fn inverse(&self, data: &mut [Cf32]) {
-        // lint: allow(hot-alloc): allocating convenience; hot callers use inverse_scratch
+        // analyze: allow(alloc): allocating convenience; hot callers use inverse_scratch
         let mut scratch = vec![Cf32::ZERO; self.n];
         self.inverse_scratch(data, &mut scratch);
     }
@@ -145,7 +145,9 @@ impl FftPlan {
     /// # Panics
     /// Panics if `data.len() != self.len()` or `scratch.len() != self.len()`.
     pub fn forward_scratch(&self, data: &mut [Cf32], scratch: &mut [Cf32]) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(data.len(), self.n, "buffer length must equal plan size");
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(scratch.len(), self.n, "scratch length must equal plan size");
         self.stockham(data, scratch);
     }
@@ -156,7 +158,9 @@ impl FftPlan {
     /// # Panics
     /// Panics if `data.len() != self.len()` or `scratch.len() != self.len()`.
     pub fn inverse_scratch(&self, data: &mut [Cf32], scratch: &mut [Cf32]) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(data.len(), self.n, "buffer length must equal plan size");
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(scratch.len(), self.n, "scratch length must equal plan size");
         for v in data.iter_mut() {
             *v = v.conj();

@@ -109,7 +109,7 @@ impl Modulation {
                     self.axis_level(&qb[..nb]) * self.norm(),
                 )
             })
-            // lint: allow(hot-alloc): TX-side mapper; the RX hot path is demap_maxlog_into
+            // analyze: allow(alloc): TX-side mapper; the RX hot path is demap_maxlog_into
             .collect()
     }
 
@@ -129,6 +129,7 @@ impl Modulation {
     /// # Panics
     /// Panics if `noise_var.len() != symbols.len()`.
     pub fn demap_maxlog(self, symbols: &[Cf32], noise_var: &[f32], out: &mut Vec<f32>) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(symbols.len(), noise_var.len(), "per-symbol noise required");
         let start = out.len();
         out.resize(start + symbols.len() * self.bits_per_symbol(), 0.0);

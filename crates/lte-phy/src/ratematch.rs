@@ -93,6 +93,7 @@ impl RateMatcher {
     /// # Panics
     /// Panics if `rv > 3`.
     pub fn k0_rv(&self, rv: u8) -> usize {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert!(rv <= 3, "redundancy version 0..=3");
         self.rows * (24 * rv as usize + 2)
     }

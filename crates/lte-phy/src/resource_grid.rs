@@ -23,6 +23,7 @@ impl Grid {
     pub fn new(bw: Bandwidth) -> Self {
         Grid {
             bw,
+            // analyze: allow(alloc): slab construction; runs once per config change and tests/alloc_regression.rs proves the steady state is alloc-free
             data: vec![Cf32::ZERO; SYMBOLS_PER_SUBFRAME * bw.num_subcarriers()],
         }
     }
@@ -138,12 +139,14 @@ impl OfdmProcessor {
         time_buf: &mut Vec<Cf32>,
         fft_scratch: &mut Vec<Cf32>,
     ) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert!(
             samples.len() >= self.bw.samples_per_subframe(),
             "subframe samples required"
         );
         let n = self.bw.fft_size();
         let m = self.bw.num_subcarriers();
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(out.len(), m, "output length must equal subcarrier count");
         let start = self.bw.symbol_offset(l) + self.bw.cp_len(l);
         time_buf.clear();

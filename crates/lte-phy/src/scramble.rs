@@ -86,6 +86,7 @@ impl Scrambler {
     /// # Panics
     /// Panics if `offset + llrs.len()` exceeds the sequence length.
     pub fn descramble_llrs_at(&self, offset: usize, llrs: &mut [f32]) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert!(
             offset + llrs.len() <= self.seq.len(),
             "sequence too short for offset {offset}"

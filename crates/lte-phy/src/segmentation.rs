@@ -133,6 +133,7 @@ impl Segmentation {
     /// # Panics
     /// Panics if `r >= num_blocks`.
     pub fn block_size(&self, r: usize) -> usize {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert!(r < self.num_blocks, "code block index out of range");
         if r < self.c_minus {
             self.k_minus
@@ -180,7 +181,9 @@ impl Segmentation {
     /// Returns the reassembled bits and a per-block CRC24B pass/fail vector
     /// (all `true` when `C == 1`, where no per-block CRC exists).
     pub fn desegment(&self, blocks: &[Vec<u8>]) -> Result<(Vec<u8>, Vec<bool>), PhyError> {
+        // analyze: allow(alloc): owned-return transport-block assembly used by the mailbox job; the result must outlive the job slab
         let mut tb = Vec::new();
+        // analyze: allow(alloc): owned-return transport-block assembly used by the mailbox job; the result must outlive the job slab
         let mut oks = Vec::new();
         self.desegment_into(blocks, &mut tb, &mut oks)?;
         Ok((tb, oks))

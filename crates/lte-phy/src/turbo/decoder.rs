@@ -462,9 +462,13 @@ impl TurboDecoder {
         ws: &mut TurboWorkspace,
     ) -> (usize, bool) {
         let k = self.k();
+        // analyze: allow(panic): decoder config contract; zero iterations can only come from a miscomputed MCS table
         assert!(max_iters > 0, "max_iters must be positive");
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(d0.len(), k + 4, "d0 length");
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(d1.len(), k + 4, "d1 length");
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(d2.len(), k + 4, "d2 length");
 
         let sys = &d0[..k];

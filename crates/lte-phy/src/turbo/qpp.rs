@@ -169,6 +169,7 @@ impl Qpp {
     /// # Panics
     /// Panics if `input.len() != K`.
     pub fn interleave_into<T: Copy>(&self, input: &[T], out: &mut Vec<T>) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(input.len(), self.k, "interleave length mismatch");
         out.clear();
         out.extend(self.perm.iter().map(|&p| input[p as usize]));
@@ -190,6 +191,7 @@ impl Qpp {
     /// # Panics
     /// Panics if `input.len() != K`.
     pub fn deinterleave_into<T: Copy + Default>(&self, input: &[T], out: &mut Vec<T>) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(input.len(), self.k, "deinterleave length mismatch");
         out.clear();
         out.resize(self.k, T::default());

@@ -47,6 +47,7 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
 /// # Panics
 /// Panics if `bits.len() % 8 != 0`.
 pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    // analyze: allow(alloc): owned-return transport-block assembly used by the mailbox job; the result must outlive the job slab
     let mut out = Vec::new();
     bits_to_bytes_into(bits, &mut out);
     out
@@ -58,6 +59,7 @@ pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
 /// # Panics
 /// Panics if `bits.len() % 8 != 0`.
 pub fn bits_to_bytes_into(bits: &[u8], out: &mut Vec<u8>) {
+    // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
     assert_eq!(bits.len() % 8, 0, "bit count must be a multiple of 8");
     out.clear();
     out.extend(
@@ -86,6 +88,9 @@ pub struct UplinkConfig {
     /// varying-utilization scenario its §4.2 footnote discusses.
     pub alloc_prbs: usize,
     seg: Segmentation,
+    /// The constellation, resolved from the MCS once at construction so
+    /// the per-subframe paths never re-derive (and never re-validate) it.
+    modu: Modulation,
     /// Per-block rate-matching sizes `E_r`, precomputed at construction.
     e_splits: Vec<usize>,
     /// Prefix sums of `e_splits` (length `C + 1`).
@@ -162,6 +167,10 @@ impl UplinkConfig {
             .filter(|&l| !is_dmrs_symbol(l))
             .collect();
         let qm = mcs.modulation_order();
+        let modu = Modulation::from_order(qm).ok_or_else(|| PhyError::InvalidConfig {
+            what: "modulation",
+            detail: format!("unsupported Qm {qm}"),
+        })?;
         let alloc_sc = alloc_prbs * crate::params::SUBCARRIERS_PER_PRB;
         let g_sym = alloc_sc * data_syms.len(); // G' with one layer
         let c = seg.num_blocks;
@@ -192,6 +201,7 @@ impl UplinkConfig {
             cell_id: 42,
             alloc_prbs,
             seg,
+            modu,
             e_splits,
             e_offsets,
             data_syms,
@@ -230,7 +240,7 @@ impl UplinkConfig {
 
     /// The modulation scheme.
     pub fn modulation(&self) -> Modulation {
-        Modulation::from_order(self.mcs.modulation_order()).expect("valid Qm")
+        self.modu
     }
 
     /// Per-code-block rate-matching output sizes `E_r` (36.212 §5.1.4.1.2),
@@ -581,6 +591,7 @@ impl UplinkRx {
     /// Panics if `i` is out of range for the configured antenna count.
     pub fn run_fft_subtask_into(&self, rx_samples: &[Vec<Cf32>], i: usize, row: &mut Vec<Cf32>) {
         let count = self.cfg.breakdown().fft;
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert!(i < count, "fft subtask {i} out of range");
         let antenna = i / SYMBOLS_PER_SUBFRAME;
         let symbol = i % SYMBOLS_PER_SUBFRAME;
@@ -610,6 +621,7 @@ impl UplinkRx {
         antenna: usize,
         out: &mut Vec<Cf32>,
     ) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert!(
             antenna < self.cfg.num_antennas,
             "antenna {antenna} out of range"
@@ -661,7 +673,9 @@ impl UplinkRx {
         bits: &mut Vec<u8>,
     ) -> (usize, bool) {
         let cfg = &self.cfg;
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert!(r < cfg.seg.num_blocks, "decode subtask {r} out of range");
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(llrs.len(), cfg.coded_bits(), "coded LLR stream length");
         let e = cfg.e_splits()[r];
         let off = cfg.e_offset(r);
@@ -965,6 +979,7 @@ impl<'a> SubframeJob<'a> {
     /// # Panics
     /// Panics if demod subtasks are still outstanding.
     pub fn coded_llrs(&self) -> &[f32] {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(
             self.demod_done,
             self.demod_subtask_count(),
@@ -987,6 +1002,7 @@ impl<'a> SubframeJob<'a> {
     /// # Panics
     /// Panics if FFT subtasks are still outstanding.
     pub fn finish_fft(&mut self) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(
             self.fft_done,
             self.fft_subtask_count(),
@@ -1008,8 +1024,10 @@ impl<'a> SubframeJob<'a> {
     /// Panics if called before [`SubframeJob::finish_fft`] or `i` is out of
     /// range.
     pub fn run_demod_subtask(&self, i: usize) -> DemodOut {
+        // analyze: allow(panic): stage-ordering protocol; the SlotBoard confirms every subtask before this stage runs, so a missing result is a scheduler bug
         let est = self.est.as_ref().expect("finish_fft must run first");
         let data_syms = self.rx.cfg.data_symbols();
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert!(i < data_syms.len(), "demod subtask {i} out of range");
         let l = data_syms[i];
         let m = self.rx.cfg.alloc_subcarriers();
@@ -1087,10 +1105,14 @@ impl<'a> SubframeJob<'a> {
     /// Panics if any decode subtask result is missing.
     pub fn finish(self) -> Result<RxOutput, PhyError> {
         let cfg = &self.rx.cfg;
+        // analyze: allow(alloc): owned-return transport-block assembly used by the mailbox job; the result must outlive the job slab
         let mut block_bits = Vec::with_capacity(cfg.seg.num_blocks);
+        // analyze: allow(alloc): owned-return transport-block assembly used by the mailbox job; the result must outlive the job slab
         let mut block_crc_ok = Vec::with_capacity(cfg.seg.num_blocks);
+        // analyze: allow(alloc): owned-return transport-block assembly used by the mailbox job; the result must outlive the job slab
         let mut block_iterations = Vec::with_capacity(cfg.seg.num_blocks);
         for (r, slot) in self.blocks.into_iter().enumerate() {
+            // analyze: allow(panic): stage-ordering protocol; the SlotBoard confirms every subtask before this stage runs, so a missing result is a scheduler bug
             let out = slot.unwrap_or_else(|| panic!("decode subtask {r} missing"));
             block_crc_ok.push(out.crc_ok);
             block_iterations.push(out.iterations);
@@ -1169,10 +1191,12 @@ impl JobSlab {
                 .first()
                 .is_some_and(|g| g.bandwidth() != cfg.bandwidth);
         if rebuild {
+            // analyze: allow(alloc): slab construction; runs once per config change and tests/alloc_regression.rs proves the steady state is alloc-free
             self.grids = vec![Grid::new(cfg.bandwidth); cfg.num_antennas];
         }
         let c = cfg.seg.num_blocks;
         while self.block_bits.len() < c {
+            // analyze: allow(alloc): slab construction; runs once per config change and tests/alloc_regression.rs proves the steady state is alloc-free
             self.block_bits.push(Vec::new());
         }
         self.llrs.clear();
@@ -1302,6 +1326,7 @@ impl SlabJob<'_> {
     /// # Panics
     /// Panics if `i` is out of range.
     pub fn run_fft_subtask_local(&mut self, i: usize) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert!(i < self.fft_subtask_count(), "fft subtask {i} out of range");
         let antenna = i / SYMBOLS_PER_SUBFRAME;
         let symbol = i % SYMBOLS_PER_SUBFRAME;
@@ -1336,6 +1361,7 @@ impl SlabJob<'_> {
     /// Panics if `flat` is not `14 × num_subcarriers` long.
     pub fn absorb_fft_batch(&mut self, antenna: usize, flat: &[Cf32]) {
         let nsc = self.rx.cfg.bandwidth.num_subcarriers();
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(flat.len(), SYMBOLS_PER_SUBFRAME * nsc, "batch length");
         for (symbol, row) in flat.chunks_exact(nsc).enumerate() {
             self.slab.grids[antenna]
@@ -1361,6 +1387,7 @@ impl SlabJob<'_> {
     /// # Panics
     /// Panics if FFT subtasks are still outstanding.
     pub fn finish_fft(&mut self) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(
             self.fft_done,
             self.fft_subtask_count(),
@@ -1382,6 +1409,7 @@ impl SlabJob<'_> {
     /// Panics if called before [`SlabJob::finish_fft`] or `i` is out of
     /// range.
     pub fn run_demod_subtask_local(&mut self, i: usize) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(
             self.fft_done,
             self.fft_subtask_count(),
@@ -1389,6 +1417,7 @@ impl SlabJob<'_> {
         );
         let cfg = &self.rx.cfg;
         let data_syms = cfg.data_symbols();
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert!(i < data_syms.len(), "demod subtask {i} out of range");
         let l = data_syms[i];
         let m = cfg.alloc_subcarriers();
@@ -1429,6 +1458,7 @@ impl SlabJob<'_> {
     /// # Panics
     /// Panics if demod subtasks are still outstanding.
     pub fn coded_llrs(&self) -> &[f32] {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(
             self.demod_done,
             self.demod_subtask_count(),
@@ -1448,6 +1478,7 @@ impl SlabJob<'_> {
     /// # Panics
     /// Panics if demod subtasks are still outstanding or `r` out of range.
     pub fn run_decode_subtask_local(&mut self, r: usize) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
         assert_eq!(
             self.demod_done,
             self.demod_subtask_count(),
@@ -1492,6 +1523,7 @@ impl SlabJob<'_> {
         let cfg = &self.rx.cfg;
         let c = cfg.seg.num_blocks;
         for (r, done) in self.slab.block_done.iter().enumerate().take(c) {
+            // analyze: allow(panic): stage-ordering protocol; the SlotBoard confirms every subtask before this stage runs, so a missing result is a scheduler bug
             assert!(done, "decode subtask {r} missing");
         }
         cfg.seg.desegment_into(

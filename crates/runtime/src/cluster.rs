@@ -761,6 +761,7 @@ fn worker_loop<'a>(
         // Warm decode: run the whole pipeline once so instruction and data
         // caches, branch predictors and the slab's buffers are all hot
         // before the first real release.
+        // analyze: allow(panic): warm-up job before the epoch barrier; the pool was just prepared with this exact config
         let mut job = p.rx.start_job_in(&p.samples, &mut slab).expect("warm job");
         for b in 0..p.samples.len() {
             job.run_fft_batch_local(b);
@@ -799,9 +800,9 @@ fn worker_loop<'a>(
             let mut embargo: Option<Instant> = None;
             {
                 let mut st = inbox.state.lock();
-                match st.own.front() {
+                match st.own.front().copied() {
                     Some(j) if j.release <= Instant::now() => {
-                        let j = st.own.pop_front().expect("non-empty front");
+                        st.own.pop_front();
                         break 'acquire Got::Own(j);
                     }
                     Some(j) => embargo = Some(j.release),
@@ -857,6 +858,7 @@ fn worker_loop<'a>(
                 &mut flag_scratch,
                 &mut wm,
             ),
+            // analyze: allow(call:run): dispatches the migrated Envelope only — name-based resolution would pull every engine run loop into the worker
             Got::Migrated(env) => env.run(),
             Got::Shutdown => break,
         }
@@ -910,12 +912,14 @@ fn try_steal(me: usize, shared: &Shared<'_>, pool: &[Prepared], wm: &mut WorkerT
         let prepared = &pool[stage.pool_idx];
         match stage.kind {
             TaskKind::Fft => {
+                // analyze: allow(guard-held-lock): per-subtask slot mutex, contended only with the recovering owner; stealing without holding it would race the straggler's write-back
                 let mut slot = arena.fft_slots[idx].lock();
                 prepared
                     .rx
                     .run_fft_batch_into(&prepared.samples, idx, &mut slot);
             }
             TaskKind::Decode => {
+                // analyze: allow(guard-held-lock): per-subtask slot mutex, contended only with the recovering owner; stealing without holding it would race the straggler's write-back
                 let mut slot = arena.dec_slots[idx].lock();
                 let (iterations, crc_ok) =
                     prepared
@@ -955,6 +959,7 @@ fn fanout_steal(
         wm.migration.record_stage(kind, count, 0);
         return;
     };
+    // analyze: allow(panic): the owner mask is a u64 bitset; a config with more than 64 subtasks cannot be represented and must be rejected at fan-out
     assert!(count <= 64, "subtask count exceeds owner mask");
     let arena = &shared.arenas[me];
     let mut local_mask: u64 = 0;
@@ -1108,6 +1113,7 @@ fn process_subframe<'a>(
     let mut phy = prepared
         .rx
         .start_job_in(&prepared.samples, slab)
+        // analyze: allow(panic): pool entries come from prepare_pool with the same config; a shape mismatch means the pool was corrupted and the slot must die loudly
         .expect("prepared samples are consistent");
 
     // --- FFT task: subtask = one antenna's 14-symbol batch. ---
@@ -1167,6 +1173,7 @@ fn process_subframe<'a>(
                     let Some(_stage) = arena.board.enter(ep) else {
                         return; // straggler of a recovered stage
                     };
+                    // analyze: allow(guard-held-lock): the stage guard must stay held across the slot write-back to fence a recovering owner's straggler; the slot mutex is a leaf and uncontended outside recovery
                     let mut slot = arena.fft_slots[b].lock();
                     rx.run_fft_batch_into(samples, b, &mut slot);
                 })
@@ -1279,6 +1286,7 @@ fn process_subframe<'a>(
                     let Some(stage) = arena.board.enter(ep) else {
                         return;
                     };
+                    // analyze: allow(guard-held-lock): the stage guard must stay held across the slot write-back to fence a recovering owner's straggler; the slot mutex is a leaf and uncontended outside recovery
                     let mut slot = arena.dec_slots[r].lock();
                     let (iterations, crc_ok) =
                         rx.run_decode_subtask_into(&stage.llrs, r, &mut slot.bits);
@@ -1315,6 +1323,7 @@ fn process_subframe<'a>(
         }
     }
 
+    // analyze: allow(panic): the recovery loop above re-runs every unconfirmed subtask before finish(); an unabsorbed subtask here is a scheduler bug, not a runtime condition
     let verdict = phy.finish().expect("all subtasks absorbed");
     let finished = Instant::now();
     wm.deadline.record(job.cell, finished > job.deadline);

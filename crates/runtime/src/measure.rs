@@ -79,6 +79,7 @@ impl Workbench {
 
     /// Starts a job and advances it so the requested stage is runnable.
     fn job_at(&self, task: TaskKind) -> SubframeJob<'_> {
+        // analyze: allow(panic): bench setup of the job under test; the prepared subframe cannot fail to start once the config was validated
         let mut job = self.rx.start_job(&self.samples).expect("job");
         if task == TaskKind::Fft {
             return job;
@@ -198,6 +199,7 @@ pub fn measure_migration_overhead(
     task: TaskKind,
     trials: usize,
 ) -> MigrationMeasurement {
+    // analyze: allow(call:new): one-time bench construction before the timed loops; failing fast on a bad config is intended
     let bench = Workbench::new(bw, antennas, mcs, 0x0F18_0000);
     let mut local_us = Samples::new();
     let mut migrated_us = Samples::new();
@@ -216,6 +218,7 @@ pub fn measure_migration_overhead(
         // machinery, plus each thread's workspace and caches (one untimed
         // pass over every subtask locally and on the host).
         let (warm, wflag) = Envelope::new(|| {});
+        // analyze: allow(panic): the host thread holds rx open for the scope's lifetime; a dead host must abort the probe loudly
         tx.send(warm).unwrap();
         wflag.wait(Duration::from_secs(5));
         for i in 0..count {
@@ -225,7 +228,9 @@ pub fn measure_migration_overhead(
             let (env, flag) = Envelope::new(move || {
                 bench_ref.run_subtask(job_ref, task, i);
             });
+            // analyze: allow(panic): a wedged or dead host invalidates the measurement; abort loudly rather than record garbage
             tx.send(env).expect("host alive");
+            // analyze: allow(panic): a wedged or dead host invalidates the measurement; abort loudly rather than record garbage
             assert!(flag.wait(Duration::from_secs(30)), "host hung");
         }
         // Interleave local and migrated trials so ambient load (other
@@ -242,7 +247,9 @@ pub fn measure_migration_overhead(
             let (env, flag) = Envelope::new(move || {
                 bench_ref.run_subtask(job_ref, task, i);
             });
+            // analyze: allow(panic): a wedged or dead host invalidates the measurement; abort loudly rather than record garbage
             tx.send(env).expect("host alive");
+            // analyze: allow(panic): a wedged or dead host invalidates the measurement; abort loudly rather than record garbage
             assert!(flag.wait(Duration::from_secs(30)), "host hung");
             migrated_us.push(as_us(t1.elapsed()));
         }
@@ -303,6 +310,7 @@ pub fn measure_steal_overhead(
     task: TaskKind,
     trials: usize,
 ) -> StealMeasurement {
+    // analyze: allow(call:new): one-time bench construction before the timed loops; failing fast on a bad config is intended
     let bench = Workbench::new(bw, antennas, mcs, 0x057E_A100);
     let mut local_us = Samples::new();
     let mut stolen_us = Samples::new();
@@ -343,6 +351,7 @@ pub fn measure_steal_overhead(
         for i in 0..count {
             bench.run_subtask(&job, task, i);
             epoch += 1;
+            // analyze: allow(panic): capacity proof — at most one outstanding ticket in a 64-slot deque
             w.push(steal::encode_ticket(epoch, i)).expect("deque room");
             wait_done(done, epoch);
         }
@@ -356,6 +365,7 @@ pub fn measure_steal_overhead(
 
             epoch += 1;
             let t1 = Instant::now();
+            // analyze: allow(panic): capacity proof — at most one outstanding ticket in a 64-slot deque
             w.push(steal::encode_ticket(epoch, i)).expect("deque room");
             wait_done(done, epoch);
             stolen_us.push(as_us(t1.elapsed()));

@@ -38,6 +38,7 @@ impl<'a> Envelope<'a> {
         let flag = ResultFlag::new();
         (
             Envelope {
+                // analyze: allow(alloc): the boxed closure IS the mailbox handoff cost the steal path is benchmarked against
                 work: Box::new(work),
                 flag: flag.clone(),
             },
@@ -108,6 +109,7 @@ pub fn mailbox<'a>() -> (Sender<Envelope<'a>>, Receiver<Envelope<'a>>) {
 /// Run this on a pinned thread to model one idle core hosting migrations.
 pub fn host_loop(rx: Receiver<Envelope<'_>>) {
     while let Ok(envelope) = rx.recv() {
+        // analyze: allow(call:run): dispatches Envelope::run only — name-based resolution would pull every engine's run loop into the mailbox host
         envelope.run();
     }
 }

@@ -1,14 +1,8 @@
-//! The hot-path invariant linter behind `cargo xtask lint`.
+//! The annotation invariant linter behind `cargo xtask lint`.
 //!
-//! Three families of line-level lints over the shipped crates (vendored
+//! Two families of line-level lints over the shipped crates (vendored
 //! deps, the model checker's shim internals, and this tool are excluded):
 //!
-//! * **hot-alloc / hot-panic / hot-clock** — inside the designated
-//!   hot-path modules ([`HOT_PATH_MODULES`], the files whose steady-state
-//!   behaviour `tests/alloc_regression.rs` protects), no heap allocation,
-//!   no `unwrap`/`expect`/`panic!`-family macro, and no
-//!   `Instant::now`/`SystemTime::now`. Cold construction paths that live
-//!   in the same file annotate each line with a suppression (below).
 //! * **safety-comment** — every `unsafe { .. }` block and `unsafe impl`
 //!   in any linted file must carry a `// SAFETY:` comment on the same
 //!   line or in the comment run directly above it.
@@ -18,12 +12,19 @@
 //!   StoreLoad pattern or total-order argument needs it, so downgrades
 //!   stay auditable against the `rtopex-check` model suites.
 //!
+//! The lexical `hot-alloc`/`hot-panic`/`hot-clock` lints that lived here
+//! through PR 4 were retired in favour of the transitive purity pass in
+//! `rtopex-analyze` (`cargo xtask analyze`): a per-file deny list could
+//! not see an allocation two calls below a module boundary, while the
+//! call-graph pass follows the reachable set from the declared hot entry
+//! points. Their `// lint: allow(hot-*)` suppressions migrated to the
+//! analyzer's `// analyze: allow(<class>): <reason>` syntax.
+//!
 //! Suppression syntax, one line at a time, with a mandatory reason:
 //!
 //! ```text
-//! let table = build();            // lint: allow(hot-alloc): one-time construction
-//! // lint: allow(hot-panic): capacity proven by the assert above
-//! let v = slots.pop().unwrap();
+//! // lint: allow(ordering-justification): covered by the module note
+//! top.store(t, Ordering::SeqCst);
 //! ```
 //!
 //! `#[cfg(test)]` blocks are skipped entirely: the lints guard shipped
@@ -31,18 +32,6 @@
 
 use std::fmt;
 use std::path::{Path, PathBuf};
-
-/// Files whose steady-state execution must stay allocation-, panic- and
-/// clock-free. Mirrors the paths exercised by `tests/alloc_regression.rs`
-/// (the PHY decode kernels) plus the work-stealing deque those kernels
-/// ride on.
-pub const HOT_PATH_MODULES: &[&str] = &[
-    "crates/core/src/steal.rs",
-    "crates/lte-phy/src/fft.rs",
-    "crates/lte-phy/src/equalizer.rs",
-    "crates/lte-phy/src/modulation.rs",
-    "crates/lte-phy/src/turbo/decoder.rs",
-];
 
 /// Directories (workspace-relative) swept by [`lint_workspace`].
 const LINT_ROOTS: &[&str] = &[
@@ -57,36 +46,6 @@ const LINT_ROOTS: &[&str] = &[
     "crates/experiments/src",
     "crates/bench/src",
 ];
-
-/// Allocation constructors and allocating adapters forbidden on hot paths.
-const ALLOC_PATTERNS: &[&str] = &[
-    "Vec::new",
-    "vec![",
-    "Box::new",
-    "String::new",
-    "String::from",
-    "format!",
-    ".to_vec(",
-    ".to_owned(",
-    ".to_string(",
-    "with_capacity(",
-    ".collect(",
-];
-
-/// Panic sources forbidden on hot paths (`debug_assert!` stays legal: it
-/// compiles out of release builds).
-const PANIC_PATTERNS: &[&str] = &[
-    ".unwrap(",
-    ".expect(",
-    "panic!",
-    "unreachable!",
-    "todo!",
-    "unimplemented!",
-];
-
-/// Syscall-backed clock reads forbidden on hot paths — timing there must
-/// come in as a parameter (see `rtopex_core::time`).
-const CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime::now"];
 
 /// One lint hit, pointing at a workspace-relative file and 1-based line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -234,10 +193,9 @@ fn unsafe_needs_comment(code: &str) -> bool {
     false
 }
 
-/// Lints one file's source. `rel` is the workspace-relative path (used
-/// for hot-path membership and reporting).
+/// Lints one file's source. `rel` is the workspace-relative path used
+/// for reporting.
 pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
-    let hot = HOT_PATH_MODULES.contains(&rel);
     let mut out = Vec::new();
     let mut in_block_comment = false;
     let mut depth: i64 = 0;
@@ -280,32 +238,6 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                 }
             };
 
-            if hot {
-                for pat in ALLOC_PATTERNS {
-                    if code.contains(pat) {
-                        report(
-                            "hot-alloc",
-                            format!("heap allocation `{pat}` in hot-path module"),
-                        );
-                    }
-                }
-                for pat in PANIC_PATTERNS {
-                    if code.contains(pat) {
-                        report(
-                            "hot-panic",
-                            format!("panic source `{pat}` in hot-path module"),
-                        );
-                    }
-                }
-                for pat in CLOCK_PATTERNS {
-                    if code.contains(pat) {
-                        report(
-                            "hot-clock",
-                            format!("syscall clock `{pat}` in hot-path module"),
-                        );
-                    }
-                }
-            }
             if unsafe_needs_comment(&code)
                 && !comment.contains("SAFETY:")
                 && !comment_run.contains("SAFETY:")
@@ -419,27 +351,10 @@ pub fn run(workspace_root: &Path) -> i32 {
 mod tests {
     use super::*;
 
-    const HOT: &str = "crates/core/src/steal.rs";
     const COLD: &str = "crates/runtime/src/node.rs";
 
     fn lints(rel: &str, src: &str) -> Vec<&'static str> {
         lint_source(rel, src).into_iter().map(|v| v.lint).collect()
-    }
-
-    #[test]
-    fn seeded_hot_path_allocation_fails() {
-        let src = "fn push(&mut self) {\n    let spill = Vec::new();\n}\n";
-        assert_eq!(lints(HOT, src), vec!["hot-alloc"]);
-        // The same line in a non-hot module is fine.
-        assert!(lints(COLD, src).is_empty());
-    }
-
-    #[test]
-    fn seeded_hot_path_panic_and_clock_fail() {
-        let src = "fn pop(&mut self) {\n    let t = std::time::Instant::now();\n    self.slots.get(0).unwrap();\n}\n";
-        let got = lints(HOT, src);
-        assert!(got.contains(&"hot-clock"), "{got:?}");
-        assert!(got.contains(&"hot-panic"), "{got:?}");
     }
 
     #[test]
@@ -475,21 +390,19 @@ mod tests {
 
     #[test]
     fn cfg_test_blocks_are_exempt() {
-        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {\n        let v = Vec::new();\n        v.get(0).unwrap();\n        unsafe { core::hint::unreachable_unchecked() }\n    }\n}\n";
-        assert!(lints(HOT, src).is_empty(), "{:?}", lint_source(HOT, src));
+        let src = "fn shipped() {}\n#[cfg(test)]\nmod tests {\n    fn helper(a: &AtomicU64) {\n        a.store(1, Ordering::SeqCst);\n        unsafe { core::hint::unreachable_unchecked() }\n    }\n}\n";
+        assert!(lints(COLD, src).is_empty(), "{:?}", lint_source(COLD, src));
     }
 
     #[test]
     fn suppression_with_reason_is_honoured_per_line() {
-        let same_line =
-            "fn cold_init() {\n    let t = Vec::new(); // lint: allow(hot-alloc): one-time construction\n}\n";
-        assert!(lints(HOT, same_line).is_empty());
-        let line_above = "fn cold_init() {\n    // lint: allow(hot-alloc): one-time construction\n    let t = Vec::new();\n}\n";
-        assert!(lints(HOT, line_above).is_empty());
+        let same_line = "fn f(a: &AtomicU64) {\n    a.store(1, Ordering::SeqCst); // lint: allow(ordering-justification): module-level note covers it\n}\n";
+        assert!(lints(COLD, same_line).is_empty());
+        let line_above = "fn f(a: &AtomicU64) {\n    // lint: allow(ordering-justification): module-level note covers it\n    a.store(1, Ordering::SeqCst);\n}\n";
+        assert!(lints(COLD, line_above).is_empty());
         // Suppressing one lint does not blanket the line for others.
-        let wrong_name =
-            "fn cold_init() {\n    let t = Vec::new(); // lint: allow(hot-panic): wrong lint\n}\n";
-        assert_eq!(lints(HOT, wrong_name), vec!["hot-alloc"]);
+        let wrong_name = "fn f(a: &AtomicU64) {\n    a.store(1, Ordering::SeqCst); // lint: allow(safety-comment): wrong lint\n}\n";
+        assert_eq!(lints(COLD, wrong_name), vec!["ordering-justification"]);
     }
 
     #[test]
@@ -506,8 +419,8 @@ mod tests {
 
     #[test]
     fn string_literals_cannot_fool_the_linter() {
-        let src = "fn f() {\n    let s = \"Vec::new() unsafe { SeqCst\";\n}\n";
-        assert!(lints(HOT, src).is_empty());
+        let src = "fn f() {\n    let s = \"unsafe { SeqCst\";\n}\n";
+        assert!(lints(COLD, src).is_empty());
     }
 
     #[test]

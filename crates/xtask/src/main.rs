@@ -1,6 +1,11 @@
-//! Repo automation. Currently one subcommand:
+//! Repo automation. Two subcommands:
 //!
-//! * `cargo xtask lint` — hot-path invariant linter (see [`lint`]).
+//! * `cargo xtask lint` — annotation invariant linter (see [`lint`]).
+//! * `cargo xtask analyze [--quick]` — whole-workspace call-graph
+//!   analyzer: transitive hot-path purity, lock-order/blocking audit,
+//!   and the static Eq. 3 schedulability gate (see `rtopex-analyze`).
+//!   Without `--quick`, the schedulability report is written to
+//!   `target/analyze/schedulability.json` for the CI artifact.
 
 mod lint;
 
@@ -16,13 +21,46 @@ fn main() {
         .expect("workspace root");
     match args.first().map(String::as_str) {
         Some("lint") => std::process::exit(lint::run(root)),
+        Some("analyze") => {
+            let quick = args.iter().any(|a| a == "--quick");
+            std::process::exit(analyze(root, quick));
+        }
         Some(other) => {
-            eprintln!("unknown xtask `{other}`; available: lint");
+            eprintln!("unknown xtask `{other}`; available: lint, analyze");
             std::process::exit(2);
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint | analyze [--quick]>");
             std::process::exit(2);
         }
+    }
+}
+
+/// Runs the three analyzer passes, prints findings, and (unless `quick`)
+/// writes the schedulability report artifact. Returns the exit code.
+fn analyze(root: &Path, quick: bool) -> i32 {
+    let analysis = rtopex_analyze::analyze_workspace(root, quick);
+    if !quick {
+        let dir = root.join("target/analyze");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("xtask analyze: cannot create {}: {e}", dir.display());
+            return 2;
+        }
+        let path = dir.join("schedulability.json");
+        if let Err(e) = std::fs::write(&path, &analysis.sched_report) {
+            eprintln!("xtask analyze: cannot write {}: {e}", path.display());
+            return 2;
+        }
+        eprintln!("xtask analyze: schedulability report -> {}", path.display());
+    }
+    for v in &analysis.violations {
+        eprintln!("{v}");
+    }
+    if analysis.violations.is_empty() {
+        eprintln!("xtask analyze: clean");
+        0
+    } else {
+        eprintln!("xtask analyze: {} violation(s)", analysis.violations.len());
+        1
     }
 }
