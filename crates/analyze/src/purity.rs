@@ -168,6 +168,16 @@ pub const SEEDS: &[Seed] = &[
         deny: class::ALLOC | class::PANIC,
         why: "subtask publication into preallocated slot arenas",
     },
+    // — Simulator per-event hot loop: the engines promise an
+    //   allocation-free, lock-free, clock-free steady state (the wheel
+    //   speedup and the fleet determinism both depend on it); panics are
+    //   allowed — the engines assert invariants with expect/unreachable. —
+    Seed {
+        type_qual: None,
+        name: "on_event",
+        deny: class::ALLOC | class::LOCK | class::CLOCK,
+        why: "discrete-event hot loop; tests/alloc_regression.rs proves 0 steady-state allocs per subframe",
+    },
     // — Run loops and the migration-overhead probes: must not panic.
     //   (fanout_mutex's boxed envelope is the measured mailbox baseline
     //   cost, so allocation is not denied there.) —

@@ -22,6 +22,12 @@
 //!   experiment uses) and fails if the recomputed table drifts from the
 //!   recorded one or if the paper's ordering steal ≥ mutex ≥ global no
 //!   longer holds.
+//! * **fleet-level pooling gate** (`BENCH_sim.json`) — re-fits the
+//!   pooling curve `cells/core = a + b/H` from the recorded per-mode
+//!   sweep arrays and flags any shipped fleet deployment whose
+//!   `cells_per_host` exceeds the fitted capacity at its fleet size,
+//!   plus the engine-throughput floor (wheel ≥ [`MIN_ENGINE_SPEEDUP`]×
+//!   the seed heap engine) and the wheel/heap bit-identity witness.
 //!
 //! The PHY structure (FFT sizes, PRB/TBS tables, turbo segmentation)
 //! and the shipped configs are *mirrored* here rather than imported, so
@@ -518,6 +524,367 @@ pub fn cells_sustained(miss: &[f64], threshold: f64) -> usize {
 }
 
 // ---------------------------------------------------------------------
+// Mirrored fleet deployments + pooling-curve fit
+// (cross-checked by tests/mirror_check.rs).
+// ---------------------------------------------------------------------
+
+/// Minimum wheel-vs-heap speedup the tracked full-scale engine run must
+/// keep — the PR's headline throughput claim, enforced as a gate so a
+/// regression in the wheel/streaming hot loop cannot land silently. The
+/// gated number is `engine.engine_speedup`: the partitioned-scheduler
+/// measurement, which isolates the event-queue + workload-generation
+/// change (the rtopex/global rows are diluted by scheduler logic both
+/// engines share and are recorded, not gated).
+pub const MIN_ENGINE_SPEEDUP: f64 = 10.0;
+
+/// Mirrored `rtopex_experiments::pooling::CORE_BUDGET`.
+pub const FLEET_CORE_BUDGET: usize = 8;
+
+/// Mirrored `rtopex_experiments::pooling::MISS_BUDGET`.
+pub const FLEET_MISS_BUDGET: f64 = 5e-3;
+
+/// A mirrored `rtopex_experiments::pooling::FleetDeployment`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetMirror {
+    pub name: &'static str,
+    pub hosts: usize,
+    /// Pooling-sweep mode name (a `pooling.modes` key in `BENCH_sim.json`).
+    pub mode: &'static str,
+    pub cells_per_host: usize,
+}
+
+/// Mirrored `rtopex_experiments::pooling::SHIPPED_FLEET_CONFIGS`.
+pub fn shipped_fleet_configs() -> Vec<FleetMirror> {
+    vec![
+        FleetMirror {
+            name: "edge-4",
+            hosts: 4,
+            mode: "rtopex-steal",
+            cells_per_host: 4,
+        },
+        FleetMirror {
+            name: "metro-16",
+            hosts: 16,
+            mode: "rtopex-steal",
+            cells_per_host: 4,
+        },
+        FleetMirror {
+            name: "region-64",
+            hosts: 64,
+            mode: "partitioned",
+            cells_per_host: 4,
+        },
+    ]
+}
+
+/// Mirrored `rtopex_experiments::pooling::fit_inverse`: least-squares
+/// fit of `y = a + b/H` in `x = 1/H`, returning `(a, b)`.
+pub fn fit_inverse(hosts: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(hosts.len(), y.len(), "fit needs one y per fleet size");
+    assert!(!hosts.is_empty(), "fit needs at least one point");
+    let n = hosts.len() as f64;
+    let xs: Vec<f64> = hosts.iter().map(|&h| 1.0 / h).collect();
+    let xbar = xs.iter().sum::<f64>() / n;
+    let ybar = y.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - xbar) * (x - xbar)).sum();
+    if sxx == 0.0 {
+        return (ybar, 0.0);
+    }
+    let sxy: f64 = xs
+        .iter()
+        .zip(y)
+        .map(|(x, yv)| (x - xbar) * (yv - ybar))
+        .sum();
+    let b = sxy / sxx;
+    (ybar - b * xbar, b)
+}
+
+/// Predicted whole-cell capacity of one [`FLEET_CORE_BUDGET`]-core host
+/// in a fleet of `hosts` hosts, from a fitted `(a, b)` curve.
+pub fn fleet_capacity(fit: (f64, f64), hosts: usize) -> usize {
+    ((fit.0 + fit.1 / hosts as f64) * FLEET_CORE_BUDGET as f64).floor() as usize
+}
+
+/// One scheduler's wheel-vs-heap row from `engine.wheel_vs_heap`.
+#[derive(Debug, Clone)]
+pub struct EngineRow {
+    pub name: String,
+    pub speedup: f64,
+    /// Whether the two engines produced bit-identical reports.
+    pub reports_match: bool,
+}
+
+/// One mode's recorded pooling curve from `pooling.modes`.
+#[derive(Debug, Clone)]
+pub struct FleetCurve {
+    pub name: String,
+    pub hosts: Vec<f64>,
+    pub cells_per_core: Vec<f64>,
+    /// Fit parameters as recorded by the bench (re-fitted during audit).
+    pub fit_a: f64,
+    pub fit_b: f64,
+}
+
+/// Simulator-throughput and pooling inputs parsed from `BENCH_sim.json`.
+#[derive(Debug, Clone)]
+pub struct SimBench {
+    /// Whether the file was generated with `--quick` (CI schema runs —
+    /// never a legitimate tracked baseline).
+    pub quick: bool,
+    pub engine_speedup: f64,
+    pub engines: Vec<EngineRow>,
+    pub core_budget: usize,
+    pub miss_budget: f64,
+    pub modes: Vec<FleetCurve>,
+}
+
+/// Parses `BENCH_sim.json`.
+pub fn parse_sim(src: &str) -> Result<SimBench, String> {
+    let j = Json::parse(src)?;
+    let quick = j
+        .get("quick")
+        .and_then(Json::as_bool)
+        .ok_or("missing `quick`")?;
+    let engine = j.get("engine").ok_or("missing `engine`")?;
+    let engine_speedup = engine
+        .get("engine_speedup")
+        .and_then(Json::as_f64)
+        .ok_or("missing engine.engine_speedup")?;
+    let mut engines = Vec::new();
+    for (key, val) in engine
+        .get("wheel_vs_heap")
+        .ok_or("missing engine.wheel_vs_heap")?
+        .fields()
+    {
+        engines.push(EngineRow {
+            name: key.clone(),
+            speedup: val
+                .get("speedup")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing speedup for engine `{key}`"))?,
+            reports_match: val
+                .get("reports_match")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("missing reports_match for engine `{key}`"))?,
+        });
+    }
+    if engines.is_empty() {
+        return Err("engine.wheel_vs_heap has no entries".into());
+    }
+    let pooling = j.get("pooling").ok_or("missing `pooling`")?;
+    let num = |key: &str| -> Result<f64, String> {
+        pooling
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing pooling.{key}"))
+    };
+    let arr = |val: &Json, key: &str, of: &str| -> Result<Vec<f64>, String> {
+        val.get(key)
+            .and_then(Json::as_arr)
+            .map(|a| a.iter().filter_map(Json::as_f64).collect())
+            .ok_or_else(|| format!("missing {key} array for mode `{of}`"))
+    };
+    let mut modes = Vec::new();
+    for (key, val) in pooling
+        .get("modes")
+        .ok_or("missing pooling.modes")?
+        .fields()
+    {
+        let hosts = arr(val, "hosts", key)?;
+        let cells_per_core = arr(val, "cells_per_core", key)?;
+        if hosts.is_empty() || hosts.len() != cells_per_core.len() {
+            return Err(format!(
+                "mode `{key}`: hosts/cells_per_core length mismatch"
+            ));
+        }
+        modes.push(FleetCurve {
+            name: key.clone(),
+            hosts,
+            cells_per_core,
+            fit_a: val
+                .get("fit_a")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing fit_a for mode `{key}`"))?,
+            fit_b: val
+                .get("fit_b")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing fit_b for mode `{key}`"))?,
+        });
+    }
+    if modes.is_empty() {
+        return Err("pooling.modes has no entries".into());
+    }
+    Ok(SimBench {
+        quick,
+        engine_speedup,
+        engines,
+        core_budget: num("core_budget")? as usize,
+        miss_budget: num("miss_budget")?,
+        modes,
+    })
+}
+
+/// Audits the tracked simulator baseline against the mirrored fleet
+/// deployments: engine-throughput floor, wheel/heap bit-identity, fit
+/// drift, and the fleet-level capacity gate.
+pub fn audit_sim(sim_src: &str, fleet: &[FleetMirror]) -> Audit {
+    let mut v = Vec::new();
+    let sim = match parse_sim(sim_src) {
+        Ok(s) => s,
+        Err(e) => {
+            v.push(parse_violation("BENCH_sim.json", e));
+            return Audit {
+                violations: v,
+                report: "{}".into(),
+            };
+        }
+    };
+    let file = || "BENCH_sim.json".to_string();
+
+    if sim.quick {
+        v.push(Violation {
+            file: file(),
+            line: 0,
+            pass: "sched",
+            class: "quick-baseline",
+            msg: "tracked BENCH_sim.json was generated with --quick; regenerate it full-scale with `rtopex-bench --sim`".into(),
+        });
+    }
+    if sim.core_budget != FLEET_CORE_BUDGET || (sim.miss_budget - FLEET_MISS_BUDGET).abs() > 1e-12 {
+        v.push(Violation {
+            file: file(),
+            line: 0,
+            pass: "sched",
+            class: "fleet-drift",
+            msg: format!(
+                "pooling budgets in the tracked file (C = {}, miss = {}) disagree with the shipped experiment (C = {FLEET_CORE_BUDGET}, miss = {FLEET_MISS_BUDGET}) — re-run `rtopex-bench --sim`",
+                sim.core_budget, sim.miss_budget
+            ),
+        });
+    }
+
+    let mut report = String::from("{\n");
+    let _ = writeln!(report, "  \"engine_speedup\": {:.3},", sim.engine_speedup);
+    let _ = writeln!(report, "  \"engines\": {{");
+    for (i, e) in sim.engines.iter().enumerate() {
+        let comma = if i + 1 < sim.engines.len() { "," } else { "" };
+        let _ = writeln!(
+            report,
+            "    \"{}\": {{\"speedup\": {:.3}, \"reports_match\": {}}}{comma}",
+            e.name, e.speedup, e.reports_match
+        );
+        if !e.reports_match {
+            v.push(Violation {
+                file: file(),
+                line: 0,
+                pass: "sched",
+                class: "wheel-heap-divergence",
+                msg: format!(
+                    "engine `{}`: the wheel/streaming engine and the seed heap baseline produced different reports — the recorded speedup was bought with a behavior change",
+                    e.name
+                ),
+            });
+        }
+    }
+    let _ = writeln!(report, "  }},");
+    if sim.engine_speedup < MIN_ENGINE_SPEEDUP {
+        v.push(Violation {
+            file: file(),
+            line: 0,
+            pass: "sched",
+            class: "sim-throughput-regression",
+            msg: format!(
+                "minimum wheel-vs-heap speedup {:.1}x is below the {MIN_ENGINE_SPEEDUP:.0}x floor — the discrete-event hot loop regressed (or the baseline got faster); profile before re-recording",
+                sim.engine_speedup
+            ),
+        });
+    }
+
+    // Re-fit every recorded curve; the recorded parameters must agree
+    // (the recorded arrays are the ground truth — a doctored fit cannot
+    // widen capacity without also doctoring the sweep points).
+    let mut fits: Vec<(&str, (f64, f64))> = Vec::new();
+    let _ = writeln!(report, "  \"fit\": {{");
+    for (i, c) in sim.modes.iter().enumerate() {
+        let fit = fit_inverse(&c.hosts, &c.cells_per_core);
+        let comma = if i + 1 < sim.modes.len() { "," } else { "" };
+        let _ = writeln!(
+            report,
+            "    \"{}\": {{\"a\": {:.3}, \"b\": {:.3}}}{comma}",
+            c.name, fit.0, fit.1
+        );
+        if (fit.0 - c.fit_a).abs() > 0.01 || (fit.1 - c.fit_b).abs() > 0.01 {
+            v.push(Violation {
+                file: file(),
+                line: 0,
+                pass: "sched",
+                class: "fleet-drift",
+                msg: format!(
+                    "mode `{}`: pooling fit re-computed from the sweep arrays is a = {:.3}, b = {:.3}, but the tracked file records a = {:.3}, b = {:.3} — re-run `rtopex-bench --sim` or fix the file",
+                    c.name, fit.0, fit.1, c.fit_a, c.fit_b
+                ),
+            });
+        }
+        fits.push((c.name.as_str(), fit));
+    }
+    let _ = writeln!(report, "  }},");
+
+    // The gate: every shipped fleet deployment must fit under the
+    // re-fitted curve at its fleet size.
+    let _ = writeln!(report, "  \"deployments\": [");
+    for (i, d) in fleet.iter().enumerate() {
+        let comma = if i + 1 < fleet.len() { "," } else { "" };
+        match fits.iter().find(|(name, _)| *name == d.mode) {
+            Some(&(_, fit)) => {
+                let cap = fleet_capacity(fit, d.hosts);
+                let ok = d.cells_per_host <= cap;
+                let _ = writeln!(
+                    report,
+                    "    {{\"name\": \"{}\", \"hosts\": {}, \"mode\": \"{}\", \"cells_per_host\": {}, \"fitted_capacity\": {cap}, \"ok\": {ok}}}{comma}",
+                    d.name, d.hosts, d.mode, d.cells_per_host
+                );
+                if !ok {
+                    v.push(Violation {
+                        file: file(),
+                        line: 0,
+                        pass: "sched",
+                        class: "fleet-unschedulable",
+                        msg: format!(
+                            "fleet deployment `{}` ({} hosts × {} cells, {}) exceeds the fitted pooling capacity of {cap} cells/host at H = {} — shrink the deployment or re-measure",
+                            d.name, d.hosts, d.cells_per_host, d.mode, d.hosts
+                        ),
+                    });
+                }
+            }
+            None => {
+                let _ = writeln!(
+                    report,
+                    "    {{\"name\": \"{}\", \"mode\": \"{}\", \"ok\": false}}{comma}",
+                    d.name, d.mode
+                );
+                v.push(Violation {
+                    file: file(),
+                    line: 0,
+                    pass: "sched",
+                    class: "fleet-unschedulable",
+                    msg: format!(
+                        "fleet deployment `{}` references mode `{}`, which the tracked pooling sweep never measured",
+                        d.name, d.mode
+                    ),
+                });
+            }
+        }
+    }
+    let _ = writeln!(report, "  ]");
+    report.push_str("}\n");
+
+    Audit {
+        violations: v,
+        report,
+    }
+}
+
+// ---------------------------------------------------------------------
 // The audit.
 // ---------------------------------------------------------------------
 
@@ -528,30 +895,42 @@ pub struct Audit {
     pub report: String,
 }
 
-/// Audits the workspace: tracked baselines + shipped configs.
+/// Audits the workspace: tracked baselines + shipped configs. The
+/// report composes the Eq. 3 (node-level) audit and the fleet-level
+/// pooling audit as `{"eq3": …, "fleet": …}`.
 pub fn audit_workspace(root: &Path) -> Audit {
     let kernels = fs::read_to_string(root.join("BENCH_kernels.json"))
         .map_err(|e| format!("BENCH_kernels.json: {e}"));
     let node = fs::read_to_string(root.join("BENCH_node.json"))
         .map_err(|e| format!("BENCH_node.json: {e}"));
-    match (kernels, node) {
+    let mut eq3 = match (kernels, node) {
         (Ok(k), Ok(n)) => audit(&k, &n, &shipped_configs()),
         (k, n) => {
             let mut violations = Vec::new();
             for err in [k.err(), n.err()].into_iter().flatten() {
-                violations.push(Violation {
-                    file: String::new(),
-                    line: 0,
-                    pass: "sched",
-                    class: "bench-parse",
-                    msg: err,
-                });
+                violations.push(parse_violation("", err));
             }
             Audit {
                 violations,
                 report: "{}".into(),
             }
         }
+    };
+    let fleet = match fs::read_to_string(root.join("BENCH_sim.json")) {
+        Ok(s) => audit_sim(&s, &shipped_fleet_configs()),
+        Err(e) => Audit {
+            violations: vec![parse_violation("", format!("BENCH_sim.json: {e}"))],
+            report: "{}".into(),
+        },
+    };
+    eq3.violations.extend(fleet.violations);
+    Audit {
+        violations: eq3.violations,
+        report: format!(
+            "{{\n\"eq3\": {},\n\"fleet\": {}}}\n",
+            eq3.report.trim_end(),
+            fleet.report
+        ),
     }
 }
 
@@ -870,5 +1249,150 @@ mod tests {
     fn report_is_valid_json() {
         let a = audit(KERNELS, NODE, &shipped_configs());
         crate::json::Json::parse(&a.report).expect("report must parse");
+    }
+
+    const SIM: &str = include_str!("../../../BENCH_sim.json");
+
+    /// A synthetic `BENCH_sim.json` with flat pooling curves: the
+    /// partitioned asymptote is held at 0.5 cells/core while the
+    /// rtopex-steal one and the engine speedup are the knobs.
+    fn sim_doc(engine_speedup: f64, reports_match: bool, steal_a: f64) -> String {
+        let hosts = "[1, 2, 4, 8, 16, 32, 64]";
+        let flat = |a: f64| {
+            let v: Vec<String> = (0..7).map(|_| format!("{a:.3}")).collect();
+            format!("[{}]", v.join(", "))
+        };
+        format!(
+            r#"{{
+  "schema": 1, "quick": false,
+  "engine": {{
+    "wheel_vs_heap": {{
+      "partitioned": {{ "speedup": {engine_speedup:.3}, "reports_match": {reports_match} }}
+    }},
+    "engine_speedup": {engine_speedup:.3}
+  }},
+  "pooling": {{
+    "core_budget": 8, "miss_budget": 0.005,
+    "modes": {{
+      "partitioned": {{ "hosts": {hosts}, "cells_per_core": {part}, "fit_a": 0.500, "fit_b": 0.000 }},
+      "rtopex-steal": {{ "hosts": {hosts}, "cells_per_core": {steal}, "fit_a": {steal_a:.3}, "fit_b": 0.000 }}
+    }}
+  }}
+}}"#,
+            part = flat(0.5),
+            steal = flat(steal_a),
+        )
+    }
+
+    #[test]
+    fn tracked_sim_baseline_passes_the_fleet_gate() {
+        let a = audit_sim(SIM, &shipped_fleet_configs());
+        assert!(a.violations.is_empty(), "{:#?}", a.violations);
+        assert!(a.report.contains("deployments"));
+    }
+
+    #[test]
+    fn sim_report_is_valid_json() {
+        let a = audit_sim(SIM, &shipped_fleet_configs());
+        crate::json::Json::parse(&a.report).expect("fleet report must parse");
+    }
+
+    #[test]
+    fn refit_reproduces_the_recorded_fit() {
+        let sim = parse_sim(SIM).unwrap();
+        for c in &sim.modes {
+            let (a, b) = fit_inverse(&c.hosts, &c.cells_per_core);
+            assert!(
+                (a - c.fit_a).abs() <= 0.01 && (b - c.fit_b).abs() <= 0.01,
+                "{}: refit ({a:.3}, {b:.3}) vs recorded ({:.3}, {:.3})",
+                c.name,
+                c.fit_a,
+                c.fit_b
+            );
+        }
+    }
+
+    #[test]
+    fn overcommitted_fleet_deployment_is_caught() {
+        // A steal asymptote of 0.25 cells/core caps an 8-core host at 2
+        // cells; edge-4 and metro-16 ship 4.
+        let a = audit_sim(&sim_doc(20.0, true, 0.25), &shipped_fleet_configs());
+        let fleet: Vec<_> = a
+            .violations
+            .iter()
+            .filter(|v| v.class == "fleet-unschedulable")
+            .collect();
+        assert_eq!(fleet.len(), 2, "{:#?}", a.violations);
+        assert!(fleet.iter().any(|v| v.msg.contains("edge-4")));
+        assert!(fleet.iter().any(|v| v.msg.contains("metro-16")));
+    }
+
+    #[test]
+    fn engine_throughput_regression_is_caught() {
+        let a = audit_sim(&sim_doc(3.0, true, 1.0), &shipped_fleet_configs());
+        assert!(
+            a.violations
+                .iter()
+                .any(|v| v.class == "sim-throughput-regression"),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn wheel_heap_divergence_is_caught() {
+        let a = audit_sim(&sim_doc(20.0, false, 1.0), &shipped_fleet_configs());
+        assert!(
+            a.violations
+                .iter()
+                .any(|v| v.class == "wheel-heap-divergence"),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn doctored_fit_is_caught_by_the_refit() {
+        // Widen the recorded asymptote without touching the sweep
+        // arrays: the re-fit disagrees and the audit flags the drift.
+        let doc = sim_doc(20.0, true, 0.25)
+            .replace(&format!("\"fit_a\": {:.3}", 0.25), "\"fit_a\": 1.000");
+        let a = audit_sim(&doc, &shipped_fleet_configs());
+        assert!(
+            a.violations.iter().any(|v| v.class == "fleet-drift"),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn quick_baseline_is_rejected() {
+        let doc = sim_doc(20.0, true, 1.0).replace("\"quick\": false", "\"quick\": true");
+        let a = audit_sim(&doc, &shipped_fleet_configs());
+        assert!(
+            a.violations.iter().any(|v| v.class == "quick-baseline"),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn missing_mode_curve_is_caught() {
+        let a = audit_sim(
+            &sim_doc(20.0, true, 1.0),
+            &[FleetMirror {
+                name: "phantom",
+                hosts: 4,
+                mode: "never-swept",
+                cells_per_host: 1,
+            }],
+        );
+        assert!(
+            a.violations
+                .iter()
+                .any(|v| v.class == "fleet-unschedulable" && v.msg.contains("never measured")),
+            "{:#?}",
+            a.violations
+        );
     }
 }

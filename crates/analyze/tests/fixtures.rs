@@ -59,8 +59,32 @@ fn guard_held_lock_fixture_is_caught() {
     );
 }
 
+#[test]
+fn sim_hot_alloc_fixture_is_caught() {
+    // The shipped `on_event` seed mask: alloc/lock/clock denied, panics
+    // allowed. The fixture's engine asserts (legal) and then buffers
+    // per-event state on the heap (illegal) one call down.
+    let ws = fixture_ws("sim_hot_alloc");
+    let seeds = [Seed {
+        type_qual: None,
+        name: "on_event",
+        deny: class::ALLOC | class::LOCK | class::CLOCK,
+        why: "fixture seed",
+    }];
+    let v = purity::run_with_seeds(&ws, &seeds);
+    let hit = v
+        .iter()
+        .find(|v| v.class == "alloc")
+        .unwrap_or_else(|| panic!("no alloc finding: {v:#?}"));
+    assert!(hit.file.ends_with("sim_hot_alloc/src/lib.rs"), "{hit}");
+    assert!(hit.msg.contains("buffer_event"), "{hit}");
+    // The assert! inside on_event stays legal under this mask.
+    assert!(!v.iter().any(|v| v.class == "panic"), "{v:#?}");
+}
+
 const FIXTURE_KERNELS: &str = include_str!("fixtures/unsched/BENCH_kernels.json");
 const FIXTURE_NODE: &str = include_str!("fixtures/unsched/BENCH_node.json");
+const FIXTURE_SIM: &str = include_str!("fixtures/unsched/BENCH_sim.json");
 const REAL_KERNELS: &str = include_str!("../../../BENCH_kernels.json");
 const REAL_NODE: &str = include_str!("../../../BENCH_node.json");
 
@@ -95,6 +119,39 @@ fn capacity_order_fixture_is_caught() {
     );
 }
 
+#[test]
+fn fleet_gate_fixture_is_caught() {
+    // Doctored sim baseline: the rtopex-steal pooling curve collapsed
+    // to 0.25 cells/core (2 cells per 8-core host) and the engine
+    // speedup dropped to 3.1x. The gate must flag both shipped steal
+    // deployments and the throughput floor — and nothing else (the
+    // fixture keeps every fit consistent with its sweep arrays, so no
+    // drift noise appears).
+    let a = sched::audit_sim(FIXTURE_SIM, &sched::shipped_fleet_configs());
+    let fleet: Vec<_> = a
+        .violations
+        .iter()
+        .filter(|v| v.class == "fleet-unschedulable")
+        .collect();
+    assert_eq!(fleet.len(), 2, "{:#?}", a.violations);
+    assert!(fleet.iter().any(|v| v.msg.contains("edge-4")));
+    assert!(fleet.iter().any(|v| v.msg.contains("metro-16")));
+    assert!(
+        a.violations
+            .iter()
+            .any(|v| v.class == "sim-throughput-regression"),
+        "{:#?}",
+        a.violations
+    );
+    assert!(
+        !a.violations
+            .iter()
+            .any(|v| v.class == "fleet-drift" || v.class == "wheel-heap-divergence"),
+        "{:#?}",
+        a.violations
+    );
+}
+
 /// The regression that keeps every suppression honest: the shipped
 /// workspace must analyze clean, exactly as the CI gate runs it.
 #[test]
@@ -117,4 +174,8 @@ fn workspace_analyzes_clean() {
             .join("\n")
     );
     assert!(analysis.sched_report.contains("capacity_ordering"));
+    // The composed report carries both halves: the node-level Eq. 3
+    // audit and the fleet-level pooling gate.
+    assert!(analysis.sched_report.contains("\"eq3\""));
+    assert!(analysis.sched_report.contains("deployments"));
 }

@@ -1,0 +1,27 @@
+//! Fixture: a simulator-style `on_event` hot loop reaching a heap
+//! allocation one call down.
+//!
+//! Never compiled — `tests/fixtures.rs` feeds this file to the analyzer
+//! with the same `on_event` seed mask the shipped seed table uses
+//! (deny alloc/lock/clock, panics allowed) and asserts the
+//! `purity/alloc` finding, proving the simulator hot-loop seed is not
+//! vacuous: an engine that started buffering per-event state on the
+//! heap would be caught.
+
+pub struct Engine {
+    pending: usize,
+}
+
+impl Engine {
+    fn on_event(&mut self, t: u64) {
+        // A panic is within the seed's contract…
+        assert!(t > 0);
+        self.buffer_event(t);
+    }
+
+    fn buffer_event(&mut self, t: u64) {
+        // …but this per-event allocation is not.
+        let staged = vec![t; 4];
+        self.pending += staged.len();
+    }
+}

@@ -27,6 +27,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 mod node;
+mod sim;
 
 /// Measured mean for one kernel.
 struct Entry {
@@ -210,6 +211,16 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "BENCH_node.json".to_string());
         node::run(quick, &path);
+        return;
+    }
+    if args.iter().any(|a| a == "--sim") {
+        let quick = args.iter().any(|a| a == "--quick");
+        let path = args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_sim.json".to_string());
+        sim::run_bench(quick, &path);
         return;
     }
     let path = args

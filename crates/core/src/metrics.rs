@@ -46,6 +46,12 @@ impl DeadlineMetrics {
         self.overall().total()
     }
 
+    /// Raw per-basestation counters (the determinism tests compare these
+    /// bit for bit across shard counts).
+    pub fn per_bs(&self) -> &[MissRate] {
+        &self.per_bs
+    }
+
     /// Merges another accumulator with the same basestation count
     /// (per-worker metrics merged at the end of a run).
     ///
@@ -104,6 +110,12 @@ impl GapTracker {
     /// Access to the raw samples (µs) for CDF plots.
     pub fn samples(&mut self) -> &mut Samples {
         &mut self.gaps_us
+    }
+
+    /// Appends another tracker's gaps (per-shard trackers merged in a
+    /// fixed host order at the end of a fleet run).
+    pub fn merge(&mut self, other: &GapTracker) {
+        self.gaps_us.merge(&other.gaps_us);
     }
 }
 

@@ -78,12 +78,45 @@ pub fn plan_migration(
     delta: Nanos,
     free: &[(usize, Nanos)],
 ) -> MigrationPlan {
+    let mut assignments = Vec::new();
+    let stats = plan_migration_into(p_subtasks, tp, delta, free, &mut assignments);
+    MigrationPlan {
+        assignments,
+        local: stats.local,
+        max_off: stats.max_off,
+    }
+}
+
+/// The scalar outcome of [`plan_migration_into`]; the batch assignments
+/// land in the caller's buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Subtasks kept on the owning core.
+    pub local: usize,
+    /// Largest batch assigned to any single core (`maxoff`).
+    pub max_off: usize,
+}
+
+/// Allocation-free Algorithm 1: identical decisions to
+/// [`plan_migration`], but `(core, count)` assignments are written into
+/// `assignments` (cleared first, capacity reused) so the simulator's
+/// per-event hot loop never touches the heap once the buffer is warm.
+pub fn plan_migration_into(
+    p_subtasks: usize,
+    tp: Nanos,
+    delta: Nanos,
+    free: &[(usize, Nanos)],
+    assignments: &mut Vec<(usize, usize)>,
+) -> PlanStats {
+    assignments.clear();
     let mut s = p_subtasks; // S: subtasks not yet migrated
     let mut max_off = 0usize;
-    let mut assignments = Vec::new();
     if tp == Nanos::ZERO {
         // Degenerate profile: nothing worth migrating.
-        return MigrationPlan::none(p_subtasks);
+        return PlanStats {
+            local: p_subtasks,
+            max_off: 0,
+        };
     }
     // The §3.2.1 caveat ("performance must be equal to or strictly better
     // than the case without migration"): a helper's batch, migration cost
@@ -110,11 +143,7 @@ pub fn plan_migration(
         assignments.push((core, n_off));
         s -= n_off;
     }
-    MigrationPlan {
-        assignments,
-        local: s,
-        max_off,
-    }
+    PlanStats { local: s, max_off }
 }
 
 #[cfg(test)]

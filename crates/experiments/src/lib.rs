@@ -33,6 +33,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod pooling;
 pub mod table1;
 pub mod table2;
 

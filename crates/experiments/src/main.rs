@@ -26,6 +26,7 @@ EXPERIMENTS:
   fig18     local vs migrated subtask times       (Fig. 18)
   fig19     global scheduler vs core count        (Fig. 19)
   cluster   cells sustained per host, real threads (Figs. 17/18 consolidation)
+  pooling   cells/core vs fleet size, 1-64 hosts   (§1/§6 consolidation)
   table2    qualitative comparison matrix         (Table 2)
   discussion §5 claims: spare cores, core failure, load surges
   ablations delta / policy / recovery / cache ablations
@@ -61,6 +62,7 @@ fn main() {
         "fig18" => fig18::run(&opts),
         "fig19" => fig19::run(&opts),
         "cluster" => cluster_scale::run(&opts),
+        "pooling" => pooling::run(&opts),
         "table2" => table2::run(&opts),
         "discussion" => discussion::run(&opts),
         "ablations" => ablations::run(&opts),
@@ -84,6 +86,7 @@ fn main() {
             fig18::run(&opts);
             fig19::run(&opts);
             cluster_scale::run(&opts);
+            pooling::run(&opts);
             table2::run(&opts);
             discussion::run(&opts);
             ablations::run(&opts);

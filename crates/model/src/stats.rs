@@ -48,6 +48,13 @@ impl Samples {
         self.data.is_empty()
     }
 
+    /// The raw samples — insertion order until a quantile query sorts
+    /// them in place. The determinism tests compare these element for
+    /// element before any query has run.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Arithmetic mean (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.data.is_empty() {
@@ -124,7 +131,7 @@ impl Samples {
 }
 
 /// A fixed-bin histogram over `[lo, hi)`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -187,10 +194,31 @@ impl Histogram {
     pub fn out_of_range(&self) -> (u64, u64) {
         (self.underflow, self.overflow)
     }
+
+    /// Merges another histogram of the *same shape* (per-shard
+    /// accumulators summed at the end of a fleet run). Bin-wise addition
+    /// is associative and commutative, so any merge order gives the same
+    /// result — the property the sharded simulator's determinism test
+    /// relies on.
+    ///
+    /// # Panics
+    /// Panics on a range or bin-count mismatch.
+    pub fn merge(&mut self, other: &Histogram) {
+        // analyze: allow(panic): merging differently-shaped histograms silently would corrupt fleet metrics — abort loudly
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "merging histograms of different shape"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
 }
 
 /// Counts deadline outcomes and reports the miss rate.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MissRate {
     /// Subframes that met their deadline.
     pub met: u64,
@@ -290,6 +318,28 @@ mod tests {
         assert_eq!(h.count(), 12);
         assert!(h.bins().iter().all(|&c| c == 1));
         assert_eq!(h.out_of_range(), (1, 1));
+    }
+
+    #[test]
+    fn histogram_merge_is_binwise() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.record(1.0);
+        b.record(1.0);
+        b.record(9.0);
+        b.record(-1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.bins()[0], 2);
+        assert_eq!(a.bins()[4], 1);
+        assert_eq!(a.out_of_range(), (1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different shape")]
+    fn histogram_merge_shape_mismatch_panics() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        a.merge(&Histogram::new(0.0, 10.0, 6));
     }
 
     #[test]

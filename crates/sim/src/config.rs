@@ -138,6 +138,17 @@ pub struct SimConfig {
     /// extra idle gaps the §4.2 footnote says a realistic multi-user
     /// workload would give RT-OPEX.
     pub prb_util_range: Option<(f64, f64)>,
+    /// Override the partitioned schedule's cores-per-basestation
+    /// allocation (`None` = the Eq. 3 `⌈T_max⌉` default). The pooling
+    /// experiment uses this to hold a host's core budget fixed while the
+    /// aggregated cell count grows.
+    pub cores_per_bs: Option<usize>,
+    /// Record per-sample data (gap durations, per-subframe processing
+    /// times in `proc_times_us`). The paper figures need the raw
+    /// samples; fleet-scale pooling sweeps turn this off so a run's
+    /// memory stays constant — counters and the processing-time
+    /// histogram are always kept.
+    pub record_samples: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -171,6 +182,8 @@ impl SimConfig {
             spare_cores: 0,
             failed_core: None,
             prb_util_range: None,
+            cores_per_bs: None,
+            record_samples: true,
             seed: s.seed,
         }
     }

@@ -20,14 +20,41 @@
 //!   noise); subtasks whose results are not ready when the owner finishes
 //!   its local share are recomputed locally — the recovery state (Fig. 12),
 //!   guaranteeing RT-OPEX is never worse than no migration.
+//!
+//! ## Engine mechanics (this crate's fleet-scale rework)
+//!
+//! The engine is generic over its [`Timeline`]: the production
+//! configuration is the hierarchical [`TimingWheel`]; the seed-equivalent
+//! `BinaryHeap` [`EventQueue`] stays available through
+//! [`PartitionedEngine::new_seed_baseline`] so the wheel-vs-heap
+//! benchmark and the equivalence tests compare the same engine over two
+//! event structures. Two modes exist:
+//!
+//! * **streaming** (default): one release event per basestation is in
+//!   flight at a time; handling `Release{bs, j}` draws subframe `j` from
+//!   the basestation's [`TaskStream`] and schedules `Release{bs, j+1}`.
+//!   Memory is O(cells + cores), independent of run length. Release
+//!   times are deterministic (`j·1 ms + RTT/2`) and same-time releases
+//!   chain in basestation order, so the event sequence is bit-identical
+//!   to materializing everything up front;
+//! * **seed baseline**: materializes the full schedule and pushes every
+//!   release at t = 0 — exactly the seed engine's O(total-subframes)
+//!   behavior, kept for honest benchmarking.
+//!
+//! The steady-state loop is allocation-free: the idle-core survey, the
+//! Algorithm 1 assignment list, and host reservations live in reusable
+//! scratch buffers, and per-sample recording (`Samples` growth) can be
+//! switched off via [`SimConfig::record_samples`] while the fixed-size
+//! processing-time histogram keeps recording.
 
 use crate::config::SimConfig;
-use crate::event::{EventKind, EventQueue};
-use crate::gen::generate_tasks;
+use crate::event::{EventKind, EventQueue, Timeline};
+use crate::gen::{generate_tasks, TaskStream};
 use crate::report::SimReport;
+use crate::wheel::TimingWheel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rtopex_core::migration::plan_migration;
+use rtopex_core::migration::plan_migration_into;
 use rtopex_core::partitioned::PartitionedSchedule;
 use rtopex_core::task::{StageProfile, SubframeTask};
 use rtopex_core::time::Nanos;
@@ -50,7 +77,10 @@ struct InFlight {
     start: Nanos,
 }
 
-/// A planned (not yet committed) parallelizable stage execution.
+/// A planned (not yet committed) parallelizable stage execution. The
+/// host-core reservations it implies live in the engine's reusable
+/// `host_updates` buffer, so the plan itself is a plain value.
+#[derive(Clone, Copy, Debug)]
 struct StagePlan {
     /// When the stage (including any recovery) completes.
     end: Nanos,
@@ -58,11 +88,9 @@ struct StagePlan {
     subtasks: usize,
     migrated: usize,
     recover: usize,
-    /// `(host core, busy-until)` reservations to apply on commit.
-    host_updates: Vec<(usize, Nanos)>,
 }
 
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 struct CoreSim {
     queue: VecDeque<SubframeTask>,
     current: Option<InFlight>,
@@ -74,61 +102,195 @@ struct CoreSim {
     last_end: Option<Nanos>,
 }
 
-/// The partitioned/RT-OPEX simulation engine.
-pub struct PartitionedEngine<'a> {
+impl CoreSim {
+    fn new() -> Self {
+        CoreSim {
+            // Prewarmed: backlog depth is small (a core clears its queue
+            // within a few subframe periods or starts dropping).
+            queue: VecDeque::with_capacity(16),
+            current: None,
+            host_busy_until: Nanos::ZERO,
+            no_host_until: Nanos::ZERO,
+            last_end: None,
+        }
+    }
+}
+
+/// The partitioned/RT-OPEX simulation engine, generic over its event
+/// timeline (`TimingWheel` in production, `EventQueue` for the seed
+/// baseline).
+pub struct PartitionedEngine<'a, Q: Timeline = TimingWheel> {
     cfg: &'a SimConfig,
     migrate: bool,
     delta: Nanos,
+    rtt: Nanos,
     schedule: PartitionedSchedule,
-    tasks: Vec<Vec<SubframeTask>>,
+    /// Streaming per-cell generators (empty in seed-baseline mode).
+    streams: Vec<TaskStream<'a>>,
+    /// Materialized schedule (seed-baseline mode only).
+    tasks: Option<Vec<Vec<SubframeTask>>>,
     cores: Vec<CoreSim>,
-    events: EventQueue,
+    events: Q,
     report: SimReport,
     rng: StdRng,
+    /// Scratch: idle cores and their free windows, for Algorithm 1.
+    idle_scratch: Vec<(usize, Nanos)>,
+    /// Scratch: Algorithm 1's `(core, batch)` assignments.
+    mig_scratch: Vec<(usize, usize)>,
+    /// Scratch: host reservations of the stage plan under consideration.
+    host_updates: Vec<(usize, Nanos)>,
 }
 
-impl<'a> PartitionedEngine<'a> {
-    /// Builds the engine; `migrate` selects RT-OPEX vs plain partitioned.
+impl<'a> PartitionedEngine<'a, TimingWheel> {
+    /// Builds the production engine (timing wheel + streaming workload);
+    /// `migrate` selects RT-OPEX vs plain partitioned.
     pub fn new(cfg: &'a SimConfig, migrate: bool) -> Self {
-        let schedule = PartitionedSchedule::new(cfg.num_bs, &cfg.budget());
+        Self::with_timeline(cfg, migrate, TimingWheel::new(), false)
+    }
+}
+
+impl<'a> PartitionedEngine<'a, EventQueue> {
+    /// Builds the seed-equivalent baseline: `BinaryHeap` event queue and
+    /// the full task schedule materialized with every release pushed up
+    /// front. Exists so the wheel-vs-heap benchmark and the equivalence
+    /// tests compare identical engine logic over both event structures.
+    pub fn new_seed_baseline(cfg: &'a SimConfig, migrate: bool) -> Self {
+        Self::with_timeline(cfg, migrate, EventQueue::new(), true)
+    }
+}
+
+impl<'a, Q: Timeline> PartitionedEngine<'a, Q> {
+    /// Builds an engine over an explicit timeline. `materialize` selects
+    /// the seed-baseline workload path (full schedule up front) over the
+    /// constant-memory streaming path. Releases are primed here, so the
+    /// engine is ready for [`Self::run`] or incremental
+    /// [`Self::run_until`] calls.
+    pub fn with_timeline(cfg: &'a SimConfig, migrate: bool, events: Q, materialize: bool) -> Self {
+        let schedule = match cfg.cores_per_bs {
+            Some(n) => PartitionedSchedule::with_cores_per_bs(cfg.num_bs, n),
+            None => PartitionedSchedule::new(cfg.num_bs, &cfg.budget()),
+        };
+        let num_cores = schedule.total_cores() + cfg.spare_cores;
         let delta = match cfg.scheduler {
             crate::config::SchedulerKind::RtOpex { delta_us } => Nanos::from_us(delta_us),
             _ => Nanos::from_us(20),
         };
-        PartitionedEngine {
+        let (streams, tasks) = if materialize {
+            (Vec::new(), Some(generate_tasks(cfg)))
+        } else {
+            (
+                (0..cfg.num_bs).map(|bs| TaskStream::new(cfg, bs)).collect(),
+                None,
+            )
+        };
+        let mut engine = PartitionedEngine {
             migrate,
             delta,
-            tasks: generate_tasks(cfg),
+            rtt: Nanos::from_us(cfg.rtt_half_us),
+            streams,
+            tasks,
             // Scheduled cores plus any spare cores (§5-B): spares never
             // receive releases, so they are permanently idle hosts that
             // only RT-OPEX's migration can exploit.
-            cores: vec![CoreSim::default(); schedule.total_cores() + cfg.spare_cores],
+            cores: (0..num_cores).map(|_| CoreSim::new()).collect(),
             schedule,
-            events: EventQueue::new(),
+            events,
             report: SimReport::new(cfg.num_bs),
             rng: StdRng::seed_from_u64(cfg.seed ^ HOST_NOISE_SEED_MIX),
+            idle_scratch: Vec::with_capacity(num_cores),
+            mig_scratch: Vec::with_capacity(num_cores),
+            host_updates: Vec::with_capacity(num_cores),
             cfg,
+        };
+        engine.prime();
+        engine
+    }
+
+    /// Schedules the initial release events. Streaming mode keeps one
+    /// release per basestation in flight; the chained pushes preserve
+    /// basestation order at every release instant, so pop order matches
+    /// the baseline's push-everything-up-front ordering exactly.
+    fn prime(&mut self) {
+        if self.cfg.subframes == 0 {
+            return;
+        }
+        match &self.tasks {
+            Some(tasks) => {
+                for (bs, row) in tasks.iter().enumerate() {
+                    for (j, task) in row.iter().enumerate() {
+                        self.events.push(
+                            task.release,
+                            EventKind::Release {
+                                bs,
+                                index: j as u64,
+                            },
+                        );
+                    }
+                }
+            }
+            None => {
+                for bs in 0..self.cfg.num_bs {
+                    self.events
+                        .push(self.rtt, EventKind::Release { bs, index: 0 });
+                }
+            }
         }
     }
 
     /// Runs to completion and returns the report.
     pub fn run(mut self) -> SimReport {
-        for bs in 0..self.cfg.num_bs {
-            for j in 0..self.cfg.subframes as u64 {
-                self.events.push(
-                    self.tasks[bs][j as usize].release,
-                    EventKind::Release { bs, index: j },
-                );
-            }
-        }
         while let Some((t, kind)) = self.events.pop() {
-            match kind {
-                EventKind::Release { bs, index } => self.on_release(t, bs, index),
-                EventKind::StageBoundary { core } => self.on_stage(t, core),
-                EventKind::TaskDone { .. } => unreachable!("engine uses StageBoundary"),
-            }
+            self.on_event(t, kind);
         }
         self.report
+    }
+
+    /// Processes every event with timestamp ≤ `until`, then stops. The
+    /// allocation-regression harness uses this to split a run into a
+    /// warm-up phase and a counted steady-state phase.
+    pub fn run_until(&mut self, until: Nanos) {
+        while let Some(tn) = self.events.peek_time() {
+            if tn > until {
+                return;
+            }
+            let (t, kind) = self.events.pop().expect("event peeked above");
+            self.on_event(t, kind);
+        }
+    }
+
+    /// Finishes an incrementally-driven run (see [`Self::run_until`]).
+    pub fn into_report(self) -> SimReport {
+        let mut engine = self;
+        while let Some((t, kind)) = engine.events.pop() {
+            engine.on_event(t, kind);
+        }
+        engine.report
+    }
+
+    /// Dispatches one event — the simulator's hot loop. Allocation-,
+    /// lock-, and clock-free (enforced by the static purity pass and the
+    /// counting-allocator regression test).
+    fn on_event(&mut self, t: Nanos, kind: EventKind) {
+        match kind {
+            EventKind::Release { bs, index } => self.on_release(t, bs, index),
+            EventKind::StageBoundary { core } => self.on_stage(t, core),
+            EventKind::TaskDone { .. } => unreachable!("engine uses StageBoundary"),
+        }
+    }
+
+    /// The subframe for `Release{bs, index}` — streamed on demand, or
+    /// looked up in the materialized schedule (seed baseline).
+    fn take_task(&mut self, bs: usize, index: u64) -> SubframeTask {
+        match self.tasks.as_ref() {
+            Some(tasks) => tasks[bs][index as usize],
+            None => {
+                let task = self.streams[bs]
+                    .next_task()
+                    .expect("release events never outrun the task stream");
+                debug_assert_eq!(task.subframe_index, index);
+                task
+            }
+        }
     }
 
     /// True once `core` has failed at time `t`.
@@ -157,14 +319,27 @@ impl<'a> PartitionedEngine<'a> {
         if !task.crc_ok {
             self.report.crc_failures += 1;
         }
-        self.report.proc_times_us.push(total.as_us_f64());
+        self.record_proc_time(total.as_us_f64());
         self.report.migration.record_whole_task();
         true
     }
 
     fn on_release(&mut self, t: Nanos, bs: usize, index: u64) {
+        let task = self.take_task(bs, index);
+        // Streaming mode: chain the basestation's next release. Same-time
+        // releases are handled in basestation order, so the chained
+        // pushes for release j+1 happen in basestation order too — the
+        // FIFO tie-break is identical to pushing everything up front.
+        if self.tasks.is_none() && index + 1 < self.cfg.subframes as u64 {
+            self.events.push(
+                Nanos::from_ms(index + 1) + self.rtt,
+                EventKind::Release {
+                    bs,
+                    index: index + 1,
+                },
+            );
+        }
         let core = self.schedule.core_for(bs, index);
-        let task = self.tasks[bs][index as usize];
         if self.core_failed(core, t) {
             // The partitioned mapping is static: a dead core's subframes
             // are simply lost (§5-B's "significant performance
@@ -195,7 +370,9 @@ impl<'a> PartitionedEngine<'a> {
             return;
         };
         if let Some(prev_end) = self.cores[core].last_end {
-            self.report.gaps.record(t.saturating_sub(prev_end));
+            if self.cfg.record_samples {
+                self.report.gaps.record(t.saturating_sub(prev_end));
+            }
         }
         self.cores[core].current = Some(InFlight {
             task,
@@ -215,7 +392,7 @@ impl<'a> PartitionedEngine<'a> {
         let bs = self.schedule.bs_for_core(core);
         let phase = core % self.schedule.cores_per_bs;
         let period = self.schedule.cores_per_bs as u64;
-        let rtt = Nanos::from_us(self.cfg.rtt_half_us);
+        let rtt = self.rtt;
         // Smallest j ≡ phase (mod period) with j·1ms + rtt > t.
         let mut j = if t < rtt {
             0
@@ -234,25 +411,26 @@ impl<'a> PartitionedEngine<'a> {
         Nanos::from_ms(j) + rtt
     }
 
-    /// Idle cores and their free-time budgets at `t`, for Algorithm 1.
-    fn idle_cores(&self, t: Nanos, requester: usize) -> Vec<(usize, Nanos)> {
-        let mut v: Vec<(usize, Nanos)> = (0..self.cores.len())
-            .filter(|&c| c != requester)
-            .filter_map(|c| {
-                let core = &self.cores[c];
-                if core.current.is_some()
-                    || core.host_busy_until > t
-                    || core.no_host_until > t
-                    || self.core_failed(c, t)
-                {
-                    return None;
-                }
-                let window = self.next_release(c, t).saturating_sub(t);
-                (window > Nanos::ZERO).then_some((c, window))
-            })
-            .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        v
+    /// Surveys idle cores and their free-time budgets at `t` into
+    /// `idle_scratch`, sorted widest-window-first (core index breaks
+    /// ties, so the unstable sort is deterministic).
+    fn fill_idle_cores(&mut self, t: Nanos, requester: usize) {
+        self.idle_scratch.clear();
+        for c in 0..self.cores.len() {
+            if c == requester || self.core_failed(c, t) {
+                continue;
+            }
+            let core = &self.cores[c];
+            if core.current.is_some() || core.host_busy_until > t || core.no_host_until > t {
+                continue;
+            }
+            let window = self.next_release(c, t).saturating_sub(t);
+            if window > Nanos::ZERO {
+                self.idle_scratch.push((c, window));
+            }
+        }
+        self.idle_scratch
+            .sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     }
 
     fn drop_task(&mut self, t: Nanos, core: usize) {
@@ -265,9 +443,17 @@ impl<'a> PartitionedEngine<'a> {
         self.try_start(t, core);
     }
 
+    fn record_proc_time(&mut self, us: f64) {
+        self.report.proc_hist.record(us);
+        if self.cfg.record_samples {
+            self.report.proc_times_us.push(us);
+        }
+    }
+
     /// Plans a parallelizable stage starting at `t` **without** mutating
-    /// engine state, so the slack check can veto it first. Returns the
-    /// stage end time and the side effects to apply on commit.
+    /// core state, so the slack check can veto it first. Returns the
+    /// stage end time; host reservations to apply on commit are left in
+    /// `host_updates`.
     fn plan_parallel_stage(
         &mut self,
         t: Nanos,
@@ -278,26 +464,30 @@ impl<'a> PartitionedEngine<'a> {
         let p = stage.subtasks;
         let tp = stage.subtask;
         let serial_end = t + stage.total();
+        self.host_updates.clear();
         let mut plan_out = StagePlan {
             end: serial_end,
             kind,
             subtasks: p,
             migrated: 0,
             recover: 0,
-            host_updates: Vec::new(),
         };
         if !self.migrate || p <= 1 {
             return plan_out;
         }
-        let idle = self.idle_cores(t, core);
-        let plan = plan_migration(p, tp, self.delta, &idle);
-        if plan.migrated() == 0 {
+        self.fill_idle_cores(t, core);
+        let stats =
+            plan_migration_into(p, tp, self.delta, &self.idle_scratch, &mut self.mig_scratch);
+        if stats.local == p {
             return plan_out;
         }
-        let local_end = t + Nanos(tp.0 * plan.local as u64);
+        let local_end = t + Nanos(tp.0 * stats.local as u64);
         let mut recover = 0usize;
         let mut results_ready_at = local_end;
-        for &(host, n) in &plan.assignments {
+        let mut migrated = 0usize;
+        for i in 0..self.mig_scratch.len() {
+            let (host, n) = self.mig_scratch[i];
+            migrated += n;
             // Host-side noise: a batch occasionally overruns its estimate.
             let tp_actual = if self.rng.gen_bool(self.cfg.overrun_prob) {
                 Nanos((tp.0 as f64 * self.cfg.overrun_factor) as u64)
@@ -318,13 +508,13 @@ impl<'a> PartitionedEngine<'a> {
             }
             recover += n - completed;
             let effective_end = (t + Nanos(per.0 * n as u64)).min(preempt);
-            plan_out.host_updates.push((host, effective_end));
+            self.host_updates.push((host, effective_end));
             if completed > 0 {
                 // The owner waits for results still being computed.
                 results_ready_at = results_ready_at.max(t + Nanos(per.0 * completed as u64));
             }
         }
-        plan_out.migrated = plan.migrated();
+        plan_out.migrated = migrated;
         plan_out.recover = recover;
         // Owner: local share, wait for in-flight results, then serially
         // recover the subtasks cut off by host preemption. If a badly
@@ -337,9 +527,11 @@ impl<'a> PartitionedEngine<'a> {
         plan_out
     }
 
-    /// Applies a stage plan's side effects (host reservations, accounting).
+    /// Applies a stage plan's side effects (host reservations from
+    /// `host_updates`, migration accounting).
     fn commit_stage(&mut self, plan: &StagePlan) {
-        for &(host, until) in &plan.host_updates {
+        for i in 0..self.host_updates.len() {
+            let (host, until) = self.host_updates[i];
             self.cores[host].host_busy_until = until;
         }
         if self.migrate {
@@ -394,7 +586,7 @@ impl<'a> PartitionedEngine<'a> {
                 if !task.crc_ok {
                     self.report.crc_failures += 1;
                 }
-                self.report.proc_times_us.push((t - inf.start).as_us_f64());
+                self.record_proc_time((t - inf.start).as_us_f64());
                 self.cores[core].current = None;
                 self.cores[core].last_end = Some(t);
                 self.try_start(t, core);
@@ -439,6 +631,8 @@ mod tests {
             r.dropped,
             r.proc_times_us.len()
         );
+        // The histogram mirrors the sample stream.
+        assert_eq!(r.proc_hist.count(), r.proc_times_us.len() as u64);
     }
 
     #[test]
@@ -468,6 +662,59 @@ mod tests {
         let c = cfg(500, SchedulerKind::Partitioned);
         let r = PartitionedEngine::new(&c, false).run();
         assert!(r.gaps.count() > 1000, "gaps {}", r.gaps.count());
+    }
+
+    #[test]
+    fn record_samples_off_keeps_counters_only() {
+        let mut c = cfg(500, SchedulerKind::Partitioned);
+        c.record_samples = false;
+        let r = PartitionedEngine::new(&c, false).run();
+        assert_eq!(r.gaps.count(), 0);
+        assert!(r.proc_times_us.is_empty());
+        // Counters and the histogram still cover every subframe.
+        assert_eq!(r.deadline.total_subframes(), 2 * 2000);
+        assert_eq!(r.proc_hist.count() + r.dropped, 2 * 2000);
+    }
+
+    #[test]
+    fn seed_baseline_is_bit_identical_to_streaming_wheel() {
+        // The tentpole's equivalence claim, at engine level: same seed ⇒
+        // identical per-BS miss counters, histogram, and migration stats
+        // across (heap + materialized) vs (wheel + streaming).
+        for (rtt, sched) in [
+            (500, SchedulerKind::Partitioned),
+            (550, SchedulerKind::RtOpex { delta_us: 20 }),
+            (650, SchedulerKind::SemiPartitioned),
+        ] {
+            let c = cfg(rtt, sched);
+            let base = PartitionedEngine::new_seed_baseline(
+                &c,
+                matches!(sched, SchedulerKind::RtOpex { .. }),
+            )
+            .run();
+            let wheel =
+                PartitionedEngine::new(&c, matches!(sched, SchedulerKind::RtOpex { .. })).run();
+            assert_eq!(base.deadline.per_bs(), wheel.deadline.per_bs(), "{sched:?}");
+            assert_eq!(base.proc_hist, wheel.proc_hist, "{sched:?}");
+            assert_eq!(base.dropped, wheel.dropped, "{sched:?}");
+            assert_eq!(base.crc_failures, wheel.crc_failures, "{sched:?}");
+            assert_eq!(
+                base.migration.decode_migrated, wheel.migration.decode_migrated,
+                "{sched:?}"
+            );
+            assert_eq!(base.gaps.count(), wheel.gaps.count(), "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn run_until_splits_a_run_without_changing_it() {
+        let c = cfg(500, SchedulerKind::RtOpex { delta_us: 20 });
+        let whole = PartitionedEngine::new(&c, true).run();
+        let mut engine = PartitionedEngine::new(&c, true);
+        engine.run_until(Nanos::from_ms(700));
+        let split = engine.into_report();
+        assert_eq!(whole.deadline.per_bs(), split.deadline.per_bs());
+        assert_eq!(whole.proc_hist, split.proc_hist);
     }
 
     #[test]
@@ -504,5 +751,24 @@ mod tests {
         let c = cfg(500, SchedulerKind::RtOpex { delta_us: 5000 });
         let r = PartitionedEngine::new(&c, true).run();
         assert_eq!(r.migration.decode_migrated + r.migration.fft_migrated, 0);
+    }
+
+    #[test]
+    fn cores_per_bs_override_shrinks_the_schedule() {
+        let mut c = cfg(500, SchedulerKind::Partitioned);
+        c.cores_per_bs = Some(1);
+        let r = PartitionedEngine::new(&c, false).run();
+        let full = cfg(500, SchedulerKind::Partitioned);
+        let rf = PartitionedEngine::new(&full, false).run();
+        // One core per BS (vs. the Eq. 3 allocation) leaves no pipeline
+        // slack, so misses rise; every subframe stays accounted for.
+        assert_eq!(r.deadline.total_subframes(), 2 * 2000);
+        assert!(
+            r.miss_rate() > rf.miss_rate(),
+            "{} vs {}",
+            r.miss_rate(),
+            rf.miss_rate()
+        );
+        assert!(r.miss_rate() > 0.01, "rate {}", r.miss_rate());
     }
 }

@@ -31,7 +31,7 @@ impl EventKind {
     /// Same-timestamp ordering: completions free resources before new
     /// arrivals claim them; stage boundaries run last so they observe the
     /// post-arrival core states.
-    fn priority(&self) -> u8 {
+    pub(crate) fn priority(&self) -> u8 {
         match self {
             EventKind::TaskDone { .. } => 0,
             EventKind::Release { .. } => 1,
@@ -40,12 +40,15 @@ impl EventKind {
     }
 }
 
-#[derive(Clone, Debug, PartialEq, Eq)]
-struct Entry {
-    at: Nanos,
-    prio: u8,
-    seq: u64,
-    kind: EventKind,
+/// A scheduled event plus its total-order key `(at, prio, seq)`. The
+/// timing wheel re-files entries between levels, so it needs the full
+/// key — the heap only ever builds them on `push`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Entry {
+    pub(crate) at: Nanos,
+    pub(crate) prio: u8,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
 }
 
 impl Ord for Entry {
@@ -62,6 +65,31 @@ impl Ord for Entry {
 impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// The engines' scheduling surface: both the seed [`EventQueue`] heap
+/// and the [`crate::wheel::TimingWheel`] implement it, so an engine is
+/// generic over its timeline and the wheel-vs-heap benchmark compares
+/// the *same* engine over two event structures.
+///
+/// Contract shared by all implementations: events pop in ascending
+/// `(time, kind-priority, insertion-order)`, i.e. exactly the seed
+/// heap's deterministic tie-breaking.
+pub trait Timeline {
+    /// Schedules `kind` at time `at`.
+    fn push(&mut self, at: Nanos, kind: EventKind);
+    /// Pops the earliest event.
+    fn pop(&mut self) -> Option<(Nanos, EventKind)>;
+    /// Timestamp of the earliest pending event without popping it.
+    /// Takes `&mut self` so lazily-advancing implementations (the
+    /// timing wheel) may cascade internally.
+    fn peek_time(&mut self) -> Option<Nanos>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// True when no events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -103,6 +131,24 @@ impl EventQueue {
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+}
+
+impl Timeline for EventQueue {
+    fn push(&mut self, at: Nanos, kind: EventKind) {
+        EventQueue::push(self, at, kind);
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, EventKind)> {
+        EventQueue::pop(self)
+    }
+
+    fn peek_time(&mut self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    fn len(&self) -> usize {
+        EventQueue::len(self)
     }
 }
 

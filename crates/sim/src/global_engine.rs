@@ -15,11 +15,21 @@
 //! * a task still running at its deadline is terminated on the spot
 //!   ("the processing thread terminates the ongoing task and goes to an
 //!   idle state").
+//!
+//! Like [`PartitionedEngine`](crate::engine::PartitionedEngine), the
+//! engine is generic over its [`Timeline`] and streams its workload by
+//! default; [`GlobalEngine::new_seed_baseline`] keeps the heap +
+//! materialized-schedule configuration for benchmarking. The dispatch
+//! loop is allocation-free: the uniform free-worker choice counts free
+//! workers and walks to the `k`-th instead of collecting them — the same
+//! RNG draw sequence and the same selection as the seed's
+//! `Vec`-collecting version.
 
 use crate::config::SimConfig;
-use crate::event::{EventKind, EventQueue};
-use crate::gen::generate_tasks;
+use crate::event::{EventKind, EventQueue, Timeline};
+use crate::gen::{generate_tasks, TaskStream};
 use crate::report::SimReport;
+use crate::wheel::TimingWheel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtopex_core::global::GlobalQueue;
@@ -37,8 +47,9 @@ struct Worker {
     exec_us: f64,
 }
 
-/// The global-scheduler simulation engine.
-pub struct GlobalEngine<'a> {
+/// The global-scheduler simulation engine, generic over its event
+/// timeline.
+pub struct GlobalEngine<'a, Q: Timeline = TimingWheel> {
     cfg: &'a SimConfig,
     workers: Vec<Worker>,
     /// When each (core, basestation) pairing last executed — the cache
@@ -51,73 +62,179 @@ pub struct GlobalEngine<'a> {
     /// of 4, accidentally giving every core a fixed basestation.)
     pick: StdRng,
     queue: GlobalQueue,
-    events: EventQueue,
-    tasks: Vec<Vec<SubframeTask>>,
+    events: Q,
+    rtt: Nanos,
+    /// Streaming per-cell generators (empty in seed-baseline mode).
+    streams: Vec<TaskStream<'a>>,
+    /// Materialized schedule (seed-baseline mode only).
+    tasks: Option<Vec<Vec<SubframeTask>>>,
     report: SimReport,
 }
 
-impl<'a> GlobalEngine<'a> {
-    /// Builds the engine from the configuration.
+impl<'a> GlobalEngine<'a, TimingWheel> {
+    /// Builds the production engine (timing wheel + streaming workload).
     ///
     /// # Panics
     /// Panics if the configured scheduler is not [`crate::config::SchedulerKind::Global`].
     pub fn new(cfg: &'a SimConfig) -> Self {
+        Self::with_timeline(cfg, TimingWheel::new(), false)
+    }
+}
+
+impl<'a> GlobalEngine<'a, EventQueue> {
+    /// Builds the seed-equivalent baseline (heap + materialized
+    /// schedule), for the wheel-vs-heap benchmark and equivalence tests.
+    ///
+    /// # Panics
+    /// Panics if the configured scheduler is not [`crate::config::SchedulerKind::Global`].
+    pub fn new_seed_baseline(cfg: &'a SimConfig) -> Self {
+        Self::with_timeline(cfg, EventQueue::new(), true)
+    }
+}
+
+impl<'a, Q: Timeline> GlobalEngine<'a, Q> {
+    /// Builds an engine over an explicit timeline; `materialize` selects
+    /// the seed-baseline workload path. Releases are primed here.
+    ///
+    /// # Panics
+    /// Panics if the configured scheduler is not [`crate::config::SchedulerKind::Global`].
+    pub fn with_timeline(cfg: &'a SimConfig, events: Q, materialize: bool) -> Self {
         let (cores, policy) = match cfg.scheduler {
             crate::config::SchedulerKind::Global { cores, policy } => (cores, policy),
             other => panic!("GlobalEngine needs a global scheduler, got {other:?}"),
         };
         assert!(cores > 0, "at least one worker core");
-        GlobalEngine {
+        let (streams, tasks) = if materialize {
+            (Vec::new(), Some(generate_tasks(cfg)))
+        } else {
+            (
+                (0..cfg.num_bs).map(|bs| TaskStream::new(cfg, bs)).collect(),
+                None,
+            )
+        };
+        let mut engine = GlobalEngine {
             workers: vec![Worker::default(); cores],
             last_served: vec![vec![None; cfg.num_bs]; cores],
             pick: StdRng::seed_from_u64(cfg.seed ^ 0x61_0BA1),
             queue: GlobalQueue::new(policy, cfg.queue_capacity),
-            events: EventQueue::new(),
-            tasks: generate_tasks(cfg),
+            events,
+            rtt: Nanos::from_us(cfg.rtt_half_us),
+            streams,
+            tasks,
             report: SimReport::new(cfg.num_bs),
             cfg,
+        };
+        engine.prime();
+        engine
+    }
+
+    /// Schedules the initial release events (see
+    /// `PartitionedEngine::prime` for the ordering argument).
+    fn prime(&mut self) {
+        if self.cfg.subframes == 0 {
+            return;
+        }
+        match &self.tasks {
+            Some(tasks) => {
+                for (bs, row) in tasks.iter().enumerate() {
+                    for (j, task) in row.iter().enumerate() {
+                        self.events.push(
+                            task.release,
+                            EventKind::Release {
+                                bs,
+                                index: j as u64,
+                            },
+                        );
+                    }
+                }
+            }
+            None => {
+                for bs in 0..self.cfg.num_bs {
+                    self.events
+                        .push(self.rtt, EventKind::Release { bs, index: 0 });
+                }
+            }
         }
     }
 
     /// Runs to completion and returns the report.
     pub fn run(mut self) -> SimReport {
-        for bs in 0..self.cfg.num_bs {
-            for j in 0..self.cfg.subframes as u64 {
-                self.events.push(
-                    self.tasks[bs][j as usize].release,
-                    EventKind::Release { bs, index: j },
-                );
-            }
-        }
         while let Some((t, kind)) = self.events.pop() {
-            match kind {
-                EventKind::Release { bs, index } => {
-                    let task = self.tasks[bs][index as usize];
-                    if let Some(evicted) = self.queue.push(task) {
-                        self.report.deadline.record(evicted.bs_id, true);
-                        self.report.dropped += 1;
-                    }
-                    self.dispatch(t);
-                }
-                EventKind::TaskDone { core } => {
-                    let w = self.workers[core];
-                    self.workers[core].busy = false;
-                    self.report.deadline.record(w.current_bs, !w.completes);
-                    if w.completes && !w.crc_ok {
-                        self.report.crc_failures += 1;
-                    }
-                    // Fig. 19 (right) plots the *execution-time*
-                    // distribution, so deadline-cut tasks report their
-                    // full would-be time rather than vanishing.
-                    self.report.proc_times_us.push(w.exec_us);
-                    self.dispatch(t);
-                }
-                EventKind::StageBoundary { .. } => {
-                    unreachable!("global engine runs tasks atomically")
-                }
-            }
+            self.on_event(t, kind);
         }
         self.report
+    }
+
+    /// Processes every event with timestamp ≤ `until`, then stops.
+    pub fn run_until(&mut self, until: Nanos) {
+        while let Some(tn) = self.events.peek_time() {
+            if tn > until {
+                return;
+            }
+            let (t, kind) = self.events.pop().expect("event peeked above");
+            self.on_event(t, kind);
+        }
+    }
+
+    /// Finishes an incrementally-driven run (see [`Self::run_until`]).
+    pub fn into_report(self) -> SimReport {
+        let mut engine = self;
+        while let Some((t, kind)) = engine.events.pop() {
+            engine.on_event(t, kind);
+        }
+        engine.report
+    }
+
+    /// Dispatches one event — the global engine's hot loop; allocation-,
+    /// lock-, and clock-free like the partitioned engine's.
+    fn on_event(&mut self, t: Nanos, kind: EventKind) {
+        match kind {
+            EventKind::Release { bs, index } => {
+                let task = match self.tasks.as_ref() {
+                    Some(tasks) => tasks[bs][index as usize],
+                    None => {
+                        let task = self.streams[bs]
+                            .next_task()
+                            .expect("release events never outrun the task stream");
+                        debug_assert_eq!(task.subframe_index, index);
+                        task
+                    }
+                };
+                if self.tasks.is_none() && index + 1 < self.cfg.subframes as u64 {
+                    self.events.push(
+                        Nanos::from_ms(index + 1) + self.rtt,
+                        EventKind::Release {
+                            bs,
+                            index: index + 1,
+                        },
+                    );
+                }
+                if let Some(evicted) = self.queue.push(task) {
+                    self.report.deadline.record(evicted.bs_id, true);
+                    self.report.dropped += 1;
+                }
+                self.dispatch(t);
+            }
+            EventKind::TaskDone { core } => {
+                let w = self.workers[core];
+                self.workers[core].busy = false;
+                self.report.deadline.record(w.current_bs, !w.completes);
+                if w.completes && !w.crc_ok {
+                    self.report.crc_failures += 1;
+                }
+                // Fig. 19 (right) plots the *execution-time*
+                // distribution, so deadline-cut tasks report their
+                // full would-be time rather than vanishing.
+                self.report.proc_hist.record(w.exec_us);
+                if self.cfg.record_samples {
+                    self.report.proc_times_us.push(w.exec_us);
+                }
+                self.dispatch(t);
+            }
+            EventKind::StageBoundary { .. } => {
+                unreachable!("global engine runs tasks atomically")
+            }
+        }
     }
 
     fn dispatch(&mut self, t: Nanos) {
@@ -125,13 +242,18 @@ impl<'a> GlobalEngine<'a> {
         // task still occupies its core until the deadline terminates it —
         // one of the reasons global lags partitioned in Fig. 15.
         loop {
-            let free: Vec<usize> = (0..self.workers.len())
-                .filter(|&c| !self.workers[c].busy)
-                .collect();
-            if free.is_empty() {
+            // Uniform choice among free workers without collecting them:
+            // same count ⇒ same gen_range draw ⇒ same worker as the
+            // seed's Vec-based selection, with zero allocation.
+            let free_count = self.workers.iter().filter(|w| !w.busy).count();
+            if free_count == 0 {
                 return;
             }
-            let core = free[self.pick.gen_range(0..free.len())];
+            let k = self.pick.gen_range(0..free_count);
+            let core = (0..self.workers.len())
+                .filter(|&c| !self.workers[c].busy)
+                .nth(k)
+                .expect("k drawn below the free-worker count");
             let Some(task) = self.queue.pop() else {
                 return;
             };
@@ -190,6 +312,23 @@ mod tests {
         let c = cfg(500, 8);
         let r = GlobalEngine::new(&c).run();
         assert_eq!(r.deadline.total_subframes(), 2 * 2000);
+    }
+
+    #[test]
+    fn seed_baseline_is_bit_identical_to_streaming_wheel() {
+        for cores in [1usize, 8] {
+            let c = cfg(500, cores);
+            let base = GlobalEngine::new_seed_baseline(&c).run();
+            let wheel = GlobalEngine::new(&c).run();
+            assert_eq!(
+                base.deadline.per_bs(),
+                wheel.deadline.per_bs(),
+                "{cores} cores"
+            );
+            assert_eq!(base.proc_hist, wheel.proc_hist, "{cores} cores");
+            assert_eq!(base.dropped, wheel.dropped, "{cores} cores");
+            assert_eq!(base.crc_failures, wheel.crc_failures, "{cores} cores");
+        }
     }
 
     #[test]

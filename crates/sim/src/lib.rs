@@ -27,14 +27,19 @@
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod fleet;
 pub mod gen;
 pub mod global_engine;
 pub mod report;
+pub mod wheel;
 
 pub use config::{CacheModel, SchedulerKind, SimConfig};
+pub use fleet::{host_config, run_fleet, FleetConfig, FleetReport};
 pub use report::SimReport;
 
-/// Runs one simulation to completion.
+/// Runs one simulation to completion on the production engine: a
+/// hierarchical timing wheel for the event timeline and a streaming
+/// workload generator (constant memory in the subframe count).
 pub fn run(config: &SimConfig) -> SimReport {
     match config.scheduler {
         SchedulerKind::Partitioned | SchedulerKind::SemiPartitioned => {
@@ -42,6 +47,25 @@ pub fn run(config: &SimConfig) -> SimReport {
         }
         SchedulerKind::RtOpex { .. } => engine::PartitionedEngine::new(config, true).run(),
         SchedulerKind::Global { .. } => global_engine::GlobalEngine::new(config).run(),
+    }
+}
+
+/// Runs one simulation on the *seed-baseline* configuration: a binary
+/// heap holding every release event up front and a fully materialized
+/// task schedule — O(subframes) memory and a much bigger working set.
+/// Kept for the wheel-vs-heap benchmark and the equivalence tests; the
+/// report is bit-identical to [`run`]'s.
+pub fn run_baseline(config: &SimConfig) -> SimReport {
+    match config.scheduler {
+        SchedulerKind::Partitioned | SchedulerKind::SemiPartitioned => {
+            engine::PartitionedEngine::new_seed_baseline(config, false).run()
+        }
+        SchedulerKind::RtOpex { .. } => {
+            engine::PartitionedEngine::new_seed_baseline(config, true).run()
+        }
+        SchedulerKind::Global { .. } => {
+            global_engine::GlobalEngine::new_seed_baseline(config).run()
+        }
     }
 }
 
