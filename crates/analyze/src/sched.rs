@@ -306,6 +306,111 @@ pub fn shipped_configs() -> Vec<MirrorConfig> {
 // Tracked bench baselines.
 // ---------------------------------------------------------------------
 
+/// Minimum recorded batched-turbo speedup (`batched.*.speedup` in
+/// `BENCH_kernels.json`) the tracked baseline must keep: the cross-cell
+/// batched drain exists to outrun per-call dispatch, so a recorded batch
+/// that no longer pays for itself is a regression to profile before
+/// re-recording. The floor sits under the ~1.35× measured at batch 4 so
+/// host-noise jitter across re-records does not flap the gate.
+pub const MIN_BATCH_SPEEDUP: f64 = 1.2;
+
+/// One `machine` fingerprint from a tracked `BENCH_*.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineFp {
+    pub cpu: String,
+    pub cores: usize,
+    /// Widest SIMD tier (empty when an old file predates the field).
+    pub simd_tier: String,
+}
+
+/// Parses the `machine` block of any `BENCH_*.json`.
+pub fn parse_machine(src: &str) -> Result<MachineFp, String> {
+    let j = Json::parse(src)?;
+    let m = j.get("machine").ok_or("missing `machine` block")?;
+    Ok(MachineFp {
+        cpu: m
+            .get("cpu")
+            .and_then(Json::as_str)
+            .ok_or("missing machine.cpu")?
+            .to_string(),
+        cores: m
+            .get("cores")
+            .and_then(Json::as_f64)
+            .ok_or("missing machine.cores")? as usize,
+        simd_tier: m
+            .get("simd_tier")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string(),
+    })
+}
+
+/// Cross-checks the machine fingerprints of the tracked baselines. The γ
+/// calibration transfers `BENCH_kernels.json` measurements onto
+/// `BENCH_node.json` budgets (and the fleet gate extrapolates from
+/// `BENCH_sim.json`), which is only meaningful when every file was
+/// recorded on the same machine — CPU model, core count and widest SIMD
+/// tier must all agree, or the whole Eq. 3 audit compares apples to
+/// oranges.
+pub fn audit_machines(files: &[(&str, &str)]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let mut parsed: Vec<(&str, MachineFp)> = Vec::new();
+    for (name, src) in files {
+        match parse_machine(src) {
+            Ok(fp) => parsed.push((name, fp)),
+            Err(e) => v.push(Violation {
+                file: name.to_string(),
+                line: 0,
+                pass: "sched",
+                class: "machine-fingerprint",
+                msg: format!(
+                    "{e} — regenerate with rtopex-bench so the analyzer can refuse cross-machine baseline comparisons"
+                ),
+            }),
+        }
+    }
+    let Some((first_name, first)) = parsed.first() else {
+        return v;
+    };
+    for (name, fp) in &parsed[1..] {
+        let tier_differs = !fp.simd_tier.is_empty()
+            && !first.simd_tier.is_empty()
+            && fp.simd_tier != first.simd_tier;
+        if fp.cpu != first.cpu || fp.cores != first.cores || tier_differs {
+            v.push(Violation {
+                file: name.to_string(),
+                line: 0,
+                pass: "sched",
+                class: "machine-mismatch",
+                msg: format!(
+                    "machine fingerprint ({}, {} cores, {}) disagrees with {first_name} ({}, {} cores, {}) — baselines from different machines cannot be compared; regenerate all BENCH_*.json on one host",
+                    fp.cpu, fp.cores, fp.simd_tier, first.cpu, first.cores, first.simd_tier
+                ),
+            });
+        }
+    }
+    v
+}
+
+/// Recorded batched-dispatch speedups from `BENCH_kernels.json`
+/// (`batched.*.speedup`); empty when the section is absent (fixtures
+/// predating batched dispatch).
+pub fn parse_batched(src: &str) -> Result<Vec<(String, f64)>, String> {
+    let j = Json::parse(src)?;
+    let Some(b) = j.get("batched") else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::new();
+    for (key, val) in b.fields() {
+        let s = val
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing speedup for batched entry `{key}`"))?;
+        out.push((key.clone(), s));
+    }
+    Ok(out)
+}
+
 /// WCET inputs parsed from `BENCH_kernels.json`.
 #[derive(Debug, Clone)]
 pub struct KernelTable {
@@ -374,6 +479,18 @@ pub struct NodeBench {
     pub modes: Vec<(String, Vec<f64>, usize)>,
     /// Recorded headline claim.
     pub headline_steal_ge_mutex: bool,
+    /// Batched-vs-unbatched steal sweep, when recorded.
+    pub batching: Option<BatchingBench>,
+}
+
+/// The `batching` block of `BENCH_node.json`: the steal sweep with and
+/// without cross-cell batched decode dispatch.
+#[derive(Debug, Clone)]
+pub struct BatchingBench {
+    pub batched_miss: Vec<f64>,
+    pub batched_sustained: usize,
+    pub unbatched_miss: Vec<f64>,
+    pub unbatched_sustained: usize,
 }
 
 /// Parses `BENCH_node.json`.
@@ -415,6 +532,28 @@ pub fn parse_node(src: &str) -> Result<NodeBench, String> {
             as usize;
         modes.push((key.clone(), miss, recorded));
     }
+    let batching = j.get("batching").map(|b| {
+        let arm = |which: &str| -> (Vec<f64>, usize) {
+            let miss = b
+                .path(&[which, "miss"])
+                .and_then(Json::as_arr)
+                .map(|a| a.iter().filter_map(Json::as_f64).collect())
+                .unwrap_or_default();
+            let sustained = b
+                .path(&[which, "cells_sustained"])
+                .and_then(Json::as_f64)
+                .unwrap_or(-1.0) as usize;
+            (miss, sustained)
+        };
+        let (batched_miss, batched_sustained) = arm("batched");
+        let (unbatched_miss, unbatched_sustained) = arm("unbatched");
+        BatchingBench {
+            batched_miss,
+            batched_sustained,
+            unbatched_miss,
+            unbatched_sustained,
+        }
+    });
     Ok(NodeBench {
         steal_delta_us,
         mailbox_delta_us,
@@ -424,6 +563,7 @@ pub fn parse_node(src: &str) -> Result<NodeBench, String> {
             .path(&["headline", "steal_ge_mutex"])
             .and_then(Json::as_bool)
             .unwrap_or(false),
+        batching,
     })
 }
 
@@ -903,6 +1043,20 @@ pub fn audit_workspace(root: &Path) -> Audit {
         .map_err(|e| format!("BENCH_kernels.json: {e}"));
     let node = fs::read_to_string(root.join("BENCH_node.json"))
         .map_err(|e| format!("BENCH_node.json: {e}"));
+    let sim_src = fs::read_to_string(root.join("BENCH_sim.json"));
+    // Same-machine gate first: comparing baselines recorded on different
+    // hosts invalidates every downstream number.
+    let mut fp_files: Vec<(&str, &str)> = Vec::new();
+    if let Ok(k) = &kernels {
+        fp_files.push(("BENCH_kernels.json", k.as_str()));
+    }
+    if let Ok(n) = &node {
+        fp_files.push(("BENCH_node.json", n.as_str()));
+    }
+    if let Ok(s) = &sim_src {
+        fp_files.push(("BENCH_sim.json", s.as_str()));
+    }
+    let machine_violations = audit_machines(&fp_files);
     let mut eq3 = match (kernels, node) {
         (Ok(k), Ok(n)) => audit(&k, &n, &shipped_configs()),
         (k, n) => {
@@ -916,13 +1070,14 @@ pub fn audit_workspace(root: &Path) -> Audit {
             }
         }
     };
-    let fleet = match fs::read_to_string(root.join("BENCH_sim.json")) {
+    let fleet = match sim_src {
         Ok(s) => audit_sim(&s, &shipped_fleet_configs()),
         Err(e) => Audit {
             violations: vec![parse_violation("", format!("BENCH_sim.json: {e}"))],
             report: "{}".into(),
         },
     };
+    eq3.violations.extend(machine_violations);
     eq3.violations.extend(fleet.violations);
     Audit {
         violations: eq3.violations,
@@ -961,8 +1116,37 @@ pub fn audit(kernels_src: &str, node_src: &str, configs: &[MirrorConfig]) -> Aud
         }
     };
 
+    // Batched-dispatch floor: the recorded cross-cell batch must still
+    // outrun per-call dispatch.
+    let batched = match parse_batched(kernels_src) {
+        Ok(b) => b,
+        Err(e) => {
+            v.push(parse_violation("BENCH_kernels.json", e));
+            Vec::new()
+        }
+    };
+    for (key, speedup) in &batched {
+        if *speedup < MIN_BATCH_SPEEDUP {
+            v.push(Violation {
+                file: "BENCH_kernels.json".into(),
+                line: 0,
+                pass: "sched",
+                class: "batching-regression",
+                msg: format!(
+                    "batched entry `{key}`: recorded speedup {speedup:.2}x is below the {MIN_BATCH_SPEEDUP}x floor — the batched drain no longer pays for its staging; profile before re-recording"
+                ),
+            });
+        }
+    }
+
     let g = gamma(&table);
     let _ = writeln!(report, "  \"gamma\": {g:.4},");
+    let _ = writeln!(report, "  \"batched_speedups\": {{");
+    for (i, (key, s)) in batched.iter().enumerate() {
+        let comma = if i + 1 < batched.len() { "," } else { "" };
+        let _ = writeln!(report, "    \"{key}\": {s:.3}{comma}");
+    }
+    let _ = writeln!(report, "  }},");
     let _ = writeln!(report, "  \"configs\": [");
 
     for (ci, cfg) in configs.iter().enumerate() {
@@ -1074,6 +1258,27 @@ pub fn audit(kernels_src: &str, node_src: &str, configs: &[MirrorConfig]) -> Aud
         }
         computed.push((key.clone(), c, *recorded));
     }
+    // The batched-vs-unbatched steal sweep reproduces under the same
+    // leading-run rule as the per-mode arrays.
+    if let Some(b) = &node.batching {
+        for (which, miss, recorded) in [
+            ("batched", &b.batched_miss, b.batched_sustained),
+            ("unbatched", &b.unbatched_miss, b.unbatched_sustained),
+        ] {
+            let c = cells_sustained(miss, node.miss_threshold);
+            if c != recorded {
+                v.push(Violation {
+                    file: "BENCH_node.json".into(),
+                    line: 0,
+                    pass: "sched",
+                    class: "capacity-drift",
+                    msg: format!(
+                        "batching.{which}: cells_sustained recomputed from the miss array is {c}, but the tracked file records {recorded} — re-run `rtopex-bench --node` or fix the file"
+                    ),
+                });
+            }
+        }
+    }
     let lookup = |k: &str| {
         computed
             .iter()
@@ -1167,9 +1372,9 @@ mod tests {
     #[test]
     fn fft_model_matches_tracked_points_and_interpolates() {
         let t = parse_kernels(KERNELS).unwrap();
-        assert_eq!(fft_cost_ns(&t, 128), 987.0);
+        assert_eq!(fft_cost_ns(&t, 128), 1290.0);
         let t512 = fft_cost_ns(&t, 512);
-        assert!(t512 > 987.0 && t512 < 8533.0, "fft512 = {t512}");
+        assert!(t512 > 1290.0 && t512 < 12942.0, "fft512 = {t512}");
     }
 
     #[test]
@@ -1199,8 +1404,115 @@ mod tests {
             steal >= mutex && mutex >= global,
             "{steal} {mutex} {global}"
         );
-        // The PR 3 measured table.
-        assert_eq!((steal, mutex, global, part), (4, 3, 3, 4));
+        // The PR 7 measured table (batched dispatch + NUMA-aware steal).
+        assert_eq!((steal, mutex, global, part), (5, 4, 3, 2));
+    }
+
+    fn machine_doc(cpu: &str, cores: usize, tier: &str) -> String {
+        format!(r#"{{ "machine": {{ "cpu": "{cpu}", "cores": {cores}, "simd_tier": "{tier}" }} }}"#)
+    }
+
+    #[test]
+    fn cross_machine_baselines_are_refused() {
+        let a = machine_doc("Xeon", 1, "avx512");
+        let b = machine_doc("EPYC", 64, "avx2");
+        let v = audit_machines(&[("BENCH_kernels.json", &a), ("BENCH_node.json", &b)]);
+        assert!(v.iter().any(|v| v.class == "machine-mismatch"), "{v:#?}");
+    }
+
+    #[test]
+    fn same_machine_baselines_pass_and_legacy_files_without_tier_are_tolerated() {
+        let a = machine_doc("Xeon", 1, "avx512");
+        let legacy = r#"{ "machine": { "cpu": "Xeon", "cores": 1 } }"#;
+        assert!(audit_machines(&[("k", &a), ("n", &a), ("s", legacy)]).is_empty());
+    }
+
+    #[test]
+    fn missing_machine_block_is_flagged() {
+        let v = audit_machines(&[("BENCH_kernels.json", "{}")]);
+        assert!(v.iter().any(|v| v.class == "machine-fingerprint"), "{v:#?}");
+    }
+
+    #[test]
+    fn tracked_baselines_share_a_machine() {
+        let v = audit_machines(&[
+            ("BENCH_kernels.json", KERNELS),
+            ("BENCH_node.json", NODE),
+            ("BENCH_sim.json", SIM),
+        ]);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn tracked_batched_speedups_clear_the_floor() {
+        let b = parse_batched(KERNELS).unwrap();
+        assert!(
+            !b.is_empty(),
+            "tracked kernels baseline must record batched rows"
+        );
+        assert!(b.iter().all(|(_, s)| *s >= MIN_BATCH_SPEEDUP), "{b:?}");
+    }
+
+    #[test]
+    fn batched_speedup_below_floor_is_caught() {
+        let doc = KERNELS.replace(
+            "\"batched\": {",
+            "\"batched\": {\n    \"turbo_kX_b4\": { \"per_call_avx2_ns\": 100, \"batched_ns\": 100, \"speedup\": 1.000 },",
+        );
+        assert_ne!(doc, KERNELS, "tracked baseline must have a batched section");
+        let a = audit(&doc, NODE, &shipped_configs());
+        assert!(
+            a.violations
+                .iter()
+                .any(|v| v.class == "batching-regression"),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    /// A minimal node doc whose batching block records
+    /// `batched_sustained`; the miss arrays support exactly 2.
+    fn node_doc(batched_sustained: usize) -> String {
+        format!(
+            r#"{{
+  "steal_path": {{
+    "fft": {{ "steal_delta_us": 10.0, "mailbox_delta_us": 20.0 }},
+    "decode": {{ "steal_delta_us": 12.0, "mailbox_delta_us": 25.0 }}
+  }},
+  "sweep": {{
+    "config": {{ "miss_threshold": 0.005 }},
+    "modes": {{
+      "partitioned": {{ "miss": [0.0, 0.1], "cells_sustained": 1 }},
+      "global": {{ "miss": [0.0, 0.1], "cells_sustained": 1 }},
+      "rtopex_mutex": {{ "miss": [0.0, 0.1], "cells_sustained": 1 }},
+      "rtopex_steal": {{ "miss": [0.0, 0.0], "cells_sustained": 2 }}
+    }}
+  }},
+  "batching": {{
+    "batched": {{ "miss": [0.0, 0.0], "cells_sustained": {batched_sustained} }},
+    "unbatched": {{ "miss": [0.0, 0.1], "cells_sustained": 1 }}
+  }},
+  "headline": {{ "steal_ge_mutex": true }}
+}}"#
+        )
+    }
+
+    #[test]
+    fn batching_capacity_drift_is_caught() {
+        let a = audit(KERNELS, &node_doc(3), &[]);
+        assert!(
+            a.violations
+                .iter()
+                .any(|v| v.class == "capacity-drift" && v.msg.contains("batching.batched")),
+            "{:#?}",
+            a.violations
+        );
+        let ok = audit(KERNELS, &node_doc(2), &[]);
+        assert!(
+            !ok.violations.iter().any(|v| v.class == "capacity-drift"),
+            "{:#?}",
+            ok.violations
+        );
     }
 
     #[test]

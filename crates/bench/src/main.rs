@@ -19,10 +19,11 @@ use rtopex_phy::equalizer::{mrc_combine, ChannelEstimate};
 use rtopex_phy::fft::FftPlan;
 use rtopex_phy::modulation::Modulation;
 use rtopex_phy::params::Bandwidth;
-use rtopex_phy::simd;
-use rtopex_phy::turbo::{TurboDecoder, TurboEncoder, TurboWorkspace};
+use rtopex_phy::simd::{self, SimdTier};
+use rtopex_phy::turbo::{decode_batch, TurboBatchJob, TurboDecoder, TurboEncoder, TurboWorkspace};
 use rtopex_phy::uplink::{UplinkConfig, UplinkRx, UplinkTx};
 use rtopex_phy::Cf32;
+use rtopex_runtime::affinity::NumaTopology;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -168,6 +169,94 @@ fn subframe_entry(out: &mut Vec<Entry>) {
     });
 }
 
+/// Per-tier rows: every kernel generator re-run with each supported tier
+/// forced, so the committed baseline records what each instruction-set
+/// tier buys on this machine (and the scalar reference cost the
+/// equivalence tests compare against).
+fn tier_entries() -> Vec<(&'static str, Vec<Entry>)> {
+    let mut out = Vec::new();
+    for tier in simd::supported_tiers() {
+        eprintln!("timing kernels at forced tier {}…", tier.name());
+        simd::force_tier(Some(tier));
+        let mut entries = Vec::new();
+        turbo_entries(&mut entries);
+        demap_entries(&mut entries);
+        fft_entries(&mut entries);
+        subframe_entry(&mut entries);
+        out.push((tier.name(), entries));
+    }
+    simd::force_tier(None);
+    out
+}
+
+/// One batched-vs-per-call turbo measurement.
+struct BatchedEntry {
+    k: usize,
+    batch: usize,
+    per_call_ns: u64,
+    batched_ns: u64,
+    speedup: f64,
+}
+
+/// Cross-cell batched dispatch headline: `decode_batch` at the widest
+/// detected tier (paired trellises sharing AVX-512 lanes) vs. the same
+/// jobs decoded one `decode_with` call at a time on the per-call AVX2
+/// path — the best pre-batching configuration. Both sides decode the
+/// same four distinct codewords per invocation.
+fn batched_entries() -> Vec<BatchedEntry> {
+    const BATCH: usize = 4;
+    let per_call_tier = if simd::supports(SimdTier::Avx2) {
+        SimdTier::Avx2
+    } else {
+        simd::hardware_tier()
+    };
+    let mut out = Vec::new();
+    for k in [2048usize, 6144] {
+        let enc = TurboEncoder::new(k);
+        let llr =
+            |v: &[u8]| -> Vec<f32> { v.iter().map(|&x| 4.0 * (1.0 - 2.0 * x as f32)).collect() };
+        let streams: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..BATCH)
+            .map(|i| {
+                let cw = enc.encode(&bits(k, 10 + i as u64));
+                (llr(&cw.d0), llr(&cw.d1), llr(&cw.d2))
+            })
+            .collect();
+        let dec = TurboDecoder::with_qpp(enc.qpp().clone());
+        let mut wss: Vec<TurboWorkspace> = (0..BATCH).map(|_| TurboWorkspace::new()).collect();
+        let mut results = vec![(0usize, false); BATCH];
+
+        simd::force_tier(Some(per_call_tier));
+        let (per_call_ns, _) = time_kernel(300, || {
+            for (s, ws) in streams.iter().zip(wss.iter_mut()) {
+                dec.decode_with(&s.0, &s.1, &s.2, 1, |_| false, ws);
+            }
+        });
+
+        simd::force_tier(None);
+        let jobs: Vec<TurboBatchJob> = streams
+            .iter()
+            .map(|s| TurboBatchJob {
+                decoder: &dec,
+                d0: &s.0,
+                d1: &s.1,
+                d2: &s.2,
+                max_iters: 1,
+            })
+            .collect();
+        let (batched_ns, _) = time_kernel(300, || {
+            decode_batch(&jobs, |_, _| false, &mut wss, &mut results)
+        });
+        out.push(BatchedEntry {
+            k,
+            batch: BATCH,
+            per_call_ns,
+            batched_ns,
+            speedup: per_call_ns as f64 / batched_ns as f64,
+        });
+    }
+    out
+}
+
 fn cpu_model() -> String {
     std::fs::read_to_string("/proc/cpuinfo")
         .ok()
@@ -178,6 +267,52 @@ fn cpu_model() -> String {
                 .map(|v| v.trim().to_string())
         })
         .unwrap_or_else(|| std::env::consts::ARCH.to_string())
+}
+
+/// Cache sizes in KiB from cpu0's sysfs cache directory: (L1d, L2, L3);
+/// 0 for a level the kernel does not expose.
+fn cache_topology_kb() -> (u64, u64, u64) {
+    let mut caches = (0u64, 0u64, 0u64);
+    for idx in 0..8 {
+        let base = format!("/sys/devices/system/cpu/cpu0/cache/index{idx}");
+        let read = |f: &str| std::fs::read_to_string(format!("{base}/{f}")).ok();
+        let (Some(level), Some(ty), Some(size)) = (read("level"), read("type"), read("size"))
+        else {
+            continue;
+        };
+        let kb = size
+            .trim()
+            .trim_end_matches(['K', 'k'])
+            .parse::<u64>()
+            .unwrap_or(0);
+        match (level.trim(), ty.trim()) {
+            ("1", "Data") => caches.0 = kb,
+            ("2", "Unified") => caches.1 = kb,
+            ("3", "Unified") => caches.2 = kb,
+            _ => {}
+        }
+    }
+    caches
+}
+
+/// The machine fingerprint every `BENCH_*.json` carries: CPU model, core
+/// count, cache topology, NUMA domain count (honouring the `RTOPEX_NUMA`
+/// emulation override so a run's sharding assumptions are visible in the
+/// file it produced) and the widest SIMD tier. The analyzer refuses to
+/// compare baselines whose fingerprints disagree, so all three emitters
+/// share this one constructor.
+fn machine_json() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (l1d, l2, l3) = cache_topology_kb();
+    format!(
+        "{{ \"cpu\": \"{}\", \"cores\": {cores}, \"l1d_kb\": {l1d}, \"l2_kb\": {l2}, \
+         \"l3_kb\": {l3}, \"numa_domains\": {}, \"simd_tier\": \"{}\" }}",
+        json_escape(&cpu_model()),
+        NumaTopology::detect().num_domains(),
+        simd::hardware_tier().name()
+    )
 }
 
 fn git_rev() -> String {
@@ -228,7 +363,7 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "BENCH_kernels.json".to_string());
-    let tier = format!("{:?}", simd::detected_tier()).to_lowercase();
+    let tier = simd::detected_tier().name();
     let mut entries = Vec::new();
     eprintln!("timing kernels (tier: {tier})…");
     turbo_entries(&mut entries);
@@ -236,22 +371,16 @@ fn main() {
     mrc_entries(&mut entries);
     fft_entries(&mut entries);
     subframe_entry(&mut entries);
+    let tiers = tier_entries();
+    eprintln!("timing batched turbo dispatch…");
+    let batched = batched_entries();
 
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     let mut body = String::new();
     writeln!(body, "{{").unwrap();
     writeln!(body, "  \"schema\": 1,").unwrap();
     writeln!(body, "  \"git_rev\": \"{}\",", json_escape(&git_rev())).unwrap();
-    writeln!(
-        body,
-        "  \"machine\": {{ \"cpu\": \"{}\", \"cores\": {}, \"simd_tier\": \"{}\" }},",
-        json_escape(&cpu_model()),
-        cores,
-        tier
-    )
-    .unwrap();
+    writeln!(body, "  \"machine\": {},", machine_json()).unwrap();
+    writeln!(body, "  \"simd_tier\": \"{tier}\",").unwrap();
     writeln!(body, "  \"kernels\": {{").unwrap();
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
@@ -264,6 +393,38 @@ fn main() {
         eprintln!(
             "  {:>28}_{:<5} {:>12} ns  ({} iters)",
             e.name, e.size, e.mean_ns, e.iters
+        );
+    }
+    writeln!(body, "  }},").unwrap();
+    writeln!(body, "  \"tiers\": {{").unwrap();
+    for (ti, (name, entries)) in tiers.iter().enumerate() {
+        let tcomma = if ti + 1 < tiers.len() { "," } else { "" };
+        writeln!(body, "    \"{name}\": {{").unwrap();
+        for (i, e) in entries.iter().enumerate() {
+            let comma = if i + 1 < entries.len() { "," } else { "" };
+            writeln!(
+                body,
+                "      \"{}_{}\": {{ \"mean_ns\": {}, \"iters\": {} }}{}",
+                e.name, e.size, e.mean_ns, e.iters, comma
+            )
+            .unwrap();
+        }
+        writeln!(body, "    }}{tcomma}").unwrap();
+    }
+    writeln!(body, "  }},").unwrap();
+    writeln!(body, "  \"batched\": {{").unwrap();
+    for (i, b) in batched.iter().enumerate() {
+        let comma = if i + 1 < batched.len() { "," } else { "" };
+        writeln!(
+            body,
+            "    \"turbo_k{}_b{}\": {{ \"per_call_avx2_ns\": {}, \"batched_ns\": {}, \
+             \"speedup\": {:.3} }}{}",
+            b.k, b.batch, b.per_call_ns, b.batched_ns, b.speedup, comma
+        )
+        .unwrap();
+        eprintln!(
+            "  turbo k={} batch {}: per-call {} ns, batched {} ns ({:.2}x)",
+            b.k, b.batch, b.per_call_ns, b.batched_ns, b.speedup
         );
     }
     writeln!(body, "  }}").unwrap();

@@ -173,9 +173,6 @@ pub fn run_bench(quick: bool, path: &str) {
     let curves = sweep_all(&opts);
 
     let ecfg = engine_cfg(quick, SchedulerKind::Partitioned);
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
 
     let mut body = String::new();
     writeln!(body, "{{").unwrap();
@@ -187,13 +184,7 @@ pub fn run_bench(quick: bool, path: &str) {
         crate::json_escape(&crate::git_rev())
     )
     .unwrap();
-    writeln!(
-        body,
-        "  \"machine\": {{ \"cpu\": \"{}\", \"cores\": {} }},",
-        crate::json_escape(&crate::cpu_model()),
-        cores
-    )
-    .unwrap();
+    writeln!(body, "  \"machine\": {},", crate::machine_json()).unwrap();
 
     writeln!(body, "  \"engine\": {{").unwrap();
     writeln!(

@@ -199,7 +199,10 @@ pub fn mrc_combine_into(
         let mut acc_im = [0.0f32; 8];
         let mut gain = [0.0f32; 8];
         #[cfg(target_arch = "x86_64")]
-        let done = if tier == SimdTier::Avx2 && len == 8 {
+        let done = if tier >= SimdTier::Avx2 && len == 8 {
+            // The MRC block stays 8-wide under Avx512 too: per-antenna rows
+            // are short and the deinterleave dominates, so a 16-lane form
+            // does not pay (measured in the `mrc` bench group).
             // SAFETY: the Avx2 tier is only reported after runtime
             // detection succeeded (see crate::simd).
             #[allow(unsafe_code)]

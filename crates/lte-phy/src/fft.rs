@@ -172,6 +172,28 @@ impl FftPlan {
         }
     }
 
+    /// Plan-shared batched forward transform: `data` holds `rows`
+    /// back-to-back transforms of [`FftPlan::len`] points each, all run
+    /// through this plan with one tier resolution and a hot twiddle table.
+    /// This is the FFT half of the cross-cell batched dispatch path: when
+    /// several cells' subframes land in the same tick, one worker fans the
+    /// whole flattened grid through here instead of re-entering the plan
+    /// per symbol.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `self.len()` or
+    /// `scratch.len() != self.len()`.
+    pub fn forward_rows(&self, data: &mut [Cf32], scratch: &mut [Cf32]) {
+        // analyze: allow(panic): buffer-shape contract, same as forward_scratch
+        assert!(
+            data.len().is_multiple_of(self.n),
+            "batch length must be a whole number of rows"
+        );
+        for row in data.chunks_exact_mut(self.n) {
+            self.forward_scratch(row, scratch);
+        }
+    }
+
     /// Iterative Stockham autosort mixed-radix kernel. One pass per prime
     /// factor, ping-ponging between `data` and `scratch`; the result always
     /// ends up back in `data`.
@@ -185,6 +207,11 @@ impl FftPlan {
     /// ```
     ///
     /// for `p ∈ [0,m)`, `q ∈ [0,s)`, `j ∈ [0,r)`; then `n_cur ← m`, `s ← s·r`.
+    ///
+    /// Radix 2, 3 and 5 stages use dedicated butterflies (constant
+    /// rotations instead of the `O(r²)` twiddle-table accumulation), each
+    /// with an intrinsic form once the accumulated stride covers a whole
+    /// vector; other prime factors fall back to the generic stage.
     fn stockham(&self, data: &mut [Cf32], scratch: &mut [Cf32]) {
         let n = self.n;
         if n == 1 {
@@ -203,52 +230,63 @@ impl FftPlan {
                 (scratch, data)
             };
             let wn_stride = n / n_cur;
-            if r == 2 {
-                // Radix-2 butterfly: j = 0 twiddle is 1, j = 1 is W_{n_cur}^p.
-                // Once the accumulated stride is a whole vector (s % 4 == 0)
-                // the inner q loop runs 4 complex lanes per instruction; the
-                // per-element complex add/sub/multiply sequence is identical
-                // to the scalar loop, so the tiers are bit-exact.
-                #[cfg(target_arch = "x86_64")]
-                let vectorized = if tier == SimdTier::Avx2 && s.is_multiple_of(4) {
-                    // SAFETY: the Avx2 tier is only reported after runtime
-                    // detection succeeded (see crate::simd).
-                    #[allow(unsafe_code)]
-                    unsafe {
-                        avx2::radix2_stage(src, dst, tw, m, s, wn_stride)
-                    };
-                    true
-                } else {
-                    false
-                };
-                #[cfg(not(target_arch = "x86_64"))]
-                let vectorized = {
-                    let _ = tier;
-                    false
-                };
-                if !vectorized {
-                    for p in 0..m {
-                        let wp = tw[p * wn_stride];
-                        for q in 0..s {
-                            let x0 = src[q + s * p];
-                            let x1 = src[q + s * (p + m)];
-                            dst[q + s * 2 * p] = x0 + x1;
-                            dst[q + s * (2 * p + 1)] = (x0 - x1) * wp;
-                        }
+            // Stride-aligned stages dispatch to the intrinsic tiers; the
+            // per-element op sequence is identical in every form, so the
+            // tiers stay bit-exact (see the avx2/avx512 module docs).
+            #[cfg(target_arch = "x86_64")]
+            let vectorized = {
+                #[allow(unsafe_code)]
+                match r {
+                    2 if tier >= SimdTier::Avx512 && s.is_multiple_of(8) => {
+                        // SAFETY: the Avx512 tier is only reported by `crate::simd`
+                        // after avx512f/avx512bw detection; `s % 8 == 0` guarantees
+                        // the 8-complex zmm loads stay in bounds.
+                        unsafe { avx512::radix2_stage(src, dst, tw, m, s, wn_stride) };
+                        true
                     }
+                    2 if tier >= SimdTier::Avx2 && s.is_multiple_of(4) => {
+                        // SAFETY: the Avx2 tier is only reported after feature
+                        // detection; `s % 4 == 0` keeps the 4-complex loads in bounds.
+                        unsafe { avx2::radix2_stage(src, dst, tw, m, s, wn_stride) };
+                        true
+                    }
+                    3 if tier >= SimdTier::Avx2 && s.is_multiple_of(4) => {
+                        // SAFETY: as above — detected AVX2 plus stride-aligned loads.
+                        unsafe { avx2::radix3_stage(src, dst, tw, m, s, n_cur, wn_stride) };
+                        true
+                    }
+                    5 if tier >= SimdTier::Avx2 && s.is_multiple_of(4) => {
+                        // SAFETY: as above — detected AVX2 plus stride-aligned loads.
+                        unsafe { avx2::radix5_stage(src, dst, tw, m, s, n_cur, wn_stride) };
+                        true
+                    }
+                    _ => false,
                 }
-            } else {
-                let wr_stride = n / r;
-                for j in 0..r {
-                    for p in 0..m {
-                        let wp = tw[(p * j) % n_cur * wn_stride];
-                        for q in 0..s {
-                            let mut acc = Cf32::ZERO;
-                            for i in 0..r {
-                                let w = tw[(i * j) % r * wr_stride];
-                                acc += w * src[q + s * (p + m * i)];
+            };
+            #[cfg(not(target_arch = "x86_64"))]
+            let vectorized = {
+                let _ = tier;
+                false
+            };
+            if !vectorized {
+                match r {
+                    2 => radix2_lanes(src, dst, tw, m, s, wn_stride),
+                    3 => radix3_lanes(src, dst, tw, m, s, n_cur, wn_stride),
+                    5 => radix5_lanes(src, dst, tw, m, s, n_cur, wn_stride),
+                    _ => {
+                        let wr_stride = n / r;
+                        for j in 0..r {
+                            for p in 0..m {
+                                let wp = tw[(p * j) % n_cur * wn_stride];
+                                for q in 0..s {
+                                    let mut acc = Cf32::ZERO;
+                                    for i in 0..r {
+                                        let w = tw[(i * j) % r * wr_stride];
+                                        acc += w * src[q + s * (p + m * i)];
+                                    }
+                                    dst[q + s * (r * p + j)] = acc * wp;
+                                }
                             }
-                            dst[q + s * (r * p + j)] = acc * wp;
                         }
                     }
                 }
@@ -259,6 +297,109 @@ impl FftPlan {
         }
         if !in_data {
             data.copy_from_slice(scratch);
+        }
+    }
+}
+
+/// `cos(2π/3)` — the radix-3 rotation's real part.
+const C3: f32 = -0.5;
+/// `sin(2π/3)`.
+const S3: f32 = 0.866_025_4;
+/// `cos(2π/5)`.
+const C51: f32 = 0.309_017;
+/// `cos(4π/5)`.
+const C52: f32 = -0.809_017;
+/// `sin(2π/5)`.
+const S51: f32 = 0.951_056_5;
+/// `sin(4π/5)`.
+const S52: f32 = 0.587_785_25;
+
+/// Portable radix-2 butterfly stage (the lane-form reference the intrinsic
+/// stages mirror term for term).
+fn radix2_lanes(src: &[Cf32], dst: &mut [Cf32], tw: &[Cf32], m: usize, s: usize, wn_stride: usize) {
+    for p in 0..m {
+        let wp = tw[p * wn_stride];
+        for q in 0..s {
+            let x0 = src[q + s * p];
+            let x1 = src[q + s * (p + m)];
+            dst[q + s * 2 * p] = x0 + x1;
+            dst[q + s * (2 * p + 1)] = (x0 - x1) * wp;
+        }
+    }
+}
+
+/// Portable dedicated radix-3 butterfly: `W₃ = C3 ∓ i·S3` folded into two
+/// real rotations (6 real multiplies per butterfly vs the generic stage's
+/// 9 table-lookup complex multiplies plus index modulos).
+fn radix3_lanes(
+    src: &[Cf32],
+    dst: &mut [Cf32],
+    tw: &[Cf32],
+    m: usize,
+    s: usize,
+    n_cur: usize,
+    wn_stride: usize,
+) {
+    for p in 0..m {
+        let w1 = tw[p * wn_stride];
+        let w2 = tw[(2 * p) % n_cur * wn_stride];
+        for q in 0..s {
+            let x0 = src[q + s * p];
+            let x1 = src[q + s * (p + m)];
+            let x2 = src[q + s * (p + 2 * m)];
+            let t = x1 + x2;
+            let u = x1 - x2;
+            let z = Cf32::new(x0.re + C3 * t.re, x0.im + C3 * t.im);
+            let w = Cf32::new(S3 * u.im, -(S3 * u.re));
+            dst[q + s * 3 * p] = x0 + t;
+            dst[q + s * (3 * p + 1)] = (z + w) * w1;
+            dst[q + s * (3 * p + 2)] = (z - w) * w2;
+        }
+    }
+}
+
+/// Portable dedicated radix-5 butterfly (Winograd-style real rotations:
+/// 16 real multiplies per butterfly vs the generic stage's 25 table-lookup
+/// complex multiplies).
+fn radix5_lanes(
+    src: &[Cf32],
+    dst: &mut [Cf32],
+    tw: &[Cf32],
+    m: usize,
+    s: usize,
+    n_cur: usize,
+    wn_stride: usize,
+) {
+    for p in 0..m {
+        let w1 = tw[p * wn_stride];
+        let w2 = tw[(2 * p) % n_cur * wn_stride];
+        let w3 = tw[(3 * p) % n_cur * wn_stride];
+        let w4 = tw[(4 * p) % n_cur * wn_stride];
+        for q in 0..s {
+            let x0 = src[q + s * p];
+            let x1 = src[q + s * (p + m)];
+            let x2 = src[q + s * (p + 2 * m)];
+            let x3 = src[q + s * (p + 3 * m)];
+            let x4 = src[q + s * (p + 4 * m)];
+            let t1 = x1 + x4;
+            let t2 = x2 + x3;
+            let t3 = x1 - x4;
+            let t4 = x2 - x3;
+            let m1 = Cf32::new(
+                x0.re + C51 * t1.re + C52 * t2.re,
+                x0.im + C51 * t1.im + C52 * t2.im,
+            );
+            let m2 = Cf32::new(
+                x0.re + C52 * t1.re + C51 * t2.re,
+                x0.im + C52 * t1.im + C51 * t2.im,
+            );
+            let v1 = Cf32::new(S51 * t3.im + S52 * t4.im, -(S51 * t3.re + S52 * t4.re));
+            let v2 = Cf32::new(S52 * t3.im - S51 * t4.im, -(S52 * t3.re - S51 * t4.re));
+            dst[q + s * 5 * p] = x0 + t1 + t2;
+            dst[q + s * (5 * p + 1)] = (m1 + v1) * w1;
+            dst[q + s * (5 * p + 2)] = (m2 + v2) * w2;
+            dst[q + s * (5 * p + 3)] = (m2 - v2) * w3;
+            dst[q + s * (5 * p + 4)] = (m1 - v1) * w4;
         }
     }
 }
@@ -321,6 +462,241 @@ mod avx2 {
                     _mm256_storeu_ps(dp.add(2 * (hi + q)), prod);
                 }
                 q += 4;
+            }
+        }
+    }
+
+    /// Swaps the re/im halves of each complex pair.
+    #[inline(always)]
+    fn swap_pairs(v: __m256) -> __m256 {
+        // SAFETY: pure register permute, no memory access; only reachable
+        // from `avx2`-gated callers.
+        unsafe { _mm256_permute_ps(v, 0b10_11_00_01) }
+    }
+
+    /// Flips the sign of the imaginary (odd) lanes: `(re, im) → (re, −im)`.
+    /// An XOR of the sign bit, so exact for every input.
+    #[inline(always)]
+    fn negate_im(v: __m256) -> __m256 {
+        // SAFETY: pure register ops; only reachable from avx2-gated callers.
+        unsafe {
+            let mask = _mm256_set_ps(-0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0);
+            _mm256_xor_ps(v, mask)
+        }
+    }
+
+    /// Complex multiply of 4 packed complex lanes by the broadcast twiddle
+    /// `(wr, wi)`: `(re·wr − im·wi, im·wr + re·wi)` — the same term order as
+    /// `Cf32`'s operator up to the exactly-commutative final addition.
+    #[inline(always)]
+    fn cmul(v: __m256, wr: __m256, wi: __m256) -> __m256 {
+        // SAFETY: pure register ops; only reachable from avx2-gated callers.
+        unsafe { _mm256_addsub_ps(_mm256_mul_ps(v, wr), _mm256_mul_ps(swap_pairs(v), wi)) }
+    }
+
+    /// AVX2 dedicated radix-3 butterfly stage: term-for-term the vector
+    /// form of `radix3_lanes` (same constants, same op order per element),
+    /// so the two are bit-exact.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime. Requires
+    /// `s % 4 == 0` and both slices at least `3 * m * s` long.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn radix3_stage(
+        src: &[Cf32],
+        dst: &mut [Cf32],
+        tw: &[Cf32],
+        m: usize,
+        s: usize,
+        n_cur: usize,
+        wn_stride: usize,
+    ) {
+        debug_assert!(s.is_multiple_of(4));
+        debug_assert!(src.len() >= 3 * m * s && dst.len() >= 3 * m * s);
+        let sp = src.as_ptr() as *const f32;
+        let dp = dst.as_mut_ptr() as *mut f32;
+        let c3 = _mm256_set1_ps(super::C3);
+        let s3 = _mm256_set1_ps(super::S3);
+        for p in 0..m {
+            let w1 = tw[p * wn_stride];
+            let w2 = tw[(2 * p) % n_cur * wn_stride];
+            let (w1r, w1i) = (_mm256_set1_ps(w1.re), _mm256_set1_ps(w1.im));
+            let (w2r, w2i) = (_mm256_set1_ps(w2.re), _mm256_set1_ps(w2.im));
+            let (a0, a1, a2) = (s * p, s * (p + m), s * (p + 2 * m));
+            let (o0, o1, o2) = (s * 3 * p, s * (3 * p + 1), s * (3 * p + 2));
+            let mut q = 0usize;
+            while q < s {
+                // SAFETY: q + 4 <= s keeps every 8-float load/store in range.
+                unsafe {
+                    let x0 = _mm256_loadu_ps(sp.add(2 * (a0 + q)));
+                    let x1 = _mm256_loadu_ps(sp.add(2 * (a1 + q)));
+                    let x2 = _mm256_loadu_ps(sp.add(2 * (a2 + q)));
+                    let t = _mm256_add_ps(x1, x2);
+                    let u = _mm256_sub_ps(x1, x2);
+                    // z = x0 + C3·t ; w = (S3·u.im, −S3·u.re)
+                    let z = _mm256_add_ps(x0, _mm256_mul_ps(t, c3));
+                    let w = negate_im(_mm256_mul_ps(swap_pairs(u), s3));
+                    _mm256_storeu_ps(dp.add(2 * (o0 + q)), _mm256_add_ps(x0, t));
+                    _mm256_storeu_ps(dp.add(2 * (o1 + q)), cmul(_mm256_add_ps(z, w), w1r, w1i));
+                    _mm256_storeu_ps(dp.add(2 * (o2 + q)), cmul(_mm256_sub_ps(z, w), w2r, w2i));
+                }
+                q += 4;
+            }
+        }
+    }
+
+    /// AVX2 dedicated radix-5 butterfly stage: the vector form of
+    /// `radix5_lanes`, bit-exact with it.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime. Requires
+    /// `s % 4 == 0` and both slices at least `5 * m * s` long.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn radix5_stage(
+        src: &[Cf32],
+        dst: &mut [Cf32],
+        tw: &[Cf32],
+        m: usize,
+        s: usize,
+        n_cur: usize,
+        wn_stride: usize,
+    ) {
+        debug_assert!(s.is_multiple_of(4));
+        debug_assert!(src.len() >= 5 * m * s && dst.len() >= 5 * m * s);
+        let sp = src.as_ptr() as *const f32;
+        let dp = dst.as_mut_ptr() as *mut f32;
+        let c51 = _mm256_set1_ps(super::C51);
+        let c52 = _mm256_set1_ps(super::C52);
+        let s51 = _mm256_set1_ps(super::S51);
+        let s52 = _mm256_set1_ps(super::S52);
+        for p in 0..m {
+            let wp: [Cf32; 4] = [
+                tw[p * wn_stride],
+                tw[(2 * p) % n_cur * wn_stride],
+                tw[(3 * p) % n_cur * wn_stride],
+                tw[(4 * p) % n_cur * wn_stride],
+            ];
+            let a = [
+                s * p,
+                s * (p + m),
+                s * (p + 2 * m),
+                s * (p + 3 * m),
+                s * (p + 4 * m),
+            ];
+            let o = [
+                s * 5 * p,
+                s * (5 * p + 1),
+                s * (5 * p + 2),
+                s * (5 * p + 3),
+                s * (5 * p + 4),
+            ];
+            let mut q = 0usize;
+            while q < s {
+                // SAFETY: q + 4 <= s keeps every 8-float load/store in range.
+                unsafe {
+                    let x0 = _mm256_loadu_ps(sp.add(2 * (a[0] + q)));
+                    let x1 = _mm256_loadu_ps(sp.add(2 * (a[1] + q)));
+                    let x2 = _mm256_loadu_ps(sp.add(2 * (a[2] + q)));
+                    let x3 = _mm256_loadu_ps(sp.add(2 * (a[3] + q)));
+                    let x4 = _mm256_loadu_ps(sp.add(2 * (a[4] + q)));
+                    let t1 = _mm256_add_ps(x1, x4);
+                    let t2 = _mm256_add_ps(x2, x3);
+                    let t3 = _mm256_sub_ps(x1, x4);
+                    let t4 = _mm256_sub_ps(x2, x3);
+                    let m1 = _mm256_add_ps(
+                        _mm256_add_ps(x0, _mm256_mul_ps(t1, c51)),
+                        _mm256_mul_ps(t2, c52),
+                    );
+                    let m2 = _mm256_add_ps(
+                        _mm256_add_ps(x0, _mm256_mul_ps(t1, c52)),
+                        _mm256_mul_ps(t2, c51),
+                    );
+                    let t3s = swap_pairs(t3);
+                    let t4s = swap_pairs(t4);
+                    let v1 = negate_im(_mm256_add_ps(
+                        _mm256_mul_ps(t3s, s51),
+                        _mm256_mul_ps(t4s, s52),
+                    ));
+                    let v2 = negate_im(_mm256_sub_ps(
+                        _mm256_mul_ps(t3s, s52),
+                        _mm256_mul_ps(t4s, s51),
+                    ));
+                    let y0 = _mm256_add_ps(_mm256_add_ps(x0, t1), t2);
+                    _mm256_storeu_ps(dp.add(2 * (o[0] + q)), y0);
+                    let pairs = [
+                        (_mm256_add_ps(m1, v1), o[1], wp[0]),
+                        (_mm256_add_ps(m2, v2), o[2], wp[1]),
+                        (_mm256_sub_ps(m2, v2), o[3], wp[2]),
+                        (_mm256_sub_ps(m1, v1), o[4], wp[3]),
+                    ];
+                    for (y, off, w) in pairs {
+                        let prod = cmul(y, _mm256_set1_ps(w.re), _mm256_set1_ps(w.im));
+                        _mm256_storeu_ps(dp.add(2 * (off + q)), prod);
+                    }
+                }
+                q += 4;
+            }
+        }
+    }
+}
+
+/// AVX-512 radix-2 butterfly stage: 8 interleaved complex values per
+/// vector. Per-element arithmetic matches the AVX2/scalar forms exactly —
+/// the `addsub` is emulated as an even-lane sign flip followed by an add,
+/// which is the identical IEEE operation (`a − b ≡ a + (−b)`), so the tier
+/// stays bit-exact.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    #![allow(unsafe_code)]
+
+    use crate::complex::Cf32;
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must have verified AVX-512F support at runtime. Requires
+    /// `s % 8 == 0`, `src.len() >= 2 * m * s`, and `dst.len() >= 2 * m * s`.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn radix2_stage(
+        src: &[Cf32],
+        dst: &mut [Cf32],
+        tw: &[Cf32],
+        m: usize,
+        s: usize,
+        wn_stride: usize,
+    ) {
+        debug_assert!(s.is_multiple_of(8));
+        debug_assert!(src.len() >= 2 * m * s && dst.len() >= 2 * m * s);
+        let sp = src.as_ptr() as *const f32;
+        let dp = dst.as_mut_ptr() as *mut f32;
+        // −0.0 in even (real) lanes: XOR then add emulates addsub exactly.
+        let even_neg = _mm512_set_ps(
+            0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0,
+        );
+        for p in 0..m {
+            let wp = tw[p * wn_stride];
+            let wr = _mm512_set1_ps(wp.re);
+            let wi = _mm512_set1_ps(wp.im);
+            let a = s * p;
+            let b = s * (p + m);
+            let lo = s * 2 * p;
+            let hi = s * (2 * p + 1);
+            let mut q = 0usize;
+            while q < s {
+                // SAFETY: q + 8 <= s, so all eight-complex (16-float) loads
+                // and stores stay inside the slices per the length bounds.
+                unsafe {
+                    let x0 = _mm512_loadu_ps(sp.add(2 * (a + q)));
+                    let x1 = _mm512_loadu_ps(sp.add(2 * (b + q)));
+                    let sum = _mm512_add_ps(x0, x1);
+                    let d = _mm512_sub_ps(x0, x1);
+                    let t1 = _mm512_mul_ps(d, wr);
+                    let dsw = _mm512_permute_ps(d, 0b10_11_00_01);
+                    let t2 = _mm512_mul_ps(dsw, wi);
+                    let prod = _mm512_add_ps(t1, _mm512_xor_ps(t2, even_neg));
+                    _mm512_storeu_ps(dp.add(2 * (lo + q)), sum);
+                    _mm512_storeu_ps(dp.add(2 * (hi + q)), prod);
+                }
+                q += 8;
             }
         }
     }
@@ -451,31 +827,48 @@ mod tests {
     }
 
     #[test]
-    fn avx2_tier_is_bit_exact_vs_scalar() {
+    fn every_supported_tier_is_bit_exact_vs_scalar() {
         use crate::simd::{self, SimdTier};
-        if simd::detected_tier() != SimdTier::Avx2 {
-            eprintln!("skipping avx2_tier_is_bit_exact_vs_scalar: no AVX2");
-            return;
-        }
         let _g = simd::test_guard();
-        // Sizes with radix-2 stages at s >= 4 (the vectorized case) plus
-        // odd/mixed sizes that exercise the scalar fallback under both tiers.
-        for n in [8usize, 16, 128, 256, 600, 900, 1024, 1536, 2048] {
-            let x = ramp(n);
-            let plan = FftPlan::new(n);
-            simd::force_tier(Some(SimdTier::Scalar));
-            let mut a = x.clone();
-            plan.forward(&mut a);
-            simd::force_tier(None);
-            let mut b = x.clone();
-            plan.forward(&mut b);
-            assert_eq!(a, b, "forward size {n}");
-            plan.inverse(&mut b);
-            simd::force_tier(Some(SimdTier::Scalar));
-            plan.inverse(&mut a);
-            simd::force_tier(None);
-            assert_eq!(a, b, "inverse size {n}");
+        // Sizes with radix-2/3/5 stages at s >= 4 (the vectorized cases)
+        // plus odd/mixed sizes that exercise the fallback under all tiers.
+        for tier in simd::supported_tiers().filter(|&t| t != SimdTier::Scalar) {
+            for n in [8usize, 16, 128, 256, 600, 900, 1024, 1200, 1536, 2048] {
+                let x = ramp(n);
+                let plan = FftPlan::new(n);
+                simd::force_tier(Some(SimdTier::Scalar));
+                let mut a = x.clone();
+                plan.forward(&mut a);
+                simd::force_tier(Some(tier));
+                let mut b = x.clone();
+                plan.forward(&mut b);
+                assert_eq!(a, b, "forward size {n} tier {}", tier.name());
+                plan.inverse(&mut b);
+                simd::force_tier(Some(SimdTier::Scalar));
+                plan.inverse(&mut a);
+                assert_eq!(a, b, "inverse size {n} tier {}", tier.name());
+            }
         }
+        simd::force_tier(None);
+    }
+
+    #[test]
+    fn forward_rows_matches_per_row_calls() {
+        let n = 600;
+        let rows = 3;
+        let plan = FftPlan::new(n);
+        let mut batch: Vec<Cf32> = (0..rows).flat_map(|_| ramp(n)).collect();
+        for (r, v) in batch.iter_mut().enumerate() {
+            // Make rows distinct so a row-mixup would be caught.
+            *v += Cf32::new(r as f32, -(r as f32));
+        }
+        let mut scratch = Vec::new();
+        let mut expect = batch.clone();
+        for row in expect.chunks_exact_mut(n) {
+            plan.forward_with(row, &mut scratch);
+        }
+        plan.forward_rows(&mut batch, &mut scratch);
+        assert_eq!(batch, expect);
     }
 
     #[test]

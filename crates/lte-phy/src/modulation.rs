@@ -164,6 +164,40 @@ fn demap_blocks<const NB: usize>(
 ) {
     let qm = 2 * NB;
     let mut s0 = 0;
+    // AVX-512 wide blocks: eight symbols (16 axis values) per iteration.
+    // Identical per-lane distance/min chains as the 8-lane forms, so the
+    // wide tier stays bit-exact; the tail (< 8 symbols) falls through to
+    // the blocked loop below.
+    #[cfg(target_arch = "x86_64")]
+    if NB >= 2 && tier >= SimdTier::Avx512 {
+        while symbols.len() - s0 >= 8 {
+            let mut vals = [0.0f32; 16];
+            let mut invs = [0.0f32; 16];
+            for j in 0..8 {
+                let y = symbols[s0 + j];
+                vals[2 * j] = y.re;
+                vals[2 * j + 1] = y.im;
+                let inv = 1.0 / (noise_var[s0 + j].max(1e-12) * 0.5);
+                invs[2 * j] = inv;
+                invs[2 * j + 1] = inv;
+            }
+            let mut llrs = [[0.0f32; 16]; NB];
+            // SAFETY: the Avx512 tier is only reported after runtime
+            // detection succeeded (see crate::simd).
+            #[allow(unsafe_code)]
+            unsafe {
+                avx512::demap_block16::<NB>(levels, &vals, &invs, &mut llrs)
+            };
+            for j in 0..8 {
+                let base = (s0 + j) * qm;
+                for (t, row) in llrs.iter().enumerate() {
+                    dst[base + 2 * t] = row[2 * j];
+                    dst[base + 2 * t + 1] = row[2 * j + 1];
+                }
+            }
+            s0 += 8;
+        }
+    }
     while s0 < symbols.len() {
         let nsym = (symbols.len() - s0).min(4);
         let mut vals = [0.0f32; 8];
@@ -182,7 +216,7 @@ fn demap_blocks<const NB: usize>(
         // and its lane form autovectorizes tightly; the intrinsic tier only
         // wins from 16-QAM up (measured in the `demap_simd` bench group).
         #[cfg(target_arch = "x86_64")]
-        let done = if NB >= 2 && tier == SimdTier::Avx2 {
+        let done = if NB >= 2 && tier >= SimdTier::Avx2 {
             // SAFETY: the Avx2 tier is only reported after runtime
             // detection succeeded (see crate::simd).
             #[allow(unsafe_code)]
@@ -288,6 +322,71 @@ mod avx2 {
                 _mm256_storeu_ps(llrs[t].as_mut_ptr(), llr);
             }
         }
+    }
+}
+
+/// Explicit AVX-512 tier: eight symbols' axis values per register. Same
+/// level loop and per-lane `min` chains as the 8-lane forms.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    #![allow(unsafe_code)]
+
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// The CPU must support AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn demap_block16<const NB: usize>(
+        levels: &[f32; 8],
+        vals: &[f32; 16],
+        invs: &[f32; 16],
+        llrs: &mut [[f32; 16]; NB],
+    ) {
+        // SAFETY: all loads/stores cover exactly 16 contiguous f32s.
+        unsafe {
+            let v = _mm512_loadu_ps(vals.as_ptr());
+            let inv = _mm512_loadu_ps(invs.as_ptr());
+            let mut d0 = [_mm512_set1_ps(f32::MAX); NB];
+            let mut d1 = [_mm512_set1_ps(f32::MAX); NB];
+            for lvl in 0..(1usize << NB) {
+                let e = _mm512_sub_ps(v, _mm512_set1_ps(levels[lvl]));
+                let d = _mm512_mul_ps(e, e);
+                for t in 0..NB {
+                    if (lvl >> (NB - 1 - t)) & 1 == 0 {
+                        d0[t] = _mm512_min_ps(d0[t], d);
+                    } else {
+                        d1[t] = _mm512_min_ps(d1[t], d);
+                    }
+                }
+            }
+            for t in 0..NB {
+                let llr = _mm512_mul_ps(_mm512_sub_ps(d1[t], d0[t]), inv);
+                _mm512_storeu_ps(llrs[t].as_mut_ptr(), llr);
+            }
+        }
+    }
+}
+
+/// One soft-demap request inside a [`demap_batch`] call.
+pub struct DemapJob<'a> {
+    /// Constellation of this job's symbols.
+    pub modulation: Modulation,
+    /// Equalized symbols to demap.
+    pub symbols: &'a [Cf32],
+    /// Per-symbol post-equalization noise variance.
+    pub noise_var: &'a [f32],
+    /// LLR destination (appended, like [`Modulation::demap_maxlog`]).
+    pub out: &'a mut Vec<f32>,
+}
+
+/// Batched soft demapping: runs every job under one tier resolution so a
+/// worker draining same-stage tasks from several cells amortizes dispatch.
+/// Output is bit-for-bit identical to per-job [`Modulation::demap_maxlog`]
+/// calls (each symbol's lane math is independent of its blockmates).
+pub fn demap_batch(jobs: &mut [DemapJob<'_>]) {
+    for job in jobs {
+        job.modulation
+            .demap_maxlog(job.symbols, job.noise_var, job.out);
     }
 }
 
@@ -445,11 +544,11 @@ mod tests {
 
     #[test]
     fn blocked_demap_is_bit_exact_vs_reference() {
-        use crate::simd::{detected_tier, force_tier, test_guard, SimdTier};
+        use crate::simd::{force_tier, supported_tiers, test_guard};
         let _g = test_guard();
         for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
-            // Deliberately non-multiple-of-4 symbol count to cover the tail.
-            for nsym in [1usize, 4, 7, 50] {
+            // Non-multiple-of-4/-8 symbol counts cover both wide-block tails.
+            for nsym in [1usize, 4, 7, 8, 9, 23, 50] {
                 let bits = pattern(m.bits_per_symbol() * nsym);
                 let syms: Vec<Cf32> = m
                     .map(&bits)
@@ -462,16 +561,55 @@ mod tests {
                 let nv: Vec<f32> = (0..nsym).map(|i| 0.02 + 0.01 * (i % 5) as f32).collect();
                 let mut expect = Vec::new();
                 demap_maxlog_reference(m, &syms, &nv, &mut expect);
-                for tier in [None, Some(SimdTier::Scalar)] {
-                    force_tier(tier);
+                for tier in supported_tiers() {
+                    force_tier(Some(tier));
                     let mut got = Vec::new();
                     m.demap_maxlog(&syms, &nv, &mut got);
-                    assert_eq!(got, expect, "{m:?} nsym={nsym} tier={tier:?}");
+                    assert_eq!(got, expect, "{m:?} nsym={nsym} tier={}", tier.name());
                 }
                 force_tier(None);
-                let _ = detected_tier();
             }
         }
+    }
+
+    #[test]
+    fn demap_batch_matches_sequential_calls() {
+        let mods = [Modulation::Qam64, Modulation::Qpsk, Modulation::Qam16];
+        let cases: Vec<(Modulation, Vec<Cf32>, Vec<f32>)> = mods
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let nsym = 11 + 3 * i;
+                let bits = pattern(m.bits_per_symbol() * nsym);
+                let syms: Vec<Cf32> = m
+                    .map(&bits)
+                    .iter()
+                    .enumerate()
+                    .map(|(j, s)| *s + Cf32::new((j as f32 * 0.7).sin() * 0.3, 0.1))
+                    .collect();
+                let nv: Vec<f32> = (0..nsym).map(|j| 0.05 + 0.02 * (j % 3) as f32).collect();
+                (m, syms, nv)
+            })
+            .collect();
+        let mut expect: Vec<Vec<f32>> = Vec::new();
+        for (m, syms, nv) in &cases {
+            let mut out = Vec::new();
+            m.demap_maxlog(syms, nv, &mut out);
+            expect.push(out);
+        }
+        let mut outs: Vec<Vec<f32>> = cases.iter().map(|_| Vec::new()).collect();
+        let mut jobs: Vec<DemapJob> = cases
+            .iter()
+            .zip(outs.iter_mut())
+            .map(|((m, syms, nv), out)| DemapJob {
+                modulation: *m,
+                symbols: syms,
+                noise_var: nv,
+                out,
+            })
+            .collect();
+        demap_batch(&mut jobs);
+        assert_eq!(outs, expect);
     }
 
     proptest! {

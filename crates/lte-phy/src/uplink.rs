@@ -26,7 +26,7 @@ use crate::resource_grid::{Grid, OfdmProcessor};
 use crate::scramble::{pusch_c_init, Scrambler};
 use crate::segmentation::Segmentation;
 use crate::tasks::TaskBreakdown;
-use crate::turbo::{TurboDecoder, TurboEncoder};
+use crate::turbo::{TurboDecoder, TurboEncoder, TurboWorkspace};
 use crate::workspace::{self, PhyWorkspace};
 use crate::zadoff_chu::dmrs_sequence;
 use std::sync::Arc;
@@ -713,6 +713,55 @@ impl UplinkRx {
         })
     }
 
+    /// Stages decode subtask `r` into the next free slot of `scratch`:
+    /// extracts and descrambles the block's LLR segment, de-rate-matches
+    /// it into the slot's `d0/d1/d2` streams and clamps filler positions —
+    /// everything [`UplinkRx::run_decode_subtask_into`] does *before* the
+    /// turbo decoder runs. A later [`run_staged_decode_batch`] call then
+    /// decodes all staged slots together, pairing same-`K` blocks through
+    /// the wide turbo kernel. Returns the slot index.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range, `llrs` has the wrong length, or
+    /// `scratch` is full.
+    pub fn stage_decode_subtask(
+        &self,
+        llrs: &[f32],
+        r: usize,
+        scratch: &mut DecodeBatchScratch,
+    ) -> usize {
+        let cfg = &self.cfg;
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
+        assert!(r < cfg.seg.num_blocks, "decode subtask {r} out of range");
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
+        assert_eq!(llrs.len(), cfg.coded_bits(), "coded LLR stream length");
+        // analyze: allow(panic): buffer-shape contract; callers size their drains to `capacity()`
+        assert!(!scratch.is_full(), "decode batch scratch full");
+        let e = cfg.e_splits()[r];
+        let off = cfg.e_offset(r);
+        let i = scratch.len;
+        let slot = &mut scratch.slots[i];
+        slot.block_llrs.clear();
+        slot.block_llrs.extend_from_slice(&llrs[off..off + e]);
+        self.scrambler.descramble_llrs_at(off, &mut slot.block_llrs);
+        let codec = &self.codecs[self.codec_index[r]];
+        codec.matcher.de_rate_match_into(
+            &slot.block_llrs,
+            &mut slot.d0,
+            &mut slot.d1,
+            &mut slot.d2,
+        );
+        slot.filler = if r == 0 { cfg.seg.filler } else { 0 };
+        for v in slot.d0.iter_mut().take(slot.filler) {
+            *v = FILLER_LLR;
+        }
+        slot.multi = cfg.seg.num_blocks > 1;
+        slot.max_iters = cfg.max_turbo_iters;
+        slot.codec_idx = self.codec_index[r];
+        scratch.len = i + 1;
+        i
+    }
+
     /// Decodes a (re)transmission at redundancy version `rv`, combining its
     /// soft information with everything already accumulated in `harq`
     /// before turbo decoding — chase combining for repeated rvs,
@@ -1156,6 +1205,200 @@ impl BlockBuf {
     }
 }
 
+/// Largest number of decode subtasks one [`run_staged_decode_batch`] call
+/// drains: enough for every code block of a 5 MHz subframe plus headroom
+/// for cross-cell drains, small enough that staging never delays the
+/// first decode noticeably.
+pub const MAX_DECODE_BATCH: usize = 8;
+
+/// One staged decode subtask inside a [`DecodeBatchScratch`]: the
+/// descrambled, de-rate-matched soft streams plus the bookkeeping the
+/// early-stop closure needs, and the decode outputs.
+#[derive(Debug, Default)]
+pub struct DecodeSlot {
+    block_llrs: Vec<f32>,
+    d0: Vec<f32>,
+    d1: Vec<f32>,
+    d2: Vec<f32>,
+    max_iters: usize,
+    multi: bool,
+    filler: usize,
+    codec_idx: usize,
+    /// Hard-decision bits (valid after [`run_staged_decode_batch`]).
+    pub bits: Vec<u8>,
+    /// Turbo iterations used.
+    pub iterations: usize,
+    /// Per-block CRC outcome.
+    pub crc_ok: bool,
+}
+
+/// Preallocated staging area for a batched decode drain: up to
+/// [`MAX_DECODE_BATCH`] subtasks' prepped streams and turbo workspaces.
+/// A runtime worker keeps one per core, warms it once per configuration,
+/// and reuses it every subframe — the steady-state batched decode
+/// performs **zero heap allocations**, like the rest of the slab path.
+#[derive(Debug)]
+pub struct DecodeBatchScratch {
+    slots: Vec<DecodeSlot>,
+    workspaces: Vec<TurboWorkspace>,
+    len: usize,
+}
+
+impl Default for DecodeBatchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecodeBatchScratch {
+    /// A scratch with [`MAX_DECODE_BATCH`] cold slots; warm before use.
+    pub fn new() -> Self {
+        DecodeBatchScratch {
+            // analyze: allow(alloc): scratch construction; runs once per worker and tests/alloc_regression.rs proves the steady state is alloc-free
+            slots: (0..MAX_DECODE_BATCH)
+                .map(|_| DecodeSlot::default())
+                .collect(),
+            // analyze: allow(alloc): scratch construction; runs once per worker and tests/alloc_regression.rs proves the steady state is alloc-free
+            workspaces: (0..MAX_DECODE_BATCH)
+                .map(|_| TurboWorkspace::new())
+                .collect(),
+            len: 0,
+        }
+    }
+
+    /// Pre-grows every slot for any block of `cfg`.
+    pub fn warm(&mut self, cfg: &UplinkConfig) {
+        let max_e = cfg.e_splits().iter().copied().max().unwrap_or(0);
+        let k = cfg.seg.k_plus;
+        for slot in &mut self.slots {
+            slot.block_llrs
+                .reserve(max_e.saturating_sub(slot.block_llrs.len()));
+            for d in [&mut slot.d0, &mut slot.d1, &mut slot.d2] {
+                d.reserve((k + 4).saturating_sub(d.len()));
+            }
+            slot.bits.reserve(k.saturating_sub(slot.bits.len()));
+        }
+        for ws in &mut self.workspaces {
+            ws.warm(k);
+        }
+    }
+
+    /// Slots staged since the last [`DecodeBatchScratch::clear`].
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no subtask is staged.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether every slot is staged.
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// Maximum batch size.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Drops all staged subtasks (buffers keep their capacity).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Staged slot `i` (outputs valid after [`run_staged_decode_batch`]).
+    ///
+    /// # Panics
+    /// Panics if `i` is not a staged slot index.
+    pub fn slot(&self, i: usize) -> &DecodeSlot {
+        // analyze: allow(panic): buffer-shape contract; callers index by the value stage_decode_subtask returned
+        assert!(i < self.len, "slot {i} not staged");
+        &self.slots[i]
+    }
+}
+
+/// Decodes every staged slot of `scratch`, pairing same-`K` blocks
+/// through [`TurboDecoder::decode_pair_with`] so two trellises share one
+/// wide SIMD kernel; leftovers run the single-block path. `rxs[i]` is the
+/// receiver whose [`UplinkRx::stage_decode_subtask`] staged slot `i` —
+/// slots from *different* cells pair freely, because an LTE turbo
+/// interleaver is fully determined by `K` (same `K` ⇒ identical QPP), so
+/// either receiver's decoder serves both. Results are bit-for-bit
+/// identical to per-slot [`UplinkRx::run_decode_subtask_into`] calls.
+///
+/// # Panics
+/// Panics if `rxs.len()` differs from the staged count.
+pub fn run_staged_decode_batch(rxs: &[&UplinkRx], scratch: &mut DecodeBatchScratch) {
+    let n = scratch.len;
+    // analyze: allow(panic): buffer-shape contract; a mismatch means the drain staged against different receivers — decode garbage or fail loudly, and loud wins
+    assert_eq!(rxs.len(), n, "one receiver per staged slot");
+    let DecodeBatchScratch {
+        slots, workspaces, ..
+    } = scratch;
+    let early = |multi: bool, filler: usize| {
+        move |bits: &[u8]| {
+            if multi {
+                CRC24B.check(bits)
+            } else {
+                CRC24A.check(&bits[filler..])
+            }
+        }
+    };
+    let mut used: u64 = 0;
+    for i in 0..n {
+        if used & (1 << i) != 0 {
+            continue;
+        }
+        used |= 1 << i;
+        let partner = (i + 1..n).find(|&j| {
+            used & (1 << j) == 0
+                && slots[j].d0.len() == slots[i].d0.len()
+                && slots[j].max_iters == slots[i].max_iters
+        });
+        let decoder = &rxs[i].codecs[slots[i].codec_idx].decoder;
+        if let Some(j) = partner {
+            used |= 1 << j;
+            let (lo, hi) = slots.split_at_mut(j);
+            let (a, b) = (&lo[i], &hi[0]);
+            let (ws_lo, ws_hi) = workspaces.split_at_mut(j);
+            let ((it_a, ok_a), (it_b, ok_b)) = decoder.decode_pair_with(
+                (&a.d0, &a.d1, &a.d2),
+                (&b.d0, &b.d1, &b.d2),
+                a.max_iters,
+                early(a.multi, a.filler),
+                early(b.multi, b.filler),
+                &mut ws_lo[i],
+                &mut ws_hi[0],
+            );
+            for (s, ws, it, ok) in [
+                (&mut lo[i], &ws_lo[i], it_a, ok_a),
+                (&mut hi[0], &ws_hi[0], it_b, ok_b),
+            ] {
+                s.bits.clear();
+                s.bits.extend_from_slice(&ws.bits);
+                s.iterations = it;
+                s.crc_ok = ok;
+            }
+        } else {
+            let s = &mut slots[i];
+            let (iterations, crc_ok) = decoder.decode_with(
+                &s.d0,
+                &s.d1,
+                &s.d2,
+                s.max_iters,
+                early(s.multi, s.filler),
+                &mut workspaces[i],
+            );
+            s.bits.clear();
+            s.bits.extend_from_slice(&workspaces[i].bits);
+            s.iterations = iterations;
+            s.crc_ok = crc_ok;
+        }
+    }
+}
+
 /// Preallocated per-subframe state backing a [`SlabJob`] — the
 /// allocation-free counterpart of the buffers [`UplinkRx::start_job`]
 /// allocates per call. A runtime worker keeps one slab per core, warms it
@@ -1490,6 +1733,58 @@ impl SlabJob<'_> {
         self.slab.block_iters[r] = iterations;
         self.slab.block_crc[r] = crc_ok;
         self.slab.block_done[r] = true;
+    }
+
+    /// Runs every decode subtask whose bit is set in `mask` on the owning
+    /// thread, draining them through [`run_staged_decode_batch`] in groups
+    /// of up to [`MAX_DECODE_BATCH`] so same-`K` blocks share one wide
+    /// turbo kernel. Bit-for-bit identical to per-block
+    /// [`SlabJob::run_decode_subtask_local`] calls.
+    ///
+    /// # Panics
+    /// Panics if demod subtasks are still outstanding or `mask` addresses
+    /// a block out of range.
+    pub fn run_decode_batch_local(&mut self, mask: u64, scratch: &mut DecodeBatchScratch) {
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
+        assert_eq!(
+            self.demod_done,
+            self.demod_subtask_count(),
+            "demod task incomplete"
+        );
+        let blocks = self.decode_subtask_count();
+        // analyze: allow(panic): buffer-shape contract; a mismatch means the job was built against a different config — decode garbage or fail loudly, and loud wins
+        assert!(
+            blocks >= 64 - mask.leading_zeros() as usize,
+            "decode mask out of range"
+        );
+        let mut staged = [0usize; MAX_DECODE_BATCH];
+        let mut r = 0;
+        while r < blocks {
+            scratch.clear();
+            let mut ns = 0;
+            while r < blocks && ns < scratch.capacity() {
+                if mask & (1 << r) != 0 {
+                    self.rx.stage_decode_subtask(&self.slab.llrs, r, scratch);
+                    staged[ns] = r;
+                    ns += 1;
+                }
+                r += 1;
+            }
+            if ns == 0 {
+                continue;
+            }
+            let rxs = [self.rx; MAX_DECODE_BATCH];
+            run_staged_decode_batch(&rxs[..ns], scratch);
+            for (i, &br) in staged.iter().enumerate().take(ns) {
+                let slot = scratch.slot(i);
+                let bits = &mut self.slab.block_bits[br];
+                bits.clear();
+                bits.extend_from_slice(&slot.bits);
+                self.slab.block_iters[br] = slot.iterations;
+                self.slab.block_crc[br] = slot.crc_ok;
+                self.slab.block_done[br] = true;
+            }
+        }
     }
 
     /// Absorbs a migrated decode result (produced by
@@ -1903,6 +2198,100 @@ mod tests {
             assert_eq!(slab.block_iterations(), &serial.block_iterations[..]);
             assert_eq!(slab.block_crc_ok(), &serial.block_crc_ok[..]);
         }
+    }
+
+    #[test]
+    fn batched_decode_drain_equals_serial() {
+        // Multi-block (same-K blocks pair through the wide kernel) and
+        // single-block (degenerate drain) configs, at an SNR low enough
+        // that iteration counts vary — any kernel divergence shows up in
+        // `block_iterations`, not just the payload.
+        for (mcs, snr_db) in [(20u8, 6.0), (5u8, 2.0)] {
+            let cfg = UplinkConfig::new(Bandwidth::Mhz5, 2, mcs).unwrap();
+            let tx = UplinkTx::new(cfg.clone());
+            let p = payload(&cfg, 31);
+            let sf = tx.encode_subframe(&p).unwrap();
+            let mut rng = StdRng::seed_from_u64(31);
+            let mut ch = AwgnChannel::new(snr_db);
+            let rx_samples = ch.apply(&sf.samples, 2, &mut rng);
+            let rx = UplinkRx::new(cfg.clone());
+
+            let run = |batched: bool| {
+                let mut slab = JobSlab::new();
+                slab.warm(&cfg);
+                let mut scratch = DecodeBatchScratch::new();
+                scratch.warm(&cfg);
+                let mut job = rx.start_job_in(&rx_samples, &mut slab).unwrap();
+                for a in 0..2 {
+                    job.run_fft_batch_local(a);
+                }
+                job.finish_fft();
+                for i in 0..job.demod_subtask_count() {
+                    job.run_demod_subtask_local(i);
+                }
+                let blocks = job.decode_subtask_count();
+                if batched {
+                    job.run_decode_batch_local((1u64 << blocks) - 1, &mut scratch);
+                } else {
+                    for r in 0..blocks {
+                        job.run_decode_subtask_local(r);
+                    }
+                }
+                let verdict = job.finish().unwrap();
+                (
+                    verdict.crc_ok,
+                    slab.payload().to_vec(),
+                    slab.block_iterations().to_vec(),
+                    slab.block_crc_ok().to_vec(),
+                )
+            };
+            assert_eq!(run(true), run(false), "mcs {mcs}");
+        }
+    }
+
+    #[test]
+    fn batched_drain_handles_sparse_masks() {
+        let cfg = UplinkConfig::new(Bandwidth::Mhz5, 2, 20).unwrap();
+        let blocks = cfg.segmentation().num_blocks;
+        assert!(blocks >= 2);
+        let tx = UplinkTx::new(cfg.clone());
+        let p = payload(&cfg, 7);
+        let sf = tx.encode_subframe(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ch = AwgnChannel::new(22.0);
+        let rx_samples = ch.apply(&sf.samples, 2, &mut rng);
+        let rx = UplinkRx::new(cfg.clone());
+        let mut slab = JobSlab::new();
+        slab.warm(&cfg);
+        let mut scratch = DecodeBatchScratch::new();
+        scratch.warm(&cfg);
+        let mut job = rx.start_job_in(&rx_samples, &mut slab).unwrap();
+        for a in 0..2 {
+            job.run_fft_batch_local(a);
+        }
+        job.finish_fft();
+        for i in 0..job.demod_subtask_count() {
+            job.run_demod_subtask_local(i);
+        }
+        // Odd blocks via the batch drain, even blocks serially — the mix a
+        // steal-mode owner produces when thieves took part of the stage.
+        let mut mask = 0u64;
+        for r in (1..blocks).step_by(2) {
+            mask |= 1 << r;
+        }
+        job.run_decode_batch_local(mask, &mut scratch);
+        for r in (0..blocks).step_by(2) {
+            assert!(!job.decode_done(r));
+            job.run_decode_subtask_local(r);
+        }
+        for r in 0..blocks {
+            assert!(job.decode_done(r));
+        }
+        let verdict = job.finish().unwrap();
+        assert!(verdict.crc_ok);
+        let serial = rx.decode_subframe(&rx_samples).unwrap();
+        assert_eq!(slab.payload(), &serial.payload[..]);
+        assert_eq!(slab.block_iterations(), &serial.block_iterations[..]);
     }
 
     #[test]

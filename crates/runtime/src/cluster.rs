@@ -42,7 +42,7 @@
 //! turns `DONE` (release/acquire paired), so a half-written slot is never
 //! absorbed.
 
-use crate::affinity::pin_current_thread;
+use crate::affinity::{pin_current_thread, NumaTopology};
 use crate::migrate::{Envelope, ResultFlag};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
@@ -57,7 +57,9 @@ use rtopex_model::stats::Samples;
 use rtopex_phy::channel::{AwgnChannel, ChannelModel};
 use rtopex_phy::params::Bandwidth;
 use rtopex_phy::tasks::TaskKind;
-use rtopex_phy::uplink::{BlockBuf, JobSlab, UplinkConfig, UplinkRx, UplinkTx};
+use rtopex_phy::uplink::{
+    BlockBuf, DecodeBatchScratch, JobSlab, UplinkConfig, UplinkRx, UplinkTx, MAX_DECODE_BATCH,
+};
 use rtopex_phy::Cf32;
 use rtopex_transport::{MulticellIngest, TestbedLink};
 use rtopex_workload::{load_to_mcs, LoadTrace, TraceParams};
@@ -133,6 +135,12 @@ pub struct ClusterConfig {
     pub delta_us: f64,
     /// RNG seed (traces, payloads, channel noise).
     pub seed: u64,
+    /// Whether workers drain locally-run decode subtasks through the
+    /// batched same-`K` turbo kernel
+    /// ([`rtopex_phy::uplink::run_staged_decode_batch`]) instead of one
+    /// [`rtopex_phy::uplink::SlabJob::run_decode_subtask_local`] call per
+    /// block. Bit-identical results either way; this only moves time.
+    pub batch_decode: bool,
 }
 
 impl ClusterConfig {
@@ -151,6 +159,7 @@ impl ClusterConfig {
             mcs_pool: vec![5, 10, 16, 22, 27],
             delta_us: 60.0,
             seed: 0xC0DE,
+            batch_decode: true,
         }
     }
 
@@ -188,6 +197,9 @@ pub struct ClusterReport {
     pub steals: u64,
     /// Steals the δ admission guard declined at the thief.
     pub declined_steals: u64,
+    /// Steals executed across a NUMA-domain boundary (last-resort help,
+    /// admitted under the stiffened cross-domain δ).
+    pub cross_numa_steals: u64,
     /// Wall clock from the first release to run end.
     pub elapsed: Duration,
 }
@@ -362,6 +374,7 @@ struct WorkerTotals {
     crc_failures: u64,
     steals: u64,
     declined: u64,
+    cross_numa_steals: u64,
 }
 
 impl WorkerTotals {
@@ -374,6 +387,7 @@ impl WorkerTotals {
             crc_failures: 0,
             steals: 0,
             declined: 0,
+            cross_numa_steals: 0,
         }
     }
 
@@ -385,6 +399,7 @@ impl WorkerTotals {
         self.crc_failures += other.crc_failures;
         self.steals += other.steals;
         self.declined += other.declined;
+        self.cross_numa_steals += other.cross_numa_steals;
     }
 }
 
@@ -408,6 +423,11 @@ struct Shared<'a> {
     /// Per-cell ingest stagger within a period (shared 10 GbE port).
     stagger: Vec<Duration>,
     pinned: AtomicBool,
+    /// NUMA domain of each worker core (workers pin to core index `me`,
+    /// so the domain map follows [`NumaTopology::domain_of`] with the
+    /// same modulo wrapping). Thieves prefer same-domain victims; a
+    /// cross-domain steal pays [`CROSS_NUMA_DELTA_FACTOR`]·δ.
+    domain: Vec<usize>,
 }
 
 impl<'a> Shared<'a> {
@@ -652,6 +672,10 @@ impl CranCluster {
             epoch_ns: AtomicU64::new(0),
             stagger,
             pinned: AtomicBool::new(false),
+            domain: {
+                let topo = NumaTopology::detect();
+                (0..cores).map(|c| topo.domain_of(c)).collect()
+            },
         };
         // Start barrier: workers warm caches (a full decode of every pool
         // entry) before the release cadence exists, so subframe 0 never
@@ -727,6 +751,7 @@ impl CranCluster {
             pinned: shared.pinned.load(Ordering::Relaxed),
             steals: m.steals,
             declined_steals: m.declined,
+            cross_numa_steals: m.cross_numa_steals,
             elapsed,
         }
     }
@@ -736,8 +761,60 @@ impl CranCluster {
 enum StageOp {
     /// Execute locally through the slab job.
     RunLocal(usize),
+    /// Execute the masked subtasks locally as one batch (decode stages
+    /// drain these through the wide same-`K` turbo kernel).
+    RunLocalBatch(u64),
     /// Absorb a completed result from the arena slot.
     Absorb(usize),
+}
+
+/// Stiffening factor applied to δ for a cross-NUMA steal: the LLR
+/// snapshot and the result write-back both cross the socket interconnect,
+/// so remote-domain help must clear roughly twice the migration-cost bar
+/// before it is admitted.
+const CROSS_NUMA_DELTA_FACTOR: f64 = 2.0;
+
+/// Accumulates locally-run subtask indices and flushes them to `exec` in
+/// groups of up to `limit`, so batch-capable stages (decode) hit the wide
+/// kernels while unit-batch stages (FFT) keep per-index dispatch. A
+/// `limit` of 1 degenerates to immediate `RunLocal` — the unbatched
+/// behaviour, bit for bit.
+struct LocalBatcher {
+    mask: u64,
+    pending: usize,
+    limit: usize,
+}
+
+impl LocalBatcher {
+    fn new(limit: usize) -> Self {
+        LocalBatcher {
+            mask: 0,
+            pending: 0,
+            limit: limit.max(1),
+        }
+    }
+
+    fn push(&mut self, i: usize, exec: &mut dyn FnMut(StageOp)) {
+        if self.limit == 1 {
+            exec(StageOp::RunLocal(i));
+            return;
+        }
+        self.mask |= 1 << i;
+        self.pending += 1;
+        if self.pending >= self.limit {
+            self.flush(exec);
+        }
+    }
+
+    fn flush(&mut self, exec: &mut dyn FnMut(StageOp)) {
+        match self.pending {
+            0 => {}
+            1 => exec(StageOp::RunLocal(self.mask.trailing_zeros() as usize)),
+            _ => exec(StageOp::RunLocalBatch(self.mask)),
+        }
+        self.mask = 0;
+        self.pending = 0;
+    }
 }
 
 fn worker_loop<'a>(
@@ -756,11 +833,15 @@ fn worker_loop<'a>(
         }
     });
     let mut slab = JobSlab::new();
+    let mut dec_scratch = DecodeBatchScratch::new();
     for p in pool {
         slab.warm(p.rx.config());
+        dec_scratch.warm(p.rx.config());
         // Warm decode: run the whole pipeline once so instruction and data
         // caches, branch predictors and the slab's buffers are all hot
-        // before the first real release.
+        // before the first real release. The decode leg uses the same
+        // drain (batched or serial) the run will, so the first subframe
+        // hits warm code paths either way.
         // analyze: allow(panic): warm-up job before the epoch barrier; the pool was just prepared with this exact config
         let mut job = p.rx.start_job_in(&p.samples, &mut slab).expect("warm job");
         for b in 0..p.samples.len() {
@@ -770,8 +851,13 @@ fn worker_loop<'a>(
         for i in 0..job.demod_subtask_count() {
             job.run_demod_subtask_local(i);
         }
-        for r in 0..job.decode_subtask_count() {
-            job.run_decode_subtask_local(r);
+        let blocks = job.decode_subtask_count();
+        if shared.cfg.batch_decode && blocks > 1 {
+            job.run_decode_batch_local(u64::MAX >> (64 - blocks), &mut dec_scratch);
+        } else {
+            for r in 0..blocks {
+                job.run_decode_subtask_local(r);
+            }
         }
         let _ = job.finish();
     }
@@ -853,6 +939,7 @@ fn worker_loop<'a>(
                 pool,
                 job,
                 &mut slab,
+                &mut dec_scratch,
                 &mut steal_worker,
                 &mut idle_scratch,
                 &mut flag_scratch,
@@ -866,80 +953,114 @@ fn worker_loop<'a>(
     shared.totals.lock().merge(&wm);
 }
 
-/// A thief's scan: steal one ticket from any other core's deque, validate
+/// A thief's scan: steal one ticket from another core's deque, validate
 /// its epoch, run the steal-time δ admission check, and execute it into
-/// the victim's arena. Returns whether anything was executed or declined.
+/// the victim's arena. Victims in the thief's own NUMA domain are scanned
+/// first; cross-domain victims are a last resort and must clear the
+/// stiffened [`CROSS_NUMA_DELTA_FACTOR`]·δ admission bar. Returns whether
+/// anything was executed or declined.
 fn try_steal(me: usize, shared: &Shared<'_>, pool: &[Prepared], wm: &mut WorkerTotals) -> bool {
     let n = shared.stealers.len();
-    for off in 1..n {
-        let victim = (me + off) % n;
-        let mut retries = 0u32;
-        let ticket = loop {
-            match shared.stealers[victim].steal() {
-                Steal::Taken(t) => break Some(t),
-                Steal::Retry if retries < 4 => {
-                    retries += 1;
-                    continue;
-                }
-                _ => break None,
+    for pass in 0..2 {
+        for off in 1..n {
+            let victim = (me + off) % n;
+            let same_domain = shared.domain[victim] == shared.domain[me];
+            if (pass == 0) != same_domain {
+                continue;
             }
-        };
-        let Some(ticket) = ticket else { continue };
-        let (epoch, idx) = decode_ticket(ticket);
-        let arena = &shared.arenas[victim];
-        // `enter` validates the epoch and holds the board's read guard
-        // for the whole execution: the victim's next publication (epoch
-        // bump) cannot start until we are done, so a stale thief can
-        // never write into a newer stage's slots.
-        let Some(stage) = arena.board.enter(epoch) else {
-            return true; // stale ticket of a recovered stage: drop it
-        };
-        let now = Instant::now();
-        let slack = stage.deadline.saturating_duration_since(now);
-        let idle_window = shared.next_release(me, now).saturating_duration_since(now);
-        let guard = DeltaGuard {
-            delta: Nanos::from_us_f64(shared.cfg.delta_us),
-        };
-        if !guard.admit(
-            Nanos::from_us_f64(stage.tp_us),
-            Nanos(slack.as_nanos() as u64),
-            Nanos(idle_window.as_nanos() as u64),
-        ) {
-            stage.decline(idx);
-            wm.declined += 1;
-            return true;
+            if steal_from(me, victim, same_domain, shared, pool, wm) {
+                return true;
+            }
         }
-        let prepared = &pool[stage.pool_idx];
-        match stage.kind {
-            TaskKind::Fft => {
-                // analyze: allow(guard-held-lock): per-subtask slot mutex, contended only with the recovering owner; stealing without holding it would race the straggler's write-back
-                let mut slot = arena.fft_slots[idx].lock();
-                prepared
-                    .rx
-                    .run_fft_batch_into(&prepared.samples, idx, &mut slot);
-            }
-            TaskKind::Decode => {
-                // analyze: allow(guard-held-lock): per-subtask slot mutex, contended only with the recovering owner; stealing without holding it would race the straggler's write-back
-                let mut slot = arena.dec_slots[idx].lock();
-                let (iterations, crc_ok) =
-                    prepared
-                        .rx
-                        .run_decode_subtask_into(&stage.llrs, idx, &mut slot.bits);
-                slot.iterations = iterations;
-                slot.crc_ok = crc_ok;
-            }
-            TaskKind::Demod => {}
-        }
-        stage.complete(idx);
-        wm.steals += 1;
-        return true;
     }
     false
+}
+
+/// One steal attempt against `victim`'s deque; see [`try_steal`].
+fn steal_from(
+    me: usize,
+    victim: usize,
+    same_domain: bool,
+    shared: &Shared<'_>,
+    pool: &[Prepared],
+    wm: &mut WorkerTotals,
+) -> bool {
+    let mut retries = 0u32;
+    let ticket = loop {
+        match shared.stealers[victim].steal() {
+            Steal::Taken(t) => break Some(t),
+            Steal::Retry if retries < 4 => {
+                retries += 1;
+                continue;
+            }
+            _ => break None,
+        }
+    };
+    let Some(ticket) = ticket else { return false };
+    let (epoch, idx) = decode_ticket(ticket);
+    let arena = &shared.arenas[victim];
+    // `enter` validates the epoch and holds the board's read guard
+    // for the whole execution: the victim's next publication (epoch
+    // bump) cannot start until we are done, so a stale thief can
+    // never write into a newer stage's slots.
+    let Some(stage) = arena.board.enter(epoch) else {
+        return true; // stale ticket of a recovered stage: drop it
+    };
+    let now = Instant::now();
+    let slack = stage.deadline.saturating_duration_since(now);
+    let idle_window = shared.next_release(me, now).saturating_duration_since(now);
+    let delta_us = if same_domain {
+        shared.cfg.delta_us
+    } else {
+        shared.cfg.delta_us * CROSS_NUMA_DELTA_FACTOR
+    };
+    let guard = DeltaGuard {
+        delta: Nanos::from_us_f64(delta_us),
+    };
+    if !guard.admit(
+        Nanos::from_us_f64(stage.tp_us),
+        Nanos(slack.as_nanos() as u64),
+        Nanos(idle_window.as_nanos() as u64),
+    ) {
+        stage.decline(idx);
+        wm.declined += 1;
+        return true;
+    }
+    let prepared = &pool[stage.pool_idx];
+    match stage.kind {
+        TaskKind::Fft => {
+            // analyze: allow(guard-held-lock): per-subtask slot mutex, contended only with the recovering owner; stealing without holding it would race the straggler's write-back
+            let mut slot = arena.fft_slots[idx].lock();
+            prepared
+                .rx
+                .run_fft_batch_into(&prepared.samples, idx, &mut slot);
+        }
+        TaskKind::Decode => {
+            // analyze: allow(guard-held-lock): per-subtask slot mutex, contended only with the recovering owner; stealing without holding it would race the straggler's write-back
+            let mut slot = arena.dec_slots[idx].lock();
+            let (iterations, crc_ok) =
+                prepared
+                    .rx
+                    .run_decode_subtask_into(&stage.llrs, idx, &mut slot.bits);
+            slot.iterations = iterations;
+            slot.crc_ok = crc_ok;
+        }
+        TaskKind::Demod => {}
+    }
+    stage.complete(idx);
+    wm.steals += 1;
+    if !same_domain {
+        wm.cross_numa_steals += 1;
+    }
+    true
 }
 
 /// Steal-mode fan-out: publish tickets, drain own deque LIFO, absorb or
 /// recover what thieves took. `published` is `Some(epoch)` when the stage
 /// descriptor is already in the arena; `None` means run fully local.
+/// `batch` is the owner's local drain granularity: locally-run subtasks
+/// accumulate and flush to `exec` as `RunLocalBatch` masks of up to that
+/// many (1 = per-index `RunLocal`, the unbatched behaviour).
 #[allow(clippy::too_many_arguments)]
 fn fanout_steal(
     me: usize,
@@ -947,15 +1068,18 @@ fn fanout_steal(
     worker: &mut steal::Worker,
     kind: TaskKind,
     count: usize,
+    batch: usize,
     published: Option<u64>,
     deadline: Instant,
     exec: &mut dyn FnMut(StageOp),
     wm: &mut WorkerTotals,
 ) {
     let Some(epoch) = published else {
+        let mut local = LocalBatcher::new(batch);
         for i in 0..count {
-            exec(StageOp::RunLocal(i));
+            local.push(i, exec);
         }
+        local.flush(exec);
         wm.migration.record_stage(kind, count, 0);
         return;
     };
@@ -971,20 +1095,26 @@ fn fanout_steal(
     if (local_mask.count_ones() as usize) < count {
         shared.wake_thieves(me);
     }
+    let mut local = LocalBatcher::new(batch);
     for i in 0..count {
         if local_mask & (1 << i) != 0 {
-            exec(StageOp::RunLocal(i));
+            local.push(i, exec);
         }
     }
-    // Drain own work LIFO; anything not popped here was stolen.
+    // Drain own work LIFO; anything not popped here was stolen. With
+    // batching the owner claims up to `batch` tickets before running them
+    // as one group — thieves keep stealing the rest from the other end
+    // while the group decodes.
     while let Some(t) = worker.pop() {
         let (e, i) = decode_ticket(t);
         debug_assert_eq!(e, epoch, "own deque holds a stale ticket");
-        exec(StageOp::RunLocal(i));
         local_mask |= 1 << i;
+        local.push(i, exec);
     }
+    local.flush(exec);
     let mut migrated = 0usize;
     let mut recoveries = 0usize;
+    let mut recover = LocalBatcher::new(batch);
     for i in 0..count {
         if local_mask & (1 << i) != 0 {
             continue;
@@ -997,11 +1127,12 @@ fn fanout_steal(
             _ => {
                 // Declined by the guard, or a straggler: recover locally
                 // (Fig. 12 state 6).
-                exec(StageOp::RunLocal(i));
+                recover.push(i, exec);
                 recoveries += 1;
             }
         }
     }
+    recover.flush(exec);
     wm.migration.record_stage(kind, count, migrated);
     if recoveries > 0 {
         wm.migration.record_recovery(recoveries);
@@ -1017,6 +1148,7 @@ fn fanout_mutex<'a>(
     shared: &Shared<'a>,
     kind: TaskKind,
     count: usize,
+    batch: usize,
     tp_us: f64,
     published: Option<u64>,
     deadline: Instant,
@@ -1027,9 +1159,11 @@ fn fanout_mutex<'a>(
     wm: &mut WorkerTotals,
 ) {
     let serial = |exec: &mut dyn FnMut(StageOp), wm: &mut WorkerTotals| {
+        let mut local = LocalBatcher::new(batch);
         for i in 0..count {
-            exec(StageOp::RunLocal(i));
+            local.push(i, exec);
         }
+        local.flush(exec);
         wm.migration.record_stage(kind, count, 0);
     };
     let Some(epoch) = published else {
@@ -1059,20 +1193,24 @@ fn fanout_mutex<'a>(
         }
     }
     debug_assert_eq!(next, count);
+    let mut local = LocalBatcher::new(batch);
     for i in 0..plan.local {
-        exec(StageOp::RunLocal(i));
+        local.push(i, exec);
     }
+    local.flush(exec);
     let mut recoveries = 0usize;
     let migrated = flag_scratch.len();
+    let mut recover = LocalBatcher::new(batch);
     for (i, flag) in flag_scratch.drain(..) {
         let budget = deadline.saturating_duration_since(Instant::now());
         if flag.wait(budget.min(Duration::from_millis(50))) {
             exec(StageOp::Absorb(i));
         } else {
-            exec(StageOp::RunLocal(i));
+            recover.push(i, exec);
             recoveries += 1;
         }
     }
+    recover.flush(exec);
     wm.migration.record_stage(kind, count, migrated);
     if recoveries > 0 {
         wm.migration.record_recovery(recoveries);
@@ -1086,6 +1224,7 @@ fn process_subframe<'a>(
     pool: &'a [Prepared],
     job: OwnJob,
     slab: &mut JobSlab,
+    dec_scratch: &mut DecodeBatchScratch,
     steal_worker: &mut steal::Worker,
     idle_scratch: &mut Vec<(usize, Nanos)>,
     flag_scratch: &mut Vec<(usize, ResultFlag)>,
@@ -1093,6 +1232,13 @@ fn process_subframe<'a>(
 ) {
     let cfg = shared.cfg;
     let mode = cfg.mode;
+    // Owner-side local decode drain granularity (thief-side steals stay
+    // single-block: a stolen ticket is one arena slot).
+    let dec_batch = if cfg.batch_decode {
+        MAX_DECODE_BATCH
+    } else {
+        1
+    };
     let prepared = &pool[job.pool_idx];
     let started = Instant::now();
     let pidx = job.pool_idx;
@@ -1135,6 +1281,13 @@ fn process_subframe<'a>(
             });
             let mut exec = |op: StageOp| match op {
                 StageOp::RunLocal(b) => phy.run_fft_batch_local(b),
+                StageOp::RunLocalBatch(m) => {
+                    for b in 0..antennas {
+                        if m & (1 << b) != 0 {
+                            phy.run_fft_batch_local(b);
+                        }
+                    }
+                }
                 StageOp::Absorb(b) => {
                     let slot = arena.fft_slots[b].lock();
                     phy.absorb_fft_batch(b, &slot);
@@ -1146,6 +1299,7 @@ fn process_subframe<'a>(
                 steal_worker,
                 TaskKind::Fft,
                 antennas,
+                1,
                 published,
                 job.deadline,
                 &mut exec,
@@ -1180,6 +1334,13 @@ fn process_subframe<'a>(
             };
             let mut exec = |op: StageOp| match op {
                 StageOp::RunLocal(b) => phy.run_fft_batch_local(b),
+                StageOp::RunLocalBatch(m) => {
+                    for b in 0..antennas {
+                        if m & (1 << b) != 0 {
+                            phy.run_fft_batch_local(b);
+                        }
+                    }
+                }
                 StageOp::Absorb(b) => {
                     let slot = arena.fft_slots[b].lock();
                     phy.absorb_fft_batch(b, &slot);
@@ -1190,6 +1351,7 @@ fn process_subframe<'a>(
                 shared,
                 TaskKind::Fft,
                 antennas,
+                1,
                 calib.fft_batch_us,
                 published,
                 job.deadline,
@@ -1251,6 +1413,7 @@ fn process_subframe<'a>(
             });
             let mut exec = |op: StageOp| match op {
                 StageOp::RunLocal(r) => phy.run_decode_subtask_local(r),
+                StageOp::RunLocalBatch(m) => phy.run_decode_batch_local(m, dec_scratch),
                 StageOp::Absorb(r) => {
                     let slot = arena.dec_slots[r].lock();
                     phy.absorb_decode_buf(r, &slot);
@@ -1262,6 +1425,7 @@ fn process_subframe<'a>(
                 steal_worker,
                 TaskKind::Decode,
                 blocks,
+                dec_batch,
                 published,
                 job.deadline,
                 &mut exec,
@@ -1296,6 +1460,7 @@ fn process_subframe<'a>(
             };
             let mut exec = |op: StageOp| match op {
                 StageOp::RunLocal(r) => phy.run_decode_subtask_local(r),
+                StageOp::RunLocalBatch(m) => phy.run_decode_batch_local(m, dec_scratch),
                 StageOp::Absorb(r) => {
                     let slot = arena.dec_slots[r].lock();
                     phy.absorb_decode_buf(r, &slot);
@@ -1306,6 +1471,7 @@ fn process_subframe<'a>(
                 shared,
                 TaskKind::Decode,
                 blocks,
+                dec_batch,
                 calib.decode_block_us[pidx],
                 published,
                 job.deadline,
@@ -1317,8 +1483,14 @@ fn process_subframe<'a>(
             );
         }
         _ => {
-            for r in 0..blocks {
-                phy.run_decode_subtask_local(r);
+            if cfg.batch_decode && blocks > 1 {
+                // analyze: allow(panic): the owner mask is a u64 bitset; a config with more than 64 subtasks cannot be represented and must be rejected at fan-out
+                assert!(blocks <= 64, "subtask count exceeds owner mask");
+                phy.run_decode_batch_local(u64::MAX >> (64 - blocks), dec_scratch);
+            } else {
+                for r in 0..blocks {
+                    phy.run_decode_subtask_local(r);
+                }
             }
         }
     }
@@ -1479,6 +1651,23 @@ mod tests {
         assert!(local < blocks, "thieves never stole anything");
         assert_eq!(verdict.crc_ok, serial.crc_ok);
         assert_eq!(slab.payload(), &serial.payload[..]);
+    }
+
+    #[test]
+    fn unbatched_drain_accounts_for_all_subframes() {
+        // batch_decode=false exercises the per-index RunLocal path through
+        // the same LocalBatcher plumbing (limit 1); results and accounting
+        // must be indistinguishable from the batched default.
+        for mode in [SchedulerMode::RtOpexSteal, SchedulerMode::Partitioned] {
+            let cfg = ClusterConfig {
+                batch_decode: false,
+                ..quick_cfg(mode)
+            };
+            let r = CranCluster::new(cfg).run();
+            assert_eq!(r.deadline.total_subframes(), 2 * 40, "{}", mode.name());
+            assert_eq!(r.crc_failures, 0, "{} corrupted decodes", mode.name());
+            assert!(r.cross_numa_steals <= r.steals);
+        }
     }
 
     #[test]

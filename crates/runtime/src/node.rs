@@ -110,6 +110,7 @@ impl NodeConfig {
             mcs_pool: self.mcs_pool.clone(),
             delta_us: self.delta_us,
             seed: self.seed,
+            batch_decode: true,
         }
     }
 }

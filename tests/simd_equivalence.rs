@@ -2,15 +2,20 @@
 //!
 //! The vectorized PHY kernels (max-log-MAP, soft demapper, MRC, FFT
 //! butterflies) are designed to be **bit-exact** across tiers: the AVX2
-//! intrinsic paths and the portable lane forms perform the same additions,
-//! multiplies by the same constants and the same `max`/`min` reductions in
-//! rounding-equivalent order. This property test drives whole subframes
-//! through `decode_subframe_with` under a forced-scalar tier and under
-//! auto dispatch, and requires the coded LLRs, the recovered payload, the
-//! CRC verdicts and the per-block turbo iteration counts to match exactly.
+//! and AVX-512 intrinsic paths and the portable lane forms perform the
+//! same additions, multiplies by the same constants and the same
+//! `max`/`min` reductions in rounding-equivalent order. These property
+//! tests drive whole subframes through `decode_subframe_with` under a
+//! forced-scalar tier, under every other tier this CPU supports, and
+//! under auto dispatch, and require the coded LLRs, the recovered
+//! payload, the CRC verdicts and the per-block turbo iteration counts to
+//! match exactly. The batched decode entry point
+//! (`run_staged_decode_batch`, which pairs same-`K` blocks from
+//! different cells through the wide turbo kernel) is held to the same
+//! standard against per-block sequential decodes.
 //!
-//! On hardware without AVX2 the auto tier resolves to scalar and the test
-//! degrades to a (trivially passing) self-comparison — the lane-form-vs-
+//! On hardware without AVX2/AVX-512 the tier loop shrinks to the tiers
+//! that exist and the test degrades gracefully — the lane-form-vs-
 //! reference equivalence is covered by unit tests inside `rtopex-phy`
 //! regardless of the machine.
 
@@ -20,9 +25,20 @@ use rand::{Rng, SeedableRng};
 use rtopex::phy::channel::{AwgnChannel, ChannelModel};
 use rtopex::phy::params::Bandwidth;
 use rtopex::phy::simd::{self, SimdTier};
-use rtopex::phy::uplink::{RxOutput, UplinkConfig, UplinkRx, UplinkTx};
+use rtopex::phy::uplink::{
+    run_staged_decode_batch, DecodeBatchScratch, RxOutput, UplinkConfig, UplinkRx, UplinkTx,
+};
 use rtopex::phy::workspace::PhyWorkspace;
 use rtopex::phy::Cf32;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes the tests in this binary: `force_tier` is process-global,
+/// so concurrent test threads must not interleave tier changes.
+/// Poisoning is ignored — the override is valid in any state.
+fn tier_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One end-to-end decode under the currently active tier: returns the
 /// coded LLRs from the staged pipeline plus the owned output of the
@@ -33,6 +49,17 @@ fn decode_under_current_tier(
     samples: &[Vec<Cf32>],
     ws: &mut PhyWorkspace,
 ) -> (Vec<f32>, RxOutput) {
+    let (llrs, out) = (
+        coded_llrs_under_current_tier(rx, samples),
+        rx.decode_subframe_with(samples, ws)
+            .expect("workspace decode")
+            .to_output(),
+    );
+    (llrs, out)
+}
+
+/// Runs the staged FFT + demod pipeline and returns the coded LLR stream.
+fn coded_llrs_under_current_tier(rx: &UplinkRx, samples: &[Vec<Cf32>]) -> Vec<f32> {
     let mut job = rx.start_job(samples).expect("staged job");
     for i in 0..job.fft_subtask_count() {
         let out = job.run_fft_subtask(i);
@@ -43,42 +70,135 @@ fn decode_under_current_tier(
         let out = job.run_demod_subtask(i);
         job.absorb_demod(out);
     }
-    let llrs = job.coded_llrs().to_vec();
-    let out = rx
-        .decode_subframe_with(samples, ws)
-        .expect("workspace decode")
-        .to_output();
-    (llrs, out)
+    job.coded_llrs().to_vec()
+}
+
+/// An encoded noisy subframe plus its receiver.
+fn make_cell(bw: Bandwidth, mcs: u8, snr_db: f64, seed: u64) -> (UplinkRx, Vec<Vec<Cf32>>) {
+    let cfg = UplinkConfig::new(bw, 2, mcs).expect("config");
+    let tx = UplinkTx::new(cfg.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let payload: Vec<u8> = (0..cfg.transport_block_bytes())
+        .map(|_| rng.gen())
+        .collect();
+    let sf = tx.encode_subframe(&payload).expect("encode");
+    let mut chan = AwgnChannel::new(snr_db);
+    let samples = chan.apply(&sf.samples, cfg.num_antennas, &mut rng);
+    (UplinkRx::new(cfg), samples)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
     #[test]
-    fn forced_scalar_and_auto_dispatch_decode_identically(
+    fn every_supported_tier_and_auto_dispatch_decode_identically(
         seed in 0u64..1_000,
         mcs in prop::sample::select(vec![5u8, 16, 27]),
         bw in prop::sample::select(vec![Bandwidth::Mhz1_4, Bandwidth::Mhz5]),
         snr_db in prop::sample::select(vec![6.0f64, 12.0, 30.0]),
     ) {
-        let cfg = UplinkConfig::new(bw, 2, mcs).expect("config");
-        let tx = UplinkTx::new(cfg.clone());
-        let mut rng = StdRng::seed_from_u64(seed);
-        let payload: Vec<u8> = (0..cfg.transport_block_bytes()).map(|_| rng.gen()).collect();
-        let sf = tx.encode_subframe(&payload).expect("encode");
-        let mut chan = AwgnChannel::new(snr_db);
-        let samples = chan.apply(&sf.samples, cfg.num_antennas, &mut rng);
-        let rx = UplinkRx::new(cfg);
+        let _g = tier_guard();
+        let (rx, samples) = make_cell(bw, mcs, snr_db, seed);
         let mut ws = PhyWorkspace::new();
 
         simd::force_tier(Some(SimdTier::Scalar));
         let (llrs_scalar, out_scalar) = decode_under_current_tier(&rx, &samples, &mut ws);
+
+        for tier in simd::supported_tiers().skip(1) {
+            simd::force_tier(Some(tier));
+            let (llrs, out) = decode_under_current_tier(&rx, &samples, &mut ws);
+            prop_assert_eq!(
+                &llrs_scalar, &llrs,
+                "coded LLRs diverged between scalar and {}", tier.name()
+            );
+            prop_assert_eq!(&out_scalar.payload, &out.payload);
+            prop_assert_eq!(out_scalar.crc_ok, out.crc_ok);
+            prop_assert_eq!(&out_scalar.block_crc_ok, &out.block_crc_ok);
+            prop_assert_eq!(&out_scalar.block_iterations, &out.block_iterations);
+        }
+
         simd::force_tier(None);
         let (llrs_auto, out_auto) = decode_under_current_tier(&rx, &samples, &mut ws);
-
-        prop_assert_eq!(llrs_scalar, llrs_auto, "coded LLRs diverged across tiers");
+        prop_assert_eq!(llrs_scalar, llrs_auto, "coded LLRs diverged under auto dispatch");
         prop_assert_eq!(&out_scalar.payload, &out_auto.payload);
         prop_assert_eq!(out_scalar.crc_ok, out_auto.crc_ok);
         prop_assert_eq!(&out_scalar.block_crc_ok, &out_auto.block_crc_ok);
         prop_assert_eq!(&out_scalar.block_iterations, &out_auto.block_iterations);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn batched_cross_cell_decode_matches_sequential_on_every_tier(
+        seed in 0u64..1_000,
+        mcs_a in prop::sample::select(vec![10u8, 16]),
+        mcs_b in prop::sample::select(vec![22u8, 27]),
+        snr_db in prop::sample::select(vec![8.0f64, 30.0]),
+    ) {
+        let _g = tier_guard();
+        // Two cells at different MCS so the batch mixes block sizes and
+        // modulations; 5 MHz so high MCS carries multiple code blocks.
+        let cells = [
+            make_cell(Bandwidth::Mhz5, mcs_a, snr_db, seed),
+            make_cell(Bandwidth::Mhz5, mcs_b, snr_db, seed ^ 0x9E37_79B9),
+        ];
+
+        // Scalar per-block sequential reference, in staging order.
+        simd::force_tier(Some(SimdTier::Scalar));
+        let llrs: Vec<Vec<f32>> =
+            cells.iter().map(|(rx, s)| coded_llrs_under_current_tier(rx, s)).collect();
+        let mut reference = Vec::new();
+        for (ci, (rx, _)) in cells.iter().enumerate() {
+            for r in 0..rx.config().e_splits().len() {
+                let out = rx.run_decode_subtask_on(&llrs[ci], r);
+                reference.push((out.bits, out.iterations, out.crc_ok));
+            }
+        }
+
+        for tier in simd::supported_tiers() {
+            simd::force_tier(Some(tier));
+            let mut scratch = DecodeBatchScratch::new();
+            for (rx, _) in &cells {
+                scratch.warm(rx.config());
+            }
+            let mut got = Vec::new();
+            let mut rxs: Vec<&UplinkRx> = Vec::new();
+            let drain = |rxs: &mut Vec<&UplinkRx>, scratch: &mut DecodeBatchScratch,
+                             got: &mut Vec<(Vec<u8>, usize, bool)>| {
+                if scratch.is_empty() {
+                    return;
+                }
+                run_staged_decode_batch(rxs, scratch);
+                for i in 0..scratch.len() {
+                    let s = scratch.slot(i);
+                    got.push((s.bits.clone(), s.iterations, s.crc_ok));
+                }
+                scratch.clear();
+                rxs.clear();
+            };
+            // Stage every block of both cells through one shared scratch;
+            // the cell boundary lands mid-batch, so batches mix blocks
+            // (and K values) from both cells — the cross-cell shape the
+            // cluster's drain produces.
+            for (ci, (rx, _)) in cells.iter().enumerate() {
+                for r in 0..rx.config().e_splits().len() {
+                    if scratch.is_full() {
+                        drain(&mut rxs, &mut scratch, &mut got);
+                    }
+                    rx.stage_decode_subtask(&llrs[ci], r, &mut scratch);
+                    rxs.push(rx);
+                }
+            }
+            drain(&mut rxs, &mut scratch, &mut got);
+
+            prop_assert_eq!(got.len(), reference.len());
+            for (i, (got_i, ref_i)) in got.iter().zip(reference.iter()).enumerate() {
+                prop_assert_eq!(
+                    got_i, ref_i,
+                    "batched block {} diverged from sequential scalar on {}", i, tier.name()
+                );
+            }
+        }
+        simd::force_tier(None);
     }
 }
