@@ -123,6 +123,8 @@ pub const ANALYZE_ROOTS: &[&str] = &[
     "crates/lte-phy/src",
     "crates/runtime/src",
     "crates/transport/src",
+    "crates/transport-net/src",
+    "crates/distrib/src",
     "crates/workload/src",
     "crates/model/src",
     "crates/sim/src",

@@ -168,6 +168,18 @@ pub const SEEDS: &[Seed] = &[
         deny: class::ALLOC | class::PANIC,
         why: "subtask publication into preallocated slot arenas",
     },
+    // — Network fronthaul rx hot path: one frame from the io thread into
+    //   the preallocated assembly slots / swap ring. Allocation and
+    //   panicking are denied (tests/alloc_regression.rs proves the
+    //   steady state); the parking_lot slot locks are the handoff
+    //   protocol and the io thread owns no deadline, so locks and clock
+    //   reads stay legal. —
+    Seed {
+        type_qual: Some("RxSession"),
+        name: "ingest_frame",
+        deny: class::ALLOC | class::PANIC,
+        why: "per-frame rx ingest on the io thread; transport-net/tests/alloc_regression.rs proves 0 steady-state allocs",
+    },
     // — Simulator per-event hot loop: the engines promise an
     //   allocation-free, lock-free, clock-free steady state (the wheel
     //   speedup and the fleet determinism both depend on it); panics are

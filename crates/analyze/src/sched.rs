@@ -481,6 +481,8 @@ pub struct NodeBench {
     pub headline_steal_ge_mutex: bool,
     /// Batched-vs-unbatched steal sweep, when recorded.
     pub batching: Option<BatchingBench>,
+    /// Real-network fronthaul section, when recorded.
+    pub multihost: Option<MultihostBench>,
 }
 
 /// The `batching` block of `BENCH_node.json`: the steal sweep with and
@@ -491,6 +493,23 @@ pub struct BatchingBench {
     pub batched_sustained: usize,
     pub unbatched_miss: Vec<f64>,
     pub unbatched_sustained: usize,
+}
+
+/// The `multihost` block of `BENCH_node.json`: per-transport fronthaul
+/// rx overheads on loopback plus the verdict of the localhost
+/// multi-process demo (`rtopex-fronthaul --spawn`).
+#[derive(Debug, Clone)]
+pub struct MultihostBench {
+    /// Cadence period (µs) the overheads were measured against.
+    pub period_us: f64,
+    /// Per-transport `(name, handoff_p50_us, rx_per_subframe_us)`.
+    pub transports: Vec<(String, f64, f64)>,
+    /// Aggregate miss rate of the spawned multi-process demo.
+    pub demo_miss_rate: f64,
+    /// Sequence gaps observed by the demo workers.
+    pub demo_gaps: f64,
+    /// Recorded demo verdict (miss bar + crc + full delivery).
+    pub demo_ok: bool,
 }
 
 /// Parses `BENCH_node.json`.
@@ -554,6 +573,38 @@ pub fn parse_node(src: &str) -> Result<NodeBench, String> {
             unbatched_sustained,
         }
     });
+    let multihost = j.get("multihost").map(|m| {
+        let mut transports = Vec::new();
+        if let Some(t) = m.get("transports") {
+            for (name, val) in t.fields() {
+                transports.push((
+                    name.clone(),
+                    val.get("handoff_p50_us")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(-1.0),
+                    val.get("rx_per_subframe_us")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(-1.0),
+                ));
+            }
+        }
+        MultihostBench {
+            period_us: m.get("period_us").and_then(Json::as_f64).unwrap_or(0.0),
+            transports,
+            demo_miss_rate: m
+                .path(&["demo", "miss_rate"])
+                .and_then(Json::as_f64)
+                .unwrap_or(1.0),
+            demo_gaps: m
+                .path(&["demo", "gaps"])
+                .and_then(Json::as_f64)
+                .unwrap_or(-1.0),
+            demo_ok: m
+                .path(&["demo", "ok"])
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        }
+    });
     Ok(NodeBench {
         steal_delta_us,
         mailbox_delta_us,
@@ -564,6 +615,7 @@ pub fn parse_node(src: &str) -> Result<NodeBench, String> {
             .and_then(Json::as_bool)
             .unwrap_or(false),
         batching,
+        multihost,
     })
 }
 
@@ -1241,6 +1293,86 @@ pub fn audit(kernels_src: &str, node_src: &str, configs: &[MirrorConfig]) -> Aud
     }
     let _ = writeln!(report, "  ],");
 
+    // Real-network fronthaul gate: the tracked baseline must carry the
+    // multihost section, every transport's per-subframe rx cost must fit
+    // inside the cadence period (otherwise the delivery thread cannot
+    // keep up with the fronthaul and run_fed degrades to shedding), and
+    // the recorded localhost multi-process demo must have passed.
+    match &node.multihost {
+        None => {
+            let _ = writeln!(report, "  \"multihost\": null,");
+            v.push(Violation {
+                file: "BENCH_node.json".into(),
+                line: 0,
+                pass: "sched",
+                class: "multihost-missing",
+                msg: "missing `multihost` section — re-run `rtopex-bench --node` (or `--node --refresh-multihost`) so the real-network fronthaul overheads and the multi-process demo verdict stay tracked".into(),
+            });
+        }
+        Some(m) => {
+            for required in ["inproc", "udp", "tcp"] {
+                if !m.transports.iter().any(|(n, ..)| n == required) {
+                    v.push(Violation {
+                        file: "BENCH_node.json".into(),
+                        line: 0,
+                        pass: "sched",
+                        class: "multihost-missing",
+                        msg: format!(
+                            "multihost.transports is missing `{required}` — all three fronthaul transports must stay measured"
+                        ),
+                    });
+                }
+            }
+            let _ = writeln!(report, "  \"multihost\": {{");
+            let _ = writeln!(report, "    \"period_us\": {:.1},", m.period_us);
+            let _ = writeln!(report, "    \"transports\": {{");
+            for (i, (name, handoff, rx)) in m.transports.iter().enumerate() {
+                let comma = if i + 1 < m.transports.len() { "," } else { "" };
+                let _ = writeln!(
+                    report,
+                    "      \"{name}\": {{\"handoff_p50_us\": {handoff:.3}, \"rx_per_subframe_us\": {rx:.3}}}{comma}"
+                );
+                if !(handoff.is_finite() && *handoff > 0.0 && rx.is_finite() && *rx > 0.0) {
+                    v.push(Violation {
+                        file: "BENCH_node.json".into(),
+                        line: 0,
+                        pass: "sched",
+                        class: "multihost-overrun",
+                        msg: format!(
+                            "multihost.transports.{name}: handoff_p50_us = {handoff}, rx_per_subframe_us = {rx} — overheads must be positive measured numbers; re-run `rtopex-bench --node --refresh-multihost`"
+                        ),
+                    });
+                } else if *rx >= m.period_us {
+                    v.push(Violation {
+                        file: "BENCH_node.json".into(),
+                        line: 0,
+                        pass: "sched",
+                        class: "multihost-overrun",
+                        msg: format!(
+                            "multihost.transports.{name}: rx cost {rx:.1} µs/subframe does not fit the {:.0} µs cadence period — a worker fed over this transport cannot keep up with one cell, let alone pool several",
+                            m.period_us
+                        ),
+                    });
+                }
+            }
+            let _ = writeln!(report, "    }},");
+            let _ = writeln!(report, "    \"demo_ok\": {}", m.demo_ok);
+            let _ = writeln!(report, "  }},");
+            if !m.demo_ok || m.demo_miss_rate > node.miss_threshold || m.demo_gaps != 0.0 {
+                v.push(Violation {
+                    file: "BENCH_node.json".into(),
+                    line: 0,
+                    pass: "sched",
+                    class: "multihost-demo",
+                    msg: format!(
+                        "recorded multi-process demo failed its bar (ok = {}, miss_rate = {}, gaps = {}) — the distributed fronthaul no longer sustains the localhost capacity claim; debug before re-recording",
+                        m.demo_ok, m.demo_miss_rate, m.demo_gaps
+                    ),
+                });
+            }
+        }
+    }
+
     // Capacity reproduction from the raw miss arrays.
     let mut computed: Vec<(String, usize, usize)> = Vec::new();
     for (key, miss, recorded) in &node.modes {
@@ -1512,6 +1644,63 @@ mod tests {
             !ok.violations.iter().any(|v| v.class == "capacity-drift"),
             "{:#?}",
             ok.violations
+        );
+    }
+
+    /// `node_doc` extended with a multihost section whose udp rx cost
+    /// and demo verdict are the knobs.
+    fn node_doc_with_multihost(udp_rx: f64, demo_ok: bool) -> String {
+        let mh = format!(
+            r#""multihost": {{
+    "period_us": 6000.0,
+    "transports": {{
+      "inproc": {{ "handoff_p50_us": 50.0, "rx_per_subframe_us": 40.0 }},
+      "udp": {{ "handoff_p50_us": 300.0, "rx_per_subframe_us": {udp_rx:.1} }},
+      "tcp": {{ "handoff_p50_us": 350.0, "rx_per_subframe_us": 90.0 }}
+    }},
+    "demo": {{ "workers": 2, "cells": 4, "miss_rate": 0.0, "gaps": 0, "ok": {demo_ok} }}
+  }},
+  "headline""#
+        );
+        node_doc(2).replace("\"headline\"", &mh)
+    }
+
+    #[test]
+    fn multihost_gate_catches_missing_section_and_failed_demo() {
+        // The minimal node doc has no multihost section at all.
+        let a = audit(KERNELS, &node_doc(2), &[]);
+        assert!(
+            a.violations.iter().any(|v| v.class == "multihost-missing"),
+            "{:#?}",
+            a.violations
+        );
+        // A failed demo verdict must fire the gate …
+        let a = audit(KERNELS, &node_doc_with_multihost(100.0, false), &[]);
+        assert!(
+            a.violations.iter().any(|v| v.class == "multihost-demo"),
+            "{:#?}",
+            a.violations
+        );
+        // … and a healthy section must not.
+        let a = audit(KERNELS, &node_doc_with_multihost(100.0, true), &[]);
+        assert!(
+            !a.violations
+                .iter()
+                .any(|v| v.class.starts_with("multihost")),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn multihost_rx_overrun_is_caught() {
+        // An rx cost above the cadence period cannot sustain even one
+        // cell over that transport.
+        let a = audit(KERNELS, &node_doc_with_multihost(999_999.0, true), &[]);
+        assert!(
+            a.violations.iter().any(|v| v.class == "multihost-overrun"),
+            "{:#?}",
+            a.violations
         );
     }
 

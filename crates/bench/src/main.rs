@@ -27,6 +27,7 @@ use rtopex_runtime::affinity::NumaTopology;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+mod multihost;
 mod node;
 mod sim;
 
@@ -257,6 +258,60 @@ fn batched_entries() -> Vec<BatchedEntry> {
     out
 }
 
+/// Ad-hoc probe behind `--demap-batch`: per-call [`Modulation::demap_maxlog`]
+/// vs. a [`demap_batch`] drain over the same four jobs. Stdout only — the
+/// result is NOT written to `BENCH_kernels.json`, because each 600-symbol
+/// job already fills whole SIMD blocks internally, so cross-job batching
+/// can only amortize the per-call tier resolution (nanoseconds against a
+/// multi-microsecond kernel). The measured ~1.0x is recorded as a negative
+/// result in EXPERIMENTS.md; adding it to the tracked baseline would trip
+/// the analyzer's batching-regression floor for no information gain.
+fn demap_batch_probe() {
+    use rtopex_phy::modulation::{demap_batch, DemapJob};
+    const BATCH: usize = 4;
+    const SYMS: usize = 600;
+    println!("demap batch-drain probe (batch {BATCH}, {SYMS} symbols/job)");
+    for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        let qm = m.bits_per_symbol();
+        let streams: Vec<(Vec<Cf32>, Vec<f32>)> = (0..BATCH)
+            .map(|i| {
+                let syms = m.map(&bits(SYMS * qm, 20 + i as u64));
+                let nv = vec![0.05f32; syms.len()];
+                (syms, nv)
+            })
+            .collect();
+        let mut outs: Vec<Vec<f32>> = (0..BATCH).map(|_| Vec::with_capacity(SYMS * qm)).collect();
+
+        let (per_call_ns, _) = time_kernel(200, || {
+            for ((syms, nv), out) in streams.iter().zip(outs.iter_mut()) {
+                out.clear();
+                m.demap_maxlog(syms, nv, out);
+            }
+        });
+        let (batched_ns, _) = time_kernel(200, || {
+            for out in outs.iter_mut() {
+                out.clear();
+            }
+            let mut jobs: Vec<DemapJob<'_>> = streams
+                .iter()
+                .zip(outs.iter_mut())
+                .map(|((syms, nv), out)| DemapJob {
+                    modulation: m,
+                    symbols: syms,
+                    noise_var: nv,
+                    out,
+                })
+                .collect();
+            demap_batch(&mut jobs);
+        });
+        println!(
+            "  qm={qm}: per-call {per_call_ns} ns, batch-drain {batched_ns} ns \
+             ({:.3}x)",
+            per_call_ns as f64 / batched_ns as f64
+        );
+    }
+}
+
 fn cpu_model() -> String {
     std::fs::read_to_string("/proc/cpuinfo")
         .ok()
@@ -345,7 +400,17 @@ fn main() {
             .find(|a| !a.starts_with("--"))
             .cloned()
             .unwrap_or_else(|| "BENCH_node.json".to_string());
+        if args.iter().any(|a| a == "--refresh-multihost") {
+            // Re-measure only the fronthaul section; the capacity sweep
+            // arrays in the existing file stay byte-identical.
+            multihost::refresh(&path);
+            return;
+        }
         node::run(quick, &path);
+        return;
+    }
+    if args.iter().any(|a| a == "--demap-batch") {
+        demap_batch_probe();
         return;
     }
     if args.iter().any(|a| a == "--sim") {

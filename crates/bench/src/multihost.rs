@@ -1,0 +1,357 @@
+//! The `multihost` section of `BENCH_node.json`: real-network fronthaul
+//! overheads plus the localhost multi-process demo verdict.
+//!
+//! Two measurement groups, all on loopback so the numbers isolate the
+//! transport stack rather than a NIC:
+//!
+//! * **per-transport overheads** — for each of the three fronthaul
+//!   transports (in-process emulation, UDP datagrams, length-framed
+//!   TCP): the p50 handoff latency of one quantized IQ subframe
+//!   (aggregator `send` → worker `recv_into` swap, 5 MHz × 2 antennas),
+//!   and the steady-state rx cost per subframe measured by draining a
+//!   paced burst (receive-side wall clock between the first and last
+//!   delivery). The analyzer gates `rx_per_subframe_us < period`:
+//!   a transport whose ingest cannot keep the cadence would turn
+//!   `run_fed` into a shedding loop.
+//! * **demo** — spawns the sibling `rtopex-fronthaul --spawn 2` binary
+//!   (1 aggregator + 2 `rtopex-node` workers over real UDP sockets,
+//!   4 cells) and records its aggregated verdict: full delivery, miss
+//!   rate under the 0.5 % bar, zero sequence gaps.
+//!
+//! `rtopex-bench --node --refresh-multihost [FILE]` re-measures only
+//! this section and splices it into an existing baseline, so the
+//! multi-minute capacity sweep (whose arrays the analyzer pins) does
+//! not have to be re-run — and cannot drift — when only the fronthaul
+//! changed.
+
+use rtopex_phy::Cf32;
+use rtopex_transport::{inproc_pair, FronthaulRx, FronthaulTx, Recv, StreamParams, SubframeBuf};
+use rtopex_transport_net::{TcpRxPending, UdpRxPending};
+use std::fmt::Write as _;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// Demo cadence: the 5 MHz deadline-dilated geometry every distributed
+/// demo and the capacity sweep share (period 6 ms, Eq. 3 budget 5 ms).
+pub const PERIOD_US: u64 = 6_000;
+const BUDGET_US: u64 = 5_000;
+const ANTENNAS: u8 = 2;
+const SAMPLES_PER_SUBFRAME: u32 = 3_840; // 5 MHz
+
+/// Loopback overheads for one transport.
+pub struct TransportOverhead {
+    pub name: &'static str,
+    pub handoff_p50_us: f64,
+    pub rx_per_subframe_us: f64,
+    pub delivered: u64,
+    pub gaps: u64,
+}
+
+/// Aggregated verdict of the spawned multi-process demo.
+pub struct DemoResult {
+    pub workers: u64,
+    pub cells: u64,
+    pub subframes_per_cell: u64,
+    pub delivered: u64,
+    pub miss_rate: f64,
+    pub gaps: u64,
+    pub ok: bool,
+}
+
+fn stream_params(cells: Vec<u16>) -> StreamParams {
+    StreamParams {
+        samples_per_subframe: SAMPLES_PER_SUBFRAME,
+        antennas: ANTENNAS,
+        cells,
+        period_us: PERIOD_US as u32,
+        budget_us: BUDGET_US as u32,
+        mcs_pool: vec![5, 10, 16, 22, 27],
+        subframes: 0, // open-ended; finish() closes the stream
+    }
+}
+
+/// Deterministic full-scale IQ payload (content is irrelevant to the
+/// transport; non-zero keeps the i16 quantizer honest).
+fn test_samples() -> Vec<Vec<Cf32>> {
+    (0..ANTENNAS as usize)
+        .map(|a| {
+            (0..SAMPLES_PER_SUBFRAME as usize)
+                .map(|i| Cf32::from_phase((i + a * 7) as f32 * 0.013) * 0.3)
+                .collect()
+        })
+        .collect()
+}
+
+/// Ping-pong then burst over one established link. Returns
+/// `(handoff_p50_us, rx_per_subframe_us, delivered, gaps)`.
+fn measure_link(
+    mut tx: Box<dyn FronthaulTx>,
+    mut rx: Box<dyn FronthaulRx>,
+    handoffs: usize,
+    burst: usize,
+) -> (f64, f64, u64, u64) {
+    let samples = test_samples();
+    let mut buf = SubframeBuf::for_stream(rx.params());
+    let poll = Duration::from_millis(2_000);
+
+    // Handoff: one in-flight subframe at a time, full rx round trip.
+    let mut lat_us: Vec<f64> = Vec::with_capacity(handoffs);
+    for seq in 0..handoffs as u32 {
+        let t = Instant::now();
+        tx.send(0, seq, 27, &samples).expect("handoff send");
+        tx.flush().expect("handoff flush");
+        match rx.recv_into(&mut buf, poll).expect("handoff recv") {
+            Recv::Subframe => lat_us.push(t.elapsed().as_secs_f64() * 1e6),
+            other => panic!("handoff probe got {other:?}"),
+        }
+    }
+    lat_us.sort_by(|a, b| a.total_cmp(b));
+    let handoff_p50 = lat_us[lat_us.len() / 2];
+
+    // Burst: a paced sender thread streams `burst` subframes across both
+    // cells; the receiver drains flat out. Wall clock between the first
+    // and last delivery is the steady-state rx pipeline cost.
+    let (mut first, mut last): (Option<Instant>, Option<Instant>) = (None, None);
+    let mut delivered = 0u64;
+    std::thread::scope(|s| {
+        let sender = s.spawn(|| {
+            let base = handoffs as u32;
+            for i in 0..burst as u32 {
+                let cell = (i % 2) as u16;
+                tx.send(cell, base + i / 2, 27, &samples)
+                    .expect("burst send");
+                if i % 2 == 1 {
+                    tx.flush().expect("burst flush");
+                }
+            }
+            tx.finish().expect("finish");
+        });
+        loop {
+            match rx.recv_into(&mut buf, poll).expect("burst recv") {
+                Recv::Subframe => {
+                    let now = Instant::now();
+                    first.get_or_insert(now);
+                    last = Some(now);
+                    delivered += 1;
+                }
+                Recv::Closed => break,
+                Recv::TimedOut => break,
+            }
+        }
+        sender.join().expect("sender thread");
+    });
+    let rx_per_subframe = match (first, last) {
+        (Some(a), Some(b)) if delivered > 1 => (b - a).as_secs_f64() * 1e6 / (delivered - 1) as f64,
+        _ => f64::NAN,
+    };
+    let stats = rx.stats();
+    (handoff_p50, rx_per_subframe, delivered, stats.gaps)
+}
+
+/// Measures all three transports on loopback.
+pub fn transport_overheads(quick: bool) -> Vec<TransportOverhead> {
+    let (handoffs, burst) = if quick { (24, 64) } else { (96, 256) };
+    let mut out = Vec::new();
+
+    eprintln!("  multihost: in-process link ({handoffs} handoffs, {burst} burst)…");
+    let params = stream_params(vec![0, 1]);
+    let (tx, rx) = inproc_pair(params.clone(), burst + 8);
+    let (h, r, d, g) = measure_link(Box::new(tx), Box::new(rx), handoffs, burst);
+    out.push(TransportOverhead {
+        name: "inproc",
+        handoff_p50_us: h,
+        rx_per_subframe_us: r,
+        delivered: d,
+        gaps: g,
+    });
+
+    eprintln!("  multihost: udp loopback link…");
+    let pending = UdpRxPending::bind("127.0.0.1:0").expect("udp bind");
+    let addr = pending.local_addr().expect("udp addr").to_string();
+    let accept = std::thread::spawn(move || {
+        pending
+            .accept(Duration::from_secs(10), burst + 8)
+            .expect("udp accept")
+    });
+    let tx =
+        rtopex_transport_net::UdpFronthaulTx::connect(&addr, params.clone()).expect("udp connect");
+    let rx = accept.join().expect("udp accept thread");
+    let (h, r, d, g) = measure_link(Box::new(tx), Box::new(rx), handoffs, burst);
+    out.push(TransportOverhead {
+        name: "udp",
+        handoff_p50_us: h,
+        rx_per_subframe_us: r,
+        delivered: d,
+        gaps: g,
+    });
+
+    eprintln!("  multihost: tcp loopback link…");
+    let pending = TcpRxPending::bind("127.0.0.1:0").expect("tcp bind");
+    let addr = pending.local_addr().expect("tcp addr").to_string();
+    let accept = std::thread::spawn(move || {
+        pending
+            .accept(Duration::from_secs(10), burst + 8)
+            .expect("tcp accept")
+    });
+    let tx = rtopex_transport_net::TcpFronthaulTx::connect(&addr, params).expect("tcp connect");
+    let rx = accept.join().expect("tcp accept thread");
+    let (h, r, d, g) = measure_link(Box::new(tx), Box::new(rx), handoffs, burst);
+    out.push(TransportOverhead {
+        name: "tcp",
+        handoff_p50_us: h,
+        rx_per_subframe_us: r,
+        delivered: d,
+        gaps: g,
+    });
+
+    out
+}
+
+/// Flat-JSON number scan (same convention as `rtopex-distrib`: tracked
+/// report keys are unique in the document).
+fn scan_num(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let tail = text[at..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Spawns the sibling `rtopex-fronthaul --spawn 2` demo and parses its
+/// aggregated report. A missing binary yields `ok = false` (the
+/// analyzer will flag the recorded file) rather than a panic, so the
+/// kernel/sweep sections of a bench run still get written.
+pub fn run_demo(quick: bool) -> DemoResult {
+    let exe = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("rtopex-fronthaul")))
+        .unwrap_or_else(|| "rtopex-fronthaul".into());
+    let mut args = vec!["--cells", "4", "--spawn", "2", "--transport", "udp"];
+    if quick {
+        args.push("--quick");
+    }
+    eprintln!("  multihost: demo `{} {}`…", exe.display(), args.join(" "));
+    let failed = DemoResult {
+        workers: 2,
+        cells: 4,
+        subframes_per_cell: 0,
+        delivered: 0,
+        miss_rate: 1.0,
+        gaps: 0,
+        ok: false,
+    };
+    let out = match Command::new(&exe).args(&args).output() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!(
+                "  multihost: cannot spawn {}: {e} — build rtopex-distrib first \
+                 (`cargo build --release -p rtopex-distrib`)",
+                exe.display()
+            );
+            return failed;
+        }
+    };
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    let num = |k: &str| scan_num(&text, k).unwrap_or(-1.0);
+    DemoResult {
+        workers: num("workers").max(0.0) as u64,
+        cells: num("cells").max(0.0) as u64,
+        subframes_per_cell: num("subframes_per_cell").max(0.0) as u64,
+        delivered: num("delivered").max(0.0) as u64,
+        miss_rate: num("miss_rate").max(0.0),
+        gaps: num("gaps").max(0.0) as u64,
+        ok: out.status.success() && text.contains("\"ok\": true"),
+    }
+}
+
+fn fmt_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Measures everything and renders the section, ready to sit directly
+/// before the `"headline"` key of `BENCH_node.json`:
+///
+/// ```text
+///   "multihost": { … },
+/// ```
+pub fn section(quick: bool) -> String {
+    let overheads = transport_overheads(quick);
+    let demo = run_demo(quick);
+
+    let mut s = String::new();
+    writeln!(s, "  \"multihost\": {{").unwrap();
+    writeln!(s, "    \"period_us\": {PERIOD_US},").unwrap();
+    writeln!(s, "    \"transports\": {{").unwrap();
+    for (i, t) in overheads.iter().enumerate() {
+        let comma = if i + 1 < overheads.len() { "," } else { "" };
+        writeln!(
+            s,
+            "      \"{}\": {{ \"handoff_p50_us\": {}, \"rx_per_subframe_us\": {}, \
+             \"delivered\": {}, \"gaps\": {} }}{}",
+            t.name,
+            fmt_f(t.handoff_p50_us),
+            fmt_f(t.rx_per_subframe_us),
+            t.delivered,
+            t.gaps,
+            comma
+        )
+        .unwrap();
+        eprintln!(
+            "  multihost {}: handoff p50 {:.1} µs, rx {:.1} µs/subframe ({} delivered, {} gaps)",
+            t.name, t.handoff_p50_us, t.rx_per_subframe_us, t.delivered, t.gaps
+        );
+    }
+    writeln!(s, "    }},").unwrap();
+    writeln!(s, "    \"demo\": {{").unwrap();
+    writeln!(s, "      \"transport\": \"udp\",").unwrap();
+    writeln!(s, "      \"workers\": {},", demo.workers).unwrap();
+    writeln!(s, "      \"cells\": {},", demo.cells).unwrap();
+    writeln!(
+        s,
+        "      \"cells_per_worker\": {},",
+        demo.cells.checked_div(demo.workers).unwrap_or(0)
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "      \"subframes_per_cell\": {},",
+        demo.subframes_per_cell
+    )
+    .unwrap();
+    writeln!(s, "      \"delivered\": {},", demo.delivered).unwrap();
+    writeln!(s, "      \"miss_rate\": {},", fmt_f(demo.miss_rate)).unwrap();
+    writeln!(s, "      \"gaps\": {},", demo.gaps).unwrap();
+    writeln!(s, "      \"ok\": {}", demo.ok).unwrap();
+    writeln!(s, "    }}").unwrap();
+    writeln!(s, "  }},").unwrap();
+    eprintln!(
+        "  multihost demo: {} workers × {} cells, delivered {}, miss {:.4}, ok = {}",
+        demo.workers, demo.cells, demo.delivered, demo.miss_rate, demo.ok
+    );
+    s
+}
+
+/// Re-measures only the multihost section and splices it into an
+/// existing `BENCH_node.json`, leaving every other byte — in particular
+/// the pinned capacity arrays — untouched.
+pub fn refresh(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {path}: {e} — run `rtopex-bench --node` first"));
+    let head_at = text
+        .find("  \"headline\": {")
+        .expect("node baseline has a headline section");
+    let start = match text.find("  \"multihost\": {") {
+        Some(m) if m < head_at => m,
+        _ => head_at,
+    };
+    let fresh = section(false);
+    let spliced = format!("{}{}{}", &text[..start], fresh, &text[head_at..]);
+    std::fs::write(path, spliced).expect("write node baseline");
+    eprintln!("refreshed multihost section in {path}");
+}

@@ -22,9 +22,15 @@
 //!   so the capacity contribution of cross-cell batched decode dispatch
 //!   (paired trellises through `turbo::decode_batch`) is visible in the
 //!   committed file rather than folded invisibly into the headline.
+//! * `multihost` — real-network fronthaul overheads (per-transport
+//!   loopback handoff latency + steady-state rx cost per subframe) and
+//!   the spawned `rtopex-fronthaul --spawn 2` demo verdict — see
+//!   `multihost.rs`. `--refresh-multihost` re-measures only this
+//!   section and splices it into an existing file.
 //!
 //! ```text
 //! cargo run --release -p rtopex-bench -- --node [--quick] [OUTPUT.json]
+//! cargo run --release -p rtopex-bench -- --node --refresh-multihost [FILE.json]
 //! ```
 //!
 //! `--quick` shrinks the sweep (2 cells, 1 trial) for CI smoke runs where
@@ -362,6 +368,9 @@ pub fn run(quick: bool, path: &str) {
     )
     .unwrap();
     writeln!(body, "  }},").unwrap();
+
+    eprintln!("multihost fronthaul overheads + demo…");
+    body.push_str(&crate::multihost::section(quick));
 
     writeln!(body, "  \"headline\": {{").unwrap();
     writeln!(body, "    \"mutex_cells_sustained\": {mutex_n},").unwrap();

@@ -61,7 +61,7 @@ use rtopex_phy::uplink::{
     BlockBuf, DecodeBatchScratch, JobSlab, UplinkConfig, UplinkRx, UplinkTx, MAX_DECODE_BATCH,
 };
 use rtopex_phy::Cf32;
-use rtopex_transport::{MulticellIngest, TestbedLink};
+use rtopex_transport::{FronthaulRx, MulticellIngest, Recv, RxStats, SubframeBuf, TestbedLink};
 use rtopex_workload::{load_to_mcs, LoadTrace, TraceParams};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -246,6 +246,10 @@ struct Calib {
 struct OwnJob {
     cell: usize,
     pool_idx: usize,
+    /// Fed-mode delivery slot holding this subframe's samples; unused
+    /// (always 0) in the emulated `run()` path, where samples come from
+    /// the pre-encoded pool.
+    slot: usize,
     release: Instant,
     deadline: Instant,
 }
@@ -403,9 +407,71 @@ impl WorkerTotals {
     }
 }
 
+/// Delivery slots per fed-mode cell. Sized so one cell can have a
+/// subframe in flight on each of its two cores plus a small landing
+/// margin for jitter before the shed path (miss + drop) kicks in.
+const FED_SLOTS: usize = 4;
+
+/// One fed-mode cell's landing area: preallocated sample buffers the
+/// delivery thread swaps network subframes into, and a free list the
+/// owning worker returns slots through. Contention is delivery ↔ one
+/// owner only; both critical sections are a pointer swap or an index
+/// push.
+struct FedCell {
+    slots: Vec<Mutex<Vec<Vec<Cf32>>>>,
+    free: Mutex<Vec<usize>>,
+}
+
+/// Fed-mode shared state: per-cell slot arenas plus the shed counter
+/// (subframes that arrived while every slot of their cell was busy).
+struct FedShared {
+    cells: Vec<FedCell>,
+    shed: AtomicU64,
+}
+
+impl FedShared {
+    fn new(cfg: &ClusterConfig, samples_per_subframe: usize) -> Self {
+        let cells = (0..cfg.num_cells)
+            .map(|_| FedCell {
+                slots: (0..FED_SLOTS)
+                    .map(|_| {
+                        Mutex::new(vec![
+                            vec![Cf32::new(0.0, 0.0); samples_per_subframe];
+                            cfg.num_antennas
+                        ])
+                    })
+                    .collect(),
+                free: Mutex::new((0..FED_SLOTS).rev().collect()),
+            })
+            .collect();
+        FedShared {
+            cells,
+            shed: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Returns a fed job's delivery slot to its cell's free list on every
+/// exit path of `process_subframe` (drop at a slack check included).
+/// Declared before the slot's sample guard so the guard releases first.
+struct FedSlotRelease<'f> {
+    fed: Option<(&'f FedShared, usize, usize)>,
+}
+
+impl Drop for FedSlotRelease<'_> {
+    fn drop(&mut self) {
+        if let Some((f, cell, slot)) = self.fed {
+            f.cells[cell].free.lock().push(slot);
+        }
+    }
+}
+
 struct Shared<'a> {
     cfg: &'a ClusterConfig,
     arenas: &'a [CoreArena],
+    /// `Some` when subframes arrive over a [`FronthaulRx`] instead of the
+    /// pre-encoded pool; `None` in the emulated `run()` path.
+    fed: Option<&'a FedShared>,
     inboxes: Vec<Inbox<'a>>,
     global: Inbox<'a>,
     stealers: Vec<steal::Stealer>,
@@ -615,21 +681,46 @@ impl CranCluster {
 
     /// Per-cell pool-index sequences from the tower traces.
     fn schedule_mcs(&self, pool: &[Prepared]) -> Vec<Vec<usize>> {
-        (0..self.cfg.num_cells)
+        let mcs: Vec<u8> = pool.iter().map(|p| p.mcs).collect();
+        Self::mcs_plan_for(&self.cfg, &mcs)
+    }
+
+    fn mcs_plan_for(cfg: &ClusterConfig, pool_mcs: &[u8]) -> Vec<Vec<usize>> {
+        (0..cfg.num_cells)
             .map(|cell| {
-                let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(cell as u64 * 7919));
+                let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(cell as u64 * 7919));
                 let mut trace = LoadTrace::new(TraceParams::tower(cell % 4));
-                (0..self.cfg.subframes)
+                (0..cfg.subframes)
                     .map(|_| {
                         let mcs = load_to_mcs(trace.next_load(&mut rng)).index();
-                        pool.iter()
+                        pool_mcs
+                            .iter()
                             .enumerate()
-                            .min_by_key(|(_, p)| (p.mcs as i32 - mcs as i32).abs())
+                            .min_by_key(|(_, &p)| (p as i32 - mcs as i32).abs())
                             .map(|(i, _)| i)
                             .expect("non-empty pool")
                     })
                     .collect()
             })
+            .collect()
+    }
+
+    /// The deterministic per-cell MCS plan (tower traces) as pool indices
+    /// into `cfg.mcs_pool` — public so a fronthaul aggregator can
+    /// transmit exactly the load schedule an emulated `run()` would have
+    /// generated for the same config and seed.
+    pub fn mcs_plan(cfg: &ClusterConfig) -> Vec<Vec<usize>> {
+        Self::mcs_plan_for(cfg, &cfg.mcs_pool)
+    }
+
+    /// The sender-side subframe pool: the same pre-encoded,
+    /// channel-impaired sample streams `run()` decodes from memory, keyed
+    /// by MCS. A fronthaul aggregator pairs this with [`Self::mcs_plan`]
+    /// to put the emulated workload on a real wire.
+    pub fn encode_pool(cfg: &ClusterConfig) -> Vec<(u8, Vec<Vec<Cf32>>)> {
+        Self::prepare_pool(cfg)
+            .into_iter()
+            .map(|p| (p.mcs, p.samples))
             .collect()
     }
 
@@ -659,6 +750,7 @@ impl CranCluster {
         let shared = Shared {
             cfg,
             arenas: &arenas,
+            fed: None,
             inboxes: (0..cores)
                 .map(|_| Inbox::with_capacity(cfg.subframes + 2))
                 .collect(),
@@ -708,6 +800,7 @@ impl CranCluster {
                     let job = OwnJob {
                         cell,
                         pool_idx: seq[j as usize],
+                        slot: 0,
                         release,
                         deadline: release + cfg.budget(),
                     };
@@ -755,6 +848,236 @@ impl CranCluster {
             elapsed,
         }
     }
+
+    /// Runs the cluster fed by a real fronthaul receiver instead of the
+    /// emulated pre-encoded pool: IQ subframes arrive through `rx`
+    /// (in-process, UDP or TCP — any [`FronthaulRx`]), land in
+    /// preallocated per-cell slot arenas, and are scheduled exactly like
+    /// emulated releases except that deadlines are **arrival-based**
+    /// (`arrival + budget`): the network already charged `T_fronthaul`,
+    /// so the budget clock starts when the subframe reaches the node.
+    ///
+    /// Differences from [`CranCluster::run`], all confined to where the
+    /// samples come from:
+    ///
+    /// * The pre-encoded pool still exists but only for calibration and
+    ///   per-MCS decoder configs — received samples are what gets decoded.
+    /// * FFT stages are never published for stealing: a thief reads the
+    ///   owner's samples, and a fed job's samples live behind its slot
+    ///   guard for exactly the job's lifetime. Decode stages migrate as
+    ///   usual — the published LLR snapshot is self-contained.
+    /// * A subframe arriving while all [`FED_SLOTS`] slots of its cell
+    ///   are busy is shed at delivery and recorded as a miss + drop, the
+    ///   overload behaviour Eq. 3 prescribes.
+    ///
+    /// Returns when the sender closes the stream (or goes silent for a
+    /// generous idle window) and every queued subframe has drained.
+    ///
+    /// # Panics
+    /// Panics if `rx`'s negotiated stream geometry (antennas, cell count,
+    /// samples per subframe) does not match this cluster's config.
+    pub fn run_fed(&self, rx: &mut dyn FronthaulRx) -> FedReport {
+        let cfg = &self.cfg;
+        let params = rx.params().clone();
+        assert_eq!(
+            params.antennas as usize, cfg.num_antennas,
+            "stream antennas != cluster antennas"
+        );
+        assert_eq!(
+            params.cells.len(),
+            cfg.num_cells,
+            "stream cell count != cluster cells"
+        );
+        assert_eq!(
+            params.samples_per_subframe as usize,
+            cfg.bandwidth.samples_per_subframe(),
+            "stream samples/subframe != bandwidth"
+        );
+        let pool = Self::prepare_pool(cfg);
+        let calib = Self::calibrate(&pool);
+        let cores = cfg.total_cores();
+        let arenas: Vec<CoreArena> = (0..cores).map(|_| CoreArena::new(&pool, cfg)).collect();
+        let fed = FedShared::new(cfg, cfg.bandwidth.samples_per_subframe());
+        let ingest = MulticellIngest::homogeneous(
+            TestbedLink::paper_testbed(),
+            cfg.num_cells,
+            cfg.bandwidth,
+            cfg.num_antennas,
+        );
+        let d0 = ingest.deterministic_delivery_us(0).unwrap_or(0.0);
+        let stagger: Vec<Duration> = (0..cfg.num_cells)
+            .map(|c| {
+                let d = ingest.deterministic_delivery_us(c).unwrap_or(d0);
+                Duration::from_secs_f64(((d - d0).max(0.0)) / 1e6)
+            })
+            .collect();
+        let (mut workers, stealers): (Vec<steal::Worker>, Vec<steal::Stealer>) =
+            (0..cores).map(|_| steal::steal_pair(64)).unzip();
+        let shared = Shared {
+            cfg,
+            arenas: &arenas,
+            fed: Some(&fed),
+            inboxes: (0..cores)
+                .map(|_| Inbox::with_capacity(cfg.subframes + 2))
+                .collect(),
+            global: Inbox::with_capacity(cfg.num_cells * cfg.subframes + 2),
+            stealers,
+            idle: (0..cores).map(|_| AtomicBool::new(false)).collect(),
+            totals: Mutex::new(WorkerTotals::new(cfg.num_cells)),
+            calib,
+            schedule: PartitionedSchedule::with_cores_per_bs(cfg.num_cells, 2),
+            base: Instant::now(),
+            epoch_ns: AtomicU64::new(0),
+            stagger,
+            pinned: AtomicBool::new(false),
+            domain: {
+                let topo = NumaTopology::detect();
+                (0..cores).map(|c| topo.domain_of(c)).collect()
+            },
+        };
+        let barrier = Barrier::new(cores + 1);
+
+        std::thread::scope(|s| {
+            let shared = &shared;
+            let pool = &pool;
+            let barrier = &barrier;
+            for (core, w) in workers.drain(..).enumerate() {
+                s.spawn(move || worker_loop(core, shared, pool, w, barrier));
+            }
+            barrier.wait(); // workers warm
+                            // Provisional epoch so idle-window math is defined before the
+                            // first subframe lands; re-pinned to the true arrival below.
+            let provisional = Instant::now();
+            shared.epoch_ns.store(
+                provisional
+                    .saturating_duration_since(shared.base)
+                    .as_nanos() as u64,
+                Ordering::Release,
+            );
+            barrier.wait();
+
+            // Delivery: pull subframes off the transport, swap their
+            // samples into a free slot of the owning cell, and stage the
+            // job on the cell's core (or the global queue). The swap is
+            // two pointer exchanges per antenna — the recv buffer and the
+            // slot trade allocations, so steady state never touches the
+            // heap.
+            let mut buf = SubframeBuf::for_stream(&params);
+            let mut first = true;
+            let mut last_traffic = Instant::now();
+            let idle_limit = (cfg.period * 64).max(Duration::from_secs(5));
+            let poll = cfg.period.max(Duration::from_millis(10));
+            loop {
+                match rx.recv_into(&mut buf, poll) {
+                    Ok(Recv::Subframe) => {
+                        let now = Instant::now();
+                        last_traffic = now;
+                        if first {
+                            first = false;
+                            let e = now.checked_sub(cfg.rtt_half).unwrap_or(now);
+                            shared.epoch_ns.store(
+                                e.saturating_duration_since(shared.base).as_nanos() as u64,
+                                Ordering::Release,
+                            );
+                        }
+                        let Some(cell) = params.local_cell(buf.cell) else {
+                            continue; // foreign cell id: transport bug, shed
+                        };
+                        let pool_idx = pool
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, p)| (p.mcs as i32 - buf.mcs as i32).abs())
+                            .map(|(i, _)| i)
+                            .unwrap_or(0);
+                        let slot = fed.cells[cell].free.lock().pop();
+                        let Some(slot) = slot else {
+                            // Every slot busy: the cell is overloaded;
+                            // shed now rather than queue a subframe that
+                            // would miss anyway.
+                            fed.shed.fetch_add(1, Ordering::Relaxed);
+                            let mut t = shared.totals.lock();
+                            t.deadline.record(cell, true);
+                            t.dropped += 1;
+                            continue;
+                        };
+                        {
+                            let mut dst = fed.cells[cell].slots[slot].lock();
+                            for (d, s) in dst.iter_mut().zip(buf.samples.iter_mut()) {
+                                std::mem::swap(d, s);
+                            }
+                        }
+                        let job = OwnJob {
+                            cell,
+                            pool_idx,
+                            slot,
+                            release: now,
+                            deadline: now + cfg.budget(),
+                        };
+                        match cfg.mode {
+                            SchedulerMode::Global => {
+                                shared.global.state.lock().own.push_back(job);
+                                shared.global.cv.notify_one();
+                            }
+                            _ => {
+                                let core = shared.schedule.core_for(cell, buf.seq as u64);
+                                shared.inboxes[core].state.lock().own.push_back(job);
+                                shared.inboxes[core].cv.notify_one();
+                            }
+                        }
+                    }
+                    Ok(Recv::TimedOut) => {
+                        if last_traffic.elapsed() > idle_limit {
+                            break; // sender vanished without a BYE
+                        }
+                    }
+                    Ok(Recv::Closed) | Err(_) => break,
+                }
+            }
+            // Drain margin, then shut the workers down.
+            let end = Instant::now() + cfg.budget() + cfg.period * 4;
+            std::thread::sleep(end.saturating_duration_since(Instant::now()));
+            for inbox in &shared.inboxes {
+                inbox.state.lock().shutdown = true;
+                inbox.cv.notify_all();
+            }
+            shared.global.state.lock().shutdown = true;
+            shared.global.cv.notify_all();
+        });
+
+        let elapsed = Instant::now().saturating_duration_since(shared.epoch());
+        let m = shared.totals.into_inner();
+        FedReport {
+            cluster: ClusterReport {
+                mode: cfg.mode,
+                cells: cfg.num_cells,
+                deadline: m.deadline,
+                migration: m.migration,
+                proc_us: m.proc_us,
+                dropped: m.dropped,
+                crc_failures: m.crc_failures,
+                pinned: shared.pinned.load(Ordering::Relaxed),
+                steals: m.steals,
+                declined_steals: m.declined,
+                cross_numa_steals: m.cross_numa_steals,
+                elapsed,
+            },
+            rx: rx.stats(),
+            shed: fed.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Results of a fed (network-driven) cluster run: the usual cluster
+/// report plus the transport's receive-side accounting.
+#[derive(Clone, Debug)]
+pub struct FedReport {
+    /// Scheduler-side outcomes, identical in shape to an emulated run.
+    pub cluster: ClusterReport,
+    /// Transport receive stats (delivered/gaps/stale/drops) at run end.
+    pub rx: RxStats,
+    /// Subframes shed at delivery because their cell's slots were all
+    /// busy (each is also recorded as a miss + drop in `cluster`).
+    pub shed: u64,
 }
 
 /// What the fan-out helpers ask the owner to do with subtask `i`.
@@ -1240,6 +1563,18 @@ fn process_subframe<'a>(
         1
     };
     let prepared = &pool[job.pool_idx];
+    // Fed mode: the subframe's samples live in its delivery slot. The
+    // guard is held for the whole job; the release sentinel (declared
+    // first, so it drops last) returns the slot to the free list on
+    // every exit path, slack drops included.
+    let _slot_release = FedSlotRelease {
+        fed: shared.fed.map(|f| (f, job.cell, job.slot)),
+    };
+    let fed_samples = shared.fed.map(|f| f.cells[job.cell].slots[job.slot].lock());
+    let samples: &[Vec<Cf32>] = match fed_samples.as_deref() {
+        Some(s) => s,
+        None => &prepared.samples,
+    };
     let started = Instant::now();
     let pidx = job.pool_idx;
     let calib = &shared.calib;
@@ -1258,7 +1593,7 @@ fn process_subframe<'a>(
 
     let mut phy = prepared
         .rx
-        .start_job_in(&prepared.samples, slab)
+        .start_job_in(samples, slab)
         // analyze: allow(panic): pool entries come from prepare_pool with the same config; a shape mismatch means the pool was corrupted and the slot must die loudly
         .expect("prepared samples are consistent");
 
@@ -1266,7 +1601,12 @@ fn process_subframe<'a>(
     let antennas = cfg.num_antennas;
     match mode {
         SchedulerMode::RtOpexSteal => {
+            // Fed mode never publishes FFT: a thief executes against the
+            // *pool's* samples, but a fed job's real samples live behind
+            // its slot guard. Decode stages still migrate — their LLR
+            // snapshot is self-contained.
             let published = (antennas > 1
+                && shared.fed.is_none()
                 && shared.worth_publishing(me, calib.fft_batch_us, Instant::now()))
             .then(|| {
                 publish_stage(
@@ -1307,17 +1647,20 @@ fn process_subframe<'a>(
             );
         }
         SchedulerMode::RtOpexMutex => {
-            let published = (antennas > 1 && shared.any_idle_helper(me)).then(|| {
-                publish_stage(
-                    arena,
-                    TaskKind::Fft,
-                    pidx,
-                    antennas,
-                    calib.fft_batch_us,
-                    job.deadline,
-                    None,
-                )
-            });
+            // Same fed-mode rule as steal: FFT helpers read the pool's
+            // samples, so a fed subframe keeps its FFT owner-local.
+            let published = (antennas > 1 && shared.fed.is_none() && shared.any_idle_helper(me))
+                .then(|| {
+                    publish_stage(
+                        arena,
+                        TaskKind::Fft,
+                        pidx,
+                        antennas,
+                        calib.fft_batch_us,
+                        job.deadline,
+                        None,
+                    )
+                });
             let rx = &prepared.rx;
             let samples = &prepared.samples;
             let make_remote = |b: usize, ep: u64| {
@@ -1668,6 +2011,61 @@ mod tests {
             assert_eq!(r.crc_failures, 0, "{} corrupted decodes", mode.name());
             assert!(r.cross_numa_steals <= r.steals);
         }
+    }
+
+    #[test]
+    fn fed_run_accounts_for_every_delivered_subframe() {
+        // Stream the pool's subframes through the in-process transport
+        // (i16-quantized, exactly what the wire carries) into run_fed.
+        // Every delivered subframe must be accounted: processed, dropped
+        // at a slack check, or shed at delivery — and nothing the
+        // cluster completed may fail CRC.
+        let cfg = quick_cfg(SchedulerMode::RtOpexSteal);
+        let total = cfg.num_cells * cfg.subframes;
+        let params = rtopex_transport::StreamParams {
+            samples_per_subframe: cfg.bandwidth.samples_per_subframe() as u32,
+            antennas: cfg.num_antennas as u8,
+            cells: vec![10, 11],
+            period_us: cfg.period.as_micros() as u32,
+            budget_us: cfg.budget().as_micros() as u32,
+            mcs_pool: cfg.mcs_pool.clone(),
+            subframes: cfg.subframes as u32,
+        };
+        // Depth covers the whole run so warm-up cannot overrun the queue.
+        use rtopex_transport::FronthaulTx;
+        let (mut tx, mut rx) = rtopex_transport::inproc_pair(params.clone(), total + 4);
+        let cluster = CranCluster::new(cfg.clone());
+        let mcs_seq = cluster.schedule_mcs(&CranCluster::prepare_pool(&cfg));
+        let sender = {
+            let cfg = cfg.clone();
+            let cells = params.cells.clone();
+            std::thread::spawn(move || {
+                let pool = CranCluster::prepare_pool(&cfg);
+                for j in 0..cfg.subframes {
+                    for (c, &cell) in cells.iter().enumerate() {
+                        let p = &pool[mcs_seq[c][j]];
+                        tx.send(cell, j as u32, p.mcs, &p.samples).unwrap();
+                    }
+                    std::thread::sleep(cfg.period / 4);
+                }
+                tx.finish().unwrap();
+            })
+        };
+        let fed = cluster.run_fed(&mut rx);
+        sender.join().unwrap();
+        assert_eq!(fed.rx.delivered, total as u64, "transport lost subframes");
+        assert_eq!(fed.rx.gaps, 0);
+        assert_eq!(
+            fed.cluster.deadline.total_subframes(),
+            total as u64,
+            "every delivered subframe must be accounted"
+        );
+        assert_eq!(
+            fed.cluster.proc_us.len() as u64 + fed.cluster.dropped,
+            total as u64
+        );
+        assert!(fed.shed <= fed.cluster.dropped);
+        assert_eq!(fed.cluster.crc_failures, 0, "fed decodes corrupted");
     }
 
     #[test]

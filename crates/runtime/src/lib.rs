@@ -35,7 +35,7 @@ pub mod measure;
 pub mod migrate;
 pub mod node;
 
-pub use cluster::{ClusterConfig, ClusterReport, CranCluster, SchedulerMode};
+pub use cluster::{ClusterConfig, ClusterReport, CranCluster, FedReport, SchedulerMode};
 pub use measure::{
     measure_migration_overhead, measure_stage_parallelism, measure_steal_overhead,
     StageMeasurement, StealMeasurement,

@@ -1,0 +1,41 @@
+//! # rtopex-transport-net — real-network fronthaul transports
+//!
+//! Byte-transport implementations of the [`rtopex_transport::iface`]
+//! trait pair, carrying quantized IQ subframes between an aggregator
+//! process and worker hosts over localhost or a real network:
+//!
+//! * [`udp`] — one wire frame per datagram, tolerant of loss and
+//!   reordering (per-cell sequence tracking with wraparound-safe gap
+//!   detection).
+//! * [`tcp`] — length-framed stream with coalesced writes (one syscall
+//!   per cell-batch) and sender reconnect with bounded resync.
+//!
+//! Both share [`wire`] (frame encoding over the `packet.rs` IQ format),
+//! [`session`] (the allocation-free rx reassembly hot path) and
+//! [`ring`] (preallocated swap-queue ring feeding the cluster's slot
+//! arenas with drop-oldest overrun backpressure).
+//!
+//! **Std-only by design.** This environment cannot reach crates.io, so
+//! there is no tokio/mio: sockets are `std::net` with read timeouts,
+//! and each receiver runs one dedicated I/O thread. That is also the
+//! honest shape for this workload — a fronthaul receiver is a single
+//! hot socket per worker, not a connection swarm.
+//!
+//! This crate is deliberately separate from `rtopex-transport` (the
+//! models and the trait) so the core runtime keeps **zero**
+//! network-transport dependencies — `cargo xtask layering` enforces
+//! the invariant.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ring;
+pub mod session;
+pub mod tcp;
+pub mod udp;
+pub mod wire;
+
+pub use ring::SwapQueue;
+pub use session::RxSession;
+pub use tcp::{TcpFronthaulRx, TcpFronthaulTx, TcpRxPending};
+pub use udp::{UdpFronthaulRx, UdpFronthaulTx, UdpRxPending};

@@ -1,0 +1,188 @@
+//! Preallocated subframe ring between the rx I/O thread and the
+//! consumer.
+//!
+//! All [`SubframeBuf`]s are allocated up front; afterwards they cycle
+//! `free → assembly slot → ready → consumer swap → free` with no
+//! allocation. When the consumer falls behind, the **oldest** ready
+//! subframe is recycled (drop-oldest backpressure) so a slow worker
+//! degrades by shedding stale subframes instead of queueing without
+//! bound — exactly the failure mode a deadline scheduler wants, since
+//! a subframe past its Eq. 3 budget is worthless anyway.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use rtopex_transport::iface::{StreamParams, SubframeBuf};
+
+struct QState {
+    ready: VecDeque<SubframeBuf>,
+    free: Vec<SubframeBuf>,
+    closed: bool,
+    drops: u64,
+}
+
+/// Outcome of [`SwapQueue::pop_swap`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pop {
+    /// A subframe was swapped into the caller's buffer.
+    Got,
+    /// Timed out with the queue open and empty.
+    TimedOut,
+    /// Queue closed and drained.
+    Closed,
+}
+
+/// Bounded swap-queue ring of preallocated subframe buffers.
+pub struct SwapQueue {
+    state: Mutex<QState>,
+    cv: Condvar,
+    depth: usize,
+}
+
+impl SwapQueue {
+    /// A ring holding `pool` preallocated buffers, of which at most
+    /// `depth` may sit in the ready queue (the drop-oldest horizon);
+    /// the rest cover in-flight assembly slots and the consumer's swap
+    /// buffer.
+    pub fn new(params: &StreamParams, pool: usize, depth: usize) -> Self {
+        assert!(pool >= depth && depth >= 1);
+        SwapQueue {
+            state: Mutex::new(QState {
+                ready: VecDeque::with_capacity(pool),
+                free: (0..pool).map(|_| SubframeBuf::for_stream(params)).collect(),
+                closed: false,
+                drops: 0,
+            }),
+            cv: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Takes a buffer for assembly: from the freelist, else by
+    /// recycling the oldest ready subframe (counted as a drop). `None`
+    /// only when every buffer is held by assembly slots or the
+    /// consumer — a sizing bug, not a runtime condition.
+    pub fn acquire(&self) -> Option<SubframeBuf> {
+        let mut st = self.state.lock();
+        if let Some(b) = st.free.pop() {
+            return Some(b);
+        }
+        if let Some(b) = st.ready.pop_front() {
+            st.drops += 1;
+            return Some(b);
+        }
+        None
+    }
+
+    /// Publishes a completed subframe, recycling the oldest ready one
+    /// first if the queue is at depth.
+    pub fn publish(&self, buf: SubframeBuf) {
+        let mut st = self.state.lock();
+        if st.ready.len() >= self.depth {
+            if let Some(old) = st.ready.pop_front() {
+                st.free.push(old);
+                st.drops += 1;
+            }
+        }
+        st.ready.push_back(buf);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    /// Returns an assembly buffer unused (abandoned reassembly).
+    pub fn recycle(&self, buf: SubframeBuf) {
+        self.state.lock().free.push(buf);
+    }
+
+    /// Swaps the next ready subframe into `buf`, waiting up to
+    /// `timeout`. The previous contents of `buf` go back to the
+    /// freelist.
+    pub fn pop_swap(&self, buf: &mut SubframeBuf, timeout: Duration) -> Pop {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(mut next) = st.ready.pop_front() {
+                std::mem::swap(buf, &mut next);
+                st.free.push(next);
+                return Pop::Got;
+            }
+            if st.closed {
+                return Pop::Closed;
+            }
+            let now = Instant::now();
+            if (now >= deadline || self.cv.wait_for(&mut st, deadline - now)) && st.ready.is_empty()
+            {
+                return if st.closed {
+                    Pop::Closed
+                } else {
+                    Pop::TimedOut
+                };
+            }
+        }
+    }
+
+    /// Marks end-of-stream; queued subframes remain poppable.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Subframes recycled unread because the consumer fell behind.
+    pub fn drops(&self) -> u64 {
+        self.state.lock().drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> StreamParams {
+        StreamParams {
+            samples_per_subframe: 16,
+            antennas: 1,
+            cells: vec![0],
+            period_us: 1000,
+            budget_us: 1000,
+            mcs_pool: vec![27],
+            subframes: 0,
+        }
+    }
+
+    #[test]
+    fn cycle_and_drop_oldest() {
+        let p = params();
+        let q = SwapQueue::new(&p, 4, 2);
+        for seq in 0..4u32 {
+            let mut b = q.acquire().unwrap();
+            b.seq = seq;
+            q.publish(b);
+        }
+        // Depth 2: seqs 0 and 1 were recycled.
+        assert_eq!(q.drops(), 2);
+        let mut buf = SubframeBuf::for_stream(&p);
+        assert_eq!(q.pop_swap(&mut buf, Duration::from_millis(50)), Pop::Got);
+        assert_eq!(buf.seq, 2);
+        assert_eq!(q.pop_swap(&mut buf, Duration::from_millis(50)), Pop::Got);
+        assert_eq!(buf.seq, 3);
+        assert_eq!(
+            q.pop_swap(&mut buf, Duration::from_millis(10)),
+            Pop::TimedOut
+        );
+        q.close();
+        assert_eq!(q.pop_swap(&mut buf, Duration::from_millis(10)), Pop::Closed);
+    }
+
+    #[test]
+    fn acquire_falls_back_to_oldest_ready() {
+        let p = params();
+        let q = SwapQueue::new(&p, 2, 2);
+        let a = q.acquire().unwrap();
+        let b = q.acquire().unwrap();
+        q.publish(a);
+        q.publish(b);
+        assert!(q.acquire().is_some(), "steals the oldest ready buffer");
+        assert_eq!(q.drops(), 1);
+    }
+}

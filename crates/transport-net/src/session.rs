@@ -1,0 +1,429 @@
+//! Receive-side reassembly session — the rx hot path.
+//!
+//! One session per stream, driven by the transport's I/O thread: every
+//! IQ frame lands in [`RxSession::ingest_frame`], which validates it,
+//! dequantizes the payload **directly into a preallocated subframe
+//! buffer** (no intermediate copy), and publishes completed subframes
+//! to the [`SwapQueue`] ring. After construction the path performs no
+//! allocation — `tests/alloc_regression.rs` proves it with a counting
+//! allocator and the workspace analyzer carries a purity seed for it.
+//!
+//! Loss, reordering and duplication are absorbed per cell: a
+//! wraparound-safe [`SeqTracker`] rejects stale stragglers and counts
+//! gaps, and each cell owns a small set of assembly slots so fragments
+//! of consecutive subframes may interleave. When every slot is busy the
+//! *oldest* assembly is abandoned in place (its loss surfaces as a gap)
+//! — bounded state, never unbounded queueing.
+
+use std::sync::Arc;
+
+use rtopex_transport::iface::{RxStats, StreamParams, SubframeBuf};
+use rtopex_transport::packet::{seq_delta, SeqTracker};
+
+use crate::ring::SwapQueue;
+use crate::wire;
+
+/// In-flight assemblies per cell: fragments of at most this many
+/// consecutive subframes may interleave on the wire.
+pub const ASM_SLOTS: usize = 2;
+
+struct AsmSlot {
+    busy: bool,
+    seq: u32,
+    mcs: u8,
+    /// Fragments still missing (all antennas).
+    remaining: u32,
+    /// Per-antenna fragment bitmap.
+    seen: Vec<u128>,
+    buf: Option<SubframeBuf>,
+}
+
+/// Stream reassembly state machine shared by the UDP and TCP receivers.
+pub struct RxSession {
+    params: StreamParams,
+    queue: Arc<SwapQueue>,
+    slots: Vec<AsmSlot>,
+    trackers: Vec<SeqTracker>,
+    samples_per_frag: usize,
+    frags_per_antenna: u16,
+    delivered: u64,
+    stale: u64,
+    bad_frames: u64,
+    resyncs: u64,
+}
+
+impl RxSession {
+    /// Builds the session and preallocates all assembly state. The
+    /// queue's pool must hold at least `cells × ASM_SLOTS` buffers on
+    /// top of its ready depth.
+    pub fn new(params: StreamParams, queue: Arc<SwapQueue>) -> Self {
+        let frags = wire::fragments_for(params.samples_per_subframe as usize);
+        assert!(frags <= 128, "subframe exceeds the 128-fragment bitmap");
+        let slots = (0..params.cells.len() * ASM_SLOTS)
+            .map(|_| AsmSlot {
+                busy: false,
+                seq: 0,
+                mcs: 0,
+                remaining: 0,
+                seen: vec![0u128; params.antennas as usize],
+                buf: None,
+            })
+            .collect();
+        let trackers = vec![SeqTracker::new(); params.cells.len()];
+        RxSession {
+            samples_per_frag: wire::SAMPLES_PER_FRAG,
+            frags_per_antenna: frags as u16,
+            slots,
+            trackers,
+            params,
+            queue,
+            delivered: 0,
+            stale: 0,
+            bad_frames: 0,
+            resyncs: 0,
+        }
+    }
+
+    /// Negotiated stream parameters.
+    pub fn params(&self) -> &StreamParams {
+        &self.params
+    }
+
+    /// Ingests one IQ frame (the hot path — allocation- and
+    /// panic-free; malformed input increments a counter and returns).
+    pub fn ingest_frame(&mut self, frame: &[u8]) {
+        let Some(view) = wire::parse_iq(frame) else {
+            self.bad_frames += 1;
+            return;
+        };
+        let h = view.header;
+        let Some(local) = self.params.local_cell(h.bs_id) else {
+            self.bad_frames += 1;
+            return;
+        };
+        let ant = h.antenna as usize;
+        let count = (h.payload_len / 4) as usize;
+        let off = h.fragment as usize * self.samples_per_frag;
+        let full = self.params.samples_per_subframe as usize;
+        if ant >= self.params.antennas as usize
+            || h.total_fragments != self.frags_per_antenna
+            || (h.fragment as u16) >= self.frags_per_antenna
+            || off + count > full
+            || ((h.fragment as u16) + 1 < self.frags_per_antenna && count != self.samples_per_frag)
+        {
+            self.bad_frames += 1;
+            return;
+        }
+        if self.trackers[local].is_stale(h.subframe) {
+            self.stale += 1;
+            return;
+        }
+
+        // Locate (or claim) the assembly slot for (cell, seq).
+        let base = local * ASM_SLOTS;
+        let mut idx = usize::MAX;
+        for i in base..base + ASM_SLOTS {
+            if self.slots[i].busy && self.slots[i].seq == h.subframe {
+                idx = i;
+                break;
+            }
+        }
+        if idx == usize::MAX {
+            for i in base..base + ASM_SLOTS {
+                if !self.slots[i].busy {
+                    idx = i;
+                    break;
+                }
+            }
+            if idx == usize::MAX {
+                // Every slot busy: abandon the oldest assembly in place.
+                // Its subframe is lost and will surface as a gap.
+                idx = base;
+                for i in base + 1..base + ASM_SLOTS {
+                    if seq_delta(self.slots[idx].seq, self.slots[i].seq) < 0 {
+                        idx = i;
+                    }
+                }
+            }
+            if self.slots[idx].buf.is_none() {
+                match self.queue.acquire() {
+                    Some(b) => self.slots[idx].buf = Some(b),
+                    // Pool exhausted (consumer plus slots hold every
+                    // buffer): shed the frame; the ring's drop
+                    // accounting already reflects the overrun.
+                    None => return,
+                }
+            }
+            // Lock the cursor at the first fragment seen, so even a
+            // first subframe that never completes registers as a gap.
+            self.trackers[local].prime(h.subframe);
+            let slot = &mut self.slots[idx];
+            slot.busy = true;
+            slot.seq = h.subframe;
+            slot.mcs = view.mcs;
+            slot.remaining = self.params.antennas as u32 * self.frags_per_antenna as u32;
+            for w in &mut slot.seen {
+                *w = 0;
+            }
+        }
+
+        let slot = &mut self.slots[idx];
+        let bit = 1u128 << h.fragment;
+        if slot.seen[ant] & bit != 0 {
+            self.stale += 1; // duplicate fragment
+            return;
+        }
+        slot.seen[ant] |= bit;
+        let Some(buf) = slot.buf.as_mut() else {
+            self.bad_frames += 1;
+            return;
+        };
+        wire::dequantize_payload(view.payload, &mut buf.samples[ant][off..off + count]);
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            buf.cell = h.bs_id;
+            buf.seq = h.subframe;
+            buf.mcs = slot.mcs;
+            slot.busy = false;
+            if let Some(done) = slot.buf.take() {
+                self.trackers[local].observe(h.subframe);
+                self.queue.publish(done);
+                self.delivered += 1;
+            }
+        }
+    }
+
+    /// Absorbs a sender resync (TCP reconnect / replayed UDP hello):
+    /// in-flight assemblies are abandoned (their buffers stay parked in
+    /// the slots for reuse) and every sequence cursor re-locks on the
+    /// next subframe it sees. O(cells) work — bounded by construction.
+    pub fn on_resync(&mut self) {
+        for s in &mut self.slots {
+            s.busy = false;
+        }
+        for t in &mut self.trackers {
+            t.resync();
+        }
+        self.resyncs += 1;
+    }
+
+    /// Marks the stream closed (bye frame / permanent peer loss).
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
+    /// Session counters, aggregated across cells.
+    pub fn stats(&self) -> RxStats {
+        let mut gaps = 0;
+        let mut stale = self.stale;
+        for t in &self.trackers {
+            gaps += t.gaps;
+            stale += t.stale;
+        }
+        RxStats {
+            delivered: self.delivered,
+            gaps,
+            stale,
+            drops: self.queue.drops(),
+            bad_frames: self.bad_frames,
+            resyncs: self.resyncs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtopex_phy::Cf32;
+    use rtopex_transport::packet::{dequantize, quantize};
+
+    fn params() -> StreamParams {
+        StreamParams {
+            samples_per_subframe: 800, // 3 fragments: 360 + 360 + 80
+            antennas: 2,
+            cells: vec![5, 9],
+            period_us: 1000,
+            budget_us: 1000,
+            mcs_pool: vec![27],
+            subframes: 0,
+        }
+    }
+
+    fn session() -> (RxSession, Arc<SwapQueue>) {
+        let p = params();
+        let q = Arc::new(SwapQueue::new(&p, 8, 4));
+        (RxSession::new(p, Arc::clone(&q)), q)
+    }
+
+    fn subframe(v: f32, n: usize, ants: usize) -> Vec<Vec<Cf32>> {
+        (0..ants)
+            .map(|a| {
+                (0..n)
+                    .map(|i| Cf32::new(v + i as f32 / 10_000.0, -(a as f32) / 7.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// All wire frames of one subframe, in order.
+    fn frames(cell: u16, seq: u32, mcs: u8, samples: &[Vec<Cf32>]) -> Vec<Vec<u8>> {
+        let n = samples[0].len();
+        let total = wire::fragments_for(n) as u16;
+        let mut out = Vec::new();
+        for (ant, s) in samples.iter().enumerate() {
+            for (frag, chunk) in s.chunks(wire::SAMPLES_PER_FRAG).enumerate() {
+                let mut f = vec![0u8; wire::MAX_IQ_FRAME];
+                let len = wire::write_iq_frame(
+                    &mut f, mcs, cell, ant as u8, frag as u8, total, seq, chunk,
+                );
+                f.truncate(len);
+                out.push(f);
+            }
+        }
+        out
+    }
+
+    fn expect_exact(got: &SubframeBuf, sent: &[Vec<Cf32>]) {
+        for (g, s) in got.samples.iter().zip(sent) {
+            for (a, b) in g.iter().zip(s) {
+                assert_eq!(a.re, dequantize(quantize(b.re)));
+                assert_eq!(a.im, dequantize(quantize(b.im)));
+            }
+        }
+    }
+
+    #[test]
+    fn reassembles_in_order() {
+        let (mut s, q) = session();
+        let sent = subframe(0.3, 800, 2);
+        for f in frames(5, 0, 27, &sent) {
+            s.ingest_frame(&f);
+        }
+        let mut buf = SubframeBuf::for_stream(s.params());
+        assert_eq!(
+            q.pop_swap(&mut buf, std::time::Duration::from_millis(10)),
+            crate::ring::Pop::Got
+        );
+        assert_eq!((buf.cell, buf.seq, buf.mcs), (5, 0, 27));
+        expect_exact(&buf, &sent);
+        assert_eq!(s.stats().delivered, 1);
+    }
+
+    #[test]
+    fn reassembles_reversed_and_interleaved() {
+        let (mut s, q) = session();
+        let a = subframe(0.1, 800, 2);
+        let b = subframe(0.5, 800, 2);
+        let fa = frames(5, 0, 27, &a);
+        let fb = frames(9, 0, 16, &b);
+        // Reverse one stream and interleave the two cells.
+        for (x, y) in fa.iter().rev().zip(&fb) {
+            s.ingest_frame(x);
+            s.ingest_frame(y);
+        }
+        let mut buf = SubframeBuf::for_stream(s.params());
+        let d = std::time::Duration::from_millis(10);
+        let mut got = Vec::new();
+        while q.pop_swap(&mut buf, d) == crate::ring::Pop::Got {
+            got.push(buf.clone());
+        }
+        assert_eq!(got.len(), 2);
+        let ga = got.iter().find(|g| g.cell == 5).unwrap();
+        let gb = got.iter().find(|g| g.cell == 9).unwrap();
+        expect_exact(ga, &a);
+        expect_exact(gb, &b);
+    }
+
+    #[test]
+    fn duplicates_and_stale_fragments_counted_not_delivered() {
+        let (mut s, q) = session();
+        let sent = subframe(0.2, 800, 2);
+        let fs = frames(5, 1, 27, &sent);
+        for f in &fs {
+            s.ingest_frame(f);
+        }
+        s.ingest_frame(&fs[0]); // stale: subframe 1 already delivered
+        let next = frames(5, 2, 27, &sent);
+        s.ingest_frame(&next[0]);
+        s.ingest_frame(&next[0]); // duplicate fragment of in-flight subframe
+        let st = s.stats();
+        assert_eq!(st.delivered, 1);
+        assert_eq!(st.stale, 2);
+        let mut buf = SubframeBuf::for_stream(s.params());
+        assert_eq!(
+            q.pop_swap(&mut buf, std::time::Duration::from_millis(10)),
+            crate::ring::Pop::Got
+        );
+        assert_eq!(buf.seq, 1);
+    }
+
+    #[test]
+    fn lost_fragment_surfaces_as_gap_and_slots_recycle() {
+        let (mut s, q) = session();
+        let sent = subframe(0.2, 800, 2);
+        // Subframe 0 loses one fragment; 1..=3 arrive whole. With two
+        // assembly slots, 0's slot is evicted by 2, and 0 is counted as
+        // a gap when 1 completes.
+        let mut f0 = frames(5, 0, 27, &sent);
+        f0.remove(3);
+        for f in &f0 {
+            s.ingest_frame(f);
+        }
+        for seq in 1..4u32 {
+            for f in frames(5, seq, 27, &sent) {
+                s.ingest_frame(&f);
+            }
+        }
+        let st = s.stats();
+        assert_eq!(st.delivered, 3);
+        assert_eq!(st.gaps, 1, "incomplete subframe 0 reads as one gap");
+        let mut buf = SubframeBuf::for_stream(s.params());
+        let d = std::time::Duration::from_millis(10);
+        for seq in 1..4u32 {
+            assert_eq!(q.pop_swap(&mut buf, d), crate::ring::Pop::Got);
+            assert_eq!(buf.seq, seq);
+            expect_exact(&buf, &sent);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_counted() {
+        let (mut s, _q) = session();
+        s.ingest_frame(&[wire::FT_IQ]); // truncated
+        s.ingest_frame(&[]);
+        let sent = subframe(0.2, 800, 2);
+        let fs = frames(77, 0, 27, &sent); // unknown cell id
+        s.ingest_frame(&fs[0]);
+        let mut wrong_geom = frames(5, 0, 27, &subframe(0.2, 800, 2))[0].clone();
+        wrong_geom[4..6].copy_from_slice(&9u16.to_be_bytes()); // total_fragments = 9
+        s.ingest_frame(&wrong_geom);
+        assert_eq!(s.stats().bad_frames, 4);
+        assert_eq!(s.stats().delivered, 0);
+    }
+
+    #[test]
+    fn resync_relocks_and_abandons_assemblies() {
+        let (mut s, q) = session();
+        let sent = subframe(0.2, 800, 2);
+        for f in frames(5, 1000, 27, &sent) {
+            s.ingest_frame(&f);
+        }
+        let partial = frames(5, 1001, 27, &sent);
+        s.ingest_frame(&partial[0]);
+        s.on_resync();
+        // Sender restarted from 0: without resync these would be stale.
+        for f in frames(5, 0, 27, &sent) {
+            s.ingest_frame(&f);
+        }
+        let st = s.stats();
+        assert_eq!(st.delivered, 2);
+        assert_eq!(st.resyncs, 1);
+        assert_eq!(st.stale, 0);
+        let mut buf = SubframeBuf::for_stream(s.params());
+        let d = std::time::Duration::from_millis(10);
+        assert_eq!(q.pop_swap(&mut buf, d), crate::ring::Pop::Got);
+        assert_eq!(buf.seq, 1000);
+        assert_eq!(q.pop_swap(&mut buf, d), crate::ring::Pop::Got);
+        assert_eq!(buf.seq, 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Wire framing shared by the UDP and TCP transports.
+//!
+//! Every frame starts with a one-byte type tag. IQ frames reuse the
+//! 12-byte [`PacketHeader`] fragment format from `rtopex-transport`'s
+//! packetizer (bs_id / antenna / fragment / subframe sequence), prefixed
+//! with the MCS the subframe was encoded at:
+//!
+//! ```text
+//! [FT_IQ][mcs:u8][PacketHeader:12][payload: payload_len bytes of BE i16 I/Q]
+//! ```
+//!
+//! Hello/ack frames carry the [`StreamParams`] negotiation. Over UDP a
+//! frame is one datagram; over TCP each frame is preceded by a
+//! big-endian `u32` length.
+
+use rtopex_phy::Cf32;
+use rtopex_transport::iface::{StreamParams, TransportError, PROTOCOL_VERSION};
+use rtopex_transport::packet::{dequantize, quantize, PacketHeader, HEADER_LEN, MAX_PAYLOAD};
+
+/// Session negotiation: version + stream geometry.
+pub const FT_HELLO: u8 = 1;
+/// Hello acknowledgement carrying the receiver's version.
+pub const FT_HELLO_ACK: u8 = 2;
+/// One IQ fragment.
+pub const FT_IQ: u8 = 3;
+/// Clean end of stream.
+pub const FT_BYE: u8 = 4;
+
+/// IQ samples per full fragment payload.
+pub const SAMPLES_PER_FRAG: usize = MAX_PAYLOAD / 4;
+
+/// Byte offset of the IQ payload inside an IQ frame.
+pub const IQ_PAYLOAD_OFF: usize = 2 + HEADER_LEN;
+
+/// Largest IQ frame (type + mcs + header + full payload).
+pub const MAX_IQ_FRAME: usize = IQ_PAYLOAD_OFF + MAX_PAYLOAD;
+
+/// Upper bound on any frame this protocol emits (hello grows with the
+/// cell list; 4 KiB accommodates >1500 cells per stream).
+pub const MAX_FRAME: usize = 4096;
+
+/// Fragments needed per antenna for `samples` IQ samples.
+pub fn fragments_for(samples: usize) -> usize {
+    (samples * 4).div_ceil(MAX_PAYLOAD).max(1)
+}
+
+/// Encodes a hello frame for `p` into `out` (cleared first).
+pub fn encode_hello(out: &mut Vec<u8>, p: &StreamParams, version: u16) {
+    out.clear();
+    out.push(FT_HELLO);
+    out.extend_from_slice(&version.to_be_bytes());
+    out.extend_from_slice(&p.samples_per_subframe.to_be_bytes());
+    out.push(p.antennas);
+    out.extend_from_slice(&p.period_us.to_be_bytes());
+    out.extend_from_slice(&p.budget_us.to_be_bytes());
+    out.extend_from_slice(&p.subframes.to_be_bytes());
+    out.extend_from_slice(&(p.cells.len() as u16).to_be_bytes());
+    for c in &p.cells {
+        out.extend_from_slice(&c.to_be_bytes());
+    }
+    out.push(p.mcs_pool.len() as u8);
+    out.extend_from_slice(&p.mcs_pool);
+}
+
+/// Decodes a hello frame (including the type byte). Returns the peer's
+/// version alongside the params so the caller can refuse a mismatch
+/// with a precise error.
+pub fn decode_hello(frame: &[u8]) -> Result<(u16, StreamParams), TransportError> {
+    let bad = |m: &str| TransportError::Protocol(format!("malformed hello: {m}"));
+    if frame.first() != Some(&FT_HELLO) {
+        return Err(bad("wrong frame type"));
+    }
+    let b = &frame[1..];
+    if b.len() < 21 {
+        return Err(bad("truncated fixed part"));
+    }
+    let version = u16::from_be_bytes([b[0], b[1]]);
+    let samples_per_subframe = u32::from_be_bytes([b[2], b[3], b[4], b[5]]);
+    let antennas = b[6];
+    let period_us = u32::from_be_bytes([b[7], b[8], b[9], b[10]]);
+    let budget_us = u32::from_be_bytes([b[11], b[12], b[13], b[14]]);
+    let subframes = u32::from_be_bytes([b[15], b[16], b[17], b[18]]);
+    let n_cells = u16::from_be_bytes([b[19], b[20]]) as usize;
+    let rest = &b[21..];
+    if rest.len() < n_cells * 2 + 1 {
+        return Err(bad("truncated cell list"));
+    }
+    let cells: Vec<u16> = (0..n_cells)
+        .map(|i| u16::from_be_bytes([rest[i * 2], rest[i * 2 + 1]]))
+        .collect();
+    let rest = &rest[n_cells * 2..];
+    let n_mcs = rest[0] as usize;
+    if rest.len() < 1 + n_mcs {
+        return Err(bad("truncated mcs pool"));
+    }
+    let mcs_pool = rest[1..1 + n_mcs].to_vec();
+    if antennas == 0 || samples_per_subframe == 0 || cells.is_empty() {
+        return Err(bad("degenerate geometry"));
+    }
+    Ok((
+        version,
+        StreamParams {
+            samples_per_subframe,
+            antennas,
+            cells,
+            period_us,
+            budget_us,
+            mcs_pool,
+            subframes,
+        },
+    ))
+}
+
+/// Encodes a hello-ack carrying `version` into `out` (cleared first).
+pub fn encode_hello_ack(out: &mut Vec<u8>, version: u16) {
+    out.clear();
+    out.push(FT_HELLO_ACK);
+    out.extend_from_slice(&version.to_be_bytes());
+}
+
+/// Decodes a hello-ack; `None` if malformed.
+pub fn decode_hello_ack(frame: &[u8]) -> Option<u16> {
+    if frame.len() == 3 && frame[0] == FT_HELLO_ACK {
+        Some(u16::from_be_bytes([frame[1], frame[2]]))
+    } else {
+        None
+    }
+}
+
+/// Checks a peer's announced version against ours.
+pub fn check_version(got: u16) -> Result<(), TransportError> {
+    if got == PROTOCOL_VERSION {
+        Ok(())
+    } else {
+        Err(TransportError::Version {
+            got,
+            want: PROTOCOL_VERSION,
+        })
+    }
+}
+
+/// Serialized length of an IQ frame carrying `n` samples.
+pub fn iq_frame_len(n: usize) -> usize {
+    IQ_PAYLOAD_OFF + n * 4
+}
+
+/// Writes one IQ fragment frame into the front of `out`, quantizing
+/// `samples` to the wire's 16-bit fixed point. Returns the frame
+/// length. `out` must hold at least [`iq_frame_len`]`(samples.len())`
+/// bytes and `samples.len()` must fit one fragment.
+// The argument list IS the wire header, field for field; a builder
+// struct would just restate `PacketHeader` with extra copies.
+#[allow(clippy::too_many_arguments)]
+pub fn write_iq_frame(
+    out: &mut [u8],
+    mcs: u8,
+    bs_id: u16,
+    antenna: u8,
+    fragment: u8,
+    total_fragments: u16,
+    seq: u32,
+    samples: &[Cf32],
+) -> usize {
+    let n = samples.len();
+    debug_assert!(n <= SAMPLES_PER_FRAG);
+    out[0] = FT_IQ;
+    out[1] = mcs;
+    PacketHeader {
+        bs_id,
+        antenna,
+        fragment,
+        total_fragments,
+        subframe: seq,
+        payload_len: (n * 4) as u16,
+    }
+    .write_to(&mut out[2..]);
+    let payload = &mut out[IQ_PAYLOAD_OFF..IQ_PAYLOAD_OFF + n * 4];
+    for (i, s) in samples.iter().enumerate() {
+        payload[i * 4..i * 4 + 2].copy_from_slice(&quantize(s.re).to_be_bytes());
+        payload[i * 4 + 2..i * 4 + 4].copy_from_slice(&quantize(s.im).to_be_bytes());
+    }
+    iq_frame_len(n)
+}
+
+/// A parsed IQ frame borrowing the receive buffer (the allocation-free
+/// hot-path view).
+#[derive(Clone, Copy, Debug)]
+pub struct IqView<'a> {
+    /// MCS the subframe was encoded at.
+    pub mcs: u8,
+    /// Fragment header (cell id, antenna, fragment index, sequence).
+    pub header: PacketHeader,
+    /// Raw BE i16 I/Q payload.
+    pub payload: &'a [u8],
+}
+
+/// Parses an IQ frame in place; `None` if malformed or truncated.
+pub fn parse_iq(frame: &[u8]) -> Option<IqView<'_>> {
+    if frame.len() < IQ_PAYLOAD_OFF || frame[0] != FT_IQ {
+        return None;
+    }
+    let header = PacketHeader::read_from(&frame[2..])?;
+    let payload = &frame[IQ_PAYLOAD_OFF..];
+    if payload.len() != header.payload_len as usize || header.payload_len % 4 != 0 {
+        return None;
+    }
+    Some(IqView {
+        mcs: frame[1],
+        header,
+        payload,
+    })
+}
+
+/// Dequantizes an IQ payload into `dst` (exactly `payload.len()/4`
+/// samples). Returns `false` on length mismatch.
+pub fn dequantize_payload(payload: &[u8], dst: &mut [Cf32]) -> bool {
+    if payload.len() != dst.len() * 4 {
+        return false;
+    }
+    for (i, d) in dst.iter_mut().enumerate() {
+        let b = &payload[i * 4..i * 4 + 4];
+        *d = Cf32::new(
+            dequantize(i16::from_be_bytes([b[0], b[1]])),
+            dequantize(i16::from_be_bytes([b[2], b[3]])),
+        );
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> StreamParams {
+        StreamParams {
+            samples_per_subframe: 7680,
+            antennas: 2,
+            cells: vec![3, 1, 4],
+            period_us: 6000,
+            budget_us: 5000,
+            mcs_pool: vec![5, 10, 16, 22, 27],
+            subframes: 300,
+        }
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let p = params();
+        let mut buf = Vec::new();
+        encode_hello(&mut buf, &p, PROTOCOL_VERSION);
+        let (v, back) = decode_hello(&buf).unwrap();
+        assert_eq!(v, PROTOCOL_VERSION);
+        assert_eq!(back, p);
+        assert!(buf.len() < MAX_FRAME);
+    }
+
+    #[test]
+    fn hello_truncation_rejected() {
+        let mut buf = Vec::new();
+        encode_hello(&mut buf, &params(), PROTOCOL_VERSION);
+        for cut in [0, 1, 5, buf.len() - 1] {
+            assert!(decode_hello(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn ack_roundtrip_and_version_gate() {
+        let mut buf = Vec::new();
+        encode_hello_ack(&mut buf, 7);
+        assert_eq!(decode_hello_ack(&buf), Some(7));
+        assert!(matches!(
+            check_version(7),
+            Err(TransportError::Version { got: 7, .. })
+        ));
+        assert!(check_version(PROTOCOL_VERSION).is_ok());
+    }
+
+    #[test]
+    fn iq_frame_roundtrip_is_quantize_exact() {
+        let samples: Vec<Cf32> = (0..360)
+            .map(|i| Cf32::new(i as f32 / 400.0 - 0.45, -(i as f32) / 800.0))
+            .collect();
+        let mut frame = vec![0u8; MAX_IQ_FRAME];
+        let len = write_iq_frame(&mut frame, 27, 42, 1, 3, 22, 0xFFFF_FFFE, &samples);
+        assert_eq!(len, iq_frame_len(360));
+        let view = parse_iq(&frame[..len]).unwrap();
+        assert_eq!(view.mcs, 27);
+        assert_eq!(view.header.bs_id, 42);
+        assert_eq!(view.header.subframe, 0xFFFF_FFFE);
+        let mut out = vec![Cf32::new(0.0, 0.0); 360];
+        assert!(dequantize_payload(view.payload, &mut out));
+        for (s, o) in samples.iter().zip(&out) {
+            assert_eq!(o.re, dequantize(quantize(s.re)));
+            assert_eq!(o.im, dequantize(quantize(s.im)));
+        }
+    }
+
+    #[test]
+    fn malformed_iq_rejected() {
+        let samples = vec![Cf32::new(0.1, 0.2); 8];
+        let mut frame = vec![0u8; MAX_IQ_FRAME];
+        let len = write_iq_frame(&mut frame, 5, 1, 0, 0, 1, 9, &samples);
+        assert!(parse_iq(&frame[..len]).is_some());
+        assert!(parse_iq(&frame[..len - 1]).is_none(), "truncated payload");
+        let mut wrong = frame.clone();
+        wrong[0] = FT_BYE;
+        assert!(parse_iq(&wrong[..len]).is_none(), "wrong type");
+    }
+
+    #[test]
+    fn fragment_geometry_matches_packetizer() {
+        // 5 MHz subframe: 7680 samples = 30720 bytes → 22 fragments.
+        assert_eq!(fragments_for(7680), 22);
+        assert_eq!(fragments_for(SAMPLES_PER_FRAG), 1);
+        assert_eq!(fragments_for(SAMPLES_PER_FRAG + 1), 2);
+        assert_eq!(fragments_for(1), 1);
+    }
+}

@@ -24,18 +24,31 @@
 //!   one aggregation port and one delivery thread, with deterministic
 //!   per-cell delivery stagger (the transport side of Fig. 17/18's
 //!   consolidation story).
+//! * [`iface`] — the pluggable transport trait pair
+//!   ([`FronthaulTx`]/[`FronthaulRx`]): the contract the in-process
+//!   emulation and the real byte transports (`rtopex-transport-net`)
+//!   both implement, so the cluster runtime is transport-agnostic.
+//! * [`inproc`] — the in-process implementation of that trait: bounded
+//!   swap queue, freelist recycling, drop-oldest overrun policy.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cloud;
 pub mod fronthaul;
+pub mod iface;
 pub mod ingest;
+pub mod inproc;
 pub mod link;
 pub mod packet;
 
 pub use cloud::CloudLatency;
 pub use fronthaul::Fronthaul;
+pub use iface::{
+    FronthaulRx, FronthaulTx, Recv, RxStats, StreamParams, SubframeBuf, TransportError,
+    PROTOCOL_VERSION,
+};
 pub use ingest::{CellFeed, MulticellIngest};
+pub use inproc::{inproc_pair, InProcRx, InProcTx};
 pub use link::TestbedLink;
-pub use packet::{IqPacketizer, PacketHeader};
+pub use packet::{IqPacketizer, PacketHeader, SeqEvent, SeqTracker};

@@ -63,6 +63,124 @@ impl PacketHeader {
             payload_len: buf.get_u16(),
         })
     }
+
+    /// Writes the header into the front of a plain byte slice (the
+    /// allocation-free path the network transports use). Panics if `buf`
+    /// is shorter than [`HEADER_LEN`].
+    pub fn write_to(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.bs_id.to_be_bytes());
+        buf[2] = self.antenna;
+        buf[3] = self.fragment;
+        buf[4..6].copy_from_slice(&self.total_fragments.to_be_bytes());
+        buf[6..10].copy_from_slice(&self.subframe.to_be_bytes());
+        buf[10..12].copy_from_slice(&self.payload_len.to_be_bytes());
+    }
+
+    /// Parses a header from the front of a plain byte slice; `None` if
+    /// `buf` is shorter than [`HEADER_LEN`].
+    pub fn read_from(buf: &[u8]) -> Option<Self> {
+        if buf.len() < HEADER_LEN {
+            return None;
+        }
+        Some(PacketHeader {
+            bs_id: u16::from_be_bytes([buf[0], buf[1]]),
+            antenna: buf[2],
+            fragment: buf[3],
+            total_fragments: u16::from_be_bytes([buf[4], buf[5]]),
+            subframe: u32::from_be_bytes([buf[6], buf[7], buf[8], buf[9]]),
+            payload_len: u16::from_be_bytes([buf[10], buf[11]]),
+        })
+    }
+}
+
+/// Wrap-aware signed distance from sequence `expected` to `got`, in
+/// `[-2³¹, 2³¹)`. A counter that wrapped at `u32::MAX` yields the small
+/// true delta, not a ±4-billion jump.
+pub fn seq_delta(expected: u32, got: u32) -> i64 {
+    got.wrapping_sub(expected) as i32 as i64
+}
+
+/// What one observed sequence number meant to a [`SeqTracker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeqEvent {
+    /// First observation; the tracker locked onto the stream here.
+    First,
+    /// Exactly the expected next sequence number.
+    InOrder,
+    /// The stream jumped forward; `n` sequence numbers were never seen.
+    Gap(u32),
+    /// Behind the cursor by `n`: a late duplicate or reordered straggler.
+    Stale(u32),
+}
+
+/// Per-cell subframe sequence tracker with wraparound-safe gap
+/// detection. The receive sessions run one per cell to count losses,
+/// duplicates and reordering without unbounded history.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeqTracker {
+    next: u32,
+    started: bool,
+    /// Total sequence numbers skipped over (lost subframes).
+    pub gaps: u64,
+    /// Observations behind the cursor (duplicates / stragglers).
+    pub stale: u64,
+}
+
+impl SeqTracker {
+    /// A tracker that locks onto the first sequence number it sees.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies `seq` against the cursor and advances it past any
+    /// forward jump (a gap is counted once, not re-reported per packet).
+    pub fn observe(&mut self, seq: u32) -> SeqEvent {
+        if !self.started {
+            self.started = true;
+            self.next = seq.wrapping_add(1);
+            return SeqEvent::First;
+        }
+        let d = seq_delta(self.next, seq);
+        match d {
+            0 => {
+                self.next = self.next.wrapping_add(1);
+                SeqEvent::InOrder
+            }
+            d if d > 0 => {
+                self.gaps += d as u64;
+                self.next = seq.wrapping_add(1);
+                SeqEvent::Gap(d as u32)
+            }
+            d => {
+                self.stale += 1;
+                SeqEvent::Stale((-d) as u32)
+            }
+        }
+    }
+
+    /// Locks the cursor at `seq` without consuming it: the next
+    /// [`Self::observe`] of `seq` reads as in-order. Receivers prime on
+    /// the first *fragment* of a stream so a first subframe that never
+    /// completes still registers as a gap.
+    pub fn prime(&mut self, seq: u32) {
+        if !self.started {
+            self.started = true;
+            self.next = seq;
+        }
+    }
+
+    /// True when `seq` is behind the cursor — a fragment of a subframe
+    /// that was already delivered or given up on. Receivers use this to
+    /// reject stragglers before touching assembly state.
+    pub fn is_stale(&self, seq: u32) -> bool {
+        self.started && seq_delta(self.next, seq) < 0
+    }
+
+    /// Forgets the cursor (sender resync after a reconnect): the next
+    /// observation is treated as [`SeqEvent::First`] again.
+    pub fn resync(&mut self) {
+        self.started = false;
+    }
 }
 
 /// Packetizes/reassembles IQ subframes.
@@ -154,13 +272,15 @@ impl IqPacketizer {
     }
 }
 
-fn quantize(v: f32) -> i16 {
+/// Quantizes one baseband component to the wire's 16-bit fixed point.
+pub fn quantize(v: f32) -> i16 {
     (v * IQ_SCALE)
         .round()
         .clamp(i16::MIN as f32, i16::MAX as f32) as i16
 }
 
-fn dequantize(v: i16) -> f32 {
+/// Inverse of [`quantize`].
+pub fn dequantize(v: i16) -> f32 {
     v as f32 / IQ_SCALE
 }
 
@@ -278,5 +398,106 @@ mod tests {
             let back = pk.reassemble(&pkts).unwrap();
             prop_assert_eq!(back.len(), n);
         }
+    }
+
+    #[test]
+    fn slice_header_roundtrip_matches_bytes_codec() {
+        let h = PacketHeader {
+            bs_id: 0xBEEF,
+            antenna: 3,
+            fragment: 9,
+            total_fragments: 43,
+            subframe: 0xDEADBEEF,
+            payload_len: 1440,
+        };
+        let mut slice = [0u8; HEADER_LEN];
+        h.write_to(&mut slice);
+        let mut bytes_buf = BytesMut::new();
+        h.encode(&mut bytes_buf);
+        assert_eq!(
+            &slice[..],
+            bytes_buf.freeze().as_slice(),
+            "two codecs, one wire format"
+        );
+        assert_eq!(PacketHeader::read_from(&slice), Some(h));
+        assert_eq!(PacketHeader::read_from(&slice[..HEADER_LEN - 1]), None);
+    }
+
+    #[test]
+    fn seq_tracker_in_order_stream() {
+        let mut t = SeqTracker::new();
+        assert_eq!(t.observe(100), SeqEvent::First);
+        for s in 101..110 {
+            assert_eq!(t.observe(s), SeqEvent::InOrder);
+        }
+        assert_eq!((t.gaps, t.stale), (0, 0));
+    }
+
+    #[test]
+    fn seq_tracker_counts_gaps_once() {
+        let mut t = SeqTracker::new();
+        t.observe(0);
+        assert_eq!(t.observe(4), SeqEvent::Gap(3)); // 1,2,3 lost
+        assert_eq!(t.observe(5), SeqEvent::InOrder); // gap not re-reported
+        assert_eq!(t.gaps, 3);
+    }
+
+    #[test]
+    fn seq_tracker_wraparound_is_not_a_billion_packet_gap() {
+        // The exact failure mode the satellite task names: a counter
+        // wrapping at the u32 boundary must read as consecutive delivery,
+        // and a small loss across the boundary as a small gap.
+        let mut t = SeqTracker::new();
+        t.observe(u32::MAX - 2);
+        assert_eq!(t.observe(u32::MAX - 1), SeqEvent::InOrder);
+        assert_eq!(t.observe(u32::MAX), SeqEvent::InOrder);
+        assert_eq!(t.observe(0), SeqEvent::InOrder);
+        assert_eq!(t.observe(1), SeqEvent::InOrder);
+        assert_eq!(t.gaps, 0);
+
+        let mut t = SeqTracker::new();
+        t.observe(u32::MAX - 1);
+        // MAX and 0 lost in flight; 1 arrives next.
+        assert_eq!(t.observe(1), SeqEvent::Gap(2));
+        assert_eq!(t.gaps, 2);
+    }
+
+    #[test]
+    fn seq_tracker_duplicates_and_reordering_are_stale() {
+        let mut t = SeqTracker::new();
+        t.observe(7);
+        t.observe(8);
+        assert_eq!(t.observe(8), SeqEvent::Stale(1)); // duplicate
+        assert_eq!(t.observe(3), SeqEvent::Stale(6)); // old straggler
+        assert_eq!(t.observe(9), SeqEvent::InOrder); // cursor undisturbed
+        assert_eq!((t.gaps, t.stale), (0, 2));
+
+        // Stale across the wrap boundary: 0 delivered, then MAX again.
+        let mut t = SeqTracker::new();
+        t.observe(u32::MAX);
+        t.observe(0);
+        assert_eq!(t.observe(u32::MAX), SeqEvent::Stale(2));
+    }
+
+    #[test]
+    fn seq_tracker_resync_relocks() {
+        let mut t = SeqTracker::new();
+        t.observe(1000);
+        t.resync();
+        // After a sender restart the stream begins at 0 — without the
+        // resync this would count as a huge stale/stale event.
+        assert_eq!(t.observe(0), SeqEvent::First);
+        assert_eq!(t.observe(1), SeqEvent::InOrder);
+        assert_eq!(t.gaps, 0);
+    }
+
+    #[test]
+    fn seq_delta_is_wrap_aware() {
+        assert_eq!(seq_delta(5, 5), 0);
+        assert_eq!(seq_delta(5, 9), 4);
+        assert_eq!(seq_delta(9, 5), -4);
+        assert_eq!(seq_delta(u32::MAX, 0), 1);
+        assert_eq!(seq_delta(0, u32::MAX), -1);
+        assert_eq!(seq_delta(u32::MAX - 10, 10), 21);
     }
 }

@@ -1,0 +1,172 @@
+//! The crate-layering gate behind `cargo xtask layering`.
+//!
+//! The transport-decoupling contract of the distributed fronthaul
+//! (DESIGN.md §6f, mirroring the exemplar's independent transport
+//! crates): the core runtime must compile without any network
+//! transport. Concretely, the transitive *path-dependency* closure of
+//! the protected crates (`rtopex-runtime`, `rtopex-core`) must not
+//! contain any of the banned crates (`rtopex-transport-net`,
+//! `rtopex-distrib`) — the runtime consumes the `FronthaulTx`/
+//! `FronthaulRx` traits from `rtopex-transport` and stays ignorant of
+//! sockets, wire framing, and session management.
+//!
+//! The check reads `[dependencies]` tables of the workspace manifests
+//! directly (line-oriented, no TOML dep): every dependency either names
+//! a workspace crate (resolved via `workspace = true` + the root
+//! `[workspace.dependencies]` paths) or is external and ignored.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fs;
+use std::path::Path;
+
+/// Crates whose transitive closure must stay transport-free.
+const PROTECTED: &[&str] = &["rtopex-runtime", "rtopex-core"];
+/// Network-transport crates the closure must not contain.
+const BANNED: &[&str] = &["rtopex-transport-net", "rtopex-distrib"];
+
+/// `[dependencies]` (and `[dev-dependencies]` are deliberately NOT
+/// included: dev-deps do not ship in the library) of one manifest.
+fn runtime_deps(manifest: &str) -> Vec<String> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(section) = line.strip_prefix('[') {
+            in_deps = section.trim_end_matches(']') == "dependencies";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, _)) = line.split_once('=') {
+            deps.push(name.trim().trim_matches('"').to_string());
+        }
+    }
+    deps
+}
+
+/// Maps workspace crate name -> its runtime dependency names, from
+/// every `crates/*/Cargo.toml` plus the root package.
+fn workspace_graph(root: &Path) -> BTreeMap<String, Vec<String>> {
+    let mut graph = BTreeMap::new();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            manifests.push(e.path().join("Cargo.toml"));
+        }
+    }
+    for path in manifests {
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let Some(name) = text
+            .lines()
+            .skip_while(|l| l.trim() != "[package]")
+            .find_map(|l| {
+                l.trim()
+                    .strip_prefix("name")
+                    .and_then(|r| r.trim().strip_prefix('='))
+                    .map(|v| v.trim().trim_matches('"').to_string())
+            })
+        else {
+            continue;
+        };
+        graph.insert(name, runtime_deps(&text));
+    }
+    graph
+}
+
+/// Runs the gate; returns the process exit code.
+pub fn run(root: &Path) -> i32 {
+    let graph = workspace_graph(root);
+    if graph.is_empty() {
+        eprintln!("xtask layering: no workspace manifests found under {root:?}");
+        return 2;
+    }
+    let mut bad = 0;
+    for &protected in PROTECTED {
+        if !graph.contains_key(protected) {
+            eprintln!("xtask layering: protected crate `{protected}` not in the workspace");
+            bad += 1;
+            continue;
+        }
+        // BFS the closure, remembering one witness path per crate.
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        seen.insert(protected);
+        queue.push_back(protected);
+        while let Some(cur) = queue.pop_front() {
+            for dep in graph.get(cur).map(Vec::as_slice).unwrap_or(&[]) {
+                let dep = dep.as_str();
+                if graph.contains_key(dep) && seen.insert(dep) {
+                    parent.insert(dep, cur);
+                    queue.push_back(dep);
+                }
+            }
+        }
+        for &banned in BANNED {
+            if seen.contains(banned) {
+                let mut chain = vec![banned];
+                while let Some(&p) = parent.get(*chain.last().unwrap()) {
+                    chain.push(p);
+                }
+                chain.reverse();
+                eprintln!(
+                    "xtask layering: `{protected}` transitively depends on `{banned}` \
+                     ({}) — the core runtime must stay network-transport-free; \
+                     move the dependency behind the rtopex-transport traits",
+                    chain.join(" -> ")
+                );
+                bad += 1;
+            }
+        }
+        let closure: Vec<&str> = seen.iter().copied().filter(|&c| c != protected).collect();
+        eprintln!(
+            "xtask layering: `{protected}` closure ({}): {}",
+            closure.len(),
+            closure.join(", ")
+        );
+    }
+    if bad == 0 {
+        eprintln!("xtask layering: clean");
+        0
+    } else {
+        eprintln!("xtask layering: {bad} violation(s)");
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_deps_skips_dev_dependencies() {
+        let m = "[package]\nname = \"x\"\n[dependencies]\na = { workspace = true }\n\
+                 b = \"1\"\n[dev-dependencies]\nc = { workspace = true }\n";
+        assert_eq!(runtime_deps(m), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn shipped_workspace_is_layered() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap();
+        assert_eq!(run(root), 0);
+    }
+
+    #[test]
+    fn protected_and_banned_crates_exist_in_the_workspace() {
+        // A rename would silently turn the gate vacuous; pin the names.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap();
+        let graph = workspace_graph(root);
+        for name in PROTECTED.iter().chain(BANNED) {
+            assert!(graph.contains_key(*name), "`{name}` left the workspace");
+        }
+    }
+}

@@ -40,6 +40,8 @@ const LINT_ROOTS: &[&str] = &[
     "crates/lte-phy/src",
     "crates/runtime/src",
     "crates/transport/src",
+    "crates/transport-net/src",
+    "crates/distrib/src",
     "crates/workload/src",
     "crates/model/src",
     "crates/sim/src",

@@ -6,7 +6,10 @@
 //!   and the static Eq. 3 schedulability gate (see `rtopex-analyze`).
 //!   Without `--quick`, the schedulability report is written to
 //!   `target/analyze/schedulability.json` for the CI artifact.
+//! * `cargo xtask layering` — crate-layering gate: the core runtime
+//!   must stay free of network-transport dependencies (see [`layering`]).
 
+mod layering;
 mod lint;
 
 use std::path::Path;
@@ -21,16 +24,17 @@ fn main() {
         .expect("workspace root");
     match args.first().map(String::as_str) {
         Some("lint") => std::process::exit(lint::run(root)),
+        Some("layering") => std::process::exit(layering::run(root)),
         Some("analyze") => {
             let quick = args.iter().any(|a| a == "--quick");
             std::process::exit(analyze(root, quick));
         }
         Some(other) => {
-            eprintln!("unknown xtask `{other}`; available: lint, analyze");
+            eprintln!("unknown xtask `{other}`; available: lint, analyze, layering");
             std::process::exit(2);
         }
         None => {
-            eprintln!("usage: cargo xtask <lint | analyze [--quick]>");
+            eprintln!("usage: cargo xtask <lint | analyze [--quick] | layering>");
             std::process::exit(2);
         }
     }
