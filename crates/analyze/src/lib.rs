@@ -1,7 +1,7 @@
 //! `rtopex-analyze` — the whole-workspace static analyzer behind
 //! `cargo xtask analyze`.
 //!
-//! Three passes over a conservative, name-resolved call graph of the
+//! Four passes over a conservative, name-resolved call graph of the
 //! shipped crates (see DESIGN.md §8 for the construction and its
 //! soundness caveats):
 //!
@@ -19,6 +19,12 @@
 //!    deadline arithmetic evaluated from the tracked bench baselines
 //!    against every shipped scheduler config, plus δ admission sanity
 //!    and reproduction of the measured capacity ordering.
+//! 4. **Adversarial-input taint audit** ([`taint`]) — from the declared
+//!    untrusted-byte sources (the wire codecs, `RxSession::ingest_frame`,
+//!    the TCP/UDP recv paths), everything reachable is proven panic-free
+//!    (including unchecked indexing and length/seq arithmetic),
+//!    allocation-free, and free of input-driven unbounded loops (see
+//!    DESIGN.md §9).
 //!
 //! Like `rtopex-check`, the crate has **zero dependencies** — it lexes
 //! source text and re-derives timing from mirrored tables, with
@@ -34,6 +40,7 @@ pub mod lexer;
 pub mod locks;
 pub mod purity;
 pub mod sched;
+pub mod taint;
 
 /// One analyzer finding, pointing at a workspace-relative file/line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,7 +49,7 @@ pub struct Violation {
     pub file: String,
     /// 1-based line, or 0 when the finding is not line-anchored.
     pub line: usize,
-    /// Pass that produced it: `purity`, `locks`, or `sched`.
+    /// Pass that produced it: `purity`, `locks`, `sched`, or `taint`.
     pub pass: &'static str,
     /// Finding class, usable in `// analyze: allow(<class>): <reason>`
     /// where a suppression applies.
@@ -84,6 +91,7 @@ pub fn analyze_workspace(root: &Path, quick: bool) -> Analysis {
     let ws = graph::parse_workspace(root);
     let mut violations = purity::run(&ws);
     violations.extend(locks::run(&ws));
+    violations.extend(taint::run(&ws));
     let audit = sched::audit_workspace(root);
     violations.extend(audit.violations);
     Analysis {

@@ -220,7 +220,7 @@ pub const SEEDS: &[Seed] = &[
 ];
 
 /// Heap-allocation constructors and allocating adapters.
-const ALLOC_PATTERNS: &[&str] = &[
+pub(crate) const ALLOC_PATTERNS: &[&str] = &[
     "Vec::new",
     "vec![",
     "Box::new",
@@ -237,7 +237,7 @@ const ALLOC_PATTERNS: &[&str] = &[
 /// Panic sources (`debug_assert!` stays legal: it compiles out of
 /// release builds; bounds-checked indexing is deliberately NOT pattern-
 /// matched — see DESIGN.md §8 caveats).
-const PANIC_PATTERNS: &[&str] = &[
+pub(crate) const PANIC_PATTERNS: &[&str] = &[
     ".unwrap(",
     ".expect(",
     "panic!",
@@ -290,7 +290,7 @@ fn patterns_for(bit: u8) -> &'static [&'static str] {
 /// Pattern match with a token-start guard for identifier-leading
 /// patterns, so `debug_assert!` never trips the `assert!` pattern
 /// (patterns starting with `.` need no guard — `x.unwrap(` is a hit).
-fn hit(code: &str, pat: &str) -> bool {
+pub(crate) fn hit(code: &str, pat: &str) -> bool {
     let needs_guard = pat.starts_with(|c: char| c.is_alphanumeric() || c == '_');
     let mut from = 0;
     while let Some(pos) = code[from..].find(pat) {

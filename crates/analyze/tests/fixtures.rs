@@ -9,6 +9,7 @@
 use std::path::{Path, PathBuf};
 
 use rtopex_analyze::purity::{class, Seed};
+use rtopex_analyze::taint::{self, tclass};
 use rtopex_analyze::{graph, locks, purity, sched};
 
 fn fixture_ws(name: &str) -> graph::Workspace {
@@ -80,6 +81,37 @@ fn sim_hot_alloc_fixture_is_caught() {
     assert!(hit.msg.contains("buffer_event"), "{hit}");
     // The assert! inside on_event stays legal under this mask.
     assert!(!v.iter().any(|v| v.class == "panic"), "{v:#?}");
+}
+
+#[test]
+fn taint_fixture_seeds_every_class() {
+    // One fixture, five sins: every taint finding class must fire on
+    // the seeded decoder, proving none of the detectors is vacuous.
+    let ws = fixture_ws("taint_decode");
+    let sources = [taint::Source {
+        type_qual: Some("Decoder"),
+        name: "decode_frame",
+        deny: tclass::ALL,
+        why: "fixture source",
+    }];
+    let v = taint::run_with(&ws, &sources, &[]);
+    for class in [
+        "taint-panic",
+        "taint-index",
+        "taint-arith",
+        "taint-alloc",
+        "taint-loop",
+    ] {
+        assert!(
+            v.iter()
+                .any(|f| f.class == class && f.file.ends_with("taint_decode/src/lib.rs")),
+            "no {class} finding: {v:#?}"
+        );
+    }
+    // The unwrap sits one call below the source; the finding must carry
+    // the witness hop, not just the source name.
+    let p = v.iter().find(|f| f.class == "taint-panic").unwrap();
+    assert!(p.msg.contains("finish"), "{p}");
 }
 
 const FIXTURE_KERNELS: &str = include_str!("fixtures/unsched/BENCH_kernels.json");

@@ -1,0 +1,29 @@
+//! Taint fixture: a frame decoder that commits every sin the taint
+//! pass must catch — one violation per finding class, with the panic
+//! a call-hop away from the source so the witness chain is exercised.
+//!
+//! Never compiled; the analyzer is lexical and reads this as input.
+
+pub struct Decoder {
+    pub frames: usize,
+}
+
+impl Decoder {
+    pub fn decode_frame(&mut self, buf: &[u8]) -> usize {
+        let kind = buf[0]; // taint-index: unchecked index on peer bytes
+        let len = buf.len() + 4; // taint-arith: unchecked add on a length
+        let mut out = Vec::new(); // taint-alloc: allocation on the rx path
+        while kind != 0 {
+            // taint-loop: input-driven loop header
+            out.push(kind);
+            break;
+        }
+        finish(buf, len)
+    }
+}
+
+fn finish(buf: &[u8], len: usize) -> usize {
+    // taint-panic, one hop below the source: the witness chain must
+    // name `finish`.
+    buf.get(len).copied().unwrap() as usize
+}

@@ -1,0 +1,184 @@
+//! Exhaustive adversarial-schedule exploration.
+//!
+//! The concurrency engine in this crate explores thread interleavings;
+//! this module explores *protocol* adversaries: each call to
+//! [`Choices::choose`] is a branch point (deliver, drop, duplicate,
+//! defer, resync here or there…), and [`explore`] replays the scenario
+//! closure once per combination, depth-first, until the bounded choice
+//! tree is exhausted.
+//!
+//! The mechanism is the same replay-DFS the engine uses for
+//! interleavings: a stack of `(chosen, arity)` pairs is replayed as a
+//! prefix, the first unexplored index past the prefix extends it, and
+//! after each run the deepest non-exhausted choice is incremented and
+//! everything below it discarded. The scenario closure must be
+//! deterministic given its choices — the explorer asserts the arity of
+//! every replayed branch to catch accidental nondeterminism.
+
+/// The choice oracle handed to a scenario closure.
+pub struct Choices {
+    stack: Vec<(usize, usize)>,
+    cursor: usize,
+}
+
+impl Choices {
+    /// Returns a value in `0..arity` for this branch point. Within one
+    /// run, successive calls walk the current schedule; across runs,
+    /// [`explore`] enumerates every combination.
+    pub fn choose(&mut self, arity: usize) -> usize {
+        assert!(arity >= 1, "a choice needs at least one alternative");
+        if let Some(&(chosen, recorded)) = self.stack.get(self.cursor) {
+            assert_eq!(
+                recorded, arity,
+                "scenario is nondeterministic: branch {} had arity {recorded}, now {arity}",
+                self.cursor
+            );
+            self.cursor += 1;
+            chosen
+        } else {
+            self.stack.push((0, arity));
+            self.cursor += 1;
+            0
+        }
+    }
+
+    /// Picks one element of `options` (a labelled [`Self::choose`]).
+    pub fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.choose(options.len())]
+    }
+}
+
+/// Outcome of an [`explore`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exploration {
+    /// Schedules actually run.
+    pub schedules: u64,
+    /// True when the whole choice tree was exhausted (false means the
+    /// `limit` stopped the search early — widen it or shrink the
+    /// scenario).
+    pub complete: bool,
+}
+
+/// Runs `scenario` once per schedule in its choice tree, depth-first,
+/// stopping after `limit` schedules. A scenario that makes no choices
+/// runs exactly once.
+pub fn explore<F: FnMut(&mut Choices)>(limit: u64, mut scenario: F) -> Exploration {
+    let mut ch = Choices {
+        stack: Vec::new(),
+        cursor: 0,
+    };
+    let mut schedules = 0u64;
+    loop {
+        ch.cursor = 0;
+        scenario(&mut ch);
+        // A run may legitimately consume fewer choices than recorded if
+        // an earlier increment changed control flow — but only below
+        // the cursor; drop the dead tail before advancing.
+        ch.stack.truncate(ch.cursor);
+        schedules += 1;
+        if schedules >= limit {
+            return Exploration {
+                schedules,
+                complete: false,
+            };
+        }
+        // Advance: bump the deepest non-exhausted branch.
+        loop {
+            match ch.stack.last_mut() {
+                None => {
+                    return Exploration {
+                        schedules,
+                        complete: true,
+                    }
+                }
+                Some((chosen, arity)) => {
+                    *chosen += 1;
+                    if chosen < arity {
+                        break;
+                    }
+                    ch.stack.pop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_the_full_product() {
+        let mut seen = Vec::new();
+        let r = explore(100, |ch| {
+            let a = ch.choose(3);
+            let b = ch.choose(2);
+            seen.push((a, b));
+        });
+        assert!(r.complete);
+        assert_eq!(r.schedules, 6);
+        assert_eq!(seen.len(), 6);
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 6, "every (a, b) pair exactly once");
+    }
+
+    #[test]
+    fn dependent_branching_is_explored() {
+        // Arity of later choices may depend on earlier values.
+        let mut runs = 0;
+        let r = explore(100, |ch| {
+            runs += 1;
+            if ch.choose(2) == 1 {
+                ch.choose(3);
+            }
+        });
+        assert!(r.complete);
+        assert_eq!(r.schedules, 1 + 3);
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn choiceless_scenario_runs_once() {
+        let r = explore(10, |_| {});
+        assert_eq!(
+            r,
+            Exploration {
+                schedules: 1,
+                complete: true
+            }
+        );
+    }
+
+    #[test]
+    fn limit_stops_the_search() {
+        let r = explore(5, |ch| {
+            ch.choose(4);
+            ch.choose(4);
+        });
+        assert_eq!(r.schedules, 5);
+        assert!(!r.complete);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondeterministic")]
+    fn nondeterministic_arity_is_caught() {
+        let mut flip = 0;
+        explore(10, |ch| {
+            flip += 1;
+            ch.choose(2);
+            ch.choose(if flip == 2 { 3 } else { 2 });
+        });
+    }
+
+    #[test]
+    fn pick_returns_each_option() {
+        let mut got = Vec::new();
+        let r = explore(10, |ch| {
+            got.push(*ch.pick(&[10, 20, 30]));
+        });
+        assert!(r.complete);
+        got.sort();
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+}

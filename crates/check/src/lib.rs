@@ -42,6 +42,7 @@
 mod clock;
 mod engine;
 
+pub mod adversary;
 pub mod sync;
 pub mod thread;
 

@@ -1,0 +1,504 @@
+//! Model-checked transport session machine.
+//!
+//! Drives the *shipped* rx reassembly stack — `wire` frames through
+//! [`RxSession::ingest_frame`] into the [`SwapQueue`] ring — under
+//! exhaustively enumerated adversarial delivery schedules
+//! (drop / duplicate / defer-reorder / resync placement), in lockstep
+//! with an independent mirror model of the session semantics. Every
+//! schedule must satisfy:
+//!
+//! * **exactly-once publication** per (cell, subframe) within a sender
+//!   era (between resyncs) — duplicates and reordering never
+//!   double-publish;
+//! * **no stale-frame resurrection**: a subframe published after a
+//!   resync contains only payload bytes from frames delivered for that
+//!   exact sequence number (per-sample markers prove it — abandoned
+//!   pre-resync assembly state never leaks into a later publication);
+//! * **mirror equivalence**: publishes (content and order), stale and
+//!   gap counters, and resync accounting match the independent model,
+//!   including across u32 sequence wraparound and resync-to-older-seq.
+//!
+//! Two mutation tests seed bugs into the mirror (skipping the stale
+//! check; ignoring resync) and require the suite to notice — proof the
+//! harness can fail.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rtopex_check::adversary::{explore, Choices};
+use rtopex_phy::Cf32;
+use rtopex_transport::iface::{StreamParams, SubframeBuf, PROTOCOL_VERSION};
+use rtopex_transport::packet::{dequantize, quantize};
+use rtopex_transport_net::ring::{Pop, SwapQueue};
+use rtopex_transport_net::session::{RxSession, ASM_SLOTS};
+use rtopex_transport_net::wire;
+
+/// One cell, one antenna, 720 samples → exactly 2 full fragments: the
+/// smallest geometry where assembly, slot eviction and reordering all
+/// have room to go wrong.
+const CELL: u16 = 5;
+const FRAGS: u8 = 2;
+const SAMPLES: u32 = 720;
+
+fn params() -> StreamParams {
+    StreamParams {
+        samples_per_subframe: SAMPLES,
+        antennas: 1,
+        cells: vec![CELL],
+        period_us: 1000,
+        budget_us: 1000,
+        mcs_pool: vec![27],
+        subframes: 0,
+    }
+}
+
+/// Per-sample payload marker: a function of (seq, fragment, index) so a
+/// published buffer proves exactly which frames filled it.
+fn marker(seq: u32, frag: u8, i: usize) -> f32 {
+    ((seq % 251) as f32 + frag as f32 * 10.0 + (i % 7) as f32) / 300.0
+}
+
+/// The wire bytes of fragment `frag` of subframe `seq`.
+fn frame(seq: u32, frag: u8) -> Vec<u8> {
+    let samples: Vec<Cf32> = (0..360)
+        .map(|i| Cf32::new(marker(seq, frag, i), -marker(seq, frag, i)))
+        .collect();
+    let mut buf = vec![0u8; wire::MAX_IQ_FRAME];
+    let len = wire::write_iq_frame(&mut buf, 27, CELL, 0, frag, FRAGS as u16, seq, &samples);
+    buf.truncate(len);
+    buf
+}
+
+// ---------------------------------------------------------------- mirror
+
+/// Seeded mirror defects for the mutation tests.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Bug {
+    None,
+    /// Mirror forgets to reject stale sequence numbers.
+    SkipStaleCheck,
+    /// Mirror ignores resync (cursor stays locked, slots stay busy).
+    NoResync,
+}
+
+fn delta(expected: u32, got: u32) -> i64 {
+    got.wrapping_sub(expected) as i32 as i64
+}
+
+#[derive(Clone, Copy, Default)]
+struct MSlot {
+    busy: bool,
+    seq: u32,
+    seen: u128,
+    remaining: u32,
+}
+
+#[derive(Clone, Copy, Default)]
+struct MTracker {
+    started: bool,
+    next: u32,
+    gaps: u64,
+    stale: u64,
+}
+
+/// Independent reimplementation of the session semantics for one cell,
+/// at the level of frame metadata (the real session consumes bytes).
+struct Mirror {
+    slots: [MSlot; ASM_SLOTS],
+    tracker: MTracker,
+    published: Vec<u32>,
+    stale: u64,
+    resyncs: u64,
+    bug: Bug,
+}
+
+impl Mirror {
+    fn new(bug: Bug) -> Self {
+        Mirror {
+            slots: [MSlot::default(); ASM_SLOTS],
+            tracker: MTracker::default(),
+            published: Vec::new(),
+            stale: 0,
+            resyncs: 0,
+            bug,
+        }
+    }
+
+    fn ingest(&mut self, seq: u32, frag: u8) {
+        let t = &mut self.tracker;
+        if self.bug != Bug::SkipStaleCheck && t.started && delta(t.next, seq) < 0 {
+            self.stale += 1;
+            return;
+        }
+        let mut idx = self.slots.iter().position(|s| s.busy && s.seq == seq);
+        if idx.is_none() {
+            idx = self.slots.iter().position(|s| !s.busy);
+            if idx.is_none() {
+                // Evict the oldest in-flight assembly, exactly like the
+                // shipped scan (first slot wins ties).
+                let mut j = 0;
+                let mut oldest = 0u32;
+                for (i, s) in self.slots.iter().enumerate() {
+                    if i == 0 || delta(oldest, s.seq) < 0 {
+                        j = i;
+                        oldest = s.seq;
+                    }
+                }
+                idx = Some(j);
+            }
+            let s = &mut self.slots[idx.unwrap()];
+            s.busy = true;
+            s.seq = seq;
+            s.seen = 0;
+            s.remaining = FRAGS as u32;
+            if !t.started {
+                t.started = true;
+                t.next = seq;
+            }
+        }
+        let s = &mut self.slots[idx.unwrap()];
+        let bit = 1u128 << frag;
+        if s.seen & bit != 0 {
+            self.stale += 1;
+            return;
+        }
+        s.seen |= bit;
+        s.remaining -= 1;
+        if s.remaining == 0 {
+            s.busy = false;
+            let t = &mut self.tracker;
+            if !t.started {
+                t.started = true;
+                t.next = seq.wrapping_add(1);
+            } else {
+                match delta(t.next, seq) {
+                    0 => t.next = t.next.wrapping_add(1),
+                    d if d > 0 => {
+                        t.gaps += d as u64;
+                        t.next = seq.wrapping_add(1);
+                    }
+                    _ => t.stale += 1,
+                }
+            }
+            self.published.push(seq);
+        }
+    }
+
+    fn on_resync(&mut self) {
+        self.resyncs += 1;
+        if self.bug == Bug::NoResync {
+            return;
+        }
+        for s in &mut self.slots {
+            s.busy = false;
+        }
+        self.tracker.started = false;
+    }
+}
+
+// ------------------------------------------------------------- the drive
+
+/// Runs one adversarial schedule over `(era0 base, era1 base)`,
+/// returning a divergence description instead of panicking so the
+/// mutation tests can count failures.
+fn run_schedule(ch: &mut Choices, b0: u32, b1: u32, bug: Bug) -> Result<(), String> {
+    let p = params();
+    let pool = 8 + p.cells.len() * ASM_SLOTS + 1;
+    let queue = Arc::new(SwapQueue::new(&p, pool, 8));
+    let mut session = RxSession::new(p.clone(), Arc::clone(&queue));
+    let mut mirror = Mirror::new(bug);
+
+    let deliver = |session: &mut RxSession, mirror: &mut Mirror, seq: u32, frag: u8| {
+        session.ingest_frame(&frame(seq, frag));
+        mirror.ingest(seq, frag);
+    };
+
+    // Era 0: two subframes, four frames, adversarial fate each.
+    let mut deferred: Vec<(u32, u8)> = Vec::new();
+    for seq in [b0, b0.wrapping_add(1)] {
+        for frag in 0..FRAGS {
+            match ch.choose(4) {
+                0 => deliver(&mut session, &mut mirror, seq, frag),
+                1 => {} // dropped in flight
+                2 => {
+                    deliver(&mut session, &mut mirror, seq, frag);
+                    deliver(&mut session, &mut mirror, seq, frag);
+                }
+                _ => deferred.push((seq, frag)),
+            }
+        }
+    }
+    // Resync placement: stale era-0 stragglers may resume before or
+    // after the sender reconnects.
+    let resync_first = ch.choose(2) == 1;
+    if resync_first {
+        session.on_resync();
+        mirror.on_resync();
+    }
+    for (seq, frag) in deferred.drain(..) {
+        deliver(&mut session, &mut mirror, seq, frag);
+    }
+    if !resync_first {
+        session.on_resync();
+        mirror.on_resync();
+    }
+    // Era 1: one subframe at the new (older!) base.
+    let mut deferred1: Vec<(u32, u8)> = Vec::new();
+    for frag in 0..FRAGS {
+        match ch.choose(4) {
+            0 => deliver(&mut session, &mut mirror, b1, frag),
+            1 => {}
+            2 => {
+                deliver(&mut session, &mut mirror, b1, frag);
+                deliver(&mut session, &mut mirror, b1, frag);
+            }
+            _ => deferred1.push((b1, frag)),
+        }
+    }
+    for (seq, frag) in deferred1.drain(..) {
+        deliver(&mut session, &mut mirror, seq, frag);
+    }
+
+    // ----- compare the real stack against the mirror -----
+    let st = session.stats();
+    if st.bad_frames != 0 {
+        return Err(format!(
+            "bad_frames = {} on well-formed input",
+            st.bad_frames
+        ));
+    }
+    if st.drops != 0 {
+        return Err(format!("unexpected ring drops: {}", st.drops));
+    }
+    if st.resyncs != mirror.resyncs {
+        return Err(format!(
+            "resyncs {} != mirror {}",
+            st.resyncs, mirror.resyncs
+        ));
+    }
+    if st.delivered != mirror.published.len() as u64 {
+        return Err(format!(
+            "delivered {} != mirror published {:?}",
+            st.delivered, mirror.published
+        ));
+    }
+    let mirror_stale = mirror.stale + mirror.tracker.stale;
+    if st.stale != mirror_stale {
+        return Err(format!("stale {} != mirror {}", st.stale, mirror_stale));
+    }
+    if st.gaps != mirror.tracker.gaps {
+        return Err(format!(
+            "gaps {} != mirror {}",
+            st.gaps, mirror.tracker.gaps
+        ));
+    }
+    // Publication order, exactly-once-per-era, and payload integrity.
+    let mut popped = Vec::new();
+    let mut buf = SubframeBuf::for_stream(session.params());
+    for _ in 0..st.delivered {
+        if queue.pop_swap(&mut buf, Duration::from_millis(200)) != Pop::Got {
+            return Err("queue held fewer subframes than stats.delivered".into());
+        }
+        if buf.cell != CELL {
+            return Err(format!("published cell {}", buf.cell));
+        }
+        for (i, s) in buf.samples[0].iter().enumerate() {
+            let frag = (i / 360) as u8;
+            let want = dequantize(quantize(marker(buf.seq, frag, i % 360)));
+            if s.re != want {
+                return Err(format!(
+                    "seq {} sample {i}: got {}, want {want} — foreign payload bytes \
+                     (stale-frame resurrection)",
+                    buf.seq, s.re
+                ));
+            }
+        }
+        popped.push(buf.seq);
+    }
+    if popped != mirror.published {
+        return Err(format!(
+            "published {popped:?} != mirror {:?}",
+            mirror.published
+        ));
+    }
+    Ok(())
+}
+
+/// Era bases: a mid-range pair with a resync to an *older* sequence,
+/// and a pair straddling the u32 wraparound boundary. Sequence spaces
+/// are disjoint so payload markers identify eras unambiguously.
+const BASES: [(u32, u32); 2] = [(1000, 7), (u32::MAX - 1, 7)];
+
+#[test]
+fn adversarial_schedules_preserve_session_invariants() {
+    let mut total = 0u64;
+    for (b0, b1) in BASES {
+        let r = explore(20_000, |ch| {
+            run_schedule(ch, b0, b1, Bug::None)
+                .unwrap_or_else(|e| panic!("schedule (b0={b0}, b1={b1}) diverged: {e}"));
+        });
+        assert!(
+            r.complete,
+            "exploration truncated at {} schedules",
+            r.schedules
+        );
+        // 4 era-0 frames × 4 fates, 2 resync placements, 2 era-1
+        // frames × 4 fates: the whole tree, every run.
+        assert_eq!(r.schedules, 4u64.pow(4) * 2 * 4u64.pow(2));
+        total += r.schedules;
+    }
+    assert!(total >= 10_000, "suite must explore >= 10k schedules");
+}
+
+/// Three subframes competing for two assembly slots: every deliver /
+/// defer interleaving must drive the drop-oldest eviction path without
+/// diverging from the mirror.
+#[test]
+fn slot_eviction_under_interleaved_assemblies_matches_mirror() {
+    let b0 = 500u32;
+    let r = explore(1_000, |ch| {
+        let p = params();
+        let queue = Arc::new(SwapQueue::new(&p, 8 + ASM_SLOTS + 1, 8));
+        let mut session = RxSession::new(p, Arc::clone(&queue));
+        let mut mirror = Mirror::new(Bug::None);
+        let mut deferred: Vec<(u32, u8)> = Vec::new();
+        for seq in [b0, b0 + 1, b0 + 2] {
+            for frag in 0..FRAGS {
+                if ch.choose(2) == 0 {
+                    session.ingest_frame(&frame(seq, frag));
+                    mirror.ingest(seq, frag);
+                } else {
+                    deferred.push((seq, frag));
+                }
+            }
+        }
+        for (seq, frag) in deferred {
+            session.ingest_frame(&frame(seq, frag));
+            mirror.ingest(seq, frag);
+        }
+        let st = session.stats();
+        assert_eq!(st.delivered, mirror.published.len() as u64);
+        assert_eq!(st.stale, mirror.stale + mirror.tracker.stale);
+        assert_eq!(st.gaps, mirror.tracker.gaps);
+        let mut buf = SubframeBuf::for_stream(session.params());
+        let mut popped = Vec::new();
+        for _ in 0..st.delivered {
+            assert_eq!(
+                queue.pop_swap(&mut buf, Duration::from_millis(200)),
+                Pop::Got
+            );
+            popped.push(buf.seq);
+        }
+        assert_eq!(popped, mirror.published);
+    });
+    assert!(r.complete);
+    assert_eq!(r.schedules, 64);
+}
+
+/// HELLO negotiation matrix: encode → decode must accept exactly the
+/// geometries inside the protocol caps, reject the rest, and the
+/// version gate must fire independently of geometry.
+#[test]
+fn hello_negotiation_accepts_exactly_the_valid_matrix() {
+    let r = explore(1_000, |ch| {
+        let version = [PROTOCOL_VERSION, 99][ch.choose(2)];
+        let antennas = [2u8, 0, 9][ch.choose(3)];
+        let samples = [720u32, 40_000][ch.choose(2)];
+        let cells: Vec<u16> = match ch.choose(4) {
+            0 => vec![5],
+            1 => vec![],
+            2 => vec![5, 5],
+            _ => (0..65).collect(),
+        };
+        let mcs_pool: Vec<u8> = match ch.choose(2) {
+            0 => vec![27],
+            _ => vec![1; 33],
+        };
+        let geom_ok = antennas == 2
+            && samples == 720
+            && cells.len() == 1
+            && cells.first() == Some(&5)
+            && mcs_pool.len() == 1;
+        let p = StreamParams {
+            samples_per_subframe: samples,
+            antennas,
+            cells,
+            period_us: 1000,
+            budget_us: 1000,
+            mcs_pool,
+            subframes: 0,
+        };
+        let mut buf = Vec::new();
+        wire::encode_hello(&mut buf, &p, version);
+        match wire::decode_hello(&buf) {
+            Ok((v, back)) => {
+                assert!(geom_ok, "invalid geometry accepted: {p:?}");
+                assert_eq!(v, version);
+                assert_eq!(back, p);
+                assert_eq!(wire::check_version(v).is_ok(), version == PROTOCOL_VERSION);
+            }
+            Err(_) => assert!(!geom_ok, "valid geometry refused: {p:?}"),
+        }
+    });
+    assert!(r.complete);
+    assert_eq!(r.schedules, 2 * 3 * 2 * 4 * 2);
+}
+
+/// Drop-oldest ring backpressure: with depth 1 and no consumer, only
+/// the newest publication survives and every eviction is accounted.
+#[test]
+fn ring_backpressure_drops_oldest_and_counts() {
+    let p = params();
+    let queue = Arc::new(SwapQueue::new(&p, 1 + ASM_SLOTS + 1, 1));
+    let mut session = RxSession::new(p, Arc::clone(&queue));
+    for seq in 10..13u32 {
+        for frag in 0..FRAGS {
+            session.ingest_frame(&frame(seq, frag));
+        }
+    }
+    let st = session.stats();
+    assert_eq!(st.delivered, 3);
+    assert_eq!(st.drops, 2, "two older subframes evicted from depth-1 ring");
+    let mut buf = SubframeBuf::for_stream(session.params());
+    assert_eq!(
+        queue.pop_swap(&mut buf, Duration::from_millis(200)),
+        Pop::Got
+    );
+    assert_eq!(buf.seq, 12, "survivor must be the newest");
+    assert_eq!(
+        queue.pop_swap(&mut buf, Duration::from_millis(10)),
+        Pop::TimedOut
+    );
+}
+
+// -------------------------------------------------- mutation tests
+
+/// Count schedules where a seeded-buggy mirror diverges from the real
+/// session; the suite is vacuous if that number is zero.
+fn divergences(bug: Bug) -> u64 {
+    let mut diverged = 0;
+    let (b0, b1) = BASES[0];
+    let r = explore(20_000, |ch| {
+        if run_schedule(ch, b0, b1, bug).is_err() {
+            diverged += 1;
+        }
+    });
+    assert!(r.complete);
+    diverged
+}
+
+#[test]
+fn mutation_skipping_stale_check_is_caught() {
+    assert!(
+        divergences(Bug::SkipStaleCheck) > 0,
+        "a mirror that accepts stale sequences must diverge somewhere"
+    );
+}
+
+#[test]
+fn mutation_ignoring_resync_is_caught() {
+    assert!(
+        divergences(Bug::NoResync) > 0,
+        "a mirror that ignores resync must diverge somewhere"
+    );
+}

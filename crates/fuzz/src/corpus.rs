@@ -1,0 +1,102 @@
+//! On-disk corpus format: one hex-encoded input per file.
+//!
+//! Hex keeps arbitrary bytes diff-able and merge-safe in git (the
+//! corpus is committed and replayed as a gating test). File names are
+//! an FNV-1a content hash, so re-seeding is idempotent and two
+//! machines minimizing the same corpus converge on the same names.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Hex-encodes `b` (lowercase, no separators).
+pub fn to_hex(b: &[u8]) -> String {
+    let mut s = String::with_capacity(b.len() * 2);
+    for &x in b {
+        s.push_str(&format!("{x:02x}"));
+    }
+    s
+}
+
+/// Decodes [`to_hex`] output; `None` on odd length or non-hex chars.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    let s = s.trim();
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = (*pair.first()? as char).to_digit(16)?;
+        let lo = (*pair.get(1)? as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+/// Stable content-hash name for an input (FNV-1a 64).
+pub fn input_name(data: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// The committed corpus directory for `target`.
+pub fn dir_for(target: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("corpus")
+        .join(target)
+}
+
+/// Loads every input under `dir`, sorted by file name so replay and
+/// cross-seeding order is deterministic. Unparseable files are skipped.
+pub fn load_dir(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    for e in entries.flatten() {
+        let name = e.file_name().to_string_lossy().into_owned();
+        if !name.ends_with(".hex") {
+            continue;
+        }
+        if let Ok(text) = fs::read_to_string(e.path()) {
+            if let Some(data) = from_hex(&text) {
+                out.push((name, data));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Writes `data` into `dir` under its content-hash name; returns the
+/// file name.
+pub fn save(dir: &Path, data: &[u8]) -> std::io::Result<String> {
+    fs::create_dir_all(dir)?;
+    let name = format!("{}.hex", input_name(data));
+    fs::write(dir.join(&name), to_hex(data))?;
+    Ok(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+        assert_eq!(from_hex(""), Some(vec![]));
+        assert_eq!(from_hex("0"), None);
+        assert_eq!(from_hex("zz"), None);
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        assert_eq!(input_name(b"abc"), input_name(b"abc"));
+        assert_ne!(input_name(b"abc"), input_name(b"abd"));
+    }
+}

@@ -1,0 +1,279 @@
+//! # rtopex-fuzz — coverage-guided fuzzing for the fronthaul parsers
+//!
+//! A zero-dependency, deterministic mutation fuzzer over the
+//! attacker-facing transport entry points (`targets`). Coverage comes
+//! from the hand-placed branch-edge probes in
+//! [`rtopex_transport::probe`]: the engine arms the probe map around
+//! each input, buckets the edge counters AFL-style, and keeps any
+//! input that lights up a new (edge, bucket) pair, minimizing it
+//! before it joins the corpus.
+//!
+//! Two operating modes:
+//! * **replay** — run the committed corpus under `corpus/<target>/`;
+//!   any panic, assertion, or slow input fails. This is the gating CI
+//!   job (`cargo xtask fuzz --smoke`).
+//! * **run** — open-ended fuzzing from a seed; new findings are
+//!   written out for the nightly advisory job. Same seed + same
+//!   iteration count ⇒ same corpus, bit for bit.
+//!
+//! Tooling-only by design: no runtime crate may depend on this one
+//! (`cargo xtask layering` pins it), and the crate is deliberately
+//! outside the analyzer's roots — the fuzzer may allocate and index
+//! freely; the code it *drives* may not.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod mutate;
+pub mod rng;
+pub mod targets;
+
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use rtopex_transport::probe;
+
+use rng::Rng;
+use targets::Target;
+
+/// Inputs slower than this are findings in their own right (the rx
+/// thread budget is ~1 ms per subframe; 50 ms means an input found a
+/// quadratic corner).
+pub const SLOW_INPUT: Duration = Duration::from_millis(50);
+
+/// Per-input execution cap the minimizer spends (it re-executes the
+/// target once per candidate trim).
+const MINIMIZE_EXECS: usize = 256;
+
+/// AFL-style count bucketing: collapse an edge counter into one of
+/// eight coarse classes so loop-count jitter does not read as new
+/// coverage.
+fn bucket(count: u8) -> u8 {
+    match count {
+        0 => 0,
+        1 => 1,
+        2 => 2,
+        3 => 4,
+        4..=7 => 8,
+        8..=15 => 16,
+        16..=31 => 32,
+        32..=127 => 64,
+        _ => 128,
+    }
+}
+
+/// Outcome of one target execution.
+pub struct Exec {
+    /// Panic payload, if the input crashed the target.
+    pub crash: Option<String>,
+    /// Wall time the input took.
+    pub elapsed: Duration,
+    /// Bucketed edge map.
+    pub map: Box<[u8; probe::MAP_SIZE]>,
+}
+
+/// Aggregate statistics for a fuzzing run.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// Total target executions.
+    pub execs: u64,
+    /// Distinct (edge, bucket) pairs discovered.
+    pub edges: usize,
+    /// Corpus entries kept.
+    pub corpus: usize,
+    /// Distinct crash messages found.
+    pub crashes: usize,
+    /// Slow inputs found.
+    pub slow: usize,
+}
+
+/// The coverage-guided engine for one target.
+pub struct Fuzzer {
+    target: &'static Target,
+    /// OR of every bucketed map seen — the global coverage frontier.
+    seen: Box<[u8; probe::MAP_SIZE]>,
+    /// Kept inputs (each contributed coverage when added).
+    pub corpus: Vec<Vec<u8>>,
+    /// First input per distinct crash message.
+    pub crashes: Vec<(Vec<u8>, String)>,
+    /// Inputs that exceeded [`SLOW_INPUT`].
+    pub slow: Vec<(Vec<u8>, Duration)>,
+    execs: u64,
+}
+
+impl Fuzzer {
+    /// An engine with empty coverage for `target`.
+    pub fn new(target: &'static Target) -> Self {
+        Fuzzer {
+            target,
+            seen: Box::new([0u8; probe::MAP_SIZE]),
+            corpus: Vec::new(),
+            crashes: Vec::new(),
+            slow: Vec::new(),
+            execs: 0,
+        }
+    }
+
+    /// Runs the target once under the probe map, swallowing panics.
+    pub fn execute(&mut self, input: &[u8]) -> Exec {
+        self.execs += 1;
+        let run = self.target.run;
+        // Silence the default "thread panicked" stderr spam while the
+        // harness observes the panic as data.
+        let prev_hook = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        probe::arm();
+        let start = Instant::now();
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| run(input)));
+        let elapsed = start.elapsed();
+        probe::disarm();
+        panic::set_hook(prev_hook);
+        let crash = caught.err().map(|e| {
+            if let Some(s) = e.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = e.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            }
+        });
+        let mut map = Box::new([0u8; probe::MAP_SIZE]);
+        probe::snapshot(&mut map);
+        for b in map.iter_mut() {
+            *b = bucket(*b);
+        }
+        Exec {
+            crash,
+            elapsed,
+            map,
+        }
+    }
+
+    /// Folds a bucketed map into the frontier; true if anything new.
+    fn merge(&mut self, map: &[u8; probe::MAP_SIZE]) -> bool {
+        let mut new = false;
+        for (s, &m) in self.seen.iter_mut().zip(map.iter()) {
+            if m & !*s != 0 {
+                new = true;
+            }
+            *s |= m;
+        }
+        new
+    }
+
+    /// Executes `input`, records crashes/slow findings, and keeps it
+    /// (minimized) in the corpus when it contributed new coverage.
+    /// Returns true on new coverage.
+    pub fn add_input(&mut self, input: &[u8]) -> bool {
+        let exec = self.execute(input);
+        if let Some(msg) = &exec.crash {
+            if !self.crashes.iter().any(|(_, m)| m == msg) {
+                self.crashes.push((input.to_vec(), msg.clone()));
+            }
+        }
+        if exec.elapsed > SLOW_INPUT {
+            self.slow.push((input.to_vec(), exec.elapsed));
+        }
+        let new = self.merge(&exec.map);
+        if new {
+            let min = self.minimize(input, &exec);
+            self.corpus.push(min);
+        }
+        new
+    }
+
+    /// Greedy trim preserving the input's exact bucketed map (and its
+    /// crash message, if any): repeatedly drop aligned chunks, halving
+    /// the chunk size, until nothing removable remains or the exec
+    /// budget runs out.
+    pub fn minimize(&mut self, input: &[u8], base: &Exec) -> Vec<u8> {
+        let mut cur = input.to_vec();
+        let mut budget = MINIMIZE_EXECS;
+        let mut chunk = (cur.len() / 2).max(1);
+        while chunk >= 1 && budget > 0 {
+            let mut offset = 0;
+            let mut removed_any = false;
+            while offset < cur.len() && budget > 0 {
+                let end = (offset + chunk).min(cur.len());
+                let mut cand = Vec::with_capacity(cur.len());
+                cand.extend_from_slice(&cur[..offset]);
+                cand.extend_from_slice(&cur[end..]);
+                budget -= 1;
+                let e = self.execute(&cand);
+                if *e.map == *base.map && e.crash == base.crash {
+                    cur = cand;
+                    removed_any = true;
+                } else {
+                    offset = end;
+                }
+            }
+            if chunk == 1 && !removed_any {
+                break;
+            }
+            chunk /= 2;
+        }
+        cur
+    }
+
+    /// Replays `inputs` without mutating; returns the number that
+    /// crashed. Coverage still accumulates (the anti-vacuity check in
+    /// CI asserts the committed corpus lights up a minimum frontier).
+    pub fn replay<'a>(&mut self, inputs: impl IntoIterator<Item = &'a [u8]>) -> usize {
+        let mut crashed = 0;
+        for input in inputs {
+            let exec = self.execute(input);
+            if let Some(msg) = &exec.crash {
+                crashed += 1;
+                if !self.crashes.iter().any(|(_, m)| m == msg) {
+                    self.crashes.push((input.to_vec(), msg.clone()));
+                }
+            }
+            if exec.elapsed > SLOW_INPUT {
+                self.slow.push((input.to_vec(), exec.elapsed));
+            }
+            let map = exec.map;
+            self.merge(&map);
+        }
+        crashed
+    }
+
+    /// The coverage-guided loop: pick a corpus entry, mutate, keep on
+    /// new coverage. Deterministic for a fixed `(seed, iters)` when
+    /// `budget` is `None`; a budget makes the stop point wall-clock
+    /// dependent (advisory/nightly mode).
+    pub fn run(&mut self, seed: u64, iters: u64, budget: Option<Duration>) -> Stats {
+        if self.corpus.is_empty() {
+            self.add_input(&[]);
+            if self.corpus.is_empty() {
+                // Even the empty input found nothing new (pre-seeded
+                // frontier); keep it anyway as mutation stock.
+                self.corpus.push(Vec::new());
+            }
+        }
+        let mut rng = Rng::new(seed);
+        let start = Instant::now();
+        for _ in 0..iters {
+            if let Some(b) = budget {
+                if start.elapsed() > b {
+                    break;
+                }
+            }
+            let mut input = self.corpus[rng.below(self.corpus.len())].clone();
+            let other = self.corpus[rng.below(self.corpus.len())].clone();
+            mutate::mutate(&mut input, &mut rng, self.target.max_len, &other);
+            self.add_input(&input);
+        }
+        self.stats()
+    }
+
+    /// Current aggregate statistics.
+    pub fn stats(&self) -> Stats {
+        Stats {
+            execs: self.execs,
+            edges: self.seen.iter().filter(|&&b| b != 0).count(),
+            corpus: self.corpus.len(),
+            crashes: self.crashes.len(),
+            slow: self.slow.len(),
+        }
+    }
+}

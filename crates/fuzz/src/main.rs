@@ -1,0 +1,189 @@
+//! CLI for the fronthaul fuzzer.
+//!
+//! ```text
+//! rtopex-fuzz list
+//! rtopex-fuzz seed  [target]                      # write canonical seeds
+//! rtopex-fuzz replay [target]                     # gating: corpus must not crash
+//! rtopex-fuzz run <target> [--seed N] [--iters N] [--budget-ms N]
+//!                 [--out DIR] [--save-corpus]     # open-ended fuzzing
+//! ```
+//!
+//! Exit codes: 0 clean, 1 usage error, 2 findings (crash or slow
+//! input) — the nightly job treats 2 as "upload artifacts", the gating
+//! job treats it as failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rtopex_fuzz::{corpus, targets, Fuzzer};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("list") => {
+            for t in targets::TARGETS {
+                println!("{} (max input {} bytes)", t.name, t.max_len);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("seed") => seed(it.next()),
+        Some("replay") => replay(it.next()),
+        Some("run") => run(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: rtopex-fuzz <list|seed [target]|replay [target]|run <target> \
+                 [--seed N] [--iters N] [--budget-ms N] [--out DIR] [--save-corpus]>"
+            );
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn target_names(only: Option<&str>) -> Vec<&'static str> {
+    match only {
+        Some(name) => targets::find(name)
+            .map(|t| vec![t.name])
+            .unwrap_or_default(),
+        None => targets::TARGETS.iter().map(|t| t.name).collect(),
+    }
+}
+
+fn seed(only: Option<&str>) -> ExitCode {
+    let names = target_names(only);
+    if names.is_empty() {
+        eprintln!("unknown target {only:?}");
+        return ExitCode::from(1);
+    }
+    for name in names {
+        let dir = corpus::dir_for(name);
+        for s in targets::seeds(name) {
+            match corpus::save(&dir, &s) {
+                Ok(file) => println!("{name}: seeded {file} ({} bytes)", s.len()),
+                Err(e) => {
+                    eprintln!("{name}: cannot write corpus: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn replay(only: Option<&str>) -> ExitCode {
+    let names = target_names(only);
+    if names.is_empty() {
+        eprintln!("unknown target {only:?}");
+        return ExitCode::from(1);
+    }
+    let mut findings = 0;
+    for name in names {
+        let target = targets::find(name).expect("shipped name");
+        let mut fz = Fuzzer::new(target);
+        let entries = corpus::load_dir(&corpus::dir_for(name));
+        if entries.is_empty() {
+            eprintln!("{name}: empty corpus — run `rtopex-fuzz seed {name}` first");
+            findings += 1;
+            continue;
+        }
+        let crashed = fz.replay(entries.iter().map(|(_, d)| d.as_slice()));
+        let st = fz.stats();
+        println!(
+            "{name}: replayed {} inputs, {} edges, {crashed} crashes, {} slow",
+            entries.len(),
+            st.edges,
+            st.slow
+        );
+        for (input, msg) in &fz.crashes {
+            eprintln!("{name}: CRASH [{}] {msg}", corpus::input_name(input));
+        }
+        for (input, t) in &fz.slow {
+            eprintln!("{name}: SLOW [{}] {t:?}", corpus::input_name(input));
+        }
+        findings += crashed + fz.slow.len();
+        if st.edges == 0 {
+            eprintln!("{name}: corpus hit zero probe edges — instrumentation is vacuous");
+            findings += 1;
+        }
+    }
+    if findings == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn run(rest: &[String]) -> ExitCode {
+    let mut name = None;
+    let mut seed = 1u64;
+    let mut iters = 50_000u64;
+    let mut budget_ms: Option<u64> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut save_corpus = false;
+    let mut it = rest.iter().map(String::as_str);
+    while let Some(a) = it.next() {
+        match a {
+            "--seed" => seed = parse_or_die(it.next()),
+            "--iters" => iters = parse_or_die(it.next()),
+            "--budget-ms" => budget_ms = Some(parse_or_die(it.next())),
+            "--out" => out = it.next().map(PathBuf::from),
+            "--save-corpus" => save_corpus = true,
+            other if name.is_none() => name = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let Some(target) = name.as_deref().and_then(targets::find) else {
+        eprintln!("unknown or missing target {name:?}");
+        return ExitCode::from(1);
+    };
+    let mut fz = Fuzzer::new(target);
+    // Start from the committed corpus plus the canonical seeds.
+    let committed = corpus::load_dir(&corpus::dir_for(target.name));
+    for (_, data) in &committed {
+        fz.add_input(data);
+    }
+    for s in targets::seeds(target.name) {
+        fz.add_input(&s);
+    }
+    let stats = fz.run(seed, iters, budget_ms.map(Duration::from_millis));
+    println!(
+        "{}: seed {seed}: {} execs, {} edges, {} corpus, {} crashes, {} slow",
+        target.name, stats.execs, stats.edges, stats.corpus, stats.crashes, stats.slow
+    );
+    let out = out.unwrap_or_else(|| PathBuf::from("target/fuzz-findings").join(target.name));
+    for (input, msg) in &fz.crashes {
+        if let Ok(file) = corpus::save(&out, input) {
+            eprintln!("{}: CRASH {file}: {msg}", target.name);
+        }
+    }
+    for (input, t) in &fz.slow {
+        if let Ok(file) = corpus::save(&out, input) {
+            eprintln!("{}: SLOW {file}: {t:?}", target.name);
+        }
+    }
+    if save_corpus {
+        let dir = corpus::dir_for(target.name);
+        for input in &fz.corpus {
+            if !input.is_empty() {
+                let _ = corpus::save(&dir, input);
+            }
+        }
+        println!("{}: corpus saved to {}", target.name, dir.display());
+    }
+    if fz.crashes.is_empty() && fz.slow.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn parse_or_die(v: Option<&str>) -> u64 {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("flag needs a numeric value");
+        std::process::exit(1);
+    })
+}

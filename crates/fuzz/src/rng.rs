@@ -1,0 +1,64 @@
+//! SplitMix64 — the whole PRNG the fuzzer needs.
+//!
+//! Not `vendor/rand`: determinism across sessions is a hard requirement
+//! (a seed printed in a CI log must reproduce the run forever), so the
+//! generator is pinned here where no shim update can change it.
+
+/// Deterministic 64-bit generator (SplitMix64).
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator seeded with `seed`; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// One uniform byte.
+    pub fn byte(&mut self) -> u8 {
+        self.next_u64() as u8
+    }
+
+    /// True once in `one_in` draws on average.
+    pub fn chance(&mut self, one_in: usize) -> bool {
+        self.below(one_in.max(1)) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(r.below(1), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Length-framed stream I/O shared by the TCP transport and the
+//! fuzzer.
+//!
+//! Frames are `[len: u32 BE][frame]`. The readers are generic over
+//! [`std::io::Read`] so `rtopex-fuzz` drives the exact reassembly code
+//! the socket path runs, from in-memory byte streams — the length
+//! prefix is attacker bytes, which is why [`read_frame`] treats a zero
+//! or oversized length as a connection-fatal framing violation instead
+//! of trusting it.
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use rtopex_transport::iface::TransportError;
+use rtopex_transport::probe;
+
+pub(crate) fn io_err(e: std::io::Error) -> TransportError {
+    TransportError::Io(e.to_string())
+}
+
+pub(crate) fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Why an interruptible read stopped short.
+#[derive(Debug)]
+pub enum ReadEnd {
+    /// Clean end of stream.
+    Eof,
+    /// The stop flag was raised between reads.
+    Stopped,
+    /// I/O error or framing violation; drop the connection.
+    Failed,
+}
+
+/// `read_exact` that survives read timeouts without losing partial
+/// progress and honors the stop flag between reads.
+pub fn read_full<R: Read>(s: &mut R, buf: &mut [u8], stop: &AtomicBool) -> Result<(), ReadEnd> {
+    let mut got = 0;
+    // analyze: allow(taint-loop): every iteration either consumes stream
+    // bytes toward buf.len(), returns on error/EOF, or retries a timeout
+    // under the stop flag — the peer cannot make it spin unobservably
+    while got < buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Err(ReadEnd::Stopped);
+        }
+        let Some(dst) = buf.get_mut(got..) else {
+            return Err(ReadEnd::Failed);
+        };
+        match s.read(dst) {
+            Ok(0) => return Err(ReadEnd::Eof),
+            Ok(n) => got = got.saturating_add(n),
+            Err(e) if is_timeout(&e) || e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(ReadEnd::Failed),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one `[len][frame]` into `scratch`; returns the frame length.
+/// A zero or `> scratch.len()` length is a framing violation — the
+/// length word is untrusted, so it bounds nothing but this check.
+pub fn read_frame<R: Read>(
+    s: &mut R,
+    scratch: &mut [u8],
+    stop: &AtomicBool,
+) -> Result<usize, ReadEnd> {
+    let mut len4 = [0u8; 4];
+    read_full(s, &mut len4, stop)?;
+    let len = u32::from_be_bytes(len4) as usize;
+    if len == 0 {
+        probe::reach(0x41);
+        return Err(ReadEnd::Failed);
+    }
+    let Some(dst) = scratch.get_mut(..len) else {
+        probe::reach(0x42);
+        return Err(ReadEnd::Failed);
+    };
+    read_full(s, dst, stop)?;
+    probe::reach(0x40);
+    Ok(len)
+}
+
+/// Writes one `[len][frame]`.
+pub fn write_framed<W: Write>(s: &mut W, frame: &[u8]) -> Result<(), TransportError> {
+    s.write_all(&(frame.len() as u32).to_be_bytes())
+        .and_then(|_| s.write_all(frame))
+        .map_err(io_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn no_stop() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let mut wire = Vec::new();
+        write_framed(&mut wire, b"hello").unwrap();
+        write_framed(&mut wire, b"x").unwrap();
+        let mut cur = Cursor::new(wire);
+        let mut scratch = [0u8; 16];
+        let n = read_frame(&mut cur, &mut scratch, &no_stop()).unwrap();
+        assert_eq!(&scratch[..n], b"hello");
+        let n = read_frame(&mut cur, &mut scratch, &no_stop()).unwrap();
+        assert_eq!(&scratch[..n], b"x");
+        assert!(matches!(
+            read_frame(&mut cur, &mut scratch, &no_stop()),
+            Err(ReadEnd::Eof)
+        ));
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_are_framing_violations() {
+        let mut cur = Cursor::new(vec![0, 0, 0, 0]);
+        let mut scratch = [0u8; 16];
+        assert!(matches!(
+            read_frame(&mut cur, &mut scratch, &no_stop()),
+            Err(ReadEnd::Failed)
+        ));
+        let mut big = Cursor::new(vec![0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3]);
+        assert!(matches!(
+            read_frame(&mut big, &mut scratch, &no_stop()),
+            Err(ReadEnd::Failed)
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_eof() {
+        // Length says 8, only 3 payload bytes follow.
+        let mut cur = Cursor::new(vec![0, 0, 0, 8, 1, 2, 3]);
+        let mut scratch = [0u8; 16];
+        assert!(matches!(
+            read_frame(&mut cur, &mut scratch, &no_stop()),
+            Err(ReadEnd::Eof)
+        ));
+    }
+
+    #[test]
+    fn stop_flag_interrupts() {
+        let stop = AtomicBool::new(true);
+        let mut cur = Cursor::new(vec![0, 0, 0, 4, 1, 2, 3, 4]);
+        let mut scratch = [0u8; 16];
+        assert!(matches!(
+            read_frame(&mut cur, &mut scratch, &stop),
+            Err(ReadEnd::Stopped)
+        ));
+    }
+}

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod framing;
 pub mod ring;
 pub mod session;
 pub mod tcp;

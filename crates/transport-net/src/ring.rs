@@ -46,6 +46,9 @@ impl SwapQueue {
     /// the rest cover in-flight assembly slots and the consumer's swap
     /// buffer.
     pub fn new(params: &StreamParams, pool: usize, depth: usize) -> Self {
+        // analyze: allow(taint-panic): pool/depth are locally computed
+        // sizes (depth + cells·slots + 1), never peer bytes — the
+        // assert guards caller bugs, not network input
         assert!(pool >= depth && depth >= 1);
         SwapQueue {
             state: Mutex::new(QState {

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use rtopex_transport::iface::{RxStats, StreamParams, SubframeBuf};
 use rtopex_transport::packet::{seq_delta, SeqTracker};
+use rtopex_transport::probe;
 
 use crate::ring::SwapQueue;
 use crate::wire;
@@ -58,7 +59,13 @@ impl RxSession {
     /// top of its ready depth.
     pub fn new(params: StreamParams, queue: Arc<SwapQueue>) -> Self {
         let frags = wire::fragments_for(params.samples_per_subframe as usize);
+        // analyze: allow(taint-panic): unreachable from the wire — every
+        // negotiated geometry passes wire::validate_geometry (samples
+        // capped at 30720 → ≤ 86 fragments) before a session is built;
+        // this guards local misconfiguration only
         assert!(frags <= 128, "subframe exceeds the 128-fragment bitmap");
+        // analyze: allow(taint-arith): cells.len() ≤ MAX_CELLS_PER_STREAM
+        // (64) after validate_geometry and ASM_SLOTS = 2
         let slots = (0..params.cells.len() * ASM_SLOTS)
             .map(|_| AsmSlot {
                 busy: false,
@@ -92,45 +99,65 @@ impl RxSession {
     /// Ingests one IQ frame (the hot path — allocation- and
     /// panic-free; malformed input increments a counter and returns).
     pub fn ingest_frame(&mut self, frame: &[u8]) {
+        probe::reach(0x20);
         let Some(view) = wire::parse_iq(frame) else {
             self.bad_frames += 1;
             return;
         };
         let h = view.header;
         let Some(local) = self.params.local_cell(h.bs_id) else {
+            probe::reach(0x21);
             self.bad_frames += 1;
             return;
         };
         let ant = h.antenna as usize;
         let count = (h.payload_len / 4) as usize;
+        // analyze: allow(taint-arith): fragment ≤ 255 and samples_per_frag
+        // = 360, so the product is ≤ 91 800 — nowhere near usize overflow
         let off = h.fragment as usize * self.samples_per_frag;
         let full = self.params.samples_per_subframe as usize;
         if ant >= self.params.antennas as usize
             || h.total_fragments != self.frags_per_antenna
             || (h.fragment as u16) >= self.frags_per_antenna
-            || off + count > full
+            || off + count > full // analyze: allow(taint-arith): off ≤ 86·360 and count ≤ u16::MAX/4 — cannot overflow
+            // analyze: allow(taint-arith): fragment ≤ 255, so +1 fits u16
             || ((h.fragment as u16) + 1 < self.frags_per_antenna && count != self.samples_per_frag)
         {
+            probe::reach(0x22);
             self.bad_frames += 1;
             return;
         }
-        if self.trackers[local].is_stale(h.subframe) {
+        // One tracker per cell by construction (`local` comes from
+        // `local_cell`, a position in `cells`, and `trackers` mirrors
+        // `cells`), so the lookups can only fail on internal corruption
+        // — which reads as a bad frame, not a panic.
+        let Some(tracker) = self.trackers.get(local) else {
+            self.bad_frames += 1;
+            return;
+        };
+        if tracker.is_stale(h.subframe) {
+            probe::reach(0x23);
             self.stale += 1;
             return;
         }
 
-        // Locate (or claim) the assembly slot for (cell, seq).
+        // Locate (or claim) the assembly slot for (cell, seq) among this
+        // cell's ASM_SLOTS-element window.
         let base = local * ASM_SLOTS;
+        let Some(cell_slots) = self.slots.get_mut(base..base + ASM_SLOTS) else {
+            self.bad_frames += 1;
+            return;
+        };
         let mut idx = usize::MAX;
-        for i in base..base + ASM_SLOTS {
-            if self.slots[i].busy && self.slots[i].seq == h.subframe {
+        for (i, s) in cell_slots.iter().enumerate() {
+            if s.busy && s.seq == h.subframe {
                 idx = i;
                 break;
             }
         }
         if idx == usize::MAX {
-            for i in base..base + ASM_SLOTS {
-                if !self.slots[i].busy {
+            for (i, s) in cell_slots.iter().enumerate() {
+                if !s.busy {
                     idx = i;
                     break;
                 }
@@ -138,55 +165,91 @@ impl RxSession {
             if idx == usize::MAX {
                 // Every slot busy: abandon the oldest assembly in place.
                 // Its subframe is lost and will surface as a gap.
-                idx = base;
-                for i in base + 1..base + ASM_SLOTS {
-                    if seq_delta(self.slots[idx].seq, self.slots[i].seq) < 0 {
+                probe::reach(0x25);
+                idx = 0;
+                let mut oldest_seq = 0u32;
+                for (i, s) in cell_slots.iter().enumerate() {
+                    if i == 0 || seq_delta(oldest_seq, s.seq) < 0 {
                         idx = i;
+                        oldest_seq = s.seq;
                     }
                 }
             }
-            if self.slots[idx].buf.is_none() {
+            let Some(slot) = cell_slots.get_mut(idx) else {
+                self.bad_frames += 1;
+                return;
+            };
+            if slot.buf.is_none() {
                 match self.queue.acquire() {
-                    Some(b) => self.slots[idx].buf = Some(b),
+                    Some(b) => slot.buf = Some(b),
                     // Pool exhausted (consumer plus slots hold every
                     // buffer): shed the frame; the ring's drop
                     // accounting already reflects the overrun.
                     None => return,
                 }
             }
-            // Lock the cursor at the first fragment seen, so even a
-            // first subframe that never completes registers as a gap.
-            self.trackers[local].prime(h.subframe);
-            let slot = &mut self.slots[idx];
+            probe::reach(0x24);
             slot.busy = true;
             slot.seq = h.subframe;
             slot.mcs = view.mcs;
+            // analyze: allow(taint-arith): antennas ≤ 8 and fragments ≤ 86
+            // after validate_geometry — the product fits u32 trivially
             slot.remaining = self.params.antennas as u32 * self.frags_per_antenna as u32;
             for w in &mut slot.seen {
                 *w = 0;
             }
+            // Lock the cursor at the first fragment seen, so even a
+            // first subframe that never completes registers as a gap.
+            if let Some(t) = self.trackers.get_mut(local) {
+                t.prime(h.subframe);
+            }
         }
 
-        let slot = &mut self.slots[idx];
+        let Some(slot) = self.slots.get_mut(base + idx) else {
+            self.bad_frames += 1;
+            return;
+        };
+        // analyze: allow(taint-arith): fragment < frags_per_antenna ≤ 86
+        // (checked above), so the shift is in range for u128
         let bit = 1u128 << h.fragment;
-        if slot.seen[ant] & bit != 0 {
+        let Some(seen) = slot.seen.get_mut(ant) else {
+            self.bad_frames += 1;
+            return;
+        };
+        if *seen & bit != 0 {
+            probe::reach(0x26);
             self.stale += 1; // duplicate fragment
             return;
         }
-        slot.seen[ant] |= bit;
+        probe::reach(0x27);
+        *seen |= bit;
         let Some(buf) = slot.buf.as_mut() else {
             self.bad_frames += 1;
             return;
         };
-        wire::dequantize_payload(view.payload, &mut buf.samples[ant][off..off + count]);
+        let dst = buf
+            .samples
+            .get_mut(ant)
+            // analyze: allow(taint-arith): off + count ≤ samples_per_subframe checked above
+            .and_then(|s| s.get_mut(off..off + count));
+        let Some(dst) = dst else {
+            self.bad_frames += 1;
+            return;
+        };
+        wire::dequantize_payload(view.payload, dst);
+        // analyze: allow(taint-arith): the seen bitmap admits each
+        // (antenna, fragment) pair once, so decrements ≤ antennas×frags
         slot.remaining -= 1;
         if slot.remaining == 0 {
+            probe::reach(0x28);
             buf.cell = h.bs_id;
             buf.seq = h.subframe;
             buf.mcs = slot.mcs;
             slot.busy = false;
             if let Some(done) = slot.buf.take() {
-                self.trackers[local].observe(h.subframe);
+                if let Some(t) = self.trackers.get_mut(local) {
+                    t.observe(h.subframe);
+                }
                 self.queue.publish(done);
                 self.delivered += 1;
             }
@@ -198,6 +261,7 @@ impl RxSession {
     /// the slots for reuse) and every sequence cursor re-locks on the
     /// next subframe it sees. O(cells) work — bounded by construction.
     pub fn on_resync(&mut self) {
+        probe::reach(0x29);
         for s in &mut self.slots {
             s.busy = false;
         }

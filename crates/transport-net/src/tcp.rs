@@ -12,7 +12,7 @@
 //! session (bounded O(cells) work) — subframes lost across the outage
 //! surface as sequence gaps, not as a stuck stream.
 
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -26,66 +26,13 @@ use rtopex_transport::iface::{
     PROTOCOL_VERSION,
 };
 
+use crate::framing::{io_err, is_timeout, read_frame, write_framed, ReadEnd};
 use crate::ring::{Pop, SwapQueue};
 use crate::session::{RxSession, ASM_SLOTS};
 use crate::wire;
 
 /// Auto-flush watermark for the sender's coalescing buffer.
 const FLUSH_WATERMARK: usize = 512 * 1024;
-
-fn io_err(e: std::io::Error) -> TransportError {
-    TransportError::Io(e.to_string())
-}
-
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-    )
-}
-
-/// Why an interruptible read stopped short.
-enum ReadEnd {
-    Eof,
-    Stopped,
-    Failed,
-}
-
-/// `read_exact` that survives read timeouts without losing partial
-/// progress and honors the stop flag between reads.
-fn read_full(s: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> Result<(), ReadEnd> {
-    let mut got = 0;
-    while got < buf.len() {
-        if stop.load(Ordering::Relaxed) {
-            return Err(ReadEnd::Stopped);
-        }
-        match s.read(&mut buf[got..]) {
-            Ok(0) => return Err(ReadEnd::Eof),
-            Ok(n) => got += n,
-            Err(e) if is_timeout(&e) || e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => return Err(ReadEnd::Failed),
-        }
-    }
-    Ok(())
-}
-
-/// Reads one `[len][frame]` into `scratch`; returns the frame length.
-fn read_frame(s: &mut TcpStream, scratch: &mut [u8], stop: &AtomicBool) -> Result<usize, ReadEnd> {
-    let mut len4 = [0u8; 4];
-    read_full(s, &mut len4, stop)?;
-    let len = u32::from_be_bytes(len4) as usize;
-    if len == 0 || len > scratch.len() {
-        return Err(ReadEnd::Failed); // framing violation: drop the connection
-    }
-    read_full(s, &mut scratch[..len], stop)?;
-    Ok(len)
-}
-
-fn write_framed(s: &mut TcpStream, frame: &[u8]) -> Result<(), TransportError> {
-    s.write_all(&(frame.len() as u32).to_be_bytes())
-        .and_then(|_| s.write_all(frame))
-        .map_err(io_err)
-}
 
 /// Aggregator side of a TCP fronthaul stream.
 pub struct TcpFronthaulTx {
@@ -279,7 +226,9 @@ fn negotiate(
         Ok(n) => n,
         Err(_) => return Err(TransportError::Protocol("no hello on connection".into())),
     };
-    let (version, params) = wire::decode_hello(&scratch[..n])?;
+    // read_frame guarantees n ≤ scratch.len(), so the lookup never fails.
+    let frame = scratch.get(..n).unwrap_or(&[]);
+    let (version, params) = wire::decode_hello(frame)?;
     let mut ack = Vec::new();
     wire::encode_hello_ack(&mut ack, PROTOCOL_VERSION);
     write_framed(stream, &ack)?;
@@ -310,6 +259,8 @@ impl TcpFronthaulRx {
         params: StreamParams,
         queue_depth: usize,
     ) -> Self {
+        // analyze: allow(taint-arith): cells.len() ≤ 64 after
+        // validate_geometry and queue_depth is a local config value
         let pool = queue_depth + params.cells.len() * ASM_SLOTS + 1;
         let queue = Arc::new(SwapQueue::new(&params, pool, queue_depth));
         let session = Arc::new(Mutex::new(RxSession::new(
@@ -348,7 +299,8 @@ impl TcpFronthaulRx {
                                 queue.close();
                                 break 'io;
                             }
-                            _ => session.lock().ingest_frame(&scratch[..n]),
+                            // read_frame guarantees n ≤ scratch.len().
+                            _ => session.lock().ingest_frame(scratch.get(..n).unwrap_or(&[])),
                         },
                         Err(ReadEnd::Stopped) => break 'io,
                         Err(_) => conn = None, // EOF or framing violation

@@ -25,20 +25,10 @@ use rtopex_transport::iface::{
     PROTOCOL_VERSION,
 };
 
+use crate::framing::{io_err, is_timeout};
 use crate::ring::{Pop, SwapQueue};
 use crate::session::{RxSession, ASM_SLOTS};
 use crate::wire;
-
-fn io_err(e: std::io::Error) -> TransportError {
-    TransportError::Io(e.to_string())
-}
-
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-    )
-}
 
 /// Aggregator side of a UDP fronthaul stream.
 pub struct UdpFronthaulTx {
@@ -197,7 +187,9 @@ impl UdpRxPending {
             if buf.first() != Some(&wire::FT_HELLO) {
                 continue;
             }
-            let (version, params) = match wire::decode_hello(&buf[..n]) {
+            // recv_from guarantees n ≤ buf.len(), so the lookup never fails.
+            let dgram = buf.get(..n).unwrap_or(&[]);
+            let (version, params) = match wire::decode_hello(dgram) {
                 Ok(x) => x,
                 Err(_) => continue,
             };
@@ -223,6 +215,8 @@ pub struct UdpFronthaulRx {
 
 impl UdpFronthaulRx {
     fn start(sock: UdpSocket, params: StreamParams, queue_depth: usize) -> Self {
+        // analyze: allow(taint-arith): cells.len() ≤ 64 after
+        // validate_geometry and queue_depth is a local config value
         let pool = queue_depth + params.cells.len() * ASM_SLOTS + 1;
         let queue = Arc::new(SwapQueue::new(&params, pool, queue_depth));
         let session = Arc::new(Mutex::new(RxSession::new(
@@ -256,13 +250,17 @@ impl UdpFronthaulRx {
                     match buf.first() {
                         Some(&wire::FT_IQ) => {
                             saw_iq_since_hello = true;
-                            session.lock().ingest_frame(&buf[..n]);
+                            // recv guarantees n ≤ buf.len().
+                            session.lock().ingest_frame(buf.get(..n).unwrap_or(&[]));
                         }
                         Some(&wire::FT_HELLO) => {
                             // Retransmitted hello (lost ack) or a sender
                             // restart: re-ack, and resync only if traffic
                             // already flowed — a pure retry is not a
                             // session restart.
+                            // analyze: allow(call:send): UdpSocket::send on the
+                            // io thread's own socket — the conservative graph
+                            // collides this with FronthaulTx::send impls
                             let _ = sock.send(&ack);
                             if saw_iq_since_hello {
                                 session.lock().on_resync();
@@ -273,7 +271,8 @@ impl UdpFronthaulRx {
                             queue.close();
                             break;
                         }
-                        _ => session.lock().ingest_frame(&buf[..n]), // counted bad
+                        // recv guarantees n ≤ buf.len(); junk is counted bad.
+                        _ => session.lock().ingest_frame(buf.get(..n).unwrap_or(&[])),
                     }
                 }
                 queue.close();

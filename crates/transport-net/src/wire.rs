@@ -16,6 +16,7 @@
 use rtopex_phy::Cf32;
 use rtopex_transport::iface::{StreamParams, TransportError, PROTOCOL_VERSION};
 use rtopex_transport::packet::{dequantize, quantize, PacketHeader, HEADER_LEN, MAX_PAYLOAD};
+use rtopex_transport::probe;
 
 /// Session negotiation: version + stream geometry.
 pub const FT_HELLO: u8 = 1;
@@ -39,9 +40,116 @@ pub const MAX_IQ_FRAME: usize = IQ_PAYLOAD_OFF + MAX_PAYLOAD;
 /// cell list; 4 KiB accommodates >1500 cells per stream).
 pub const MAX_FRAME: usize = 4096;
 
+/// Most receive antennas per cell a stream may negotiate.
+pub const MAX_ANTENNAS: u8 = 8;
+/// Most cells one stream may carry.
+pub const MAX_CELLS_PER_STREAM: usize = 64;
+/// Largest per-antenna subframe a stream may negotiate (20 MHz LTE:
+/// 30.72 Msps × 1 ms). Keeps `fragments_for` ≤ 86, comfortably inside
+/// the session's 128-fragment assembly bitmap.
+pub const MAX_SAMPLES_PER_SUBFRAME: u32 = 30_720;
+/// Largest MCS pool a hello may announce.
+pub const MAX_MCS_POOL: usize = 32;
+
 /// Fragments needed per antenna for `samples` IQ samples.
 pub fn fragments_for(samples: usize) -> usize {
+    // analyze: allow(taint-arith): samples ≤ MAX_SAMPLES_PER_SUBFRAME
+    // (validate_geometry), so samples * 4 fits usize with room to spare
     (samples * 4).div_ceil(MAX_PAYLOAD).max(1)
+}
+
+/// Validates negotiated stream geometry against the protocol's hard
+/// caps. Every session constructor goes through this before sizing
+/// buffers, so a hostile hello can neither panic the receiver (the
+/// 128-fragment assembly bitmap in `RxSession::new`) nor make it
+/// allocate unbounded memory (`SubframeBuf::for_stream` is
+/// `cells × antennas × samples_per_subframe` — attacker-sized before
+/// this check existed).
+pub fn validate_geometry(p: &StreamParams) -> Result<(), TransportError> {
+    let bad = |m: String| TransportError::Protocol(m);
+    if p.antennas == 0 || p.samples_per_subframe == 0 || p.cells.is_empty() {
+        probe::reach(0x1A);
+        return Err(bad("degenerate geometry".into()));
+    }
+    if p.antennas > MAX_ANTENNAS {
+        return Err(bad(format!(
+            "antennas {} exceeds cap {MAX_ANTENNAS}",
+            p.antennas
+        )));
+    }
+    if p.samples_per_subframe > MAX_SAMPLES_PER_SUBFRAME {
+        return Err(bad(format!(
+            "samples_per_subframe {} exceeds cap {MAX_SAMPLES_PER_SUBFRAME}",
+            p.samples_per_subframe
+        )));
+    }
+    if p.cells.len() > MAX_CELLS_PER_STREAM {
+        return Err(bad(format!(
+            "{} cells exceeds cap {MAX_CELLS_PER_STREAM}",
+            p.cells.len()
+        )));
+    }
+    if p.mcs_pool.len() > MAX_MCS_POOL {
+        return Err(bad(format!(
+            "mcs pool of {} exceeds cap {MAX_MCS_POOL}",
+            p.mcs_pool.len()
+        )));
+    }
+    for (i, c) in p.cells.iter().enumerate() {
+        if p.cells.iter().take(i).any(|o| o == c) {
+            probe::reach(0x1B);
+            return Err(bad(format!("duplicate cell id {c}")));
+        }
+    }
+    probe::reach(0x1C);
+    Ok(())
+}
+
+/// Checked byte cursor over an untrusted frame. Every read is bounds-
+/// checked exactly once, so the parsers below contain no indexing or
+/// slicing that could panic — pass 4 of `rtopex-analyze` verifies this
+/// transitively.
+struct Rd<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Rd<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Rd { b }
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let (&v, rest) = self.b.split_first()?;
+        self.b = rest;
+        Some(v)
+    }
+
+    fn chunk<const N: usize>(&mut self) -> Option<&'a [u8; N]> {
+        let (head, rest) = self.b.split_first_chunk::<N>()?;
+        self.b = rest;
+        Some(head)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_be_bytes(*self.chunk::<2>()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_be_bytes(*self.chunk::<4>()?))
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if n > self.b.len() {
+            return None;
+        }
+        let (head, rest) = self.b.split_at(n);
+        self.b = rest;
+        Some(head)
+    }
+
+    fn rest(self) -> &'a [u8] {
+        self.b
+    }
 }
 
 /// Encodes a hello frame for `p` into `out` (cleared first).
@@ -67,48 +175,50 @@ pub fn encode_hello(out: &mut Vec<u8>, p: &StreamParams, version: u16) {
 /// with a precise error.
 pub fn decode_hello(frame: &[u8]) -> Result<(u16, StreamParams), TransportError> {
     let bad = |m: &str| TransportError::Protocol(format!("malformed hello: {m}"));
-    if frame.first() != Some(&FT_HELLO) {
+    probe::reach(0x10);
+    let mut rd = Rd::new(frame);
+    if rd.u8() != Some(FT_HELLO) {
         return Err(bad("wrong frame type"));
     }
-    let b = &frame[1..];
-    if b.len() < 21 {
-        return Err(bad("truncated fixed part"));
+    probe::reach(0x11);
+    let version = rd.u16().ok_or_else(|| bad("truncated fixed part"))?;
+    let samples_per_subframe = rd.u32().ok_or_else(|| bad("truncated fixed part"))?;
+    let antennas = rd.u8().ok_or_else(|| bad("truncated fixed part"))?;
+    let period_us = rd.u32().ok_or_else(|| bad("truncated fixed part"))?;
+    let budget_us = rd.u32().ok_or_else(|| bad("truncated fixed part"))?;
+    let subframes = rd.u32().ok_or_else(|| bad("truncated fixed part"))?;
+    let n_cells = rd.u16().ok_or_else(|| bad("truncated fixed part"))? as usize;
+    // Cap before allocating: the count is attacker bytes until here.
+    if n_cells > MAX_CELLS_PER_STREAM {
+        probe::reach(0x12);
+        return Err(bad("cell list exceeds MAX_CELLS_PER_STREAM"));
     }
-    let version = u16::from_be_bytes([b[0], b[1]]);
-    let samples_per_subframe = u32::from_be_bytes([b[2], b[3], b[4], b[5]]);
-    let antennas = b[6];
-    let period_us = u32::from_be_bytes([b[7], b[8], b[9], b[10]]);
-    let budget_us = u32::from_be_bytes([b[11], b[12], b[13], b[14]]);
-    let subframes = u32::from_be_bytes([b[15], b[16], b[17], b[18]]);
-    let n_cells = u16::from_be_bytes([b[19], b[20]]) as usize;
-    let rest = &b[21..];
-    if rest.len() < n_cells * 2 + 1 {
-        return Err(bad("truncated cell list"));
+    let mut cells = Vec::with_capacity(n_cells);
+    for _ in 0..n_cells {
+        cells.push(rd.u16().ok_or_else(|| bad("truncated cell list"))?);
     }
-    let cells: Vec<u16> = (0..n_cells)
-        .map(|i| u16::from_be_bytes([rest[i * 2], rest[i * 2 + 1]]))
-        .collect();
-    let rest = &rest[n_cells * 2..];
-    let n_mcs = rest[0] as usize;
-    if rest.len() < 1 + n_mcs {
-        return Err(bad("truncated mcs pool"));
+    probe::reach(0x13);
+    let n_mcs = rd.u8().ok_or_else(|| bad("truncated mcs pool"))? as usize;
+    if n_mcs > MAX_MCS_POOL {
+        probe::reach(0x14);
+        return Err(bad("mcs pool exceeds MAX_MCS_POOL"));
     }
-    let mcs_pool = rest[1..1 + n_mcs].to_vec();
-    if antennas == 0 || samples_per_subframe == 0 || cells.is_empty() {
-        return Err(bad("degenerate geometry"));
-    }
-    Ok((
-        version,
-        StreamParams {
-            samples_per_subframe,
-            antennas,
-            cells,
-            period_us,
-            budget_us,
-            mcs_pool,
-            subframes,
-        },
-    ))
+    let mcs_pool = rd
+        .take(n_mcs)
+        .ok_or_else(|| bad("truncated mcs pool"))?
+        .to_vec();
+    let p = StreamParams {
+        samples_per_subframe,
+        antennas,
+        cells,
+        period_us,
+        budget_us,
+        mcs_pool,
+        subframes,
+    };
+    validate_geometry(&p)?;
+    probe::reach(0x15);
+    Ok((version, p))
 }
 
 /// Encodes a hello-ack carrying `version` into `out` (cleared first).
@@ -120,10 +230,9 @@ pub fn encode_hello_ack(out: &mut Vec<u8>, version: u16) {
 
 /// Decodes a hello-ack; `None` if malformed.
 pub fn decode_hello_ack(frame: &[u8]) -> Option<u16> {
-    if frame.len() == 3 && frame[0] == FT_HELLO_ACK {
-        Some(u16::from_be_bytes([frame[1], frame[2]]))
-    } else {
-        None
+    match frame {
+        &[t, hi, lo] if t == FT_HELLO_ACK => Some(u16::from_be_bytes([hi, lo])),
+        _ => None,
     }
 }
 
@@ -163,23 +272,37 @@ pub fn write_iq_frame(
 ) -> usize {
     let n = samples.len();
     debug_assert!(n <= SAMPLES_PER_FRAG);
-    out[0] = FT_IQ;
-    out[1] = mcs;
+    let frame_len = iq_frame_len(n);
+    // Sender side: `out` is sized by the caller per the documented
+    // contract, so the splits below panic only on a caller bug (like
+    // `fill_quantized`); no peer controls these lengths.
+    let (head, tail) = out.split_at_mut(2);
+    if let [t, m] = head {
+        *t = FT_IQ;
+        *m = mcs;
+    }
+    let (hdr, payload_all) = tail.split_at_mut(HEADER_LEN);
+    let plen = (n * 4) as u16;
     PacketHeader {
         bs_id,
         antenna,
         fragment,
         total_fragments,
         subframe: seq,
-        payload_len: (n * 4) as u16,
+        payload_len: plen,
     }
-    .write_to(&mut out[2..]);
-    let payload = &mut out[IQ_PAYLOAD_OFF..IQ_PAYLOAD_OFF + n * 4];
-    for (i, s) in samples.iter().enumerate() {
-        payload[i * 4..i * 4 + 2].copy_from_slice(&quantize(s.re).to_be_bytes());
-        payload[i * 4 + 2..i * 4 + 4].copy_from_slice(&quantize(s.im).to_be_bytes());
+    .write_to(hdr);
+    for (b, s) in payload_all
+        .get_mut(..plen as usize)
+        .unwrap_or(&mut [])
+        .chunks_exact_mut(4)
+        .zip(samples)
+    {
+        let [r0, r1] = quantize(s.re).to_be_bytes();
+        let [i0, i1] = quantize(s.im).to_be_bytes();
+        b.copy_from_slice(&[r0, r1, i0, i1]);
     }
-    iq_frame_len(n)
+    frame_len
 }
 
 /// A parsed IQ frame borrowing the receive buffer (the allocation-free
@@ -196,16 +319,21 @@ pub struct IqView<'a> {
 
 /// Parses an IQ frame in place; `None` if malformed or truncated.
 pub fn parse_iq(frame: &[u8]) -> Option<IqView<'_>> {
-    if frame.len() < IQ_PAYLOAD_OFF || frame[0] != FT_IQ {
+    probe::reach(0x16);
+    let mut rd = Rd::new(frame);
+    if rd.u8()? != FT_IQ {
         return None;
     }
-    let header = PacketHeader::read_from(&frame[2..])?;
-    let payload = &frame[IQ_PAYLOAD_OFF..];
+    let mcs = rd.u8()?;
+    let header = PacketHeader::read_from(rd.take(HEADER_LEN)?)?;
+    probe::reach(0x17);
+    let payload = rd.rest();
     if payload.len() != header.payload_len as usize || header.payload_len % 4 != 0 {
         return None;
     }
+    probe::reach(0x18);
     Some(IqView {
-        mcs: frame[1],
+        mcs,
         header,
         payload,
     })
@@ -214,14 +342,17 @@ pub fn parse_iq(frame: &[u8]) -> Option<IqView<'_>> {
 /// Dequantizes an IQ payload into `dst` (exactly `payload.len()/4`
 /// samples). Returns `false` on length mismatch.
 pub fn dequantize_payload(payload: &[u8], dst: &mut [Cf32]) -> bool {
-    if payload.len() != dst.len() * 4 {
+    if !payload.len().is_multiple_of(4) || payload.len() / 4 != dst.len() {
         return false;
     }
-    for (i, d) in dst.iter_mut().enumerate() {
-        let b = &payload[i * 4..i * 4 + 4];
+    probe::reach(0x19);
+    for (b, d) in payload.chunks_exact(4).zip(dst.iter_mut()) {
+        let &[r0, r1, i0, i1] = b else {
+            return false;
+        };
         *d = Cf32::new(
-            dequantize(i16::from_be_bytes([b[0], b[1]])),
-            dequantize(i16::from_be_bytes([b[2], b[3]])),
+            dequantize(i16::from_be_bytes([r0, r1])),
+            dequantize(i16::from_be_bytes([i0, i1])),
         );
     }
     true

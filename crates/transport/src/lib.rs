@@ -30,6 +30,9 @@
 //!   both implement, so the cluster runtime is transport-agnostic.
 //! * [`inproc`] — the in-process implementation of that trait: bounded
 //!   swap queue, freelist recycling, drop-oldest overrun policy.
+//! * [`probe`] — hand-placed branch-edge coverage probes that
+//!   `rtopex-fuzz` arms around each input (disarmed and near-free in
+//!   production).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -41,6 +44,7 @@ pub mod ingest;
 pub mod inproc;
 pub mod link;
 pub mod packet;
+pub mod probe;
 
 pub use cloud::CloudLatency;
 pub use fronthaul::Fronthaul;

@@ -79,16 +79,18 @@ impl PacketHeader {
     /// Parses a header from the front of a plain byte slice; `None` if
     /// `buf` is shorter than [`HEADER_LEN`].
     pub fn read_from(buf: &[u8]) -> Option<Self> {
-        if buf.len() < HEADER_LEN {
+        let &[b0, b1, antenna, fragment, t0, t1, s0, s1, s2, s3, p0, p1] = buf.get(..HEADER_LEN)?
+        else {
             return None;
-        }
+        };
+        crate::probe::reach(0x30);
         Some(PacketHeader {
-            bs_id: u16::from_be_bytes([buf[0], buf[1]]),
-            antenna: buf[2],
-            fragment: buf[3],
-            total_fragments: u16::from_be_bytes([buf[4], buf[5]]),
-            subframe: u32::from_be_bytes([buf[6], buf[7], buf[8], buf[9]]),
-            payload_len: u16::from_be_bytes([buf[10], buf[11]]),
+            bs_id: u16::from_be_bytes([b0, b1]),
+            antenna,
+            fragment,
+            total_fragments: u16::from_be_bytes([t0, t1]),
+            subframe: u32::from_be_bytes([s0, s1, s2, s3]),
+            payload_len: u16::from_be_bytes([p0, p1]),
         })
     }
 }
@@ -138,21 +140,25 @@ impl SeqTracker {
         if !self.started {
             self.started = true;
             self.next = seq.wrapping_add(1);
+            crate::probe::reach(0x31);
             return SeqEvent::First;
         }
         let d = seq_delta(self.next, seq);
         match d {
             0 => {
                 self.next = self.next.wrapping_add(1);
+                crate::probe::reach(0x32);
                 SeqEvent::InOrder
             }
             d if d > 0 => {
                 self.gaps += d as u64;
                 self.next = seq.wrapping_add(1);
+                crate::probe::reach(0x33);
                 SeqEvent::Gap(d as u32)
             }
             d => {
                 self.stale += 1;
+                crate::probe::reach(0x34);
                 SeqEvent::Stale((-d) as u32)
             }
         }
@@ -166,6 +172,7 @@ impl SeqTracker {
         if !self.started {
             self.started = true;
             self.next = seq;
+            crate::probe::reach(0x35);
         }
     }
 
@@ -240,7 +247,7 @@ impl IqPacketizer {
             }
             parsed.push((h, b));
         }
-        let first = parsed[0].0;
+        let first = parsed.first()?.0;
         if parsed.len() != first.total_fragments as usize {
             return None;
         }
@@ -253,15 +260,17 @@ impl IqPacketizer {
             {
                 return None;
             }
-            let idx = h.fragment as usize;
-            if idx >= seen.len() || seen[idx] {
+            let slot = seen.get_mut(h.fragment as usize)?;
+            if *slot {
                 return None;
             }
-            seen[idx] = true;
+            *slot = true;
         }
         parsed.sort_by_key(|(h, _)| h.fragment);
         let mut out = Vec::new();
         for (_, mut b) in parsed {
+            // analyze: allow(taint-loop): consumes 4 payload bytes per
+            // iteration, bounded by the packet's own length
             while b.remaining() >= 4 {
                 let re = b.get_i16();
                 let im = b.get_i16();
@@ -489,6 +498,71 @@ mod tests {
         assert_eq!(t.observe(0), SeqEvent::First);
         assert_eq!(t.observe(1), SeqEvent::InOrder);
         assert_eq!(t.gaps, 0);
+    }
+
+    #[test]
+    fn seq_tracker_prime_then_observe_reads_in_order() {
+        // Receivers prime on the first fragment and observe on subframe
+        // completion — the primed seq itself must read as in-order, not
+        // as a duplicate of the cursor.
+        let mut t = SeqTracker::new();
+        t.prime(500);
+        assert!(!t.is_stale(500), "primed seq must still be acceptable");
+        assert!(t.is_stale(499), "pre-prime stragglers are stale");
+        assert_eq!(t.observe(500), SeqEvent::InOrder);
+        assert_eq!((t.gaps, t.stale), (0, 0));
+
+        // A primed subframe that never completes surfaces as a gap when
+        // the next one does.
+        let mut t = SeqTracker::new();
+        t.prime(500);
+        assert_eq!(t.observe(501), SeqEvent::Gap(1));
+        assert_eq!(t.gaps, 1);
+
+        // Once locked, prime is a no-op: it must never move the cursor
+        // backwards (a stale fragment cannot re-open a delivered seq).
+        let mut t = SeqTracker::new();
+        t.observe(500);
+        t.prime(200);
+        assert!(t.is_stale(200));
+        assert_eq!(t.observe(501), SeqEvent::InOrder);
+    }
+
+    #[test]
+    fn seq_tracker_prime_at_wrap_boundary() {
+        let mut t = SeqTracker::new();
+        t.prime(u32::MAX);
+        assert_eq!(t.observe(u32::MAX), SeqEvent::InOrder);
+        assert_eq!(t.observe(0), SeqEvent::InOrder);
+        assert_eq!((t.gaps, t.stale), (0, 0));
+    }
+
+    #[test]
+    fn seq_tracker_resync_to_older_sequence() {
+        // A restarted sender resumes *behind* the old cursor; after
+        // resync that must be a fresh lock, not a million stale events.
+        let mut t = SeqTracker::new();
+        t.observe(1_000_000);
+        assert!(t.is_stale(7));
+        t.resync();
+        assert!(!t.is_stale(7), "resync must unlock the cursor");
+        assert_eq!(t.observe(7), SeqEvent::First);
+        assert_eq!(t.observe(8), SeqEvent::InOrder);
+        assert_eq!((t.gaps, t.stale), (0, 0));
+    }
+
+    #[test]
+    fn seq_tracker_duplicate_after_resync_is_a_fresh_first() {
+        // The wire carries no epoch: a duplicate of an already-delivered
+        // seq arriving after a resync is indistinguishable from a new
+        // era starting there, and the tracker must re-lock on it.
+        let mut t = SeqTracker::new();
+        t.observe(42);
+        assert_eq!(t.observe(42), SeqEvent::Stale(1));
+        t.resync();
+        assert_eq!(t.observe(42), SeqEvent::First);
+        assert_eq!(t.observe(42), SeqEvent::Stale(1)); // dup within the new era
+        assert_eq!(t.stale, 2);
     }
 
     #[test]

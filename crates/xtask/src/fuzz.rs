@@ -1,0 +1,106 @@
+//! `cargo xtask fuzz` — fuzzer automation (see `crates/fuzz`).
+//!
+//! * `cargo xtask fuzz --smoke` — gating mode: build `rtopex-fuzz`
+//!   release and replay the committed corpus on every target. Any
+//!   crash, slow input, empty corpus, or vacuous (zero-edge)
+//!   instrumentation fails the invocation; CI runs this next to the
+//!   analyzer gates.
+//! * `cargo xtask fuzz [--seed N] [--iters N] [--budget-ms N]` —
+//!   nightly mode: a budgeted open-ended run on every target, findings
+//!   written under `target/fuzz-findings/<target>` for artifact upload.
+//!   Exit 2 means "findings to triage", not a broken build.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Runs the gate; returns the process exit code.
+pub fn run(root: &Path, args: &[String]) -> i32 {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+
+    let build = Command::new("cargo")
+        .args(["build", "--release", "-q", "-p", "rtopex-fuzz"])
+        .current_dir(root)
+        .status();
+    match build {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("xtask fuzz: building rtopex-fuzz failed ({s})");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("xtask fuzz: cannot invoke cargo: {e}");
+            return 2;
+        }
+    }
+    let bin = root.join("target/release/rtopex-fuzz");
+
+    if smoke {
+        // Replay with no target argument covers every registered target
+        // and enforces the anti-vacuity edge check per target.
+        return match Command::new(&bin).arg("replay").current_dir(root).status() {
+            Ok(s) if s.success() => {
+                eprintln!("xtask fuzz: smoke replay clean");
+                0
+            }
+            Ok(_) => {
+                eprintln!("xtask fuzz: smoke replay found corpus regressions");
+                1
+            }
+            Err(e) => {
+                eprintln!("xtask fuzz: cannot run {}: {e}", bin.display());
+                2
+            }
+        };
+    }
+
+    // Nightly: enumerate targets from the binary itself so a new target
+    // is picked up without touching this file.
+    let listing = match Command::new(&bin).arg("list").current_dir(root).output() {
+        Ok(o) => String::from_utf8_lossy(&o.stdout).into_owned(),
+        Err(e) => {
+            eprintln!("xtask fuzz: cannot run {}: {e}", bin.display());
+            return 2;
+        }
+    };
+    let seed = flag("--seed", 1);
+    let iters = flag("--iters", 250_000);
+    let budget_ms = flag("--budget-ms", 120_000);
+    let mut findings = false;
+    for name in listing.lines().filter_map(|l| l.split_whitespace().next()) {
+        let status = Command::new(&bin)
+            .args([
+                "run",
+                name,
+                "--seed",
+                &seed.to_string(),
+                "--iters",
+                &iters.to_string(),
+                "--budget-ms",
+                &budget_ms.to_string(),
+            ])
+            .current_dir(root)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(_) => findings = true,
+            Err(e) => {
+                eprintln!("xtask fuzz: cannot run target {name}: {e}");
+                return 2;
+            }
+        }
+    }
+    if findings {
+        eprintln!("xtask fuzz: findings under target/fuzz-findings/ — triage them");
+        2
+    } else {
+        eprintln!("xtask fuzz: nightly sweep clean (seed {seed}, {iters} iters/target)");
+        0
+    }
+}

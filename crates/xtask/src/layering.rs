@@ -23,6 +23,11 @@ use std::path::Path;
 const PROTECTED: &[&str] = &["rtopex-runtime", "rtopex-core"];
 /// Network-transport crates the closure must not contain.
 const BANNED: &[&str] = &["rtopex-transport-net", "rtopex-distrib"];
+/// Dev-loop-only crates: nothing in the shipped dependency graph may
+/// depend on them (the fuzzer exists to attack the product, not to be
+/// part of it — its panic hook and process-global probe map must never
+/// ride along into a runtime binary).
+const TOOLING_ONLY: &[&str] = &["rtopex-fuzz"];
 
 /// `[dependencies]` (and `[dev-dependencies]` are deliberately NOT
 /// included: dev-deps do not ship in the library) of one manifest.
@@ -128,6 +133,24 @@ pub fn run(root: &Path) -> i32 {
             closure.join(", ")
         );
     }
+    for &tool in TOOLING_ONLY {
+        if !graph.contains_key(tool) {
+            // Anti-vacuity pin: a renamed fuzz crate would silently
+            // escape the tooling-only rule.
+            eprintln!("xtask layering: tooling-only crate `{tool}` not in the workspace");
+            bad += 1;
+            continue;
+        }
+        for (krate, deps) in &graph {
+            if krate != tool && deps.iter().any(|d| d == tool) {
+                eprintln!(
+                    "xtask layering: `{krate}` depends on tooling-only crate `{tool}` — \
+                     the fuzzer must stay out of the shipped dependency graph"
+                );
+                bad += 1;
+            }
+        }
+    }
     if bad == 0 {
         eprintln!("xtask layering: clean");
         0
@@ -165,7 +188,7 @@ mod tests {
             .nth(2)
             .unwrap();
         let graph = workspace_graph(root);
-        for name in PROTECTED.iter().chain(BANNED) {
+        for name in PROTECTED.iter().chain(BANNED).chain(TOOLING_ONLY) {
             assert!(graph.contains_key(*name), "`{name}` left the workspace");
         }
     }

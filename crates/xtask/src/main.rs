@@ -8,7 +8,10 @@
 //!   `target/analyze/schedulability.json` for the CI artifact.
 //! * `cargo xtask layering` — crate-layering gate: the core runtime
 //!   must stay free of network-transport dependencies (see [`layering`]).
+//! * `cargo xtask fuzz [--smoke]` — fuzzer automation: corpus replay
+//!   gate (`--smoke`, CI) or a budgeted nightly sweep (see [`fuzz`]).
 
+mod fuzz;
 mod layering;
 mod lint;
 
@@ -29,12 +32,16 @@ fn main() {
             let quick = args.iter().any(|a| a == "--quick");
             std::process::exit(analyze(root, quick));
         }
+        Some("fuzz") => std::process::exit(fuzz::run(root, &args[1..])),
         Some(other) => {
-            eprintln!("unknown xtask `{other}`; available: lint, analyze, layering");
+            eprintln!("unknown xtask `{other}`; available: lint, analyze, layering, fuzz");
             std::process::exit(2);
         }
         None => {
-            eprintln!("usage: cargo xtask <lint | analyze [--quick] | layering>");
+            eprintln!(
+                "usage: cargo xtask <lint | analyze [--quick] | layering | \
+                 fuzz [--smoke | --seed N --iters N --budget-ms N]>"
+            );
             std::process::exit(2);
         }
     }
